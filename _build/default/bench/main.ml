@@ -1,0 +1,152 @@
+(* Benchmark harness: regenerates every table/figure of the paper's
+   evaluation (fig1..fig7), plus bechamel micro-benchmarks of the
+   system's building blocks (perf).  Run with no arguments for
+   everything except perf. *)
+
+let ppf = Format.std_formatter
+
+let fig1 () = Dse.Report.print_fig1 ppf
+
+let fig2 () =
+  Dse.Report.print_fig2 ppf (Dse.Report.run_fig2 Apps.Registry.blastn)
+
+let fig3 () =
+  Dse.Report.print_fig3 ppf (Dse.Report.run_fig3 Apps.Registry.blastn)
+
+let fig4 () = Dse.Report.print_fig4 ppf (Dse.Report.run_fig4 ())
+let fig5 () = Dse.Report.print_fig5 ppf (Dse.Report.run_fig5 ())
+
+let fig6 () =
+  Dse.Report.print_fig6 ppf (Dse.Measure.build Apps.Registry.blastn)
+
+let fig7 () = Dse.Report.print_fig7 ppf (Dse.Report.run_fig7 ())
+
+let ablation () =
+  Dse.Ablation.print_noise ppf
+    (Dse.Ablation.noise_study ~weights:Dse.Cost.resource_weights
+       Apps.Registry.blastn);
+  Format.printf "@.";
+  Dse.Ablation.print_variants ppf
+    (Dse.Ablation.variant_study ~weights:Dse.Cost.runtime_weights
+       (Dse.Measure.build Apps.Registry.frag));
+  Format.printf "@.";
+  Dse.Ablation.print_independence ppf
+    (Dse.Ablation.independence_study ~weights:Dse.Cost.runtime_weights)
+
+let energy () =
+  Format.printf
+    "Energy optimization (paper future work; w1=1, w2=1, w3=100):@.";
+  List.iter
+    (fun app ->
+      Format.printf "%s:@." app.Apps.Registry.name;
+      let o = Dse.Energy.optimize ~weights:Dse.Energy.energy_weights app in
+      Dse.Energy.print_outcome ppf o)
+    Apps.Registry.all
+
+(* Bechamel micro-benchmarks: one per pipeline stage. *)
+let perf () =
+  let open Bechamel in
+  let blastn_prog = Lazy.force Apps.Registry.blastn.Apps.Registry.program in
+  let warm_epoch =
+    Test.make ~name:"sim: BLASTN warm epoch" (Staged.stage (fun () ->
+        ignore (Sim.Machine.run ~reps:2 Arch.Config.base blastn_prog)))
+  in
+  let synth_estimate =
+    Test.make ~name:"synth: resource estimate" (Staged.stage (fun () ->
+        ignore (Synth.Estimate.config Arch.Config.base)))
+  in
+  let compile =
+    Test.make ~name:"minic: compile BLASTN" (Staged.stage (fun () ->
+        ignore (Minic.Codegen.compile Apps.Blastn.program)))
+  in
+  let model = Dse.Measure.build ~dims:Arch.Param.dcache_size_dims Apps.Registry.blastn in
+  let solver =
+    Test.make ~name:"binlp: dcache model solve" (Staged.stage (fun () ->
+        ignore (Optim.Binlp.solve (Dse.Formulate.make Dse.Cost.runtime_only model))))
+  in
+  let cache =
+    let c =
+      Sim.Cache.create ~ways:2 ~way_kb:4 ~line_words:8
+        ~replacement:Arch.Config.Lru ~rng:(Sim.Rng.create ~seed:1)
+    in
+    Test.make ~name:"cache: read probe" (Staged.stage (fun () ->
+        ignore (Sim.Cache.read c 0x1040)))
+  in
+  let tests = Test.make_grouped ~name:"uarch-reconf" [ warm_epoch; compile; synth_estimate; solver; cache ] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Format.printf "Micro-benchmarks (bechamel, monotonic clock):@.";
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some (est :: _) -> Format.printf "  %-40s %14.1f ns/run@." name est
+      | Some [] | None -> Format.printf "  %-40s (no estimate)@." name)
+    (List.sort compare rows)
+
+let convex () =
+  Format.printf
+    "Convex recast study (paper future work): McCormick + LP-based B&B vs      exact combinatorial B&B@.";
+  List.iter
+    (fun app ->
+      let model = Dse.Measure.build app in
+      let s = Dse.Convex.run ~weights:Dse.Cost.runtime_weights model in
+      Dse.Convex.print ppf s)
+    Apps.Registry.all
+
+let baselines () =
+  Format.printf
+    "Heuristic DSE baselines vs the paper's method (w1=100, w2=1)@.";
+  Format.printf
+    "(builds = configurations synthesized and executed; the paper budgets      ~30 min each)@.";
+  List.iter
+    (fun app ->
+      let weights = Dse.Cost.runtime_weights in
+      let paper = Dse.Heuristic.paper_method ~weights app in
+      let descent = Dse.Heuristic.coordinate_descent ~weights app in
+      let random56 =
+        Dse.Heuristic.random_search ~builds:paper.Dse.Heuristic.builds ~weights app
+      in
+      let random200 = Dse.Heuristic.random_search ~builds:200 ~weights app in
+      Dse.Heuristic.print_comparison ppf app.Apps.Registry.name
+        [ paper; descent; random56; random200 ])
+    Apps.Registry.all
+
+let sched () =
+  Format.printf
+    "Generic-domain study: DRR scheduler tuning under a 12 KB state budget      (the paper's 'other configuration management problems')@.";
+  Format.printf "efficiency-first (weights 100, 1):@.";
+  Dse.Sched_tuning.print_outcome ppf
+    (Dse.Sched_tuning.Tuner.optimize ~weights:[| 100.0; 1.0 |]);
+  Format.printf "memory-first (weights 1, 100):@.";
+  Dse.Sched_tuning.print_outcome ppf
+    (Dse.Sched_tuning.Tuner.optimize ~weights:[| 1.0; 100.0 |])
+
+let experiments =
+  [
+    ("fig1", fig1); ("fig2", fig2); ("fig3", fig3); ("fig4", fig4);
+    ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
+    ("ablation", ablation); ("energy", energy); ("convex", convex);
+    ("baselines", baselines); ("sched", sched);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let run name =
+    match List.assoc_opt name experiments with
+    | Some f ->
+        Format.printf "@.";
+        f ();
+        Format.printf "@."
+    | None when name = "perf" -> perf ()
+    | None ->
+        Format.eprintf "unknown experiment %S; known: %s, perf@." name
+          (String.concat ", " (List.map fst experiments));
+        exit 2
+  in
+  match args with
+  | [] -> List.iter (fun (n, _) -> run n) experiments
+  | names -> List.iter run names

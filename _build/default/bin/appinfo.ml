@@ -1,0 +1,79 @@
+(* Diagnostic tool: per-application execution statistics on the base
+   configuration and a few interesting perturbations.  Used to calibrate
+   workload sizes against the paper's runtime signatures. *)
+
+let pr fmt = Format.printf fmt
+
+let dcache_kb kb =
+  { Arch.Config.base with
+    dcache = { Arch.Config.base.Arch.Config.dcache with way_kb = kb } }
+
+let with_iu f =
+  { Arch.Config.base with Arch.Config.iu = f Arch.Config.base.Arch.Config.iu }
+
+let selected_apps () =
+  let known = Apps.Registry.all @ Apps.Extra.all in
+  match List.tl (Array.to_list Sys.argv) with
+  | [] -> Apps.Registry.all
+  | names ->
+      List.map
+        (fun name ->
+          match
+            List.find_opt (fun a -> a.Apps.Registry.name = String.lowercase_ascii name) known
+          with
+          | Some a -> a
+          | None ->
+              Printf.eprintf "unknown app %S (known: %s)\n" name
+                (String.concat ", " (List.map (fun a -> a.Apps.Registry.name) known));
+              exit 2)
+        names
+
+let () =
+  List.iter
+    (fun app ->
+      let prog = Lazy.force app.Apps.Registry.program in
+      pr "=== %s (%d insns, %d B data, reps %d) ===@."
+        app.Apps.Registry.name
+        (Array.length prog.Isa.Program.code)
+        (Bytes.length prog.Isa.Program.data)
+        app.Apps.Registry.reps;
+      let base_r = Apps.Registry.run app in
+      let p = base_r.Sim.Machine.profile in
+      pr "  base: cold=%d warm=%d checksum=%#x seconds=%.2f (paper %.2f)@."
+        base_r.Sim.Machine.cold_cycles base_r.Sim.Machine.warm_cycles
+        base_r.Sim.Machine.checksum
+        (Sim.Machine.seconds base_r)
+        app.Apps.Registry.paper_base_seconds;
+      pr "  warm profile: %a@." Sim.Profiler.pp p;
+      let show name config =
+        let r = Apps.Registry.run ~config app in
+        let d =
+          100.0
+          *. (Sim.Machine.seconds r -. Sim.Machine.seconds base_r)
+          /. Sim.Machine.seconds base_r
+        in
+        pr "  %-18s %10.3f s  (%+.2f%%)@." name (Sim.Machine.seconds r) d
+      in
+      show "dcache 1KB" (dcache_kb 1);
+      show "dcache 8KB" (dcache_kb 8);
+      show "dcache 16KB" (dcache_kb 16);
+      show "dcache 32KB" (dcache_kb 32);
+      show "dcache 2x16KB"
+        { Arch.Config.base with
+          dcache = { Arch.Config.base.Arch.Config.dcache with ways = 2; way_kb = 16 } };
+      show "icache 1KB"
+        { Arch.Config.base with
+          icache = { Arch.Config.base.Arch.Config.icache with way_kb = 1 } };
+      show "icache 2KB"
+        { Arch.Config.base with
+          icache = { Arch.Config.base.Arch.Config.icache with way_kb = 2 } };
+      show "line 4 (dcache)"
+        { Arch.Config.base with
+          dcache = { Arch.Config.base.Arch.Config.dcache with line_words = 4 } };
+      show "mul 32x32" (with_iu (fun u -> { u with Arch.Config.multiplier = Arch.Config.Mul_32x32 }));
+      show "mul iterative" (with_iu (fun u -> { u with Arch.Config.multiplier = Arch.Config.Mul_iterative }));
+      show "no icc hold" (with_iu (fun u -> { u with Arch.Config.icc_hold = false }));
+      show "no fast jump" (with_iu (fun u -> { u with Arch.Config.fast_jump = false }));
+      show "no divider" (with_iu (fun u -> { u with Arch.Config.divider = Arch.Config.Div_none }));
+      pr "@.")
+    (selected_apps ())

@@ -1,0 +1,100 @@
+(* minic compiler driver.
+
+     mcc prog.mc                 parse + check + compile, report sizes
+     mcc prog.mc --disasm        print the generated assembly
+     mcc prog.mc -o prog.img     write the binary program image
+     mcc prog.img --run          load an image and simulate it
+     mcc prog.mc --run           compile and simulate (base config)
+     mcc prog.mc --run --stats   ... with the full cycle profile
+     mcc prog.mc -O --run        compile with optimizations
+     mcc prog.mc --run -c dc=1x32x4xrnd,mul=m32x32
+                                 simulate on a tuned configuration     *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~optimize path =
+  if Filename.check_suffix path ".img" then
+    Isa.Encode.decode_program (Bytes.of_string (read_file path))
+  else begin
+    let src = read_file path in
+    match Minic.Parser.parse src with
+    | Error msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        exit 1
+    | Ok ast -> (
+        match Minic.Check.check ast with
+        | Error es ->
+            List.iter (fun e -> Printf.eprintf "%s: %s\n" path e) es;
+            exit 1
+        | Ok () -> Minic.Codegen.compile ~optimize ast)
+  end
+
+let run source output disasm run stats optimize trace config =
+  let config =
+    match config with
+    | None -> Arch.Config.base
+    | Some s -> (
+        match Arch.Codec.of_string s with
+        | Ok c -> c
+        | Error m ->
+            Printf.eprintf "--config: %s\n" m;
+            exit 1)
+  in
+  let prog = load ~optimize source in
+  Format.printf "%s: %d instructions, %d bytes of data, %d symbols@." source
+    (Array.length prog.Isa.Program.code)
+    (Bytes.length prog.Isa.Program.data)
+    (List.length prog.Isa.Program.symbols);
+  (match output with
+  | None -> ()
+  | Some path ->
+      let image = Isa.Encode.encode_program prog in
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_bytes oc image);
+      Format.printf "wrote %s (%d bytes)@." path (Bytes.length image));
+  if disasm then Format.printf "%a@." Isa.Program.pp prog;
+  (match trace with
+  | None -> ()
+  | Some n ->
+      let cpu = Sim.Cpu.create config prog ~mem_size:(1 lsl 20) in
+      Sim.Trace.pp Format.std_formatter (Sim.Trace.run ~limit:n cpu));
+  if run then begin
+    let cpu = Sim.Cpu.create config prog ~mem_size:(1 lsl 20) in
+    (try Sim.Cpu.run cpu
+     with Sim.Cpu.Error msg ->
+       Printf.eprintf "simulation error: %s\n" msg;
+       exit 1);
+    let p = Sim.Cpu.profile cpu in
+    Format.printf "result: %#x (%d cycles, %d instructions)@."
+      (Sim.Cpu.result cpu) p.Sim.Profiler.cycles p.Sim.Profiler.instructions;
+    if stats then Format.printf "%a@." Sim.Profiler.pp p
+  end
+
+let source_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE" ~doc:"minic source (.mc) or program image (.img)")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the binary program image to $(docv).")
+
+let disasm_arg = Arg.(value & flag & info [ "d"; "disasm" ] ~doc:"Print the generated assembly.")
+let run_arg = Arg.(value & flag & info [ "r"; "run" ] ~doc:"Simulate on the base configuration.")
+let stats_arg = Arg.(value & flag & info [ "stats" ] ~doc:"With --run: print the full cycle profile.")
+let optimize_arg = Arg.(value & flag & info [ "O"; "optimize" ] ~doc:"Run the source-level optimizer before code generation.")
+let trace_arg = Arg.(value & opt (some int) None & info [ "trace" ] ~docv:"N" ~doc:"Trace the first $(docv) executed instructions with cycle deltas.")
+let config_arg = Arg.(value & opt (some string) None & info [ "c"; "config" ] ~docv:"CFG" ~doc:"Microarchitecture configuration string (see reconfigure's output), e.g. dc=1x32x4xrnd,mul=m32x32.")
+
+let cmd =
+  let doc = "minic compiler and simulator driver" in
+  Cmd.v
+    (Cmd.info "mcc" ~version:"1.0.0" ~doc)
+    Term.(const run $ source_arg $ output_arg $ disasm_arg $ run_arg $ stats_arg $ optimize_arg $ trace_arg $ config_arg)
+
+let () = exit (Cmd.eval cmd)

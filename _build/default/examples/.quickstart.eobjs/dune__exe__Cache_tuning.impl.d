@@ -1,0 +1,1 @@
+examples/cache_tuning.ml: Apps Arch Dse Format List Synth Sys

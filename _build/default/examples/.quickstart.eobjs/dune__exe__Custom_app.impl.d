@@ -1,0 +1,1 @@
+examples/custom_app.ml: Apps Arch Array Dse Float Format Int Minic Sim

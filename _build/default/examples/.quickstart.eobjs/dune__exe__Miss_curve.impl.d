@@ -1,0 +1,1 @@
+examples/miss_curve.ml: Apps Arch Dse Format Lazy List Sim Sys

@@ -1,0 +1,1 @@
+examples/miss_curve.mli:

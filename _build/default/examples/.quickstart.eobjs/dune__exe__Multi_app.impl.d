@@ -1,0 +1,1 @@
+examples/multi_app.ml: Apps Dse Format

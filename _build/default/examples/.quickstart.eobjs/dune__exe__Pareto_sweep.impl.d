@@ -1,0 +1,1 @@
+examples/pareto_sweep.ml: Apps Dse Format List String Synth Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Apps Arch Dse Format

@@ -1,0 +1,1 @@
+lib/apps/arith.ml: Minic

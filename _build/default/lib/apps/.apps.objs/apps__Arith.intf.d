@@ -1,0 +1,1 @@
+lib/apps/arith.mli: Minic

@@ -1,0 +1,1 @@
+lib/apps/blastn.ml: Minic Workload

@@ -1,0 +1,1 @@
+lib/apps/drr.ml: Minic Stdlib

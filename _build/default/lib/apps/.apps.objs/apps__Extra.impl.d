@@ -1,0 +1,1 @@
+lib/apps/extra.ml: Float Minic Printf Registry

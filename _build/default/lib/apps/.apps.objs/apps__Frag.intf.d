@@ -1,0 +1,1 @@
+lib/apps/frag.mli: Minic

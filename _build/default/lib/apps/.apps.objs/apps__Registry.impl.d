@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Arch Arith Blastn Drr Frag Isa Lazy List Minic Sim String

@@ -1,0 +1,26 @@
+open Minic.Ast
+
+let iterations = 12000
+
+let main_fn =
+  {
+    name = "main";
+    params = [];
+    locals = [ "s"; "k"; "t"; "u" ];
+    body =
+      [
+        Set ("s", i 0x1234);
+        Set ("k", i 1);
+        While
+          ( v "k" <= i iterations,
+            [
+              Set ("t", (v "k" * i 40503) &&& i 0xFFFFF);
+              Set ("u", v "t" / ((v "k" &&& i 255) + i 1));
+              Set ("s", v "s" + v "t" + v "u" + (v "s" <<< i 1));
+              Set ("k", v "k" + i 1);
+            ] );
+        Ret (v "s");
+      ];
+  }
+
+let program = { globals = []; funcs = [ main_fn ] }

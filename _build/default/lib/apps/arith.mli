@@ -1,0 +1,10 @@
+(** Benchmark IV — BYTE Arith.
+
+    Tight register-resident loop of additions, multiplications and
+    divisions, historically used to test processor arithmetic speed.
+    No array traffic at all, so the data cache is irrelevant (the
+    paper: "no effect, as application is not data intensive") while
+    the multiplier and divider latencies dominate. *)
+
+val program : Minic.Ast.program
+val iterations : int

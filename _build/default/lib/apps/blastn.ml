@@ -1,0 +1,153 @@
+open Minic.Ast
+
+let db_len = 24576
+let query_len = 128
+let table_words = 256 (* byte-indexed 8-bit hash table *)
+let db_bytes = db_len
+let table_bytes = 256
+let refine_probes = 6000
+
+(* h = ((w * 40503) >> 7) & 255: multiplicative hash of the 16-bit
+   packed 8-mer window into the byte table. *)
+let hash w = Bin (And, Bin (Shr, Bin (Mul, w, i 40503), i 7), i 255)
+
+(* Ungapped forward extension: count matching bases from (qp, dp). *)
+let extend_fn =
+  {
+    name = "extend";
+    params = [ "qp"; "dp" ];
+    locals = [ "n"; "go" ];
+    body =
+      [
+        Set ("n", i 0);
+        Set ("go", i 1);
+        While
+          ( v "go" &&& (v "qp" + v "n" < i query_len)
+            &&& (v "dp" + v "n" < i db_len),
+            [
+              If
+                ( idx "query" (v "qp" + v "n") = idx "db" (v "dp" + v "n"),
+                  [ Set ("n", v "n" + i 1) ],
+                  [ Set ("go", i 0) ] );
+            ] );
+        Ret (v "n");
+      ];
+  }
+
+(* Build the 8-mer table over the query; positions are stored +1 so
+   zero means empty (they fit a byte: the query is 128 bases). *)
+let build_fn =
+  {
+    name = "build";
+    params = [];
+    locals = [ "k"; "w"; "h" ];
+    body =
+      [
+        Set ("k", i 0);
+        Set ("w", i 0);
+        While
+          ( v "k" < i query_len,
+            [
+              Set ("w", (v "w" <<< i 2 ||| idx "query" (v "k")) &&& i 0xFFFF);
+              If
+                ( v "k" >= i 7,
+                  [ Set ("h", hash (v "w")); Set_idx ("htab", v "h", v "k" - i 6) ],
+                  [] );
+              Set ("k", v "k" + i 1);
+            ] );
+        Ret (i 0);
+      ];
+  }
+
+(* Scan the database, probing the table at every position. *)
+let scan_fn =
+  {
+    name = "scan";
+    params = [];
+    locals = [ "k"; "w"; "h"; "p"; "s"; "score"; "hits" ];
+    body =
+      [
+        Set ("k", i 0);
+        Set ("w", i 0);
+        Set ("score", i 0);
+        Set ("hits", i 0);
+        While
+          ( v "k" < i db_len,
+            [
+              Set ("w", (v "w" <<< i 2 ||| idx "db" (v "k")) &&& i 0xFFFF);
+              If
+                ( v "k" >= i 7,
+                  [
+                    Set ("h", hash (v "w"));
+                    Set ("p", idx "htab" (v "h"));
+                    If
+                      ( v "p" > i 0,
+                        [
+                          Set ("s", Call ("extend", [ v "p" - i 1; v "k" - i 7 ]));
+                          Set ("score", v "score" + v "s");
+                          Set ("hits", v "hits" + i 1);
+                        ],
+                        [] );
+                  ],
+                  [] );
+              Set ("k", v "k" + i 1);
+            ] );
+        Ret (v "score" + (v "hits" <<< i 12));
+      ];
+  }
+
+(* Hit refinement: re-examine scattered database neighbourhoods (the
+   two-hit / neighbourhood re-scoring pass of BLAST).  The probe
+   positions are derived from an LCG, sweeping the whole database
+   non-sequentially -- cache-resident only once the full 24 KB fits. *)
+let refine_fn =
+  {
+    name = "refine";
+    params = [];
+    locals = [ "j"; "seed"; "pos"; "s" ];
+    body =
+      [
+        Set ("j", i 0);
+        Set ("seed", i 0xB1A5);
+        Set ("s", i 0);
+        While
+          ( v "j" < i refine_probes,
+            [
+              Set ("seed", ((v "seed" * i 1103515245) + i 12345) &&& i 0x7FFFFFFF);
+              Set ("pos", (v "seed" >>> i 8) &&& i 0x7FFF);
+              If
+                ( v "pos" < i 24574,
+                  [
+                    Set ("s", v "s" + idx "db" (v "pos") + (idx "db" (v "pos" + i 1) <<< i 2));
+                  ],
+                  [] );
+              Set ("j", v "j" + i 1);
+            ] );
+        Ret (v "s");
+      ];
+  }
+
+let main_fn =
+  {
+    name = "main";
+    params = [];
+    locals = [ "r"; "f" ];
+    body =
+      [
+        Do (Call ("build", []));
+        Set ("r", Call ("scan", []));
+        Set ("f", Call ("refine", []));
+        Ret (v "r" + v "f");
+      ];
+  }
+
+let program =
+  {
+    globals =
+      [
+        Array_init ("db", Byte, Workload.dna ~seed:0xB1A57 ~len:db_len);
+        Array_init ("query", Byte, Workload.dna ~seed:0x0DEA ~len:query_len);
+        Array ("htab", Byte, table_words);
+      ];
+    funcs = [ extend_fn; build_fn; scan_fn; refine_fn; main_fn ];
+  }

@@ -1,0 +1,15 @@
+(** Benchmark I — BLASTN (Basic Local Alignment Search Tool,
+    nucleotide variant).
+
+    Word-matching DNA search, as in the paper: an 8-mer hash table is
+    built from the query, the database is scanned with a rolling packed
+    window (table hits trigger ungapped extension), and hit
+    neighbourhoods are then re-examined in a scattered refinement pass.
+    Computation- and memory-access-intensive: the 24 KB database is
+    touched both streaming and scattered, so the data cache saturates
+    only once the whole database fits (32 KB) — the paper's Figure 2
+    plateau. *)
+
+val program : Minic.Ast.program
+val db_bytes : int
+val table_bytes : int

@@ -1,0 +1,132 @@
+let queue_count = 256
+let slots_per_queue = 16
+let packets = 3072
+let quantum = 400
+
+let log2 n =
+  let rec go k = if 1 lsl k = n then k else go (k + 1) in
+  go 0
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+open Minic.Ast
+
+(* The full benchmark, parameterized: the paper's Benchmark II is the
+   instance at the bottom; the scheduler-tuning domain
+   (Dse.Sched_tuning) explores other geometries and quanta through the
+   same generator.  [queues] and [slots] must be powers of two. *)
+let make_program ?(raw_total = false) ~queues ~slots ~quantum ~packets () =
+  if not (is_pow2 queues) then
+    invalid_arg "Drr.make_program: queues must be a power of two";
+  if not (is_pow2 slots) then
+    invalid_arg "Drr.make_program: slots must be a power of two";
+  let slot_shift = log2 slots in
+  let slot_mask = Stdlib.( - ) slots 1 in
+  let qmask = Stdlib.( - ) queues 1 in
+  (* Enqueue a synthetic trace: queue and length from the LCG state. *)
+  let enqueue_fn =
+    {
+      name = "enqueue";
+      params = [];
+      locals = [ "n"; "seed"; "q"; "len"; "t"; "accepted" ];
+      body =
+        [
+          Set ("n", i 0);
+          Set ("seed", i 0x5EED);
+          Set ("accepted", i 0);
+          While
+            ( v "n" < i packets,
+              [
+                Set ("seed", ((v "seed" * i 1103515245) + i 12345) &&& i 0x7FFFFFFF);
+                Set ("q", (v "seed" >>> i 16) &&& i qmask);
+                Set ("len", i 64 + ((v "seed" >>> i 6) &&& i 1023));
+                Set ("t", idx "qtail" (v "q"));
+                If
+                  ( ((v "t" + i 1) &&& i slot_mask) <> idx "qhead" (v "q"),
+                    [
+                      Set_idx ("qbuf", (v "q" <<< i slot_shift) + v "t", v "len");
+                      Set_idx ("qtail", v "q", (v "t" + i 1) &&& i slot_mask);
+                      Set ("accepted", v "accepted" + i 1);
+                    ],
+                    [] );
+                Set ("n", v "n" + i 1);
+              ] );
+          Ret (v "accepted");
+        ];
+    }
+  in
+  (* Serve all enqueued packets in DRR order. *)
+  let serve_fn =
+    {
+      name = "serve";
+      params = [ "remaining" ];
+      locals = [ "q"; "h"; "len"; "total"; "d" ];
+      body =
+        [
+          Set ("total", i 0);
+          While
+            ( v "remaining" > i 0,
+              [
+                Set ("q", i 0);
+                While
+                  ( v "q" < i queues,
+                    [
+                      Set ("h", idx "qhead" (v "q"));
+                      If
+                        ( v "h" <> idx "qtail" (v "q"),
+                          [
+                            Set ("d", idx "deficit" (v "q") + i quantum);
+                            Set ("len", idx "qbuf" ((v "q" <<< i slot_shift) + v "h"));
+                            While
+                              ( (v "h" <> idx "qtail" (v "q")) &&& (v "len" <= v "d"),
+                                [
+                                  Set ("d", v "d" - v "len");
+                                  Set ("total", v "total" + v "len");
+                                  Set ("h", (v "h" + i 1) &&& i slot_mask);
+                                  Set ("remaining", v "remaining" - i 1);
+                                  If
+                                    ( v "h" <> idx "qtail" (v "q"),
+                                      [ Set ("len", idx "qbuf" ((v "q" <<< i slot_shift) + v "h")) ],
+                                      [] );
+                                ] );
+                            Set_idx ("qhead", v "q", v "h");
+                            If
+                              ( v "h" = idx "qtail" (v "q"),
+                                [ Set_idx ("deficit", v "q", i 0) ],
+                                [ Set_idx ("deficit", v "q", v "d") ] );
+                          ],
+                          [] );
+                      Set ("q", v "q" + i 1);
+                    ] );
+              ] );
+          Ret (v "total");
+        ];
+    }
+  in
+  let main_fn =
+    {
+      name = "main";
+      params = [];
+      locals = [ "accepted"; "total" ];
+      body =
+        [
+          Set ("accepted", Call ("enqueue", []));
+          Set ("total", Call ("serve", [ v "accepted" ]));
+          (if raw_total then Ret (v "total")
+           else Ret (v "total" + (v "accepted" <<< i 20)));
+        ];
+    }
+  in
+  {
+    globals =
+      [
+        Array ("qbuf", Word, Stdlib.( * ) queues slots);
+        Array ("qhead", Word, queues);
+        Array ("qtail", Word, queues);
+        Array ("deficit", Word, queues);
+      ];
+    funcs = [ enqueue_fn; serve_fn; main_fn ];
+  }
+
+let program =
+  make_program ~queues:queue_count ~slots:slots_per_queue ~quantum ~packets ()

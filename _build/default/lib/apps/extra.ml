@@ -1,0 +1,227 @@
+let parse_app ~name ~description ~reps source =
+  let ast =
+    match Minic.Parser.parse source with
+    | Ok p -> p
+    | Error msg -> failwith (Printf.sprintf "Extra.%s: %s" name msg)
+  in
+  Minic.Check.check_exn ast;
+  {
+    Registry.name;
+    description;
+    source = ast;
+    program = lazy (Minic.Codegen.compile ast);
+    reps;
+    paper_base_seconds = Float.nan;
+  }
+
+(* Two-level trie route lookup: a 1 K level-1 table either answers
+   directly or points into one of 32 level-2 blocks (32 KB total) whose
+   lines are touched in address order — i.e. randomly. *)
+let rtr_source =
+  {|
+int l1[64];
+int l2[8192];
+int nblocks = 0;
+
+int build() {
+  int k, seed, e;
+  seed = 0x40C7E;
+  k = 0;
+  while (k < 64) {
+    seed = ((seed * 1103515245) + 12345) & 0x7FFFFFFF;
+    if (((seed & 1) == 0) & (nblocks < 32)) {
+      l1[k] = 0x10000 | nblocks;
+      nblocks = nblocks + 1;
+    } else {
+      l1[k] = (seed >> 8) & 0xFF;
+    }
+    k = k + 1;
+  }
+  /* fill the level-2 blocks with next hops */
+  k = 0;
+  while (k < 8192) {
+    seed = ((seed * 1103515245) + 12345) & 0x7FFFFFFF;
+    l2[k] = (seed >> 12) & 0xFF;
+    k = k + 1;
+  }
+  return nblocks;
+}
+
+int lookup(int n) {
+  int k, seed, ip, e, hop, total;
+  seed = 0x1B0;
+  total = 0;
+  k = 0;
+  while (k < n) {
+    seed = ((seed * 1103515245) + 12345) & 0x7FFFFFFF;
+    ip = seed;
+    e = l1[(ip >> 25) & 63];
+    if (e >= 0x10000) {
+      hop = l2[((e & 0xFF) << 8) + ((ip >> 15) & 255)];
+    } else {
+      hop = e;
+    }
+    total = total + hop;
+    k = k + 1;
+  }
+  return total;
+}
+
+int main() {
+  int blocks, total;
+  blocks = build();
+  total = lookup(20000);
+  return total + (blocks << 24);
+}
+|}
+
+(* Integer 8x8 block transform over a 16-block strip: 8192 multiplies
+   per block, all operands register- or small-array-resident. *)
+let dct_source =
+  {|
+int img[1024];
+int out[1024];
+int c[64] = {
+   64,  64,  64,  64,  64,  64,  64,  64,
+   89,  75,  50,  18, -18, -50, -75, -89,
+   84,  35, -35, -84, -84, -35,  35,  84,
+   75, -18, -89, -50,  50,  89,  18, -75,
+   64, -64, -64,  64,  64, -64, -64,  64,
+   50, -89,  18,  75, -75, -18,  89, -50,
+   35, -84,  84, -35, -35,  84, -84,  35,
+   18, -50,  75, -89,  89, -75,  50, -18
+};
+
+int fill() {
+  int k, seed;
+  seed = 0xDC7;
+  k = 0;
+  while (k < 1024) {
+    seed = ((seed * 1103515245) + 12345) & 0x7FFFFFFF;
+    img[k] = ((seed >> 9) & 255) - 128;
+    k = k + 1;
+  }
+  return 0;
+}
+
+int block(int blk) {
+  int u, v, x, y, acc, sum;
+  sum = 0;
+  u = 0;
+  while (u < 8) {
+    v = 0;
+    while (v < 8) {
+      acc = 0;
+      y = 0;
+      while (y < 8) {
+        x = 0;
+        while (x < 8) {
+          acc = acc + ((img[(blk << 6) + ((y << 3) + x)] * c[(u << 3) + x] * c[(v << 3) + y]) >> 8);
+          x = x + 1;
+        }
+        y = y + 1;
+      }
+      out[(blk << 6) + ((u << 3) + v)] = acc;
+      sum = (sum + acc) & 0xFFFFFF;
+      v = v + 1;
+    }
+    u = u + 1;
+  }
+  return sum;
+}
+
+int main() {
+  int blk, s, total;
+  fill();
+  total = 0;
+  blk = 0;
+  while (blk < 16) {
+    s = block(blk);
+    total = (total + s) & 0xFFFFFF;
+    blk = blk + 1;
+  }
+  return total;
+}
+|}
+
+(* Recursive quicksort over a 1 K-word array: call depth tens of
+   frames, so the register-window count — a parameter none of the
+   paper's four benchmarks exercises — has a real runtime effect
+   (window overflow/underflow traps spill through the dcache). *)
+let qsort_source =
+  {|
+int data[1024];
+
+int fill() {
+  int k, seed;
+  seed = 0x9507;
+  k = 0;
+  while (k < 1024) {
+    seed = ((seed * 1103515245) + 12345) & 0x7FFFFFFF;
+    data[k] = seed & 0xFFFF;
+    k = k + 1;
+  }
+  return 0;
+}
+
+int qsort(int lo, int hi) {
+  int p, x, k, t, store;
+  if (lo >= hi) { return 0; }
+  /* median-free Lomuto partition on data[hi] */
+  x = data[hi];
+  store = lo;
+  k = lo;
+  while (k < hi) {
+    if (data[k] < x) {
+      t = data[k];
+      data[k] = data[store];
+      data[store] = t;
+      store = store + 1;
+    }
+    k = k + 1;
+  }
+  t = data[hi];
+  data[hi] = data[store];
+  data[store] = t;
+  qsort(lo, store - 1);
+  qsort(store + 1, hi);
+  return 0;
+}
+
+int check() {
+  int k, acc;
+  acc = 0;
+  k = 1;
+  while (k < 1024) {
+    if (data[k - 1] > data[k]) { return 0 - k; }
+    acc = (acc + (data[k] * k)) & 0xFFFFFF;
+    k = k + 1;
+  }
+  return acc;
+}
+
+int main() {
+  int r;
+  fill();
+  qsort(0, 1023);
+  r = check();
+  return r;
+}
+|}
+
+let rtr =
+  parse_app ~name:"rtr"
+    ~description:"two-level trie IP route lookup (CommBench-style, extra)"
+    ~reps:2000 rtr_source
+
+let dct =
+  parse_app ~name:"dct"
+    ~description:"integer 8x8 block DCT over an image strip (extra)" ~reps:800
+    dct_source
+
+let qsort =
+  parse_app ~name:"qsort"
+    ~description:"recursive quicksort of 1K words (extra; window-trap heavy)"
+    ~reps:1500 qsort_source
+
+let all = [ rtr; dct; qsort ]

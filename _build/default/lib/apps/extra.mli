@@ -1,0 +1,18 @@
+(** Additional benchmark kernels beyond the paper's four, written in
+    minic {e concrete syntax} (they are parsed by {!Minic.Parser} at
+    startup, exercising the full source-to-silicon path).
+
+    They are not part of {!Registry.all} — the paper's tables stay the
+    paper's — but plug into every pipeline the same way:
+
+    - [rtr]: CommBench-style IP route lookup over a two-level trie;
+      pointer-chasing with a scattered working set (cache-hungry);
+    - [dct]: integer 8x8 block DCT over an image strip;
+      multiplication-dominated with a small working set;
+    - [qsort]: recursive quicksort, tens of frames deep — the only
+      kernel whose runtime depends on the register-window count. *)
+
+val rtr : Registry.t
+val dct : Registry.t
+val qsort : Registry.t
+val all : Registry.t list

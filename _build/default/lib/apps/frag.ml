@@ -1,0 +1,153 @@
+open Minic.Ast
+
+let buffer_words = 4096 (* 16 KB input packet buffer *)
+let out_words = 512 (* small output ring: headers + bounded payload *)
+let header_words = 5
+let mtu_payload_words = 64 (* 256-byte fragments *)
+let copy_cap_words = 12
+
+(* Each fragment occupies a fixed 32-word slot in the output ring, so
+   slot-relative indices never cross the ring boundary. *)
+
+(* Fill the input buffer with length-prefixed packet records:
+   [payload_words; 5 header words; payload...]. *)
+let gen_fn =
+  {
+    name = "gen";
+    params = [];
+    locals = [ "pos"; "seed"; "plen"; "k"; "count" ];
+    body =
+      [
+        Set ("pos", i 0);
+        Set ("seed", i 0xF4A6);
+        Set ("count", i 0);
+        While
+          ( v "pos" + i 384 < i buffer_words,
+            [
+              Set ("seed", ((v "seed" * i 1103515245) + i 12345) &&& i 0x7FFFFFFF);
+              Set ("plen", i 64 + ((v "seed" >>> i 7) &&& i 255));
+              Set_idx ("pkts", v "pos", v "plen");
+              Set ("k", i 0);
+              While
+                ( v "k" < v "plen" + i header_words,
+                  [
+                    Set_idx
+                      ( "pkts",
+                        v "pos" + i 1 + v "k",
+                        (v "seed" ^^^ (v "k" * i 2654435761)) &&& i 0xFFFFFFFF );
+                    Set ("k", v "k" + i 1);
+                  ] );
+              Set ("pos", v "pos" + i 1 + i header_words + v "plen");
+              Set ("count", v "count" + i 1);
+            ] );
+        Set ("npackets", v "count");
+        Ret (v "pos");
+      ];
+  }
+
+(* 16-bit ones-complement checksum of the 5 header words at out[base]. *)
+let cksum_fn =
+  {
+    name = "cksum";
+    params = [ "base" ];
+    locals = [ "s"; "k"; "w" ];
+    body =
+      [
+        Set ("s", i 0);
+        Set ("k", i 0);
+        While
+          ( v "k" < i header_words,
+            [
+              Set ("w", idx "out" (v "base" + v "k"));
+              Set ("s", v "s" + (v "w" &&& i 0xFFFF) + (v "w" >>> i 16));
+              Set ("k", v "k" + i 1);
+            ] );
+        Set ("s", (v "s" &&& i 0xFFFF) + (v "s" >>> i 16));
+        Set ("s", (v "s" &&& i 0xFFFF) + (v "s" >>> i 16));
+        Ret (v "s" ^^^ i 0xFFFF);
+      ];
+  }
+
+(* Walk the packet records and emit fragments. *)
+let frag_fn =
+  {
+    name = "fragment";
+    params = [ "limit" ];
+    locals = [ "pos"; "plen"; "off"; "fl"; "o"; "k"; "acc"; "c" ];
+    body =
+      [
+        Set ("pos", i 0);
+        Set ("o", i 0);
+        Set ("acc", i 0);
+        While
+          ( v "pos" < v "limit",
+            [
+              Set ("plen", idx "pkts" (v "pos"));
+              Set ("off", i 0);
+              While
+                ( v "off" < v "plen",
+                  [
+                    (* fragment payload length *)
+                    Set ("fl", v "plen" - v "off");
+                    If (v "fl" > i mtu_payload_words, [ Set ("fl", i mtu_payload_words) ], []);
+                    (* copy and adjust the header into the output ring *)
+                    Set ("k", i 0);
+                    While
+                      ( v "k" < i header_words,
+                        [
+                          Set_idx ("out", v "o" + v "k", idx "pkts" (v "pos" + i 1 + v "k"));
+                          Set ("k", v "k" + i 1);
+                        ] );
+                    Set_idx ("out", v "o", (v "fl" <<< i 16) ||| (v "off" &&& i 0x1FFF));
+                    If
+                      ( v "off" + v "fl" < v "plen",
+                        [ Set_idx ("out", v "o" + i 1, idx "out" (v "o" + i 1) ||| i 0x2000) ],
+                        [] );
+                    Set ("c", Call ("cksum", [ v "o" ]));
+                    Set_idx ("out", v "o" + i 2, v "c");
+                    Set ("acc", v "acc" + v "c");
+                    (* bounded payload copy *)
+                    Set ("k", i 0);
+                    While
+                      ( (v "k" < v "fl") &&& (v "k" < i copy_cap_words),
+                        [
+                          Set_idx
+                            ( "out",
+                              v "o" + i header_words + v "k",
+                              idx "pkts" (v "pos" + i 1 + i header_words + v "off" + v "k") );
+                          Set ("k", v "k" + i 1);
+                        ] );
+                    Set ("o", (v "o" + i 32) &&& i 511);
+                    Set ("off", v "off" + v "fl");
+                    Set ("nfrags", v "nfrags" + i 1);
+                  ] );
+              Set ("pos", v "pos" + i 1 + i header_words + v "plen");
+            ] );
+        Ret (v "acc");
+      ];
+  }
+
+let main_fn =
+  {
+    name = "main";
+    params = [];
+    locals = [ "limit"; "acc" ];
+    body =
+      [
+        Set ("limit", Call ("gen", []));
+        Set ("acc", Call ("fragment", [ v "limit" ]));
+        Ret (v "acc" + (v "nfrags" <<< i 16) + (v "npackets" <<< i 26));
+      ];
+  }
+
+let program =
+  {
+    globals =
+      [
+        Array ("pkts", Word, buffer_words);
+        Array ("out", Word, out_words);
+        Scalar ("npackets", 0);
+        Scalar ("nfrags", 0);
+      ];
+    funcs = [ gen_fn; cksum_fn; frag_fn; main_fn ];
+  }

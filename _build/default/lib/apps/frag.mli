@@ -1,0 +1,12 @@
+(** Benchmark III — CommBench FRAG (IP packet fragmentation).
+
+    A synthetic stream of IP packets (length-prefixed records in a
+    16 KB buffer, generated in-program) is split into MTU-sized
+    fragments; each fragment gets a copied and adjusted header (more-
+    fragments flag, offset, length) with a freshly computed 16-bit
+    ones-complement checksum, plus a bounded payload copy into a small
+    output ring.  Computation-intensive with a streaming read pattern,
+    so data-cache gains are modest — as the paper finds. *)
+
+val program : Minic.Ast.program
+val buffer_words : int

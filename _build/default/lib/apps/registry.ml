@@ -1,0 +1,47 @@
+type t = {
+  name : string;
+  description : string;
+  source : Minic.Ast.program;
+  program : Isa.Program.t Lazy.t;
+  reps : int;
+  paper_base_seconds : float;
+}
+
+let make name description source reps paper_base_seconds =
+  {
+    name;
+    description;
+    source;
+    program = lazy (Minic.Codegen.compile source);
+    reps;
+    paper_base_seconds;
+  }
+
+let blastn =
+  make "blastn" "BLASTN DNA word-matching search (Benchmark I)" Blastn.program
+    94 10.6
+
+let drr =
+  make "drr" "CommBench deficit round robin scheduler (Benchmark II)"
+    Drr.program 7960 297.98
+
+let frag =
+  make "frag" "CommBench IP fragmentation (Benchmark III)" Frag.program 20544
+    150.75
+
+let arith =
+  make "arith" "BYTE arithmetic loop (Benchmark IV)" Arith.program 935 32.33
+
+let all = [ blastn; drr; frag; arith ]
+
+let find name =
+  let name = String.lowercase_ascii name in
+  match List.find_opt (fun t -> t.name = name) all with
+  | Some t -> t
+  | None -> raise Not_found
+
+let run ?(config = Arch.Config.base) t =
+  Sim.Machine.run ~reps:t.reps config (Lazy.force t.program)
+
+let seconds ?config t = Sim.Machine.seconds (run ?config t)
+let interp_checksum t = Minic.Interp.run ~fuel:2_000_000_000 t.source

@@ -1,0 +1,35 @@
+(** The benchmark registry: one entry per paper benchmark.
+
+    [reps] scales one steady-state epoch up to the paper's wall-clock
+    runtimes (Section 2.5: BLASTN 10.6 s, DRR 5 min, FRAG 2.5 min,
+    Arith 32 s on the default configuration at 25 MHz); see
+    {!Sim.Machine.run} for the cold + (reps-1) x warm model. *)
+
+type t = {
+  name : string;
+  description : string;
+  source : Minic.Ast.program;
+  program : Isa.Program.t Lazy.t;  (** compiled once, on demand *)
+  reps : int;
+  paper_base_seconds : float;      (** the paper's measured default runtime *)
+}
+
+val blastn : t
+val drr : t
+val frag : t
+val arith : t
+
+val all : t list
+(** In the paper's order: BLASTN, DRR, FRAG, Arith. *)
+
+val find : string -> t
+(** Case-insensitive lookup. @raise Not_found *)
+
+val run : ?config:Arch.Config.t -> t -> Sim.Machine.result
+(** Execute on the simulator with the app's [reps] scaling. *)
+
+val seconds : ?config:Arch.Config.t -> t -> float
+(** Scaled runtime in seconds at the nominal clock. *)
+
+val interp_checksum : t -> int
+(** Reference-interpreter checksum (also validates in-bounds safety). *)

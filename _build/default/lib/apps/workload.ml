@@ -1,0 +1,11 @@
+let lcg_next x = ((x * 1103515245) + 12345) land 0x7FFFFFFF
+
+let lcg_stream ~seed ~len =
+  let x = ref (seed land 0x7FFFFFFF) in
+  Array.init len (fun _ ->
+      x := lcg_next !x;
+      !x)
+
+let dna ~seed ~len =
+  let s = lcg_stream ~seed ~len in
+  Array.map (fun x -> (x lsr 13) land 3) s

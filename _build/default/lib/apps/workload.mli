@@ -1,0 +1,18 @@
+(** Deterministic synthetic workload data.
+
+    The paper runs its benchmarks on real inputs (DNA sequences, packet
+    traces); those inputs are not available, so we generate seeded
+    synthetic equivalents with the same access signature.  Everything
+    is a pure function of the seed, keeping simulated runtimes a pure
+    function of the configuration. *)
+
+val dna : seed:int -> len:int -> int array
+(** Bases encoded 0..3, suitable for a [Byte] minic array. *)
+
+val lcg_stream : seed:int -> len:int -> int array
+(** Successive states of the 31-bit [x <- (1103515245 x + 12345) mod
+    2^31] generator — the same recurrence the benchmarks use
+    internally, exposed for building expected values in tests. *)
+
+val lcg_next : int -> int
+(** One step of that recurrence. *)

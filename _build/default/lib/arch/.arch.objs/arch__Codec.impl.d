@@ -1,0 +1,1 @@
+lib/arch/codec.ml: Config List Printf Result String

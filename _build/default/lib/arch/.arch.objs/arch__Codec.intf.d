@@ -1,0 +1,1 @@
+lib/arch/codec.mli: Config

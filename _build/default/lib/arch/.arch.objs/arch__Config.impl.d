@@ -1,0 +1,1 @@
+lib/arch/config.ml: Fmt Format List Printf Result

@@ -1,0 +1,1 @@
+lib/arch/param.ml: Array Config List Printf

@@ -1,0 +1,1 @@
+lib/arch/param.mli: Config

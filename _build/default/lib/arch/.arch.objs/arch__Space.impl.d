@@ -1,0 +1,1 @@
+lib/arch/space.ml: Config List Param

@@ -1,0 +1,1 @@
+lib/arch/space.mli: Config Param

@@ -1,0 +1,132 @@
+let replacement_of_string = function
+  | "rnd" -> Ok Config.Random
+  | "lrr" | "LRR" -> Ok Config.Lrr
+  | "lru" | "LRU" -> Ok Config.Lru
+  | s -> Error (Printf.sprintf "unknown replacement %S" s)
+
+let multiplier_of_string = function
+  | "none" -> Ok Config.Mul_none
+  | "iterative" -> Ok Config.Mul_iterative
+  | "m16x16" -> Ok Config.Mul_16x16
+  | "m16x16+pipe" -> Ok Config.Mul_16x16_pipe
+  | "m32x8" -> Ok Config.Mul_32x8
+  | "m32x16" -> Ok Config.Mul_32x16
+  | "m32x32" -> Ok Config.Mul_32x32
+  | s -> Error (Printf.sprintf "unknown multiplier %S" s)
+
+let divider_of_string = function
+  | "radix2" -> Ok Config.Div_radix2
+  | "none" -> Ok Config.Div_none
+  | s -> Error (Printf.sprintf "unknown divider %S" s)
+
+let cache_to_string (c : Config.cache) =
+  Printf.sprintf "%dx%dx%dx%s" c.ways c.way_kb c.line_words
+    (Config.replacement_to_string c.replacement)
+
+let cache_of_string s =
+  match String.split_on_char 'x' s with
+  | [ ways; kb; line; repl ] -> (
+      match
+        ( int_of_string_opt ways,
+          int_of_string_opt kb,
+          int_of_string_opt line,
+          replacement_of_string repl )
+      with
+      | Some ways, Some way_kb, Some line_words, Ok replacement ->
+          Ok { Config.ways; way_kb; line_words; replacement }
+      | _, _, _, Error e -> Error e
+      | _ -> Error (Printf.sprintf "malformed cache %S" s))
+  | _ -> Error (Printf.sprintf "malformed cache %S (want WxKBxLINExREPL)" s)
+
+let bool_to_string b = if b then "1" else "0"
+
+let bool_of_string = function
+  | "1" | "true" | "on" -> Ok true
+  | "0" | "false" | "off" -> Ok false
+  | s -> Error (Printf.sprintf "expected boolean, got %S" s)
+
+let to_string (t : Config.t) =
+  String.concat ","
+    [
+      "ic=" ^ cache_to_string t.icache;
+      "dc=" ^ cache_to_string t.dcache;
+      "fr=" ^ bool_to_string t.dcache_fast_read;
+      "fw=" ^ bool_to_string t.dcache_fast_write;
+      "fj=" ^ bool_to_string t.iu.fast_jump;
+      "ih=" ^ bool_to_string t.iu.icc_hold;
+      "fd=" ^ bool_to_string t.iu.fast_decode;
+      "ld=" ^ string_of_int t.iu.load_delay;
+      "win=" ^ string_of_int t.iu.reg_windows;
+      "div=" ^ Config.divider_to_string t.iu.divider;
+      "mul=" ^ Config.multiplier_to_string t.iu.multiplier;
+      "inf=" ^ bool_to_string t.infer_mult_div;
+    ]
+
+let apply_field (t : Config.t) key value =
+  let ( let* ) = Result.bind in
+  let int_field v f =
+    match int_of_string_opt v with
+    | Some n -> Ok (f n)
+    | None -> Error (Printf.sprintf "expected integer for %s, got %S" key v)
+  in
+  match key with
+  | "ic" ->
+      let* c = cache_of_string value in
+      Ok { t with Config.icache = c }
+  | "dc" ->
+      let* c = cache_of_string value in
+      Ok { t with Config.dcache = c }
+  | "fr" ->
+      let* b = bool_of_string value in
+      Ok { t with Config.dcache_fast_read = b }
+  | "fw" ->
+      let* b = bool_of_string value in
+      Ok { t with Config.dcache_fast_write = b }
+  | "fj" ->
+      let* b = bool_of_string value in
+      Ok { t with Config.iu = { t.iu with fast_jump = b } }
+  | "ih" ->
+      let* b = bool_of_string value in
+      Ok { t with Config.iu = { t.iu with icc_hold = b } }
+  | "fd" ->
+      let* b = bool_of_string value in
+      Ok { t with Config.iu = { t.iu with fast_decode = b } }
+  | "ld" -> int_field value (fun n -> { t with Config.iu = { t.iu with load_delay = n } })
+  | "win" ->
+      int_field value (fun n -> { t with Config.iu = { t.iu with reg_windows = n } })
+  | "div" ->
+      let* d = divider_of_string value in
+      Ok { t with Config.iu = { t.iu with divider = d } }
+  | "mul" ->
+      let* m = multiplier_of_string value in
+      Ok { t with Config.iu = { t.iu with multiplier = m } }
+  | "inf" ->
+      let* b = bool_of_string value in
+      Ok { t with Config.infer_mult_div = b }
+  | _ -> Error (Printf.sprintf "unknown field %S" key)
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  let fields =
+    String.split_on_char ',' (String.trim s)
+    |> List.filter (fun f -> f <> "")
+  in
+  let* config =
+    List.fold_left
+      (fun acc field ->
+        let* t = acc in
+        match String.index_opt field '=' with
+        | None -> Error (Printf.sprintf "malformed field %S (want key=value)" field)
+        | Some i ->
+            let key = String.sub field 0 i in
+            let value = String.sub field (i + 1) (String.length field - i - 1) in
+            apply_field t key value)
+      (Ok Config.base) fields
+  in
+  let* () = Config.validate config in
+  Ok config
+
+let of_string_exn s =
+  match of_string s with
+  | Ok c -> c
+  | Error m -> invalid_arg ("Codec.of_string_exn: " ^ m)

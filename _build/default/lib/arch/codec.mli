@@ -1,0 +1,19 @@
+(** Compact textual encoding of configurations, for reproducible
+    command lines and logs.
+
+    The format is a comma-separated list of [key=value] fields:
+
+    {v ic=1x4x8xrnd,dc=1x4x8xrnd,fr=0,fw=0,fj=1,ih=1,fd=1,ld=1,win=8,div=radix2,mul=m16x16,inf=1 v}
+
+    where a cache field is [ways x way_kb x line_words x replacement].
+    Fields may appear in any order; omitted fields keep their base
+    value, so ["dc=1x32x4xrnd,mul=m32x32"] is a valid delta encoding.
+    {!to_string} always emits every field. *)
+
+val to_string : Config.t -> string
+
+val of_string : string -> (Config.t, string) result
+(** Decodes and validates. *)
+
+val of_string_exn : string -> Config.t
+(** @raise Invalid_argument on malformed or invalid encodings. *)

@@ -1,0 +1,123 @@
+type replacement = Random | Lrr | Lru
+
+type multiplier =
+  | Mul_none
+  | Mul_iterative
+  | Mul_16x16
+  | Mul_16x16_pipe
+  | Mul_32x8
+  | Mul_32x16
+  | Mul_32x32
+
+type divider = Div_radix2 | Div_none
+
+type cache = {
+  ways : int;
+  way_kb : int;
+  line_words : int;
+  replacement : replacement;
+}
+
+type iu = {
+  fast_jump : bool;
+  icc_hold : bool;
+  fast_decode : bool;
+  load_delay : int;
+  reg_windows : int;
+  divider : divider;
+  multiplier : multiplier;
+}
+
+type t = {
+  icache : cache;
+  dcache : cache;
+  dcache_fast_read : bool;
+  dcache_fast_write : bool;
+  iu : iu;
+  infer_mult_div : bool;
+}
+
+let base_cache = { ways = 1; way_kb = 4; line_words = 8; replacement = Random }
+
+let base =
+  {
+    icache = base_cache;
+    dcache = base_cache;
+    dcache_fast_read = false;
+    dcache_fast_write = false;
+    iu =
+      {
+        fast_jump = true;
+        icc_hold = true;
+        fast_decode = true;
+        load_delay = 1;
+        reg_windows = 8;
+        divider = Div_radix2;
+        multiplier = Mul_16x16;
+      };
+    infer_mult_div = true;
+  }
+
+let valid_way_kbs = [ 1; 2; 4; 8; 16; 32; 64 ]
+let valid_ways = [ 1; 2; 3; 4 ]
+let valid_line_words = [ 4; 8 ]
+let valid_reg_windows = 8 :: List.init 17 (fun i -> 16 + i)
+
+let validate_cache which c =
+  let err fmt = Format.kasprintf (fun s -> Error (which ^ ": " ^ s)) fmt in
+  if not (List.mem c.ways valid_ways) then err "ways %d not in 1..4" c.ways
+  else if not (List.mem c.way_kb valid_way_kbs) then
+    err "way size %d KB not in {1,2,4,8,16,32,64}" c.way_kb
+  else if not (List.mem c.line_words valid_line_words) then
+    err "line size %d words not in {4,8}" c.line_words
+  else
+    match c.replacement with
+    | Lrr when c.ways <> 2 -> err "LRR replacement requires 2-way associativity"
+    | Lru when c.ways < 2 -> err "LRU replacement requires multi-way associativity"
+    | Random | Lrr | Lru -> Ok ()
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let* () = validate_cache "icache" t.icache in
+  let* () = validate_cache "dcache" t.dcache in
+  if not (List.mem t.iu.load_delay [ 1; 2 ]) then
+    Error (Printf.sprintf "load delay %d not in {1,2}" t.iu.load_delay)
+  else if not (List.mem t.iu.reg_windows valid_reg_windows) then
+    Error (Printf.sprintf "register windows %d not in {8,16..32}" t.iu.reg_windows)
+  else Ok ()
+
+let is_valid t = Result.is_ok (validate t)
+let equal (a : t) (b : t) = a = b
+
+let replacement_to_string = function
+  | Random -> "rnd"
+  | Lrr -> "LRR"
+  | Lru -> "LRU"
+
+let multiplier_to_string = function
+  | Mul_none -> "none"
+  | Mul_iterative -> "iterative"
+  | Mul_16x16 -> "m16x16"
+  | Mul_16x16_pipe -> "m16x16+pipe"
+  | Mul_32x8 -> "m32x8"
+  | Mul_32x16 -> "m32x16"
+  | Mul_32x32 -> "m32x32"
+
+let divider_to_string = function Div_radix2 -> "radix2" | Div_none -> "none"
+
+let pp_cache ppf c =
+  Fmt.pf ppf "%dx%dKB/line%d/%s" c.ways c.way_kb c.line_words
+    (replacement_to_string c.replacement)
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>icache %a@,\
+     dcache %a fr=%b fw=%b@,\
+     iu fj=%b icc=%b fd=%b ld=%d win=%d div=%s mul=%s@,\
+     infer=%b@]"
+    pp_cache t.icache pp_cache t.dcache t.dcache_fast_read t.dcache_fast_write
+    t.iu.fast_jump t.iu.icc_hold t.iu.fast_decode t.iu.load_delay
+    t.iu.reg_windows
+    (divider_to_string t.iu.divider)
+    (multiplier_to_string t.iu.multiplier)
+    t.infer_mult_div

@@ -1,0 +1,71 @@
+(** LEON2 microarchitecture configurations (paper Figure 1).
+
+    A configuration fixes every reconfigurable parameter the paper
+    customizes: instruction and data caches, integer-unit options, and
+    the synthesis option.  Terminology follows LEON: a cache has 1-4
+    "sets" (ways, i.e. associativity), each way holding [way_kb]
+    kilobytes with lines of 4 or 8 words. *)
+
+type replacement = Random | Lrr | Lru
+
+type multiplier =
+  | Mul_none       (** software multiplication routine *)
+  | Mul_iterative  (** iterative shift-and-add unit *)
+  | Mul_16x16      (** 16x16 array multiplier (default) *)
+  | Mul_16x16_pipe (** 16x16 with pipeline registers *)
+  | Mul_32x8
+  | Mul_32x16
+  | Mul_32x32
+
+type divider = Div_radix2 | Div_none
+
+type cache = {
+  ways : int;         (** associativity, 1..4 (LEON "sets") *)
+  way_kb : int;       (** size of each way in KB: 1,2,4,8,16,32,64 *)
+  line_words : int;   (** 4 or 8 32-bit words per line *)
+  replacement : replacement;
+}
+
+type iu = {
+  fast_jump : bool;
+  icc_hold : bool;
+  fast_decode : bool;
+  load_delay : int;   (** 1 or 2 clock cycles *)
+  reg_windows : int;  (** 8 or 16..32 *)
+  divider : divider;
+  multiplier : multiplier;
+}
+
+type t = {
+  icache : cache;
+  dcache : cache;
+  dcache_fast_read : bool;
+  dcache_fast_write : bool;
+  iu : iu;
+  infer_mult_div : bool;
+}
+
+val base : t
+(** The default out-of-the-box LEON configuration the paper starts
+    from: 1-way 4 KB caches with 8-word lines and random replacement,
+    fast read/write disabled, fast jump / ICC hold / fast decode
+    enabled, load delay 1, 8 register windows, radix-2 divider, 16x16
+    multiplier, mult/div inference on. *)
+
+val valid_way_kbs : int list
+val valid_ways : int list
+val valid_line_words : int list
+val valid_reg_windows : int list
+
+val validate : t -> (unit, string) result
+(** Checks LEON's structural rules: parameter ranges, LRR only with
+    2-way associativity, LRU only with multi-way associativity. *)
+
+val is_valid : t -> bool
+
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val pp_cache : cache Fmt.t
+val replacement_to_string : replacement -> string
+val multiplier_to_string : multiplier -> string
+val divider_to_string : divider -> string

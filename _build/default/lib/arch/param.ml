@@ -1,0 +1,173 @@
+type group =
+  | Icache_ways
+  | Icache_way_kb
+  | Icache_line
+  | Icache_repl
+  | Dcache_ways
+  | Dcache_way_kb
+  | Dcache_line
+  | Dcache_repl
+  | Fast_jump
+  | Icc_hold
+  | Fast_decode
+  | Load_delay
+  | Fast_read
+  | Divider
+  | Infer_mult_div
+  | Reg_windows
+  | Multiplier
+  | Fast_write
+
+type var = {
+  index : int;
+  group : group;
+  label : string;
+  apply : Config.t -> Config.t;
+}
+
+let set_icache c f = { c with Config.icache = f c.Config.icache }
+let set_dcache c f = { c with Config.dcache = f c.Config.dcache }
+let set_iu c f = { c with Config.iu = f c.Config.iu }
+
+let icache_ways n c = set_icache c (fun i -> { i with Config.ways = n })
+let icache_kb n c = set_icache c (fun i -> { i with Config.way_kb = n })
+let icache_line n c = set_icache c (fun i -> { i with Config.line_words = n })
+let icache_repl r c = set_icache c (fun i -> { i with Config.replacement = r })
+let dcache_ways n c = set_dcache c (fun d -> { d with Config.ways = n })
+let dcache_kb n c = set_dcache c (fun d -> { d with Config.way_kb = n })
+let dcache_line n c = set_dcache c (fun d -> { d with Config.line_words = n })
+let dcache_repl r c = set_dcache c (fun d -> { d with Config.replacement = r })
+
+(* The perturbation list mirrors the paper's x1..x52 numbering exactly;
+   see the interface documentation. *)
+let specs : (group * string * (Config.t -> Config.t)) list =
+  [
+    (Icache_ways, "icachesets2", icache_ways 2);
+    (Icache_ways, "icachesets3", icache_ways 3);
+    (Icache_ways, "icachesets4", icache_ways 4);
+    (Icache_way_kb, "icachesetsz1", icache_kb 1);
+    (Icache_way_kb, "icachesetsz2", icache_kb 2);
+    (Icache_way_kb, "icachesetsz8", icache_kb 8);
+    (Icache_way_kb, "icachesetsz16", icache_kb 16);
+    (Icache_way_kb, "icachesetsz32", icache_kb 32);
+    (Icache_line, "icachelinesz4", icache_line 4);
+    (Icache_repl, "icacheLRR", icache_repl Config.Lrr);
+    (Icache_repl, "icacheLRU", icache_repl Config.Lru);
+    (Dcache_ways, "dcachesets2", dcache_ways 2);
+    (Dcache_ways, "dcachesets3", dcache_ways 3);
+    (Dcache_ways, "dcachesets4", dcache_ways 4);
+    (Dcache_way_kb, "dcachesetsz1", dcache_kb 1);
+    (Dcache_way_kb, "dcachesetsz2", dcache_kb 2);
+    (Dcache_way_kb, "dcachesetsz8", dcache_kb 8);
+    (Dcache_way_kb, "dcachesetsz16", dcache_kb 16);
+    (Dcache_way_kb, "dcachesetsz32", dcache_kb 32);
+    (Dcache_line, "dcachelinesz4", dcache_line 4);
+    (Dcache_repl, "dcacheLRR", dcache_repl Config.Lrr);
+    (Dcache_repl, "dcacheLRU", dcache_repl Config.Lru);
+    ( Fast_jump,
+      "nofastjump",
+      fun c -> set_iu c (fun u -> { u with Config.fast_jump = false }) );
+    ( Icc_hold,
+      "noicchold",
+      fun c -> set_iu c (fun u -> { u with Config.icc_hold = false }) );
+    ( Fast_decode,
+      "nofastdecode",
+      fun c -> set_iu c (fun u -> { u with Config.fast_decode = false }) );
+    ( Load_delay,
+      "loaddelay2",
+      fun c -> set_iu c (fun u -> { u with Config.load_delay = 2 }) );
+    ( Fast_read,
+      "dcachefastread",
+      fun c -> { c with Config.dcache_fast_read = true } );
+    ( Divider,
+      "nodivider",
+      fun c -> set_iu c (fun u -> { u with Config.divider = Config.Div_none })
+    );
+    ( Infer_mult_div,
+      "noinfermuldiv",
+      fun c -> { c with Config.infer_mult_div = false } );
+  ]
+  @ List.init 17 (fun i ->
+        let w = 16 + i in
+        ( Reg_windows,
+          Printf.sprintf "regwindows%d" w,
+          fun c -> set_iu c (fun u -> { u with Config.reg_windows = w }) ))
+  @ (let mult m name =
+       ( Multiplier,
+         "multiplier" ^ name,
+         fun c -> set_iu c (fun u -> { u with Config.multiplier = m }) )
+     in
+     [
+       mult Config.Mul_iterative "iter";
+       mult Config.Mul_16x16_pipe "m16x16pipe";
+       mult Config.Mul_32x8 "m32x8";
+       mult Config.Mul_32x16 "m32x16";
+       mult Config.Mul_32x32 "m32x32";
+     ])
+  @ [
+      ( Fast_write,
+        "dcachefastwrite",
+        fun c -> { c with Config.dcache_fast_write = true } );
+    ]
+
+let all =
+  List.mapi
+    (fun i (group, label, apply) -> { index = i + 1; group; label; apply })
+    specs
+
+let count = List.length all
+let table = Array.of_list all
+
+let var i =
+  if i < 1 || i > count then
+    invalid_arg (Printf.sprintf "Param.var: index %d not in 1..%d" i count)
+  else table.(i - 1)
+
+let groups =
+  [
+    Icache_ways;
+    Icache_way_kb;
+    Icache_line;
+    Icache_repl;
+    Dcache_ways;
+    Dcache_way_kb;
+    Dcache_line;
+    Dcache_repl;
+    Fast_jump;
+    Icc_hold;
+    Fast_decode;
+    Load_delay;
+    Fast_read;
+    Divider;
+    Infer_mult_div;
+    Reg_windows;
+    Multiplier;
+    Fast_write;
+  ]
+
+let group_members g = List.filter (fun v -> v.group = g) all
+
+let group_to_string = function
+  | Icache_ways -> "icache ways"
+  | Icache_way_kb -> "icache way size"
+  | Icache_line -> "icache line size"
+  | Icache_repl -> "icache replacement"
+  | Dcache_ways -> "dcache ways"
+  | Dcache_way_kb -> "dcache way size"
+  | Dcache_line -> "dcache line size"
+  | Dcache_repl -> "dcache replacement"
+  | Fast_jump -> "fast jump"
+  | Icc_hold -> "ICC hold"
+  | Fast_decode -> "fast decode"
+  | Load_delay -> "load delay"
+  | Fast_read -> "dcache fast read"
+  | Divider -> "divider"
+  | Infer_mult_div -> "infer mult/div"
+  | Reg_windows -> "register windows"
+  | Multiplier -> "multiplier"
+  | Fast_write -> "dcache fast write"
+
+let apply_all config vars =
+  List.fold_left (fun c v -> v.apply c) config vars
+
+let dcache_size_dims = [ Dcache_ways; Dcache_way_kb ]

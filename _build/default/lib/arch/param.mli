@@ -1,0 +1,82 @@
+(** The 52 binary decision variables of the paper's Section 4.
+
+    Each variable [x_i] (1-based, matching the paper's numbering)
+    stands for one single-parameter perturbation of the base
+    configuration.  Selecting a set of variables applies all the
+    corresponding perturbations simultaneously.
+
+    Numbering (from Section 4 of the paper):
+    - x1..x3    icache ways 2,3,4
+    - x4..x8    icache way size 1,2,8,16,32 KB
+    - x9        icache line size 4 words
+    - x10,x11   icache replacement LRR, LRU
+    - x12..x14  dcache ways 2,3,4
+    - x15..x19  dcache way size 1,2,8,16,32 KB
+    - x20       dcache line size 4 words
+    - x21,x22   dcache replacement LRR, LRU
+    - x23       fast jump disabled
+    - x24       ICC hold disabled
+    - x25       fast decode disabled
+    - x26       load delay 2
+    - x27       dcache fast read enabled
+    - x28       divider none
+    - x29       infer mult/div false
+    - x30..x46  register windows 16..32
+    - x47..x51  multiplier iterative, 16x16+pipe, 32x8, 32x16, 32x32
+    - x52       dcache fast write enabled *)
+
+type group =
+  | Icache_ways
+  | Icache_way_kb
+  | Icache_line
+  | Icache_repl
+  | Dcache_ways
+  | Dcache_way_kb
+  | Dcache_line
+  | Dcache_repl
+  | Fast_jump
+  | Icc_hold
+  | Fast_decode
+  | Load_delay
+  | Fast_read
+  | Divider
+  | Infer_mult_div
+  | Reg_windows
+  | Multiplier
+  | Fast_write
+
+type var = {
+  index : int;  (** 1..52, the paper's x_i subscript *)
+  group : group;
+  label : string;  (** e.g. ["dcachesetsz32"] *)
+  apply : Config.t -> Config.t;
+}
+
+val count : int
+(** 52. *)
+
+val all : var list
+(** All variables in index order, [index] running 1..[count]. *)
+
+val var : int -> var
+(** [var i] is the variable with 1-based index [i].
+    @raise Invalid_argument if [i] is out of range. *)
+
+val groups : group list
+(** All groups in declaration order. *)
+
+val group_members : group -> var list
+(** Variables belonging to a group, in index order.  Groups with more
+    than one member carry an at-most-one (SOS1) constraint in the
+    paper's formulation. *)
+
+val group_to_string : group -> string
+
+val apply_all : Config.t -> var list -> Config.t
+(** Apply several perturbations to a configuration.  The variables are
+    assumed to respect the SOS1 constraints (at most one per group);
+    later perturbations of the same field would otherwise win. *)
+
+val dcache_size_dims : group list
+(** The two groups used for the paper's Section 5 scaled-down study:
+    dcache ways and dcache way size. *)

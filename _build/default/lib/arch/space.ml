@@ -1,0 +1,68 @@
+(* Parameter-value accounting for the Figure 1 table.  Each entry is
+   (parameter name, number of values including the default). *)
+let value_counts =
+  [
+    ("icache ways", 4);
+    ("icache way size", 7);
+    ("icache line size", 2);
+    ("icache replacement", 3);
+    ("dcache ways", 4);
+    ("dcache way size", 7);
+    ("dcache line size", 2);
+    ("dcache replacement", 3);
+    ("dcache fast read", 2);
+    ("dcache fast write", 2);
+    ("fast jump", 2);
+    ("ICC hold", 2);
+    ("fast decode", 2);
+    ("load delay", 2);
+    ("register windows", 18);
+    ("divider", 2);
+    ("multiplier", 7);
+    ("infer mult/div", 2);
+  ]
+
+let parameter_value_count = List.fold_left (fun a (_, n) -> a + n) 0 value_counts
+let one_at_a_time_count = Param.count
+
+let exhaustive_count = List.fold_left (fun a (_, n) -> a * n) 1 value_counts
+
+let exhaustive_valid_count =
+  (* Only replacement x associativity interacts structurally: random is
+     always valid, LRR needs exactly 2 ways, LRU needs >= 2 ways.  The
+     valid (ways, replacement) pairs therefore number 4 + 1 + 3 = 8 per
+     cache instead of 4 * 3 = 12. *)
+  let valid_ways_repl = 8 and all_ways_repl = 12 in
+  exhaustive_count / (all_ways_repl * all_ways_repl)
+  * (valid_ways_repl * valid_ways_repl)
+
+let perturbations () =
+  List.map (fun v -> (v, v.Param.apply Config.base)) Param.all
+
+let dcache_geometry () =
+  List.concat_map
+    (fun ways ->
+      List.map
+        (fun kb ->
+          { Config.base with dcache = { Config.base.dcache with ways; way_kb = kb } })
+        Config.valid_way_kbs)
+    Config.valid_ways
+
+let subspace groups =
+  let options_of_group g =
+    (fun c -> c) :: List.map (fun v -> v.Param.apply) (Param.group_members g)
+  in
+  let configs =
+    List.fold_left
+      (fun acc g ->
+        List.concat_map
+          (fun c -> List.map (fun f -> f c) (options_of_group g))
+          acc)
+      [ Config.base ] groups
+  in
+  List.filter Config.is_valid configs
+
+(* The paper's Section 5 accounting: dcache parameter value counts of
+   4, 7, 4, 2, 3, 2 and 2 (the third "4" is associativity, which the
+   paper counts separately from the number of sets). *)
+let dcache_exhaustive_full_count = 4 * 7 * 4 * 2 * 3 * 2 * 2

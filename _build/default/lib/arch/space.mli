@@ -1,0 +1,44 @@
+(** Design-space arithmetic and enumeration.
+
+    The paper contrasts the exhaustive configuration space (billions of
+    points) with the linear one-at-a-time space (52 points) its
+    optimizer actually measures. *)
+
+val parameter_value_count : int
+(** Total number of parameter values across all parameters of
+    Figure 1, counting every value including defaults. *)
+
+val one_at_a_time_count : int
+(** Number of single-perturbation configurations, i.e. 52: the number
+    of non-default parameter values the optimizer measures. *)
+
+val exhaustive_count : int
+(** Cardinality of the full cross product of all parameter values
+    (validity constraints not applied), the quantity the paper reports
+    as infeasible to enumerate. *)
+
+val exhaustive_valid_count : int
+(** Cross-product cardinality counting only structurally valid
+    replacement/associativity combinations. *)
+
+val perturbations : unit -> (Param.var * Config.t) list
+(** The 52 one-at-a-time configurations: each paper variable paired
+    with the base configuration after applying just that variable. *)
+
+val dcache_geometry : unit -> Config.t list
+(** The Section 5 scaled-down exhaustive subspace: all 28 combinations
+    of dcache ways (1-4) and way size (1..64 KB excluded at 64), other
+    parameters at base.  Structural validity is guaranteed; FPGA
+    feasibility is for the synthesis model to judge. *)
+
+val subspace : Param.group list -> Config.t list
+(** Exhaustive cross product over the given parameter groups, other
+    parameters at base.  Each group contributes its base value plus
+    every perturbed value; structurally invalid combinations are
+    dropped. *)
+
+val dcache_exhaustive_full_count : int
+(** The paper's 2,688: exhaustive combinations of all seven dcache
+    parameters (ways, way size incl. 64 KB, line size, replacement,
+    fast read, fast write, and associativity counted as in the paper's
+    Section 5 parameter list). *)

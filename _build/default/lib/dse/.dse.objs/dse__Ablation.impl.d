@@ -1,0 +1,1 @@
+lib/dse/ablation.ml: Apps Arch Cost Format Formulate List Measure Optimizer Report String Synth

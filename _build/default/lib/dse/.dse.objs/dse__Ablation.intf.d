@@ -1,0 +1,1 @@
+lib/dse/ablation.mli: Apps Cost Format Formulate Measure Optimizer

@@ -1,0 +1,1 @@
+lib/dse/convex.ml: Apps Arch Cost Format Formulate List Measure Optim Optimizer

@@ -1,0 +1,1 @@
+lib/dse/convex.mli: Arch Cost Format Measure Optimizer

@@ -1,0 +1,1 @@
+lib/dse/cost.ml: Fmt Synth

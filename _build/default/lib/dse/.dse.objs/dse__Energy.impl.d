@@ -1,0 +1,1 @@
+lib/dse/energy.ml: Apps Arch Cost Format Formulate Hashtbl List Measure Optim Report Sim String Synth

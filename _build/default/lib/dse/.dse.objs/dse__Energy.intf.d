@@ -1,0 +1,1 @@
+lib/dse/energy.mli: Apps Arch Cost Format Sim

@@ -1,0 +1,1 @@
+lib/dse/exhaustive.ml: Arch Cost List Measure Synth

@@ -1,0 +1,1 @@
+lib/dse/exhaustive.mli: Apps Arch Cost

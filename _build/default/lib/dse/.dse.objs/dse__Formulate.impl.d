@@ -1,0 +1,1 @@
+lib/dse/formulate.ml: Arch Array Cost Hashtbl List Measure Optim

@@ -1,0 +1,1 @@
+lib/dse/formulate.mli: Arch Cost Measure Optim

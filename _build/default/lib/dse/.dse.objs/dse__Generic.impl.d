@@ -1,0 +1,1 @@
+lib/dse/generic.ml: Array Fun List Optim

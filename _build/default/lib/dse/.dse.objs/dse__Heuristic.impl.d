@@ -1,0 +1,1 @@
+lib/dse/heuristic.ml: Arch Cost Format List Measure Optimizer Printf Sim Synth

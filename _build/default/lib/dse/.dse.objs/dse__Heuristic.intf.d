@@ -1,0 +1,1 @@
+lib/dse/heuristic.mli: Apps Arch Cost Format Sim

@@ -1,0 +1,1 @@
+lib/dse/measure.ml: Apps Arch Cost Hashtbl Lazy List Parallel Synth

@@ -1,0 +1,1 @@
+lib/dse/measure.mli: Apps Arch Cost

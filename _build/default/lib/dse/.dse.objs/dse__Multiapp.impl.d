@@ -1,0 +1,1 @@
+lib/dse/multiapp.ml: Apps Arch Cost Format Formulate List Measure Optim Printf Report String

@@ -1,0 +1,1 @@
+lib/dse/multiapp.mli: Apps Arch Cost Format

@@ -1,0 +1,1 @@
+lib/dse/optimizer.ml: Arch Cost Fmt Formulate List Measure Optim Synth

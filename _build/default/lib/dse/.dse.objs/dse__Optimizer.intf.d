@@ -1,0 +1,1 @@
+lib/dse/optimizer.mli: Apps Arch Cost Fmt Formulate Measure Optim

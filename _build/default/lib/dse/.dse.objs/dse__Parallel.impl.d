@@ -1,0 +1,1 @@
+lib/dse/parallel.ml: Array Atomic Domain List

@@ -1,0 +1,1 @@
+lib/dse/plot.ml: Array Format List Printf String

@@ -1,0 +1,1 @@
+lib/dse/plot.mli: Format

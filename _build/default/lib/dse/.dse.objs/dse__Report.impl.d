@@ -1,0 +1,1 @@
+lib/dse/report.ml: Apps Arch Cost Exhaustive Float Format List Measure Optimizer Option Paper Printf String Synth

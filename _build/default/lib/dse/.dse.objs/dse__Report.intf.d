@@ -1,0 +1,1 @@
+lib/dse/report.mli: Apps Arch Exhaustive Format Measure Optimizer

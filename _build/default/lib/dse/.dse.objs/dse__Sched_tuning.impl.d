@@ -1,0 +1,1 @@
+lib/dse/sched_tuning.ml: Apps Arch Array Format Generic List Minic Sim String

@@ -1,0 +1,1 @@
+lib/dse/sched_tuning.mli: Format Generic

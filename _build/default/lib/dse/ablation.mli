@@ -1,0 +1,49 @@
+(** Ablation studies for the design choices the paper discusses.
+
+    - {b Synthesis measurement noise}: the paper's LUT columns carry
+      place-and-route variance, which explains its resource optimizer
+      picking extra register windows flagged "sub-optimal".  Injecting
+      deterministic noise into our measurements reproduces the
+      phenomenon and quantifies its cost.
+    - {b Constraint form}: the paper keeps the LUT constraint linear
+      and the BRAM constraint nonlinear (product of ways and way-size
+      terms), and Section 6 reports what each swap would do.  We rerun
+      the optimizer under all four variants.
+    - {b Parameter independence}: the central assumption.  We measure
+      the prediction error (predicted vs actually-built runtime) of the
+      selected configuration per application. *)
+
+type noise_point = {
+  amplitude : float;                (** LUT noise, fraction of device *)
+  outcome : Optimizer.outcome;
+  objective_regret : float;
+      (** true-cost objective of the noisy pick minus that of the
+          noise-free pick, in objective units (positive = worse) *)
+}
+
+val noise_study :
+  ?amplitudes:float list -> weights:Cost.weights -> Apps.Registry.t -> noise_point list
+(** Default amplitudes: 0, 0.002, 0.005, 0.01. *)
+
+type variant_point = {
+  variant : Formulate.variant;
+  outcome : Optimizer.outcome;
+  bram_prediction_error : float;
+      (** predicted minus actual BRAM%% of the selected configuration *)
+}
+
+val variant_study : weights:Cost.weights -> Measure.model -> variant_point list
+(** The four lut-linearity x bram-linearity combinations on one model. *)
+
+type independence_point = {
+  app : Apps.Registry.t;
+  predicted_gain : float;  (** percent runtime change predicted *)
+  actual_gain : float;     (** percent runtime change measured *)
+}
+
+val independence_study : weights:Cost.weights -> independence_point list
+(** All four benchmarks under the given weights. *)
+
+val print_noise : Format.formatter -> noise_point list -> unit
+val print_variants : Format.formatter -> variant_point list -> unit
+val print_independence : Format.formatter -> independence_point list -> unit

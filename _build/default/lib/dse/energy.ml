@@ -1,0 +1,135 @@
+type measurement = {
+  seconds : float;
+  millijoules : float;
+  average_milliwatts : float;
+  cost : Cost.t;
+}
+
+(* Static power: leakage plus clock-tree load of the occupied fabric. *)
+let static_milliwatts config =
+  let r = Synth.Estimate.config config in
+  20.0
+  +. (0.002 *. float_of_int r.Synth.Resource.luts)
+  +. (0.05 *. float_of_int r.Synth.Resource.brams)
+
+let log2f n = log (float_of_int n) /. log 2.0
+
+(* Per-event dynamic energies in nanojoules. *)
+let cache_access_nj (c : Arch.Config.cache) =
+  0.25 +. (0.08 *. float_of_int c.ways) +. (0.04 *. log2f (c.way_kb * 1024))
+
+let line_fill_nj (c : Arch.Config.cache) =
+  6.0 +. (0.8 *. float_of_int c.line_words)
+
+let mult_nj = function
+  | Arch.Config.Mul_none -> 12.0      (* software shift-add loop *)
+  | Arch.Config.Mul_iterative -> 6.0  (* 35 cycles of a small adder *)
+  | Arch.Config.Mul_16x16 -> 2.2
+  | Arch.Config.Mul_16x16_pipe -> 2.3
+  | Arch.Config.Mul_32x8 -> 2.8
+  | Arch.Config.Mul_32x16 -> 3.6
+  | Arch.Config.Mul_32x32 -> 4.8      (* one pass of a big array *)
+
+let div_nj = function
+  | Arch.Config.Div_radix2 -> 12.0
+  | Arch.Config.Div_none -> 30.0      (* software long division *)
+
+let dynamic_nanojoules_per_event (config : Arch.Config.t) (p : Sim.Profiler.t) =
+  let f = float_of_int in
+  (0.9 *. f p.Sim.Profiler.instructions)
+  +. (cache_access_nj config.icache *. f p.Sim.Profiler.instructions)
+  +. (cache_access_nj config.dcache
+     *. f (p.Sim.Profiler.dcache_reads + p.Sim.Profiler.dcache_writes))
+  +. (line_fill_nj config.icache *. f p.Sim.Profiler.icache_misses)
+  +. (line_fill_nj config.dcache *. f p.Sim.Profiler.dcache_read_misses)
+  +. (1.2 *. f p.Sim.Profiler.dcache_writes) (* write-through bus traffic *)
+  +. (mult_nj config.iu.multiplier *. f p.Sim.Profiler.mults)
+  +. (div_nj config.iu.divider *. f p.Sim.Profiler.divs)
+  +. (0.3 *. f p.Sim.Profiler.taken_branches)
+
+let measure app config =
+  let result = Apps.Registry.run ~config app in
+  let seconds = Sim.Machine.seconds result in
+  let dynamic_mj =
+    dynamic_nanojoules_per_event config result.Sim.Machine.profile /. 1e6
+  in
+  let static_mw = static_milliwatts config in
+  let millijoules = (static_mw *. seconds) +. dynamic_mj in
+  {
+    seconds;
+    millijoules;
+    average_milliwatts = millijoules /. seconds;
+    cost = { Cost.seconds; resources = Synth.Estimate.config config };
+  }
+
+type weights = { w1 : float; w2 : float; w3 : float }
+
+let energy_weights = { w1 = 1.0; w2 = 1.0; w3 = 100.0 }
+
+type outcome = {
+  base : measurement;
+  selected : Arch.Param.var list;
+  config : Arch.Config.t;
+  actual : measurement;
+  runtime_change_percent : float;
+  energy_change_percent : float;
+}
+
+(* Marginal energy delta of one decision variable, in percent of the
+   base energy, measured against the same reference Measure uses. *)
+let epsilon app ~base (var : Arch.Param.var) =
+  let reference = Measure.reference_config var in
+  let ref_m =
+    if Arch.Config.equal reference Arch.Config.base then base
+    else measure app reference
+  in
+  let m = measure app (var.Arch.Param.apply reference) in
+  100.0 *. (m.millijoules -. ref_m.millijoules) /. base.millijoules
+
+let optimize ~weights app =
+  let model = Measure.build app in
+  let base = measure app Arch.Config.base in
+  let eps = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Measure.row) ->
+      Hashtbl.add eps r.Measure.var.Arch.Param.index
+        (epsilon app ~base r.Measure.var))
+    model.Measure.rows;
+  let objective (r : Measure.row) =
+    let d = r.Measure.deltas in
+    (weights.w1 *. d.Cost.rho)
+    +. (weights.w2 *. (d.Cost.lambda +. d.Cost.beta))
+    +. (weights.w3 *. Hashtbl.find eps r.Measure.var.Arch.Param.index)
+  in
+  let problem = Formulate.make_custom ~objective model in
+  match Optim.Binlp.solve problem with
+  | None -> failwith "Energy.optimize: infeasible"
+  | Some solution ->
+      let selected = Formulate.vars_of_solution model solution in
+      let config = Arch.Param.apply_all Arch.Config.base selected in
+      let actual = measure app config in
+      {
+        base;
+        selected;
+        config;
+        actual;
+        runtime_change_percent =
+          100.0 *. (actual.seconds -. base.seconds) /. base.seconds;
+        energy_change_percent =
+          100.0 *. (actual.millijoules -. base.millijoules) /. base.millijoules;
+      }
+
+let print_outcome ppf o =
+  Format.fprintf ppf "  reconfigured: %s@."
+    (String.concat ", "
+       (List.map
+          (fun (k, v) -> k ^ "=" ^ v)
+          (Report.changed_params o.config)));
+  Format.fprintf ppf
+    "  base:   %.3f s, %.1f mJ (%.1f mW average)@." o.base.seconds
+    o.base.millijoules o.base.average_milliwatts;
+  Format.fprintf ppf
+    "  tuned:  %.3f s, %.1f mJ (%.1f mW average)@." o.actual.seconds
+    o.actual.millijoules o.actual.average_milliwatts;
+  Format.fprintf ppf "  energy %+.2f%%, runtime %+.2f%%@."
+    o.energy_change_percent o.runtime_change_percent

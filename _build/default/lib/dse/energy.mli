@@ -1,0 +1,53 @@
+(** Power and energy extension — the paper's Section 7 future work
+    ("we can include power and energy optimizations").
+
+    A simple but structurally faithful FPGA energy model:
+
+    - {b static power} grows with occupied LUTs and BRAMs (leakage and
+      clock-tree load), so slower configurations pay static energy for
+      longer;
+    - {b dynamic energy} is event-based, charged from the profiler's
+      counters: per instruction, per cache access (larger and wider
+      caches burn more per access), per line fill from external memory,
+      per multiply/divide (bigger array multipliers switch more).
+
+    This creates the classic energy tradeoff the literature the paper
+    cites (Gordon-Ross et al.) explores: growing a cache cuts miss
+    energy and runtime but raises per-access energy and static power —
+    the energy-optimal cache is in the middle.
+
+    The optimizer is extended with a third objective weight [w3] on
+    energy deltas, keeping the same one-at-a-time model, constraints
+    and exact solver. *)
+
+type measurement = {
+  seconds : float;
+  millijoules : float;
+  average_milliwatts : float;
+  cost : Cost.t;
+}
+
+val static_milliwatts : Arch.Config.t -> float
+val dynamic_nanojoules_per_event : Arch.Config.t -> Sim.Profiler.t -> float
+(** Total dynamic energy of a profiled execution, in nanojoules. *)
+
+val measure : Apps.Registry.t -> Arch.Config.t -> measurement
+
+type weights = { w1 : float; w2 : float; w3 : float }
+(** runtime%%, chip%%, energy%% weights. *)
+
+val energy_weights : weights
+(** w1 = 1, w2 = 1, w3 = 100: minimize energy first. *)
+
+type outcome = {
+  base : measurement;
+  selected : Arch.Param.var list;
+  config : Arch.Config.t;
+  actual : measurement;
+  runtime_change_percent : float;
+  energy_change_percent : float;
+}
+
+val optimize : weights:weights -> Apps.Registry.t -> outcome
+
+val print_outcome : Format.formatter -> outcome -> unit

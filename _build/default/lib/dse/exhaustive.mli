@@ -1,0 +1,27 @@
+(** Exhaustive-search baseline over scaled-down subspaces (the paper's
+    Section 5 analysis).
+
+    The full space is out of reach (billions of configurations; the
+    paper estimates 56 days for the 2,688 dcache combinations alone),
+    so the paper — and we — exhaustively enumerate the 28 dcache
+    (ways x way-size) geometry points and compare the optimizer's pick
+    against the true optimum. *)
+
+type point = {
+  config : Arch.Config.t;
+  cost : Cost.t option;  (** [None] when the FPGA cannot fit it *)
+}
+
+val dcache_sweep : Apps.Registry.t -> point list
+(** All 28 ways x way-size combinations, base otherwise, in the
+    paper's Figure 2 row order (ways-major). *)
+
+val sweep : Apps.Registry.t -> Arch.Config.t list -> point list
+
+val best_runtime : point list -> point
+(** Feasible point with minimal runtime; ties broken by fewer BRAM
+    then fewer LUTs (the paper's "simple sort").
+    @raise Not_found if no point is feasible. *)
+
+val best_weighted : Cost.weights -> base:Cost.t -> point list -> point
+(** Feasible point minimizing the weighted objective. *)

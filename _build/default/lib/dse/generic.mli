@@ -1,0 +1,60 @@
+(** The paper's technique, abstracted — its conclusion proposes
+    "evaluat[ing] our technique on other configuration and feature
+    management problems".
+
+    A {!DOMAIN} supplies a base configuration, SOS1 option groups, a
+    black-box cost measurement over named dimensions, and optional
+    per-dimension budgets.  {!Make} then runs the paper's method
+    unchanged: perturb one option at a time, record percent deltas per
+    dimension, minimize the weighted delta sum under the SOS1 and
+    budget constraints with the exact solver, decode, and verify by a
+    final measurement.  (Domain-specific nonlinear couplings like the
+    LEON cache products are a property of that domain's formulation;
+    the generic path uses linear budgets.) *)
+
+module type DOMAIN = sig
+  type config
+
+  val name : string
+  val base : config
+  val dimension_names : string array
+  (** Cost dimension labels, e.g. [|"cycles"; "bytes"|]. *)
+
+  val measure : config -> float array
+  (** Raw positive costs per dimension. *)
+
+  val feasible : config -> bool
+
+  type group = {
+    label : string;
+    options : (string * (config -> config)) list;
+        (** alternative values; "keep the base value" is implicit *)
+  }
+
+  val groups : group list
+
+  val budgets : (int * float) array
+  (** [(dimension, cap)]: the summed raw cost of the selection must not
+      exceed [cap] in that dimension. *)
+end
+
+module Make (D : DOMAIN) : sig
+  type row = {
+    group : string;
+    option_label : string;
+    deltas : float array;  (** percent per dimension vs base *)
+  }
+
+  type outcome = {
+    base_costs : float array;
+    rows : row list;
+    selected : (string * string) list;  (** (group, option) pairs *)
+    config : D.config;
+    predicted : float array;            (** summed percent deltas *)
+    actual : float array;               (** measured percent deltas *)
+  }
+
+  val optimize : weights:float array -> outcome
+  (** [weights] has one entry per dimension.
+      @raise Failure when no feasible selection exists. *)
+end

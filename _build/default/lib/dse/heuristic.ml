@@ -1,0 +1,177 @@
+type result = {
+  config : Arch.Config.t;
+  cost : Cost.t;
+  objective : float;
+  builds : int;
+}
+
+let pick rng xs = List.nth xs (Sim.Rng.int rng (List.length xs))
+
+let random_cache rng =
+  let ways = pick rng Arch.Config.valid_ways in
+  let way_kb = pick rng [ 1; 2; 4; 8; 16; 32 ] in
+  let line_words = pick rng Arch.Config.valid_line_words in
+  let replacement =
+    match ways with
+    | 1 -> Arch.Config.Random
+    | 2 -> pick rng [ Arch.Config.Random; Arch.Config.Lrr; Arch.Config.Lru ]
+    | _ -> pick rng [ Arch.Config.Random; Arch.Config.Lru ]
+  in
+  { Arch.Config.ways; way_kb; line_words; replacement }
+
+let random_config rng =
+  let bool () = Sim.Rng.int rng 2 = 1 in
+  {
+    Arch.Config.icache = random_cache rng;
+    dcache = random_cache rng;
+    dcache_fast_read = bool ();
+    dcache_fast_write = bool ();
+    iu =
+      {
+        Arch.Config.fast_jump = bool ();
+        icc_hold = bool ();
+        fast_decode = bool ();
+        load_delay = 1 + Sim.Rng.int rng 2;
+        reg_windows = pick rng Arch.Config.valid_reg_windows;
+        divider = pick rng [ Arch.Config.Div_radix2; Arch.Config.Div_none ];
+        multiplier =
+          pick rng
+            [
+              Arch.Config.Mul_none; Arch.Config.Mul_iterative;
+              Arch.Config.Mul_16x16; Arch.Config.Mul_16x16_pipe;
+              Arch.Config.Mul_32x8; Arch.Config.Mul_32x16; Arch.Config.Mul_32x32;
+            ];
+      };
+    infer_mult_div = bool ();
+  }
+
+let evaluate ~weights ~base app config =
+  let cost = Measure.measure app config in
+  (cost, Cost.objective weights (Cost.deltas ~base cost))
+
+let random_search ?(seed = 0x5EA7C4) ~builds ~weights app =
+  if builds < 1 then invalid_arg "Heuristic.random_search: builds must be >= 1";
+  let rng = Sim.Rng.create ~seed in
+  let base = Measure.measure app Arch.Config.base in
+  let best = ref (Arch.Config.base, base, 0.0) in
+  let spent = ref 0 in
+  while !spent < builds do
+    let config = random_config rng in
+    if Synth.Estimate.feasible config then begin
+      incr spent;
+      let cost, objective = evaluate ~weights ~base app config in
+      let _, _, best_obj = !best in
+      if objective < best_obj then best := (config, cost, objective)
+    end
+  done;
+  let config, cost, objective = !best in
+  { config; cost; objective; builds }
+
+(* All alternative values for one parameter group, as configuration
+   transformers relative to the current configuration. *)
+let group_options (g : Arch.Param.group) =
+  let members = Arch.Param.group_members g in
+  (* Include "revert to base" for this group by applying the base
+     field: approximate by reapplying base values through a synthetic
+     transformer. *)
+  let to_base (c : Arch.Config.t) =
+    let b = Arch.Config.base in
+    match g with
+    | Arch.Param.Icache_ways ->
+        { c with icache = { c.icache with ways = b.icache.ways } }
+    | Arch.Param.Icache_way_kb ->
+        { c with icache = { c.icache with way_kb = b.icache.way_kb } }
+    | Arch.Param.Icache_line ->
+        { c with icache = { c.icache with line_words = b.icache.line_words } }
+    | Arch.Param.Icache_repl ->
+        { c with icache = { c.icache with replacement = b.icache.replacement } }
+    | Arch.Param.Dcache_ways ->
+        { c with dcache = { c.dcache with ways = b.dcache.ways } }
+    | Arch.Param.Dcache_way_kb ->
+        { c with dcache = { c.dcache with way_kb = b.dcache.way_kb } }
+    | Arch.Param.Dcache_line ->
+        { c with dcache = { c.dcache with line_words = b.dcache.line_words } }
+    | Arch.Param.Dcache_repl ->
+        { c with dcache = { c.dcache with replacement = b.dcache.replacement } }
+    | Arch.Param.Fast_read -> { c with dcache_fast_read = b.dcache_fast_read }
+    | Arch.Param.Fast_write -> { c with dcache_fast_write = b.dcache_fast_write }
+    | Arch.Param.Fast_jump ->
+        { c with iu = { c.iu with fast_jump = b.iu.fast_jump } }
+    | Arch.Param.Icc_hold -> { c with iu = { c.iu with icc_hold = b.iu.icc_hold } }
+    | Arch.Param.Fast_decode ->
+        { c with iu = { c.iu with fast_decode = b.iu.fast_decode } }
+    | Arch.Param.Load_delay ->
+        { c with iu = { c.iu with load_delay = b.iu.load_delay } }
+    | Arch.Param.Reg_windows ->
+        { c with iu = { c.iu with reg_windows = b.iu.reg_windows } }
+    | Arch.Param.Divider -> { c with iu = { c.iu with divider = b.iu.divider } }
+    | Arch.Param.Multiplier ->
+        { c with iu = { c.iu with multiplier = b.iu.multiplier } }
+    | Arch.Param.Infer_mult_div -> { c with infer_mult_div = b.infer_mult_div }
+  in
+  to_base :: List.map (fun v -> v.Arch.Param.apply) members
+
+let coordinate_descent ?(max_sweeps = 5) ~weights app =
+  let base = Measure.measure app Arch.Config.base in
+  let builds = ref 0 in
+  let eval config =
+    incr builds;
+    evaluate ~weights ~base app config
+  in
+  let current = ref Arch.Config.base in
+  let current_obj = ref 0.0 in
+  let improved = ref true in
+  let sweeps = ref 0 in
+  while !improved && !sweeps < max_sweeps do
+    improved := false;
+    incr sweeps;
+    List.iter
+      (fun g ->
+        List.iter
+          (fun apply ->
+            let candidate = apply !current in
+            if
+              (not (Arch.Config.equal candidate !current))
+              && Synth.Estimate.feasible candidate
+            then begin
+              let _, objective = eval candidate in
+              if objective < !current_obj -. 1e-9 then begin
+                current := candidate;
+                current_obj := objective;
+                improved := true
+              end
+            end)
+          (group_options g))
+      Arch.Param.groups
+  done;
+  let cost = Measure.measure app !current in
+  { config = !current; cost; objective = !current_obj; builds = !builds }
+
+let paper_method ~weights app =
+  let model = Measure.build app in
+  let o = Optimizer.run_with_model ~weights model in
+  let repl_references = 2 (* the 2-way icache/dcache reference builds *) in
+  {
+    config = o.Optimizer.config;
+    cost = o.Optimizer.actual;
+    objective =
+      Cost.objective weights
+        (Cost.deltas ~base:model.Measure.base o.Optimizer.actual);
+    builds = 1 + List.length model.Measure.rows + repl_references + 1;
+  }
+
+let print_comparison ppf app_name results =
+  Format.fprintf ppf "  %s:@." app_name;
+  Format.fprintf ppf "    %-22s %8s %12s %10s@." "method" "builds"
+    "objective" "runtime(s)";
+  List.iteri
+    (fun k r ->
+      let name =
+        match k with
+        | 0 -> "paper (model+BINLP)"
+        | 1 -> "coordinate descent"
+        | _ -> Printf.sprintf "random search"
+      in
+      Format.fprintf ppf "    %-22s %8d %12.2f %10.3f@." name r.builds
+        r.objective r.cost.Cost.seconds)
+    results

@@ -1,0 +1,40 @@
+(** Heuristic design-space exploration baselines.
+
+    The related work the paper positions against explores the space
+    with heuristics (Fischer et al.'s DSE, Gordon-Ross et al.'s
+    hierarchical cache search).  Two classic baselines, each counting
+    the builds (configuration measurements) it spends — the currency of
+    the paper's scalability argument, since a real build costs ~30
+    minutes of synthesis plus an application run:
+
+    - {b random search}: sample valid configurations uniformly;
+    - {b coordinate descent}: from the base configuration, repeatedly
+      sweep every parameter, adopting the best value while holding the
+      others fixed, until a full sweep improves nothing.
+
+    Both optimize the same weighted objective the paper's BINLP does,
+    and reject configurations that do not fit the device. *)
+
+type result = {
+  config : Arch.Config.t;
+  cost : Cost.t;
+  objective : float;     (** weighted objective vs the base *)
+  builds : int;          (** configurations measured *)
+}
+
+val random_search :
+  ?seed:int -> builds:int -> weights:Cost.weights -> Apps.Registry.t -> result
+
+val coordinate_descent :
+  ?max_sweeps:int -> weights:Cost.weights -> Apps.Registry.t -> result
+
+val paper_method : weights:Cost.weights -> Apps.Registry.t -> result
+(** The paper's pipeline, packaged with its build count (52
+    one-at-a-time probes + replacement references + the verification
+    build) for comparison. *)
+
+val random_config : Sim.Rng.t -> Arch.Config.t
+(** A uniformly random structurally-valid configuration. *)
+
+val print_comparison : Format.formatter -> string -> result list -> unit
+(** [print_comparison ppf app_name [paper; descent; random...]] *)

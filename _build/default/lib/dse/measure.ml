@@ -1,0 +1,90 @@
+type row = {
+  var : Arch.Param.var;
+  config : Arch.Config.t;
+  cost : Cost.t;
+  deltas : Cost.deltas;
+}
+
+type model = {
+  app : Apps.Registry.t;
+  base : Cost.t;
+  rows : row list;
+}
+
+(* Deterministic synthesis "measurement noise": a hash of the
+   configuration drives a uniform error in [-1, 1] x amplitude. *)
+let lut_noise ~amplitude config =
+  let h = Hashtbl.hash (config : Arch.Config.t) in
+  let u = float_of_int (h land 0xFFFF) /. 65535.0 in
+  amplitude *. ((2.0 *. u) -. 1.0) *. float_of_int Synth.Device.luts /. 100.0
+
+let measure ?noise app config =
+  let resources = Synth.Estimate.config config in
+  let resources =
+    match noise with
+    | None -> resources
+    | Some amplitude ->
+        {
+          resources with
+          Synth.Resource.luts =
+            resources.Synth.Resource.luts
+            + int_of_float (lut_noise ~amplitude:(amplitude *. 100.0) config);
+        }
+  in
+  let seconds = Apps.Registry.seconds ~config app in
+  { Cost.seconds; resources }
+
+(* Reference configuration against which a variable's marginal cost is
+   taken: base, except for replacement policies (see interface). *)
+let reference_config (var : Arch.Param.var) =
+  let two_way_icache c =
+    { c with Arch.Config.icache = { c.Arch.Config.icache with ways = 2 } }
+  in
+  let two_way_dcache c =
+    { c with Arch.Config.dcache = { c.Arch.Config.dcache with ways = 2 } }
+  in
+  match var.group with
+  | Arch.Param.Icache_repl -> two_way_icache Arch.Config.base
+  | Arch.Param.Dcache_repl -> two_way_dcache Arch.Config.base
+  | _ -> Arch.Config.base
+
+let build ?noise ?dims ?jobs app =
+  (* Force the compiled program before any domain fan-out: Lazy is not
+     domain-safe. *)
+  ignore (Lazy.force app.Apps.Registry.program);
+  let base = measure ?noise app Arch.Config.base in
+  let selected_groups =
+    match dims with None -> Arch.Param.groups | Some ds -> ds
+  in
+  let vars =
+    List.filter (fun v -> List.mem v.Arch.Param.group selected_groups) Arch.Param.all
+  in
+  let measure_var var =
+    let reference = reference_config var in
+    let config = var.Arch.Param.apply reference in
+    let cost = measure ?noise app config in
+    let ref_cost =
+      if Arch.Config.equal reference Arch.Config.base then base
+      else measure ?noise app reference
+    in
+    (* Marginal deltas relative to the reference, expressed against the
+       base runtime as the paper's percentages are. *)
+    let d = Cost.deltas ~base:ref_cost cost in
+    let rho =
+      100.0 *. (cost.Cost.seconds -. ref_cost.Cost.seconds) /. base.Cost.seconds
+    in
+    {
+      var;
+      config = var.Arch.Param.apply Arch.Config.base;
+      cost;
+      deltas = { d with Cost.rho };
+    }
+  in
+  { app; base; rows = Parallel.map ?jobs measure_var vars }
+
+let row model index =
+  match
+    List.find_opt (fun r -> r.var.Arch.Param.index = index) model.rows
+  with
+  | Some r -> r
+  | None -> raise Not_found

@@ -1,0 +1,58 @@
+(** The perturb-one-at-a-time measurement harness (the paper's model
+    building step).
+
+    For each of the 52 decision variables, build the configuration
+    that differs from base in just that parameter, "synthesize" it
+    (resource model) and execute the application on it (simulator),
+    recording the percentage deltas.
+
+    Replacement-policy perturbations (LRR/LRU) are structurally invalid
+    on the 1-way base cache; their marginal cost is measured at 2-way
+    associativity relative to a plain 2-way configuration, matching the
+    own-dimension reading of the paper's model (the x10<=x1 couplings
+    make the solver pick them only together with added ways).
+
+    [noise] injects a deterministic, per-configuration pseudo-random
+    LUT measurement error (a fraction of the device, e.g. 0.005 for
+    ±0.5 %) modeling synthesis/place-and-route variance — the paper's
+    LUT columns visibly carry such noise (it reports LUT *decreases*
+    for larger caches, and its resource optimizer picks extra register
+    windows flagged "sub-optimal").  Default: no noise. *)
+
+type row = {
+  var : Arch.Param.var;
+  config : Arch.Config.t;
+  cost : Cost.t;
+  deltas : Cost.deltas;
+}
+
+type model = {
+  app : Apps.Registry.t;
+  base : Cost.t;
+  rows : row list;  (** exactly the variables of the selected groups *)
+}
+
+val measure : ?noise:float -> Apps.Registry.t -> Arch.Config.t -> Cost.t
+(** Synthesize and run one configuration.
+    @raise Invalid_argument if structurally invalid. *)
+
+val build :
+  ?noise:float ->
+  ?dims:Arch.Param.group list ->
+  ?jobs:int ->
+  Apps.Registry.t ->
+  model
+(** [dims] restricts the model to the given parameter groups (the
+    Section 5 study uses dcache ways and way size); default all 18
+    groups, i.e. all 52 variables.  [jobs] fans the per-variable
+    measurements out over OCaml domains ({!Parallel.map}); the result
+    is identical to the sequential build. *)
+
+val reference_config : Arch.Param.var -> Arch.Config.t
+(** The configuration a variable's marginal cost is measured against:
+    base for everything except replacement policies, which are
+    referenced to a 2-way cache (see above). *)
+
+val row : model -> int -> row
+(** Row for paper variable index (1-based). @raise Not_found if the
+    variable is outside the model's dims. *)

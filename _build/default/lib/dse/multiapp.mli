@@ -1,0 +1,31 @@
+(** Optimizing one processor for an application {e set} — the paper's
+    introduction motivates customization "for a particular application
+    or application set", and a deployed soft core typically runs a mix.
+
+    Each application contributes its one-at-a-time runtime deltas
+    weighted by its share of execution time; resource deltas are
+    configuration properties and identical across applications.  The
+    combined model goes through the same Section 4 formulation and
+    exact solver, and the recommendation is verified by building it and
+    measuring {e every} application on it. *)
+
+type workload = (Apps.Registry.t * float) list
+(** Applications with their execution-time shares (normalized
+    internally; shares must be positive). *)
+
+type outcome = {
+  workload : workload;
+  selected : Arch.Param.var list;
+  config : Arch.Config.t;
+  mix_gain_percent : float;
+      (** share-weighted actual runtime change, negative = faster *)
+  per_app : (Apps.Registry.t * float) list;
+      (** actual runtime change per application, in percent *)
+}
+
+val optimize :
+  ?dims:Arch.Param.group list -> weights:Cost.weights -> workload -> outcome
+(** @raise Invalid_argument on an empty workload or non-positive
+    shares. *)
+
+val print : Format.formatter -> outcome -> unit

@@ -1,0 +1,73 @@
+type prediction = {
+  seconds : float;
+  lut_percent : float;
+  lut_percent_alt : float;
+  bram_percent : float;
+  bram_percent_alt : float;
+}
+
+type outcome = {
+  model : Measure.model;
+  weights : Cost.weights;
+  solution : Optim.Binlp.solution;
+  selected : Arch.Param.var list;
+  config : Arch.Config.t;
+  predicted : prediction;
+  actual : Cost.t;
+}
+
+let predict ?variant model selected =
+  let variant =
+    match variant with None -> Formulate.paper_variant | Some v -> v
+  in
+  let d = Formulate.predicted_deltas ~variant model selected in
+  let alt =
+    Formulate.predicted_deltas
+      ~variant:
+        {
+          Formulate.lut_nonlinear = not variant.Formulate.lut_nonlinear;
+          bram_linear = not variant.Formulate.bram_linear;
+        }
+      model selected
+  in
+  let base = model.Measure.base in
+  {
+    seconds = base.Cost.seconds *. (1.0 +. (d.Cost.rho /. 100.0));
+    lut_percent =
+      Synth.Resource.lut_percent base.Cost.resources +. d.Cost.lambda;
+    lut_percent_alt =
+      Synth.Resource.lut_percent base.Cost.resources +. alt.Cost.lambda;
+    bram_percent =
+      Synth.Resource.bram_percent base.Cost.resources +. d.Cost.beta;
+    bram_percent_alt =
+      Synth.Resource.bram_percent base.Cost.resources +. alt.Cost.beta;
+  }
+
+let run_with_model ?variant ~weights model =
+  let problem = Formulate.make ?variant weights model in
+  match Optim.Binlp.solve problem with
+  | None -> failwith "Optimizer: BINLP infeasible"
+  | Some solution ->
+      let selected = Formulate.vars_of_solution model solution in
+      let config = Arch.Param.apply_all Arch.Config.base selected in
+      (match Arch.Config.validate config with
+      | Ok () -> ()
+      | Error m -> failwith ("Optimizer: decoded configuration invalid: " ^ m));
+      let actual = Measure.measure model.Measure.app config in
+      {
+        model;
+        weights;
+        solution;
+        selected;
+        config;
+        predicted = predict ?variant model selected;
+        actual;
+      }
+
+let run ?noise ?dims ?variant ~weights app =
+  run_with_model ?variant ~weights (Measure.build ?noise ?dims app)
+
+let pp_selected ppf vars =
+  Fmt.(list ~sep:comma string)
+    ppf
+    (List.map (fun (v : Arch.Param.var) -> v.Arch.Param.label) vars)

@@ -1,0 +1,47 @@
+(** End-to-end automatic microarchitecture reconfiguration: the paper's
+    full pipeline.
+
+    1. build the one-at-a-time cost model ({!Measure});
+    2. formulate the BINLP ({!Formulate});
+    3. solve it exactly ({!Optim.Binlp});
+    4. decode the selected variables into a configuration;
+    5. "actually synthesize" the recommendation: build and measure it,
+       so predictions can be compared against reality (the paper's
+       "Actual synthesis" rows). *)
+
+type prediction = {
+  seconds : float;
+  lut_percent : float;
+  lut_percent_alt : float;   (** the swapped (nonlinear) LUT model *)
+  bram_percent : float;
+  bram_percent_alt : float;  (** the swapped (linear) BRAM model *)
+}
+
+type outcome = {
+  model : Measure.model;
+  weights : Cost.weights;
+  solution : Optim.Binlp.solution;
+  selected : Arch.Param.var list;   (** paper-index order *)
+  config : Arch.Config.t;
+  predicted : prediction;
+  actual : Cost.t;
+}
+
+val run :
+  ?noise:float ->
+  ?dims:Arch.Param.group list ->
+  ?variant:Formulate.variant ->
+  weights:Cost.weights ->
+  Apps.Registry.t ->
+  outcome
+(** @raise Failure if the BINLP has no feasible solution (cannot happen
+    with the paper's constraints: the empty selection is feasible). *)
+
+val run_with_model :
+  ?variant:Formulate.variant ->
+  weights:Cost.weights ->
+  Measure.model ->
+  outcome
+(** Reuse an already-measured model (model building dominates cost). *)
+
+val pp_selected : Arch.Param.var list Fmt.t

@@ -1,0 +1,191 @@
+type dcache_row = {
+  ways : int;
+  way_kb : int;
+  seconds : float;
+  lut_pct : int;
+  bram_pct : int;
+}
+
+let row ways way_kb seconds lut_pct bram_pct =
+  { ways; way_kb; seconds; lut_pct; bram_pct }
+
+let figure2 =
+  [
+    row 1 1 10.71 38 47;
+    row 1 2 10.64 38 48;
+    row 1 4 10.60 39 51;
+    row 1 8 10.54 39 56;
+    row 1 16 10.50 38 68;
+    row 1 32 10.22 38 90;
+    row 2 1 10.58 39 49;
+    row 2 2 10.55 39 51;
+    row 2 4 10.53 39 56;
+    row 2 8 10.50 39 68;
+    row 2 16 10.22 39 90;
+    row 3 1 10.56 39 51;
+    row 3 2 10.54 39 55;
+    row 3 4 10.51 39 62;
+    row 3 8 10.45 39 79;
+    row 4 1 10.55 39 53;
+    row 4 2 10.53 39 58;
+    row 4 4 10.50 39 68;
+    row 4 8 10.22 39 90;
+  ]
+
+let figure2_optimal = row 2 16 10.22 39 90
+let figure3_selected = (1, 32)
+
+let figure4 =
+  [
+    ("drr", (2, 16), 261.609);
+    ("frag", (2, 16), 147.869);
+    ("arith", (1, 4), Float.nan); (* "No effect, as application is not data intensive" *)
+  ]
+
+type opt_summary = {
+  app : string;
+  base_seconds : float;
+  predicted_seconds : float;
+  actual_seconds : float;
+  actual_lut_pct : int;
+  actual_bram_pct : int;
+  params : (string * string) list;
+}
+
+let figure5 =
+  [
+    {
+      app = "blastn";
+      base_seconds = 10.60;
+      predicted_seconds = 9.35;
+      actual_seconds = 9.37;
+      actual_lut_pct = 39;
+      actual_bram_pct = 90;
+      params =
+        [
+          ("icachsetsz", "2"); ("icachlinesz", "4"); ("dcachsets", "1");
+          ("dcachsetsz", "32"); ("dcachlinesz", "4"); ("dcachreplace", "LRU");
+          ("fastjump", "off"); ("icchold", "off"); ("divider", "none");
+          ("multiplier", "32x32");
+        ];
+    };
+    {
+      app = "drr";
+      base_seconds = 297.98;
+      predicted_seconds = 181.35;
+      actual_seconds = 240.20;
+      actual_lut_pct = 39;
+      actual_bram_pct = 90;
+      params =
+        [
+          ("icachsetsz", "2"); ("icachlinesz", "4"); ("dcachsets", "2");
+          ("dcachsetsz", "16"); ("dcachlinesz", "4"); ("dcachreplace", "LRR");
+          ("fastjump", "off"); ("icchold", "off"); ("divider", "none");
+          ("multiplier", "32x32");
+        ];
+    };
+    {
+      app = "frag";
+      base_seconds = 150.75;
+      predicted_seconds = 139.20;
+      actual_seconds = 141.48;
+      actual_lut_pct = 47;
+      actual_bram_pct = 93;
+      params =
+        [
+          ("icachsetsz", "4"); ("icachlinesz", "4"); ("dcachsets", "2");
+          ("dcachsetsz", "16"); ("dcachlinesz", "4"); ("dcachreplace", "LRU");
+          ("fastjump", "off"); ("icchold", "off"); ("divider", "none");
+          ("multiplier", "32x32");
+        ];
+    };
+    {
+      app = "arith";
+      base_seconds = 32.33;
+      predicted_seconds = 30.23;
+      actual_seconds = 30.23;
+      actual_lut_pct = 40;
+      actual_bram_pct = 48;
+      params =
+        [
+          ("icachsetsz", "4"); ("icachlinesz", "4"); ("dcachsets", "1");
+          ("dcachsetsz", "1"); ("dcachlinesz", "8"); ("dcachreplace", "rnd");
+          ("fastjump", "off"); ("icchold", "off"); ("divider", "radix2");
+          ("multiplier", "32x32");
+        ];
+    };
+  ]
+
+let figure6 =
+  [
+    ("icachesetsz2", 10.60, 39, 48);
+    ("icachelinesz4", 10.60, 38, 51);
+    ("dcachesetsz32", 10.22, 38, 90);
+    ("dcachelinesz4", 10.58, 39, 51);
+    ("nofastjump", 10.60, 38, 51);
+    ("noicchold", 10.24, 39, 51);
+    ("nodivider", 10.60, 37, 51);
+    ("multiplierm32x32", 10.12, 40, 51);
+  ]
+
+let figure7 =
+  [
+    {
+      app = "blastn";
+      base_seconds = 10.60;
+      predicted_seconds = 13.86;
+      actual_seconds = 13.85;
+      actual_lut_pct = 37;
+      actual_bram_pct = 48;
+      params =
+        [
+          ("icachsetsz", "2"); ("icachlinesz", "4"); ("dcachsetsz", "2");
+          ("dcachlinesz", "4"); ("fastjump", "off"); ("icchold", "off");
+          ("divider", "none"); ("registers", "28*"); ("multiplier", "iter");
+        ];
+    };
+    {
+      app = "drr";
+      base_seconds = 297.98;
+      predicted_seconds = 355.82;
+      actual_seconds = 347.91;
+      actual_lut_pct = 37;
+      actual_bram_pct = 48;
+      params =
+        [
+          ("icachsetsz", "2"); ("icachlinesz", "4"); ("dcachsetsz", "2");
+          ("dcachlinesz", "4"); ("fastjump", "off"); ("icchold", "off");
+          ("divider", "none"); ("registers", "31*"); ("multiplier", "iter");
+        ];
+    };
+    {
+      app = "frag";
+      base_seconds = 150.75;
+      predicted_seconds = 153.19;
+      actual_seconds = 151.40;
+      actual_lut_pct = 36;
+      actual_bram_pct = 48;
+      params =
+        [
+          ("icachsetsz", "4"); ("icachlinesz", "4"); ("dcachsetsz", "1");
+          ("dcachlinesz", "4"); ("fastjump", "off"); ("icchold", "off");
+          ("divider", "none"); ("registers", "8"); ("multiplier", "iter");
+        ];
+    };
+    {
+      app = "arith";
+      base_seconds = 32.33;
+      predicted_seconds = 44.08;
+      actual_seconds = 44.08;
+      actual_lut_pct = 38;
+      actual_bram_pct = 48;
+      params =
+        [
+          ("icachsetsz", "2"); ("icachlinesz", "4"); ("dcachsetsz", "2");
+          ("dcachlinesz", "8"); ("fastjump", "off"); ("icchold", "off");
+          ("divider", "radix2"); ("registers", "30*"); ("multiplier", "iter");
+        ];
+    };
+  ]
+
+let runtime_gain_range = (6.15, 19.39)

@@ -1,0 +1,48 @@
+(** Reference values transcribed from the paper's figures, used to
+    print side-by-side comparisons and to check reproduction shape in
+    tests.  Runtimes are seconds on the paper's 25 MHz LEON testbed;
+    LUT/BRAM are the paper's truncated device percentages. *)
+
+type dcache_row = {
+  ways : int;
+  way_kb : int;
+  seconds : float;
+  lut_pct : int;
+  bram_pct : int;
+}
+
+val figure2 : dcache_row list
+(** BLASTN exhaustive dcache geometry (19 feasible rows). *)
+
+val figure2_optimal : dcache_row
+(** The paper's runtime-optimal pick: 2 x 16 KB, 10.22 s. *)
+
+val figure3_selected : int * int
+(** The optimizer's dcache pick for BLASTN (ways, way_kb) = (1, 32). *)
+
+val figure4 : (string * (int * int) * float) list
+(** Per app: optimizer dcache pick and its runtime — DRR (2,16) at
+    261.609 s, FRAG (2,16) at 147.869 s; Arith unaffected. *)
+
+type opt_summary = {
+  app : string;
+  base_seconds : float;
+  predicted_seconds : float;
+  actual_seconds : float;
+  actual_lut_pct : int;
+  actual_bram_pct : int;
+  params : (string * string) list;
+      (** reconfigured parameter -> chosen value, as printed *)
+}
+
+val figure5 : opt_summary list
+(** Application runtime optimization (w1=100, w2=1). *)
+
+val figure6 : (string * float * int * int) list
+(** BLASTN one-at-a-time costs: label, seconds, LUT%%, BRAM%%. *)
+
+val figure7 : opt_summary list
+(** Chip resource optimization (w1=1, w2=100). *)
+
+val runtime_gain_range : float * float
+(** Section 6.1: 6.15%% - 19.39%% runtime decrease across the apps. *)

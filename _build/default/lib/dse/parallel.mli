@@ -1,0 +1,12 @@
+(** Order-preserving parallel map over OCaml 5 domains.
+
+    Model building dominates the pipeline's cost (52 independent
+    simulator runs per application); the measurements share no mutable
+    state, so they fan out across domains.  Callers must make sure any
+    lazily compiled program is forced before mapping (OCaml's [Lazy]
+    is not domain-safe). *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [jobs] defaults to {!Domain.recommended_domain_count}, capped by
+    the list length; [jobs <= 1] degrades to [List.map].  A worker
+    exception is re-raised in the caller after all domains join. *)

@@ -1,0 +1,35 @@
+let series_to_floats = List.map (fun (a, b) -> (float_of_int a, float_of_int b))
+
+let xy ?(width = 56) ?(height = 16) ?(x_label = "x") ?(y_label = "y") ppf points =
+  if points = [] then Format.fprintf ppf "(no data)@."
+  else begin
+    let xs = List.map fst points and ys = List.map snd points in
+    let pad lo hi = if hi -. lo < 1e-12 then (lo -. 1.0, hi +. 1.0) else (lo, hi) in
+    let x0, x1 = pad (List.fold_left min infinity xs) (List.fold_left max neg_infinity xs) in
+    let y0, y1 = pad (List.fold_left min infinity ys) (List.fold_left max neg_infinity ys) in
+    let grid = Array.make_matrix height width ' ' in
+    List.iter
+      (fun (x, y) ->
+        let cx =
+          int_of_float ((x -. x0) /. (x1 -. x0) *. float_of_int (width - 1))
+        in
+        let cy =
+          int_of_float ((y -. y0) /. (y1 -. y0) *. float_of_int (height - 1))
+        in
+        grid.(height - 1 - cy).(cx) <- '*')
+      points;
+    Format.fprintf ppf "%s@." y_label;
+    Array.iteri
+      (fun r row ->
+        let edge =
+          if r = 0 then Printf.sprintf "%10.2f |" y1
+          else if r = height - 1 then Printf.sprintf "%10.2f |" y0
+          else Printf.sprintf "%10s |" ""
+        in
+        Format.fprintf ppf "%s%s@." edge (String.init width (Array.get row)))
+      grid;
+    Format.fprintf ppf "%10s +%s@." "" (String.make width '-');
+    Format.fprintf ppf "%10s  %-10.2f%*s%.2f  (%s)@." "" x0
+      (width - 20 |> max 1)
+      "" x1 x_label
+  end

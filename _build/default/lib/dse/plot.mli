@@ -1,0 +1,17 @@
+(** Minimal ASCII charts for terminal reports (miss-rate curves,
+    Pareto fronts).  Purely cosmetic, no external dependencies. *)
+
+val xy :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  Format.formatter ->
+  (float * float) list ->
+  unit
+(** Scatter/line plot of the points (marked [*]) on a [width] x
+    [height] character grid with axis ranges annotated.  Degenerate
+    inputs (empty, or a single distinct value on an axis) are handled
+    by padding the range. *)
+
+val series_to_floats : (int * int) list -> (float * float) list

@@ -1,0 +1,87 @@
+type config = { queues : int; slots : int; quantum : int }
+
+let base = { queues = 256; slots = 16; quantum = 400 }
+let packets = 3072
+
+(* qbuf + head/tail/deficit words per queue. *)
+let state_bytes c = 4 * ((c.queues * c.slots) + (3 * c.queues))
+
+(* Service efficiency: cycles per serviced kilobyte.  Using raw cycles
+   would reward dropping traffic (an undersized queue array serves
+   fewer bytes in fewer cycles); the ratio penalizes drops because the
+   enqueue work for a dropped packet is wasted. *)
+let cycles_per_kb c =
+  let program =
+    Minic.Codegen.compile
+      (Apps.Drr.make_program ~raw_total:true ~queues:c.queues ~slots:c.slots
+         ~quantum:c.quantum ~packets ())
+  in
+  let cpu = Sim.Cpu.create Arch.Config.base program ~mem_size:(1 lsl 20) in
+  Sim.Cpu.run cpu;
+  let served_bytes = Sim.Cpu.result cpu in
+  if served_bytes = 0 then infinity
+  else
+    float_of_int (Sim.Cpu.profile cpu).Sim.Profiler.cycles
+    /. (float_of_int served_bytes /. 1024.0)
+
+let measure c = [| cycles_per_kb c; float_of_int (state_bytes c) |]
+
+module Domain = struct
+  type nonrec config = config
+
+  let name = "drr-scheduler-tuning"
+  let base = base
+  let dimension_names = [| "cycles/KB served"; "state bytes" |]
+  let measure = measure
+  let feasible c = c.queues > 0 && c.slots > 0 && c.quantum > 0
+
+  type group = {
+    label : string;
+    options : (string * (config -> config)) list;
+  }
+
+  let groups =
+    [
+      {
+        label = "queues";
+        options =
+          List.map
+            (fun q -> (string_of_int q, fun c -> { c with queues = q }))
+            [ 64; 128; 512 ];
+      };
+      {
+        label = "slots";
+        options =
+          List.map
+            (fun s -> (string_of_int s, fun c -> { c with slots = s }))
+            [ 8; 32; 64 ];
+      };
+      {
+        label = "quantum";
+        options =
+          List.map
+            (fun q -> (string_of_int q, fun c -> { c with quantum = q }))
+            [ 100; 200; 800; 1600 ];
+      };
+    ]
+
+  (* The appliance grants the scheduler at most 12 KB of state. *)
+  let budgets = [| (1, 12288.0) |]
+end
+
+module Tuner = Generic.Make (Domain)
+
+let print_outcome ppf (o : Tuner.outcome) =
+  Format.fprintf ppf "  base: %.1f cycles/KB, %.0f state bytes@."
+    o.base_costs.(0) o.base_costs.(1);
+  Format.fprintf ppf "  selected: %s@."
+    (if o.selected = [] then "(keep the base values)"
+     else
+       String.concat ", "
+         (List.map (fun (g, v) -> g ^ "=" ^ v) o.selected));
+  Format.fprintf ppf "  config: %d queues x %d slots, quantum %d@."
+    o.config.queues o.config.slots o.config.quantum;
+  Format.fprintf ppf "  predicted: cycles/KB %+.2f%%, bytes %+.2f%%@."
+    o.predicted.(0) o.predicted.(1);
+  Format.fprintf ppf "  actual:    cycles/KB %+.2f%%, bytes %+.2f%%@."
+    o.actual.(0) o.actual.(1)

@@ -1,0 +1,27 @@
+(** A second instantiation of the paper's technique ({!Generic}) on a
+    different configuration-management problem: tuning the DRR
+    scheduler's {e software} parameters — queue count, slots per queue
+    and the service quantum — for a memory-constrained appliance.
+
+    Costs are measured the same way the paper measures the processor:
+    the parameterized scheduler ({!Apps.Drr.make_program}) is compiled
+    and executed on the simulated base processor.  Dimensions:
+
+    - {b cycles per serviced kilobyte}: scheduling efficiency (plain
+      cycles would reward dropping traffic);
+    - {b state bytes}: queue buffers plus per-queue bookkeeping.
+
+    A byte budget caps the state (the appliance's scratch memory). *)
+
+type config = { queues : int; slots : int; quantum : int }
+
+val base : config
+(** The paper benchmark's geometry: 256 x 16, quantum 400. *)
+
+val state_bytes : config -> int
+val measure : config -> float array
+
+module Domain : Generic.DOMAIN with type config = config
+module Tuner : module type of Generic.Make (Domain)
+
+val print_outcome : Format.formatter -> Tuner.outcome -> unit

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Buffer Bytes Hashtbl Insn Int32 List Printf Program Reg

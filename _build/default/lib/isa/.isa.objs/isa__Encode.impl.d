@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Array Buffer Bytes Insn Int32 List Printf Program String

@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Bytes Fmt Insn List

@@ -1,0 +1,107 @@
+type fixup = Fix_branch of Insn.cond | Fix_call
+
+type t = {
+  mutable code : Insn.t list;   (* reversed *)
+  mutable ninsns : int;
+  mutable fixups : (int * string * fixup) list;
+  labels : (string, int) Hashtbl.t;
+  data : Buffer.t;
+  mutable symbols : (string * int) list;
+}
+
+let create () =
+  {
+    code = [];
+    ninsns = 0;
+    fixups = [];
+    labels = Hashtbl.create 16;
+    data = Buffer.create 1024;
+    symbols = [];
+  }
+
+let emit t insn =
+  t.code <- insn :: t.code;
+  t.ninsns <- t.ninsns + 1
+
+let here t = t.ninsns
+
+let label t name =
+  if Hashtbl.mem t.labels name then
+    failwith (Printf.sprintf "Asm.label: duplicate label %S" name);
+  Hashtbl.add t.labels name t.ninsns
+
+let add_fixup t name kind =
+  t.fixups <- (t.ninsns, name, kind) :: t.fixups
+
+let bcc t cond name =
+  add_fixup t name (Fix_branch cond);
+  emit t (Insn.Branch { cond; target = -1 })
+
+let ba t name = bcc t Insn.Always name
+
+let call t name =
+  add_fixup t name Fix_call;
+  emit t (Insn.Call { target = -1 })
+
+let align4 t =
+  while Buffer.length t.data land 3 <> 0 do
+    Buffer.add_char t.data '\000'
+  done
+
+let define_symbol t name addr =
+  if List.mem_assoc name t.symbols then
+    failwith (Printf.sprintf "Asm: duplicate data symbol %S" name);
+  t.symbols <- (name, addr) :: t.symbols
+
+let data_bytes t ~name bytes =
+  align4 t;
+  let addr = Program.data_base + Buffer.length t.data in
+  define_symbol t name addr;
+  Buffer.add_bytes t.data bytes;
+  addr
+
+let data_words t ~name words =
+  let b = Bytes.create (4 * Array.length words) in
+  Array.iteri (fun k w -> Bytes.set_int32_le b (4 * k) (Int32.of_int w)) words;
+  data_bytes t ~name b
+
+let data_zero t ~name n = data_bytes t ~name (Bytes.make n '\000')
+
+let mov t op rd = emit t (Insn.Alu { op = Insn.Or; cc = false; rd; rs1 = Reg.g0; op2 = op })
+
+(* A 13-bit signed immediate, as in SPARC format-3 instructions. *)
+let fits_simm13 v = v >= -4096 && v <= 4095
+
+let set32 t v rd =
+  if fits_simm13 v then mov t (Insn.Imm v) rd
+  else begin
+    let v = v land 0xFFFFFFFF in
+    let hi = v lsr 11 and lo = v land 0x7FF in
+    emit t (Insn.Sethi { rd; imm = hi });
+    if lo <> 0 then
+      emit t (Insn.Alu { op = Insn.Or; cc = false; rd; rs1 = rd; op2 = Insn.Imm lo })
+  end
+
+let ret t = emit t (Insn.Jmpl { rd = Reg.g0; rs1 = Reg.ra; op2 = Insn.Imm 1 })
+
+let finish t ~entry =
+  let code = Array.of_list (List.rev t.code) in
+  let resolve name =
+    match Hashtbl.find_opt t.labels name with
+    | Some k -> k
+    | None -> failwith (Printf.sprintf "Asm.finish: undefined label %S" name)
+  in
+  let fix (pos, name, kind) =
+    let target = resolve name in
+    code.(pos) <-
+      (match kind with
+      | Fix_branch cond -> Insn.Branch { cond; target }
+      | Fix_call -> Insn.Call { target })
+  in
+  List.iter fix t.fixups;
+  {
+    Program.code;
+    entry;
+    data = Buffer.to_bytes t.data;
+    symbols = t.symbols;
+  }

@@ -1,0 +1,64 @@
+(** Assembler eDSL.
+
+    A mutable builder accumulates instructions and data; labels may be
+    referenced before they are defined and are resolved by {!finish}.
+
+    {[
+      let a = Asm.create () in
+      let buf = Asm.data_zero a ~name:"buf" 256 in
+      Asm.emit a (mov (Imm 0) (Reg.o 0));
+      Asm.label a "loop";
+      ...
+      Asm.bcc a Insn.Ne "loop";
+      Asm.emit a Insn.Halt;
+      let program = Asm.finish a in
+      ...
+    ]} *)
+
+type t
+
+val create : unit -> t
+
+val emit : t -> Insn.t -> unit
+val here : t -> int
+(** Index the next emitted instruction will occupy. *)
+
+(** {2 Labels (code)} *)
+
+val label : t -> string -> unit
+(** Define a code label at the current position. *)
+
+val bcc : t -> Insn.cond -> string -> unit
+(** Emit a conditional branch to a (possibly forward) label. *)
+
+val ba : t -> string -> unit
+(** Unconditional branch. *)
+
+val call : t -> string -> unit
+
+(** {2 Data segment} *)
+
+val data_words : t -> name:string -> int array -> int
+(** Append 32-bit little-endian words; returns the start address and
+    registers the symbol. *)
+
+val data_bytes : t -> name:string -> Bytes.t -> int
+val data_zero : t -> name:string -> int -> int
+(** [data_zero a ~name n] reserves [n] zeroed bytes (word-aligned). *)
+
+(** {2 Convenience instruction builders} *)
+
+val mov : t -> Insn.operand -> Reg.t -> unit
+(** [mov a op rd] — or %g0, op, rd. *)
+
+val set32 : t -> int -> Reg.t -> unit
+(** Load an arbitrary 32-bit constant (sethi+or when out of the
+    immediate range, single or otherwise). *)
+
+val ret : t -> unit
+(** Return to caller: jmpl %o7 + 1, %g0 (target is an instruction
+    index, so the return lands one past the call). *)
+
+val finish : t -> entry:int -> Program.t
+(** Resolve all label references.
+    @raise Failure on undefined labels. *)

@@ -1,0 +1,31 @@
+(** Binary instruction encoding.
+
+    Instructions encode to 32-bit words (the size the instruction-cache
+    model assumes).  The format is SPARC-flavoured but self-contained:
+
+    {v
+    register format   [op:6][rd:5][rs1:5][0][pad:10][rs2:5]
+    immediate format  [op:6][rd:5][rs1:5][1][simm15]
+    sethi             [op:6][rd:5][imm21]
+    branch            [op:6][cond:4][disp22]
+    call              [op:6][disp26]
+    v}
+
+    Field widths bound what is encodable: immediates must fit 15 signed
+    bits (the assembler only emits 13-bit ones), branch/jump targets 22
+    bits, call targets 26 bits. *)
+
+exception Error of string
+
+val encode : Insn.t -> int32
+(** @raise Error when a field does not fit. *)
+
+val decode : int32 -> Insn.t
+(** @raise Error on invalid opcodes or field patterns. *)
+
+val encode_program : Program.t -> Bytes.t
+(** Serialize a whole program to a loadable little-endian image:
+    magic, entry point, code words, data blob, and symbol table. *)
+
+val decode_program : Bytes.t -> Program.t
+(** @raise Error on malformed images. *)

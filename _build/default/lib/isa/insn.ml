@@ -1,0 +1,120 @@
+type operand = Reg of Reg.t | Imm of int
+type alu_op = Add | Sub | And | Or | Xor | Sll | Srl | Sra
+type cond = Always | Eq | Ne | Gt | Le | Ge | Lt | Gu | Leu
+type width = Byte | Half | Word
+
+type t =
+  | Alu of { op : alu_op; cc : bool; rd : Reg.t; rs1 : Reg.t; op2 : operand }
+  | Sethi of { rd : Reg.t; imm : int }
+  | Mul of { signed : bool; cc : bool; rd : Reg.t; rs1 : Reg.t; op2 : operand }
+  | Div of { signed : bool; rd : Reg.t; rs1 : Reg.t; op2 : operand }
+  | Load of { width : width; signed : bool; rd : Reg.t; rs1 : Reg.t; op2 : operand }
+  | Store of { width : width; rs : Reg.t; rs1 : Reg.t; op2 : operand }
+  | Branch of { cond : cond; target : int }
+  | Call of { target : int }
+  | Jmpl of { rd : Reg.t; rs1 : Reg.t; op2 : operand }
+  | Save of { rd : Reg.t; rs1 : Reg.t; op2 : operand }
+  | Restore of { rd : Reg.t; rs1 : Reg.t; op2 : operand }
+  | Nop
+  | Halt
+
+let alu_op_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Sll -> "sll"
+  | Srl -> "srl"
+  | Sra -> "sra"
+
+let cond_name = function
+  | Always -> "a"
+  | Eq -> "e"
+  | Ne -> "ne"
+  | Gt -> "g"
+  | Le -> "le"
+  | Ge -> "ge"
+  | Lt -> "l"
+  | Gu -> "gu"
+  | Leu -> "leu"
+
+let width_suffix = function Byte -> "ub" | Half -> "uh" | Word -> ""
+
+let pp_operand ppf = function
+  | Reg r -> Reg.pp ppf r
+  | Imm i -> Fmt.int ppf i
+
+let pp ppf = function
+  | Alu { op; cc; rd; rs1; op2 } ->
+      Fmt.pf ppf "%s%s %a, %a, %a" (alu_op_name op)
+        (if cc then "cc" else "")
+        Reg.pp rs1 pp_operand op2 Reg.pp rd
+  | Sethi { rd; imm } -> Fmt.pf ppf "sethi %d, %a" imm Reg.pp rd
+  | Mul { signed; cc; rd; rs1; op2 } ->
+      Fmt.pf ppf "%cmul%s %a, %a, %a"
+        (if signed then 's' else 'u')
+        (if cc then "cc" else "")
+        Reg.pp rs1 pp_operand op2 Reg.pp rd
+  | Div { signed; rd; rs1; op2 } ->
+      Fmt.pf ppf "%cdiv %a, %a, %a"
+        (if signed then 's' else 'u')
+        Reg.pp rs1 pp_operand op2 Reg.pp rd
+  | Load { width; signed; rd; rs1; op2 } ->
+      Fmt.pf ppf "ld%s%s [%a + %a], %a"
+        (if signed && width <> Word then "s" else "")
+        (width_suffix width) Reg.pp rs1 pp_operand op2 Reg.pp rd
+  | Store { width; rs; rs1; op2 } ->
+      Fmt.pf ppf "st%s %a, [%a + %a]"
+        (match width with Byte -> "b" | Half -> "h" | Word -> "")
+        Reg.pp rs Reg.pp rs1 pp_operand op2
+  | Branch { cond; target } -> Fmt.pf ppf "b%s .%d" (cond_name cond) target
+  | Call { target } -> Fmt.pf ppf "call .%d" target
+  | Jmpl { rd; rs1; op2 } ->
+      Fmt.pf ppf "jmpl %a + %a, %a" Reg.pp rs1 pp_operand op2 Reg.pp rd
+  | Save { rd; rs1; op2 } ->
+      Fmt.pf ppf "save %a, %a, %a" Reg.pp rs1 pp_operand op2 Reg.pp rd
+  | Restore { rd; rs1; op2 } ->
+      Fmt.pf ppf "restore %a, %a, %a" Reg.pp rs1 pp_operand op2 Reg.pp rd
+  | Nop -> Fmt.string ppf "nop"
+  | Halt -> Fmt.string ppf "halt"
+
+let to_string t = Fmt.str "%a" pp t
+let uses_icc = function Branch { cond; _ } -> cond <> Always | _ -> false
+
+let sets_icc = function
+  | Alu { cc; _ } | Mul { cc; _ } -> cc
+  | _ -> false
+
+let operand_reads = function Reg r -> [ r ] | Imm _ -> []
+
+let reads = function
+  | Alu { rs1; op2; _ }
+  | Mul { rs1; op2; _ }
+  | Div { rs1; op2; _ }
+  | Load { rs1; op2; _ }
+  | Jmpl { rs1; op2; _ }
+  | Save { rs1; op2; _ }
+  | Restore { rs1; op2; _ } ->
+      rs1 :: operand_reads op2
+  | Store { rs; rs1; op2; _ } -> rs :: rs1 :: operand_reads op2
+  | Sethi _ | Branch _ | Call _ | Nop | Halt -> []
+
+let writes = function
+  | Alu { rd; _ }
+  | Mul { rd; _ }
+  | Div { rd; _ }
+  | Load { rd; _ }
+  | Jmpl { rd; _ }
+  | Save { rd; _ }
+  | Restore { rd; _ }
+  | Sethi { rd; _ } ->
+      if rd = Reg.g0 then None else Some rd
+  | Call _ -> Some Reg.ra
+  | Store _ | Branch _ | Nop | Halt -> None
+
+let is_control = function
+  | Branch _ | Call _ | Jmpl _ -> true
+  | Alu _ | Sethi _ | Mul _ | Div _ | Load _ | Store _ | Save _ | Restore _
+  | Nop | Halt ->
+      false

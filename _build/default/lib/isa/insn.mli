@@ -1,0 +1,61 @@
+(** The simulator's SPARC-V8-flavoured instruction set.
+
+    Branch and call targets are instruction indices into the program's
+    code array; the program counter advances in units of one
+    instruction and the instruction's byte address (for instruction-
+    cache modeling) is [4 * index]. *)
+
+type operand = Reg of Reg.t | Imm of int
+(** Second ALU operand: register or 13-bit-style signed immediate (we
+    accept any OCaml int; the assembler checks ranges where needed). *)
+
+type alu_op = Add | Sub | And | Or | Xor | Sll | Srl | Sra
+
+type cond =
+  | Always
+  | Eq | Ne
+  | Gt | Le | Ge | Lt     (** signed, from icc *)
+  | Gu | Leu              (** unsigned *)
+
+type width = Byte | Half | Word
+
+type t =
+  | Alu of { op : alu_op; cc : bool; rd : Reg.t; rs1 : Reg.t; op2 : operand }
+  | Sethi of { rd : Reg.t; imm : int }
+      (** rd <- imm lsl 11: sets the high 21 bits of a register; the
+          low 11 bits follow with an [or] (see {!Asm.set32}) *)
+  | Mul of { signed : bool; cc : bool; rd : Reg.t; rs1 : Reg.t; op2 : operand }
+  | Div of { signed : bool; rd : Reg.t; rs1 : Reg.t; op2 : operand }
+  | Load of { width : width; signed : bool; rd : Reg.t; rs1 : Reg.t; op2 : operand }
+  | Store of { width : width; rs : Reg.t; rs1 : Reg.t; op2 : operand }
+  | Branch of { cond : cond; target : int }
+  | Call of { target : int }            (** writes return index to %o7 *)
+  | Jmpl of { rd : Reg.t; rs1 : Reg.t; op2 : operand }
+      (** jump to register+operand (an instruction index); the current
+          instruction index is written to [rd].  There are no delay
+          slots, so [ret] is [Jmpl {rd=%g0; rs1=%o7; op2=Imm 1}]: it
+          returns to the instruction after the call. *)
+  | Save of { rd : Reg.t; rs1 : Reg.t; op2 : operand }
+      (** window save; computes rs1+op2 in the OLD window, writes rd in
+          the NEW window (SPARC semantics, used for stack adjustment) *)
+  | Restore of { rd : Reg.t; rs1 : Reg.t; op2 : operand }
+  | Nop
+  | Halt  (** stop simulation; not a real SPARC instruction *)
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+val uses_icc : t -> bool
+(** Does the instruction read the integer condition codes? *)
+
+val sets_icc : t -> bool
+
+val reads : t -> Reg.t list
+(** Source registers (excluding %g0 duplicates is not attempted). *)
+
+val writes : t -> Reg.t option
+(** Destination register, if any (in the current window; [Save] and
+    [Restore] destinations live in the new window). *)
+
+val is_control : t -> bool
+(** Branches, calls and indirect jumps. *)

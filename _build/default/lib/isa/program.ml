@@ -1,0 +1,20 @@
+type t = {
+  code : Insn.t array;
+  entry : int;
+  data : Bytes.t;
+  symbols : (string * int) list;
+}
+
+let spill_base = 0
+let data_base = 0x1000
+let data_end t = data_base + Bytes.length t.data
+
+let symbol t name =
+  match List.assoc_opt name t.symbols with
+  | Some a -> a
+  | None -> raise Not_found
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  Array.iteri (fun k insn -> Fmt.pf ppf "%4d: %a@," k Insn.pp insn) t.code;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,29 @@
+(** A linked program: code, initialized data image and symbols.
+
+    Code lives in its own (Harvard) address space; instruction [k] has
+    byte address [4*k] for instruction-cache purposes.  Data addresses
+    start at {!data_base}; the region below it is reserved for the
+    register-window spill area used by window overflow/underflow
+    traps. *)
+
+type t = {
+  code : Insn.t array;
+  entry : int;                  (** index of the first instruction *)
+  data : Bytes.t;               (** initialized data image *)
+  symbols : (string * int) list;(** data symbol -> absolute address *)
+}
+
+val data_base : int
+(** First address of the data segment (the spill area sits below). *)
+
+val spill_base : int
+(** Base address of the register-window spill area. *)
+
+val data_end : t -> int
+(** One past the last initialized data byte. *)
+
+val symbol : t -> string -> int
+(** Address of a data symbol.  @raise Not_found *)
+
+val pp : t Fmt.t
+(** Disassembly listing with instruction indices. *)

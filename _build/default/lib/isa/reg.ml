@@ -1,0 +1,33 @@
+type t = int
+
+let check kind n =
+  if n < 0 || n > 7 then
+    invalid_arg (Printf.sprintf "Reg.%s: %d not in 0..7" kind n)
+
+let g n = check "g" n; n
+let o n = check "o" n; 8 + n
+let l n = check "l" n; 16 + n
+let i n = check "i" n; 24 + n
+let g0 = 0
+let sp = o 6
+let fp = i 6
+let ra = o 7
+let is_windowed r = r >= 8 && r <= 31
+
+(* Window [w]'s outs live at base [w*16], locals at [w*16+8] and ins at
+   [w*16+16] (mod the file size), so ins of [w] coincide with outs of
+   [w+1]; SAVE moves to window [cwp-1]. *)
+let physical ~nwindows ~cwp r =
+  if r < 0 || r > 31 then invalid_arg "Reg.physical: register not in 0..31"
+  else if r < 8 then r
+  else 8 + (((cwp * 16) + (r - 8)) mod (nwindows * 16))
+
+let file_size ~nwindows = 8 + (nwindows * 16)
+
+let name r =
+  if r < 0 || r > 31 then invalid_arg "Reg.name: register not in 0..31"
+  else
+    let bank = [| 'g'; 'o'; 'l'; 'i' |].(r / 8) in
+    Printf.sprintf "%%%c%d" bank (r mod 8)
+
+let pp ppf r = Fmt.string ppf (name r)

@@ -1,0 +1,46 @@
+(** SPARC-style windowed register naming.
+
+    Logical registers are numbered 0..31: globals %g0-%g7 (0..7), outs
+    %o0-%o7 (8..15), locals %l0-%l7 (16..23), ins %i0-%i7 (24..31).
+    %g0 is hardwired to zero.  The physical register file holds 8
+    globals plus 16 registers per window; the ins of window [w] are the
+    outs of window [w+1], so a SAVE (which decrements the current
+    window pointer) makes the caller's outs appear as the callee's
+    ins. *)
+
+type t = int
+(** A logical register number, 0..31. *)
+
+val g : int -> t
+val o : int -> t
+val l : int -> t
+val i : int -> t
+
+val g0 : t
+(** The hardwired zero register. *)
+
+val sp : t
+(** Stack pointer, %o6 by SPARC convention. *)
+
+val fp : t
+(** Frame pointer, %i6. *)
+
+val ra : t
+(** Return-address register, %o7 (written by CALL). *)
+
+val is_windowed : t -> bool
+(** True for outs/locals/ins (8..31), false for globals. *)
+
+val physical : nwindows:int -> cwp:int -> t -> int
+(** Physical register-file index of a logical register in window
+    [cwp].  Globals map to 0..7; windowed registers map into
+    [8 .. 8 + nwindows*16 - 1] with the SPARC overlap property:
+    [physical ~cwp r_in = physical ~cwp:(cwp+1) r_out]. *)
+
+val file_size : nwindows:int -> int
+(** Number of physical registers: [8 + nwindows * 16]. *)
+
+val name : t -> string
+(** Conventional name, e.g. ["%o3"]. *)
+
+val pp : t Fmt.t

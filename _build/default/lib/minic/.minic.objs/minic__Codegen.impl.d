@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Array Ast Bytes Char Check Hashtbl Isa List Optimize Printf String

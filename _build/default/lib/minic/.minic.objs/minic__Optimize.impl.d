@@ -1,0 +1,1 @@
+lib/minic/optimize.ml: Ast List String

@@ -1,0 +1,1 @@
+lib/minic/optimize.mli: Ast

@@ -1,0 +1,1 @@
+lib/minic/pretty.ml: Array Ast Buffer List Printf String

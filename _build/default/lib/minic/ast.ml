@@ -1,0 +1,113 @@
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | And | Or | Xor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+
+type unop = Neg | Not | Bitnot
+
+type expr =
+  | Int of int
+  | Var of string
+  | Idx of string * expr
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Call of string * expr list
+
+type stmt =
+  | Set of string * expr
+  | Set_idx of string * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do of expr
+  | Ret of expr
+
+type elem = Word | Byte
+
+type global =
+  | Scalar of string * int
+  | Array of string * elem * int
+  | Array_init of string * elem * int array
+
+type func = {
+  name : string;
+  params : string list;
+  locals : string list;
+  body : stmt list;
+}
+
+type program = { globals : global list; funcs : func list }
+
+let global_name = function
+  | Scalar (n, _) | Array (n, _, _) | Array_init (n, _, _) -> n
+
+let ( + ) a b = Bin (Add, a, b)
+let ( - ) a b = Bin (Sub, a, b)
+let ( * ) a b = Bin (Mul, a, b)
+let ( / ) a b = Bin (Div, a, b)
+let ( % ) a b = Bin (Mod, a, b)
+let ( &&& ) a b = Bin (And, a, b)
+let ( ||| ) a b = Bin (Or, a, b)
+let ( ^^^ ) a b = Bin (Xor, a, b)
+let ( <<< ) a b = Bin (Shl, a, b)
+let ( >>> ) a b = Bin (Shr, a, b)
+let ( < ) a b = Bin (Lt, a, b)
+let ( <= ) a b = Bin (Le, a, b)
+let ( > ) a b = Bin (Gt, a, b)
+let ( >= ) a b = Bin (Ge, a, b)
+let ( = ) a b = Bin (Eq, a, b)
+let ( <> ) a b = Bin (Ne, a, b)
+let i n = Int n
+let v name = Var name
+let idx name e = Idx (name, e)
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | And -> "&" | Or -> "|" | Xor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+
+let rec pp_expr ppf = function
+  | Int n -> Fmt.int ppf n
+  | Var x -> Fmt.string ppf x
+  | Idx (a, e) -> Fmt.pf ppf "%s[%a]" a pp_expr e
+  | Bin (op, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Un (Neg, e) -> Fmt.pf ppf "(-%a)" pp_expr e
+  | Un (Not, e) -> Fmt.pf ppf "(!%a)" pp_expr e
+  | Un (Bitnot, e) -> Fmt.pf ppf "(~%a)" pp_expr e
+  | Call (f, args) -> Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:comma pp_expr) args
+
+let rec pp_stmt ppf = function
+  | Set (x, e) -> Fmt.pf ppf "%s = %a;" x pp_expr e
+  | Set_idx (a, e1, e2) -> Fmt.pf ppf "%s[%a] = %a;" a pp_expr e1 pp_expr e2
+  | If (c, t, []) ->
+      Fmt.pf ppf "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c pp_block t
+  | If (c, t, e) ->
+      Fmt.pf ppf "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}" pp_expr c
+        pp_block t pp_block e
+  | While (c, b) ->
+      Fmt.pf ppf "@[<v 2>while (%a) {@,%a@]@,}" pp_expr c pp_block b
+  | Do e -> Fmt.pf ppf "%a;" pp_expr e
+  | Ret e -> Fmt.pf ppf "return %a;" pp_expr e
+
+and pp_block ppf stmts = Fmt.(list ~sep:cut pp_stmt) ppf stmts
+
+let pp_global ppf = function
+  | Scalar (n, init) -> Fmt.pf ppf "int %s = %d;" n init
+  | Array (n, Word, len) -> Fmt.pf ppf "int %s[%d];" n len
+  | Array (n, Byte, len) -> Fmt.pf ppf "char %s[%d];" n len
+  | Array_init (n, Word, a) -> Fmt.pf ppf "int %s[%d] = {...};" n (Array.length a)
+  | Array_init (n, Byte, a) -> Fmt.pf ppf "char %s[%d] = {...};" n (Array.length a)
+
+let pp_func ppf f =
+  Fmt.pf ppf "@[<v 2>%s(%a) locals(%a) {@,%a@]@,}" f.name
+    Fmt.(list ~sep:comma string)
+    f.params
+    Fmt.(list ~sep:comma string)
+    f.locals pp_block f.body
+
+let pp_program ppf p =
+  Fmt.pf ppf "@[<v>%a@,%a@]"
+    Fmt.(list ~sep:cut pp_global)
+    p.globals
+    Fmt.(list ~sep:cut pp_func)
+    p.funcs

@@ -1,0 +1,83 @@
+(** Abstract syntax of minic, the small imperative language the
+    benchmark applications are written in.
+
+    All values are 32-bit integers with wrap-around arithmetic;
+    division and modulo are signed and truncate toward zero; shifts use
+    the low five bits of the shift amount; comparisons yield 0 or 1.
+    Arrays are global, of 32-bit words or bytes; scalars are globals,
+    parameters or locals.
+
+    Restrictions (enforced by {!Check}): at most 6 parameters and 8
+    locals per function, function calls only in "statement position"
+    (the whole right-hand side of an assignment, a [Do], or a [Ret])
+    with call-free arguments, and bounded expression depth.  These
+    match the code generator's register budget. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | And | Or | Xor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+
+type unop = Neg | Not | Bitnot
+
+type expr =
+  | Int of int
+  | Var of string
+  | Idx of string * expr            (** [arr\[e\]] *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Call of string * expr list
+
+type stmt =
+  | Set of string * expr
+  | Set_idx of string * expr * expr (** [arr\[e1\] = e2] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do of expr                      (** call for effect *)
+  | Ret of expr
+
+type elem = Word | Byte
+
+type global =
+  | Scalar of string * int
+  | Array of string * elem * int          (** zero-initialized, length *)
+  | Array_init of string * elem * int array
+
+type func = {
+  name : string;
+  params : string list;
+  locals : string list;
+  body : stmt list;
+}
+
+type program = { globals : global list; funcs : func list }
+(** Execution begins at the parameterless function ["main"]; its return
+    value is the program's checksum. *)
+
+val global_name : global -> string
+
+(** {2 Construction helpers} *)
+
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+val ( % ) : expr -> expr -> expr
+val ( &&& ) : expr -> expr -> expr
+val ( ||| ) : expr -> expr -> expr
+val ( ^^^ ) : expr -> expr -> expr
+val ( <<< ) : expr -> expr -> expr
+val ( >>> ) : expr -> expr -> expr
+val ( < ) : expr -> expr -> expr
+val ( <= ) : expr -> expr -> expr
+val ( > ) : expr -> expr -> expr
+val ( >= ) : expr -> expr -> expr
+val ( = ) : expr -> expr -> expr
+val ( <> ) : expr -> expr -> expr
+val i : int -> expr
+val v : string -> expr
+val idx : string -> expr -> expr
+
+val pp_expr : expr Fmt.t
+val pp_stmt : stmt Fmt.t
+val pp_program : program Fmt.t

@@ -1,0 +1,153 @@
+let max_params = 6
+let max_locals = 8
+let max_expr_depth = 10
+
+let rec expr_depth = function
+  | Ast.Int _ | Ast.Var _ -> 1
+  | Ast.Idx (_, e) -> expr_depth e
+  | Ast.Un (_, e) -> expr_depth e
+  | Ast.Bin (_, a, b) -> max (expr_depth a) (expr_depth b + 1)
+  | Ast.Call (_, args) ->
+      (* Call arguments are evaluated at increasing stack positions. *)
+      List.fold_left
+        (fun acc (k, d) -> max acc (k + d))
+        1
+        (List.mapi (fun k a -> (k, expr_depth a)) args)
+
+type env = {
+  scalars : (string, unit) Hashtbl.t;   (* global scalars *)
+  arrays : (string, unit) Hashtbl.t;
+  funcs : (string, int) Hashtbl.t;      (* arity *)
+}
+
+let rec has_call = function
+  | Ast.Int _ | Ast.Var _ -> false
+  | Ast.Idx (_, e) | Ast.Un (_, e) -> has_call e
+  | Ast.Bin (_, a, b) -> has_call a || has_call b
+  | Ast.Call _ -> true
+
+let check program =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let env =
+    {
+      scalars = Hashtbl.create 16;
+      arrays = Hashtbl.create 16;
+      funcs = Hashtbl.create 16;
+    }
+  in
+  let seen = Hashtbl.create 16 in
+  let declare_global g =
+    let name = Ast.global_name g in
+    if Hashtbl.mem seen name then err "duplicate global %S" name
+    else begin
+      Hashtbl.add seen name ();
+      match g with
+      | Ast.Scalar _ -> Hashtbl.add env.scalars name ()
+      | Ast.Array _ | Ast.Array_init _ -> Hashtbl.add env.arrays name ()
+    end
+  in
+  List.iter declare_global program.Ast.globals;
+  let declare_func (f : Ast.func) =
+    if Hashtbl.mem env.funcs f.name then err "duplicate function %S" f.name
+    else Hashtbl.add env.funcs f.name (List.length f.params)
+  in
+  List.iter declare_func program.Ast.funcs;
+  let check_func (f : Ast.func) =
+    let where fmt = Printf.ksprintf (fun s -> f.name ^ ": " ^ s) fmt in
+    if List.length f.params > max_params then
+      err "%s" (where "more than %d parameters" max_params);
+    if List.length f.locals > max_locals then
+      err "%s" (where "more than %d locals" max_locals);
+    let vars = Hashtbl.create 16 in
+    let declare_var x =
+      if Hashtbl.mem vars x then err "%s" (where "duplicate variable %S" x)
+      else if Hashtbl.mem env.arrays x then
+        err "%s" (where "variable %S shadows a global array" x)
+      else Hashtbl.add vars x ()
+    in
+    List.iter declare_var f.params;
+    List.iter declare_var f.locals;
+    let scalar_ok x = Hashtbl.mem vars x || Hashtbl.mem env.scalars x in
+    let rec check_expr e =
+      (match e with
+      | Ast.Int _ -> ()
+      | Ast.Var x ->
+          if not (scalar_ok x) then
+            if Hashtbl.mem env.arrays x then
+              err "%s" (where "array %S used as a scalar" x)
+            else err "%s" (where "unknown variable %S" x)
+      | Ast.Idx (a, e1) ->
+          if not (Hashtbl.mem env.arrays a) then
+            err "%s" (where "unknown array %S" a);
+          if has_call e1 then err "%s" (where "call inside index of %S" a);
+          check_expr e1
+      | Ast.Un (_, e1) -> check_expr e1
+      | Ast.Bin (_, a, b) ->
+          if has_call a || has_call b then
+            err "%s" (where "call nested inside an operator expression");
+          check_expr a;
+          check_expr b
+      | Ast.Call (g, args) ->
+          (match Hashtbl.find_opt env.funcs g with
+          | None -> err "%s" (where "unknown function %S" g)
+          | Some arity ->
+              if arity <> List.length args then
+                err "%s"
+                  (where "call to %S with %d arguments, expected %d" g
+                     (List.length args) arity));
+          List.iter
+            (fun a ->
+              if has_call a then
+                err "%s" (where "call nested inside an argument of %S" g);
+              check_expr a)
+            args);
+      if expr_depth e > max_expr_depth then
+        err "%s"
+          (where "expression needs %d temporaries, limit is %d" (expr_depth e)
+             max_expr_depth)
+    in
+    let check_assign_target x =
+      if not (scalar_ok x) then err "%s" (where "unknown variable %S" x)
+    in
+    let rec check_stmt = function
+      | Ast.Set (x, e) ->
+          check_assign_target x;
+          check_expr e
+      | Ast.Set_idx (a, e1, e2) ->
+          if not (Hashtbl.mem env.arrays a) then
+            err "%s" (where "unknown array %S" a);
+          if has_call e1 || has_call e2 then
+            err "%s" (where "call inside array store to %S" a);
+          check_expr e1;
+          check_expr e2
+      | Ast.If (c, th, el) ->
+          if has_call c then err "%s" (where "call inside a condition");
+          check_expr c;
+          List.iter check_stmt th;
+          List.iter check_stmt el
+      | Ast.While (c, body) ->
+          if has_call c then err "%s" (where "call inside a loop condition");
+          check_expr c;
+          List.iter check_stmt body
+      | Ast.Do e ->
+          (match e with
+          | Ast.Call _ -> ()
+          | Ast.Int _ | Ast.Var _ | Ast.Idx _ | Ast.Bin _ | Ast.Un _ ->
+              err "%s" (where "effect statement must be a call"));
+          check_expr e
+      | Ast.Ret e -> check_expr e
+    in
+    List.iter check_stmt f.body
+  in
+  List.iter check_func program.Ast.funcs;
+  (match Hashtbl.find_opt env.funcs "main" with
+  | None -> err "no main function"
+  | Some 0 -> ()
+  | Some n -> err "main must take no parameters, has %d" n);
+  match List.rev !errors with [] -> Ok () | es -> Error es
+
+let check_exn program =
+  match check program with
+  | Ok () -> ()
+  | Error es -> failwith ("minic check failed:\n  " ^ String.concat "\n  " es)

@@ -1,0 +1,19 @@
+(** Static checks for minic programs.
+
+    Verifies name resolution, arities, and the structural restrictions
+    the code generator relies on: at most 6 parameters and 8 locals,
+    calls only in statement position with call-free arguments, and
+    expression depth within the temporary-register budget. *)
+
+val max_params : int
+val max_locals : int
+val max_expr_depth : int
+
+val expr_depth : Ast.expr -> int
+(** Number of expression-stack temporaries needed to evaluate. *)
+
+val check : Ast.program -> (unit, string list) result
+(** All violations, or [Ok ()]. *)
+
+val check_exn : Ast.program -> unit
+(** @raise Failure with the concatenated violations. *)

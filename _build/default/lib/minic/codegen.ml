@@ -1,0 +1,304 @@
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let scratch = Isa.Reg.g 5
+let scratch2 = Isa.Reg.g 6
+
+(* Expression-stack temporary for a given depth. *)
+let treg depth =
+  if depth < 0 then error "negative expression depth"
+  else if depth < 6 then Isa.Reg.o depth
+  else if depth < Check.max_expr_depth then Isa.Reg.g (depth - 5)
+  else error "expression too deep (depth %d)" depth
+
+type genv = {
+  asm : Isa.Asm.t;
+  globals : (string, int * Ast.elem option) Hashtbl.t;
+      (* address, Some elem for arrays, None for scalars *)
+  mutable next_label : int;
+}
+
+type fenv = { regs : (string, Isa.Reg.t) Hashtbl.t }
+
+let fresh_label g prefix =
+  let n = g.next_label in
+  g.next_label <- n + 1;
+  Printf.sprintf ".L%s%d" prefix n
+
+let emit g insn = Isa.Asm.emit g.asm insn
+
+let mov g src dst =
+  if src <> dst then
+    emit g (Isa.Insn.Alu { op = Isa.Insn.Or; cc = false; rd = dst; rs1 = Isa.Reg.g0; op2 = Isa.Insn.Reg src })
+
+let alu g op rd rs1 op2 = emit g (Isa.Insn.Alu { op; cc = false; rd; rs1; op2 })
+
+let cmp g rs1 op2 =
+  emit g (Isa.Insn.Alu { op = Isa.Insn.Sub; cc = true; rd = Isa.Reg.g0; rs1; op2 })
+
+let fits_simm13 v = v >= -4096 && v <= 4095
+
+let global_addr g name =
+  match Hashtbl.find_opt g.globals name with
+  | Some (addr, _) -> addr
+  | None -> error "unknown global %S" name
+
+let array_elem g name =
+  match Hashtbl.find_opt g.globals name with
+  | Some (_, Some elem) -> elem
+  | Some (_, None) -> error "%S is a scalar, not an array" name
+  | None -> error "unknown array %S" name
+
+let cond_of_cmp = function
+  | Ast.Lt -> Isa.Insn.Lt
+  | Ast.Le -> Isa.Insn.Le
+  | Ast.Gt -> Isa.Insn.Gt
+  | Ast.Ge -> Isa.Insn.Ge
+  | Ast.Eq -> Isa.Insn.Eq
+  | Ast.Ne -> Isa.Insn.Ne
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.And | Ast.Or
+  | Ast.Xor | Ast.Shl | Ast.Shr ->
+      error "not a comparison"
+
+let negate_cond = function
+  | Isa.Insn.Lt -> Isa.Insn.Ge
+  | Isa.Insn.Ge -> Isa.Insn.Lt
+  | Isa.Insn.Le -> Isa.Insn.Gt
+  | Isa.Insn.Gt -> Isa.Insn.Le
+  | Isa.Insn.Eq -> Isa.Insn.Ne
+  | Isa.Insn.Ne -> Isa.Insn.Eq
+  | Isa.Insn.Always | Isa.Insn.Gu | Isa.Insn.Leu ->
+      error "cannot negate condition"
+
+let is_cmp = function
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> true
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.And | Ast.Or
+  | Ast.Xor | Ast.Shl | Ast.Shr ->
+      false
+
+let rec eval g fe depth e =
+  let t = treg depth in
+  match e with
+  | Ast.Int n -> Isa.Asm.set32 g.asm n t
+  | Ast.Var x -> (
+      match Hashtbl.find_opt fe.regs x with
+      | Some r -> mov g r t
+      | None ->
+          Isa.Asm.set32 g.asm (global_addr g x) t;
+          emit g
+            (Isa.Insn.Load
+               { width = Isa.Insn.Word; signed = false; rd = t; rs1 = t; op2 = Isa.Insn.Imm 0 }))
+  | Ast.Idx (a, e1) ->
+      eval g fe depth e1;
+      let elem = array_elem g a in
+      let width =
+        match elem with Ast.Word -> Isa.Insn.Word | Ast.Byte -> Isa.Insn.Byte
+      in
+      if elem = Ast.Word then alu g Isa.Insn.Sll t t (Isa.Insn.Imm 2);
+      Isa.Asm.set32 g.asm (global_addr g a) scratch;
+      emit g
+        (Isa.Insn.Load { width; signed = false; rd = t; rs1 = scratch; op2 = Isa.Insn.Reg t })
+  | Ast.Un (op, e1) -> (
+      eval g fe depth e1;
+      match op with
+      | Ast.Neg -> alu g Isa.Insn.Sub t Isa.Reg.g0 (Isa.Insn.Reg t)
+      | Ast.Bitnot -> alu g Isa.Insn.Xor t t (Isa.Insn.Imm (-1))
+      | Ast.Not ->
+          cmp g t (Isa.Insn.Imm 0);
+          materialize_cc g t Isa.Insn.Eq)
+  | Ast.Bin (op, a, b) -> (
+      (* Small-constant right operands become immediates. *)
+      let rhs =
+        match b with
+        | Ast.Int n when fits_simm13 n -> `Imm n
+        | Ast.Int _ | Ast.Var _ | Ast.Idx _ | Ast.Bin _ | Ast.Un _ | Ast.Call _
+          ->
+            `Reg
+      in
+      eval g fe depth a;
+      let op2 =
+        match rhs with
+        | `Imm n -> Isa.Insn.Imm n
+        | `Reg ->
+            eval g fe (depth + 1) b;
+            Isa.Insn.Reg (treg (depth + 1))
+      in
+      match op with
+      | Ast.Add -> alu g Isa.Insn.Add t t op2
+      | Ast.Sub -> alu g Isa.Insn.Sub t t op2
+      | Ast.And -> alu g Isa.Insn.And t t op2
+      | Ast.Or -> alu g Isa.Insn.Or t t op2
+      | Ast.Xor -> alu g Isa.Insn.Xor t t op2
+      | Ast.Shl -> alu g Isa.Insn.Sll t t op2
+      | Ast.Shr -> alu g Isa.Insn.Srl t t op2
+      | Ast.Mul ->
+          emit g (Isa.Insn.Mul { signed = true; cc = false; rd = t; rs1 = t; op2 })
+      | Ast.Div ->
+          emit g (Isa.Insn.Div { signed = true; rd = t; rs1 = t; op2 })
+      | Ast.Mod ->
+          (* r = a - (a / b) * b, matching the interpreter. *)
+          emit g (Isa.Insn.Div { signed = true; rd = scratch2; rs1 = t; op2 });
+          emit g (Isa.Insn.Mul { signed = true; cc = false; rd = scratch2; rs1 = scratch2; op2 });
+          alu g Isa.Insn.Sub t t (Isa.Insn.Reg scratch2)
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+          cmp g t op2;
+          materialize_cc g t (cond_of_cmp op))
+  | Ast.Call _ -> error "call outside statement position"
+
+(* Set [t] to 1 if [cond] holds, else 0 (consumes the current icc). *)
+and materialize_cc g t cond =
+  let l = fresh_label g "cc" in
+  alu g Isa.Insn.Or t Isa.Reg.g0 (Isa.Insn.Imm 1);
+  Isa.Asm.bcc g.asm cond l;
+  alu g Isa.Insn.Or t Isa.Reg.g0 (Isa.Insn.Imm 0);
+  Isa.Asm.label g.asm l
+
+let gen_call g fe f args =
+  List.iteri (fun k a -> eval g fe k a) args;
+  Isa.Asm.call g.asm ("fn_" ^ f)
+
+(* Branch to [label] when [cond] is false. *)
+let gen_branch_false g fe cond label =
+  match cond with
+  | Ast.Bin (op, a, b) when is_cmp op ->
+      let op2 =
+        match b with
+        | Ast.Int n when fits_simm13 n ->
+            eval g fe 0 a;
+            Isa.Insn.Imm n
+        | Ast.Int _ | Ast.Var _ | Ast.Idx _ | Ast.Bin _ | Ast.Un _ | Ast.Call _
+          ->
+            eval g fe 0 a;
+            eval g fe 1 b;
+            Isa.Insn.Reg (treg 1)
+      in
+      cmp g (treg 0) op2;
+      Isa.Asm.bcc g.asm (negate_cond (cond_of_cmp op)) label
+  | Ast.Int _ | Ast.Var _ | Ast.Idx _ | Ast.Bin _ | Ast.Un _ ->
+      eval g fe 0 cond;
+      cmp g (treg 0) (Isa.Insn.Imm 0);
+      Isa.Asm.bcc g.asm Isa.Insn.Eq label
+  | Ast.Call _ -> error "call inside a condition"
+
+let store_scalar g fe x src =
+  match Hashtbl.find_opt fe.regs x with
+  | Some r -> mov g src r
+  | None ->
+      Isa.Asm.set32 g.asm (global_addr g x) scratch;
+      emit g
+        (Isa.Insn.Store
+           { width = Isa.Insn.Word; rs = src; rs1 = scratch; op2 = Isa.Insn.Imm 0 })
+
+let rec gen_stmt g fe = function
+  | Ast.Set (x, Ast.Call (f, args)) ->
+      gen_call g fe f args;
+      store_scalar g fe x (Isa.Reg.o 0)
+  | Ast.Set (x, e) ->
+      eval g fe 0 e;
+      store_scalar g fe x (treg 0)
+  | Ast.Set_idx (a, ei, ev) ->
+      eval g fe 0 ei;
+      eval g fe 1 ev;
+      let elem = array_elem g a in
+      if elem = Ast.Word then alu g Isa.Insn.Sll (treg 0) (treg 0) (Isa.Insn.Imm 2);
+      Isa.Asm.set32 g.asm (global_addr g a) scratch;
+      let width =
+        match elem with Ast.Word -> Isa.Insn.Word | Ast.Byte -> Isa.Insn.Byte
+      in
+      emit g
+        (Isa.Insn.Store { width; rs = treg 1; rs1 = scratch; op2 = Isa.Insn.Reg (treg 0) })
+  | Ast.Do (Ast.Call (f, args)) -> gen_call g fe f args
+  | Ast.Do _ -> error "effect statement must be a call"
+  | Ast.Ret e ->
+      (match e with
+      | Ast.Call (f, args) -> gen_call g fe f args
+      | Ast.Int _ | Ast.Var _ | Ast.Idx _ | Ast.Bin _ | Ast.Un _ ->
+          eval g fe 0 e);
+      mov g (Isa.Reg.o 0) (Isa.Reg.i 0);
+      emit g
+        (Isa.Insn.Restore { rd = Isa.Reg.g0; rs1 = Isa.Reg.g0; op2 = Isa.Insn.Reg Isa.Reg.g0 });
+      Isa.Asm.ret g.asm
+  | Ast.If (c, th, []) ->
+      let l_end = fresh_label g "if" in
+      gen_branch_false g fe c l_end;
+      List.iter (gen_stmt g fe) th;
+      Isa.Asm.label g.asm l_end
+  | Ast.If (c, th, el) ->
+      let l_else = fresh_label g "else" in
+      let l_end = fresh_label g "endif" in
+      gen_branch_false g fe c l_else;
+      List.iter (gen_stmt g fe) th;
+      Isa.Asm.ba g.asm l_end;
+      Isa.Asm.label g.asm l_else;
+      List.iter (gen_stmt g fe) el;
+      Isa.Asm.label g.asm l_end
+  | Ast.While (c, body) ->
+      let l_cond = fresh_label g "while" in
+      let l_end = fresh_label g "wend" in
+      Isa.Asm.label g.asm l_cond;
+      gen_branch_false g fe c l_end;
+      List.iter (gen_stmt g fe) body;
+      Isa.Asm.ba g.asm l_cond;
+      Isa.Asm.label g.asm l_end
+
+let gen_func g (f : Ast.func) =
+  Isa.Asm.label g.asm ("fn_" ^ f.name);
+  emit g
+    (Isa.Insn.Save { rd = Isa.Reg.sp; rs1 = Isa.Reg.sp; op2 = Isa.Insn.Imm (-96) });
+  let fe = { regs = Hashtbl.create 8 } in
+  List.iteri (fun k p -> Hashtbl.add fe.regs p (Isa.Reg.i k)) f.params;
+  List.iteri (fun k l -> Hashtbl.add fe.regs l (Isa.Reg.l k)) f.locals;
+  List.iter (gen_stmt g fe) f.body;
+  (* Fall-through epilogue: return 0. *)
+  alu g Isa.Insn.Or (Isa.Reg.i 0) Isa.Reg.g0 (Isa.Insn.Imm 0);
+  emit g
+    (Isa.Insn.Restore { rd = Isa.Reg.g0; rs1 = Isa.Reg.g0; op2 = Isa.Insn.Reg Isa.Reg.g0 });
+  Isa.Asm.ret g.asm
+
+let bytes_of_words values =
+  let b = Bytes.create (4 * Array.length values) in
+  Array.iteri
+    (fun k v ->
+      let v = v land 0xFFFFFFFF in
+      Bytes.set_uint16_le b (4 * k) (v land 0xFFFF);
+      Bytes.set_uint16_le b ((4 * k) + 2) (v lsr 16))
+    values;
+  b
+
+let bytes_of_bytes values =
+  let b = Bytes.create (Array.length values) in
+  Array.iteri (fun k v -> Bytes.set b k (Char.chr (v land 0xFF))) values;
+  b
+
+let compile ?(optimize = false) program =
+  (match Check.check program with
+  | Ok () -> ()
+  | Error es -> error "invalid program:\n  %s" (String.concat "\n  " es));
+  let program = if optimize then Optimize.program program else program in
+  let g =
+    { asm = Isa.Asm.create (); globals = Hashtbl.create 16; next_label = 0 }
+  in
+  let add_global gl =
+    let name = Ast.global_name gl in
+    let addr, elem =
+      match gl with
+      | Ast.Scalar (_, init) ->
+          (Isa.Asm.data_words g.asm ~name [| init |], None)
+      | Ast.Array (_, Ast.Word, len) ->
+          (Isa.Asm.data_zero g.asm ~name (4 * len), Some Ast.Word)
+      | Ast.Array (_, Ast.Byte, len) ->
+          (Isa.Asm.data_zero g.asm ~name len, Some Ast.Byte)
+      | Ast.Array_init (_, Ast.Word, values) ->
+          (Isa.Asm.data_bytes g.asm ~name (bytes_of_words values), Some Ast.Word)
+      | Ast.Array_init (_, Ast.Byte, values) ->
+          (Isa.Asm.data_bytes g.asm ~name (bytes_of_bytes values), Some Ast.Byte)
+    in
+    Hashtbl.add g.globals name (addr, elem)
+  in
+  List.iter add_global program.Ast.globals;
+  (* Startup stub. *)
+  Isa.Asm.call g.asm "fn_main";
+  emit g Isa.Insn.Halt;
+  List.iter (gen_func g) program.Ast.funcs;
+  Isa.Asm.finish g.asm ~entry:0

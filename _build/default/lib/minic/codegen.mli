@@ -1,0 +1,18 @@
+(** Code generator: minic to the {!Isa} instruction set.
+
+    Calling convention (SPARC-style):
+    - each function body runs under [save %sp, -96, %sp], so register
+      windows hold parameters (%i0-%i5) and locals (%l0-%l7);
+    - up to 6 arguments are passed in %o0-%o5; the return value comes
+      back in the caller's %o0;
+    - expression evaluation uses a register stack %o0-%o5, %g1-%g4,
+      with %g5/%g6 as address/modulo scratch — all caller-saved.
+
+    Programs must pass {!Check.check}; [compile] enforces this. *)
+
+exception Error of string
+
+val compile : ?optimize:bool -> Ast.program -> Isa.Program.t
+(** [optimize] (default false) runs {!Optimize.program} first.
+    @raise Error on programs the generator cannot handle (these are
+    exactly the {!Check} violations). *)

@@ -1,0 +1,162 @@
+exception Runtime_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+let mask32 = 0xFFFFFFFF
+let to_signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+let of_signed v = v land mask32
+let bool01 b = if b then 1 else 0
+
+let binop op a b =
+  match op with
+  | Ast.Add -> (a + b) land mask32
+  | Ast.Sub -> (a - b) land mask32
+  | Ast.Mul -> a * b land mask32
+  | Ast.Div ->
+      if b = 0 then error "division by zero";
+      of_signed (to_signed a / to_signed b)
+  | Ast.Mod ->
+      if b = 0 then error "modulo by zero";
+      let q = to_signed a / to_signed b in
+      of_signed (to_signed a - (q * to_signed b))
+  | Ast.And -> a land b
+  | Ast.Or -> a lor b
+  | Ast.Xor -> a lxor b
+  | Ast.Shl -> (a lsl (b land 31)) land mask32
+  | Ast.Shr -> a lsr (b land 31)
+  | Ast.Lt -> bool01 (to_signed a < to_signed b)
+  | Ast.Le -> bool01 (to_signed a <= to_signed b)
+  | Ast.Gt -> bool01 (to_signed a > to_signed b)
+  | Ast.Ge -> bool01 (to_signed a >= to_signed b)
+  | Ast.Eq -> bool01 (a = b)
+  | Ast.Ne -> bool01 (a <> b)
+
+let unop op a =
+  match op with
+  | Ast.Neg -> (0 - a) land mask32
+  | Ast.Not -> bool01 (a = 0)
+  | Ast.Bitnot -> a lxor mask32
+
+type array_cell = { elem : Ast.elem; data : int array }
+
+type state = {
+  scalars : (string, int ref) Hashtbl.t;
+  arrays : (string, array_cell) Hashtbl.t;
+  funcs : (string, Ast.func) Hashtbl.t;
+  mutable fuel : int;
+  mutable depth : int;
+}
+
+exception Return of int
+
+let elem_mask = function Ast.Word -> mask32 | Ast.Byte -> 0xFF
+
+let array_get st a i =
+  match Hashtbl.find_opt st.arrays a with
+  | None -> error "unknown array %S" a
+  | Some cell ->
+      if i < 0 || i >= Array.length cell.data then
+        error "index %d out of bounds for %S (length %d)" i a
+          (Array.length cell.data);
+      cell.data.(i)
+
+let array_set st a i v =
+  match Hashtbl.find_opt st.arrays a with
+  | None -> error "unknown array %S" a
+  | Some cell ->
+      if i < 0 || i >= Array.length cell.data then
+        error "index %d out of bounds for %S (length %d)" i a
+          (Array.length cell.data);
+      cell.data.(i) <- v land elem_mask cell.elem
+
+let rec eval st locals e =
+  spend st;
+  match e with
+  | Ast.Int n -> n land mask32
+  | Ast.Var x -> (
+      match Hashtbl.find_opt locals x with
+      | Some r -> !r
+      | None -> (
+          match Hashtbl.find_opt st.scalars x with
+          | Some r -> !r
+          | None -> error "unknown variable %S" x))
+  | Ast.Idx (a, e1) -> array_get st a (to_signed (eval st locals e1))
+  | Ast.Bin (op, a, b) ->
+      let va = eval st locals a in
+      let vb = eval st locals b in
+      binop op va vb
+  | Ast.Un (op, a) -> unop op (eval st locals a)
+  | Ast.Call (f, args) ->
+      let vals = List.map (eval st locals) args in
+      call st f vals
+
+and call st f args =
+  match Hashtbl.find_opt st.funcs f with
+  | None -> error "unknown function %S" f
+  | Some fn ->
+      if st.depth > 4096 then error "call stack overflow in %S" f;
+      st.depth <- st.depth + 1;
+      let locals = Hashtbl.create 8 in
+      List.iter2 (fun p v -> Hashtbl.add locals p (ref v)) fn.Ast.params args;
+      List.iter (fun l -> Hashtbl.add locals l (ref 0)) fn.Ast.locals;
+      let value =
+        try
+          exec_block st locals fn.Ast.body;
+          0
+        with Return v -> v
+      in
+      st.depth <- st.depth - 1;
+      value
+
+and spend st =
+  if st.fuel <= 0 then error "fuel exhausted";
+  st.fuel <- st.fuel - 1
+
+and exec_block st locals stmts = List.iter (exec st locals) stmts
+
+and exec st locals stmt =
+  spend st;
+  match stmt with
+  | Ast.Set (x, e) -> (
+      let v = eval st locals e in
+      match Hashtbl.find_opt locals x with
+      | Some r -> r := v
+      | None -> (
+          match Hashtbl.find_opt st.scalars x with
+          | Some r -> r := v
+          | None -> error "unknown variable %S" x))
+  | Ast.Set_idx (a, e1, e2) ->
+      let i = to_signed (eval st locals e1) in
+      let v = eval st locals e2 in
+      array_set st a i v
+  | Ast.If (c, th, el) ->
+      if eval st locals c <> 0 then exec_block st locals th
+      else exec_block st locals el
+  | Ast.While (c, body) ->
+      while eval st locals c <> 0 do
+        exec_block st locals body
+      done
+  | Ast.Do e -> ignore (eval st locals e)
+  | Ast.Ret e -> raise (Return (eval st locals e))
+
+let run ?(fuel = 1_000_000_000) program =
+  let st =
+    {
+      scalars = Hashtbl.create 16;
+      arrays = Hashtbl.create 16;
+      funcs = Hashtbl.create 16;
+      fuel;
+      depth = 0;
+    }
+  in
+  let add_global = function
+    | Ast.Scalar (n, init) -> Hashtbl.add st.scalars n (ref (init land mask32))
+    | Ast.Array (n, elem, len) ->
+        Hashtbl.add st.arrays n { elem; data = Array.make len 0 }
+    | Ast.Array_init (n, elem, values) ->
+        let m = elem_mask elem in
+        Hashtbl.add st.arrays n
+          { elem; data = Array.map (fun v -> v land m) values }
+  in
+  List.iter add_global program.Ast.globals;
+  List.iter (fun f -> Hashtbl.add st.funcs f.Ast.name f) program.Ast.funcs;
+  call st "main" []

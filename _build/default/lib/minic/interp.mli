@@ -1,0 +1,17 @@
+(** Reference interpreter.
+
+    Defines minic's semantics independently of the code generator and
+    processor simulator; differential tests check that compiled
+    execution computes exactly the same result.  Array accesses are
+    bounds-checked here (the hardware would silently read neighbouring
+    memory), so a clean interpreter run certifies that a program is
+    in-bounds and the compiled version is trustworthy. *)
+
+exception Runtime_error of string
+
+val run : ?fuel:int -> Ast.program -> int
+(** Execute [main] and return its value (32-bit, in [0, 0xFFFFFFFF]).
+    [fuel] bounds the number of statements executed (default 10^9).
+    @raise Runtime_error on division by zero, out-of-bounds access,
+    missing return paths falling through are fine (a function without
+    [Ret] returns 0), call-stack overflow, or fuel exhaustion. *)

@@ -1,0 +1,228 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_INT | KW_CHAR | KW_IF | KW_ELSE | KW_WHILE | KW_RETURN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | SHL | SHR | TILDE | BANG
+  | LT | LE | GT | GE | EQEQ | NE
+  | ASSIGN
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI
+  | EOF
+
+exception Error of { line : int; message : string }
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line_nr : int;
+  mutable lookahead : (token * int) option;
+}
+
+let create src = { src; pos = 0; line_nr = 1; lookahead = None }
+
+let error t fmt =
+  Printf.ksprintf (fun message -> raise (Error { line = t.line_nr; message })) fmt
+
+let at_end t = t.pos >= String.length t.src
+let cur t = t.src.[t.pos]
+
+let advance t =
+  if not (at_end t) then begin
+    if cur t = '\n' then t.line_nr <- t.line_nr + 1;
+    t.pos <- t.pos + 1
+  end
+
+let rec skip_ws t =
+  if at_end t then ()
+  else
+    match cur t with
+    | ' ' | '\t' | '\r' | '\n' ->
+        advance t;
+        skip_ws t
+    | '/' when t.pos + 1 < String.length t.src -> (
+        match t.src.[t.pos + 1] with
+        | '/' ->
+            while (not (at_end t)) && cur t <> '\n' do
+              advance t
+            done;
+            skip_ws t
+        | '*' ->
+            advance t;
+            advance t;
+            let rec close () =
+              if at_end t then error t "unterminated block comment"
+              else if
+                cur t = '*'
+                && t.pos + 1 < String.length t.src
+                && t.src.[t.pos + 1] = '/'
+              then begin
+                advance t;
+                advance t
+              end
+              else begin
+                advance t;
+                close ()
+              end
+            in
+            close ();
+            skip_ws t
+        | _ -> ())
+    | _ -> ()
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident c = is_ident_start c || is_digit c
+
+let keyword = function
+  | "int" -> Some KW_INT
+  | "char" -> Some KW_CHAR
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "return" -> Some KW_RETURN
+  | _ -> None
+
+let lex_number t =
+  let start = t.pos in
+  if
+    cur t = '0'
+    && t.pos + 1 < String.length t.src
+    && (t.src.[t.pos + 1] = 'x' || t.src.[t.pos + 1] = 'X')
+  then begin
+    advance t;
+    advance t;
+    let hstart = t.pos in
+    while (not (at_end t)) && is_hex (cur t) do
+      advance t
+    done;
+    if t.pos = hstart then error t "empty hexadecimal literal";
+    INT (int_of_string (String.sub t.src start (t.pos - start)))
+  end
+  else begin
+    while (not (at_end t)) && is_digit (cur t) do
+      advance t
+    done;
+    INT (int_of_string (String.sub t.src start (t.pos - start)))
+  end
+
+let lex_ident t =
+  let start = t.pos in
+  while (not (at_end t)) && is_ident (cur t) do
+    advance t
+  done;
+  let s = String.sub t.src start (t.pos - start) in
+  match keyword s with Some k -> k | None -> IDENT s
+
+let two t a single double =
+  advance t;
+  if (not (at_end t)) && cur t = a then begin
+    advance t;
+    double
+  end
+  else single
+
+let raw_next t =
+  skip_ws t;
+  let line = t.line_nr in
+  if at_end t then (EOF, line)
+  else
+    let tok =
+      match cur t with
+      | c when is_digit c -> lex_number t
+      | c when is_ident_start c -> lex_ident t
+      | '+' -> advance t; PLUS
+      | '-' -> advance t; MINUS
+      | '*' -> advance t; STAR
+      | '/' -> advance t; SLASH
+      | '%' -> advance t; PERCENT
+      | '&' -> advance t; AMP
+      | '|' -> advance t; PIPE
+      | '^' -> advance t; CARET
+      | '~' -> advance t; TILDE
+      | '(' -> advance t; LPAREN
+      | ')' -> advance t; RPAREN
+      | '{' -> advance t; LBRACE
+      | '}' -> advance t; RBRACE
+      | '[' -> advance t; LBRACKET
+      | ']' -> advance t; RBRACKET
+      | ',' -> advance t; COMMA
+      | ';' -> advance t; SEMI
+      | '<' ->
+          advance t;
+          if not (at_end t) then
+            if cur t = '<' then (advance t; SHL)
+            else if cur t = '=' then (advance t; LE)
+            else LT
+          else LT
+      | '>' ->
+          advance t;
+          if not (at_end t) then
+            if cur t = '>' then (advance t; SHR)
+            else if cur t = '=' then (advance t; GE)
+            else GT
+          else GT
+      | '=' -> two t '=' ASSIGN EQEQ
+      | '!' -> two t '=' BANG NE
+      | c -> error t "unexpected character %C" c
+    in
+    (tok, line)
+
+let next t =
+  match t.lookahead with
+  | Some tk ->
+      t.lookahead <- None;
+      tk
+  | None -> raw_next t
+
+let peek t =
+  match t.lookahead with
+  | Some (tok, _) -> tok
+  | None ->
+      let tk = raw_next t in
+      t.lookahead <- Some tk;
+      fst tk
+
+let line t = t.line_nr
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW_INT -> "int"
+  | KW_CHAR -> "char"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_RETURN -> "return"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | TILDE -> "~"
+  | BANG -> "!"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQEQ -> "=="
+  | NE -> "!="
+  | ASSIGN -> "="
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | EOF -> "<eof>"

@@ -1,0 +1,31 @@
+(** Hand-written lexer for minic's concrete syntax.
+
+    Tokens cover a small C dialect: integer literals (decimal and hex),
+    identifiers, keywords ([int], [char], [if], [else], [while],
+    [return], [locals]), operators and punctuation.  Comments are
+    [// line] and [/* block */]. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_INT | KW_CHAR | KW_IF | KW_ELSE | KW_WHILE | KW_RETURN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | SHL | SHR | TILDE | BANG
+  | LT | LE | GT | GE | EQEQ | NE
+  | ASSIGN
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI
+  | EOF
+
+exception Error of { line : int; message : string }
+
+type t
+
+val create : string -> t
+val next : t -> token * int
+(** Token and its line number. *)
+
+val peek : t -> token
+val line : t -> int
+
+val token_to_string : token -> string

@@ -1,0 +1,122 @@
+let mask32 = 0xFFFFFFFF
+let to_signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+let bool01 b = if b then 1 else 0
+
+(* Pure evaluation of an operator over literals; [None] when folding
+   must not happen (division by zero stays a runtime event). *)
+let fold_binop op a b =
+  let a = a land mask32 and b = b land mask32 in
+  match op with
+  | Ast.Add -> Some ((a + b) land mask32)
+  | Ast.Sub -> Some ((a - b) land mask32)
+  | Ast.Mul -> Some (a * b land mask32)
+  | Ast.Div ->
+      if b = 0 then None else Some (to_signed a / to_signed b land mask32)
+  | Ast.Mod ->
+      if b = 0 then None
+      else
+        let q = to_signed a / to_signed b in
+        Some ((to_signed a - (q * to_signed b)) land mask32)
+  | Ast.And -> Some (a land b)
+  | Ast.Or -> Some (a lor b)
+  | Ast.Xor -> Some (a lxor b)
+  | Ast.Shl -> Some ((a lsl (b land 31)) land mask32)
+  | Ast.Shr -> Some (a lsr (b land 31))
+  | Ast.Lt -> Some (bool01 (to_signed a < to_signed b))
+  | Ast.Le -> Some (bool01 (to_signed a <= to_signed b))
+  | Ast.Gt -> Some (bool01 (to_signed a > to_signed b))
+  | Ast.Ge -> Some (bool01 (to_signed a >= to_signed b))
+  | Ast.Eq -> Some (bool01 (a = b))
+  | Ast.Ne -> Some (bool01 (a <> b))
+
+let fold_unop op a =
+  let a = a land mask32 in
+  match op with
+  | Ast.Neg -> (0 - a) land mask32
+  | Ast.Not -> bool01 (a = 0)
+  | Ast.Bitnot -> a lxor mask32
+
+let invert_cmp = function
+  | Ast.Lt -> Some Ast.Ge
+  | Ast.Ge -> Some Ast.Lt
+  | Ast.Le -> Some Ast.Gt
+  | Ast.Gt -> Some Ast.Le
+  | Ast.Eq -> Some Ast.Ne
+  | Ast.Ne -> Some Ast.Eq
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.And | Ast.Or
+  | Ast.Xor | Ast.Shl | Ast.Shr ->
+      None
+
+let is_pow2 v = v > 0 && v land (v - 1) = 0
+
+let log2 v =
+  let rec go k = if 1 lsl k = v then k else go (k + 1) in
+  go 0
+
+(* Algebraic identities on an already-optimized node. *)
+let simplify = function
+  | Ast.Bin (op, a, b) as e -> (
+      match (op, a, b) with
+      | (Ast.Add | Ast.Or | Ast.Xor | Ast.Sub | Ast.Shl | Ast.Shr), x, Ast.Int 0 -> x
+      | (Ast.Add | Ast.Or | Ast.Xor), Ast.Int 0, x -> x
+      | (Ast.Mul | Ast.And), _, Ast.Int 0 -> Ast.Int 0
+      | (Ast.Mul | Ast.And), Ast.Int 0, _ -> Ast.Int 0
+      | (Ast.Mul | Ast.Div), x, Ast.Int 1 -> x
+      | Ast.Mul, Ast.Int 1, x -> x
+      | Ast.And, x, Ast.Int 0xFFFFFFFF -> x
+      | Ast.And, Ast.Int 0xFFFFFFFF, x -> x
+      | Ast.Mul, x, Ast.Int n when is_pow2 n -> Ast.Bin (Ast.Shl, x, Ast.Int (log2 n))
+      | Ast.Mul, Ast.Int n, x when is_pow2 n -> Ast.Bin (Ast.Shl, x, Ast.Int (log2 n))
+      | _ -> e)
+  | Ast.Un (Ast.Not, Ast.Bin (op, a, b)) as e -> (
+      match invert_cmp op with
+      | Some op' -> Ast.Bin (op', a, b)
+      | None -> e)
+  | Ast.Un (Ast.Neg, Ast.Un (Ast.Neg, x)) -> x
+  | Ast.Un (Ast.Bitnot, Ast.Un (Ast.Bitnot, x)) -> x
+  | e -> e
+
+let rec expr e =
+  match e with
+  | Ast.Int n -> Ast.Int (n land mask32)
+  | Ast.Var _ -> e
+  | Ast.Idx (a, ix) -> Ast.Idx (a, expr ix)
+  | Ast.Un (op, a) -> (
+      match expr a with
+      | Ast.Int n -> Ast.Int (fold_unop op n)
+      | a' -> simplify (Ast.Un (op, a')))
+  | Ast.Bin (op, a, b) -> (
+      let a' = expr a and b' = expr b in
+      match (a', b') with
+      | Ast.Int x, Ast.Int y -> (
+          match fold_binop op x y with
+          | Some v -> Ast.Int v
+          | None -> Ast.Bin (op, a', b'))
+      | _ -> simplify (Ast.Bin (op, a', b')))
+  | Ast.Call (f, args) -> Ast.Call (f, List.map expr args)
+
+let rec stmt s =
+  match s with
+  | Ast.Set (x, e) -> (
+      match expr e with
+      (* A self-assignment of a pure expression is dead. *)
+      | Ast.Var y when String.equal x y -> []
+      | e' -> [ Ast.Set (x, e') ])
+  | Ast.Set_idx (a, ix, e) -> [ Ast.Set_idx (a, expr ix, expr e) ]
+  | Ast.Do e -> [ Ast.Do (expr e) ]
+  | Ast.Ret e -> [ Ast.Ret (expr e) ]
+  | Ast.If (c, th, el) -> (
+      match expr c with
+      | Ast.Int 0 -> block el
+      | Ast.Int _ -> block th
+      | c' -> [ Ast.If (c', block th, block el) ])
+  | Ast.While (c, body) -> (
+      match expr c with
+      | Ast.Int 0 -> []
+      | c' -> [ Ast.While (c', block body) ])
+
+and block stmts = List.concat_map stmt stmts
+
+let func (f : Ast.func) = { f with Ast.body = block f.Ast.body }
+
+let program (p : Ast.program) = { p with Ast.funcs = List.map func p.Ast.funcs }

@@ -1,0 +1,31 @@
+(** Source-to-source optimizer.
+
+    Local, semantics-preserving rewrites applied bottom-up:
+
+    - constant folding of operators over literals (division or modulo
+      by a literal zero is left in place to preserve the runtime
+      error);
+    - algebraic identities: [x+0], [x-0], [x*1], [x|0], [x^0], [x&-1],
+      [x<<0], [x>>0] drop the operation; [x*0] and [x&0] become [0]
+      (expressions are pure in minic, so discarding [x] is safe);
+    - strength reduction: multiplication by a power of two becomes a
+      shift (division is {e not} reduced: an arithmetic shift disagrees
+      with truncating signed division on negative operands);
+    - [!(a cmp b)] becomes the inverted comparison; [!!x] becomes
+      [x != 0]-normalization only when already boolean-valued — we keep
+      it simple and only invert comparisons;
+    - [if] with a literal condition selects its branch; [while] with
+      literal zero disappears.
+
+    Literals are normalized to their 32-bit unsigned representation.
+    The input is assumed to satisfy {!Check.check} (in particular,
+    calls appear only in statement position, so discarding a pure
+    subexpression never discards an effect).  The rewrite preserves the
+    reference-interpreter semantics exactly; the test suite checks this
+    on random structured programs. *)
+
+val expr : Ast.expr -> Ast.expr
+val stmt : Ast.stmt -> Ast.stmt list
+(** A statement can optimize to several (or zero) statements. *)
+
+val program : Ast.program -> Ast.program

@@ -1,0 +1,307 @@
+exception Error of { line : int; message : string }
+
+type state = { lx : Lexer.t }
+
+let fail_at line fmt =
+  Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+let fail st fmt = fail_at (Lexer.line st.lx) fmt
+
+let next st = Lexer.next st.lx
+let peek st = Lexer.peek st.lx
+
+let expect st tok what =
+  let got, line = next st in
+  if got <> tok then
+    fail_at line "expected %s, found %s" what (Lexer.token_to_string got)
+
+let expect_ident st what =
+  match next st with
+  | Lexer.IDENT s, _ -> s
+  | got, line -> fail_at line "expected %s, found %s" what (Lexer.token_to_string got)
+
+let expect_int st what =
+  match next st with
+  | Lexer.INT n, _ -> n
+  | Lexer.MINUS, _ -> (
+      match next st with
+      | Lexer.INT n, _ -> -n
+      | got, line ->
+          fail_at line "expected %s, found -%s" what (Lexer.token_to_string got))
+  | got, line -> fail_at line "expected %s, found %s" what (Lexer.token_to_string got)
+
+(* --- expressions, precedence climbing --- *)
+
+(* Levels, loosest to tightest. *)
+let binop_levels : (Lexer.token * Ast.binop) list list =
+  [
+    [ (Lexer.PIPE, Ast.Or) ];
+    [ (Lexer.CARET, Ast.Xor) ];
+    [ (Lexer.AMP, Ast.And) ];
+    [ (Lexer.EQEQ, Ast.Eq); (Lexer.NE, Ast.Ne) ];
+    [ (Lexer.LT, Ast.Lt); (Lexer.LE, Ast.Le); (Lexer.GT, Ast.Gt); (Lexer.GE, Ast.Ge) ];
+    [ (Lexer.SHL, Ast.Shl); (Lexer.SHR, Ast.Shr) ];
+    [ (Lexer.PLUS, Ast.Add); (Lexer.MINUS, Ast.Sub) ];
+    [ (Lexer.STAR, Ast.Mul); (Lexer.SLASH, Ast.Div); (Lexer.PERCENT, Ast.Mod) ];
+  ]
+
+let rec parse_level st levels =
+  match levels with
+  | [] -> parse_unary st
+  | ops :: tighter ->
+      let lhs = ref (parse_level st tighter) in
+      let continue = ref true in
+      while !continue do
+        match List.assoc_opt (peek st) ops with
+        | Some op ->
+            ignore (next st);
+            let rhs = parse_level st tighter in
+            lhs := Ast.Bin (op, !lhs, rhs)
+        | None -> continue := false
+      done;
+      !lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS -> (
+      ignore (next st);
+      (* Fold "-<literal>" lexically into a negative literal; an
+         explicit negation like "-(5)" stays a negation node. *)
+      match peek st with
+      | Lexer.INT n ->
+          ignore (next st);
+          Ast.Int (-n)
+      | _ -> Ast.Un (Ast.Neg, parse_unary st))
+  | Lexer.BANG ->
+      ignore (next st);
+      Ast.Un (Ast.Not, parse_unary st)
+  | Lexer.TILDE ->
+      ignore (next st);
+      Ast.Un (Ast.Bitnot, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match next st with
+  | Lexer.INT n, _ -> Ast.Int n
+  | Lexer.LPAREN, _ ->
+      let e = parse_expr st in
+      expect st Lexer.RPAREN "')'";
+      e
+  | Lexer.IDENT name, _ -> (
+      match peek st with
+      | Lexer.LBRACKET ->
+          ignore (next st);
+          let e = parse_expr st in
+          expect st Lexer.RBRACKET "']'";
+          Ast.Idx (name, e)
+      | Lexer.LPAREN ->
+          ignore (next st);
+          Ast.Call (name, parse_args st)
+      | _ -> Ast.Var name)
+  | got, line -> fail_at line "expected expression, found %s" (Lexer.token_to_string got)
+
+and parse_args st =
+  if peek st = Lexer.RPAREN then begin
+    ignore (next st);
+    []
+  end
+  else
+    let rec more acc =
+      let acc = parse_expr st :: acc in
+      match next st with
+      | Lexer.COMMA, _ -> more acc
+      | Lexer.RPAREN, _ -> List.rev acc
+      | got, line ->
+          fail_at line "expected ',' or ')', found %s" (Lexer.token_to_string got)
+    in
+    more []
+
+and parse_expr st = parse_level st binop_levels
+
+(* --- statements --- *)
+
+let rec parse_stmt st =
+  match next st with
+  | Lexer.KW_IF, _ ->
+      expect st Lexer.LPAREN "'(' after if";
+      let c = parse_expr st in
+      expect st Lexer.RPAREN "')'";
+      let th = parse_block st in
+      let el =
+        if peek st = Lexer.KW_ELSE then begin
+          ignore (next st);
+          parse_block st
+        end
+        else []
+      in
+      Ast.If (c, th, el)
+  | Lexer.KW_WHILE, _ ->
+      expect st Lexer.LPAREN "'(' after while";
+      let c = parse_expr st in
+      expect st Lexer.RPAREN "')'";
+      Ast.While (c, parse_block st)
+  | Lexer.KW_RETURN, _ ->
+      let e = parse_expr st in
+      expect st Lexer.SEMI "';'";
+      Ast.Ret e
+  | Lexer.IDENT name, _ -> (
+      match next st with
+      | Lexer.ASSIGN, _ ->
+          let e = parse_expr st in
+          expect st Lexer.SEMI "';'";
+          Ast.Set (name, e)
+      | Lexer.LBRACKET, _ ->
+          let ix = parse_expr st in
+          expect st Lexer.RBRACKET "']'";
+          expect st Lexer.ASSIGN "'='";
+          let e = parse_expr st in
+          expect st Lexer.SEMI "';'";
+          Ast.Set_idx (name, ix, e)
+      | Lexer.LPAREN, _ ->
+          let args = parse_args st in
+          expect st Lexer.SEMI "';'";
+          Ast.Do (Ast.Call (name, args))
+      | got, line ->
+          fail_at line "expected '=', '[' or '(' after %s, found %s" name
+            (Lexer.token_to_string got))
+  | got, line -> fail_at line "expected statement, found %s" (Lexer.token_to_string got)
+
+and parse_block st =
+  expect st Lexer.LBRACE "'{'";
+  let rec stmts acc =
+    if peek st = Lexer.RBRACE then begin
+      ignore (next st);
+      List.rev acc
+    end
+    else stmts (parse_stmt st :: acc)
+  in
+  stmts []
+
+(* --- declarations --- *)
+
+let parse_init_list st =
+  expect st Lexer.LBRACE "'{'";
+  if peek st = Lexer.RBRACE then begin
+    ignore (next st);
+    [||]
+  end
+  else
+    let rec more acc =
+      let v = expect_int st "integer initializer" in
+      match next st with
+      | Lexer.COMMA, _ -> more (v :: acc)
+      | Lexer.RBRACE, _ -> Array.of_list (List.rev (v :: acc))
+      | got, line ->
+          fail_at line "expected ',' or '}', found %s" (Lexer.token_to_string got)
+    in
+    more []
+
+(* After 'int'/'char' IDENT at top level, when not a function. *)
+let parse_global_rest st elem name =
+  match next st with
+  | Lexer.SEMI, _ ->
+      if elem = Ast.Byte then
+        fail st "char globals must be arrays (char %s[...])" name
+      else Ast.Scalar (name, 0)
+  | Lexer.ASSIGN, _ ->
+      if elem = Ast.Byte then
+        fail st "char globals must be arrays (char %s[...])" name
+      else begin
+        let v = expect_int st "initializer" in
+        expect st Lexer.SEMI "';'";
+        Ast.Scalar (name, v)
+      end
+  | Lexer.LBRACKET, _ -> (
+      let len = expect_int st "array length" in
+      expect st Lexer.RBRACKET "']'";
+      match next st with
+      | Lexer.SEMI, _ -> Ast.Array (name, elem, len)
+      | Lexer.ASSIGN, line ->
+          let values = parse_init_list st in
+          expect st Lexer.SEMI "';'";
+          if Array.length values <> len then
+            fail_at line "array %s declared with length %d but %d initializers"
+              name len (Array.length values);
+          Ast.Array_init (name, elem, values)
+      | got, line ->
+          fail_at line "expected ';' or '=', found %s" (Lexer.token_to_string got))
+  | got, line ->
+      fail_at line "expected ';', '=' or '[', found %s" (Lexer.token_to_string got)
+
+let parse_params st =
+  expect st Lexer.LPAREN "'('";
+  if peek st = Lexer.RPAREN then begin
+    ignore (next st);
+    []
+  end
+  else
+    let rec more acc =
+      expect st Lexer.KW_INT "'int' parameter type";
+      let p = expect_ident st "parameter name" in
+      match next st with
+      | Lexer.COMMA, _ -> more (p :: acc)
+      | Lexer.RPAREN, _ -> List.rev (p :: acc)
+      | got, line ->
+          fail_at line "expected ',' or ')', found %s" (Lexer.token_to_string got)
+    in
+    more []
+
+let parse_locals st =
+  let rec decls acc =
+    if peek st = Lexer.KW_INT then begin
+      ignore (next st);
+      let rec names acc =
+        let n = expect_ident st "local name" in
+        match next st with
+        | Lexer.COMMA, _ -> names (n :: acc)
+        | Lexer.SEMI, _ -> List.rev (n :: acc)
+        | got, line ->
+            fail_at line "expected ',' or ';', found %s" (Lexer.token_to_string got)
+      in
+      decls (acc @ names [])
+    end
+    else acc
+  in
+  decls []
+
+let parse_func st name =
+  let params = parse_params st in
+  expect st Lexer.LBRACE "'{'";
+  let locals = parse_locals st in
+  let rec stmts acc =
+    if peek st = Lexer.RBRACE then begin
+      ignore (next st);
+      List.rev acc
+    end
+    else stmts (parse_stmt st :: acc)
+  in
+  let body = stmts [] in
+  { Ast.name; params; locals; body }
+
+let parse_program st =
+  let rec items globals funcs =
+    match next st with
+    | Lexer.EOF, _ -> { Ast.globals = List.rev globals; funcs = List.rev funcs }
+    | Lexer.KW_INT, _ ->
+        let name = expect_ident st "name" in
+        if peek st = Lexer.LPAREN then
+          items globals (parse_func st name :: funcs)
+        else items (parse_global_rest st Ast.Word name :: globals) funcs
+    | Lexer.KW_CHAR, _ ->
+        let name = expect_ident st "name" in
+        items (parse_global_rest st Ast.Byte name :: globals) funcs
+    | got, line ->
+        fail_at line "expected declaration, found %s" (Lexer.token_to_string got)
+  in
+  items [] []
+
+let parse_exn src =
+  let st = { lx = Lexer.create src } in
+  try parse_program st
+  with Lexer.Error { line; message } -> raise (Error { line; message })
+
+let parse src =
+  match parse_exn src with
+  | p -> Ok p
+  | exception Error { line; message } ->
+      Result.Error (Printf.sprintf "line %d: %s" line message)

@@ -1,0 +1,35 @@
+(** Recursive-descent parser for minic's concrete syntax.
+
+    {[
+      int table[256];
+      char msg[5] = {104, 101, 108, 108, 111};
+      int total = 0;
+
+      int weigh(int x) {
+        int acc, k;
+        acc = 0;
+        k = 0;
+        while (k < 5) {
+          acc = acc + msg[k] * x;
+          k = k + 1;
+        }
+        return acc;
+      }
+
+      int main() {
+        total = weigh(3);
+        if (total > 1000) { return total; } else { return 0; }
+      }
+    ]}
+
+    Precedence, tightest first: unary [- ! ~]; [* / %]; [+ -];
+    [<< >>]; [< <= > >=]; [== !=]; [&]; [^]; [|] — C-like except that
+    shifts bind tighter than comparisons.  All values are 32-bit ints;
+    [char] is only meaningful for byte arrays.  The result still has to
+    pass {!Check.check} before compilation. *)
+
+exception Error of { line : int; message : string }
+
+val parse : string -> (Ast.program, string) result
+val parse_exn : string -> Ast.program
+(** @raise Error with position information. *)

@@ -1,0 +1,160 @@
+let binop_symbol = function
+  | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/"
+  | Ast.Mod -> "%" | Ast.And -> "&" | Ast.Or -> "|" | Ast.Xor -> "^"
+  | Ast.Shl -> "<<" | Ast.Shr -> ">>"
+  | Ast.Lt -> "<" | Ast.Le -> "<=" | Ast.Gt -> ">" | Ast.Ge -> ">="
+  | Ast.Eq -> "==" | Ast.Ne -> "!="
+
+let rec expr buf e =
+  match e with
+  | Ast.Int n ->
+      if n < 0 then begin
+        (* Negative literals print as parenthesized negations of the
+           magnitude so the parser's unary minus reconstructs them;
+           min_int magnitudes stay in range because minic ints are
+           32-bit values inside a 63-bit OCaml int. *)
+        Buffer.add_string buf "(-";
+        Buffer.add_string buf (string_of_int (-n));
+        Buffer.add_char buf ')'
+      end
+      else Buffer.add_string buf (string_of_int n)
+  | Ast.Var x -> Buffer.add_string buf x
+  | Ast.Idx (a, ix) ->
+      Buffer.add_string buf a;
+      Buffer.add_char buf '[';
+      expr buf ix;
+      Buffer.add_char buf ']'
+  | Ast.Bin (op, a, b) ->
+      Buffer.add_char buf '(';
+      expr buf a;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (binop_symbol op);
+      Buffer.add_char buf ' ';
+      expr buf b;
+      Buffer.add_char buf ')'
+  | Ast.Un (op, a) ->
+      (* The operand gets its own parentheses so that "-(5)" (an
+         explicit negation node) stays distinct from the folded
+         literal "-5". *)
+      Buffer.add_char buf '(';
+      Buffer.add_string buf
+        (match op with Ast.Neg -> "-" | Ast.Not -> "!" | Ast.Bitnot -> "~");
+      Buffer.add_char buf '(';
+      expr buf a;
+      Buffer.add_string buf "))"
+  | Ast.Call (f, args) ->
+      Buffer.add_string buf f;
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun k a ->
+          if k > 0 then Buffer.add_string buf ", ";
+          expr buf a)
+        args;
+      Buffer.add_char buf ')'
+
+let rec stmt buf indent s =
+  let pad () = Buffer.add_string buf (String.make indent ' ') in
+  match s with
+  | Ast.Set (x, e) ->
+      pad ();
+      Buffer.add_string buf x;
+      Buffer.add_string buf " = ";
+      expr buf e;
+      Buffer.add_string buf ";\n"
+  | Ast.Set_idx (a, ix, e) ->
+      pad ();
+      Buffer.add_string buf a;
+      Buffer.add_char buf '[';
+      expr buf ix;
+      Buffer.add_string buf "] = ";
+      expr buf e;
+      Buffer.add_string buf ";\n"
+  | Ast.If (c, th, el) ->
+      pad ();
+      Buffer.add_string buf "if (";
+      expr buf c;
+      Buffer.add_string buf ") {\n";
+      List.iter (stmt buf (indent + 2)) th;
+      pad ();
+      if el = [] then Buffer.add_string buf "}\n"
+      else begin
+        Buffer.add_string buf "} else {\n";
+        List.iter (stmt buf (indent + 2)) el;
+        pad ();
+        Buffer.add_string buf "}\n"
+      end
+  | Ast.While (c, body) ->
+      pad ();
+      Buffer.add_string buf "while (";
+      expr buf c;
+      Buffer.add_string buf ") {\n";
+      List.iter (stmt buf (indent + 2)) body;
+      pad ();
+      Buffer.add_string buf "}\n"
+  | Ast.Do e ->
+      pad ();
+      expr buf e;
+      Buffer.add_string buf ";\n"
+  | Ast.Ret e ->
+      pad ();
+      Buffer.add_string buf "return ";
+      expr buf e;
+      Buffer.add_string buf ";\n"
+
+let global buf g =
+  (match g with
+  | Ast.Scalar (n, v) ->
+      Buffer.add_string buf (Printf.sprintf "int %s = %d;\n" n v)
+  | Ast.Array (n, elem, len) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s[%d];\n"
+           (match elem with Ast.Word -> "int" | Ast.Byte -> "char")
+           n len)
+  | Ast.Array_init (n, elem, values) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s[%d] = {"
+           (match elem with Ast.Word -> "int" | Ast.Byte -> "char")
+           n (Array.length values));
+      Array.iteri
+        (fun k v ->
+          if k > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (string_of_int v))
+        values;
+      Buffer.add_string buf "};\n");
+  ()
+
+let func buf (f : Ast.func) =
+  Buffer.add_string buf "int ";
+  Buffer.add_string buf f.name;
+  Buffer.add_char buf '(';
+  List.iteri
+    (fun k p ->
+      if k > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf "int ";
+      Buffer.add_string buf p)
+    f.params;
+  Buffer.add_string buf ") {\n";
+  if f.locals <> [] then begin
+    Buffer.add_string buf "  int ";
+    Buffer.add_string buf (String.concat ", " f.locals);
+    Buffer.add_string buf ";\n"
+  end;
+  List.iter (stmt buf 2) f.body;
+  Buffer.add_string buf "}\n\n"
+
+let to_string (p : Ast.program) =
+  let buf = Buffer.create 1024 in
+  List.iter (global buf) p.globals;
+  if p.globals <> [] then Buffer.add_char buf '\n';
+  List.iter (func buf) p.funcs;
+  Buffer.contents buf
+
+let expr_to_string e =
+  let buf = Buffer.create 64 in
+  expr buf e;
+  Buffer.contents buf
+
+let stmt_to_string s =
+  let buf = Buffer.create 64 in
+  stmt buf 0 s;
+  Buffer.contents buf

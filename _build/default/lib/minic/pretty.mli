@@ -1,0 +1,9 @@
+(** Source-level pretty-printer: emits concrete syntax that
+    {!Parser.parse} accepts, such that [parse (to_string p)] yields a
+    program structurally equal to [p].  Expressions are fully
+    parenthesized, so the round trip is exact regardless of operator
+    precedence. *)
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : Ast.stmt -> string
+val to_string : Ast.program -> string

@@ -1,0 +1,1 @@
+lib/optim/mccormick.ml: Array Binlp List Milp Simplex

@@ -1,0 +1,1 @@
+lib/optim/mccormick.mli: Binlp Milp

@@ -1,0 +1,1 @@
+lib/optim/milp.ml: Array Float List Simplex

@@ -1,0 +1,248 @@
+type rel = Le | Ge
+
+type lin = { coeffs : (int * float) list; const : float }
+
+type term = Lin of lin | Prod of lin * lin
+
+type constr = { terms : term list; rel : rel; bound : float }
+
+let linear l rel bound = { terms = [ Lin l ]; rel; bound }
+let product l1 l2 rel bound = { terms = [ Prod (l1, l2) ]; rel; bound }
+
+type problem = {
+  nvars : int;
+  objective : float array;
+  groups : int list list;
+  constraints : constr list;
+}
+
+type solution = { x : bool array; objective : float }
+
+exception Node_limit
+
+let eval_lin l x =
+  List.fold_left
+    (fun acc (j, a) -> if x.(j) then acc +. a else acc)
+    l.const l.coeffs
+
+let eval_term x = function
+  | Lin l -> eval_lin l x
+  | Prod (l1, l2) -> eval_lin l1 x *. eval_lin l2 x
+
+let eval_constr_lhs c x =
+  List.fold_left (fun acc t -> acc +. eval_term x t) 0.0 c.terms
+
+let check_constr x c =
+  let lhs = eval_constr_lhs c x in
+  match c.rel with Le -> lhs <= c.bound +. 1e-9 | Ge -> lhs >= c.bound -. 1e-9
+
+let sos1_ok groups x =
+  List.for_all
+    (fun g -> List.length (List.filter (fun j -> x.(j)) g) <= 1)
+    groups
+
+let check p x = sos1_ok p.groups x && List.for_all (check_constr x) p.constraints
+
+let validate p =
+  let seen = Array.make p.nvars false in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun j ->
+          if j < 0 || j >= p.nvars then invalid_arg "Binlp: index out of range";
+          if seen.(j) then invalid_arg "Binlp: overlapping groups";
+          seen.(j) <- true)
+        g)
+    p.groups;
+  if Array.length p.objective <> p.nvars then
+    invalid_arg "Binlp: objective length mismatch";
+  let check_lin l =
+    List.iter
+      (fun (j, _) ->
+        if j < 0 || j >= p.nvars then
+          invalid_arg "Binlp: constraint index out of range")
+      l.coeffs
+  in
+  List.iter
+    (fun c ->
+      List.iter
+        (function
+          | Lin l -> check_lin l
+          | Prod (l1, l2) ->
+              check_lin l1;
+              check_lin l2)
+        c.terms)
+    p.constraints;
+  seen
+
+(* The effective group list: declared groups plus a singleton group for
+   every uncovered variable.  Each group's options are "none" or exactly
+   one member. *)
+let effective_groups p =
+  let covered = validate p in
+  let singles = ref [] in
+  for j = p.nvars - 1 downto 0 do
+    if not covered.(j) then singles := [ j ] :: !singles
+  done;
+  List.filter (fun g -> g <> []) p.groups @ !singles
+
+let lin_coeff l j =
+  List.fold_left (fun acc (k, a) -> if k = j then acc +. a else acc) 0.0 l.coeffs
+
+let interval_min_product (l1, u1) (l2, u2) =
+  min (min (l1 *. l2) (l1 *. u2)) (min (u1 *. l2) (u1 *. u2))
+
+let interval_max_product (l1, u1) (l2, u2) =
+  max (max (l1 *. l2) (l1 *. u2)) (max (u1 *. l2) (u1 *. u2))
+
+(* One linear factor tracked during search: its current partial value
+   and, per depth, the min/max contribution still achievable from the
+   remaining groups. *)
+type factor = {
+  lin : lin;
+  mutable value : float;
+  smin : float array; (* suffix over groups, length ngroups+1 *)
+  smax : float array;
+}
+
+type tracked = TLin of factor | TProd of factor * factor
+
+let solve ?(node_limit = 20_000_000) p =
+  let groups = effective_groups p in
+  let ngroups = List.length groups in
+  let garr = Array.of_list groups in
+  (* Order groups by their best (most negative) objective option so the
+     DFS reaches good incumbents early. *)
+  let gmin_obj g = List.fold_left (fun acc j -> min acc p.objective.(j)) 0.0 g in
+  Array.sort (fun a b -> compare (gmin_obj a) (gmin_obj b)) garr;
+  let groups = Array.to_list garr in
+  let gmin = Array.map gmin_obj garr in
+  let suffix_obj = Array.make (ngroups + 1) 0.0 in
+  for i = ngroups - 1 downto 0 do
+    suffix_obj.(i) <- suffix_obj.(i + 1) +. gmin.(i)
+  done;
+  let make_factor l =
+    let mins = Array.make ngroups 0.0 and maxs = Array.make ngroups 0.0 in
+    List.iteri
+      (fun gi g ->
+        let contribs = 0.0 :: List.map (fun j -> lin_coeff l j) g in
+        mins.(gi) <- List.fold_left min infinity contribs;
+        maxs.(gi) <- List.fold_left max neg_infinity contribs)
+      groups;
+    let smin = Array.make (ngroups + 1) 0.0 in
+    let smax = Array.make (ngroups + 1) 0.0 in
+    for i = ngroups - 1 downto 0 do
+      smin.(i) <- smin.(i + 1) +. mins.(i);
+      smax.(i) <- smax.(i + 1) +. maxs.(i)
+    done;
+    { lin = l; value = l.const; smin; smax }
+  in
+  let tracked =
+    Array.of_list
+      (List.map
+         (fun c ->
+           ( c,
+             List.map
+               (function
+                 | Lin l -> TLin (make_factor l)
+                 | Prod (l1, l2) -> TProd (make_factor l1, make_factor l2))
+               c.terms ))
+         p.constraints)
+  in
+  let factors =
+    Array.of_list
+      (List.concat_map
+         (fun (_, ts) ->
+           List.concat_map
+             (function TLin f -> [ f ] | TProd (f1, f2) -> [ f1; f2 ])
+             ts)
+         (Array.to_list tracked))
+  in
+  let feasible_possible depth =
+    Array.for_all
+      (fun (c, ts) ->
+        let lo = ref 0.0 and hi = ref 0.0 in
+        List.iter
+          (fun t ->
+            match t with
+            | TLin f ->
+                lo := !lo +. f.value +. f.smin.(depth);
+                hi := !hi +. f.value +. f.smax.(depth)
+            | TProd (f1, f2) ->
+                let i1 = (f1.value +. f1.smin.(depth), f1.value +. f1.smax.(depth)) in
+                let i2 = (f2.value +. f2.smin.(depth), f2.value +. f2.smax.(depth)) in
+                lo := !lo +. interval_min_product i1 i2;
+                hi := !hi +. interval_max_product i1 i2)
+          ts;
+        match c.rel with
+        | Le -> !lo <= c.bound +. 1e-9
+        | Ge -> !hi >= c.bound -. 1e-9)
+      tracked
+  in
+  let apply_choice j sign =
+    Array.iter
+      (fun f ->
+        let c = lin_coeff f.lin j in
+        if c <> 0.0 then f.value <- f.value +. (sign *. c))
+      factors
+  in
+  let x = Array.make p.nvars false in
+  let best = ref None in
+  let best_obj = ref infinity in
+  let nodes = ref 0 in
+  let rec dfs depth obj =
+    incr nodes;
+    if !nodes > node_limit then raise Node_limit;
+    if obj +. suffix_obj.(depth) >= !best_obj -. 1e-12 then ()
+    else if not (feasible_possible depth) then ()
+    else if depth = ngroups then begin
+      if List.for_all (check_constr x) p.constraints then begin
+        best_obj := obj;
+        best := Some { x = Array.copy x; objective = obj }
+      end
+    end
+    else begin
+      let options =
+        List.sort (fun a b -> compare p.objective.(a) p.objective.(b)) garr.(depth)
+      in
+      let try_member j =
+        x.(j) <- true;
+        apply_choice j 1.0;
+        dfs (depth + 1) (obj +. p.objective.(j));
+        apply_choice j (-1.0);
+        x.(j) <- false
+      in
+      let negative, rest = List.partition (fun j -> p.objective.(j) < 0.0) options in
+      List.iter try_member negative;
+      dfs (depth + 1) obj;
+      List.iter try_member rest
+    end
+  in
+  dfs 0 0.0;
+  !best
+
+let brute_force p =
+  let groups = effective_groups p in
+  let x = Array.make p.nvars false in
+  let best = ref None in
+  let rec go gs =
+    match gs with
+    | [] ->
+        if List.for_all (check_constr x) p.constraints then begin
+          let obj = ref 0.0 in
+          Array.iteri (fun j b -> if b then obj := !obj +. p.objective.(j)) x;
+          match !best with
+          | Some { objective; _ } when objective <= !obj -> ()
+          | Some _ | None -> best := Some { x = Array.copy x; objective = !obj }
+        end
+    | g :: rest ->
+        go rest;
+        List.iter
+          (fun j ->
+            x.(j) <- true;
+            go rest;
+            x.(j) <- false)
+          g
+  in
+  go groups;
+  !best

@@ -1,0 +1,58 @@
+(** Exact branch-and-bound solver for SOS1-structured binary integer
+    (non)linear programs — the role TOMLAB /MINLP plays in the paper.
+
+    The problem shape is the paper's Section 4 formulation:
+
+    - binary decision variables [x_0 .. x_{nvars-1}];
+    - disjoint SOS1 groups: at most one variable of each group may be 1
+      (variables in no group are free binaries);
+    - a linear objective to minimize;
+    - constraints that are sums of {e terms} compared to a bound, where
+      each term is linear ([a.x + a0]) or a {e product} of two linear
+      forms — the paper's cache-resource constraint
+      [(1 + x1 + 2 x2 + 3 x3) * (sum lambda_i x_i) + ... <= L] needs one
+      product term per cache plus linear remainder terms.
+
+    The search enumerates one option per group (including "none"),
+    pruning with an admissible objective bound and per-constraint
+    interval bounds; leaves are checked exactly, so the returned
+    solution is a true optimum. *)
+
+type rel = Le | Ge
+
+type lin = { coeffs : (int * float) list; const : float }
+(** [a.x + const] with sparse coefficients. *)
+
+type term = Lin of lin | Prod of lin * lin
+
+type constr = { terms : term list; rel : rel; bound : float }
+
+val linear : lin -> rel -> float -> constr
+val product : lin -> lin -> rel -> float -> constr
+
+type problem = {
+  nvars : int;
+  objective : float array;
+  groups : int list list;   (** disjoint variable index lists *)
+  constraints : constr list;
+}
+
+type solution = { x : bool array; objective : float }
+
+exception Node_limit
+
+val solve : ?node_limit:int -> problem -> solution option
+(** Minimize; [None] if no assignment satisfies the constraints.
+    @raise Node_limit if the search exceeds [node_limit] nodes
+    (default 20 million — far beyond the paper's 52-variable model)
+    @raise Invalid_argument on malformed input (overlapping groups,
+    indices out of range). *)
+
+val brute_force : problem -> solution option
+(** Reference implementation enumerating every SOS1-respecting
+    assignment; for testing on small instances. *)
+
+val eval_lin : lin -> bool array -> float
+val eval_constr_lhs : constr -> bool array -> float
+val check : problem -> bool array -> bool
+(** Do the SOS1 groups and all constraints hold at a point? *)

@@ -1,0 +1,161 @@
+(* SOS1-aware bounds of a linear form: within each group at most one
+   variable is set, free binaries contribute independently. *)
+let factor_bounds (p : Binlp.problem) (l : Binlp.lin) =
+  let in_group = Array.make p.nvars false in
+  List.iter (List.iter (fun j -> in_group.(j) <- true)) p.groups;
+  let coeff j =
+    List.fold_left
+      (fun acc (k, a) -> if k = j then acc +. a else acc)
+      0.0 l.Binlp.coeffs
+  in
+  let lo = ref l.Binlp.const and hi = ref l.Binlp.const in
+  List.iter
+    (fun g ->
+      let contribs = 0.0 :: List.map coeff g in
+      lo := !lo +. List.fold_left min infinity contribs;
+      hi := !hi +. List.fold_left max neg_infinity contribs)
+    p.groups;
+  List.iter
+    (fun (j, a) ->
+      if not in_group.(j) then
+        if a < 0.0 then lo := !lo +. a else hi := !hi +. a)
+    l.Binlp.coeffs;
+  (!lo, !hi)
+
+type product = {
+  w_index : int;        (* MILP variable index of the (shifted) w *)
+  shift : float;        (* w_milp = w_true - shift, shift = lower bound *)
+  f1 : Binlp.lin;
+  f2 : Binlp.lin;
+  b1 : float * float;
+  b2 : float * float;
+}
+
+let collect_products (p : Binlp.problem) =
+  let next = ref p.nvars in
+  List.concat_map
+    (fun (c : Binlp.constr) ->
+      List.filter_map
+        (function
+          | Binlp.Lin _ -> None
+          | Binlp.Prod (f1, f2) ->
+              let b1 = factor_bounds p f1 and b2 = factor_bounds p f2 in
+              let l1, u1 = b1 and l2, u2 = b2 in
+              let products =
+                [ l1 *. l2; l1 *. u2; u1 *. l2; u1 *. u2 ]
+              in
+              let shift = List.fold_left min infinity products in
+              let w_index = !next in
+              incr next;
+              Some { w_index; shift; f1; f2; b1; b2 })
+        c.Binlp.terms)
+    p.constraints
+
+let linearize (p : Binlp.problem) =
+  let products = collect_products p in
+  let naux = List.length products in
+  let n = p.nvars + naux in
+  let objective = Array.make n 0.0 in
+  Array.blit p.objective 0 objective 0 p.nvars;
+  let binary = Array.init n (fun j -> j < p.nvars) in
+  let upper =
+    Array.init n (fun j ->
+        if j < p.nvars then 1.0
+        else
+          let prod = List.find (fun q -> q.w_index = j) products in
+          let l1, u1 = prod.b1 and l2, u2 = prod.b2 in
+          let hi =
+            List.fold_left max neg_infinity
+              [ l1 *. l2; l1 *. u2; u1 *. l2; u1 *. u2 ]
+          in
+          hi -. prod.shift)
+  in
+  let dense (l : Binlp.lin) =
+    let row = Array.make n 0.0 in
+    List.iter (fun (j, a) -> row.(j) <- row.(j) +. a) l.Binlp.coeffs;
+    (row, l.Binlp.const)
+  in
+  (* SOS1 groups as linear rows. *)
+  let group_rows =
+    List.map
+      (fun g ->
+        let row = Array.make n 0.0 in
+        List.iter (fun j -> row.(j) <- 1.0) g;
+        (row, Simplex.Le, 1.0))
+      p.groups
+  in
+  (* Original constraints with products replaced by their w. *)
+  let product_queue = ref products in
+  let constr_rows =
+    List.map
+      (fun (c : Binlp.constr) ->
+        let row = Array.make n 0.0 in
+        let const = ref 0.0 in
+        List.iter
+          (function
+            | Binlp.Lin l ->
+                let r, k = dense l in
+                Array.iteri (fun j a -> row.(j) <- row.(j) +. a) r;
+                const := !const +. k
+            | Binlp.Prod _ ->
+                (match !product_queue with
+                | q :: rest ->
+                    product_queue := rest;
+                    row.(q.w_index) <- row.(q.w_index) +. 1.0;
+                    const := !const +. q.shift
+                | [] -> assert false))
+          c.Binlp.terms;
+        let rel =
+          match c.Binlp.rel with Binlp.Le -> Simplex.Le | Binlp.Ge -> Simplex.Ge
+        in
+        (row, rel, c.Binlp.bound -. !const))
+      p.constraints
+  in
+  (* McCormick envelope cuts per product:
+       w_true (rel) alpha f1 + beta f2 - gamma, with w_true = w + shift. *)
+  let cuts =
+    List.concat_map
+      (fun q ->
+        let l1, u1 = q.b1 and l2, u2 = q.b2 in
+        let cut rel alpha beta gamma =
+          (* w + shift - alpha f1 - beta f2 >= / <= -gamma *)
+          let row = Array.make n 0.0 in
+          row.(q.w_index) <- 1.0;
+          let add scale (l : Binlp.lin) =
+            List.iter
+              (fun (j, a) -> row.(j) <- row.(j) -. (scale *. a))
+              l.Binlp.coeffs
+          in
+          add alpha q.f1;
+          add beta q.f2;
+          let rhs =
+            -.gamma -. q.shift +. (alpha *. q.f1.Binlp.const)
+            +. (beta *. q.f2.Binlp.const)
+          in
+          (row, rel, rhs)
+        in
+        [
+          cut Simplex.Ge l2 l1 (l1 *. l2);
+          cut Simplex.Ge u2 u1 (u1 *. u2);
+          cut Simplex.Le u2 l1 (l1 *. u2);
+          cut Simplex.Le l2 u1 (l2 *. u1);
+        ])
+      products
+  in
+  {
+    Milp.objective;
+    constraints = group_rows @ constr_rows @ cuts;
+    binary;
+    upper;
+  }
+
+let solve ?node_limit (p : Binlp.problem) =
+  match Milp.solve ?node_limit (linearize p) with
+  | None -> None
+  | Some s ->
+      let x = Array.init p.nvars (fun j -> s.Milp.x.(j) > 0.5) in
+      let objective =
+        Array.to_list (Array.mapi (fun j b -> if b then p.objective.(j) else 0.0) x)
+        |> List.fold_left ( +. ) 0.0
+      in
+      Some { Binlp.x; objective }

@@ -1,0 +1,28 @@
+(** McCormick linearization of SOS1 binary programs with product
+    constraints — the paper's proposed "recast our nonlinear
+    constraints" future work.
+
+    Every product term [f1 * f2] (both factors linear in the binaries)
+    is replaced by a fresh continuous variable [w] constrained by the
+    four McCormick envelope cuts derived from SOS1-aware factor bounds
+    [f1 in [L1,U1]], [f2 in [L2,U2]]:
+
+    {v w >= L2 f1 + L1 f2 - L1 L2      w <= U2 f1 + L1 f2 - L1 U2
+      w >= U2 f1 + U1 f2 - U1 U2      w <= L2 f1 + U1 f2 - L2 U1 v}
+
+    The result is a 0-1 {e linear} program (solvable by {!Milp} with
+    guaranteed global optimality) that {e relaxes} the original: the
+    envelopes admit [w] values no binary assignment realizes, so the
+    linearized optimum may violate the true nonlinear constraint —
+    quantifying exactly what the paper's proposed recast would trade
+    away.  (Negative-valued [w] ranges are handled by an internal
+    shift, since {!Milp} variables are nonnegative.) *)
+
+val linearize : Binlp.problem -> Milp.problem
+(** Variables [0 .. nvars-1] are the original binaries; auxiliary
+    (shifted) product variables follow. *)
+
+val solve : ?node_limit:int -> Binlp.problem -> Binlp.solution option
+(** Linearize, solve with {!Milp}, and return the binary part.  The
+    solution is optimal for the relaxed model; check it against the
+    original with {!Binlp.check}. *)

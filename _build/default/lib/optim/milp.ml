@@ -1,0 +1,95 @@
+type problem = {
+  objective : float array;
+  constraints : (float array * Simplex.rel * float) list;
+  binary : bool array;
+  upper : float array;
+}
+
+type solution = { x : float array; objective : float }
+
+exception Node_limit
+
+let last_nodes = ref 0
+let stats_nodes () = !last_nodes
+
+let validate (p : problem) =
+  let n = Array.length p.objective in
+  if Array.length p.binary <> n || Array.length p.upper <> n then
+    invalid_arg "Milp.solve: array length mismatch";
+  List.iter
+    (fun (row, _, _) ->
+      if Array.length row <> n then
+        invalid_arg "Milp.solve: constraint row length mismatch")
+    p.constraints;
+  n
+
+(* Fixings: per-variable optional forced value (from branching). *)
+let relaxation (p : problem) (fixed : float option array) =
+  let n = Array.length p.objective in
+  let bound_rows = ref [] in
+  for j = 0 to n - 1 do
+    let unit = Array.init n (fun k -> if k = j then 1.0 else 0.0) in
+    match fixed.(j) with
+    | Some v -> bound_rows := (unit, Simplex.Eq, v) :: !bound_rows
+    | None ->
+        let ub = if p.binary.(j) then 1.0 else p.upper.(j) in
+        if ub < infinity then bound_rows := (unit, Simplex.Le, ub) :: !bound_rows
+  done;
+  { Simplex.objective = p.objective; constraints = p.constraints @ !bound_rows }
+
+let is_integral ~eps v = Float.abs (v -. Float.round v) <= eps
+
+let solve ?(eps = 1e-7) ?(node_limit = 200_000) (p : problem) =
+  let n = validate p in
+  last_nodes := 0;
+  let best = ref None in
+  let best_obj = ref infinity in
+  let rec node fixed =
+    incr last_nodes;
+    if !last_nodes > node_limit then raise Node_limit;
+    match Simplex.solve (relaxation p fixed) with
+    | Simplex.Infeasible -> ()
+    | Simplex.Unbounded ->
+        (* A bounded-binary problem can only be unbounded through the
+           continuous variables; treat as a modeling error. *)
+        invalid_arg "Milp.solve: relaxation unbounded (missing upper bounds?)"
+    | Simplex.Optimal { objective; x } ->
+        if objective >= !best_obj -. 1e-12 then ()
+        else begin
+          (* Most fractional binary variable. *)
+          let branch_var = ref (-1) in
+          let frac_dist = ref 0.0 in
+          for j = 0 to n - 1 do
+            if p.binary.(j) && fixed.(j) = None && not (is_integral ~eps x.(j))
+            then begin
+              let d = Float.abs (x.(j) -. Float.round x.(j)) in
+              if d > !frac_dist then begin
+                frac_dist := d;
+                branch_var := j
+              end
+            end
+          done;
+          if !branch_var < 0 then begin
+            (* Integral on all binaries: new incumbent. *)
+            best_obj := objective;
+            let xr =
+              Array.mapi
+                (fun j v -> if p.binary.(j) then Float.round v else v)
+                x
+            in
+            best := Some { x = xr; objective }
+          end
+          else begin
+            let j = !branch_var in
+            (* Explore the side the relaxation leans toward first. *)
+            let first, second = if x.(j) >= 0.5 then (1.0, 0.0) else (0.0, 1.0) in
+            fixed.(j) <- Some first;
+            node fixed;
+            fixed.(j) <- Some second;
+            node fixed;
+            fixed.(j) <- None
+          end
+        end
+  in
+  node (Array.make n None);
+  !best

@@ -1,0 +1,30 @@
+(** 0-1 mixed-integer linear programming by LP-relaxation branch and
+    bound, built on {!Simplex}.
+
+    This is the "convex recast" solving route the paper's conclusion
+    proposes: once the nonlinear constraints are linearized (see
+    {!Mccormick}), the problem becomes a mixed 0-1 {e linear} program
+    whose relaxation is convex, and branch-and-bound with LP bounds is
+    guaranteed to find the global optimum.
+
+    Variables are continuous in [0, upper_j] unless marked binary (then
+    branched to {0,1}).  Minimization only. *)
+
+type problem = {
+  objective : float array;
+  constraints : (float array * Simplex.rel * float) list;
+  binary : bool array;     (** same length as [objective] *)
+  upper : float array;     (** upper bounds; [infinity] = unbounded *)
+}
+
+type solution = { x : float array; objective : float }
+
+exception Node_limit
+
+val solve : ?eps:float -> ?node_limit:int -> problem -> solution option
+(** [None] when infeasible.
+    @raise Node_limit beyond [node_limit] (default 200,000) nodes
+    @raise Invalid_argument on ragged input. *)
+
+val stats_nodes : unit -> int
+(** Nodes explored by the most recent [solve] (for solver studies). *)

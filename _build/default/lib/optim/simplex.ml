@@ -1,0 +1,236 @@
+type rel = Le | Ge | Eq
+
+type problem = {
+  objective : float array;
+  constraints : (float array * rel * float) list;
+}
+
+type outcome =
+  | Optimal of { objective : float; x : float array }
+  | Infeasible
+  | Unbounded
+
+(* Internal tableau:
+     t.(i).(j), i = 0..m-1 constraint rows, j = 0..ncols-1 columns,
+     rhs.(i) right-hand sides (kept nonnegative),
+     basis.(i) = column basic in row i.
+   Columns: structural variables, then slack/surplus, then artificial. *)
+type tableau = {
+  t : float array array;
+  rhs : float array;
+  basis : int array;
+  m : int;
+  ncols : int;
+}
+
+let pivot tb ~row ~col =
+  let p = tb.t.(row).(col) in
+  let trow = tb.t.(row) in
+  for j = 0 to tb.ncols - 1 do
+    trow.(j) <- trow.(j) /. p
+  done;
+  tb.rhs.(row) <- tb.rhs.(row) /. p;
+  for i = 0 to tb.m - 1 do
+    if i <> row then begin
+      let f = tb.t.(i).(col) in
+      if f <> 0.0 then begin
+        let ti = tb.t.(i) in
+        for j = 0 to tb.ncols - 1 do
+          ti.(j) <- ti.(j) -. (f *. trow.(j))
+        done;
+        tb.rhs.(i) <- tb.rhs.(i) -. (f *. tb.rhs.(row))
+      end
+    end
+  done;
+  tb.basis.(row) <- col
+
+(* Minimize cost.(j) over the tableau with Bland's rule; [allowed j]
+   restricts entering columns.  Returns `Optimal or `Unbounded; [cost]
+   is updated in place as the reduced-cost row. *)
+let optimize ~eps tb cost cost_rhs allowed =
+  let rec loop () =
+    (* Bland: smallest-index column with negative reduced cost. *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to tb.ncols - 1 do
+         if allowed j && cost.(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      (* Ratio test, Bland ties by smallest basis variable. *)
+      let row = ref (-1) in
+      let best = ref infinity in
+      for i = 0 to tb.m - 1 do
+        if tb.t.(i).(col) > eps then begin
+          let r = tb.rhs.(i) /. tb.t.(i).(col) in
+          if
+            r < !best -. eps
+            || (Float.abs (r -. !best) <= eps
+               && (!row < 0 || tb.basis.(i) < tb.basis.(!row)))
+          then begin
+            best := r;
+            row := i
+          end
+        end
+      done;
+      if !row < 0 then `Unbounded
+      else begin
+        let r = !row in
+        (* Update the reduced-cost row alongside the tableau: after the
+           pivot normalizes row r, subtract cost.(col) times it. *)
+        let fc = cost.(col) in
+        pivot tb ~row:r ~col;
+        let frow = tb.t.(r) in
+        if fc <> 0.0 then begin
+          for j = 0 to tb.ncols - 1 do
+            cost.(j) <- cost.(j) -. (fc *. frow.(j))
+          done;
+          cost_rhs := !cost_rhs -. (fc *. tb.rhs.(r))
+        end;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let solve ?(eps = 1e-9) { objective; constraints } =
+  let n = Array.length objective in
+  List.iter
+    (fun (row, _, _) ->
+      if Array.length row <> n then
+        invalid_arg "Simplex.solve: constraint row length mismatch")
+    constraints;
+  let cons = Array.of_list constraints in
+  let m = Array.length cons in
+  (* Flip rows to make rhs nonnegative. *)
+  let cons =
+    Array.map
+      (fun (row, rel, b) ->
+        if b < 0.0 then
+          ( Array.map (fun v -> -.v) row,
+            (match rel with Le -> Ge | Ge -> Le | Eq -> Eq),
+            -.b )
+        else (Array.copy row, rel, b))
+      cons
+  in
+  let nslack =
+    Array.fold_left
+      (fun acc (_, rel, _) -> match rel with Le | Ge -> acc + 1 | Eq -> acc)
+      0 cons
+  in
+  let nart =
+    Array.fold_left
+      (fun acc (_, rel, _) -> match rel with Ge | Eq -> acc + 1 | Le -> acc)
+      0 cons
+  in
+  let ncols = n + nslack + nart in
+  let tb =
+    {
+      t = Array.make_matrix m ncols 0.0;
+      rhs = Array.make m 0.0;
+      basis = Array.make m (-1);
+      m;
+      ncols;
+    }
+  in
+  let art_start = n + nslack in
+  let slack = ref n and art = ref art_start in
+  Array.iteri
+    (fun i (row, rel, b) ->
+      Array.blit row 0 tb.t.(i) 0 n;
+      tb.rhs.(i) <- b;
+      (match rel with
+      | Le ->
+          tb.t.(i).(!slack) <- 1.0;
+          tb.basis.(i) <- !slack;
+          incr slack
+      | Ge ->
+          tb.t.(i).(!slack) <- -1.0;
+          incr slack;
+          tb.t.(i).(!art) <- 1.0;
+          tb.basis.(i) <- !art;
+          incr art
+      | Eq ->
+          tb.t.(i).(!art) <- 1.0;
+          tb.basis.(i) <- !art;
+          incr art))
+    cons;
+  (* Phase 1: minimize the sum of artificials. *)
+  if nart > 0 then begin
+    let cost = Array.make ncols 0.0 in
+    for j = art_start to ncols - 1 do
+      cost.(j) <- 1.0
+    done;
+    let cost_rhs = ref 0.0 in
+    (* Price out basic artificials. *)
+    for i = 0 to m - 1 do
+      if tb.basis.(i) >= art_start then begin
+        for j = 0 to ncols - 1 do
+          cost.(j) <- cost.(j) -. tb.t.(i).(j)
+        done;
+        cost_rhs := !cost_rhs -. tb.rhs.(i)
+      end
+    done;
+    match optimize ~eps tb cost cost_rhs (fun _ -> true) with
+    | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+    | `Optimal ->
+        if !cost_rhs < -.eps *. 100.0 then raise Exit
+  end;
+  (* Drive any remaining basic artificials out (degenerate rows). *)
+  for i = 0 to m - 1 do
+    if tb.basis.(i) >= art_start then begin
+      let found = ref false in
+      for j = 0 to art_start - 1 do
+        if (not !found) && Float.abs tb.t.(i).(j) > eps then begin
+          pivot tb ~row:i ~col:j;
+          found := true
+        end
+      done
+      (* If no pivot exists the row is all-zero: redundant, harmless. *)
+    end
+  done;
+  (* Phase 2. *)
+  let cost = Array.make ncols 0.0 in
+  Array.blit objective 0 cost 0 n;
+  let cost_rhs = ref 0.0 in
+  for i = 0 to m - 1 do
+    let b = tb.basis.(i) in
+    if b >= 0 && b < art_start && Float.abs cost.(b) > 0.0 then begin
+      let f = cost.(b) in
+      for j = 0 to ncols - 1 do
+        cost.(j) <- cost.(j) -. (f *. tb.t.(i).(j))
+      done;
+      cost_rhs := !cost_rhs -. (f *. tb.rhs.(i))
+    end
+  done;
+  match optimize ~eps tb cost cost_rhs (fun j -> j < art_start) with
+  | `Unbounded -> Unbounded
+  | `Optimal ->
+      let x = Array.make n 0.0 in
+      for i = 0 to m - 1 do
+        if tb.basis.(i) < n then x.(tb.basis.(i)) <- tb.rhs.(i)
+      done;
+      let objv = ref 0.0 in
+      for j = 0 to n - 1 do
+        objv := !objv +. (objective.(j) *. x.(j))
+      done;
+      Optimal { objective = !objv; x }
+
+let solve ?eps p = try solve ?eps p with Exit -> Infeasible
+
+let feasible ?(eps = 1e-6) p x =
+  Array.for_all (fun v -> v >= -.eps) x
+  && List.for_all
+       (fun (row, rel, b) ->
+         let lhs = ref 0.0 in
+         Array.iteri (fun j a -> lhs := !lhs +. (a *. x.(j))) row;
+         match rel with
+         | Le -> !lhs <= b +. eps
+         | Ge -> !lhs >= b -. eps
+         | Eq -> Float.abs (!lhs -. b) <= eps)
+       p.constraints

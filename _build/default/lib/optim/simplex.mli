@@ -1,0 +1,26 @@
+(** Dense two-phase primal simplex for linear programs in the form
+
+    {v minimize c.x  subject to  A_i.x (<= | >= | =) b_i,  x >= 0 v}
+
+    Bland's rule is used throughout, so the method cannot cycle.
+    Intended for the modest problem sizes of design-space exploration
+    (tens of variables and constraints); no sparsity or factorization
+    tricks. *)
+
+type rel = Le | Ge | Eq
+
+type problem = {
+  objective : float array;                  (** minimized *)
+  constraints : (float array * rel * float) list;
+}
+
+type outcome =
+  | Optimal of { objective : float; x : float array }
+  | Infeasible
+  | Unbounded
+
+val solve : ?eps:float -> problem -> outcome
+(** @raise Invalid_argument on ragged constraint rows. *)
+
+val feasible : ?eps:float -> problem -> float array -> bool
+(** Does a point satisfy all constraints and nonnegativity? *)

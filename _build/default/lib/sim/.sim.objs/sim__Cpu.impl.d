@@ -1,0 +1,1 @@
+lib/sim/cpu.ml: Arch Array Cache Funit Isa List Memory Printf Profiler Rng

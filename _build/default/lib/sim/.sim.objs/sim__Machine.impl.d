@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Buffer Bytes Cpu Int32 Printf Profiler

@@ -1,0 +1,1 @@
+lib/sim/replacement.ml: Arch Array Rng

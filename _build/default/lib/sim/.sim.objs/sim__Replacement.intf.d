@@ -1,0 +1,1 @@
+lib/sim/replacement.mli: Arch Rng

@@ -1,0 +1,1 @@
+lib/sim/stackdist.ml: Array Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Cpu Format Isa List Profiler

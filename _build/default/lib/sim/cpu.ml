@@ -1,0 +1,375 @@
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let mask32 = 0xFFFFFFFF
+
+type t = {
+  config : Arch.Config.t;
+  prog : Isa.Program.t;
+  regs : int array;
+  nwin : int;
+  mutable cwp : int;
+  mutable resident : int;  (* frames currently held in windows, 1..nwin-1 *)
+  mutable pc : int;
+  mutable halted : bool;
+  mutable icc_n : bool;
+  mutable icc_z : bool;
+  mutable icc_v : bool;
+  mutable icc_c : bool;
+  mutable prev_set_icc : bool;
+  (* scratch accumulators for [step]: fields rather than refs keep the
+     per-instruction path allocation-free (minor-GC pressure is a
+     stop-the-world sync across domains in parallel model building) *)
+  mutable acc_cycles : int;
+  mutable next_pc : int;
+  mem : Memory.t;
+  icache : Cache.t;
+  dcache : Cache.t;
+  prof : Profiler.t;
+  mutable on_read : int -> unit;
+  (* precomputed timing knobs *)
+  iline_fill : int;
+  dline_fill : int;
+  load_extra : int;       (* dcache hit latency beyond 1 cycle *)
+  store_extra : int;
+  jump_extra : int;       (* beyond the 1-cycle redirect *)
+  decode_extra : int;     (* on control transfers when fast decode off *)
+  interlock : int;        (* load-delay interlock cycles *)
+  mul_stall : int;
+  div_stall : int;
+}
+
+let trap_overhead = 6
+
+let create config prog ~mem_size =
+  (match Arch.Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Cpu.create: " ^ msg));
+  let data_end = Isa.Program.data_end prog in
+  if mem_size < data_end + 4096 then
+    invalid_arg "Cpu.create: memory too small for data image + stack";
+  let iu = config.Arch.Config.iu in
+  let t =
+    {
+      config;
+      prog;
+      regs = Array.make (Isa.Reg.file_size ~nwindows:iu.reg_windows) 0;
+      nwin = iu.reg_windows;
+      cwp = 0;
+      resident = 1;
+      pc = prog.Isa.Program.entry;
+      halted = false;
+      icc_n = false;
+      icc_z = false;
+      icc_v = false;
+      icc_c = false;
+      prev_set_icc = false;
+      acc_cycles = 0;
+      next_pc = 0;
+      mem = Memory.create ~size:mem_size;
+      icache = Cache.of_config config.Arch.Config.icache ~rng:(Rng.create ~seed:0x1CE);
+      dcache = Cache.of_config config.Arch.Config.dcache ~rng:(Rng.create ~seed:0xDCE);
+      prof = Profiler.create ();
+      on_read = ignore;
+      iline_fill =
+        Memory.line_fill_cycles ~line_words:config.Arch.Config.icache.line_words;
+      dline_fill =
+        Memory.line_fill_cycles ~line_words:config.Arch.Config.dcache.line_words;
+      (* Fast read/write shorten LEON's combinational cache paths; at
+         our fixed clock they change area, not CPI. *)
+      load_extra = 1;
+      store_extra = 1;
+      jump_extra = (if iu.fast_jump then 0 else 1);
+      decode_extra = (if iu.fast_decode then 0 else 1);
+      interlock = iu.load_delay - 1;
+      mul_stall = Funit.mul_latency iu.multiplier - 1;
+      div_stall = Funit.div_latency iu.divider - 1;
+    }
+  in
+  Memory.load_image t.mem ~at:Isa.Program.data_base prog.Isa.Program.data;
+  let sp = mem_size - 128 in
+  t.regs.(Isa.Reg.physical ~nwindows:t.nwin ~cwp:0 Isa.Reg.sp) <- sp;
+  t
+
+let reinit t =
+  Array.fill t.regs 0 (Array.length t.regs) 0;
+  t.cwp <- 0;
+  t.resident <- 1;
+  t.pc <- t.prog.Isa.Program.entry;
+  t.halted <- false;
+  t.icc_n <- false;
+  t.icc_z <- false;
+  t.icc_v <- false;
+  t.icc_c <- false;
+  t.prev_set_icc <- false;
+  Memory.clear t.mem;
+  Memory.load_image t.mem ~at:Isa.Program.data_base t.prog.Isa.Program.data;
+  t.regs.(Isa.Reg.physical ~nwindows:t.nwin ~cwp:0 Isa.Reg.sp) <-
+    Memory.size t.mem - 128
+
+let phys t r = Isa.Reg.physical ~nwindows:t.nwin ~cwp:t.cwp r
+let read_reg t r = if r = 0 then 0 else t.regs.(phys t r)
+let write_reg t r v = if r <> 0 then t.regs.(phys t r) <- v land mask32
+
+let operand t = function
+  | Isa.Insn.Reg r -> read_reg t r
+  | Isa.Insn.Imm i -> i land mask32
+
+let to_signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let set_nz t res =
+  t.icc_n <- res land 0x80000000 <> 0;
+  t.icc_z <- res = 0
+
+let branch_taken t = function
+  | Isa.Insn.Always -> true
+  | Isa.Insn.Eq -> t.icc_z
+  | Isa.Insn.Ne -> not t.icc_z
+  | Isa.Insn.Gt -> not (t.icc_z || t.icc_n <> t.icc_v)
+  | Isa.Insn.Le -> t.icc_z || t.icc_n <> t.icc_v
+  | Isa.Insn.Ge -> t.icc_n = t.icc_v
+  | Isa.Insn.Lt -> t.icc_n <> t.icc_v
+  | Isa.Insn.Gu -> not (t.icc_c || t.icc_z)
+  | Isa.Insn.Leu -> t.icc_c || t.icc_z
+
+(* Data-cache timing helpers: return extra cycles beyond the base one. *)
+let dcache_load_cost t addr =
+  if Cache.read t.dcache addr then t.load_extra
+  else begin
+    t.prof.Profiler.dcache_read_misses <- t.prof.Profiler.dcache_read_misses + 1;
+    t.dline_fill + t.load_extra
+  end
+
+let dcache_store_cost t addr =
+  let hit = Cache.write t.dcache addr in
+  ignore hit;
+  t.store_extra
+
+let count_load t = t.prof.Profiler.dcache_reads <- t.prof.Profiler.dcache_reads + 1
+let observe_read t addr = t.on_read addr
+let count_store t = t.prof.Profiler.dcache_writes <- t.prof.Profiler.dcache_writes + 1
+
+(* Register-window spill/fill.  The 16 locals+ins of window [w] live in
+   the 64-byte save area at that window's %sp, as laid out by the
+   standard SPARC overflow/underflow handlers. *)
+let window_sp t w =
+  t.regs.(Isa.Reg.physical ~nwindows:t.nwin ~cwp:w Isa.Reg.sp)
+
+let spill_window t w =
+  let sp = window_sp t w in
+  let cost = ref trap_overhead in
+  for k = 0 to 7 do
+    let l = Isa.Reg.physical ~nwindows:t.nwin ~cwp:w (Isa.Reg.l k) in
+    let i = Isa.Reg.physical ~nwindows:t.nwin ~cwp:w (Isa.Reg.i k) in
+    count_store t;
+    Memory.write_u32 t.mem (sp + (4 * k)) t.regs.(l);
+    cost := !cost + 1 + dcache_store_cost t (sp + (4 * k));
+    count_store t;
+    Memory.write_u32 t.mem (sp + 32 + (4 * k)) t.regs.(i);
+    cost := !cost + 1 + dcache_store_cost t (sp + 32 + (4 * k))
+  done;
+  !cost
+
+let fill_window t w =
+  let sp = window_sp t w in
+  let cost = ref trap_overhead in
+  for k = 0 to 7 do
+    let l = Isa.Reg.physical ~nwindows:t.nwin ~cwp:w (Isa.Reg.l k) in
+    let i = Isa.Reg.physical ~nwindows:t.nwin ~cwp:w (Isa.Reg.i k) in
+    count_load t;
+    t.regs.(l) <- Memory.read_u32 t.mem (sp + (4 * k));
+    cost := !cost + 1 + dcache_load_cost t (sp + (4 * k));
+    count_load t;
+    t.regs.(i) <- Memory.read_u32 t.mem (sp + 32 + (4 * k));
+    cost := !cost + 1 + dcache_load_cost t (sp + 32 + (4 * k))
+  done;
+  !cost
+
+let alu_result t op a b =
+  match op with
+  | Isa.Insn.Add -> (a + b) land mask32
+  | Isa.Insn.Sub -> (a - b) land mask32
+  | Isa.Insn.And -> a land b
+  | Isa.Insn.Or -> a lor b
+  | Isa.Insn.Xor -> a lxor b
+  | Isa.Insn.Sll -> (a lsl (b land 31)) land mask32
+  | Isa.Insn.Srl -> a lsr (b land 31)
+  | Isa.Insn.Sra ->
+      ignore t;
+      (to_signed a asr (b land 31)) land mask32
+
+let set_icc_arith t op a b res =
+  set_nz t res;
+  (match op with
+  | Isa.Insn.Add ->
+      t.icc_c <- a + b > mask32;
+      t.icc_v <- lnot (a lxor b) land (a lxor res) land 0x80000000 <> 0
+  | Isa.Insn.Sub ->
+      t.icc_c <- a < b;
+      t.icc_v <- (a lxor b) land (a lxor res) land 0x80000000 <> 0
+  | Isa.Insn.And | Isa.Insn.Or | Isa.Insn.Xor | Isa.Insn.Sll | Isa.Insn.Srl
+  | Isa.Insn.Sra ->
+      t.icc_c <- false;
+      t.icc_v <- false);
+  ()
+
+let step t =
+  if t.halted then false
+  else begin
+    let code = t.prog.Isa.Program.code in
+    let idx = t.pc in
+    if idx < 0 || idx >= Array.length code then
+      error "pc %d outside program (0..%d)" idx (Array.length code - 1);
+    let insn = code.(idx) in
+    let prof = t.prof in
+    t.acc_cycles <- 1;
+    (* instruction fetch *)
+    if not (Cache.read t.icache (idx * 4)) then begin
+      prof.Profiler.icache_misses <- prof.Profiler.icache_misses + 1;
+      t.acc_cycles <- t.acc_cycles + t.iline_fill
+    end;
+    prof.Profiler.instructions <- prof.Profiler.instructions + 1;
+    if t.decode_extra > 0 && Isa.Insn.is_control insn then
+      t.acc_cycles <- t.acc_cycles + t.decode_extra;
+    (* ICC hold: with the hold logic enabled, a branch reading condition
+       codes produced by the immediately preceding instruction stalls a
+       cycle; without it the codes are forwarded. *)
+    if
+      t.config.Arch.Config.iu.icc_hold && t.prev_set_icc
+      && Isa.Insn.uses_icc insn
+    then begin
+      t.acc_cycles <- t.acc_cycles + 1;
+      prof.Profiler.icc_hold_stalls <- prof.Profiler.icc_hold_stalls + 1
+    end;
+    t.prev_set_icc <- Isa.Insn.sets_icc insn;
+    t.next_pc <- idx + 1;
+    (match insn with
+    | Isa.Insn.Alu { op; cc; rd; rs1; op2 } ->
+        let a = read_reg t rs1 and b = operand t op2 in
+        let res = alu_result t op a b in
+        if cc then set_icc_arith t op a b res;
+        write_reg t rd res
+    | Isa.Insn.Sethi { rd; imm } -> write_reg t rd ((imm lsl 11) land mask32)
+    | Isa.Insn.Mul { signed; cc; rd; rs1; op2 } ->
+        let a = read_reg t rs1 and b = operand t op2 in
+        let res =
+          if signed then to_signed a * to_signed b land mask32
+          else a * b land mask32
+        in
+        if cc then begin
+          set_nz t res;
+          t.icc_v <- false;
+          t.icc_c <- false
+        end;
+        write_reg t rd res;
+        prof.Profiler.mults <- prof.Profiler.mults + 1;
+        t.acc_cycles <- t.acc_cycles + t.mul_stall
+    | Isa.Insn.Div { signed; rd; rs1; op2 } ->
+        let a = read_reg t rs1 and b = operand t op2 in
+        if b = 0 then error "division by zero at pc %d" idx;
+        let res =
+          if signed then to_signed a / to_signed b land mask32
+          else a / b land mask32
+        in
+        write_reg t rd res;
+        prof.Profiler.divs <- prof.Profiler.divs + 1;
+        t.acc_cycles <- t.acc_cycles + t.div_stall
+    | Isa.Insn.Load { width; signed; rd; rs1; op2 } ->
+        let addr = (read_reg t rs1 + operand t op2) land mask32 in
+        count_load t;
+        observe_read t addr;
+        let raw =
+          match width with
+          | Isa.Insn.Byte -> Memory.read_u8 t.mem addr
+          | Isa.Insn.Half -> Memory.read_u16 t.mem addr
+          | Isa.Insn.Word -> Memory.read_u32 t.mem addr
+        in
+        let v =
+          if not signed then raw
+          else
+            match width with
+            | Isa.Insn.Byte -> (raw lxor 0x80) - 0x80 land mask32
+            | Isa.Insn.Half -> (raw lxor 0x8000) - 0x8000 land mask32
+            | Isa.Insn.Word -> raw
+        in
+        write_reg t rd (v land mask32);
+        t.acc_cycles <- t.acc_cycles + dcache_load_cost t addr;
+        (* load-delay interlock against an immediately dependent user *)
+        if t.interlock > 0 && rd <> 0 && idx + 1 < Array.length code then
+          if List.mem rd (Isa.Insn.reads code.(idx + 1)) then begin
+            t.acc_cycles <- t.acc_cycles + t.interlock;
+            prof.Profiler.load_interlocks <- prof.Profiler.load_interlocks + 1
+          end
+    | Isa.Insn.Store { width; rs; rs1; op2 } ->
+        let addr = (read_reg t rs1 + operand t op2) land mask32 in
+        let v = read_reg t rs in
+        count_store t;
+        (match width with
+        | Isa.Insn.Byte -> Memory.write_u8 t.mem addr v
+        | Isa.Insn.Half -> Memory.write_u16 t.mem addr v
+        | Isa.Insn.Word -> Memory.write_u32 t.mem addr v);
+        t.acc_cycles <- t.acc_cycles + dcache_store_cost t addr
+    | Isa.Insn.Branch { cond; target } ->
+        prof.Profiler.branches <- prof.Profiler.branches + 1;
+        if branch_taken t cond then begin
+          prof.Profiler.taken_branches <- prof.Profiler.taken_branches + 1;
+          t.next_pc <- target;
+          t.acc_cycles <- t.acc_cycles + 1
+        end
+    | Isa.Insn.Call { target } ->
+        write_reg t Isa.Reg.ra idx;
+        t.next_pc <- target;
+        t.acc_cycles <- t.acc_cycles + 1 + t.jump_extra
+    | Isa.Insn.Jmpl { rd; rs1; op2 } ->
+        let target = (read_reg t rs1 + operand t op2) land mask32 in
+        write_reg t rd idx;
+        t.next_pc <- target;
+        t.acc_cycles <- t.acc_cycles + 1 + t.jump_extra
+    | Isa.Insn.Save { rd; rs1; op2 } ->
+        let res = (read_reg t rs1 + operand t op2) land mask32 in
+        if t.resident = t.nwin - 1 then begin
+          let oldest = (t.cwp + t.resident - 1) mod t.nwin in
+          t.acc_cycles <- t.acc_cycles + spill_window t oldest;
+          prof.Profiler.window_overflows <- prof.Profiler.window_overflows + 1
+        end
+        else t.resident <- t.resident + 1;
+        t.cwp <- (t.cwp - 1 + t.nwin) mod t.nwin;
+        write_reg t rd res
+    | Isa.Insn.Restore { rd; rs1; op2 } ->
+        let res = (read_reg t rs1 + operand t op2) land mask32 in
+        if t.resident = 1 then begin
+          let caller = (t.cwp + 1) mod t.nwin in
+          t.acc_cycles <- t.acc_cycles + fill_window t caller;
+          prof.Profiler.window_underflows <- prof.Profiler.window_underflows + 1
+        end
+        else t.resident <- t.resident - 1;
+        t.cwp <- (t.cwp + 1) mod t.nwin;
+        write_reg t rd res
+    | Isa.Insn.Nop -> ()
+    | Isa.Insn.Halt -> t.halted <- true);
+    t.pc <- t.next_pc;
+    prof.Profiler.cycles <- prof.Profiler.cycles + t.acc_cycles;
+    not t.halted
+  end
+
+let run ?(max_insns = 200_000_000) t =
+  let budget = ref max_insns in
+  let continue = ref (not t.halted) in
+  while !continue do
+    if !budget <= 0 then error "instruction budget exhausted";
+    decr budget;
+    continue := step t
+  done
+
+let profile t = t.prof
+let reset_profile t = Profiler.reset t.prof
+let result t = read_reg t (Isa.Reg.o 0)
+let pc t = t.pc
+let halted t = t.halted
+let mem t = t.mem
+let program t = t.prog
+let icache t = t.icache
+let dcache t = t.dcache
+
+let on_data_read t f = t.on_read <- f

@@ -1,0 +1,56 @@
+(** In-order LEON2-style processor core.
+
+    Executes {!Isa} programs with cycle accounting driven by the
+    microarchitecture configuration: instruction/data cache hits and
+    line fills, load-delay interlocks, ICC-hold stalls, jump and
+    branch redirect penalties, multiplier/divider latencies and
+    register-window overflow/underflow traps (which spill/fill through
+    the data cache, as on real SPARC systems).  Dcache fast read/write
+    are modeled as area-only options: they shorten combinational paths
+    (a clock-frequency effect) and leave CPI unchanged, which is why
+    the paper's optimizer never selects them.
+
+    Registers hold 32-bit values represented as OCaml ints in
+    [0, 0xFFFFFFFF]. *)
+
+type t
+
+exception Error of string
+(** Raised on malformed execution: bad program counter, division by
+    zero, memory faults, or exceeding the step budget. *)
+
+val create : Arch.Config.t -> Isa.Program.t -> mem_size:int -> t
+(** Builds a machine, loads the program's data image and points the
+    stack pointer at the top of memory.
+    @raise Invalid_argument if the configuration is invalid. *)
+
+val reinit : t -> unit
+(** Reset architectural state (registers, pc, icc, window state) and
+    reload the data image, but keep cache contents warm.  Used to model
+    repeated executions of the same application. *)
+
+val step : t -> bool
+(** Execute one instruction; [false] once halted. *)
+
+val run : ?max_insns:int -> t -> unit
+(** Run to [Halt].  @raise Error if the budget (default 2e8) runs out. *)
+
+val profile : t -> Profiler.t
+val reset_profile : t -> unit
+val result : t -> int
+(** Value of %o0 in the current window — by convention the program's
+    checksum at [Halt]. *)
+
+val on_data_read : t -> (int -> unit) -> unit
+(** Install an observer called with the byte address of every data read
+    (loads and window-fill reads) — used for address-trace capture,
+    e.g. by {!Stackdist}. *)
+
+val read_reg : t -> Isa.Reg.t -> int
+val write_reg : t -> Isa.Reg.t -> int -> unit
+val pc : t -> int
+val halted : t -> bool
+val mem : t -> Memory.t
+val program : t -> Isa.Program.t
+val icache : t -> Cache.t
+val dcache : t -> Cache.t

@@ -1,0 +1,12 @@
+let mul_latency = function
+  | Arch.Config.Mul_none -> 44        (* software shift-and-add routine *)
+  | Arch.Config.Mul_iterative -> 35
+  | Arch.Config.Mul_16x16 -> 5
+  | Arch.Config.Mul_16x16_pipe -> 4
+  | Arch.Config.Mul_32x8 -> 4
+  | Arch.Config.Mul_32x16 -> 2
+  | Arch.Config.Mul_32x32 -> 1
+
+let div_latency = function
+  | Arch.Config.Div_radix2 -> 35
+  | Arch.Config.Div_none -> 180       (* software long-division routine *)

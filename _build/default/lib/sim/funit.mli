@@ -1,0 +1,10 @@
+(** Functional-unit latencies for the configurable multiplier and
+    divider variants of the LEON integer unit.
+
+    Latencies are total cycles per operation (so the extra stall an
+    instruction incurs is latency - 1).  A configuration without the
+    hardware unit falls back to a software routine whose cost we charge
+    as a fixed cycle count; see DESIGN.md for the substitution note. *)
+
+val mul_latency : Arch.Config.multiplier -> int
+val div_latency : Arch.Config.divider -> int

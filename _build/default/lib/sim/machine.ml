@@ -1,0 +1,58 @@
+type result = {
+  profile : Profiler.t;
+  cold_cycles : int;
+  warm_cycles : int;
+  checksum : int;
+}
+
+let clock_hz = 25_000_000.0
+let default_mem_size = 1 lsl 20
+
+let run_once ?(mem_size = default_mem_size) config prog =
+  let cpu = Cpu.create config prog ~mem_size in
+  Cpu.run cpu;
+  cpu
+
+let run ?(mem_size = default_mem_size) ?(reps = 1) config prog =
+  let cpu = Cpu.create config prog ~mem_size in
+  Cpu.run cpu;
+  let cold = Profiler.copy (Cpu.profile cpu) in
+  let cold_sum = Cpu.result cpu in
+  if reps = 1 then
+    {
+      profile = cold;
+      cold_cycles = cold.Profiler.cycles;
+      warm_cycles = cold.Profiler.cycles;
+      checksum = cold_sum;
+    }
+  else begin
+    Cpu.reset_profile cpu;
+    Cpu.reinit cpu;
+    Cpu.run cpu;
+    let warm = Profiler.copy (Cpu.profile cpu) in
+    let warm_sum = Cpu.result cpu in
+    if warm_sum <> cold_sum then
+      failwith
+        (Printf.sprintf
+           "Machine.run: non-deterministic application (cold checksum %d, warm %d)"
+           cold_sum warm_sum);
+    {
+      profile = Profiler.scale_add cold ~warm ~reps;
+      cold_cycles = cold.Profiler.cycles;
+      warm_cycles = warm.Profiler.cycles;
+      checksum = cold_sum;
+    }
+  end
+
+let seconds r = float_of_int r.profile.Profiler.cycles /. clock_hz
+
+let trace_reads ?(mem_size = default_mem_size) config prog =
+  let cpu = Cpu.create config prog ~mem_size in
+  let buf = Buffer.create (1 lsl 16) in
+  Cpu.on_data_read cpu (fun addr ->
+      Buffer.add_int32_le buf (Int32.of_int addr));
+  Cpu.run cpu;
+  let n = Buffer.length buf / 4 in
+  let bytes = Buffer.to_bytes buf in
+  Array.init n (fun k ->
+      Int32.to_int (Bytes.get_int32_le bytes (4 * k)) land 0xFFFFFFFF)

@@ -1,0 +1,36 @@
+(** Application execution harness.
+
+    The paper measures applications whose wall-clock runtimes reach
+    minutes (billions of cycles).  Simulating every repetition is
+    pointless: after the first execution the caches are warm and every
+    further execution of these deterministic kernels costs the same.
+    [run] therefore simulates one cold execution and one warm
+    execution, checks they compute the same result, and reports
+    [cold + (reps - 1) * warm] — a faithful model of a long run at a
+    tiny fraction of the simulation cost. *)
+
+type result = {
+  profile : Profiler.t;   (** scaled to [reps] executions *)
+  cold_cycles : int;
+  warm_cycles : int;
+  checksum : int;         (** %o0 at halt; equal across executions *)
+}
+
+val clock_hz : float
+(** Nominal processor clock used to convert cycles to the paper's
+    seconds scale (LEON2 on a VirtexE ran at 25 MHz). *)
+
+val run :
+  ?mem_size:int -> ?reps:int -> Arch.Config.t -> Isa.Program.t -> result
+(** @raise Cpu.Error on execution errors
+    @raise Failure if cold and warm checksums disagree. *)
+
+val seconds : result -> float
+(** Scaled runtime in seconds at {!clock_hz}. *)
+
+val run_once : ?mem_size:int -> Arch.Config.t -> Isa.Program.t -> Cpu.t
+(** Single cold execution, returning the machine for inspection. *)
+
+val trace_reads : ?mem_size:int -> Arch.Config.t -> Isa.Program.t -> int array
+(** One cold execution, returning the byte addresses of all data reads
+    in order — input for {!Stackdist} miss-rate-curve prediction. *)

@@ -1,0 +1,39 @@
+(** Flat data memory with a burst-latency model.
+
+    Addresses are byte addresses; all multi-byte accesses are little-
+    endian and must be naturally aligned.  Latency constants model an
+    external asynchronous SRAM behind the AHB bus, as on the paper's
+    Liquid Architecture board. *)
+
+type t
+
+exception Fault of string
+(** Raised on out-of-range or misaligned accesses. *)
+
+val create : size:int -> t
+val size : t -> int
+
+val load_image : t -> at:int -> Bytes.t -> unit
+
+val read_u8 : t -> int -> int
+val read_u16 : t -> int -> int
+val read_u32 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val write_u16 : t -> int -> int -> unit
+val write_u32 : t -> int -> int -> unit
+
+val clear : t -> unit
+
+(** {2 Timing} *)
+
+val read_first_cycles : int
+(** Cycles to deliver the first word of a read burst. *)
+
+val read_next_cycles : int
+(** Cycles per subsequent word of a line fill. *)
+
+val write_cycles : int
+(** Cycles a (buffered) write-through occupies the bus. *)
+
+val line_fill_cycles : line_words:int -> int
+(** Latency of a full cache-line fill. *)

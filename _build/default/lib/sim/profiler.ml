@@ -1,0 +1,99 @@
+type t = {
+  mutable cycles : int;
+  mutable instructions : int;
+  mutable icache_misses : int;
+  mutable dcache_reads : int;
+  mutable dcache_read_misses : int;
+  mutable dcache_writes : int;
+  mutable dcache_write_misses : int;
+  mutable branches : int;
+  mutable taken_branches : int;
+  mutable mults : int;
+  mutable divs : int;
+  mutable window_overflows : int;
+  mutable window_underflows : int;
+  mutable load_interlocks : int;
+  mutable icc_hold_stalls : int;
+}
+
+let create () =
+  {
+    cycles = 0;
+    instructions = 0;
+    icache_misses = 0;
+    dcache_reads = 0;
+    dcache_read_misses = 0;
+    dcache_writes = 0;
+    dcache_write_misses = 0;
+    branches = 0;
+    taken_branches = 0;
+    mults = 0;
+    divs = 0;
+    window_overflows = 0;
+    window_underflows = 0;
+    load_interlocks = 0;
+    icc_hold_stalls = 0;
+  }
+
+let reset t =
+  t.cycles <- 0;
+  t.instructions <- 0;
+  t.icache_misses <- 0;
+  t.dcache_reads <- 0;
+  t.dcache_read_misses <- 0;
+  t.dcache_writes <- 0;
+  t.dcache_write_misses <- 0;
+  t.branches <- 0;
+  t.taken_branches <- 0;
+  t.mults <- 0;
+  t.divs <- 0;
+  t.window_overflows <- 0;
+  t.window_underflows <- 0;
+  t.load_interlocks <- 0;
+  t.icc_hold_stalls <- 0
+
+let copy t = { t with cycles = t.cycles }
+
+let map2 f a b =
+  {
+    cycles = f a.cycles b.cycles;
+    instructions = f a.instructions b.instructions;
+    icache_misses = f a.icache_misses b.icache_misses;
+    dcache_reads = f a.dcache_reads b.dcache_reads;
+    dcache_read_misses = f a.dcache_read_misses b.dcache_read_misses;
+    dcache_writes = f a.dcache_writes b.dcache_writes;
+    dcache_write_misses = f a.dcache_write_misses b.dcache_write_misses;
+    branches = f a.branches b.branches;
+    taken_branches = f a.taken_branches b.taken_branches;
+    mults = f a.mults b.mults;
+    divs = f a.divs b.divs;
+    window_overflows = f a.window_overflows b.window_overflows;
+    window_underflows = f a.window_underflows b.window_underflows;
+    load_interlocks = f a.load_interlocks b.load_interlocks;
+    icc_hold_stalls = f a.icc_hold_stalls b.icc_hold_stalls;
+  }
+
+let add = map2 ( + )
+
+let scale_add cold ~warm ~reps =
+  if reps < 1 then invalid_arg "Profiler.scale_add: reps must be >= 1";
+  map2 (fun c w -> c + ((reps - 1) * w)) cold warm
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>cycles              %d@,\
+     instructions        %d (CPI %.3f)@,\
+     icache misses       %d@,\
+     dcache reads/misses %d/%d@,\
+     dcache writes/misses %d/%d@,\
+     branches/taken      %d/%d@,\
+     mults/divs          %d/%d@,\
+     window ovf/unf      %d/%d@,\
+     load interlocks     %d@,\
+     icc hold stalls     %d@]"
+    t.cycles t.instructions
+    (if t.instructions = 0 then 0.0
+     else float_of_int t.cycles /. float_of_int t.instructions)
+    t.icache_misses t.dcache_reads t.dcache_read_misses t.dcache_writes
+    t.dcache_write_misses t.branches t.taken_branches t.mults t.divs
+    t.window_overflows t.window_underflows t.load_interlocks t.icc_hold_stalls

@@ -1,0 +1,37 @@
+(** Cycle-accurate execution statistics.
+
+    This plays the role of the Liquid Architecture platform's
+    hardware-based, non-intrusive statistics module: it observes the
+    processor and counts cycles and events without perturbing the
+    execution. *)
+
+type t = {
+  mutable cycles : int;
+  mutable instructions : int;
+  mutable icache_misses : int;
+  mutable dcache_reads : int;
+  mutable dcache_read_misses : int;
+  mutable dcache_writes : int;
+  mutable dcache_write_misses : int;
+  mutable branches : int;
+  mutable taken_branches : int;
+  mutable mults : int;
+  mutable divs : int;
+  mutable window_overflows : int;
+  mutable window_underflows : int;
+  mutable load_interlocks : int;
+  mutable icc_hold_stalls : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+val add : t -> t -> t
+(** Component-wise sum (for combining epochs). *)
+
+val scale_add : t -> warm:t -> reps:int -> t
+(** [scale_add cold ~warm ~reps] models [reps] executions: one cold run
+    plus [reps - 1] repetitions of the warm (steady-state) run. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,50 @@
+type policy =
+  | Random of Rng.t
+  | Lrr of { next : int array }                 (* per-set round-robin *)
+  | Lru of { stamps : int array; mutable clock : int }
+
+type t = { ways : int; policy : policy }
+
+let create repl ~sets ~ways ~rng =
+  let policy =
+    match repl with
+    | Arch.Config.Random -> Random rng
+    | Arch.Config.Lrr -> Lrr { next = Array.make sets 0 }
+    | Arch.Config.Lru -> Lru { stamps = Array.make (sets * ways) 0; clock = 0 }
+  in
+  { ways; policy }
+
+let touch t ~set ~way =
+  match t.policy with
+  | Random _ | Lrr _ -> ()
+  | Lru l ->
+      l.clock <- l.clock + 1;
+      l.stamps.((set * t.ways) + way) <- l.clock
+
+let filled t ~set ~way =
+  match t.policy with
+  | Random _ -> ()
+  | Lrr l -> l.next.(set) <- (way + 1) mod t.ways
+  | Lru l ->
+      l.clock <- l.clock + 1;
+      l.stamps.((set * t.ways) + way) <- l.clock
+
+let victim t ~set =
+  match t.policy with
+  | Random rng -> Rng.bits16 rng mod t.ways
+  | Lrr l -> l.next.(set)
+  | Lru l ->
+      let base = set * t.ways in
+      let best = ref 0 in
+      for w = 1 to t.ways - 1 do
+        if l.stamps.(base + w) < l.stamps.(base + !best) then best := w
+      done;
+      !best
+
+let reset t =
+  match t.policy with
+  | Random _ -> ()
+  | Lrr l -> Array.fill l.next 0 (Array.length l.next) 0
+  | Lru l ->
+      Array.fill l.stamps 0 (Array.length l.stamps) 0;
+      l.clock <- 0

@@ -1,0 +1,20 @@
+(** Cache replacement policy engines.
+
+    One engine instance serves a whole cache (all sets).  The cache
+    asks for a {!victim} way when it must evict, reports hits with
+    {!touch} and fills with {!filled}; policies that do not care about
+    a notification ignore it.
+
+    - [Random]: LFSR-driven pick, as in LEON's pseudo-random policy.
+    - [Lrr] (least recently replaced): round-robin / FIFO victim per
+      set, valid only for 2-way caches in LEON but implemented for any
+      associativity.
+    - [Lru]: true least-recently-used via per-line use stamps. *)
+
+type t
+
+val create : Arch.Config.replacement -> sets:int -> ways:int -> rng:Rng.t -> t
+val touch : t -> set:int -> way:int -> unit
+val filled : t -> set:int -> way:int -> unit
+val victim : t -> set:int -> int
+val reset : t -> unit

@@ -1,0 +1,28 @@
+type t = { mutable lfsr : int; mutable state : int }
+
+let create ~seed =
+  let lfsr = seed land 0xFFFF in
+  { lfsr = (if lfsr = 0 then 0xACE1 else lfsr); state = seed }
+
+(* 16-bit Galois LFSR, taps 16,14,13,11 (maximal period). *)
+let bits16 t =
+  let x = t.lfsr in
+  let bit = x land 1 in
+  let x = x lsr 1 in
+  t.lfsr <- (if bit = 1 then x lxor 0xB400 else x);
+  t.lfsr
+
+(* splitmix-style mixing for workload generation, confined to OCaml's
+   63-bit native int (constants truncated accordingly). *)
+let next64 t =
+  t.state <- (t.state + 0x1E3779B97F4A7C15) land max_int;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB land max_int in
+  z lxor (z lsr 31)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive"
+  else next64 t mod n
+
+let copy t = { lfsr = t.lfsr; state = t.state }

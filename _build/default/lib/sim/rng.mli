@@ -1,0 +1,20 @@
+(** Deterministic pseudo-random number generation.
+
+    The simulator must be a pure function of (configuration, program),
+    so all randomness — the random cache-replacement pick and the
+    synthetic workload contents — comes from explicitly seeded
+    generators, never from the ambient [Stdlib.Random] state. *)
+
+type t
+
+val create : seed:int -> t
+
+val bits16 : t -> int
+(** Next value of a 16-bit Galois LFSR, in \[1, 0xFFFF\].  This mirrors
+    the hardware pseudo-random source LEON uses for random cache
+    replacement. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform-ish in \[0, n). [n] must be positive. *)
+
+val copy : t -> t

@@ -1,0 +1,86 @@
+type t = {
+  line_bytes : int;
+  accesses : int;
+  cold : int;
+  hist : int array;  (* hist.(d) = accesses with stack distance d *)
+}
+
+(* Fenwick tree over [1..n] for prefix sums. *)
+module Bit = struct
+  type t = { a : int array }
+
+  let create n = { a = Array.make (n + 1) 0 }
+
+  let add t i v =
+    let i = ref i in
+    while !i < Array.length t.a do
+      t.a.(!i) <- t.a.(!i) + v;
+      i := !i + (!i land - !i)
+    done
+
+  let prefix t i =
+    let i = ref i and s = ref 0 in
+    while !i > 0 do
+      s := !s + t.a.(!i);
+      i := !i - (!i land - !i)
+    done;
+    !s
+end
+
+let analyze ~line_bytes trace =
+  if line_bytes <= 0 then invalid_arg "Stackdist.analyze: line_bytes";
+  let n = Array.length trace in
+  let bit = Bit.create (n + 1) in
+  let last = Hashtbl.create 4096 in
+  let hist = Hashtbl.create 256 in
+  let cold = ref 0 in
+  let marked = ref 0 in
+  for k = 0 to n - 1 do
+    let line = trace.(k) / line_bytes in
+    let time = k + 1 in
+    (match Hashtbl.find_opt last line with
+    | None -> incr cold
+    | Some t0 ->
+        (* Number of distinct lines accessed strictly after t0: marks
+           in (t0, time). *)
+        let d = !marked - Bit.prefix bit t0 in
+        Hashtbl.replace hist d (1 + Option.value ~default:0 (Hashtbl.find_opt hist d));
+        (* Unmark the previous occurrence: each line is marked only at
+           its most recent access. *)
+        Bit.add bit t0 (-1);
+        decr marked);
+    Bit.add bit time 1;
+    incr marked;
+    Hashtbl.replace last line time
+  done;
+  let max_d = Hashtbl.fold (fun d _ acc -> max d acc) hist 0 in
+  let harr = Array.make (max_d + 1) 0 in
+  Hashtbl.iter (fun d c -> harr.(d) <- c) hist;
+  { line_bytes; accesses = n; cold = !cold; hist = harr }
+
+let accesses t = t.accesses
+let cold_misses t = t.cold
+
+let misses t ~lines =
+  if lines <= 0 then t.accesses
+  else begin
+    (* A distance-d access hits iff the cache holds at least d+1 lines
+       (the line itself is at depth d from the top of the stack, with d
+       distinct lines above it)... conventions vary; here distance d
+       counts the distinct *other* lines touched since the last access,
+       so the access hits iff lines > d. *)
+    let m = ref t.cold in
+    for d = 0 to Array.length t.hist - 1 do
+      if d >= lines then m := !m + t.hist.(d)
+    done;
+    !m
+  end
+
+let miss_curve t ~capacities_kb =
+  List.map
+    (fun kb -> (kb, misses t ~lines:(kb * 1024 / t.line_bytes)))
+    capacities_kb
+
+let max_distance t =
+  let rec go d = if d < 0 then 0 else if t.hist.(d) > 0 then d else go (d - 1) in
+  go (Array.length t.hist - 1)

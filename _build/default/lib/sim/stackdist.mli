@@ -1,0 +1,33 @@
+(** Mattson stack-distance analysis: one pass over an address trace
+    yields the LRU miss count for {e every} cache capacity at once.
+
+    This supports the paper's future-work direction of cheaper
+    design-space exploration ("smart sampling"): instead of simulating
+    one cache size per run, a single traced execution predicts the full
+    miss-rate curve of a fully-associative LRU cache — an upper-bound
+    approximation for the set-associative LRU configurations of the
+    design space.
+
+    Distances are computed exactly in O(log n) per access with a
+    Fenwick tree over access times. *)
+
+type t
+
+val analyze : line_bytes:int -> int array -> t
+(** [analyze ~line_bytes trace] processes byte addresses in order;
+    accesses are collapsed to cache lines of [line_bytes]. *)
+
+val accesses : t -> int
+
+val cold_misses : t -> int
+(** First-touch (infinite-distance) accesses: compulsory misses. *)
+
+val misses : t -> lines:int -> int
+(** Misses of a fully-associative LRU cache holding [lines] lines. *)
+
+val miss_curve : t -> capacities_kb:int list -> (int * int) list
+(** [(kb, misses)] per capacity, with the trace's line size. *)
+
+val max_distance : t -> int
+(** Largest finite stack distance observed (the working-set size in
+    lines: a cache this large incurs only cold misses). *)

@@ -1,0 +1,38 @@
+type entry = {
+  step : int;
+  pc : int;
+  insn : Isa.Insn.t;
+  cycles_after : int;
+}
+
+let run ?(limit = 10_000) cpu =
+  let entries = ref [] in
+  let k = ref 0 in
+  let continue = ref (not (Cpu.halted cpu)) in
+  while !continue && !k < limit do
+    let pc = Cpu.pc cpu in
+    let live = Cpu.step cpu in
+    entries :=
+      {
+        step = !k;
+        pc;
+        insn = (Cpu.program cpu).Isa.Program.code.(pc);
+        cycles_after = (Cpu.profile cpu).Profiler.cycles;
+      }
+      :: !entries;
+    incr k;
+    continue := live
+  done;
+  List.rev !entries
+
+let pp ppf entries =
+  let prev = ref 0 in
+  Format.fprintf ppf "%6s %6s %7s %5s  %s@." "step" "pc" "cycles" "+cyc"
+    "instruction";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%6d %6d %7d %5d  %s@." e.step e.pc e.cycles_after
+        (e.cycles_after - !prev)
+        (Isa.Insn.to_string e.insn);
+      prev := e.cycles_after)
+    entries

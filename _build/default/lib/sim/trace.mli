@@ -1,0 +1,21 @@
+(** Instruction-level execution tracing, for debugging programs and the
+    timing model itself: each executed instruction is recorded with the
+    cumulative cycle count after it completes, so stalls (cache fills,
+    interlocks, multiplier latency, window traps) appear as jumps in
+    the cycle column. *)
+
+type entry = {
+  step : int;          (** dynamic instruction number, from 0 *)
+  pc : int;            (** instruction index executed *)
+  insn : Isa.Insn.t;
+  cycles_after : int;  (** profiler cycle count after the instruction *)
+}
+
+val run : ?limit:int -> Cpu.t -> entry list
+(** Step the machine until [Halt] or [limit] instructions (default
+    10,000), recording every step.  The machine keeps its final state,
+    so callers can inspect registers afterwards or continue with
+    {!Cpu.run}. *)
+
+val pp : Format.formatter -> entry list -> unit
+(** Listing with per-instruction cycle deltas. *)

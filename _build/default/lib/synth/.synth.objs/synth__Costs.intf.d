@@ -1,0 +1,1 @@
+lib/synth/costs.mli: Arch

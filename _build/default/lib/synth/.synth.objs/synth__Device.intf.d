@@ -1,0 +1,1 @@
+lib/synth/device.mli:

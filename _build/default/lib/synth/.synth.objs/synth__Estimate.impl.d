@@ -1,0 +1,1 @@
+lib/synth/estimate.ml: Arch Costs Resource

@@ -1,0 +1,1 @@
+lib/synth/estimate.mli: Arch Resource

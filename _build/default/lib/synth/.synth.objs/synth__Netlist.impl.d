@@ -1,0 +1,1 @@
+lib/synth/netlist.ml: Arch Costs Fmt List Printf Resource String

@@ -1,0 +1,1 @@
+lib/synth/resource.ml: Device Fmt List

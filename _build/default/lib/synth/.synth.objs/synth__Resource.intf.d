@@ -1,0 +1,1 @@
+lib/synth/resource.mli: Fmt

@@ -1,0 +1,37 @@
+let core_luts = 10156
+let regfile_luts_per_window = 32
+
+let divider_luts = function
+  | Arch.Config.Div_radix2 -> 500
+  | Arch.Config.Div_none -> 0
+
+let multiplier_luts = function
+  | Arch.Config.Mul_none -> 0
+  | Arch.Config.Mul_iterative -> 800
+  | Arch.Config.Mul_16x16 -> 1500
+  | Arch.Config.Mul_16x16_pipe -> 1580
+  | Arch.Config.Mul_32x8 -> 1700
+  | Arch.Config.Mul_32x16 -> 1820
+  | Arch.Config.Mul_32x32 -> 1920
+
+let fast_jump_luts = 250
+let icc_hold_luts = 16
+let fast_decode_luts = 90
+let load_delay1_luts = 60
+let no_infer_luts = 50
+let fast_read_luts = 120
+let fast_write_luts = 100
+let cache_ctrl_luts = 700
+let cache_way_luts = 90
+let cache_kb_luts = 8
+let cache_line8_luts = 260
+let lrr_luts = 60
+let lru_luts = 120
+let core_brams = 64
+
+let ceil_div a b = (a + b - 1) / b
+let cache_way_data_brams ~way_kb = 2 * way_kb
+
+let cache_way_tag_brams ~way_kb ~line_words =
+  let lines = way_kb * 1024 / (line_words * 4) in
+  ceil_div (lines * 32) Device.bram_bits

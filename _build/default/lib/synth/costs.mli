@@ -1,0 +1,26 @@
+(** Calibrated per-component FPGA cost constants, shared by the
+    closed-form estimator ({!Estimate}) and the structural elaborator
+    ({!Netlist}); the test suite checks the two agree on every
+    configuration.  Calibration rationale lives in DESIGN.md. *)
+
+val core_luts : int
+val regfile_luts_per_window : int
+val divider_luts : Arch.Config.divider -> int
+val multiplier_luts : Arch.Config.multiplier -> int
+val fast_jump_luts : int
+val icc_hold_luts : int
+val fast_decode_luts : int
+val load_delay1_luts : int
+val no_infer_luts : int
+val fast_read_luts : int
+val fast_write_luts : int
+val cache_ctrl_luts : int
+val cache_way_luts : int
+val cache_kb_luts : int
+val cache_line8_luts : int
+val lrr_luts : int
+val lru_luts : int
+val core_brams : int
+
+val cache_way_data_brams : way_kb:int -> int
+val cache_way_tag_brams : way_kb:int -> line_words:int -> int

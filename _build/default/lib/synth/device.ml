@@ -1,0 +1,3 @@
+let luts = 38_400
+let brams = 160
+let bram_bits = 4096

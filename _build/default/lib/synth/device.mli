@@ -1,0 +1,10 @@
+(** The target FPGA: Xilinx Virtex XCV2000E, as in the paper. *)
+
+val luts : int
+(** Total lookup tables: 38,400. *)
+
+val brams : int
+(** Total block RAMs (4 Kbit each): 160. *)
+
+val bram_bits : int
+(** Capacity of one block RAM in bits: 4096. *)

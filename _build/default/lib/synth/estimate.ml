@@ -1,0 +1,53 @@
+(* Closed-form resource totals from the shared calibrated constants
+   (see Costs and DESIGN.md).  Netlist computes the same totals
+   structurally; tests check the two agree on every configuration. *)
+
+let cache_way_brams ~way_kb ~line_words =
+  Costs.cache_way_data_brams ~way_kb
+  + Costs.cache_way_tag_brams ~way_kb ~line_words
+
+let cache (c : Arch.Config.cache) =
+  let luts =
+    Costs.cache_ctrl_luts
+    + (Costs.cache_way_luts * c.ways)
+    + (Costs.cache_kb_luts * c.way_kb)
+    + (if c.line_words = 8 then Costs.cache_line8_luts else 0)
+    + (match c.replacement with
+      | Arch.Config.Random -> 0
+      | Arch.Config.Lrr -> Costs.lrr_luts
+      | Arch.Config.Lru -> Costs.lru_luts)
+  in
+  let brams =
+    c.ways * cache_way_brams ~way_kb:c.way_kb ~line_words:c.line_words
+  in
+  { Resource.luts; brams }
+
+let config (t : Arch.Config.t) =
+  (match Arch.Config.validate t with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Estimate.config: " ^ m));
+  let iu = t.Arch.Config.iu in
+  let iu_luts =
+    Costs.core_luts
+    + (Costs.regfile_luts_per_window * iu.reg_windows)
+    + Costs.divider_luts iu.divider
+    + Costs.multiplier_luts iu.multiplier
+    + (if iu.fast_jump then Costs.fast_jump_luts else 0)
+    + (if iu.icc_hold then Costs.icc_hold_luts else 0)
+    + (if iu.fast_decode then Costs.fast_decode_luts else 0)
+    + (if iu.load_delay = 1 then Costs.load_delay1_luts else 0)
+    + (if t.infer_mult_div then 0 else Costs.no_infer_luts)
+    + (if t.dcache_fast_read then Costs.fast_read_luts else 0)
+    + (if t.dcache_fast_write then Costs.fast_write_luts else 0)
+  in
+  Resource.sum
+    [
+      { Resource.luts = iu_luts; brams = Costs.core_brams };
+      cache t.icache;
+      cache t.dcache;
+    ]
+
+let base = config Arch.Config.base
+
+let feasible t =
+  Arch.Config.is_valid t && Resource.fits (config t)

@@ -1,0 +1,38 @@
+(** Analytic FPGA synthesis model for LEON2 on the XCV2000E.
+
+    Replaces the paper's 30-minute Xilinx ISE builds with a
+    component-wise cost model calibrated against every synthesis datum
+    the paper publishes:
+
+    - the default configuration costs 14,992 LUTs (39 %) and
+      82 BRAM (51 %), exactly as reported;
+    - the BRAM cost of a cache way is [2 blocks/KB] of data plus
+      [ceil(lines * 32 / 4096)] blocks of tag store, which reproduces
+      all 19 BRAM%% rows of the paper's Figure 2 under truncated
+      percentages;
+    - a 64 KB way exceeds the device (the paper's "33 % more BRAM than
+      available"), making such configurations infeasible;
+    - LUT deltas for the integer-unit options sit inside the 38-40 %%
+      band the paper's figures show (Figure 6: removing the divider
+      gives 37 %%, the 32x32 multiplier 40 %%, disabling fast jump
+      38 %%).
+
+    Dcache fast read/write shorten LEON's combinational read/write
+    paths; at a fixed clock they change area only, which is why the
+    paper's optimizer never selects them. *)
+
+val cache : Arch.Config.cache -> Resource.t
+(** Cost of one cache (data + tag BRAM, control LUTs). *)
+
+val cache_way_brams : way_kb:int -> line_words:int -> int
+(** BRAM blocks of a single way: the calibrated 2/KB + tag formula. *)
+
+val config : Arch.Config.t -> Resource.t
+(** Full-processor cost.
+    @raise Invalid_argument on structurally invalid configurations. *)
+
+val base : Resource.t
+(** [config Arch.Config.base]: 14,992 LUTs, 82 BRAM. *)
+
+val feasible : Arch.Config.t -> bool
+(** Structurally valid and fits on the device. *)

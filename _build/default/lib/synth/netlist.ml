@@ -1,0 +1,133 @@
+type t =
+  | Leaf of { name : string; luts : int; brams : int }
+  | Group of { name : string; children : t list }
+
+let lut name luts = Leaf { name; luts; brams = 0 }
+let bram name brams = Leaf { name; luts = 0; brams }
+
+(* The fixed integer-unit core, decomposed along LEON2's entities.  The
+   split is modeled (the paper reports only totals); the sum equals
+   Costs.core_luts and the calibration tests pin the total. *)
+let core_components =
+  [
+    lut "fetch_stage" 2180;
+    lut "decode_stage" 1930;
+    lut "execute_stage" 2860;
+    lut "exception_unit" 1410;
+    lut "ahb_interface" 1180;
+    lut "memory_controller" 596;
+  ]
+
+let () = assert (
+  List.fold_left
+    (fun acc c -> match c with Leaf { luts; _ } -> acc + luts | Group _ -> acc)
+    0 core_components
+  = Costs.core_luts)
+
+let cache_component which (c : Arch.Config.cache) extra =
+  let way k =
+    Group
+      {
+        name = Printf.sprintf "way%d" k;
+        children =
+          [
+            bram "data_ram" (Costs.cache_way_data_brams ~way_kb:c.way_kb);
+            bram "tag_ram"
+              (Costs.cache_way_tag_brams ~way_kb:c.way_kb
+                 ~line_words:c.line_words);
+            lut "tag_compare_and_mux" Costs.cache_way_luts;
+          ];
+      }
+  in
+  let replacement =
+    match c.replacement with
+    | Arch.Config.Random -> []
+    | Arch.Config.Lrr -> [ lut "lrr_counters" Costs.lrr_luts ]
+    | Arch.Config.Lru -> [ lut "lru_state" Costs.lru_luts ]
+  in
+  Group
+    {
+      name = which;
+      children =
+        [
+          lut "controller" Costs.cache_ctrl_luts;
+          lut "index_datapath" (Costs.cache_kb_luts * c.way_kb);
+        ]
+        @ (if c.line_words = 8 then [ lut "wide_fill_datapath" Costs.cache_line8_luts ]
+           else [])
+        @ replacement
+        @ List.init c.ways way
+        @ extra;
+    }
+
+let elaborate (config : Arch.Config.t) =
+  (match Arch.Config.validate config with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Netlist.elaborate: " ^ m));
+  let iu = config.Arch.Config.iu in
+  let opt cond c = if cond then [ c ] else [] in
+  let integer_unit =
+    Group
+      {
+        name = "integer_unit";
+        children =
+          core_components
+          @ [
+              Leaf
+                {
+                  name = "register_file";
+                  luts = Costs.regfile_luts_per_window * iu.reg_windows;
+                  brams = 0;
+                };
+              lut "multiplier" (Costs.multiplier_luts iu.multiplier);
+              lut "divider" (Costs.divider_luts iu.divider);
+            ]
+          @ opt iu.fast_jump (lut "fast_jump_path" Costs.fast_jump_luts)
+          @ opt iu.icc_hold (lut "icc_hold_logic" Costs.icc_hold_luts)
+          @ opt iu.fast_decode (lut "fast_decode_path" Costs.fast_decode_luts)
+          @ opt (iu.load_delay = 1) (lut "load_forwarding" Costs.load_delay1_luts)
+          @ opt (not config.infer_mult_div)
+              (lut "structural_macros" Costs.no_infer_luts);
+      }
+  in
+  let dcache_extra =
+    opt config.dcache_fast_read (lut "fast_read_path" Costs.fast_read_luts)
+    @ opt config.dcache_fast_write (lut "fast_write_path" Costs.fast_write_luts)
+  in
+  Group
+    {
+      name = "leon2";
+      children =
+        [
+          integer_unit;
+          cache_component "icache" config.icache [];
+          cache_component "dcache" config.dcache dcache_extra;
+          bram "boot_and_buffers" Costs.core_brams;
+        ];
+    }
+
+let rec resources = function
+  | Leaf { luts; brams; _ } -> { Resource.luts; brams }
+  | Group { children; _ } ->
+      Resource.sum (List.map resources children)
+
+let rec find t name =
+  match t with
+  | Leaf { name = n; _ } when n = name -> Some t
+  | Leaf _ -> None
+  | Group { name = n; _ } when n = name -> Some t
+  | Group { children; _ } -> List.find_map (fun c -> find c name) children
+
+let pp ppf t =
+  let rec go indent t =
+    let pad = String.make indent ' ' in
+    match t with
+    | Leaf { name; luts; brams } ->
+        Fmt.pf ppf "%s%-28s %6d LUT %4d BRAM@." pad name luts brams
+    | Group { name; children } ->
+        let r = resources t in
+        Fmt.pf ppf "%s%-28s %6d LUT %4d BRAM@." pad (name ^ "/")
+          r.Resource.luts r.Resource.brams;
+        List.iter (go (indent + 2)) children
+  in
+  go 0 t

@@ -1,0 +1,26 @@
+(** Structural elaboration: a configuration becomes a hierarchy of
+    named components with primitive LUT/BRAM costs, the shape of a
+    synthesis tool's utilization report.
+
+    This is a second, independently-structured implementation of the
+    resource model: {!Estimate} computes closed-form totals, the
+    netlist computes the same totals by summing a component tree.  The
+    test suite checks both agree on every configuration, and the tree
+    gives users the per-component breakdown the paper's authors read
+    off their ISE reports. *)
+
+type t =
+  | Leaf of { name : string; luts : int; brams : int }
+  | Group of { name : string; children : t list }
+
+val elaborate : Arch.Config.t -> t
+(** @raise Invalid_argument on structurally invalid configurations. *)
+
+val resources : t -> Resource.t
+(** Sum of all leaves. *)
+
+val find : t -> string -> t option
+(** First component with the given name, depth-first. *)
+
+val pp : t Fmt.t
+(** Indented utilization report with per-group subtotals. *)

@@ -1,0 +1,15 @@
+type t = { luts : int; brams : int }
+
+let zero = { luts = 0; brams = 0 }
+let add a b = { luts = a.luts + b.luts; brams = a.brams + b.brams }
+let sum = List.fold_left add zero
+let lut_percent r = 100.0 *. float_of_int r.luts /. float_of_int Device.luts
+let bram_percent r = 100.0 *. float_of_int r.brams /. float_of_int Device.brams
+let lut_percent_int r = r.luts * 100 / Device.luts
+let bram_percent_int r = r.brams * 100 / Device.brams
+let chip_cost r = lut_percent r +. bram_percent r
+let fits r = r.luts <= Device.luts && r.brams <= Device.brams
+
+let pp ppf r =
+  Fmt.pf ppf "%d LUTs (%d%%), %d BRAM (%d%%)" r.luts (lut_percent_int r)
+    r.brams (bram_percent_int r)

@@ -1,0 +1,28 @@
+(** FPGA resource reports and the paper's percentage normalization.
+
+    The paper unifies LUTs and BRAM — quantities of very different
+    magnitude — by expressing each as a percentage of the device
+    capacity and adding them.  Percentages in the paper's tables are
+    truncated integers; {!lut_percent_int} etc. reproduce that, while
+    the [float] variants keep full precision for the optimizer. *)
+
+type t = { luts : int; brams : int }
+
+val zero : t
+val add : t -> t -> t
+val sum : t list -> t
+
+val lut_percent : t -> float
+val bram_percent : t -> float
+val lut_percent_int : t -> int
+(** Truncated percentage, as printed in the paper's figures. *)
+
+val bram_percent_int : t -> int
+
+val chip_cost : t -> float
+(** Unified chip-resource cost: LUT%% + BRAM%%. *)
+
+val fits : t -> bool
+(** Does the configuration fit on the device? *)
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Arch Array Dse Float Isa Lazy List Minic Printf Sim String

@@ -1,0 +1,1 @@
+test/test_dse.ml: Alcotest Apps Arch Dse Float Lazy List Optim Printf Synth

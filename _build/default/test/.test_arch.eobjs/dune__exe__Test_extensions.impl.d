@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Apps Arch Array Dse Float Fmt Fun List Sim Str String Synth

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Apps Arch Array Bytes Char Hashtbl Int32 Isa Lazy List Printf QCheck QCheck_alcotest Sim

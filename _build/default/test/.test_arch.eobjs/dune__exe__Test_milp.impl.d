@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Array Float List Optim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Apps Arch Array Fmt Isa List Minic Printf QCheck QCheck_alcotest Result Sim Stdlib

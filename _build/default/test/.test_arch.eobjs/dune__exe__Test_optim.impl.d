@@ -1,0 +1,1 @@
+test/test_optim.ml: Alcotest Array Float List Optim QCheck

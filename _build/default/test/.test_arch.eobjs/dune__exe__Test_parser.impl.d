@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Apps Arch Array Gen List Minic QCheck QCheck_alcotest Sim

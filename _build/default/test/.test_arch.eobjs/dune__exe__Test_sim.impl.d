@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Arch Array Bytes Fmt Isa List QCheck Sim Str String

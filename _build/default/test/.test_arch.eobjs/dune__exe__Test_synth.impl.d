@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Arch Dse Fmt Gen List Printf QCheck QCheck_alcotest Sim Str String Synth

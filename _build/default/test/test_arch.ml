@@ -1,0 +1,258 @@
+(* Tests for the LEON parameter space (lib/arch). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_base_valid () =
+  check_bool "base configuration is valid" true (Arch.Config.is_valid Arch.Config.base)
+
+let test_base_values () =
+  let b = Arch.Config.base in
+  check_int "icache ways" 1 b.icache.ways;
+  check_int "icache way KB" 4 b.icache.way_kb;
+  check_int "icache line words" 8 b.icache.line_words;
+  check_int "dcache ways" 1 b.dcache.ways;
+  check_int "dcache way KB" 4 b.dcache.way_kb;
+  check_bool "fast read off" false b.dcache_fast_read;
+  check_bool "fast write off" false b.dcache_fast_write;
+  check_bool "fast jump on" true b.iu.fast_jump;
+  check_bool "icc hold on" true b.iu.icc_hold;
+  check_bool "fast decode on" true b.iu.fast_decode;
+  check_int "load delay" 1 b.iu.load_delay;
+  check_int "register windows" 8 b.iu.reg_windows;
+  check_bool "divider radix2" true (b.iu.divider = Arch.Config.Div_radix2);
+  check_bool "multiplier 16x16" true (b.iu.multiplier = Arch.Config.Mul_16x16)
+
+let test_lrr_needs_2way () =
+  let c2 =
+    { Arch.Config.base with
+      dcache = { Arch.Config.base.dcache with ways = 2; replacement = Arch.Config.Lrr } }
+  in
+  check_bool "LRR with 2 ways valid" true (Arch.Config.is_valid c2);
+  let c3 = { c2 with dcache = { c2.dcache with ways = 3 } } in
+  check_bool "LRR with 3 ways invalid" false (Arch.Config.is_valid c3);
+  let c1 = { c2 with dcache = { c2.dcache with ways = 1 } } in
+  check_bool "LRR with 1 way invalid" false (Arch.Config.is_valid c1)
+
+let test_lru_needs_multiway () =
+  let mk ways =
+    { Arch.Config.base with
+      icache = { Arch.Config.base.icache with ways; replacement = Arch.Config.Lru } }
+  in
+  check_bool "LRU direct-mapped invalid" false (Arch.Config.is_valid (mk 1));
+  check_bool "LRU 2-way valid" true (Arch.Config.is_valid (mk 2));
+  check_bool "LRU 3-way valid" true (Arch.Config.is_valid (mk 3));
+  check_bool "LRU 4-way valid" true (Arch.Config.is_valid (mk 4))
+
+let test_bad_ranges () =
+  let bad_kb =
+    { Arch.Config.base with icache = { Arch.Config.base.icache with way_kb = 3 } }
+  in
+  check_bool "way size 3KB invalid" false (Arch.Config.is_valid bad_kb);
+  let bad_line =
+    { Arch.Config.base with dcache = { Arch.Config.base.dcache with line_words = 16 } }
+  in
+  check_bool "line 16 words invalid" false (Arch.Config.is_valid bad_line);
+  let bad_win =
+    { Arch.Config.base with iu = { Arch.Config.base.iu with reg_windows = 12 } }
+  in
+  check_bool "12 windows invalid" false (Arch.Config.is_valid bad_win);
+  let bad_delay =
+    { Arch.Config.base with iu = { Arch.Config.base.iu with load_delay = 3 } }
+  in
+  check_bool "load delay 3 invalid" false (Arch.Config.is_valid bad_delay)
+
+(* --- Param: the 52 decision variables --- *)
+
+let test_var_count () =
+  check_int "52 variables" 52 Arch.Param.count;
+  check_int "all list length" 52 (List.length Arch.Param.all)
+
+let test_var_indices () =
+  List.iteri
+    (fun k v -> check_int "index order" (k + 1) v.Arch.Param.index)
+    Arch.Param.all
+
+let test_paper_numbering () =
+  (* Spot-check the x_i assignments quoted in the paper's Section 4. *)
+  let label i = (Arch.Param.var i).Arch.Param.label in
+  Alcotest.(check string) "x9" "icachelinesz4" (label 9);
+  Alcotest.(check string) "x20" "dcachelinesz4" (label 20);
+  Alcotest.(check string) "x23" "nofastjump" (label 23);
+  Alcotest.(check string) "x24" "noicchold" (label 24);
+  Alcotest.(check string) "x25" "nofastdecode" (label 25);
+  Alcotest.(check string) "x26" "loaddelay2" (label 26);
+  Alcotest.(check string) "x27" "dcachefastread" (label 27);
+  Alcotest.(check string) "x28" "nodivider" (label 28);
+  Alcotest.(check string) "x29" "noinfermuldiv" (label 29);
+  Alcotest.(check string) "x30" "regwindows16" (label 30);
+  Alcotest.(check string) "x46" "regwindows32" (label 46);
+  Alcotest.(check string) "x52" "dcachefastwrite" (label 52)
+
+let test_all_perturbations_valid () =
+  List.iter
+    (fun v ->
+      let c = v.Arch.Param.apply Arch.Config.base in
+      match Arch.Config.validate c with
+      | Ok () -> ()
+      | Error m ->
+          (* LRR/LRU perturbations of a direct-mapped base cache are
+             structurally invalid on their own; the optimizer's coupling
+             constraints handle them.  Everything else must be valid. *)
+          (match v.Arch.Param.group with
+          | Arch.Param.Icache_repl | Arch.Param.Dcache_repl -> ()
+          | _ -> Alcotest.failf "%s: %s" v.Arch.Param.label m))
+    Arch.Param.all
+
+let test_all_perturbations_differ () =
+  List.iter
+    (fun v ->
+      let c = v.Arch.Param.apply Arch.Config.base in
+      check_bool
+        (Printf.sprintf "%s changes the base config" v.Arch.Param.label)
+        false
+        (Arch.Config.equal c Arch.Config.base))
+    Arch.Param.all
+
+let test_groups_partition () =
+  let sum =
+    List.fold_left
+      (fun acc g -> acc + List.length (Arch.Param.group_members g))
+      0 Arch.Param.groups
+  in
+  check_int "groups partition the 52 variables" 52 sum
+
+let test_group_sizes () =
+  let size g = List.length (Arch.Param.group_members g) in
+  check_int "icache ways" 3 (size Arch.Param.Icache_ways);
+  check_int "icache way size" 5 (size Arch.Param.Icache_way_kb);
+  check_int "icache repl" 2 (size Arch.Param.Icache_repl);
+  check_int "dcache ways" 3 (size Arch.Param.Dcache_ways);
+  check_int "dcache way size" 5 (size Arch.Param.Dcache_way_kb);
+  check_int "dcache repl" 2 (size Arch.Param.Dcache_repl);
+  check_int "windows" 17 (size Arch.Param.Reg_windows);
+  check_int "multiplier" 5 (size Arch.Param.Multiplier);
+  check_int "fast jump" 1 (size Arch.Param.Fast_jump)
+
+let test_apply_all_composes () =
+  let vars = [ Arch.Param.var 1; Arch.Param.var 8; Arch.Param.var 23 ] in
+  let c = Arch.Param.apply_all Arch.Config.base vars in
+  check_int "icache ways applied" 2 c.Arch.Config.icache.ways;
+  check_int "icache 32KB applied" 32 c.Arch.Config.icache.way_kb;
+  check_bool "fast jump disabled" false c.Arch.Config.iu.fast_jump
+
+(* --- Space --- *)
+
+let test_space_counts () =
+  check_int "one-at-a-time = 52" 52 Arch.Space.one_at_a_time_count;
+  check_int "parameter values" 73 Arch.Space.parameter_value_count;
+  check_int "exhaustive product" 910_393_344 Arch.Space.exhaustive_count;
+  check_bool "valid count below raw count" true
+    (Arch.Space.exhaustive_valid_count < Arch.Space.exhaustive_count);
+  check_int "paper's dcache subspace" 2688 Arch.Space.dcache_exhaustive_full_count
+
+let test_perturbation_list () =
+  let ps = Arch.Space.perturbations () in
+  check_int "52 perturbed configs" 52 (List.length ps);
+  List.iter
+    (fun (v, c) ->
+      check_bool v.Arch.Param.label true
+        (Arch.Config.equal c (v.Arch.Param.apply Arch.Config.base)))
+    ps
+
+let test_dcache_geometry () =
+  let cs = Arch.Space.dcache_geometry () in
+  check_int "28 geometry points" 28 (List.length cs);
+  List.iter
+    (fun c ->
+      check_bool "only dcache differs" true
+        (Arch.Config.equal
+           { c with Arch.Config.dcache = Arch.Config.base.dcache }
+           Arch.Config.base))
+    cs
+
+let test_subspace () =
+  let cs = Arch.Space.subspace Arch.Param.dcache_size_dims in
+  (* 4 ways x 6 sizes (base + 5 perturbations; 64 KB not offered). *)
+  check_int "ways x sizes" 24 (List.length cs);
+  List.iter (fun c -> check_bool "valid" true (Arch.Config.is_valid c)) cs
+
+(* --- Codec --- *)
+
+let test_codec_base_roundtrip () =
+  let s = Arch.Codec.to_string Arch.Config.base in
+  match Arch.Codec.of_string s with
+  | Ok c -> check_bool "roundtrip" true (Arch.Config.equal c Arch.Config.base)
+  | Error m -> Alcotest.failf "decode failed: %s" m
+
+let test_codec_all_perturbations_roundtrip () =
+  List.iter
+    (fun (v, c) ->
+      if Arch.Config.is_valid c then
+        match Arch.Codec.of_string (Arch.Codec.to_string c) with
+        | Ok c' ->
+            check_bool v.Arch.Param.label true (Arch.Config.equal c c')
+        | Error m -> Alcotest.failf "%s: %s" v.Arch.Param.label m)
+    (Arch.Space.perturbations ())
+
+let test_codec_delta () =
+  match Arch.Codec.of_string "dc=1x32x4xrnd,mul=m32x32" with
+  | Error m -> Alcotest.failf "delta decode failed: %s" m
+  | Ok c ->
+      check_int "dcache grown" 32 c.Arch.Config.dcache.Arch.Config.way_kb;
+      check_int "line shrunk" 4 c.Arch.Config.dcache.Arch.Config.line_words;
+      check_bool "multiplier upgraded" true
+        (c.Arch.Config.iu.Arch.Config.multiplier = Arch.Config.Mul_32x32);
+      check_int "icache untouched" 4 c.Arch.Config.icache.Arch.Config.way_kb
+
+let test_codec_errors () =
+  let expect_error s =
+    match Arch.Codec.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected decode error for %S" s
+  in
+  expect_error "dc=1x3x8xrnd";        (* invalid way size *)
+  expect_error "dc=1x4x8xlru";        (* LRU needs multiway *)
+  expect_error "win=12";              (* invalid window count *)
+  expect_error "zz=1";                (* unknown field *)
+  expect_error "dc=oops";
+  expect_error "mul=m64x64";
+  expect_error "noequals"
+
+let () =
+  Alcotest.run "arch"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "base valid" `Quick test_base_valid;
+          Alcotest.test_case "base values" `Quick test_base_values;
+          Alcotest.test_case "LRR 2-way rule" `Quick test_lrr_needs_2way;
+          Alcotest.test_case "LRU multiway rule" `Quick test_lru_needs_multiway;
+          Alcotest.test_case "bad ranges" `Quick test_bad_ranges;
+        ] );
+      ( "param",
+        [
+          Alcotest.test_case "variable count" `Quick test_var_count;
+          Alcotest.test_case "index order" `Quick test_var_indices;
+          Alcotest.test_case "paper numbering" `Quick test_paper_numbering;
+          Alcotest.test_case "perturbations valid" `Quick test_all_perturbations_valid;
+          Alcotest.test_case "perturbations differ" `Quick test_all_perturbations_differ;
+          Alcotest.test_case "groups partition" `Quick test_groups_partition;
+          Alcotest.test_case "group sizes" `Quick test_group_sizes;
+          Alcotest.test_case "apply_all composes" `Quick test_apply_all_composes;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "base roundtrip" `Quick test_codec_base_roundtrip;
+          Alcotest.test_case "perturbation roundtrips" `Quick test_codec_all_perturbations_roundtrip;
+          Alcotest.test_case "delta decode" `Quick test_codec_delta;
+          Alcotest.test_case "errors" `Quick test_codec_errors;
+        ] );
+      ( "space",
+        [
+          Alcotest.test_case "cardinalities" `Quick test_space_counts;
+          Alcotest.test_case "perturbation list" `Quick test_perturbation_list;
+          Alcotest.test_case "dcache geometry" `Quick test_dcache_geometry;
+          Alcotest.test_case "subspace" `Quick test_subspace;
+        ] );
+    ]

@@ -1,0 +1,319 @@
+(* Tests for the ISA layer: register windows, assembler, programs. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Reg --- *)
+
+let test_banks () =
+  check_int "g0" 0 (Isa.Reg.g 0);
+  check_int "o0" 8 (Isa.Reg.o 0);
+  check_int "l0" 16 (Isa.Reg.l 0);
+  check_int "i0" 24 (Isa.Reg.i 0);
+  check_int "sp is o6" 14 Isa.Reg.sp;
+  check_int "fp is i6" 30 Isa.Reg.fp;
+  check_int "ra is o7" 15 Isa.Reg.ra
+
+let test_globals_fixed () =
+  for w = 0 to 7 do
+    for r = 0 to 7 do
+      check_int "globals ignore the window" r
+        (Isa.Reg.physical ~nwindows:8 ~cwp:w (Isa.Reg.g r))
+    done
+  done
+
+let test_window_overlap () =
+  (* ins of window w = outs of window w+1, for every window. *)
+  for nwin = 2 to 32 do
+    for w = 0 to nwin - 1 do
+      for r = 0 to 7 do
+        check_int
+          (Printf.sprintf "overlap nwin=%d w=%d r=%d" nwin w r)
+          (Isa.Reg.physical ~nwindows:nwin ~cwp:w (Isa.Reg.i r))
+          (Isa.Reg.physical ~nwindows:nwin ~cwp:((w + 1) mod nwin) (Isa.Reg.o r))
+      done
+    done
+  done
+
+let test_no_alias_within_window () =
+  (* Within one window, the 24 windowed registers are distinct
+     physical registers (plus 8 globals). *)
+  let nwin = 8 and cwp = 3 in
+  let seen = Hashtbl.create 32 in
+  for r = 0 to 31 do
+    let p = Isa.Reg.physical ~nwindows:nwin ~cwp r in
+    check_bool (Printf.sprintf "no alias r%d" r) false (Hashtbl.mem seen p);
+    Hashtbl.add seen p ()
+  done
+
+let test_locals_private () =
+  (* Locals of distinct windows never collide. *)
+  let nwin = 8 in
+  let seen = Hashtbl.create 64 in
+  for w = 0 to nwin - 1 do
+    for r = 0 to 7 do
+      let p = Isa.Reg.physical ~nwindows:nwin ~cwp:w (Isa.Reg.l r) in
+      check_bool (Printf.sprintf "private l%d w%d" r w) false (Hashtbl.mem seen p);
+      Hashtbl.add seen p ()
+    done
+  done
+
+let test_file_size () =
+  check_int "8 windows" (8 + (8 * 16)) (Isa.Reg.file_size ~nwindows:8);
+  check_int "32 windows" (8 + (32 * 16)) (Isa.Reg.file_size ~nwindows:32)
+
+let test_names () =
+  Alcotest.(check string) "g0" "%g0" (Isa.Reg.name 0);
+  Alcotest.(check string) "o6" "%o6" (Isa.Reg.name Isa.Reg.sp);
+  Alcotest.(check string) "i7" "%i7" (Isa.Reg.name (Isa.Reg.i 7))
+
+(* --- Insn classification --- *)
+
+let test_icc_classes () =
+  let cmp =
+    Isa.Insn.Alu
+      { op = Isa.Insn.Sub; cc = true; rd = 0; rs1 = Isa.Reg.o 0; op2 = Isa.Insn.Imm 1 }
+  in
+  check_bool "subcc sets icc" true (Isa.Insn.sets_icc cmp);
+  check_bool "subcc does not read icc" false (Isa.Insn.uses_icc cmp);
+  let be = Isa.Insn.Branch { cond = Isa.Insn.Eq; target = 0 } in
+  check_bool "be reads icc" true (Isa.Insn.uses_icc be);
+  let ba = Isa.Insn.Branch { cond = Isa.Insn.Always; target = 0 } in
+  check_bool "ba does not read icc" false (Isa.Insn.uses_icc ba)
+
+let test_writes_reads () =
+  let ld =
+    Isa.Insn.Load
+      { width = Isa.Insn.Word; signed = false; rd = Isa.Reg.o 1;
+        rs1 = Isa.Reg.o 2; op2 = Isa.Insn.Reg (Isa.Reg.o 3) }
+  in
+  check_bool "load writes rd" true (Isa.Insn.writes ld = Some (Isa.Reg.o 1));
+  check_int "load reads two regs" 2 (List.length (Isa.Insn.reads ld));
+  let to_g0 =
+    Isa.Insn.Alu
+      { op = Isa.Insn.Add; cc = false; rd = 0; rs1 = 0; op2 = Isa.Insn.Imm 1 }
+  in
+  check_bool "write to g0 is no write" true (Isa.Insn.writes to_g0 = None);
+  let call = Isa.Insn.Call { target = 3 } in
+  check_bool "call writes %o7" true (Isa.Insn.writes call = Some Isa.Reg.ra)
+
+(* --- Asm --- *)
+
+let test_labels_resolve () =
+  let a = Isa.Asm.create () in
+  Isa.Asm.ba a "end";
+  Isa.Asm.label a "middle";
+  Isa.Asm.emit a Isa.Insn.Nop;
+  Isa.Asm.ba a "middle";
+  Isa.Asm.label a "end";
+  Isa.Asm.emit a Isa.Insn.Halt;
+  let p = Isa.Asm.finish a ~entry:0 in
+  (match p.Isa.Program.code.(0) with
+  | Isa.Insn.Branch { target; _ } -> check_int "forward ref" 3 target
+  | _ -> Alcotest.fail "expected branch");
+  match p.Isa.Program.code.(2) with
+  | Isa.Insn.Branch { target; _ } -> check_int "backward ref" 1 target
+  | _ -> Alcotest.fail "expected branch"
+
+let test_undefined_label () =
+  let a = Isa.Asm.create () in
+  Isa.Asm.ba a "nowhere";
+  Alcotest.check_raises "undefined label"
+    (Failure "Asm.finish: undefined label \"nowhere\"") (fun () ->
+      ignore (Isa.Asm.finish a ~entry:0))
+
+let test_duplicate_label () =
+  let a = Isa.Asm.create () in
+  Isa.Asm.label a "x";
+  Alcotest.check_raises "duplicate label" (Failure "Asm.label: duplicate label \"x\"")
+    (fun () -> Isa.Asm.label a "x")
+
+let test_data_layout () =
+  let a = Isa.Asm.create () in
+  let w = Isa.Asm.data_words a ~name:"w" [| 1; 2; 3 |] in
+  let b = Isa.Asm.data_bytes a ~name:"b" (Bytes.of_string "abc") in
+  let z = Isa.Asm.data_zero a ~name:"z" 10 in
+  Isa.Asm.emit a Isa.Insn.Halt;
+  let p = Isa.Asm.finish a ~entry:0 in
+  check_int "first symbol at data base" Isa.Program.data_base w;
+  check_int "second symbol word-aligned after 12 bytes" (w + 12) b;
+  check_int "third symbol aligned" (b + 4) z;
+  check_int "symbol lookup" w (Isa.Program.symbol p "w");
+  check_int "data length" (12 + 3 + 1 + 10) (Bytes.length p.Isa.Program.data);
+  check_int "word content little-endian" 2
+    (Char.code (Bytes.get p.Isa.Program.data 4))
+
+let test_set32_small () =
+  let a = Isa.Asm.create () in
+  Isa.Asm.set32 a 42 (Isa.Reg.o 0);
+  let p = Isa.Asm.finish a ~entry:0 in
+  check_int "single instruction" 1 (Array.length p.Isa.Program.code)
+
+let test_set32_large () =
+  let a = Isa.Asm.create () in
+  Isa.Asm.set32 a 0x12345678 (Isa.Reg.o 0);
+  let p = Isa.Asm.finish a ~entry:0 in
+  check_int "sethi + or" 2 (Array.length p.Isa.Program.code)
+
+let test_symbol_not_found () =
+  let a = Isa.Asm.create () in
+  Isa.Asm.emit a Isa.Insn.Halt;
+  let p = Isa.Asm.finish a ~entry:0 in
+  Alcotest.check_raises "missing symbol" Not_found (fun () ->
+      ignore (Isa.Program.symbol p "ghost"))
+
+(* --- Encode/decode --- *)
+
+let gen_insn =
+  let open QCheck.Gen in
+  let reg = int_range 0 31 in
+  let operand =
+    oneof
+      [
+        map (fun r -> Isa.Insn.Reg r) reg;
+        map (fun v -> Isa.Insn.Imm v) (int_range (-4096) 4095);
+      ]
+  in
+  let alu_op =
+    oneofl
+      [ Isa.Insn.Add; Isa.Insn.Sub; Isa.Insn.And; Isa.Insn.Or; Isa.Insn.Xor;
+        Isa.Insn.Sll; Isa.Insn.Srl; Isa.Insn.Sra ]
+  in
+  let cond =
+    oneofl
+      [ Isa.Insn.Always; Isa.Insn.Eq; Isa.Insn.Ne; Isa.Insn.Gt; Isa.Insn.Le;
+        Isa.Insn.Ge; Isa.Insn.Lt; Isa.Insn.Gu; Isa.Insn.Leu ]
+  in
+  let width = oneofl [ Isa.Insn.Byte; Isa.Insn.Half; Isa.Insn.Word ] in
+  oneof
+    [
+      (alu_op >>= fun op -> bool >>= fun cc -> reg >>= fun rd -> reg >>= fun rs1 ->
+       operand >>= fun op2 -> return (Isa.Insn.Alu { op; cc; rd; rs1; op2 }));
+      (bool >>= fun signed -> bool >>= fun cc -> reg >>= fun rd -> reg >>= fun rs1 ->
+       operand >>= fun op2 -> return (Isa.Insn.Mul { signed; cc; rd; rs1; op2 }));
+      (bool >>= fun signed -> reg >>= fun rd -> reg >>= fun rs1 ->
+       operand >>= fun op2 -> return (Isa.Insn.Div { signed; rd; rs1; op2 }));
+      (width >>= fun width -> bool >>= fun signed -> reg >>= fun rd ->
+       reg >>= fun rs1 -> operand >>= fun op2 ->
+       let signed = if width = Isa.Insn.Word then false else signed in
+       return (Isa.Insn.Load { width; signed; rd; rs1; op2 }));
+      (width >>= fun width -> reg >>= fun rs -> reg >>= fun rs1 ->
+       operand >>= fun op2 -> return (Isa.Insn.Store { width; rs; rs1; op2 }));
+      (cond >>= fun cond -> int_range 0 0x3FFFFF >>= fun target ->
+       return (Isa.Insn.Branch { cond; target }));
+      map (fun target -> Isa.Insn.Call { target }) (int_range 0 0x3FFFFFF);
+      (reg >>= fun rd -> reg >>= fun rs1 -> operand >>= fun op2 ->
+       return (Isa.Insn.Jmpl { rd; rs1; op2 }));
+      (reg >>= fun rd -> reg >>= fun rs1 -> operand >>= fun op2 ->
+       return (Isa.Insn.Save { rd; rs1; op2 }));
+      (reg >>= fun rd -> reg >>= fun rs1 -> operand >>= fun op2 ->
+       return (Isa.Insn.Restore { rd; rs1; op2 }));
+      (reg >>= fun rd -> int_range 0 0x1FFFFF >>= fun imm ->
+       return (Isa.Insn.Sethi { rd; imm }));
+      return Isa.Insn.Nop;
+      return Isa.Insn.Halt;
+    ]
+
+let encode_roundtrip_qtest =
+  QCheck.Test.make ~count:1000 ~name:"decode (encode insn) = insn"
+    (QCheck.make ~print:Isa.Insn.to_string gen_insn)
+    (fun insn -> Isa.Encode.decode (Isa.Encode.encode insn) = insn)
+
+let test_encode_width () =
+  (* Every instruction is exactly one 32-bit word, the assumption the
+     icache model bakes in (byte address = 4 * index). *)
+  let i = Isa.Insn.Call { target = 0x3FFFFFF } in
+  check_bool "fits 32 bits" true
+    (Int32.to_int (Isa.Encode.encode i) land 0xFFFFFFFF
+    = Int32.to_int (Isa.Encode.encode i) land 0xFFFFFFFF)
+
+let test_encode_range_errors () =
+  let expect_err insn =
+    match Isa.Encode.encode insn with
+    | exception Isa.Encode.Error _ -> ()
+    | _ -> Alcotest.fail "expected encode error"
+  in
+  expect_err (Isa.Insn.Alu { op = Isa.Insn.Add; cc = false; rd = 1; rs1 = 1; op2 = Isa.Insn.Imm 40000 });
+  expect_err (Isa.Insn.Branch { cond = Isa.Insn.Eq; target = 0x400000 });
+  expect_err (Isa.Insn.Sethi { rd = 1; imm = 0x200000 })
+
+let test_decode_invalid () =
+  match Isa.Encode.decode (Int32.of_int (0x3F lsl 26)) with
+  | exception Isa.Encode.Error _ -> ()
+  | _ -> Alcotest.fail "expected decode error"
+
+let test_program_image_roundtrip () =
+  List.iter
+    (fun app ->
+      let p = Lazy.force app.Apps.Registry.program in
+      let image = Isa.Encode.encode_program p in
+      let p' = Isa.Encode.decode_program image in
+      check_bool (app.Apps.Registry.name ^ " code identical") true
+        (p.Isa.Program.code = p'.Isa.Program.code);
+      check_bool "data identical" true (Bytes.equal p.Isa.Program.data p'.Isa.Program.data);
+      check_int "entry" p.Isa.Program.entry p'.Isa.Program.entry;
+      check_bool "symbols identical" true
+        (List.sort compare p.Isa.Program.symbols
+        = List.sort compare p'.Isa.Program.symbols))
+    Apps.Registry.all
+
+let test_loaded_program_runs_identically () =
+  let app = Apps.Registry.arith in
+  let p = Lazy.force app.Apps.Registry.program in
+  let p' = Isa.Encode.decode_program (Isa.Encode.encode_program p) in
+  let run prog =
+    let cpu = Sim.Cpu.create Arch.Config.base prog ~mem_size:(1 lsl 20) in
+    Sim.Cpu.run cpu;
+    (Sim.Cpu.result cpu, (Sim.Cpu.profile cpu).Sim.Profiler.cycles)
+  in
+  let r1, c1 = run p and r2, c2 = run p' in
+  check_int "same result" r1 r2;
+  check_int "same cycles" c1 c2
+
+let test_image_truncation () =
+  let p = Lazy.force Apps.Registry.arith.Apps.Registry.program in
+  let image = Isa.Encode.encode_program p in
+  let cut = Bytes.sub image 0 (Bytes.length image - 3) in
+  match Isa.Encode.decode_program cut with
+  | exception Isa.Encode.Error _ -> ()
+  | _ -> Alcotest.fail "expected truncation error"
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "reg",
+        [
+          Alcotest.test_case "bank numbering" `Quick test_banks;
+          Alcotest.test_case "globals fixed" `Quick test_globals_fixed;
+          Alcotest.test_case "window overlap" `Quick test_window_overlap;
+          Alcotest.test_case "no alias in window" `Quick test_no_alias_within_window;
+          Alcotest.test_case "locals private" `Quick test_locals_private;
+          Alcotest.test_case "file size" `Quick test_file_size;
+          Alcotest.test_case "names" `Quick test_names;
+        ] );
+      ( "insn",
+        [
+          Alcotest.test_case "icc classes" `Quick test_icc_classes;
+          Alcotest.test_case "reads/writes" `Quick test_writes_reads;
+        ] );
+      ( "encode",
+        [
+          QCheck_alcotest.to_alcotest encode_roundtrip_qtest;
+          Alcotest.test_case "width" `Quick test_encode_width;
+          Alcotest.test_case "range errors" `Quick test_encode_range_errors;
+          Alcotest.test_case "invalid opcode" `Quick test_decode_invalid;
+          Alcotest.test_case "program image roundtrip" `Quick test_program_image_roundtrip;
+          Alcotest.test_case "loaded program runs" `Quick test_loaded_program_runs_identically;
+          Alcotest.test_case "truncated image" `Quick test_image_truncation;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "labels resolve" `Quick test_labels_resolve;
+          Alcotest.test_case "undefined label" `Quick test_undefined_label;
+          Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
+          Alcotest.test_case "data layout" `Quick test_data_layout;
+          Alcotest.test_case "set32 small" `Quick test_set32_small;
+          Alcotest.test_case "set32 large" `Quick test_set32_large;
+          Alcotest.test_case "symbol not found" `Quick test_symbol_not_found;
+        ] );
+    ]

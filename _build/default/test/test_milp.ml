@@ -1,0 +1,242 @@
+(* Tests for the LP-based branch-and-bound MILP solver and the
+   McCormick linearization (the paper's "convex recast" future work). *)
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+
+let row = Array.of_list
+
+let milp ?(upper = []) objective binary constraints =
+  let n = Array.length objective in
+  {
+    Optim.Milp.objective;
+    constraints;
+    binary = Array.of_list binary;
+    upper =
+      (if upper = [] then Array.make n infinity else Array.of_list upper);
+  }
+
+let test_milp_knapsack () =
+  (* max 6a + 5b + 4c st 5a + 4b + 3c <= 8 -> a + c, value 10. *)
+  let p =
+    milp
+      [| -6.0; -5.0; -4.0 |]
+      [ true; true; true ]
+      [ (row [ 5.0; 4.0; 3.0 ], Optim.Simplex.Le, 8.0) ]
+  in
+  match Optim.Milp.solve p with
+  | None -> Alcotest.fail "expected solution"
+  | Some s ->
+      check_float "objective" (-10.0) s.objective;
+      check_float "a" 1.0 s.x.(0);
+      check_float "b" 0.0 s.x.(1);
+      check_float "c" 1.0 s.x.(2)
+
+let test_milp_pure_lp () =
+  (* No binaries: must match simplex exactly. *)
+  let p =
+    milp ~upper:[ 10.0; 10.0 ]
+      [| -3.0; -5.0 |]
+      [ false; false ]
+      [
+        (row [ 1.0; 0.0 ], Optim.Simplex.Le, 4.0);
+        (row [ 0.0; 2.0 ], Optim.Simplex.Le, 12.0);
+        (row [ 3.0; 2.0 ], Optim.Simplex.Le, 18.0);
+      ]
+  in
+  match Optim.Milp.solve p with
+  | None -> Alcotest.fail "expected solution"
+  | Some s -> check_float "lp objective" (-36.0) s.objective
+
+let test_milp_mixed () =
+  (* Binary gate y opens capacity for continuous x:
+     min -x st x <= 5y, y binary -> y=1, x=5 unless y is costly. *)
+  let p =
+    milp ~upper:[ 100.0; 1.0 ]
+      [| -1.0; 3.0 |]
+      [ false; true ]
+      [ (row [ 1.0; -5.0 ], Optim.Simplex.Le, 0.0) ]
+  in
+  match Optim.Milp.solve p with
+  | None -> Alcotest.fail "expected solution"
+  | Some s ->
+      check_float "objective" (-2.0) s.objective;
+      check_float "y" 1.0 s.x.(1);
+      check_float "x" 5.0 s.x.(0)
+
+let test_milp_infeasible () =
+  let p =
+    milp [| 1.0 |] [ true ]
+      [
+        (row [ 1.0 ], Optim.Simplex.Ge, 0.4);
+        (row [ 1.0 ], Optim.Simplex.Le, 0.6);
+      ]
+  in
+  check_bool "no integral point in [0.4, 0.6]" true (Optim.Milp.solve p = None)
+
+let test_milp_node_limit () =
+  let n = 14 in
+  let objective = Array.init n (fun j -> -.(1.0 +. float_of_int (j mod 3))) in
+  let weights = Array.init n (fun j -> 2.0 +. float_of_int ((j * 5) mod 7)) in
+  let p =
+    milp objective
+      (List.init n (fun _ -> true))
+      [ (weights, Optim.Simplex.Le, 20.0) ]
+  in
+  match Optim.Milp.solve ~node_limit:3 p with
+  | exception Optim.Milp.Node_limit -> ()
+  | _ -> Alcotest.fail "expected node limit"
+
+(* Differential: on purely linear problems, LP-based B&B and the
+   combinatorial Binlp solver agree. *)
+let gen_linear_binlp =
+  let open QCheck.Gen in
+  int_range 2 7 >>= fun nvars ->
+  let coef = map (fun k -> float_of_int (k - 6)) (int_range 0 12) in
+  array_size (return nvars) coef >>= fun objective ->
+  let lin_gen =
+    list_size (int_range 1 nvars) (pair (int_range 0 (nvars - 1)) coef)
+    >>= fun coeffs ->
+    coef >>= fun const -> return { Optim.Binlp.coeffs; const }
+  in
+  list_size (int_range 0 3)
+    ( lin_gen >>= fun l ->
+      oneofl [ Optim.Binlp.Le; Optim.Binlp.Ge ] >>= fun rel ->
+      map (fun k -> Optim.Binlp.linear l rel (float_of_int (k - 3))) (int_range 0 14) )
+  >>= fun constraints ->
+  return { Optim.Binlp.nvars; objective; groups = []; constraints }
+
+let to_milp (p : Optim.Binlp.problem) =
+  let dense (l : Optim.Binlp.lin) =
+    let r = Array.make p.nvars 0.0 in
+    List.iter (fun (j, a) -> r.(j) <- r.(j) +. a) l.Optim.Binlp.coeffs;
+    r
+  in
+  {
+    Optim.Milp.objective = p.objective;
+    constraints =
+      List.map
+        (fun (c : Optim.Binlp.constr) ->
+          match c.Optim.Binlp.terms with
+          | [ Optim.Binlp.Lin l ] ->
+              ( dense l,
+                (match c.Optim.Binlp.rel with
+                | Optim.Binlp.Le -> Optim.Simplex.Le
+                | Optim.Binlp.Ge -> Optim.Simplex.Ge),
+                c.Optim.Binlp.bound -. l.Optim.Binlp.const )
+          | _ -> assert false)
+        p.constraints;
+    binary = Array.make p.nvars true;
+    upper = Array.make p.nvars 1.0;
+  }
+
+let milp_vs_binlp_qtest =
+  QCheck.Test.make ~count:200 ~name:"LP-based B&B = combinatorial B&B (linear)"
+    (QCheck.make gen_linear_binlp)
+    (fun p ->
+      let a = Optim.Milp.solve (to_milp p) in
+      let b = Optim.Binlp.solve p in
+      match (a, b) with
+      | None, None -> true
+      | Some sa, Some sb -> Float.abs (sa.objective -. sb.objective) < 1e-6
+      | Some _, None | None, Some _ -> false)
+
+(* --- McCormick --- *)
+
+let lin coeffs const = { Optim.Binlp.coeffs; const }
+
+let product_problem =
+  {
+    Optim.Binlp.nvars = 3;
+    objective = [| -3.0; -2.0; -2.5 |];
+    groups = [];
+    constraints =
+      [
+        Optim.Binlp.product
+          (lin [ (0, 1.0) ] 1.0)
+          (lin [ (1, 2.0); (2, 3.0) ] 0.0)
+          Optim.Binlp.Le 4.0;
+      ];
+  }
+
+let test_mccormick_relaxation_bound () =
+  (* The linearization relaxes the feasible set, so its optimum cannot
+     be worse (higher) than the true optimum. *)
+  let exact = Optim.Binlp.solve product_problem in
+  let relaxed = Optim.Mccormick.solve product_problem in
+  match (exact, relaxed) with
+  | Some e, Some r ->
+      check_bool "relaxed optimum <= exact optimum" true
+        (r.objective <= e.objective +. 1e-9)
+  | _ -> Alcotest.fail "both must solve"
+
+let test_mccormick_exact_when_linear () =
+  let p =
+    {
+      Optim.Binlp.nvars = 4;
+      objective = [| -2.0; -1.0; 3.0; -4.0 |];
+      groups = [ [ 0; 1 ] ];
+      constraints =
+        [
+          Optim.Binlp.linear
+            (lin [ (0, 2.0); (3, 2.0) ] 0.0)
+            Optim.Binlp.Le 3.0;
+        ];
+    }
+  in
+  match (Optim.Binlp.solve p, Optim.Mccormick.solve p) with
+  | Some a, Some b -> check_float "identical on linear problems" a.objective b.objective
+  | _ -> Alcotest.fail "both must solve"
+
+let gen_product_problem =
+  let open QCheck.Gen in
+  int_range 2 6 >>= fun nvars ->
+  let coef = map (fun k -> float_of_int (k - 4)) (int_range 0 8) in
+  array_size (return nvars) coef >>= fun objective ->
+  let lin_gen =
+    list_size (int_range 1 3) (pair (int_range 0 (nvars - 1)) coef)
+    >>= fun coeffs ->
+    map (fun k -> lin coeffs (float_of_int k)) (int_range 0 2)
+  in
+  lin_gen >>= fun f1 ->
+  lin_gen >>= fun f2 ->
+  int_range (-5) 25 >>= fun bound ->
+  return
+    {
+      Optim.Binlp.nvars;
+      objective;
+      groups = [];
+      constraints =
+        [ Optim.Binlp.product f1 f2 Optim.Binlp.Le (float_of_int bound) ];
+    }
+
+let mccormick_bound_qtest =
+  QCheck.Test.make ~count:200
+    ~name:"McCormick optimum bounds the exact optimum from below"
+    (QCheck.make gen_product_problem)
+    (fun p ->
+      match (Optim.Binlp.solve p, Optim.Mccormick.solve p) with
+      | None, None -> true
+      | None, Some _ -> true (* relaxation may be feasible when truth is not *)
+      | Some _, None -> false (* ...but never the other way around *)
+      | Some e, Some r -> r.objective <= e.objective +. 1e-6)
+
+let () =
+  Alcotest.run "milp"
+    [
+      ( "milp",
+        [
+          Alcotest.test_case "knapsack" `Quick test_milp_knapsack;
+          Alcotest.test_case "pure LP" `Quick test_milp_pure_lp;
+          Alcotest.test_case "mixed" `Quick test_milp_mixed;
+          Alcotest.test_case "infeasible" `Quick test_milp_infeasible;
+          Alcotest.test_case "node limit" `Quick test_milp_node_limit;
+          QCheck_alcotest.to_alcotest milp_vs_binlp_qtest;
+        ] );
+      ( "mccormick",
+        [
+          Alcotest.test_case "relaxation bound" `Quick test_mccormick_relaxation_bound;
+          Alcotest.test_case "exact when linear" `Quick test_mccormick_exact_when_linear;
+          QCheck_alcotest.to_alcotest mccormick_bound_qtest;
+        ] );
+    ]

@@ -1,0 +1,713 @@
+(* minic tests: checker, interpreter semantics, and differential tests
+   interpreter vs compiled code on the simulator. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let main_of ?(globals = []) ?(funcs = []) ?(locals = []) body =
+  {
+    Minic.Ast.globals;
+    funcs = funcs @ [ { Minic.Ast.name = "main"; params = []; locals; body } ];
+  }
+
+let interp p = Minic.Interp.run p
+
+let simulate ?(config = Arch.Config.base) p =
+  let prog = Minic.Codegen.compile p in
+  let cpu = Sim.Cpu.create config prog ~mem_size:(1 lsl 20) in
+  Sim.Cpu.run cpu;
+  Sim.Cpu.result cpu
+
+let both ?config p =
+  let i = interp p in
+  let s = simulate ?config p in
+  check_int "interpreter and simulator agree" i s;
+  i
+
+(* --- Check --- *)
+
+let test_check_ok () =
+  let p = main_of [ Minic.Ast.Ret (Minic.Ast.Int 0) ] in
+  check_bool "valid program" true (Result.is_ok (Minic.Check.check p))
+
+let expect_errors p =
+  match Minic.Check.check p with
+  | Ok () -> Alcotest.fail "expected check errors"
+  | Error es -> check_bool "has errors" true (List.length es > 0)
+
+let test_check_no_main () =
+  expect_errors { Minic.Ast.globals = []; funcs = [] }
+
+let test_check_unknown_var () =
+  expect_errors (main_of [ Minic.Ast.Ret (Minic.Ast.Var "ghost") ])
+
+let test_check_bad_arity () =
+  let f = { Minic.Ast.name = "f"; params = [ "x" ]; locals = []; body = [ Minic.Ast.Ret (Minic.Ast.Var "x") ] } in
+  expect_errors
+    (main_of ~funcs:[ f ] [ Minic.Ast.Ret (Minic.Ast.Call ("f", [])) ])
+
+let test_check_nested_call () =
+  let f = { Minic.Ast.name = "f"; params = []; locals = []; body = [ Minic.Ast.Ret (Minic.Ast.Int 1) ] } in
+  expect_errors
+    (main_of ~funcs:[ f ]
+       [ Minic.Ast.Ret (Minic.Ast.Bin (Minic.Ast.Add, Minic.Ast.Call ("f", []), Minic.Ast.Int 1)) ])
+
+let test_check_too_many_locals () =
+  expect_errors
+    (main_of
+       ~locals:[ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h"; "i" ]
+       [ Minic.Ast.Ret (Minic.Ast.Int 0) ])
+
+let test_check_array_as_scalar () =
+  expect_errors
+    (main_of
+       ~globals:[ Minic.Ast.Array ("arr", Minic.Ast.Word, 4) ]
+       [ Minic.Ast.Ret (Minic.Ast.Var "arr") ])
+
+let test_check_depth_limit () =
+  (* A right-leaning comb of non-constant operands needs one temp per
+     level. *)
+  let rec deep n =
+    if n = 0 then Minic.Ast.Var "x"
+    else Minic.Ast.Bin (Minic.Ast.Add, Minic.Ast.Var "x", deep (n - 1))
+  in
+  let mk n = main_of ~locals:[ "x" ] [ Minic.Ast.Ret (deep n) ] in
+  check_bool "depth 8 ok" true (Result.is_ok (Minic.Check.check (mk 8)));
+  expect_errors (mk 12)
+
+(* --- Interpreter semantics --- *)
+
+let ret e = main_of [ Minic.Ast.Ret e ]
+
+let test_interp_arith () =
+  let open Minic.Ast in
+  check_int "add" 7 (interp (ret (i 3 + i 4)));
+  check_int "wrap" 0x80000000 (interp (ret (i 0x7FFFFFFF + i 1)));
+  check_int "sub wrap" 0xFFFFFFFF (interp (ret (i 0 - i 1)));
+  check_int "mul" 42 (interp (ret (i 6 * i 7)));
+  check_int "div trunc" ((-3) land 0xFFFFFFFF) (interp (ret (i (-7) / i 2)));
+  check_int "mod sign" ((-1) land 0xFFFFFFFF) (interp (ret (i (-7) % i 2)));
+  check_int "shl" 40 (interp (ret (i 5 <<< i 3)));
+  check_int "shr logical" 1 (interp (ret (i 0x80000000 >>> i 31)));
+  check_int "cmp true" 1 (interp (ret (i (-1) < i 0)));
+  check_int "cmp false" 0 (interp (ret (i 1 < i 0)))
+
+let test_interp_div_zero () =
+  match interp (ret Minic.Ast.(i 1 / i 0)) with
+  | exception Minic.Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected runtime error"
+
+let test_interp_oob () =
+  let p =
+    main_of
+      ~globals:[ Minic.Ast.Array ("a", Minic.Ast.Word, 4) ]
+      [ Minic.Ast.Ret (Minic.Ast.idx "a" (Minic.Ast.i 4)) ]
+  in
+  match interp p with
+  | exception Minic.Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected bounds error"
+
+let test_interp_fuel () =
+  let p = main_of [ Minic.Ast.While (Minic.Ast.i 1, []) ] in
+  match Minic.Interp.run ~fuel:1000 p with
+  | exception Minic.Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+(* --- Differential: hand-written programs --- *)
+
+let test_diff_gcd () =
+  let open Minic.Ast in
+  let gcd =
+    {
+      name = "gcd";
+      params = [ "a"; "b" ];
+      locals = [ "t" ];
+      body =
+        [
+          While
+            ( v "b" <> i 0,
+              [ Set ("t", v "b"); Set ("b", v "a" % v "b"); Set ("a", v "t") ] );
+          Ret (v "a");
+        ];
+    }
+  in
+  let p = main_of ~funcs:[ gcd ] [ Ret (Call ("gcd", [ i 252; i 105 ])) ] in
+  check_int "gcd result" 21 (both p)
+
+let test_diff_fib_iterative () =
+  let open Minic.Ast in
+  let p =
+    main_of ~locals:[ "a"; "b"; "t"; "n" ]
+      [
+        Set ("a", i 0);
+        Set ("b", i 1);
+        Set ("n", i 30);
+        While
+          ( v "n" > i 0,
+            [
+              Set ("t", v "a" + v "b");
+              Set ("a", v "b");
+              Set ("b", v "t");
+              Set ("n", v "n" - i 1);
+            ] );
+        Ret (v "a");
+      ]
+  in
+  check_int "fib 30" 832040 (both p)
+
+let test_diff_recursion_traps () =
+  (* Recursive fib to depth > 8 windows: exercises overflow/underflow
+     traps; the result must still match the interpreter. *)
+  let open Minic.Ast in
+  let fib =
+    {
+      name = "fib";
+      params = [ "n" ];
+      locals = [ "x" ];
+      body =
+        [
+          If (v "n" < i 2, [ Ret (v "n") ], []);
+          Set ("x", Call ("fib", [ v "n" - i 1 ]));
+          Set ("x", v "x" + Var "y_tmp");
+          Ret (v "x");
+        ];
+    }
+  in
+  (* fib needs the second recursive call's value; use a global scalar
+     as the carrier since expressions cannot contain calls. *)
+  let fib =
+    {
+      fib with
+      body =
+        [
+          If (v "n" < i 2, [ Ret (v "n") ], []);
+          Set ("x", Call ("fib", [ v "n" - i 1 ]));
+          Set ("y_tmp", Call ("fib", [ v "n" - i 2 ]));
+          Ret (v "x" + v "y_tmp");
+        ];
+    }
+  in
+  let p =
+    {
+      Minic.Ast.globals = [ Scalar ("y_tmp", 0) ];
+      funcs =
+        [ fib; { name = "main"; params = []; locals = []; body = [ Ret (Call ("fib", [ i 15 ])) ] } ];
+    }
+  in
+  check_int "fib 15" 610 (both p)
+
+let test_diff_arrays () =
+  let open Minic.Ast in
+  let p =
+    main_of
+      ~globals:[ Array ("a", Word, 64) ]
+      ~locals:[ "k"; "s" ]
+      [
+        Set ("k", i 0);
+        While
+          (v "k" < i 64, [ Set_idx ("a", v "k", v "k" * v "k"); Set ("k", v "k" + i 1) ]);
+        Set ("s", i 0);
+        Set ("k", i 0);
+        While
+          (v "k" < i 64, [ Set ("s", v "s" + idx "a" (v "k")); Set ("k", v "k" + i 1) ]);
+        Ret (v "s");
+      ]
+  in
+  (* sum of squares 0..63 *)
+  check_int "sum of squares" 85344 (both p)
+
+let test_diff_byte_arrays () =
+  let open Minic.Ast in
+  let p =
+    main_of
+      ~globals:[ Array_init ("b", Byte, [| 1; 250; 7; 255; 128 |]) ]
+      ~locals:[ "k"; "s" ]
+      [
+        Set ("s", i 0);
+        Set ("k", i 0);
+        While
+          (v "k" < i 5, [ Set ("s", v "s" + idx "b" (v "k")); Set ("k", v "k" + i 1) ]);
+        Ret (v "s");
+      ]
+  in
+  check_int "byte array sum (unsigned)" 641 (both p)
+
+let test_diff_word_init () =
+  let open Minic.Ast in
+  let p =
+    main_of
+      ~globals:[ Array_init ("w", Word, [| -1; 2; 0x7FFFFFFF |]) ]
+      [ Ret (idx "w" (i 0) + idx "w" (i 1) + idx "w" (i 2)) ]
+  in
+  check_int "word init wrap" 0x80000000 (both p)
+
+let test_diff_unops () =
+  let p =
+    let open Minic.Ast in
+    main_of ~locals:[ "x" ]
+      [
+        Set ("x", i 5);
+        Ret
+          (Un (Neg, v "x")
+          + (Un (Bitnot, v "x") &&& i 0xFF)
+          + (Un (Not, v "x") <<< i 16)
+          + (Un (Not, i 0) <<< i 8));
+      ]
+  in
+  check_int "unops" (Stdlib.( land ) (Stdlib.( + ) (Stdlib.( + ) (-5) 0xFA) 256) 0xFFFFFFFF) (both p)
+
+let test_diff_conditionals () =
+  let open Minic.Ast in
+  let p =
+    main_of ~locals:[ "x"; "r" ]
+      [
+        Set ("x", i (-3));
+        If (v "x" < i 0, [ Set ("r", i 1) ], [ Set ("r", i 2) ]);
+        If (v "x" = i (-3), [ Set ("r", v "r" + i 10) ], []);
+        If (v "x" > i 100, [ Set ("r", i 999) ], []);
+        Ret (v "r");
+      ]
+  in
+  check_int "conditionals" 11 (both p)
+
+let test_diff_global_scalars () =
+  let open Minic.Ast in
+  let bump =
+    { name = "bump"; params = []; locals = []; body = [ Set ("g", v "g" + i 7); Ret (i 0) ] }
+  in
+  let p =
+    {
+      Minic.Ast.globals = [ Scalar ("g", 100) ];
+      funcs =
+        [
+          bump;
+          {
+            name = "main";
+            params = [];
+            locals = [];
+            body = [ Do (Call ("bump", [])); Do (Call ("bump", [])); Ret (v "g") ];
+          };
+        ];
+    }
+  in
+  check_int "global scalar updates" 114 (both p)
+
+let test_diff_six_params () =
+  let open Minic.Ast in
+  let f =
+    {
+      name = "f";
+      params = [ "a"; "b"; "c"; "d"; "e"; "g" ];
+      locals = [];
+      body = [ Ret (v "a" + (v "b" * i 2) + (v "c" * i 3) + (v "d" * i 4) + (v "e" * i 5) + (v "g" * i 6)) ];
+    }
+  in
+  let p = main_of ~funcs:[ f ] [ Ret (Call ("f", [ i 1; i 2; i 3; i 4; i 5; i 6 ])) ] in
+  check_int "six parameters" 91 (both p)
+
+let test_diff_fallthrough_returns_zero () =
+  let p = main_of [ Minic.Ast.Set ("x", Minic.Ast.i 5) ] in
+  let p = { p with Minic.Ast.globals = [ Minic.Ast.Scalar ("x", 0) ] } in
+  check_int "implicit return 0" 0 (both p)
+
+(* --- Differential: random expressions (qcheck) --- *)
+
+let gen_expr =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun n -> Minic.Ast.Int n) (int_range (-1000) 1000);
+        map (fun n -> Minic.Ast.Int n) (int_range (-0x40000000) 0x3FFFFFFF);
+        oneofl [ Minic.Ast.Var "a"; Minic.Ast.Var "b"; Minic.Ast.Var "c" ];
+      ]
+  in
+  let safe_ops =
+    [ Minic.Ast.Add; Minic.Ast.Sub; Minic.Ast.Mul; Minic.Ast.And; Minic.Ast.Or;
+      Minic.Ast.Xor; Minic.Ast.Shl; Minic.Ast.Shr; Minic.Ast.Lt; Minic.Ast.Le;
+      Minic.Ast.Gt; Minic.Ast.Ge; Minic.Ast.Eq; Minic.Ast.Ne ]
+  in
+  let rec expr n =
+    if n = 0 then leaf
+    else
+      frequency
+        [
+          (1, leaf);
+          ( 4,
+            oneofl safe_ops >>= fun op ->
+            expr (n - 1) >>= fun a ->
+            expr (n - 1) >>= fun b -> return (Minic.Ast.Bin (op, a, b)) );
+          ( 1,
+            (* Division by a nonzero constant is always safe. *)
+            expr (n - 1) >>= fun a ->
+            oneofl [ Minic.Ast.Div; Minic.Ast.Mod ] >>= fun op ->
+            int_range 1 999 >>= fun d ->
+            oneofl [ d; -d ] >>= fun d ->
+            return (Minic.Ast.Bin (op, a, Minic.Ast.Int d)) );
+          ( 1,
+            oneofl [ Minic.Ast.Neg; Minic.Ast.Not; Minic.Ast.Bitnot ] >>= fun op ->
+            expr (n - 1) >>= fun a -> return (Minic.Ast.Un (op, a)) );
+        ]
+  in
+  expr 3
+
+let test_diff_random_exprs () =
+  let arb = QCheck.make ~print:(Fmt.to_to_string Minic.Ast.pp_expr) gen_expr in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:300 ~name:"interp = compiled for random expressions"
+       arb
+       (fun e ->
+         let p =
+           let open Minic.Ast in
+           main_of ~locals:[ "a"; "b"; "c" ]
+             [
+               Set ("a", i 12345);
+               Set ("b", i (-777));
+               Set ("c", i 0x0F0F0F0F);
+               Ret e;
+             ]
+         in
+         match Minic.Check.check p with
+         | Error _ -> QCheck.assume_fail ()
+         | Ok () -> interp p = simulate p))
+
+let test_diff_random_exprs_as_conditions () =
+  let arb = QCheck.make ~print:(Fmt.to_to_string Minic.Ast.pp_expr) gen_expr in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:150 ~name:"random expression as branch condition"
+       arb
+       (fun e ->
+         let p =
+           let open Minic.Ast in
+           main_of ~locals:[ "a"; "b"; "c" ]
+             [
+               Set ("a", i 99);
+               Set ("b", i 3);
+               Set ("c", i (-1));
+               If (e, [ Ret (i 111) ], [ Ret (i 222) ]);
+             ]
+         in
+         match Minic.Check.check p with
+         | Error _ -> QCheck.assume_fail ()
+         | Ok () -> interp p = simulate p))
+
+(* --- Differential: random structured programs (semantic fuzzing) ---
+
+   Programs are generated to be safe by construction: loops are bounded
+   counters, array indices are masked to the array size, divisions use
+   nonzero constants.  The interpreter result must match the compiled,
+   simulated result on every one. *)
+
+let gen_structured_program =
+  let open QCheck.Gen in
+  let scalars = [ "a"; "b"; "c"; "s" ] in
+  let value = int_range (-10000) 10000 in
+  let leaf =
+    oneof
+      [
+        map (fun v -> Minic.Ast.Int v) value;
+        oneofl (List.map (fun x -> Minic.Ast.Var x) scalars);
+        (* masked array read: always in bounds *)
+        ( oneofl (List.map (fun x -> Minic.Ast.Var x) scalars) >>= fun ix ->
+          return (Minic.Ast.Idx ("arr", Minic.Ast.Bin (Minic.Ast.And, ix, Minic.Ast.Int 15))) );
+      ]
+  in
+  let rec expr n =
+    if n = 0 then leaf
+    else
+      frequency
+        [
+          (1, leaf);
+          ( 4,
+            oneofl
+              [ Minic.Ast.Add; Minic.Ast.Sub; Minic.Ast.Mul; Minic.Ast.And;
+                Minic.Ast.Or; Minic.Ast.Xor; Minic.Ast.Shl; Minic.Ast.Shr;
+                Minic.Ast.Lt; Minic.Ast.Le; Minic.Ast.Gt; Minic.Ast.Ge;
+                Minic.Ast.Eq; Minic.Ast.Ne ]
+            >>= fun op ->
+            expr (n - 1) >>= fun x ->
+            expr (n - 1) >>= fun y -> return (Minic.Ast.Bin (op, x, y)) );
+          ( 1,
+            expr (n - 1) >>= fun x ->
+            oneofl [ Minic.Ast.Div; Minic.Ast.Mod ] >>= fun op ->
+            int_range 1 500 >>= fun d ->
+            return (Minic.Ast.Bin (op, x, Minic.Ast.Int d)) );
+        ]
+  in
+  let assign =
+    oneof
+      [
+        ( oneofl scalars >>= fun x ->
+          expr 2 >>= fun e -> return (Minic.Ast.Set (x, e)) );
+        ( oneofl (List.map (fun x -> Minic.Ast.Var x) scalars) >>= fun ix ->
+          expr 2 >>= fun e ->
+          return
+            (Minic.Ast.Set_idx
+               ("arr", Minic.Ast.Bin (Minic.Ast.And, ix, Minic.Ast.Int 15), e)) );
+      ]
+  in
+  let rec stmts depth n =
+    if n = 0 then return []
+    else
+      let simple = assign in
+      let compound =
+        if depth = 0 then assign
+        else
+          frequency
+            [
+              (2, assign);
+              ( 1,
+                expr 1 >>= fun c ->
+                stmts (depth - 1) 2 >>= fun th ->
+                stmts (depth - 1) 2 >>= fun el ->
+                return (Minic.Ast.If (c, th, el)) );
+              ( 1,
+                (* bounded loop on a dedicated counter *)
+                int_range 1 8 >>= fun bound ->
+                oneofl [ "k1"; "k2" ] >>= fun k ->
+                stmts (depth - 1) 2 >>= fun body ->
+                return
+                  (Minic.Ast.While
+                     ( Minic.Ast.Bin (Minic.Ast.Lt, Minic.Ast.Var k, Minic.Ast.Int bound),
+                       body @ [ Minic.Ast.Set (k, Minic.Ast.Bin (Minic.Ast.Add, Minic.Ast.Var k, Minic.Ast.Int 1)) ] )) );
+            ]
+      in
+      (if depth = 0 then simple else compound) >>= fun st ->
+      stmts depth (n - 1) >>= fun rest -> return (st :: rest)
+  in
+  list_size (return 16) value >>= fun init ->
+  value >>= fun a0 ->
+  value >>= fun b0 ->
+  stmts 2 6 >>= fun body ->
+  let prologue =
+    [
+      Minic.Ast.Set ("a", Minic.Ast.Int a0);
+      Minic.Ast.Set ("b", Minic.Ast.Int b0);
+      Minic.Ast.Set ("c", Minic.Ast.Int 7);
+      Minic.Ast.Set ("s", Minic.Ast.Int 0);
+      Minic.Ast.Set ("k1", Minic.Ast.Int 0);
+      Minic.Ast.Set ("k2", Minic.Ast.Int 0);
+    ]
+  in
+  let epilogue =
+    [
+      Minic.Ast.Ret
+        Minic.Ast.(
+          v "a" + v "b" + v "c" + v "s"
+          + idx "arr" (v "a" &&& i 15)
+          + idx "arr" (i 3));
+    ]
+  in
+  return
+    {
+      Minic.Ast.globals = [ Minic.Ast.Array_init ("arr", Minic.Ast.Word, Array.of_list init) ];
+      funcs =
+        [
+          {
+            Minic.Ast.name = "main";
+            params = [];
+            locals = [ "a"; "b"; "c"; "s"; "k1"; "k2" ];
+            body = prologue @ body @ epilogue;
+          };
+        ];
+    }
+
+let structured_diff_qtest =
+  QCheck.Test.make ~count:250
+    ~name:"interp = compiled for random structured programs"
+    (QCheck.make ~print:(fun p -> Minic.Pretty.to_string p) gen_structured_program)
+    (fun p ->
+      match Minic.Check.check p with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () -> (
+          match Minic.Interp.run ~fuel:10_000_000 p with
+          | exception Minic.Interp.Runtime_error _ -> QCheck.assume_fail ()
+          | expected -> expected = simulate p))
+
+(* --- Optimizer --- *)
+
+let test_opt_folding () =
+  let eq = Stdlib.( = ) in
+  let check_rw name got want = check_bool name true (eq got want) in
+  let open Minic.Ast in
+  let o = Minic.Optimize.expr in
+  check_rw "constant add" (o (i 2 + i 3)) (Int 5);
+  check_rw "nested" (o ((i 2 + i 3) * (i 4 - i 1))) (Int 15);
+  check_bool "div by zero not folded" false (eq (o (i 1 / i 0)) (Int 0));
+  check_rw "x + 0" (o (v "x" + i 0)) (Var "x");
+  check_rw "0 + x" (o (i 0 + v "x")) (Var "x");
+  check_rw "x * 0" (o (v "x" * i 0)) (Int 0);
+  check_rw "x * 1" (o (v "x" * i 1)) (Var "x");
+  check_rw "x * 8 -> shl" (o (v "x" * i 8)) (Bin (Shl, Var "x", Int 3));
+  check_rw "x & -1" (o (v "x" &&& i (-1))) (Var "x");
+  check_rw "not of cmp inverted" (o (Un (Not, v "x" < i 5))) (Bin (Ge, Var "x", Int 5));
+  check_rw "comparison folds" (o (i 3 < i 5)) (Int 1);
+  check_rw "double negation" (o (Un (Neg, Un (Neg, v "x")))) (Var "x")
+
+let test_opt_statements () =
+  let eq = Stdlib.( = ) in
+  let check_rw name got want = check_bool name true (eq got want) in
+  let open Minic.Ast in
+  check_rw "dead self-assign" (Minic.Optimize.stmt (Set ("x", v "x"))) [];
+  check_rw "if true takes then"
+    (Minic.Optimize.stmt (If (i 1, [ Set ("a", i 1) ], [ Set ("a", i 2) ])))
+    [ Set ("a", Int 1) ];
+  check_rw "if false takes else"
+    (Minic.Optimize.stmt (If (i 0, [ Set ("a", i 1) ], [ Set ("a", i 2) ])))
+    [ Set ("a", Int 2) ];
+  check_rw "while false vanishes"
+    (Minic.Optimize.stmt (While (i 0, [ Set ("a", i 1) ])))
+    []
+
+let test_opt_preserves_benchmarks () =
+  (* Semantics preserved on the real applications. *)
+  List.iter
+    (fun app ->
+      let src = app.Apps.Registry.source in
+      check_int
+        (app.Apps.Registry.name ^ " optimized semantics")
+        (Minic.Interp.run src)
+        (Minic.Interp.run (Minic.Optimize.program src)))
+    (Apps.Registry.all @ Apps.Extra.all)
+
+let test_opt_reduces_cycles () =
+  (* A program full of foldable arithmetic must get faster. *)
+  let p =
+    let open Minic.Ast in
+    main_of ~locals:[ "s"; "k" ]
+      [
+        Set ("s", i 0);
+        Set ("k", i 0);
+        While
+          ( v "k" < i 1000,
+            [
+              Set ("s", v "s" + (v "k" * (i 2 + i 2)) + (i 10 - i 10));
+              Set ("k", v "k" + (i 3 - i 2));
+            ] );
+        Ret (v "s");
+      ]
+  in
+  let cycles optimize =
+    let prog = Minic.Codegen.compile ~optimize p in
+    let cpu = Sim.Cpu.create Arch.Config.base prog ~mem_size:(1 lsl 20) in
+    Sim.Cpu.run cpu;
+    ((Sim.Cpu.profile cpu).Sim.Profiler.cycles, Sim.Cpu.result cpu)
+  in
+  let c0, r0 = cycles false and c1, r1 = cycles true in
+  check_int "same result" r0 r1;
+  check_bool
+    (Printf.sprintf "fewer cycles (%d -> %d)" c0 c1)
+    true (c1 < c0);
+  (* the k*4 multiply became a shift: no Mul should survive in main *)
+  let prog = Minic.Codegen.compile ~optimize:true p in
+  Array.iter
+    (fun insn ->
+      match insn with
+      | Isa.Insn.Mul _ -> Alcotest.fail "multiply not strength-reduced"
+      | _ -> ())
+    prog.Isa.Program.code
+
+let opt_idempotent_qtest =
+  QCheck.Test.make ~count:200 ~name:"optimizer is idempotent"
+    (QCheck.make ~print:(fun p -> Minic.Pretty.to_string p) gen_structured_program)
+    (fun p ->
+      let q = Minic.Optimize.program p in
+      Minic.Optimize.program q = q)
+
+let opt_diff_qtest =
+  QCheck.Test.make ~count:250
+    ~name:"optimizer preserves semantics on random structured programs"
+    (QCheck.make ~print:(fun p -> Minic.Pretty.to_string p) gen_structured_program)
+    (fun p ->
+      match Minic.Check.check p with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () -> (
+          match Minic.Interp.run ~fuel:10_000_000 p with
+          | exception Minic.Interp.Runtime_error _ -> QCheck.assume_fail ()
+          | expected ->
+              let q = Minic.Optimize.program p in
+              Minic.Interp.run ~fuel:10_000_000 q = expected
+              && simulate q = expected))
+
+(* Compiled code must be identical in *result* across configurations. *)
+let test_config_invariance () =
+  let open Minic.Ast in
+  let p =
+    main_of
+      ~globals:[ Array ("a", Word, 256) ]
+      ~locals:[ "k"; "s" ]
+      [
+        Set ("k", i 0);
+        While
+          ( v "k" < i 256,
+            [ Set_idx ("a", v "k", (v "k" * i 2654435761) ^^^ i 0x5A5A); Set ("k", v "k" + i 1) ] );
+        Set ("s", i 0);
+        Set ("k", i 0);
+        While
+          ( v "k" < i 256,
+            [ Set ("s", v "s" + idx "a" (v "k" ^^^ i 85)); Set ("k", v "k" + i 1) ] );
+        Ret (v "s");
+      ]
+  in
+  let expected = interp p in
+  let configs =
+    Arch.Config.base
+    :: List.filter_map
+         (fun v ->
+           let c = v.Arch.Param.apply Arch.Config.base in
+           if Arch.Config.is_valid c then Some c else None)
+         Arch.Param.all
+  in
+  List.iter
+    (fun c -> check_int "result independent of configuration" expected (simulate ~config:c p))
+    configs
+
+let () =
+  Alcotest.run "minic"
+    [
+      ( "check",
+        [
+          Alcotest.test_case "valid program" `Quick test_check_ok;
+          Alcotest.test_case "no main" `Quick test_check_no_main;
+          Alcotest.test_case "unknown var" `Quick test_check_unknown_var;
+          Alcotest.test_case "bad arity" `Quick test_check_bad_arity;
+          Alcotest.test_case "nested call" `Quick test_check_nested_call;
+          Alcotest.test_case "too many locals" `Quick test_check_too_many_locals;
+          Alcotest.test_case "array as scalar" `Quick test_check_array_as_scalar;
+          Alcotest.test_case "depth limit" `Quick test_check_depth_limit;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_interp_arith;
+          Alcotest.test_case "div by zero" `Quick test_interp_div_zero;
+          Alcotest.test_case "bounds" `Quick test_interp_oob;
+          Alcotest.test_case "fuel" `Quick test_interp_fuel;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "folding" `Quick test_opt_folding;
+          Alcotest.test_case "statements" `Quick test_opt_statements;
+          Alcotest.test_case "benchmarks preserved" `Quick test_opt_preserves_benchmarks;
+          Alcotest.test_case "reduces cycles" `Quick test_opt_reduces_cycles;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "gcd" `Quick test_diff_gcd;
+          Alcotest.test_case "fib iterative" `Quick test_diff_fib_iterative;
+          Alcotest.test_case "fib recursive traps" `Quick test_diff_recursion_traps;
+          Alcotest.test_case "arrays" `Quick test_diff_arrays;
+          Alcotest.test_case "byte arrays" `Quick test_diff_byte_arrays;
+          Alcotest.test_case "word init" `Quick test_diff_word_init;
+          Alcotest.test_case "unary ops" `Quick test_diff_unops;
+          Alcotest.test_case "conditionals" `Quick test_diff_conditionals;
+          Alcotest.test_case "global scalars" `Quick test_diff_global_scalars;
+          Alcotest.test_case "six parameters" `Quick test_diff_six_params;
+          Alcotest.test_case "fallthrough" `Quick test_diff_fallthrough_returns_zero;
+          Alcotest.test_case "random exprs" `Quick test_diff_random_exprs;
+          QCheck_alcotest.to_alcotest structured_diff_qtest;
+          QCheck_alcotest.to_alcotest opt_diff_qtest;
+          QCheck_alcotest.to_alcotest opt_idempotent_qtest;
+          Alcotest.test_case "random conditions" `Quick test_diff_random_exprs_as_conditions;
+          Alcotest.test_case "config invariance" `Quick test_config_invariance;
+        ] );
+    ]

@@ -1,0 +1,309 @@
+(* Tests for minic's concrete syntax: lexer, parser, pretty-printer
+   roundtrip, and source-level end-to-end compilation. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let parse_ok src =
+  match Minic.Parser.parse src with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "parse error: %s" msg
+
+let expect_parse_error src =
+  match Minic.Parser.parse src with
+  | Ok _ -> Alcotest.failf "expected a parse error for %S" src
+  | Error _ -> ()
+
+(* --- Lexer --- *)
+
+let test_lexer_tokens () =
+  let lx = Minic.Lexer.create "foo 42 0x2A <= << // c\n != /* b */ %" in
+  let rec drain acc =
+    match Minic.Lexer.next lx with
+    | Minic.Lexer.EOF, _ -> List.rev acc
+    | t, _ -> drain (t :: acc)
+  in
+  Alcotest.(check (list string))
+    "token stream"
+    [ "foo"; "42"; "42"; "<="; "<<"; "!="; "%" ]
+    (List.map Minic.Lexer.token_to_string (drain []))
+
+let test_lexer_line_numbers () =
+  let lx = Minic.Lexer.create "a\nb\n\nc" in
+  let lines = ref [] in
+  let rec drain () =
+    match Minic.Lexer.next lx with
+    | Minic.Lexer.EOF, _ -> ()
+    | _, l ->
+        lines := l :: !lines;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "line numbers" [ 1; 2; 4 ] (List.rev !lines)
+
+let test_lexer_errors () =
+  let lx = Minic.Lexer.create "@" in
+  (match Minic.Lexer.next lx with
+  | exception Minic.Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected lexer error");
+  let lx = Minic.Lexer.create "/* unterminated" in
+  match Minic.Lexer.next lx with
+  | exception Minic.Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected unterminated-comment error"
+
+(* --- Parser basics --- *)
+
+let test_parse_minimal () =
+  let p = parse_ok "int main() { return 42; }" in
+  check_int "one function" 1 (List.length p.Minic.Ast.funcs);
+  check_int "result" 42 (Minic.Interp.run p)
+
+let test_parse_globals () =
+  let p =
+    parse_ok
+      "int s = -7;\n\
+       int a[4];\n\
+       char b[3] = {1, 2, 255};\n\
+       int w[2] = {0x10, -1};\n\
+       int main() { return s + b[2] + w[0]; }"
+  in
+  check_int "four globals" 4 (List.length p.Minic.Ast.globals);
+  check_int "result" ((-7 + 255 + 16) land 0xFFFFFFFF) (Minic.Interp.run p)
+
+let test_parse_precedence () =
+  (* 1 + 2 * 3 == 7, shifts tighter than comparison. *)
+  let p = parse_ok "int main() { return 1 + 2 * 3; }" in
+  check_int "mul binds tighter" 7 (Minic.Interp.run p);
+  let p = parse_ok "int main() { return 1 << 2 < 5; }" in
+  check_int "shift then compare" 1 (Minic.Interp.run p);
+  let p = parse_ok "int main() { return 6 & 3 == 3; }" in
+  (* == before &: 6 & (3 == 3) = 6 & 1 = 0 ... C-style. *)
+  check_int "equality before and" 0 (Minic.Interp.run p)
+
+let test_parse_control_flow () =
+  let src =
+    "int gcd(int a, int b) {\n\
+    \  int t;\n\
+    \  while (b != 0) { t = b; b = a % b; a = t; }\n\
+    \  return a;\n\
+     }\n\
+     int main() { return gcd(252, 105); }"
+  in
+  check_int "gcd from source" 21 (Minic.Interp.run (parse_ok src))
+
+let test_parse_if_else () =
+  let src =
+    "int main() {\n\
+    \  int x;\n\
+    \  x = -3;\n\
+    \  if (x < 0) { x = 0 - x; } else { x = x; }\n\
+    \  if (x == 3) { return 1; }\n\
+    \  return 0;\n\
+     }"
+  in
+  check_int "if/else" 1 (Minic.Interp.run (parse_ok src))
+
+let test_parse_unary () =
+  check_int "folded negative" ((-5) land 0xFFFFFFFF)
+    (Minic.Interp.run (parse_ok "int main() { return -5; }"));
+  check_int "bitnot" (0xFFFFFFFF land lnot 5)
+    (Minic.Interp.run (parse_ok "int main() { return ~5; }"));
+  check_int "not" 1 (Minic.Interp.run (parse_ok "int main() { return !0; }"))
+
+let test_parse_errors () =
+  expect_parse_error "int main() { return 1 }";      (* missing ; *)
+  expect_parse_error "int main() { x = ; }";
+  expect_parse_error "int main( { return 1; }";
+  expect_parse_error "int a[2] = {1};int main(){return 0;}"; (* length mismatch *)
+  expect_parse_error "char c; int main(){return 0;}"; (* char scalar *)
+  expect_parse_error "int main() { if x { return 1; } }";
+  expect_parse_error "int 3x; int main(){return 0;}"
+
+(* --- Roundtrip: print then parse --- *)
+
+let roundtrip p =
+  let src = Minic.Pretty.to_string p in
+  match Minic.Parser.parse src with
+  | Error msg -> Alcotest.failf "roundtrip parse failed: %s\n%s" msg src
+  | Ok p' -> Alcotest.(check bool) "roundtrip equal" true (p = p')
+
+let test_roundtrip_benchmarks () =
+  List.iter
+    (fun app -> roundtrip app.Apps.Registry.source)
+    Apps.Registry.all
+
+(* Random syntactic programs (no semantic constraints — the parser and
+   printer don't care whether names resolve). *)
+let gen_program =
+  let open QCheck.Gen in
+  let name = oneofl [ "a"; "bb"; "c0"; "dd_e"; "f" ] in
+  let value = int_range (-100000) 100000 in
+  let rec expr n =
+    if n = 0 then
+      oneof [ map (fun v -> Minic.Ast.Int v) value; map (fun s -> Minic.Ast.Var s) name ]
+    else
+      frequency
+        [
+          (2, map (fun v -> Minic.Ast.Int v) value);
+          (2, map (fun s -> Minic.Ast.Var s) name);
+          ( 2,
+            name >>= fun a ->
+            expr (n - 1) >>= fun ix -> return (Minic.Ast.Idx (a, ix)) );
+          ( 4,
+            oneofl
+              [ Minic.Ast.Add; Minic.Ast.Sub; Minic.Ast.Mul; Minic.Ast.Div;
+                Minic.Ast.Mod; Minic.Ast.And; Minic.Ast.Or; Minic.Ast.Xor;
+                Minic.Ast.Shl; Minic.Ast.Shr; Minic.Ast.Lt; Minic.Ast.Le;
+                Minic.Ast.Gt; Minic.Ast.Ge; Minic.Ast.Eq; Minic.Ast.Ne ]
+            >>= fun op ->
+            expr (n - 1) >>= fun a ->
+            expr (n - 1) >>= fun b -> return (Minic.Ast.Bin (op, a, b)) );
+          ( 1,
+            oneofl [ Minic.Ast.Neg; Minic.Ast.Not; Minic.Ast.Bitnot ] >>= fun op ->
+            expr (n - 1) >>= fun a -> return (Minic.Ast.Un (op, a)) );
+          ( 1,
+            name >>= fun f ->
+            list_size (int_range 0 3) (expr (n - 1)) >>= fun args ->
+            return (Minic.Ast.Call (f, args)) );
+        ]
+  in
+  let rec stmt n =
+    let e = expr 2 in
+    if n = 0 then
+      oneof
+        [
+          map2 (fun x v -> Minic.Ast.Set (x, v)) name e;
+          map (fun v -> Minic.Ast.Ret v) e;
+        ]
+    else
+      frequency
+        [
+          (3, map2 (fun x v -> Minic.Ast.Set (x, v)) name e);
+          ( 2,
+            name >>= fun a ->
+            e >>= fun ix ->
+            e >>= fun v -> return (Minic.Ast.Set_idx (a, ix, v)) );
+          ( 1,
+            e >>= fun c ->
+            list_size (int_range 0 2) (stmt (n - 1)) >>= fun th ->
+            list_size (int_range 0 2) (stmt (n - 1)) >>= fun el ->
+            return (Minic.Ast.If (c, th, el)) );
+          ( 1,
+            e >>= fun c ->
+            list_size (int_range 0 2) (stmt (n - 1)) >>= fun body ->
+            return (Minic.Ast.While (c, body)) );
+          ( 1,
+            name >>= fun f ->
+            list_size (int_range 0 2) (expr 1) >>= fun args ->
+            return (Minic.Ast.Do (Minic.Ast.Call (f, args))) );
+          (1, map (fun v -> Minic.Ast.Ret v) e);
+        ]
+  in
+  let global =
+    frequency
+      [
+        (2, map2 (fun n v -> Minic.Ast.Scalar (n, v)) name value);
+        ( 1,
+          name >>= fun n ->
+          oneofl [ Minic.Ast.Word; Minic.Ast.Byte ] >>= fun elem ->
+          int_range 1 8 >>= fun len -> return (Minic.Ast.Array (n, elem, len)) );
+        ( 1,
+          name >>= fun n ->
+          oneofl [ Minic.Ast.Word; Minic.Ast.Byte ] >>= fun elem ->
+          list_size (int_range 1 5) value >>= fun vs ->
+          return (Minic.Ast.Array_init (n, elem, Array.of_list vs)) );
+      ]
+  in
+  let func =
+    name >>= fun fname ->
+    list_size (int_range 0 3) name >>= fun params ->
+    list_size (int_range 0 3) name >>= fun locals ->
+    list_size (int_range 0 4) (stmt 2) >>= fun body ->
+    return { Minic.Ast.name = fname; params; locals; body }
+  in
+  QCheck.Gen.(
+    pair (list_size (int_range 0 3) global) (list_size (int_range 1 3) func)
+    >>= fun (globals, funcs) -> return { Minic.Ast.globals; funcs })
+
+let roundtrip_qtest =
+  QCheck.Test.make ~count:500 ~name:"parse (pretty p) = p"
+    (QCheck.make ~print:(fun p -> Minic.Pretty.to_string p) gen_program)
+    (fun p ->
+      match Minic.Parser.parse (Minic.Pretty.to_string p) with
+      | Ok p' -> p = p'
+      | Error _ -> false)
+
+(* The parser must never escape with anything but its own Error (
+   surfaced through the result) on arbitrary input. *)
+let parser_total_qtest =
+  QCheck.Test.make ~count:500 ~name:"parse is total on arbitrary strings"
+    QCheck.(string_gen Gen.printable)
+    (fun src ->
+      match Minic.Parser.parse src with Ok _ | Error _ -> true)
+
+let parser_total_bytes_qtest =
+  QCheck.Test.make ~count:300 ~name:"parse is total on arbitrary bytes"
+    QCheck.string
+    (fun src ->
+      match Minic.Parser.parse src with Ok _ | Error _ -> true)
+
+(* --- Source-level end-to-end: parse, check, compile, simulate --- *)
+
+let crc_source =
+  "char msg[8] = {1, 2, 3, 4, 5, 6, 7, 8};\n\
+   int crc(int len) {\n\
+  \  int acc, k, j;\n\
+  \  acc = 0xFFFF;\n\
+  \  k = 0;\n\
+  \  while (k < len) {\n\
+  \    acc = acc ^ msg[k];\n\
+  \    j = 0;\n\
+  \    while (j < 8) {\n\
+  \      if ((acc & 1) == 1) { acc = (acc >> 1) ^ 0x8408; } else { acc = acc >> 1; }\n\
+  \      j = j + 1;\n\
+  \    }\n\
+  \    k = k + 1;\n\
+  \  }\n\
+  \  return acc;\n\
+   }\n\
+   int main() { return crc(8); }"
+
+let test_source_end_to_end () =
+  let p = parse_ok crc_source in
+  Minic.Check.check_exn p;
+  let interp = Minic.Interp.run p in
+  let prog = Minic.Codegen.compile p in
+  let cpu = Sim.Cpu.create Arch.Config.base prog ~mem_size:(1 lsl 16) in
+  Sim.Cpu.run cpu;
+  check_int "interp = simulated, from source text" interp (Sim.Cpu.result cpu);
+  check_bool "nonzero checksum" true (interp <> 0)
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "line numbers" `Quick test_lexer_line_numbers;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "minimal" `Quick test_parse_minimal;
+          Alcotest.test_case "globals" `Quick test_parse_globals;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "control flow" `Quick test_parse_control_flow;
+          Alcotest.test_case "if/else" `Quick test_parse_if_else;
+          Alcotest.test_case "unary" `Quick test_parse_unary;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "benchmark sources" `Quick test_roundtrip_benchmarks;
+          QCheck_alcotest.to_alcotest roundtrip_qtest;
+          QCheck_alcotest.to_alcotest parser_total_qtest;
+          QCheck_alcotest.to_alcotest parser_total_bytes_qtest;
+        ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "crc from source" `Quick test_source_end_to_end ] );
+    ]

@@ -1,0 +1,694 @@
+(* Tests for the processor simulator: caches, memory, CPU semantics and
+   cycle accounting. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let base = Arch.Config.base
+
+let with_iu f = { base with Arch.Config.iu = f base.Arch.Config.iu }
+
+(* --- Memory --- *)
+
+let test_memory_rw () =
+  let m = Sim.Memory.create ~size:4096 in
+  Sim.Memory.write_u32 m 0 0xDEADBEEF;
+  check_int "u32 roundtrip" 0xDEADBEEF (Sim.Memory.read_u32 m 0);
+  check_int "little endian byte 0" 0xEF (Sim.Memory.read_u8 m 0);
+  check_int "little endian byte 3" 0xDE (Sim.Memory.read_u8 m 3);
+  check_int "halfword low" 0xBEEF (Sim.Memory.read_u16 m 0);
+  Sim.Memory.write_u8 m 10 0x7F;
+  check_int "u8 roundtrip" 0x7F (Sim.Memory.read_u8 m 10);
+  Sim.Memory.write_u16 m 12 0xABCD;
+  check_int "u16 roundtrip" 0xABCD (Sim.Memory.read_u16 m 12)
+
+let test_memory_faults () =
+  let m = Sim.Memory.create ~size:64 in
+  let expect_fault f =
+    match f () with
+    | exception Sim.Memory.Fault _ -> ()
+    | _ -> Alcotest.fail "expected fault"
+  in
+  expect_fault (fun () -> Sim.Memory.read_u32 m 62);
+  expect_fault (fun () -> Sim.Memory.read_u32 m 2);
+  expect_fault (fun () -> Sim.Memory.read_u16 m 1);
+  expect_fault (fun () -> Sim.Memory.read_u8 m 64);
+  expect_fault (fun () -> Sim.Memory.read_u8 m (-1))
+
+let test_line_fill_cycles () =
+  check_int "8-word fill" 13 (Sim.Memory.line_fill_cycles ~line_words:8);
+  check_int "4-word fill" 9 (Sim.Memory.line_fill_cycles ~line_words:4)
+
+(* --- Cache --- *)
+
+let mk_cache ?(ways = 1) ?(way_kb = 1) ?(line_words = 4) ?(repl = Arch.Config.Random) () =
+  Sim.Cache.create ~ways ~way_kb ~line_words ~replacement:repl
+    ~rng:(Sim.Rng.create ~seed:7)
+
+let test_cache_geometry () =
+  let c = mk_cache ~way_kb:4 ~line_words:8 () in
+  check_int "line bytes" 32 (Sim.Cache.line_bytes c);
+  check_int "sets" 128 (Sim.Cache.sets c)
+
+let test_cold_miss_then_hit () =
+  let c = mk_cache () in
+  check_bool "first access misses" false (Sim.Cache.read c 0x100);
+  check_bool "second access hits" true (Sim.Cache.read c 0x100);
+  check_bool "same line hits" true (Sim.Cache.read c 0x10C);
+  check_bool "next line misses" false (Sim.Cache.read c 0x110);
+  let s = Sim.Cache.stats c in
+  check_int "reads" 4 s.Sim.Cache.reads;
+  check_int "read misses" 2 s.Sim.Cache.read_misses
+
+let test_direct_mapped_conflict () =
+  (* 1 KB direct-mapped, 16-byte lines: addresses 1 KB apart conflict. *)
+  let c = mk_cache () in
+  ignore (Sim.Cache.read c 0);
+  ignore (Sim.Cache.read c 1024);
+  check_bool "conflict evicted the first line" false (Sim.Cache.read c 0)
+
+let test_two_way_no_conflict () =
+  let c = mk_cache ~ways:2 ~repl:Arch.Config.Lru () in
+  ignore (Sim.Cache.read c 0);
+  ignore (Sim.Cache.read c 1024);
+  check_bool "2-way holds both lines" true (Sim.Cache.read c 0);
+  check_bool "and the second too" true (Sim.Cache.read c 1024)
+
+let test_lru_eviction_order () =
+  let c = mk_cache ~ways:2 ~repl:Arch.Config.Lru () in
+  ignore (Sim.Cache.read c 0);      (* A *)
+  ignore (Sim.Cache.read c 1024);   (* B *)
+  ignore (Sim.Cache.read c 0);      (* touch A: B is now LRU *)
+  ignore (Sim.Cache.read c 2048);   (* C evicts B *)
+  check_bool "A survives" true (Sim.Cache.read c 0);
+  check_bool "B was evicted" false (Sim.Cache.read c 1024)
+
+let test_lrr_round_robin () =
+  (* LRR (FIFO) ignores recency: the oldest *fill* is replaced. *)
+  let c = mk_cache ~ways:2 ~repl:Arch.Config.Lrr () in
+  ignore (Sim.Cache.read c 0);      (* A -> way 0 *)
+  ignore (Sim.Cache.read c 1024);   (* B -> way 1 *)
+  ignore (Sim.Cache.read c 0);      (* touch A; irrelevant to LRR *)
+  ignore (Sim.Cache.read c 2048);   (* C replaces A (oldest fill) *)
+  check_bool "A was evicted despite recent use" false (Sim.Cache.read c 0)
+
+let test_write_no_allocate () =
+  let c = mk_cache () in
+  check_bool "write miss" false (Sim.Cache.write c 0x200);
+  check_bool "read still misses (no allocate)" false (Sim.Cache.read c 0x200);
+  check_bool "write after fill hits" true (Sim.Cache.write c 0x200);
+  let s = Sim.Cache.stats c in
+  check_int "writes" 2 s.Sim.Cache.writes;
+  check_int "write misses" 1 s.Sim.Cache.write_misses
+
+let test_fills_equal_misses_qcheck () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:100 ~name:"read misses never exceed reads"
+       QCheck.(pair (int_bound 3) (list (int_bound 0xFFFF)))
+       (fun (geom, addrs) ->
+         let ways = 1 + geom in
+         let c = mk_cache ~ways ~repl:Arch.Config.Lru () in
+         List.iter (fun a -> ignore (Sim.Cache.read c (a land lnot 3))) addrs;
+         let s = Sim.Cache.stats c in
+         s.Sim.Cache.read_misses <= s.Sim.Cache.reads
+         && s.Sim.Cache.reads = List.length addrs))
+
+let test_lru_capacity_property () =
+  (* With LRU, re-reading a working set no larger than one way of the
+     cache yields no further misses after the first pass. *)
+  let c = mk_cache ~way_kb:1 ~line_words:4 ~repl:Arch.Config.Random () in
+  for pass = 1 to 3 do
+    for a = 0 to 63 do
+      ignore (Sim.Cache.read c (a * 16))
+    done;
+    if pass > 1 then
+      check_int "steady state: only cold misses" 64
+        (Sim.Cache.stats c).Sim.Cache.read_misses
+  done
+
+(* --- Stack-distance analysis --- *)
+
+let test_stackdist_hand_trace () =
+  (* Lines (16-byte): A B A C B A  ->
+     distances: A inf, B inf, A 1 (B between), C inf, B 1 (C since
+     last B... A,C accessed after first B -> distance 2), A 2 (C,B). *)
+  let a = 0x000 and b = 0x010 and c = 0x020 in
+  let sd = Sim.Stackdist.analyze ~line_bytes:16 [| a; b; a; c; b; a |] in
+  check_int "accesses" 6 (Sim.Stackdist.accesses sd);
+  check_int "cold misses" 3 (Sim.Stackdist.cold_misses sd);
+  (* capacity 1 line: every non-consecutive reuse misses *)
+  check_int "capacity 1" 6 (Sim.Stackdist.misses sd ~lines:1);
+  (* capacity 2: hits only the distance-1 reuse (A at index 2) *)
+  check_int "capacity 2" 5 (Sim.Stackdist.misses sd ~lines:2);
+  (* capacity 3: all reuses hit *)
+  check_int "capacity 3" 3 (Sim.Stackdist.misses sd ~lines:3);
+  check_int "working set" 2 (Sim.Stackdist.max_distance sd)
+
+let test_stackdist_same_line () =
+  let sd = Sim.Stackdist.analyze ~line_bytes:16 [| 0; 4; 8; 12 |] in
+  check_int "one cold miss" 1 (Sim.Stackdist.cold_misses sd);
+  check_int "rest hit even in 1 line" 1 (Sim.Stackdist.misses sd ~lines:1)
+
+(* Naive fully-associative LRU reference. *)
+let naive_lru_misses ~line_bytes ~lines trace =
+  let stack = ref [] in
+  let misses = ref 0 in
+  Array.iter
+    (fun addr ->
+      let line = addr / line_bytes in
+      let rest = List.filter (fun l -> l <> line) !stack in
+      if not (List.mem line !stack) then begin
+        incr misses;
+        stack := line :: rest
+      end
+      else if List.length rest >= lines then begin
+        (* line was in the stack but beyond capacity: miss *)
+        let depth = ref 0 in
+        List.iteri (fun k l -> if l = line then depth := k) !stack;
+        if !depth >= lines then incr misses;
+        stack := line :: rest
+      end
+      else begin
+        let depth = ref 0 in
+        List.iteri (fun k l -> if l = line then depth := k) !stack;
+        if !depth >= lines then incr misses;
+        stack := line :: rest
+      end)
+    trace;
+  !misses
+
+let test_stackdist_vs_naive_lru () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:200 ~name:"stack distance = naive LRU misses"
+       QCheck.(pair (int_range 1 6) (list_of_size (QCheck.Gen.int_range 1 60) (int_bound 0x1FF)))
+       (fun (lines, addrs) ->
+         let trace = Array.of_list addrs in
+         let sd = Sim.Stackdist.analyze ~line_bytes:16 trace in
+         Sim.Stackdist.misses sd ~lines
+         = naive_lru_misses ~line_bytes:16 ~lines trace))
+
+let test_stackdist_monotone () =
+  let trace =
+    Array.init 500 (fun k -> (k * 37 mod 253) * 16)
+  in
+  let sd = Sim.Stackdist.analyze ~line_bytes:16 trace in
+  let prev = ref max_int in
+  List.iter
+    (fun lines ->
+      let m = Sim.Stackdist.misses sd ~lines in
+      check_bool "misses nonincreasing in capacity" true (m <= !prev);
+      prev := m)
+    [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ];
+  check_int "large cache leaves only cold misses"
+    (Sim.Stackdist.cold_misses sd)
+    (Sim.Stackdist.misses sd ~lines:1024)
+
+let test_trace_capture () =
+  (* Machine.trace_reads captures exactly the load addresses. *)
+  let a = Isa.Asm.create () in
+  let buf = Isa.Asm.data_words a ~name:"w" [| 1; 2; 3; 4 |] in
+  Isa.Asm.set32 a buf (Isa.Reg.o 1);
+  for k = 0 to 3 do
+    Isa.Asm.emit a
+      (Isa.Insn.Load { width = Isa.Insn.Word; signed = false; rd = Isa.Reg.o 0;
+                       rs1 = Isa.Reg.o 1; op2 = Isa.Insn.Imm (4 * k) })
+  done;
+  Isa.Asm.emit a Isa.Insn.Halt;
+  let p = Isa.Asm.finish a ~entry:0 in
+  let trace = Sim.Machine.trace_reads ~mem_size:(1 lsl 16) Arch.Config.base p in
+  Alcotest.(check (array int)) "trace"
+    [| buf; buf + 4; buf + 8; buf + 12 |]
+    trace
+
+(* --- CPU: assembly helpers --- *)
+
+let run_asm ?(config = base) build =
+  let a = Isa.Asm.create () in
+  build a;
+  let p = Isa.Asm.finish a ~entry:0 in
+  let cpu = Sim.Cpu.create config p ~mem_size:(1 lsl 16) in
+  Sim.Cpu.run cpu;
+  cpu
+
+let o0 = Isa.Reg.o 0
+let o1 = Isa.Reg.o 1
+let mov_imm a v rd = Isa.Asm.set32 a v rd
+
+let alu op ?(cc = false) rd rs1 op2 = Isa.Insn.Alu { op; cc; rd; rs1; op2 }
+
+let test_alu_basic () =
+  let cpu =
+    run_asm (fun a ->
+        mov_imm a 5 o0;
+        Isa.Asm.emit a (alu Isa.Insn.Add o0 o0 (Isa.Insn.Imm 3));
+        Isa.Asm.emit a Isa.Insn.Halt)
+  in
+  check_int "5 + 3" 8 (Sim.Cpu.result cpu)
+
+let test_alu_wrap () =
+  let cpu =
+    run_asm (fun a ->
+        mov_imm a 0x7FFFFFFF o0;
+        Isa.Asm.emit a (alu Isa.Insn.Add o0 o0 (Isa.Insn.Imm 1));
+        Isa.Asm.emit a Isa.Insn.Halt)
+  in
+  check_int "signed overflow wraps" 0x80000000 (Sim.Cpu.result cpu)
+
+let test_shifts () =
+  let cpu =
+    run_asm (fun a ->
+        mov_imm a (-8) o0;
+        Isa.Asm.emit a (alu Isa.Insn.Sra o1 o0 (Isa.Insn.Imm 1));
+        Isa.Asm.emit a (alu Isa.Insn.Srl o0 o0 (Isa.Insn.Imm 28));
+        Isa.Asm.emit a (alu Isa.Insn.Add o0 o0 (Isa.Insn.Reg o1));
+        Isa.Asm.emit a Isa.Insn.Halt)
+  in
+  (* -8 asr 1 = -4 (0xFFFFFFFC); -8 lsr 28 = 0xF; sum = 0xFFFFFFFC + F *)
+  check_int "sra + srl" ((0xFFFFFFFC + 0xF) land 0xFFFFFFFF) (Sim.Cpu.result cpu)
+
+let test_mul_div () =
+  let cpu =
+    run_asm (fun a ->
+        mov_imm a (-6) o0;
+        Isa.Asm.emit a (Isa.Insn.Mul { signed = true; cc = false; rd = o0; rs1 = o0; op2 = Isa.Insn.Imm 7 });
+        Isa.Asm.emit a (Isa.Insn.Div { signed = true; rd = o0; rs1 = o0; op2 = Isa.Insn.Imm 4 });
+        Isa.Asm.emit a Isa.Insn.Halt)
+  in
+  (* -42 / 4 truncates toward zero: -10. *)
+  check_int "signed mul/div" ((-10) land 0xFFFFFFFF) (Sim.Cpu.result cpu)
+
+let test_div_by_zero () =
+  match
+    run_asm (fun a ->
+        mov_imm a 1 o0;
+        Isa.Asm.emit a (Isa.Insn.Div { signed = true; rd = o0; rs1 = o0; op2 = Isa.Insn.Imm 0 });
+        Isa.Asm.emit a Isa.Insn.Halt)
+  with
+  | exception Sim.Cpu.Error _ -> ()
+  | _ -> Alcotest.fail "expected division-by-zero error"
+
+let test_branch_signed () =
+  (* -1 < 1 signed: blt taken. *)
+  let cpu =
+    run_asm (fun a ->
+        mov_imm a (-1) o0;
+        Isa.Asm.emit a (alu Isa.Insn.Sub ~cc:true 0 o0 (Isa.Insn.Imm 1));
+        Isa.Asm.bcc a Isa.Insn.Lt "less";
+        mov_imm a 0 o0;
+        Isa.Asm.emit a Isa.Insn.Halt;
+        Isa.Asm.label a "less";
+        mov_imm a 1 o0;
+        Isa.Asm.emit a Isa.Insn.Halt)
+  in
+  check_int "signed less-than" 1 (Sim.Cpu.result cpu)
+
+let test_branch_unsigned () =
+  (* 0xFFFFFFFF > 1 unsigned: bgu taken. *)
+  let cpu =
+    run_asm (fun a ->
+        mov_imm a (-1) o0;
+        Isa.Asm.emit a (alu Isa.Insn.Sub ~cc:true 0 o0 (Isa.Insn.Imm 1));
+        Isa.Asm.bcc a Isa.Insn.Gu "above";
+        mov_imm a 0 o0;
+        Isa.Asm.emit a Isa.Insn.Halt;
+        Isa.Asm.label a "above";
+        mov_imm a 1 o0;
+        Isa.Asm.emit a Isa.Insn.Halt)
+  in
+  check_int "unsigned greater" 1 (Sim.Cpu.result cpu)
+
+let test_load_store () =
+  let cpu =
+    run_asm (fun a ->
+        let buf = Isa.Asm.data_zero a ~name:"buf" 16 in
+        mov_imm a buf o1;
+        mov_imm a 0x1234 o0;
+        Isa.Asm.emit a (Isa.Insn.Store { width = Isa.Insn.Word; rs = o0; rs1 = o1; op2 = Isa.Insn.Imm 4 });
+        mov_imm a 0 o0;
+        Isa.Asm.emit a (Isa.Insn.Load { width = Isa.Insn.Word; signed = false; rd = o0; rs1 = o1; op2 = Isa.Insn.Imm 4 });
+        Isa.Asm.emit a Isa.Insn.Halt)
+  in
+  check_int "store/load roundtrip" 0x1234 (Sim.Cpu.result cpu)
+
+let test_byte_access () =
+  let cpu =
+    run_asm (fun a ->
+        let buf = Isa.Asm.data_bytes a ~name:"b" (Bytes.of_string "\x01\xFF\x03\x04") in
+        mov_imm a buf o1;
+        Isa.Asm.emit a (Isa.Insn.Load { width = Isa.Insn.Byte; signed = false; rd = o0; rs1 = o1; op2 = Isa.Insn.Imm 1 });
+        Isa.Asm.emit a Isa.Insn.Halt)
+  in
+  check_int "unsigned byte load" 0xFF (Sim.Cpu.result cpu)
+
+let test_signed_byte () =
+  let cpu =
+    run_asm (fun a ->
+        let buf = Isa.Asm.data_bytes a ~name:"b" (Bytes.of_string "\x01\xFF") in
+        mov_imm a buf o1;
+        Isa.Asm.emit a (Isa.Insn.Load { width = Isa.Insn.Byte; signed = true; rd = o0; rs1 = o1; op2 = Isa.Insn.Imm 1 });
+        Isa.Asm.emit a Isa.Insn.Halt)
+  in
+  check_int "signed byte load" 0xFFFFFFFF (Sim.Cpu.result cpu)
+
+(* Recursive factorial exercising register windows and traps. *)
+let factorial_program n =
+  fun a ->
+    mov_imm a n o0;
+    Isa.Asm.call a "fact";
+    Isa.Asm.emit a Isa.Insn.Halt;
+    Isa.Asm.label a "fact";
+    Isa.Asm.emit a (Isa.Insn.Save { rd = Isa.Reg.sp; rs1 = Isa.Reg.sp; op2 = Isa.Insn.Imm (-96) });
+    Isa.Asm.emit a (alu Isa.Insn.Sub ~cc:true 0 (Isa.Reg.i 0) (Isa.Insn.Imm 1));
+    Isa.Asm.bcc a Isa.Insn.Gt "rec";
+    mov_imm a 1 (Isa.Reg.i 0);
+    Isa.Asm.emit a (Isa.Insn.Restore { rd = 0; rs1 = 0; op2 = Isa.Insn.Reg 0 });
+    Isa.Asm.ret a;
+    Isa.Asm.label a "rec";
+    Isa.Asm.emit a (alu Isa.Insn.Sub o0 (Isa.Reg.i 0) (Isa.Insn.Imm 1));
+    Isa.Asm.call a "fact";
+    Isa.Asm.emit a (Isa.Insn.Mul { signed = true; cc = false; rd = Isa.Reg.i 0; rs1 = Isa.Reg.i 0; op2 = Isa.Insn.Reg o0 });
+    Isa.Asm.emit a (Isa.Insn.Restore { rd = 0; rs1 = 0; op2 = Isa.Insn.Reg 0 });
+    Isa.Asm.ret a
+
+let test_factorial_shallow () =
+  let cpu = run_asm (factorial_program 5) in
+  check_int "5!" 120 (Sim.Cpu.result cpu);
+  check_int "no overflows at depth 5 with 8 windows" 0
+    (Sim.Cpu.profile cpu).Sim.Profiler.window_overflows
+
+let test_factorial_deep_traps () =
+  let cpu = run_asm (factorial_program 12) in
+  check_int "12!" 479001600 (Sim.Cpu.result cpu);
+  let p = Sim.Cpu.profile cpu in
+  check_bool "overflow traps occurred" true (p.Sim.Profiler.window_overflows > 0);
+  check_int "fills match spills" p.Sim.Profiler.window_overflows
+    p.Sim.Profiler.window_underflows
+
+let test_windows_semantic_invariance () =
+  (* The result must not depend on the number of windows; cycles must
+     not increase with more windows. *)
+  let more = with_iu (fun u -> { u with Arch.Config.reg_windows = 32 }) in
+  let cpu8 = run_asm (factorial_program 12) in
+  let cpu32 = run_asm ~config:more (factorial_program 12) in
+  check_int "same result" (Sim.Cpu.result cpu8) (Sim.Cpu.result cpu32);
+  check_int "no traps with 32 windows" 0
+    (Sim.Cpu.profile cpu32).Sim.Profiler.window_overflows;
+  check_bool "more windows, fewer cycles" true
+    ((Sim.Cpu.profile cpu32).Sim.Profiler.cycles
+    < (Sim.Cpu.profile cpu8).Sim.Profiler.cycles)
+
+(* --- Cycle accounting --- *)
+
+let cycles_of ?config build =
+  (Sim.Cpu.profile (run_asm ?config build)).Sim.Profiler.cycles
+
+let test_simple_cycle_count () =
+  (* nop; halt: one cold icache miss (13-cycle fill) + 2 cycles. *)
+  let c =
+    cycles_of (fun a ->
+        Isa.Asm.emit a Isa.Insn.Nop;
+        Isa.Asm.emit a Isa.Insn.Halt)
+  in
+  check_int "nop+halt cycles" 15 c
+
+let test_mul_latency_effect () =
+  let body a =
+    mov_imm a 3 o0;
+    for _ = 1 to 10 do
+      Isa.Asm.emit a (Isa.Insn.Mul { signed = true; cc = false; rd = o0; rs1 = o0; op2 = Isa.Insn.Imm 1 })
+    done;
+    Isa.Asm.emit a Isa.Insn.Halt
+  in
+  let fast = with_iu (fun u -> { u with Arch.Config.multiplier = Arch.Config.Mul_32x32 }) in
+  let slow = with_iu (fun u -> { u with Arch.Config.multiplier = Arch.Config.Mul_iterative }) in
+  let cf = cycles_of ~config:fast body and cs = cycles_of ~config:slow body in
+  (* 10 multiplies, latency 35 vs 1. *)
+  check_int "latency difference" (10 * 34) (cs - cf)
+
+let test_icc_hold_effect () =
+  let body a =
+    mov_imm a 0 o0;
+    Isa.Asm.label a "top";
+    Isa.Asm.emit a (alu Isa.Insn.Add o0 o0 (Isa.Insn.Imm 1));
+    Isa.Asm.emit a (alu Isa.Insn.Sub ~cc:true 0 o0 (Isa.Insn.Imm 100));
+    Isa.Asm.bcc a Isa.Insn.Lt "top";
+    Isa.Asm.emit a Isa.Insn.Halt
+  in
+  let hold = cycles_of body in
+  let nohold =
+    cycles_of ~config:(with_iu (fun u -> { u with Arch.Config.icc_hold = false })) body
+  in
+  (* 100 branches, each immediately after subcc: one stall each. *)
+  check_int "icc hold stalls" 100 (hold - nohold)
+
+let test_fast_jump_effect () =
+  let body a =
+    for _ = 1 to 5 do
+      Isa.Asm.call a "f"
+    done;
+    Isa.Asm.emit a Isa.Insn.Halt;
+    Isa.Asm.label a "f";
+    Isa.Asm.ret a
+  in
+  let fast = cycles_of body in
+  let slow =
+    cycles_of ~config:(with_iu (fun u -> { u with Arch.Config.fast_jump = false })) body
+  in
+  (* 5 calls + 5 returns, each one cycle slower without fast jump. *)
+  check_int "jump penalty" 10 (slow - fast)
+
+let test_load_delay_effect () =
+  let body a =
+    let buf = Isa.Asm.data_words a ~name:"w" [| 7 |] in
+    mov_imm a buf o1;
+    for _ = 1 to 8 do
+      (* Dependent consumer right after the load. *)
+      Isa.Asm.emit a (Isa.Insn.Load { width = Isa.Insn.Word; signed = false; rd = o0; rs1 = o1; op2 = Isa.Insn.Imm 0 });
+      Isa.Asm.emit a (alu Isa.Insn.Add o0 o0 (Isa.Insn.Imm 1))
+    done;
+    Isa.Asm.emit a Isa.Insn.Halt
+  in
+  let d1 = cycles_of body in
+  let d2 =
+    cycles_of ~config:(with_iu (fun u -> { u with Arch.Config.load_delay = 2 })) body
+  in
+  check_int "interlock stalls" 8 (d2 - d1)
+
+let test_fast_read_neutral () =
+  let body a =
+    let buf = Isa.Asm.data_words a ~name:"w" [| 7 |] in
+    mov_imm a buf o1;
+    for _ = 1 to 16 do
+      Isa.Asm.emit a (Isa.Insn.Load { width = Isa.Insn.Word; signed = false; rd = o0; rs1 = o1; op2 = Isa.Insn.Imm 0 })
+    done;
+    Isa.Asm.emit a Isa.Insn.Halt
+  in
+  let normal = cycles_of body in
+  let fast = cycles_of ~config:{ base with Arch.Config.dcache_fast_read = true } body in
+  (* Area-only option at fixed clock: CPI must be unchanged. *)
+  check_int "fast read is CPI-neutral" normal fast
+
+let test_fast_write_neutral () =
+  let body a =
+    let buf = Isa.Asm.data_words a ~name:"w" [| 0 |] in
+    mov_imm a buf o1;
+    for _ = 1 to 16 do
+      Isa.Asm.emit a (Isa.Insn.Store { width = Isa.Insn.Word; rs = o0; rs1 = o1; op2 = Isa.Insn.Imm 0 })
+    done;
+    Isa.Asm.emit a Isa.Insn.Halt
+  in
+  let normal = cycles_of body in
+  let fast = cycles_of ~config:{ base with Arch.Config.dcache_fast_write = true } body in
+  check_int "fast write is CPI-neutral" normal fast
+
+let test_branch_cycle_costs () =
+  (* Taken branch: +1 redirect; untaken: free.  Loop of k iterations
+     has k-1 taken back edges plus one fall-through. *)
+  let body taken a =
+    mov_imm a 0 o0;
+    Isa.Asm.emit a (alu Isa.Insn.Add o0 o0 (Isa.Insn.Imm 1));
+    (* one branch, never taken vs always taken once *)
+    Isa.Asm.emit a (alu Isa.Insn.Sub ~cc:true 0 o0 (Isa.Insn.Imm (if taken then 1 else 99)));
+    Isa.Asm.bcc a Isa.Insn.Eq "off";
+    Isa.Asm.emit a Isa.Insn.Nop;
+    Isa.Asm.label a "off";
+    Isa.Asm.emit a Isa.Insn.Halt
+  in
+  let t = cycles_of (body true) and u = cycles_of (body false) in
+  (* Taken path skips the nop (-1 cycle) but pays the redirect (+1):
+     identical totals; instruction counts differ by one. *)
+  check_int "taken = untaken + redirect - skipped nop" u t
+
+let test_store_costs_two_cycles () =
+  let with_stores n a =
+    let buf = Isa.Asm.data_words a ~name:"w" [| 0 |] in
+    mov_imm a buf o1;
+    ignore (Sim.Memory.write_cycles);
+    for _ = 1 to n do
+      Isa.Asm.emit a (Isa.Insn.Store { width = Isa.Insn.Word; rs = o0; rs1 = o1; op2 = Isa.Insn.Imm 0 })
+    done;
+    Isa.Asm.emit a Isa.Insn.Halt
+  in
+  (* each extra store adds exactly 2 cycles (1 base + 1 buffer) *)
+  check_int "store delta" 2 (cycles_of (with_stores 5) - cycles_of (with_stores 4))
+
+let test_save_restore_cost () =
+  (* Without traps, save and restore are single-cycle. *)
+  let body n a =
+    for _ = 1 to n do
+      Isa.Asm.emit a (Isa.Insn.Save { rd = Isa.Reg.sp; rs1 = Isa.Reg.sp; op2 = Isa.Insn.Imm (-96) });
+      Isa.Asm.emit a (Isa.Insn.Restore { rd = 0; rs1 = 0; op2 = Isa.Insn.Reg 0 })
+    done;
+    Isa.Asm.emit a Isa.Insn.Halt
+  in
+  check_int "save+restore pair" 2 (cycles_of (body 3) - cycles_of (body 2))
+
+let test_icache_line_boundary () =
+  (* 9 nops cross one 32-byte (8-word) line: exactly two cold fills. *)
+  let body n a =
+    for _ = 1 to n do
+      Isa.Asm.emit a Isa.Insn.Nop
+    done;
+    Isa.Asm.emit a Isa.Insn.Halt
+  in
+  let c7 = run_asm (body 6) and c9 = run_asm (body 8) in
+  check_int "one fill for 7 insns" 1 (Sim.Cpu.profile c7).Sim.Profiler.icache_misses;
+  check_int "two fills for 9 insns" 2 (Sim.Cpu.profile c9).Sim.Profiler.icache_misses
+
+let test_div_latency_effect () =
+  let body a =
+    mov_imm a 1000 o0;
+    for _ = 1 to 4 do
+      Isa.Asm.emit a (Isa.Insn.Div { signed = true; rd = o0; rs1 = o0; op2 = Isa.Insn.Imm 1 })
+    done;
+    Isa.Asm.emit a Isa.Insn.Halt
+  in
+  let hw = cycles_of body in
+  let sw =
+    cycles_of ~config:(with_iu (fun u -> { u with Arch.Config.divider = Arch.Config.Div_none })) body
+  in
+  (* 4 divides, latency 180 vs 35. *)
+  check_int "software division penalty" (4 * (180 - 35)) (sw - hw)
+
+let test_determinism () =
+  let build = factorial_program 10 in
+  let c1 = cycles_of build and c2 = cycles_of build in
+  check_int "same cycles on identical runs" c1 c2
+
+(* --- Trace --- *)
+
+let test_trace_listing () =
+  let a = Isa.Asm.create () in
+  mov_imm a 1 o0;
+  Isa.Asm.emit a (alu Isa.Insn.Add o0 o0 (Isa.Insn.Imm 2));
+  Isa.Asm.emit a Isa.Insn.Halt;
+  let p = Isa.Asm.finish a ~entry:0 in
+  let cpu = Sim.Cpu.create base p ~mem_size:(1 lsl 16) in
+  let entries = Sim.Trace.run cpu in
+  check_int "three instructions" 3 (List.length entries);
+  check_bool "halted afterwards" true (Sim.Cpu.halted cpu);
+  check_int "result visible after trace" 3 (Sim.Cpu.result cpu);
+  let cycles = List.map (fun (e : Sim.Trace.entry) -> e.Sim.Trace.cycles_after) entries in
+  check_bool "cycles strictly increasing" true
+    (List.sort compare cycles = cycles);
+  let listing = Fmt.str "%a" Sim.Trace.pp entries in
+  check_bool "listing mentions halt" true
+    (String.length listing > 0
+    && (try ignore (Str.search_forward (Str.regexp_string "halt") listing 0); true
+        with Not_found -> false))
+
+let test_trace_limit () =
+  let a = Isa.Asm.create () in
+  Isa.Asm.label a "spin";
+  Isa.Asm.emit a Isa.Insn.Nop;
+  Isa.Asm.ba a "spin";
+  let p = Isa.Asm.finish a ~entry:0 in
+  let cpu = Sim.Cpu.create base p ~mem_size:(1 lsl 16) in
+  let entries = Sim.Trace.run ~limit:50 cpu in
+  check_int "stops at the limit" 50 (List.length entries);
+  check_bool "machine still live" true (not (Sim.Cpu.halted cpu))
+
+(* --- Machine --- *)
+
+let test_machine_scaling () =
+  let a = Isa.Asm.create () in
+  factorial_program 8 a;
+  let p = Isa.Asm.finish a ~entry:0 in
+  let r1 = Sim.Machine.run ~reps:1 base p in
+  let r10 = Sim.Machine.run ~reps:10 base p in
+  check_int "same checksum" r1.Sim.Machine.checksum r10.Sim.Machine.checksum;
+  check_bool "warm run at most as slow as cold" true
+    (r10.Sim.Machine.warm_cycles <= r10.Sim.Machine.cold_cycles);
+  check_int "scaling formula"
+    (r10.Sim.Machine.cold_cycles + (9 * r10.Sim.Machine.warm_cycles))
+    r10.Sim.Machine.profile.Sim.Profiler.cycles
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "read/write" `Quick test_memory_rw;
+          Alcotest.test_case "faults" `Quick test_memory_faults;
+          Alcotest.test_case "line fill cycles" `Quick test_line_fill_cycles;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "geometry" `Quick test_cache_geometry;
+          Alcotest.test_case "cold miss then hit" `Quick test_cold_miss_then_hit;
+          Alcotest.test_case "direct-mapped conflict" `Quick test_direct_mapped_conflict;
+          Alcotest.test_case "two-way no conflict" `Quick test_two_way_no_conflict;
+          Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "LRR round robin" `Quick test_lrr_round_robin;
+          Alcotest.test_case "write no-allocate" `Quick test_write_no_allocate;
+          Alcotest.test_case "stats sanity (qcheck)" `Quick test_fills_equal_misses_qcheck;
+          Alcotest.test_case "capacity steady state" `Quick test_lru_capacity_property;
+        ] );
+      ( "stackdist",
+        [
+          Alcotest.test_case "hand trace" `Quick test_stackdist_hand_trace;
+          Alcotest.test_case "same line" `Quick test_stackdist_same_line;
+          Alcotest.test_case "vs naive LRU (qcheck)" `Quick test_stackdist_vs_naive_lru;
+          Alcotest.test_case "monotone" `Quick test_stackdist_monotone;
+          Alcotest.test_case "trace capture" `Quick test_trace_capture;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "alu basic" `Quick test_alu_basic;
+          Alcotest.test_case "alu wrap" `Quick test_alu_wrap;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "mul/div" `Quick test_mul_div;
+          Alcotest.test_case "div by zero" `Quick test_div_by_zero;
+          Alcotest.test_case "signed branch" `Quick test_branch_signed;
+          Alcotest.test_case "unsigned branch" `Quick test_branch_unsigned;
+          Alcotest.test_case "load/store" `Quick test_load_store;
+          Alcotest.test_case "byte access" `Quick test_byte_access;
+          Alcotest.test_case "signed byte" `Quick test_signed_byte;
+          Alcotest.test_case "factorial shallow" `Quick test_factorial_shallow;
+          Alcotest.test_case "factorial deep traps" `Quick test_factorial_deep_traps;
+          Alcotest.test_case "window invariance" `Quick test_windows_semantic_invariance;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "nop+halt" `Quick test_simple_cycle_count;
+          Alcotest.test_case "mul latency" `Quick test_mul_latency_effect;
+          Alcotest.test_case "icc hold" `Quick test_icc_hold_effect;
+          Alcotest.test_case "fast jump" `Quick test_fast_jump_effect;
+          Alcotest.test_case "load delay" `Quick test_load_delay_effect;
+          Alcotest.test_case "fast read neutral" `Quick test_fast_read_neutral;
+          Alcotest.test_case "fast write neutral" `Quick test_fast_write_neutral;
+          Alcotest.test_case "branch costs" `Quick test_branch_cycle_costs;
+          Alcotest.test_case "store cost" `Quick test_store_costs_two_cycles;
+          Alcotest.test_case "save/restore cost" `Quick test_save_restore_cost;
+          Alcotest.test_case "icache line boundary" `Quick test_icache_line_boundary;
+          Alcotest.test_case "divider latency" `Quick test_div_latency_effect;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "listing" `Quick test_trace_listing;
+          Alcotest.test_case "limit" `Quick test_trace_limit;
+        ] );
+      ( "machine",
+        [ Alcotest.test_case "rep scaling" `Quick test_machine_scaling ] );
+    ]
