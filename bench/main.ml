@@ -106,7 +106,11 @@ let baselines () =
     (fun app ->
       let weights = Dse.Cost.runtime_weights in
       let paper = Dse.Heuristic.paper_method ~weights app in
-      let descent = Dse.Heuristic.coordinate_descent ~weights app in
+      let descent =
+        Dse.Heuristic.coordinate_descent
+          ~features:(Apps.Features.of_app app)
+          ~weights app
+      in
       let random56 =
         Dse.Heuristic.random_search ~builds:paper.Dse.Heuristic.builds ~weights app
       in

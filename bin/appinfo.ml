@@ -1,6 +1,12 @@
-(* Diagnostic tool: per-application execution statistics on the base
-   configuration and a few interesting perturbations.  Used to calibrate
-   workload sizes against the paper's runtime signatures. *)
+(* Diagnostic tool: per-application static features plus execution
+   statistics on the base configuration and a few interesting
+   perturbations.  Used to calibrate workload sizes against the
+   paper's runtime signatures.
+
+     appinfo                      dynamic + static report, paper apps
+     appinfo blastn drr           ... a subset (extra apps allowed)
+     appinfo --static             static features only (no simulation)
+     appinfo --lint [--Werror]    lint every selected app's source     *)
 
 let pr fmt = Format.printf fmt
 
@@ -11,9 +17,29 @@ let dcache_kb kb =
 let with_iu f =
   { Arch.Config.base with Arch.Config.iu = f Arch.Config.base.Arch.Config.iu }
 
-let selected_apps () =
+let usage () =
+  Printf.eprintf
+    "usage: appinfo [--static] [--lint [--Werror]] [APP...]\n";
+  exit 2
+
+let parse_args () =
+  let lint = ref false and werror = ref false and static = ref false in
+  let names = ref [] in
+  List.iter
+    (fun arg ->
+      match arg with
+      | "--lint" -> lint := true
+      | "--Werror" -> werror := true
+      | "--static" -> static := true
+      | "--help" | "-h" -> usage ()
+      | _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+      | name -> names := name :: !names)
+    (List.tl (Array.to_list Sys.argv));
+  (!lint, !werror, !static, List.rev !names)
+
+let selected_apps names =
   let known = Apps.Registry.all @ Apps.Extra.all in
-  match List.tl (Array.to_list Sys.argv) with
+  match names with
   | [] -> Apps.Registry.all
   | names ->
       List.map
@@ -28,52 +54,81 @@ let selected_apps () =
               exit 2)
         names
 
-let () =
+(* Lint every selected app's source; exit 4 on failures, like
+   [mcc --lint].  Backs the @lint alias for the registry. *)
+let lint_apps ~werror apps =
+  let failed = ref false in
   List.iter
     (fun app ->
-      let prog = Lazy.force app.Apps.Registry.program in
-      pr "=== %s (%d insns, %d B data, reps %d) ===@."
-        app.Apps.Registry.name
-        (Array.length prog.Isa.Program.code)
-        (Bytes.length prog.Isa.Program.data)
-        app.Apps.Registry.reps;
-      let base_r = Apps.Registry.run app in
-      let p = base_r.Sim.Machine.profile in
-      pr "  base: cold=%d warm=%d checksum=%#x seconds=%.2f (paper %.2f)@."
-        base_r.Sim.Machine.cold_cycles base_r.Sim.Machine.warm_cycles
-        base_r.Sim.Machine.checksum
-        (Sim.Machine.seconds base_r)
-        app.Apps.Registry.paper_base_seconds;
-      pr "  warm profile: %a@." Sim.Profiler.pp p;
-      let show name config =
-        let r = Apps.Registry.run ~config app in
-        let d =
-          100.0
-          *. (Sim.Machine.seconds r -. Sim.Machine.seconds base_r)
-          /. Sim.Machine.seconds base_r
-        in
-        pr "  %-18s %10.3f s  (%+.2f%%)@." name (Sim.Machine.seconds r) d
-      in
-      show "dcache 1KB" (dcache_kb 1);
-      show "dcache 8KB" (dcache_kb 8);
-      show "dcache 16KB" (dcache_kb 16);
-      show "dcache 32KB" (dcache_kb 32);
-      show "dcache 2x16KB"
-        { Arch.Config.base with
-          dcache = { Arch.Config.base.Arch.Config.dcache with ways = 2; way_kb = 16 } };
-      show "icache 1KB"
-        { Arch.Config.base with
-          icache = { Arch.Config.base.Arch.Config.icache with way_kb = 1 } };
-      show "icache 2KB"
-        { Arch.Config.base with
-          icache = { Arch.Config.base.Arch.Config.icache with way_kb = 2 } };
-      show "line 4 (dcache)"
-        { Arch.Config.base with
-          dcache = { Arch.Config.base.Arch.Config.dcache with line_words = 4 } };
-      show "mul 32x32" (with_iu (fun u -> { u with Arch.Config.multiplier = Arch.Config.Mul_32x32 }));
-      show "mul iterative" (with_iu (fun u -> { u with Arch.Config.multiplier = Arch.Config.Mul_iterative }));
-      show "no icc hold" (with_iu (fun u -> { u with Arch.Config.icc_hold = false }));
-      show "no fast jump" (with_iu (fun u -> { u with Arch.Config.fast_jump = false }));
-      show "no divider" (with_iu (fun u -> { u with Arch.Config.divider = Arch.Config.Div_none }));
-      pr "@.")
-    (selected_apps ())
+      let findings = Minic.Lint.program app.Apps.Registry.source in
+      List.iter
+        (fun f ->
+          pr "%s: %a@." app.Apps.Registry.name Minic.Lint.pp_finding f)
+        findings;
+      pr "%s: %d finding%s@." app.Apps.Registry.name (List.length findings)
+        (if List.length findings = 1 then "" else "s");
+      if Minic.Lint.fails ~werror findings then failed := true)
+    apps;
+  if !failed then exit 4
+
+let static_report app =
+  let ft = Apps.Features.of_app app in
+  pr "  static: @[<v>%a@]@." Apps.Features.pp ft
+
+let dynamic_report app =
+  let base_r = Apps.Registry.run app in
+  let p = base_r.Sim.Machine.profile in
+  pr "  base: cold=%d warm=%d checksum=%#x seconds=%.2f (paper %.2f)@."
+    base_r.Sim.Machine.cold_cycles base_r.Sim.Machine.warm_cycles
+    base_r.Sim.Machine.checksum
+    (Sim.Machine.seconds base_r)
+    app.Apps.Registry.paper_base_seconds;
+  pr "  warm profile: %a@." Sim.Profiler.pp p;
+  let show name config =
+    let r = Apps.Registry.run ~config app in
+    let d =
+      100.0
+      *. (Sim.Machine.seconds r -. Sim.Machine.seconds base_r)
+      /. Sim.Machine.seconds base_r
+    in
+    pr "  %-18s %10.3f s  (%+.2f%%)@." name (Sim.Machine.seconds r) d
+  in
+  show "dcache 1KB" (dcache_kb 1);
+  show "dcache 8KB" (dcache_kb 8);
+  show "dcache 16KB" (dcache_kb 16);
+  show "dcache 32KB" (dcache_kb 32);
+  show "dcache 2x16KB"
+    { Arch.Config.base with
+      dcache = { Arch.Config.base.Arch.Config.dcache with ways = 2; way_kb = 16 } };
+  show "icache 1KB"
+    { Arch.Config.base with
+      icache = { Arch.Config.base.Arch.Config.icache with way_kb = 1 } };
+  show "icache 2KB"
+    { Arch.Config.base with
+      icache = { Arch.Config.base.Arch.Config.icache with way_kb = 2 } };
+  show "line 4 (dcache)"
+    { Arch.Config.base with
+      dcache = { Arch.Config.base.Arch.Config.dcache with line_words = 4 } };
+  show "mul 32x32" (with_iu (fun u -> { u with Arch.Config.multiplier = Arch.Config.Mul_32x32 }));
+  show "mul iterative" (with_iu (fun u -> { u with Arch.Config.multiplier = Arch.Config.Mul_iterative }));
+  show "no icc hold" (with_iu (fun u -> { u with Arch.Config.icc_hold = false }));
+  show "no fast jump" (with_iu (fun u -> { u with Arch.Config.fast_jump = false }));
+  show "no divider" (with_iu (fun u -> { u with Arch.Config.divider = Arch.Config.Div_none }))
+
+let () =
+  let lint, werror, static, names = parse_args () in
+  let apps = selected_apps names in
+  if lint then lint_apps ~werror apps
+  else
+    List.iter
+      (fun app ->
+        let prog = Lazy.force app.Apps.Registry.program in
+        pr "=== %s (%d insns, %d B data, reps %d) ===@."
+          app.Apps.Registry.name
+          (Array.length prog.Isa.Program.code)
+          (Bytes.length prog.Isa.Program.data)
+          app.Apps.Registry.reps;
+        static_report app;
+        if not static then dynamic_report app;
+        pr "@.")
+      apps

@@ -6,11 +6,20 @@
      mcc prog.img --run          load an image and simulate it
      mcc prog.mc --run           compile and simulate (base config)
      mcc prog.mc --run --stats   ... with the full cycle profile
-     mcc prog.mc -O --run        compile with optimizations
+     mcc prog.mc -O --run        compile with optimizations (level 1)
+     mcc prog.mc --O2 --run      ... plus dataflow CCP and DCE
+     mcc prog.mc --lint          static diagnostics only
+     mcc prog.mc --lint --Werror ... failing on warnings too
      mcc prog.mc --run -c dc=1x32x4xrnd,mul=m32x32
                                  simulate on a tuned configuration     *)
 
 open Cmdliner
+
+(* Distinct exit codes so scripts and the @lint alias can tell failure
+   stages apart (1 is kept for runtime/simulation errors). *)
+let exit_parse = 2
+let exit_check = 3
+let exit_lint = 4
 
 let read_file path =
   let ic = open_in_bin path in
@@ -18,24 +27,46 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let load ~optimize path =
+let parse_and_check path =
+  let src = read_file path in
+  match Minic.Parser.parse src with
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      exit exit_parse
+  | Ok ast -> (
+      match Minic.Check.check ast with
+      | Error es ->
+          List.iter (fun e -> Printf.eprintf "%s: %s\n" path e) es;
+          exit exit_check
+      | Ok () -> ast)
+
+let load ~level path =
   if Filename.check_suffix path ".img" then
     Isa.Encode.decode_program (Bytes.of_string (read_file path))
-  else begin
-    let src = read_file path in
-    match Minic.Parser.parse src with
-    | Error msg ->
-        Printf.eprintf "%s: %s\n" path msg;
-        exit 1
-    | Ok ast -> (
-        match Minic.Check.check ast with
-        | Error es ->
-            List.iter (fun e -> Printf.eprintf "%s: %s\n" path e) es;
-            exit 1
-        | Ok () -> Minic.Codegen.compile ~optimize ast)
-  end
+  else Minic.Codegen.compile ~level (parse_and_check path)
 
-let run source output disasm run stats optimize trace config =
+let lint ~werror path =
+  if Filename.check_suffix path ".img" then begin
+    Printf.eprintf "%s: --lint needs minic source, not a binary image\n" path;
+    exit exit_parse
+  end;
+  let ast = parse_and_check path in
+  let findings = Minic.Lint.program ast in
+  List.iter
+    (fun f -> Format.printf "%s: %a@." path Minic.Lint.pp_finding f)
+    findings;
+  let errors =
+    List.length
+      (List.filter (fun f -> f.Minic.Lint.severity = Minic.Lint.Error) findings)
+  in
+  Format.printf "%s: %d finding%s (%d error%s)@." path (List.length findings)
+    (if List.length findings = 1 then "" else "s")
+    errors
+    (if errors = 1 then "" else "s");
+  if Minic.Lint.fails ~werror findings then exit exit_lint
+
+let run source output disasm run stats optimize level do_lint werror trace
+    config =
   let config =
     match config with
     | None -> Arch.Config.base
@@ -46,36 +77,42 @@ let run source output disasm run stats optimize trace config =
             Printf.eprintf "--config: %s\n" m;
             exit 1)
   in
-  let prog = load ~optimize source in
-  Format.printf "%s: %d instructions, %d bytes of data, %d symbols@." source
-    (Array.length prog.Isa.Program.code)
-    (Bytes.length prog.Isa.Program.data)
-    (List.length prog.Isa.Program.symbols);
-  (match output with
-  | None -> ()
-  | Some path ->
-      let image = Isa.Encode.encode_program prog in
-      let oc = open_out_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () -> output_bytes oc image);
-      Format.printf "wrote %s (%d bytes)@." path (Bytes.length image));
-  if disasm then Format.printf "%a@." Isa.Program.pp prog;
-  (match trace with
-  | None -> ()
-  | Some n ->
+  if do_lint then lint ~werror source
+  else begin
+    let level =
+      match level with Some l -> l | None -> if optimize then 1 else 0
+    in
+    let prog = load ~level source in
+    Format.printf "%s: %d instructions, %d bytes of data, %d symbols@." source
+      (Array.length prog.Isa.Program.code)
+      (Bytes.length prog.Isa.Program.data)
+      (List.length prog.Isa.Program.symbols);
+    (match output with
+    | None -> ()
+    | Some path ->
+        let image = Isa.Encode.encode_program prog in
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_bytes oc image);
+        Format.printf "wrote %s (%d bytes)@." path (Bytes.length image));
+    if disasm then Format.printf "%a@." Isa.Program.pp prog;
+    (match trace with
+    | None -> ()
+    | Some n ->
+        let cpu = Sim.Cpu.create config prog ~mem_size:(1 lsl 20) in
+        Sim.Trace.pp Format.std_formatter (Sim.Trace.run ~limit:n cpu));
+    if run then begin
       let cpu = Sim.Cpu.create config prog ~mem_size:(1 lsl 20) in
-      Sim.Trace.pp Format.std_formatter (Sim.Trace.run ~limit:n cpu));
-  if run then begin
-    let cpu = Sim.Cpu.create config prog ~mem_size:(1 lsl 20) in
-    (try Sim.Cpu.run cpu
-     with Sim.Cpu.Error msg ->
-       Printf.eprintf "simulation error: %s\n" msg;
-       exit 1);
-    let p = Sim.Cpu.profile cpu in
-    Format.printf "result: %#x (%d cycles, %d instructions)@."
-      (Sim.Cpu.result cpu) p.Sim.Profiler.cycles p.Sim.Profiler.instructions;
-    if stats then Format.printf "%a@." Sim.Profiler.pp p
+      (try Sim.Cpu.run cpu
+       with Sim.Cpu.Error msg ->
+         Printf.eprintf "simulation error: %s\n" msg;
+         exit 1);
+      let p = Sim.Cpu.profile cpu in
+      Format.printf "result: %#x (%d cycles, %d instructions)@."
+        (Sim.Cpu.result cpu) p.Sim.Profiler.cycles p.Sim.Profiler.instructions;
+      if stats then Format.printf "%a@." Sim.Profiler.pp p
+    end
   end
 
 let source_arg =
@@ -87,14 +124,54 @@ let output_arg =
 let disasm_arg = Arg.(value & flag & info [ "d"; "disasm" ] ~doc:"Print the generated assembly.")
 let run_arg = Arg.(value & flag & info [ "r"; "run" ] ~doc:"Simulate on the base configuration.")
 let stats_arg = Arg.(value & flag & info [ "stats" ] ~doc:"With --run: print the full cycle profile.")
-let optimize_arg = Arg.(value & flag & info [ "O"; "optimize" ] ~doc:"Run the source-level optimizer before code generation.")
+let optimize_arg = Arg.(value & flag & info [ "O"; "optimize" ] ~doc:"Run the source-level optimizer before code generation (same as $(b,--O1)).")
+
+let level_arg =
+  Arg.(
+    value
+    & vflag None
+        [
+          (Some 1, info [ "O1" ] ~doc:"Optimize with local rewrites only.");
+          ( Some 2,
+            info [ "O2" ]
+              ~doc:
+                "Optimize with local rewrites plus dataflow-driven constant \
+                 propagation and dead-store elimination." );
+        ])
+
+let lint_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Run the static analyses and print diagnostics instead of \
+           compiling.  Exits 4 if any error-level finding is reported.")
+
+let werror_arg =
+  Arg.(
+    value & flag
+    & info [ "Werror" ]
+        ~doc:"With $(b,--lint): treat warnings as errors (notes stay notes).")
+
 let trace_arg = Arg.(value & opt (some int) None & info [ "trace" ] ~docv:"N" ~doc:"Trace the first $(docv) executed instructions with cycle deltas.")
 let config_arg = Arg.(value & opt (some string) None & info [ "c"; "config" ] ~docv:"CFG" ~doc:"Microarchitecture configuration string (see reconfigure's output), e.g. dc=1x32x4xrnd,mul=m32x32.")
+
+let exits =
+  Cmd.Exit.info 1 ~doc:"on configuration or simulation errors."
+  :: Cmd.Exit.info exit_parse ~doc:"on parse errors."
+  :: Cmd.Exit.info exit_check ~doc:"on static-check errors (unknown names, limit overflows)."
+  :: Cmd.Exit.info exit_lint
+       ~doc:
+         "on lint findings: any error, or any warning under $(b,--Werror)."
+  :: Cmd.Exit.defaults
 
 let cmd =
   let doc = "minic compiler and simulator driver" in
   Cmd.v
-    (Cmd.info "mcc" ~version:"1.0.0" ~doc)
-    Term.(const run $ source_arg $ output_arg $ disasm_arg $ run_arg $ stats_arg $ optimize_arg $ trace_arg $ config_arg)
+    (Cmd.info "mcc" ~version:"1.0.0" ~doc ~exits)
+    Term.(
+      const run $ source_arg $ output_arg $ disasm_arg $ run_arg $ stats_arg
+      $ optimize_arg $ level_arg $ lint_arg $ werror_arg $ trace_arg
+      $ config_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,175 @@
+type mix = {
+  total : int;
+  alu : int;
+  mul : int;
+  div : int;
+  load : int;
+  store : int;
+  branch : int;
+  call : int;
+  other : int;
+}
+
+type t = {
+  code_bytes : int;
+  data_bytes : int;
+  word_array_bytes : int;
+  byte_array_bytes : int;
+  mix : mix;
+  max_loop_depth : int;
+  call_depth : int option;
+  stack_bytes : int option;
+}
+
+let mix_of_code code =
+  let m =
+    ref
+      {
+        total = Array.length code;
+        alu = 0;
+        mul = 0;
+        div = 0;
+        load = 0;
+        store = 0;
+        branch = 0;
+        call = 0;
+        other = 0;
+      }
+  in
+  Array.iter
+    (fun i ->
+      let r = !m in
+      m :=
+        (match i with
+        | Isa.Insn.Alu _ | Isa.Insn.Sethi _ -> { r with alu = r.alu + 1 }
+        | Isa.Insn.Mul _ -> { r with mul = r.mul + 1 }
+        | Isa.Insn.Div _ -> { r with div = r.div + 1 }
+        | Isa.Insn.Load _ -> { r with load = r.load + 1 }
+        | Isa.Insn.Store _ -> { r with store = r.store + 1 }
+        | Isa.Insn.Branch _ -> { r with branch = r.branch + 1 }
+        | Isa.Insn.Call _ | Isa.Insn.Jmpl _ | Isa.Insn.Save _
+        | Isa.Insn.Restore _ ->
+            { r with call = r.call + 1 }
+        | Isa.Insn.Nop | Isa.Insn.Halt -> { r with other = r.other + 1 }))
+    code;
+  !m
+
+let rec loop_depth_block stmts = List.fold_left (fun d s -> max d (loop_depth_stmt s)) 0 stmts
+
+and loop_depth_stmt = function
+  | Minic.Ast.While (_, body) -> 1 + loop_depth_block body
+  | Minic.Ast.If (_, th, el) -> max (loop_depth_block th) (loop_depth_block el)
+  | Minic.Ast.Set _ | Minic.Ast.Set_idx _ | Minic.Ast.Do _ | Minic.Ast.Ret _ -> 0
+
+(* Deepest call nesting below [main]; [None] on a reachable cycle
+   (recursion has no static stack bound). *)
+let call_depth (p : Minic.Ast.program) =
+  let funcs = Hashtbl.create 16 in
+  List.iter (fun (f : Minic.Ast.func) -> Hashtbl.replace funcs f.Minic.Ast.name f) p.Minic.Ast.funcs;
+  let callees (f : Minic.Ast.func) =
+    let acc = ref [] in
+    let rec expr = function
+      | Minic.Ast.Int _ | Minic.Ast.Var _ -> ()
+      | Minic.Ast.Idx (_, e) | Minic.Ast.Un (_, e) -> expr e
+      | Minic.Ast.Bin (_, a, b) ->
+          expr a;
+          expr b
+      | Minic.Ast.Call (g, args) ->
+          acc := g :: !acc;
+          List.iter expr args
+    in
+    let rec stmt = function
+      | Minic.Ast.Set (_, e) | Minic.Ast.Do e | Minic.Ast.Ret e -> expr e
+      | Minic.Ast.Set_idx (_, e1, e2) ->
+          expr e1;
+          expr e2
+      | Minic.Ast.If (c, th, el) ->
+          expr c;
+          List.iter stmt th;
+          List.iter stmt el
+      | Minic.Ast.While (c, body) ->
+          expr c;
+          List.iter stmt body
+    in
+    List.iter stmt f.Minic.Ast.body;
+    List.sort_uniq compare !acc
+  in
+  let exception Cycle in
+  let memo = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let rec depth name =
+    match Hashtbl.find_opt memo name with
+    | Some d -> d
+    | None ->
+        if Hashtbl.mem on_stack name then raise Cycle;
+        let d =
+          match Hashtbl.find_opt funcs name with
+          | None -> 0 (* unknown callee: Check rejects these anyway *)
+          | Some f ->
+              Hashtbl.replace on_stack name ();
+              let d =
+                List.fold_left
+                  (fun acc g -> max acc (1 + depth g))
+                  0 (callees f)
+              in
+              Hashtbl.remove on_stack name;
+              d
+        in
+        Hashtbl.replace memo name d;
+        d
+  in
+  match depth "main" with d -> Some d | exception Cycle -> None
+
+let of_program (src : Minic.Ast.program) (prog : Isa.Program.t) =
+  let word_array_bytes, byte_array_bytes =
+    List.fold_left
+      (fun (w, b) -> function
+        | Minic.Ast.Scalar _ -> (w, b)
+        | Minic.Ast.Array (_, Minic.Ast.Word, len) -> (w + (4 * len), b)
+        | Minic.Ast.Array (_, Minic.Ast.Byte, len) -> (w, b + len)
+        | Minic.Ast.Array_init (_, Minic.Ast.Word, vs) -> (w + (4 * Array.length vs), b)
+        | Minic.Ast.Array_init (_, Minic.Ast.Byte, vs) -> (w, b + Array.length vs))
+      (0, 0) src.Minic.Ast.globals
+  in
+  let call_depth = call_depth src in
+  {
+    code_bytes = 4 * Array.length prog.Isa.Program.code;
+    data_bytes = Bytes.length prog.Isa.Program.data;
+    word_array_bytes;
+    byte_array_bytes;
+    mix = mix_of_code prog.Isa.Program.code;
+    max_loop_depth =
+      List.fold_left
+        (fun d (f : Minic.Ast.func) -> max d (loop_depth_block f.Minic.Ast.body))
+        0 src.Minic.Ast.funcs;
+    call_depth;
+    stack_bytes = Option.map (fun d -> 96 * (d + 1)) call_depth;
+  }
+
+let of_app (app : Registry.t) =
+  of_program app.Registry.source (Lazy.force app.Registry.program)
+
+let mul_free t = t.mix.mul = 0
+let div_free t = t.mix.div = 0
+
+let code_resident_kb t =
+  let rec go kb = if kb * 1024 >= t.code_bytes then kb else go (2 * kb) in
+  go 1
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>code: %d B (fits a %d KB icache way)@,\
+     data: %d B (%d B word arrays, %d B byte arrays)@,\
+     mix: %d insns = %d alu, %d mul, %d div, %d load, %d store, %d branch, \
+     %d call/ret, %d other@,\
+     max loop depth: %d@,\
+     %a@]"
+    t.code_bytes (code_resident_kb t) t.data_bytes t.word_array_bytes
+    t.byte_array_bytes t.mix.total t.mix.alu t.mix.mul t.mix.div t.mix.load
+    t.mix.store t.mix.branch t.mix.call t.mix.other t.max_loop_depth
+    (fun ppf -> function
+      | Some d ->
+          Format.fprintf ppf "call depth: %d (stack bound %d B)" d
+            (96 * (d + 1))
+      | None -> Format.fprintf ppf "call depth: unbounded (recursion)")
+    t.call_depth

@@ -3,6 +3,7 @@ type result = {
   cost : Cost.t;
   objective : float;
   builds : int;
+  pruned : int;
 }
 
 let pick rng xs = List.nth xs (Sim.Rng.int rng (List.length xs))
@@ -65,7 +66,7 @@ let random_search ?(seed = 0x5EA7C4) ~builds ~weights app =
     end
   done;
   let config, cost, objective = !best in
-  { config; cost; objective; builds }
+  { config; cost; objective; builds; pruned = 0 }
 
 (* All alternative values for one parameter group, as configuration
    transformers relative to the current configuration. *)
@@ -111,9 +112,54 @@ let group_options (g : Arch.Param.group) =
   in
   to_base :: List.map (fun v -> v.Arch.Param.apply) members
 
-let coordinate_descent ?(max_sweeps = 5) ~weights app =
+(* Is [candidate] provably runtime-identical to [current] by a static
+   argument over the application's features?  Three such arguments:
+
+   - the whole code segment fits a single icache way of both
+     configurations (contiguous code, so no conflicts either): with
+     identical line size the cold-miss sequence is identical and there
+     are no capacity or conflict misses to remove, so any icache
+     geometry/replacement change between the two is invisible;
+   - the binary contains no multiply instruction, so the multiplier
+     variant is invisible;
+   - likewise for the divider. *)
+let statically_equivalent ft (current : Arch.Config.t)
+    (candidate : Arch.Config.t) =
+  let icache_only =
+    Arch.Config.equal { candidate with icache = current.icache } current
+  in
+  let resident (c : Arch.Config.t) =
+    c.icache.way_kb >= Apps.Features.code_resident_kb ft
+  in
+  (icache_only
+  && candidate.icache.line_words = current.icache.line_words
+  && resident candidate && resident current)
+  || Arch.Config.equal
+       { candidate with iu = { candidate.iu with multiplier = current.iu.multiplier } }
+       current
+     && Apps.Features.mul_free ft
+  || Arch.Config.equal
+       { candidate with iu = { candidate.iu with divider = current.iu.divider } }
+       current
+     && Apps.Features.div_free ft
+
+(* Skipping is trajectory-preserving: a pruned candidate has the exact
+   runtime of the incumbent and no better LUT or BRAM count, so with
+   the (non-negative) weighted objective it can never win the strict
+   improvement test.  Both configurations are feasible here, so
+   [Estimate.config] is total. *)
+let prunable ft current candidate =
+  statically_equivalent ft current candidate
+  &&
+  let rcan = Synth.Estimate.config candidate
+  and rcur = Synth.Estimate.config current in
+  rcan.Synth.Resource.luts >= rcur.Synth.Resource.luts
+  && rcan.Synth.Resource.brams >= rcur.Synth.Resource.brams
+
+let coordinate_descent ?(max_sweeps = 5) ?features ~weights app =
   let base = Measure.measure app Arch.Config.base in
   let builds = ref 0 in
+  let pruned = ref 0 in
   let eval config =
     incr builds;
     evaluate ~weights ~base app config
@@ -134,18 +180,27 @@ let coordinate_descent ?(max_sweeps = 5) ~weights app =
               (not (Arch.Config.equal candidate !current))
               && Synth.Estimate.feasible candidate
             then begin
-              let _, objective = eval candidate in
-              if objective < !current_obj -. 1e-9 then begin
-                current := candidate;
-                current_obj := objective;
-                improved := true
-              end
+              match features with
+              | Some ft when prunable ft !current candidate -> incr pruned
+              | _ ->
+                  let _, objective = eval candidate in
+                  if objective < !current_obj -. 1e-9 then begin
+                    current := candidate;
+                    current_obj := objective;
+                    improved := true
+                  end
             end)
           (group_options g))
       Arch.Param.groups
   done;
   let cost = Measure.measure app !current in
-  { config = !current; cost; objective = !current_obj; builds = !builds }
+  {
+    config = !current;
+    cost;
+    objective = !current_obj;
+    builds = !builds;
+    pruned = !pruned;
+  }
 
 let paper_method ~weights app =
   let model = Measure.build app in
@@ -158,12 +213,13 @@ let paper_method ~weights app =
       Cost.objective weights
         (Cost.deltas ~base:model.Measure.base o.Optimizer.actual);
     builds = 1 + List.length model.Measure.rows + repl_references + 1;
+    pruned = 0;
   }
 
 let print_comparison ppf app_name results =
   Format.fprintf ppf "  %s:@." app_name;
-  Format.fprintf ppf "    %-22s %8s %12s %10s@." "method" "builds"
-    "objective" "runtime(s)";
+  Format.fprintf ppf "    %-22s %8s %8s %12s %10s@." "method" "builds"
+    "pruned" "objective" "runtime(s)";
   List.iteri
     (fun k r ->
       let name =
@@ -172,6 +228,6 @@ let print_comparison ppf app_name results =
         | 1 -> "coordinate descent"
         | _ -> Printf.sprintf "random search"
       in
-      Format.fprintf ppf "    %-22s %8d %12.2f %10.3f@." name r.builds
-        r.objective r.cost.Cost.seconds)
+      Format.fprintf ppf "    %-22s %8d %8d %12.2f %10.3f@." name r.builds
+        r.pruned r.objective r.cost.Cost.seconds)
     results

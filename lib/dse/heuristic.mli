@@ -20,13 +20,26 @@ type result = {
   cost : Cost.t;
   objective : float;     (** weighted objective vs the base *)
   builds : int;          (** configurations measured *)
+  pruned : int;          (** candidates skipped by static arguments *)
 }
 
 val random_search :
   ?seed:int -> builds:int -> weights:Cost.weights -> Apps.Registry.t -> result
 
 val coordinate_descent :
-  ?max_sweeps:int -> weights:Cost.weights -> Apps.Registry.t -> result
+  ?max_sweeps:int ->
+  ?features:Apps.Features.t ->
+  weights:Cost.weights ->
+  Apps.Registry.t ->
+  result
+(** With [features] (see {!Apps.Features}), candidates that a static
+    argument proves runtime-identical to the incumbent and no cheaper
+    in resources are skipped without a build — e.g. icache
+    enlargements when the whole program already fits one way, or
+    multiplier swaps under a program that never multiplies.  The
+    descent trajectory (and so the returned configuration) is
+    unchanged; only [builds] drops and [pruned] counts the skips.
+    Requires non-negative weights, which all {!Cost} presets are. *)
 
 val paper_method : weights:Cost.weights -> Apps.Registry.t -> result
 (** The paper's pipeline, packaged with its build count (52

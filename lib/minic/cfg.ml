@@ -1,0 +1,251 @@
+type instr =
+  | Assign of string * Ast.expr
+  | Store of string * Ast.expr * Ast.expr
+  | Eval of Ast.expr
+
+type terminator =
+  | Jump of int
+  | Branch of Ast.expr * int * int
+  | Return of Ast.expr
+  | Exit
+
+type block = {
+  id : int;
+  instrs : (int * instr) array;
+  term : terminator;
+  term_sid : int;
+}
+
+type t = {
+  func : Ast.func;
+  blocks : block array;
+  entry : int;
+  nsids : int;
+}
+
+(* Mutable builder blocks; frozen into [block] at the end. *)
+type bblock = {
+  bid : int;
+  mutable binstrs : (int * instr) list;  (* reversed *)
+  mutable bterm : (terminator * int) option;
+}
+
+type builder = {
+  mutable blks : bblock list;  (* reversed *)
+  mutable nblocks : int;
+  mutable sid : int;
+}
+
+let new_block b =
+  let blk = { bid = b.nblocks; binstrs = []; bterm = None } in
+  b.nblocks <- b.nblocks + 1;
+  b.blks <- blk :: b.blks;
+  blk
+
+let next_sid b =
+  let s = b.sid in
+  b.sid <- s + 1;
+  s
+
+let terminate blk term sid =
+  match blk.bterm with
+  | Some _ -> invalid_arg "Cfg: block already terminated"
+  | None -> blk.bterm <- Some (term, sid)
+
+(* Lower [stmts] into [cur]; return the block where control continues,
+   or [None] if every path ended in a return. *)
+let rec lower b cur stmts =
+  match stmts with
+  | [] -> Some cur
+  | s :: rest -> (
+      let sid = next_sid b in
+      match s with
+      | Ast.Set (x, e) ->
+          cur.binstrs <- (sid, Assign (x, e)) :: cur.binstrs;
+          lower b cur rest
+      | Ast.Set_idx (a, e1, e2) ->
+          cur.binstrs <- (sid, Store (a, e1, e2)) :: cur.binstrs;
+          lower b cur rest
+      | Ast.Do e ->
+          cur.binstrs <- (sid, Eval e) :: cur.binstrs;
+          lower b cur rest
+      | Ast.Ret e ->
+          terminate cur (Return e) sid;
+          if rest = [] then None
+          else
+            (* Dead statements after a return: lower them into a fresh
+               block with no predecessors so reachability flags them. *)
+            lower b (new_block b) rest
+      | Ast.If (c, th, el) ->
+          let bt = new_block b in
+          let be = new_block b in
+          terminate cur (Branch (c, bt.bid, be.bid)) sid;
+          let t_end = lower b bt th in
+          let e_end = lower b be el in
+          (match (t_end, e_end) with
+          | None, None -> if rest = [] then None else lower b (new_block b) rest
+          | Some blk, None | None, Some blk ->
+              let join = new_block b in
+              terminate blk (Jump join.bid) (-1);
+              lower b join rest
+          | Some blk1, Some blk2 ->
+              let join = new_block b in
+              terminate blk1 (Jump join.bid) (-1);
+              terminate blk2 (Jump join.bid) (-1);
+              lower b join rest)
+      | Ast.While (c, body) ->
+          let header = new_block b in
+          terminate cur (Jump header.bid) (-1);
+          let bbody = new_block b in
+          let after = new_block b in
+          terminate header (Branch (c, bbody.bid, after.bid)) sid;
+          (match lower b bbody body with
+          | None -> ()
+          | Some blk -> terminate blk (Jump header.bid) (-1));
+          lower b after rest)
+
+let build (f : Ast.func) =
+  let b = { blks = []; nblocks = 0; sid = 0 } in
+  let entry = new_block b in
+  (match lower b entry f.Ast.body with
+  | None -> ()
+  | Some blk -> terminate blk Exit (-1));
+  let blocks =
+    Array.map
+      (fun blk ->
+        let term, term_sid =
+          match blk.bterm with
+          | Some (t, s) -> (t, s)
+          | None -> (Exit, -1) (* an unterminated dead block *)
+        in
+        {
+          id = blk.bid;
+          instrs = Array.of_list (List.rev blk.binstrs);
+          term;
+          term_sid;
+        })
+      (Array.of_list (List.rev b.blks))
+  in
+  { func = f; blocks; entry = entry.bid; nsids = b.sid }
+
+let successors blk =
+  match blk.term with
+  | Jump j -> [ j ]
+  | Branch (_, t, e) -> if t = e then [ t ] else [ t; e ]
+  | Return _ | Exit -> []
+
+let predecessors g =
+  let preds = Array.make (Array.length g.blocks) [] in
+  Array.iter
+    (fun blk ->
+      List.iter (fun s -> preds.(s) <- blk.id :: preds.(s)) (successors blk))
+    g.blocks;
+  Array.map List.rev preds
+
+let reachable g =
+  let seen = Array.make (Array.length g.blocks) false in
+  let rec go id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter go (successors g.blocks.(id))
+    end
+  in
+  go g.entry;
+  seen
+
+let reverse_postorder g =
+  let n = Array.length g.blocks in
+  let seen = Array.make n false in
+  let acc = ref [] in
+  let rec go id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter go (successors g.blocks.(id));
+      acc := id :: !acc
+    end
+  in
+  go g.entry;
+  let rpo = !acc in
+  let unreachable =
+    List.filter (fun id -> not seen.(id)) (List.init n (fun i -> i))
+  in
+  Array.of_list (rpo @ unreachable)
+
+let stmt_of_sid g sid =
+  (* Recover the statement by replaying the same pre-order walk the
+     builder used. *)
+  let counter = ref 0 in
+  let found = ref None in
+  let rec walk stmts =
+    match stmts with
+    | [] -> ()
+    | s :: rest ->
+        if !found = None then begin
+          let here = !counter in
+          incr counter;
+          if here = sid then found := Some s
+          else begin
+            (match s with
+            | Ast.If (_, th, el) ->
+                walk th;
+                walk el
+            | Ast.While (_, body) -> walk body
+            | Ast.Set _ | Ast.Set_idx _ | Ast.Do _ | Ast.Ret _ -> ());
+            walk rest
+          end
+        end
+  in
+  walk g.func.Ast.body;
+  !found
+
+let expr_uses ~globals e =
+  let rec go acc = function
+    | Ast.Int _ -> acc
+    | Ast.Var x -> x :: acc
+    | Ast.Idx (_, e) -> go acc e
+    | Ast.Un (_, e) -> go acc e
+    | Ast.Bin (_, a, b) -> go (go acc a) b
+    | Ast.Call (_, args) ->
+        (* A callee may read any global scalar. *)
+        List.fold_left go (List.rev_append globals acc) args
+  in
+  go [] e
+
+let rec expr_has_call = function
+  | Ast.Call _ -> true
+  | Ast.Int _ | Ast.Var _ -> false
+  | Ast.Idx (_, e) | Ast.Un (_, e) -> expr_has_call e
+  | Ast.Bin (_, a, b) -> expr_has_call a || expr_has_call b
+
+let instr_uses ~globals = function
+  | Assign (_, e) | Eval e -> expr_uses ~globals e
+  | Store (_, e1, e2) -> expr_uses ~globals e1 @ expr_uses ~globals e2
+
+let instr_defs = function
+  | Assign (x, _) -> [ x ]
+  | Store _ | Eval _ -> []
+
+let pp ppf g =
+  Array.iter
+    (fun blk ->
+      Format.fprintf ppf "@[<v 2>B%d:%s@," blk.id
+        (if blk.id = g.entry then " (entry)" else "");
+      Array.iter
+        (fun (sid, i) ->
+          match i with
+          | Assign (x, e) ->
+              Format.fprintf ppf "[%d] %s = %a@," sid x Ast.pp_expr e
+          | Store (a, e1, e2) ->
+              Format.fprintf ppf "[%d] %s[%a] = %a@," sid a Ast.pp_expr e1
+                Ast.pp_expr e2
+          | Eval e -> Format.fprintf ppf "[%d] %a;@," sid Ast.pp_expr e)
+        blk.instrs;
+      (match blk.term with
+      | Jump j -> Format.fprintf ppf "jump B%d" j
+      | Branch (c, t, e) ->
+          Format.fprintf ppf "[%d] branch %a ? B%d : B%d" blk.term_sid
+            Ast.pp_expr c t e
+      | Return e -> Format.fprintf ppf "[%d] return %a" blk.term_sid Ast.pp_expr e
+      | Exit -> Format.fprintf ppf "exit");
+      Format.fprintf ppf "@]@.")
+    g.blocks

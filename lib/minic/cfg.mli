@@ -1,0 +1,73 @@
+(** Per-function control-flow graph over basic blocks of {!Ast.stmt}.
+
+    minic is structured (no goto), so the graph is derived by lowering
+    the statement tree: straight-line statements become block
+    instructions, [if]/[while]/[return] become block terminators.
+    Statements that follow a [return] in the same block list are
+    lowered into a fresh block with no predecessors, so plain
+    reachability finds them.
+
+    Every straight-line statement and every terminator carries the
+    {e source index} ([sid]) of the statement it was lowered from: the
+    position of that statement in a pre-order traversal of the
+    function body ([If] visits the condition's statement itself, then
+    the then-branch, then the else-branch; [While] visits the
+    statement, then the body).  A rewrite pass that walks the AST in
+    the same pre-order can therefore map analysis results back onto
+    the tree without relying on physical or structural equality — see
+    {!Optimize}. *)
+
+type instr =
+  | Assign of string * Ast.expr  (** [x = e] — [e] may be a call *)
+  | Store of string * Ast.expr * Ast.expr  (** [a[e1] = e2] *)
+  | Eval of Ast.expr  (** [e;] — an effect call *)
+
+type terminator =
+  | Jump of int  (** unconditional edge to a block id *)
+  | Branch of Ast.expr * int * int  (** condition, then-block, else-block *)
+  | Return of Ast.expr
+  | Exit  (** fall off the end of the function: implicit [return 0] *)
+
+type block = {
+  id : int;
+  instrs : (int * instr) array;  (** (sid, instruction), in order *)
+  term : terminator;
+  term_sid : int;  (** sid of the branching/returning statement, -1 for none *)
+}
+
+type t = {
+  func : Ast.func;
+  blocks : block array;  (** indexed by block id *)
+  entry : int;
+  nsids : int;  (** number of statements in the function body *)
+}
+
+val build : Ast.func -> t
+
+val successors : block -> int list
+val predecessors : t -> int list array
+(** Predecessor block ids, indexed by block id. *)
+
+val reverse_postorder : t -> int array
+(** Reachable blocks in reverse postorder from the entry.  Unreachable
+    blocks are appended after the reachable ones (in id order) so a
+    dataflow pass still visits every block. *)
+
+val reachable : t -> bool array
+(** Graph reachability from the entry, ignoring branch conditions. *)
+
+val stmt_of_sid : t -> int -> Ast.stmt option
+(** The source statement a sid was assigned to. *)
+
+val instr_uses : globals:string list -> instr -> string list
+(** Scalar variables read by an instruction.  A call conservatively
+    reads every global scalar, so [globals] lists their names. *)
+
+val expr_uses : globals:string list -> Ast.expr -> string list
+val instr_defs : instr -> string list
+
+val expr_has_call : Ast.expr -> bool
+(** Whether the expression contains a call (and may therefore have
+    side effects on global state). *)
+
+val pp : Format.formatter -> t -> unit

@@ -4,6 +4,9 @@ let max_expr_depth = 10
 
 let rec expr_depth = function
   | Ast.Int _ | Ast.Var _ -> 1
+  (* An index load needs no extra slot: codegen materializes the array
+     base address in a dedicated scratch register (g5) and loads into
+     the index's own temporary. *)
   | Ast.Idx (_, e) -> expr_depth e
   | Ast.Un (_, e) -> expr_depth e
   | Ast.Bin (_, a, b) -> max (expr_depth a) (expr_depth b + 1)
@@ -120,7 +123,14 @@ let check program =
           if has_call e1 || has_call e2 then
             err "%s" (where "call inside array store to %S" a);
           check_expr e1;
-          check_expr e2
+          check_expr e2;
+          (* Codegen keeps the index in temporary 0 and evaluates the
+             stored value starting at temporary 1, so the value's
+             depth budget is one less than a bare expression's. *)
+          if expr_depth e2 + 1 > max_expr_depth then
+            err "%s"
+              (where "array-store value needs %d temporaries, limit is %d"
+                 (expr_depth e2 + 1) max_expr_depth)
       | Ast.If (c, th, el) ->
           if has_call c then err "%s" (where "call inside a condition");
           check_expr c;

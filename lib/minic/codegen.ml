@@ -271,11 +271,14 @@ let bytes_of_bytes values =
   Array.iteri (fun k v -> Bytes.set b k (Char.chr (v land 0xFF))) values;
   b
 
-let compile ?(optimize = false) program =
+let compile ?(optimize = false) ?level program =
   (match Check.check program with
   | Ok () -> ()
   | Error es -> error "invalid program:\n  %s" (String.concat "\n  " es));
-  let program = if optimize then Optimize.program program else program in
+  let level =
+    match level with Some l -> l | None -> if optimize then 1 else 0
+  in
+  let program = Optimize.program ~level program in
   let g =
     { asm = Isa.Asm.create (); globals = Hashtbl.create 16; next_label = 0 }
   in

@@ -12,7 +12,9 @@
 
 exception Error of string
 
-val compile : ?optimize:bool -> Ast.program -> Isa.Program.t
-(** [optimize] (default false) runs {!Optimize.program} first.
+val compile : ?optimize:bool -> ?level:int -> Ast.program -> Isa.Program.t
+(** [optimize] (default false) runs {!Optimize.program} at level 1
+    first; [level], when given, selects the optimization level
+    explicitly (see {!Optimize.program}) and overrides [optimize].
     @raise Error on programs the generator cannot handle (these are
     exactly the {!Check} violations). *)

@@ -1,0 +1,99 @@
+module type DOMAIN = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val widen : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module Make (D : DOMAIN) = struct
+  type result = { input : D.t array; output : D.t array }
+
+  let solve ?(widen_after = 8) ?edge ~direction ~init ~bottom ~transfer
+      (g : Cfg.t) =
+    let n = Array.length g.Cfg.blocks in
+    let preds = Cfg.predecessors g in
+    let rpo = Cfg.reverse_postorder g in
+    (* Priority of each block in the chosen iteration order. *)
+    let order =
+      match direction with
+      | Forward -> rpo
+      | Backward ->
+          let r = Array.copy rpo in
+          let n = Array.length r in
+          Array.init n (fun i -> r.(n - 1 - i))
+    in
+    let priority = Array.make n 0 in
+    Array.iteri (fun i id -> priority.(id) <- i) order;
+    (* Edges along which facts propagate out of a block. *)
+    let out_edges id =
+      match direction with
+      | Forward -> Cfg.successors g.Cfg.blocks.(id)
+      | Backward -> preds.(id)
+    in
+    let input = Array.make n bottom in
+    let output = Array.make n bottom in
+    let refinements = Array.make n 0 in
+    (match direction with
+    | Forward -> input.(g.Cfg.entry) <- init
+    | Backward ->
+        Array.iter
+          (fun blk ->
+            match blk.Cfg.term with
+            | Cfg.Return _ | Cfg.Exit -> input.(blk.Cfg.id) <- init
+            | Cfg.Jump _ | Cfg.Branch _ -> ())
+          g.Cfg.blocks);
+    (* Worklist keyed by priority; a simple boolean membership set plus
+       repeated sweeps in priority order is O(n) per round and fast at
+       these sizes. *)
+    let pending = Array.make n true in
+    let any_pending = ref true in
+    while !any_pending do
+      any_pending := false;
+      Array.iter
+        (fun id ->
+          if pending.(id) then begin
+            pending.(id) <- false;
+            let blk = g.Cfg.blocks.(id) in
+            let out = transfer blk input.(id) in
+            output.(id) <- out;
+            List.iter
+              (fun dst ->
+                let v =
+                  match (direction, edge) with
+                  | Forward, Some f -> f blk dst out
+                  | _ -> out
+                in
+                let joined = D.join input.(dst) v in
+                (* Widen only along retreating edges (loop heads): every
+                   cycle contains one, which bounds the iteration, while
+                   blocks fed purely by advancing edges keep the precise
+                   facts branch refinement gave them. *)
+                let joined =
+                  if
+                    priority.(dst) <= priority.(id)
+                    && refinements.(dst) >= widen_after
+                  then D.widen input.(dst) joined
+                  else joined
+                in
+                if not (D.equal joined input.(dst)) then begin
+                  input.(dst) <- joined;
+                  refinements.(dst) <- refinements.(dst) + 1;
+                  if not pending.(dst) then begin
+                    pending.(dst) <- true;
+                    any_pending := true
+                  end
+                end)
+              (out_edges id)
+          end)
+        order
+    done;
+    (* Ensure outputs reflect the final inputs even for blocks whose
+       input settled after their last transfer. *)
+    Array.iter
+      (fun id -> output.(id) <- transfer g.Cfg.blocks.(id) input.(id))
+      order;
+    { input; output }
+end

@@ -1,0 +1,67 @@
+(** Generic forward/backward worklist fixpoint solver over {!Cfg}.
+
+    An analysis supplies a join-semilattice of facts ({!DOMAIN}) and a
+    per-block transfer function; the solver iterates to a fixpoint in
+    round-robin priority order (reverse postorder for forward
+    analyses, postorder for backward ones).  Termination is guaranteed
+    either by finite lattice height (set-based domains can make
+    [widen] equal to [join]) or by a widening operator: after a block
+    has been refined {!val-solve}[ ~widen_after] times, the new input
+    fact is [widen old joined] instead of [joined], and [widen] must
+    reach a stationary point in finitely many steps (e.g. by jumping
+    to the top element, as the interval domain does). *)
+
+module type DOMAIN = sig
+  type t
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+  (** Least upper bound. Must be monotone w.r.t. the implied order. *)
+
+  val widen : t -> t -> t
+  (** [widen old next] with [old <= next]; must stabilize in finitely
+      many applications.  Finite-height domains use [fun _ next ->
+      next] (plain join iteration already terminates). *)
+end
+
+type direction = Forward | Backward
+
+module Make (D : DOMAIN) : sig
+  type result = {
+    input : D.t array;
+    (** fact {e entering} each block's transfer: the in-fact for
+        forward analyses, the out-fact (e.g. live-out) for backward
+        ones; indexed by block id *)
+    output : D.t array;
+    (** fact after the transfer function *)
+  }
+
+  val solve :
+    ?widen_after:int ->
+    ?edge:(Cfg.block -> int -> D.t -> D.t) ->
+    direction:direction ->
+    init:D.t ->
+    bottom:D.t ->
+    transfer:(Cfg.block -> D.t -> D.t) ->
+    Cfg.t ->
+    result
+  (** [solve ~direction ~init ~bottom ~transfer cfg].
+
+      [init] is the boundary fact: seeded at the entry block for
+      forward analyses and at every exiting block ([Return]/[Exit]
+      terminators) for backward ones.  All other inputs start at
+      [bottom].
+
+      [edge blk succ fact] (forward only) refines the fact flowing
+      along the edge [blk -> succ] before it is joined into [succ] —
+      conditional analyses use it to narrow branch conditions or kill
+      infeasible edges by returning [bottom].  Default: identity.
+
+      [widen_after] (default 8) is the per-block refinement count
+      after which widening kicks in.  Widening is only applied along
+      retreating edges (edges into a block no later in the iteration
+      order, i.e. loop heads): every cycle contains one, which is
+      enough for termination, and blocks reached purely by advancing
+      edges keep the precise facts edge refinement gave them. *)
+end

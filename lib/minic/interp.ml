@@ -1,40 +1,16 @@
 exception Runtime_error of string
 
 let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
-let mask32 = 0xFFFFFFFF
-let to_signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
-let of_signed v = v land mask32
-let bool01 b = if b then 1 else 0
+let mask32 = Sem.mask32
+let to_signed = Sem.to_signed
 
 let binop op a b =
-  match op with
-  | Ast.Add -> (a + b) land mask32
-  | Ast.Sub -> (a - b) land mask32
-  | Ast.Mul -> a * b land mask32
-  | Ast.Div ->
-      if b = 0 then error "division by zero";
-      of_signed (to_signed a / to_signed b)
-  | Ast.Mod ->
-      if b = 0 then error "modulo by zero";
-      let q = to_signed a / to_signed b in
-      of_signed (to_signed a - (q * to_signed b))
-  | Ast.And -> a land b
-  | Ast.Or -> a lor b
-  | Ast.Xor -> a lxor b
-  | Ast.Shl -> (a lsl (b land 31)) land mask32
-  | Ast.Shr -> a lsr (b land 31)
-  | Ast.Lt -> bool01 (to_signed a < to_signed b)
-  | Ast.Le -> bool01 (to_signed a <= to_signed b)
-  | Ast.Gt -> bool01 (to_signed a > to_signed b)
-  | Ast.Ge -> bool01 (to_signed a >= to_signed b)
-  | Ast.Eq -> bool01 (a = b)
-  | Ast.Ne -> bool01 (a <> b)
+  match Sem.binop op a b with
+  | Some v -> v
+  | None ->
+      error "%s by zero" (match op with Ast.Div -> "division" | _ -> "modulo")
 
-let unop op a =
-  match op with
-  | Ast.Neg -> (0 - a) land mask32
-  | Ast.Not -> bool01 (a = 0)
-  | Ast.Bitnot -> a lxor mask32
+let unop = Sem.unop
 
 type array_cell = { elem : Ast.elem; data : int array }
 

@@ -1,0 +1,329 @@
+type itv = { lo : int; hi : int }
+
+let min32 = -0x8000_0000
+let max32 = 0x7FFF_FFFF
+let top = { lo = min32; hi = max32 }
+let is_top i = i.lo = min32 && i.hi = max32
+let const n = { lo = Sem.to_signed (n land Sem.mask32); hi = Sem.to_signed (n land Sem.mask32) }
+let to_const i = if i.lo = i.hi then Some (Sem.of_signed i.lo) else None
+let mem k i = i.lo <= k && k <= i.hi
+let itv_equal a b = a.lo = b.lo && a.hi = b.hi
+
+let pp_itv ppf i =
+  if is_top i then Format.fprintf ppf "T"
+  else if i.lo = i.hi then Format.fprintf ppf "%d" i.lo
+  else Format.fprintf ppf "[%d,%d]" i.lo i.hi
+
+(* Saturate out-of-range bounds (computed in 63-bit or Int64) to top:
+   the concrete operation wraps, so the precise result set is not an
+   interval anyway. *)
+let sat lo hi = if lo < min32 || hi > max32 then top else { lo; hi }
+
+let sat64 lo hi =
+  if Int64.compare lo (Int64.of_int min32) < 0
+     || Int64.compare hi (Int64.of_int max32) > 0
+  then top
+  else { lo = Int64.to_int lo; hi = Int64.to_int hi }
+
+let meet a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo > hi then None else Some { lo; hi }
+
+module Smap = Map.Make (String)
+
+type env = Unreachable | Env of itv Smap.t
+
+type ctx = { arrays : (Ast.elem * int) Smap.t; globals : string list }
+
+let ctx_of_program (p : Ast.program) =
+  let arrays =
+    List.fold_left
+      (fun m -> function
+        | Ast.Scalar _ -> m
+        | Ast.Array (n, e, len) -> Smap.add n (e, len) m
+        | Ast.Array_init (n, e, vals) -> Smap.add n (e, Array.length vals) m)
+      Smap.empty p.Ast.globals
+  in
+  let globals =
+    List.filter_map
+      (function Ast.Scalar (n, _) -> Some n | _ -> None)
+      p.Ast.globals
+  in
+  { arrays; globals }
+
+let lookup m x = match Smap.find_opt x m with Some i -> i | None -> top
+let set x i m = if is_top i then Smap.remove x m else Smap.add x i m
+
+let bin op a b =
+  (* Singleton operands fold exactly through the shared semantics. *)
+  match (to_const a, to_const b) with
+  | Some x, Some y -> (
+      match Sem.binop op x y with Some v -> const v | None -> top)
+  | _ -> (
+      match op with
+      | Ast.Add ->
+          sat64
+            (Int64.add (Int64.of_int a.lo) (Int64.of_int b.lo))
+            (Int64.add (Int64.of_int a.hi) (Int64.of_int b.hi))
+      | Ast.Sub ->
+          sat64
+            (Int64.sub (Int64.of_int a.lo) (Int64.of_int b.hi))
+            (Int64.sub (Int64.of_int a.hi) (Int64.of_int b.lo))
+      | Ast.Mul ->
+          (* (-2^31) * (-2^31) = 2^62 overflows 63-bit native ints. *)
+          let p x y = Int64.mul (Int64.of_int x) (Int64.of_int y) in
+          let c1 = p a.lo b.lo
+          and c2 = p a.lo b.hi
+          and c3 = p a.hi b.lo
+          and c4 = p a.hi b.hi in
+          let mn = min (min c1 c2) (min c3 c4)
+          and mx = max (max c1 c2) (max c3 c4) in
+          sat64 mn mx
+      | Ast.Div ->
+          if mem 0 b then top
+          else if a.lo = min32 && mem (-1) b then top (* min32 / -1 wraps *)
+          else
+            let c1 = a.lo / b.lo
+            and c2 = a.lo / b.hi
+            and c3 = a.hi / b.lo
+            and c4 = a.hi / b.hi in
+            sat (min (min c1 c2) (min c3 c4)) (max (max c1 c2) (max c3 c4))
+      | Ast.Mod ->
+          if mem 0 b then top
+          else
+            let m = max (abs b.lo) (abs b.hi) - 1 in
+            if a.lo >= 0 then { lo = 0; hi = min m a.hi }
+            else if a.hi <= 0 then { lo = max (-m) a.lo; hi = 0 }
+            else { lo = -m; hi = m }
+      | Ast.And ->
+          (* A non-negative operand bounds the result from above. *)
+          if a.lo >= 0 && b.lo >= 0 then { lo = 0; hi = min a.hi b.hi }
+          else if a.lo >= 0 then { lo = 0; hi = a.hi }
+          else if b.lo >= 0 then { lo = 0; hi = b.hi }
+          else top
+      | Ast.Or | Ast.Xor ->
+          (* For non-negative x, y: x|y <= x+y and x^y <= x+y. *)
+          if a.lo >= 0 && b.lo >= 0 then
+            { lo = 0; hi = min max32 (a.hi + b.hi) }
+          else top
+      | Ast.Shl ->
+          if a.lo >= 0 && b.lo >= 0 && b.hi <= 31 then
+            sat64
+              (Int64.shift_left (Int64.of_int a.lo) b.lo)
+              (Int64.shift_left (Int64.of_int a.hi) b.hi)
+          else top
+      | Ast.Shr ->
+          if a.lo >= 0 && b.lo >= 0 && b.hi <= 31 then
+            { lo = a.lo lsr b.hi; hi = a.hi lsr b.lo }
+          else top
+      | Ast.Lt ->
+          if a.hi < b.lo then const 1
+          else if a.lo >= b.hi then const 0
+          else { lo = 0; hi = 1 }
+      | Ast.Le ->
+          if a.hi <= b.lo then const 1
+          else if a.lo > b.hi then const 0
+          else { lo = 0; hi = 1 }
+      | Ast.Gt ->
+          if a.lo > b.hi then const 1
+          else if a.hi <= b.lo then const 0
+          else { lo = 0; hi = 1 }
+      | Ast.Ge ->
+          if a.lo >= b.hi then const 1
+          else if a.hi < b.lo then const 0
+          else { lo = 0; hi = 1 }
+      | Ast.Eq ->
+          if a.hi < b.lo || b.hi < a.lo then const 0 else { lo = 0; hi = 1 }
+      | Ast.Ne ->
+          if a.hi < b.lo || b.hi < a.lo then const 1 else { lo = 0; hi = 1 })
+
+let un op a =
+  match op with
+  | Ast.Neg -> if a.lo = min32 then top else { lo = -a.hi; hi = -a.lo }
+  | Ast.Not ->
+      if a.lo = 0 && a.hi = 0 then const 1
+      else if not (mem 0 a) then const 0
+      else { lo = 0; hi = 1 }
+  | Ast.Bitnot -> { lo = -a.hi - 1; hi = -a.lo - 1 }
+
+let rec eval ctx m e =
+  match e with
+  | Ast.Int n -> const n
+  | Ast.Var x -> lookup m x
+  | Ast.Idx (a, _) -> (
+      match Smap.find_opt a ctx.arrays with
+      | Some (Ast.Byte, _) -> { lo = 0; hi = 255 }
+      | Some (Ast.Word, _) | None -> top)
+  | Ast.Un (op, e1) -> un op (eval ctx m e1)
+  | Ast.Bin (op, e1, e2) -> bin op (eval ctx m e1) (eval ctx m e2)
+  | Ast.Call _ -> top
+
+let rec cannot_trap ctx m e =
+  match e with
+  | Ast.Int _ | Ast.Var _ -> true
+  | Ast.Idx (a, ix) -> (
+      cannot_trap ctx m ix
+      &&
+      match Smap.find_opt a ctx.arrays with
+      | Some (_, len) ->
+          let i = eval ctx m ix in
+          i.lo >= 0 && i.hi < len
+      | None -> false)
+  | Ast.Bin ((Ast.Div | Ast.Mod), a, b) ->
+      cannot_trap ctx m a && cannot_trap ctx m b && not (mem 0 (eval ctx m b))
+  | Ast.Bin (_, a, b) -> cannot_trap ctx m a && cannot_trap ctx m b
+  | Ast.Un (_, a) -> cannot_trap ctx m a
+  | Ast.Call _ -> false
+
+(* A call may write any global scalar. *)
+let clobber ctx m = List.fold_left (fun m g -> Smap.remove g m) m ctx.globals
+
+let step ctx m = function
+  | Cfg.Assign (x, e) ->
+      (* Globals an embedded call clobbers may feed the value, so
+         evaluate against the clobbered (weaker) state — sound for any
+         evaluation order. *)
+      let m = if Cfg.expr_has_call e then clobber ctx m else m in
+      set x (eval ctx m e) m
+  | Cfg.Store (_, ix, e) ->
+      if Cfg.expr_has_call ix || Cfg.expr_has_call e then clobber ctx m else m
+  | Cfg.Eval e -> if Cfg.expr_has_call e then clobber ctx m else m
+
+(* Assert [cond = truth] over [m]; [Unreachable] when infeasible. *)
+let rec refine ctx m cond truth =
+  let ci = eval ctx m cond in
+  if truth && ci.lo = 0 && ci.hi = 0 then Unreachable
+  else if (not truth) && not (mem 0 ci) then Unreachable
+  else
+    match cond with
+    | Ast.Un (Ast.Not, c) -> refine ctx m c (not truth)
+    | Ast.Var x when not truth -> (
+        (* x is false: x = 0. *)
+        match meet (lookup m x) (const 0) with
+        | Some i -> Env (set x i m)
+        | None -> Unreachable)
+    | Ast.Bin (op, a, b) when Sem.is_cmp op -> (
+        match
+          if truth then Some op else Sem.invert_cmp op
+        with
+        | None -> Env m
+        | Some op ->
+            let narrow x op other m =
+              let oi = eval ctx m other in
+              let xi = lookup m x in
+              let res =
+                match op with
+                | Ast.Lt -> meet xi { lo = min32; hi = oi.hi - 1 }
+                | Ast.Le -> meet xi { lo = min32; hi = oi.hi }
+                | Ast.Gt -> meet xi { lo = oi.lo + 1; hi = max32 }
+                | Ast.Ge -> meet xi { lo = oi.lo; hi = max32 }
+                | Ast.Eq -> meet xi oi
+                | Ast.Ne ->
+                    if itv_equal xi oi && xi.lo = xi.hi then None else Some xi
+                | _ -> Some xi
+              in
+              match res with
+              | Some i -> Some (set x i m)
+              | None -> None
+            in
+            let after_a =
+              match a with
+              | Ast.Var x -> narrow x op b m
+              | _ -> Some m
+            in
+            let after_b m =
+              match (b, Sem.swap_cmp op) with
+              | Ast.Var y, Some op' -> narrow y op' a m
+              | _ -> Some m
+            in
+            (match after_a with
+            | None -> Unreachable
+            | Some m -> (
+                match after_b m with
+                | None -> Unreachable
+                | Some m -> Env m)))
+    | _ -> Env m
+
+module D = Dataflow.Make (struct
+  type t = env
+
+  let equal a b =
+    match (a, b) with
+    | Unreachable, Unreachable -> true
+    | Env x, Env y -> Smap.equal itv_equal x y
+    | _ -> false
+
+  let join a b =
+    match (a, b) with
+    | Unreachable, x | x, Unreachable -> x
+    | Env x, Env y ->
+        Env
+          (Smap.merge
+             (fun _ a b ->
+               match (a, b) with
+               | Some a, Some b ->
+                   let j = { lo = min a.lo b.lo; hi = max a.hi b.hi } in
+                   if is_top j then None else Some j
+               | _ -> None (* one side is top *))
+             x y)
+
+  (* Jump each unstable bound to its extreme so loops converge. *)
+  let widen old next =
+    match (old, next) with
+    | Unreachable, _ | _, Unreachable -> next
+    | Env o, Env n ->
+        Env
+          (Smap.filter_map
+             (fun x i ->
+               match Smap.find_opt x o with
+               | None -> None
+               | Some oi ->
+                   let lo = if i.lo < oi.lo then min32 else i.lo in
+                   let hi = if i.hi > oi.hi then max32 else i.hi in
+                   let w = { lo; hi } in
+                   if is_top w then None else Some w)
+             n)
+end)
+
+type result = { env_in : env array; env_out : env array }
+
+let transfer ctx blk envv =
+  match envv with
+  | Unreachable -> Unreachable
+  | Env m ->
+      Env (Array.fold_left (fun m (_sid, i) -> step ctx m i) m blk.Cfg.instrs)
+
+let solve ctx g =
+  let edge blk dst envv =
+    match (blk.Cfg.term, envv) with
+    | Cfg.Branch (c, t, e), Env m
+      when t <> e && not (Cfg.expr_has_call c) ->
+        refine ctx m c (dst = t)
+    | _ -> envv
+  in
+  let r =
+    D.solve ~edge ~direction:Dataflow.Forward ~init:(Env Smap.empty)
+      ~bottom:Unreachable ~transfer:(transfer ctx) g
+  in
+  { env_in = r.D.input; env_out = r.D.output }
+
+let points ctx g =
+  let r = solve ctx g in
+  let reachable = Cfg.reachable g in
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun blk ->
+      if reachable.(blk.Cfg.id) then
+        match r.env_in.(blk.Cfg.id) with
+        | Unreachable -> ()
+        | Env m0 ->
+            let m = ref m0 in
+            Array.iter
+              (fun (sid, i) ->
+                Hashtbl.replace tbl sid !m;
+                m := step ctx !m i)
+              blk.Cfg.instrs;
+            if blk.Cfg.term_sid >= 0 then
+              Hashtbl.replace tbl blk.Cfg.term_sid !m)
+    g.Cfg.blocks;
+  tbl

@@ -1,0 +1,67 @@
+(** Conditional interval analysis (a constant-propagation superset).
+
+    Abstract values are inclusive ranges [{lo; hi}] of the {e signed}
+    interpretation of minic's 32-bit scalars; operations that may wrap
+    saturate to {!top}.  The per-point state maps scalar variables to
+    intervals; a missing binding means {!top}, and an entire program
+    point may be {!constructor-Unreachable} when branch refinement
+    proves no execution reaches it.
+
+    All operator evaluation goes through {!Sem}, so a singleton result
+    here is exactly the value {!Interp} computes.  {!Lint} uses the
+    per-sid {!points} to flag definite traps and dead branches;
+    {!Optimize} level 2 uses them for conditional constant
+    propagation. *)
+
+type itv = { lo : int; hi : int }
+(** Invariant: [min32 <= lo <= hi <= max32]. *)
+
+val min32 : int
+val max32 : int
+val top : itv
+val const : int -> itv
+(** Singleton of a value given in unsigned 32-bit representation. *)
+
+val to_const : itv -> int option
+(** The unsigned 32-bit representation of a singleton interval. *)
+
+val mem : int -> itv -> bool
+(** [mem k i]: is signed value [k] inside [i]? *)
+
+val pp_itv : Format.formatter -> itv -> unit
+
+module Smap : Map.S with type key = string
+
+type env = Unreachable | Env of itv Smap.t
+(** [Env m]: a reachable state; variables missing from [m] are
+    unconstrained ([top]).  Normalized: [m] never binds [top]. *)
+
+type ctx = {
+  arrays : (Ast.elem * int) Smap.t;  (** element kind and length *)
+  globals : string list;  (** global {e scalar} names *)
+}
+
+val ctx_of_program : Ast.program -> ctx
+
+val eval : ctx -> itv Smap.t -> Ast.expr -> itv
+(** Abstract evaluation; calls evaluate to {!top}. *)
+
+val cannot_trap : ctx -> itv Smap.t -> Ast.expr -> bool
+(** [true] only when evaluating the expression provably never traps:
+    every divisor excludes 0, every index is within bounds, and there
+    is no call (a callee may itself trap). *)
+
+type result = { env_in : env array; env_out : env array }
+(** Per-block states, indexed by block id. *)
+
+val solve : ctx -> Cfg.t -> result
+(** Forward fixpoint with branch refinement: along the two edges of a
+    [Branch] the condition is asserted true resp. false, narrowing
+    variable ranges and killing infeasible edges.  Widening jumps
+    unstable bounds to [min32]/[max32], so loops converge. *)
+
+val points : ctx -> Cfg.t -> (int, itv Smap.t) Hashtbl.t
+(** The variable state just before each statement, keyed by sid
+    (instruction sids and branch/return [term_sid]s).  A sid that is
+    absent is unreachable — either structurally or because the
+    analysis proved its block's entry state infeasible. *)

@@ -1,0 +1,204 @@
+type severity = Error | Warning | Note
+
+type finding = {
+  severity : severity;
+  func : string;
+  sid : int;
+  message : string;
+}
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s: %s:%d: %s" (severity_name f.severity) f.func f.sid
+    f.message
+
+let fails ~werror findings =
+  List.exists
+    (fun f ->
+      match f.severity with
+      | Error -> true
+      | Warning -> werror
+      | Note -> false)
+    findings
+
+let estr e = Format.asprintf "%a" Ast.pp_expr e
+
+(* Definite traps inside one expression, given the variable state [m]
+   at its program point.  Only impossibilities are reported: an index
+   interval disjoint from the valid range, a divisor interval equal to
+   [0,0].  Anything merely possible stays silent. *)
+let rec trap_findings ctx m e k =
+  match e with
+  | Ast.Int _ | Ast.Var _ -> ()
+  | Ast.Idx (a, ix) ->
+      trap_findings ctx m ix k;
+      index_finding ctx m a ix k
+  | Ast.Un (_, e1) -> trap_findings ctx m e1 k
+  | Ast.Bin (op, e1, e2) ->
+      trap_findings ctx m e1 k;
+      trap_findings ctx m e2 k;
+      (match op with
+      | Ast.Div | Ast.Mod ->
+          let bi = Interval.eval ctx m e2 in
+          if bi.Interval.lo = 0 && bi.Interval.hi = 0 then
+            k Error
+              (Format.asprintf "%s by zero: %s is always 0 in %s"
+                 (match op with Ast.Div -> "division" | _ -> "modulo")
+                 (estr e2) (estr e))
+      | _ -> ())
+  | Ast.Call (_, args) -> List.iter (fun a -> trap_findings ctx m a k) args
+
+and index_finding ctx m a ix k =
+  match Interval.Smap.find_opt a ctx.Interval.arrays with
+  | None -> ()
+  | Some (_, len) ->
+      let i = Interval.eval ctx m ix in
+      if i.Interval.hi < 0 || i.Interval.lo >= len then
+        k Error
+          (Format.asprintf
+             "index %s = %a is always out of bounds for %s (length %d)"
+             (estr ix) Interval.pp_itv i a len)
+
+let stmt_head = function
+  | Ast.Set (x, e) -> Format.asprintf "%s = %s;" x (estr e)
+  | Ast.Set_idx (a, ix, e) -> Format.asprintf "%s[%s] = %s;" a (estr ix) (estr e)
+  | Ast.If (c, _, _) -> Format.asprintf "if (%s)" (estr c)
+  | Ast.While (c, _) -> Format.asprintf "while (%s)" (estr c)
+  | Ast.Do e -> Format.asprintf "%s;" (estr e)
+  | Ast.Ret e -> Format.asprintf "return %s;" (estr e)
+
+(* Report the first statement of every maximal unreachable region,
+   replaying the builder's pre-order sid walk. *)
+let unreachable_findings (f : Ast.func) ~reachable_sid ~report =
+  let counter = ref 0 in
+  let rec walk ~suppress stmts =
+    ignore
+      (List.fold_left
+         (fun prev_dead s ->
+           let sid = !counter in
+           incr counter;
+           let dead = not (reachable_sid sid) in
+           if dead && (not suppress) && not prev_dead then
+             report sid
+               (Format.asprintf "unreachable code: %s" (stmt_head s));
+           (match s with
+           | Ast.If (_, th, el) ->
+               walk ~suppress:(suppress || dead) th;
+               walk ~suppress:(suppress || dead) el
+           | Ast.While (_, body) -> walk ~suppress:(suppress || dead) body
+           | Ast.Set _ | Ast.Set_idx _ | Ast.Do _ | Ast.Ret _ -> ());
+           dead)
+         false stmts)
+  in
+  walk ~suppress:false f.Ast.body
+
+let func ctx (f : Ast.func) =
+  let g = Cfg.build f in
+  let pts = Interval.points ctx g in
+  let findings = ref [] in
+  let report severity sid message =
+    findings := { severity; func = f.Ast.name; sid; message } :: !findings
+  in
+  (* Unreachable code: a sid with no interval point is structurally or
+     semantically unreachable. *)
+  unreachable_findings f
+    ~reachable_sid:(fun sid -> Hashtbl.mem pts sid)
+    ~report:(fun sid msg -> report Warning sid msg);
+  (* Possible use of an uninitialized local (reachable uses only). *)
+  List.iter
+    (fun (x, sid) ->
+      if Hashtbl.mem pts sid then
+        report Warning sid
+          (Format.asprintf "local %s may be used before initialization" x))
+    (Reaching.uninitialized_uses g);
+  (* Definite traps and constant branch conditions, per program point. *)
+  Array.iter
+    (fun blk ->
+      Array.iter
+        (fun (sid, i) ->
+          match Hashtbl.find_opt pts sid with
+          | None -> ()
+          | Some m -> (
+              let k sev msg = report sev sid msg in
+              match i with
+              | Cfg.Assign (_, e) | Cfg.Eval e -> trap_findings ctx m e k
+              | Cfg.Store (a, ix, e) ->
+                  trap_findings ctx m ix k;
+                  trap_findings ctx m e k;
+                  index_finding ctx m a ix k))
+        blk.Cfg.instrs;
+      match blk.Cfg.term with
+      | Cfg.Branch (c, _, _) when blk.Cfg.term_sid >= 0 -> (
+          match Hashtbl.find_opt pts blk.Cfg.term_sid with
+          | None -> ()
+          | Some m -> (
+              let k sev msg = report sev blk.Cfg.term_sid msg in
+              trap_findings ctx m c k;
+              let ci = Interval.eval ctx m c in
+              let always_false =
+                ci.Interval.lo = 0 && ci.Interval.hi = 0
+              in
+              let always_true = not (Interval.mem 0 ci) in
+              match Cfg.stmt_of_sid g blk.Cfg.term_sid with
+              | Some (Ast.If _) ->
+                  if always_false then
+                    k Warning
+                      (Format.asprintf "condition %s is always false" (estr c))
+                  else if always_true then
+                    k Warning
+                      (Format.asprintf "condition %s is always true" (estr c))
+              | Some (Ast.While _) ->
+                  (* An intentional [while (1)] is idiomatic; only a
+                     never-entered loop is suspicious. *)
+                  if always_false then
+                    k Warning
+                      (Format.asprintf
+                         "loop condition %s is always false; the body never \
+                          runs"
+                         (estr c))
+              | _ -> ()))
+      | Cfg.Return e when blk.Cfg.term_sid >= 0 -> (
+          match Hashtbl.find_opt pts blk.Cfg.term_sid with
+          | None -> ()
+          | Some m ->
+              trap_findings ctx m e
+                (fun sev msg -> report sev blk.Cfg.term_sid msg))
+      | _ -> ())
+    g.Cfg.blocks;
+  (* Dead stores: the assigned value is provably never read.  Stores
+     whose right-hand side calls a function are exempt (assigning an
+     ignored call result is idiomatic), and so are unreachable ones
+     (already reported above). *)
+  let live = Liveness.solve ~globals:ctx.Interval.globals g in
+  Array.iter
+    (fun blk ->
+      ignore
+        (Liveness.fold_instrs_rev ~globals:ctx.Interval.globals blk
+           ~live_out:live.Liveness.live_out.(blk.Cfg.id)
+           ~f:(fun () (sid, i) ~live_after ->
+             match i with
+             | Cfg.Assign (x, e)
+               when Hashtbl.mem pts sid
+                    && (not (Liveness.Set.mem x live_after))
+                    && not (Cfg.expr_has_call e) ->
+                 report Note sid
+                   (Format.asprintf "value assigned to %s is never used" x)
+             | _ -> ())
+           ()))
+    g.Cfg.blocks;
+  !findings
+
+let program (p : Ast.program) =
+  let ctx = Interval.ctx_of_program p in
+  let order = Hashtbl.create 16 in
+  List.iteri (fun i (f : Ast.func) -> Hashtbl.add order f.Ast.name i) p.Ast.funcs;
+  let rank f = try Hashtbl.find order f with Not_found -> max_int in
+  List.concat_map (func ctx) p.Ast.funcs
+  |> List.sort (fun a b ->
+         match compare (rank a.func) (rank b.func) with
+         | 0 -> compare (a.sid, a.message) (b.sid, b.message)
+         | c -> c)

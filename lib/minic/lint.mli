@@ -1,0 +1,33 @@
+(** Static diagnostics over a checked program, built on {!Cfg},
+    {!Reaching}, {!Liveness} and {!Interval}.
+
+    The linter only reports what the analyses prove, so a clean
+    program stays clean: {e errors} are statements that trap on every
+    execution reaching them (constant out-of-bounds index, guaranteed
+    division by zero); {e warnings} are almost certainly bugs
+    (possible use of an uninitialized local, a compile-time-constant
+    branch condition, unreachable code); {e notes} are style-level
+    observations (a stored value that is never read) and are never
+    fatal, even under [--Werror]. *)
+
+type severity = Error | Warning | Note
+
+type finding = {
+  severity : severity;
+  func : string;  (** enclosing function *)
+  sid : int;  (** statement index in pre-order, as in {!Cfg} *)
+  message : string;
+}
+
+val program : Ast.program -> finding list
+(** All findings, ordered by function (program order) then sid.  The
+    program must have passed {!Check.check}. *)
+
+val severity_name : severity -> string
+
+val pp_finding : Format.formatter -> finding -> unit
+(** One line: [<severity>: <func>:<sid>: <message>]. *)
+
+val fails : werror:bool -> finding list -> bool
+(** Whether the finding set should fail the build: any [Error], or —
+    under [~werror:true] — any [Warning].  Notes never fail. *)

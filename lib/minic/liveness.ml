@@ -1,0 +1,63 @@
+module Set = Stdlib.Set.Make (String)
+
+module D = Dataflow.Make (struct
+  type t = Set.t
+
+  let equal = Set.equal
+  let join = Set.union
+  let widen _old next = next (* finite height: plain iteration terminates *)
+end)
+
+type result = { live_in : Set.t array; live_out : Set.t array }
+
+let term_uses ~globals blk =
+  match blk.Cfg.term with
+  | Cfg.Branch (c, _, _) -> Cfg.expr_uses ~globals c
+  | Cfg.Return e -> Cfg.expr_uses ~globals e
+  | Cfg.Jump _ | Cfg.Exit -> []
+
+(* live-in = uses(term) U fold over instrs in reverse of
+   (live \ defs) U uses. *)
+let transfer ~globals blk live_out =
+  let live =
+    List.fold_left (fun s x -> Set.add x s) live_out (term_uses ~globals blk)
+  in
+  let n = Array.length blk.Cfg.instrs in
+  let live = ref live in
+  for k = n - 1 downto 0 do
+    let _, i = blk.Cfg.instrs.(k) in
+    let after_defs =
+      List.fold_left (fun s x -> Set.remove x s) !live (Cfg.instr_defs i)
+    in
+    live :=
+      List.fold_left (fun s x -> Set.add x s) after_defs
+        (Cfg.instr_uses ~globals i)
+  done;
+  !live
+
+let solve ~globals g =
+  let init = Set.of_list globals in
+  let r =
+    D.solve ~direction:Dataflow.Backward ~init ~bottom:Set.empty
+      ~transfer:(transfer ~globals) g
+  in
+  { live_in = r.D.output; live_out = r.D.input }
+
+let fold_instrs_rev ~globals blk ~live_out ~f acc =
+  let live =
+    List.fold_left (fun s x -> Set.add x s) live_out (term_uses ~globals blk)
+  in
+  let n = Array.length blk.Cfg.instrs in
+  let acc = ref acc in
+  let live = ref live in
+  for k = n - 1 downto 0 do
+    let ((_, i) as cell) = blk.Cfg.instrs.(k) in
+    acc := f !acc cell ~live_after:!live;
+    let after_defs =
+      List.fold_left (fun s x -> Set.remove x s) !live (Cfg.instr_defs i)
+    in
+    live :=
+      List.fold_left (fun s x -> Set.add x s) after_defs
+        (Cfg.instr_uses ~globals i)
+  done;
+  !acc

@@ -1,0 +1,29 @@
+(** Live-variable analysis (backward may-analysis over scalar names),
+    instantiating the generic {!Dataflow} solver.
+
+    Global scalars are treated as live at function exit (the caller
+    can observe them) and as both read and clobbered by calls, so the
+    analysis is sound interprocedurally without a call graph.  Local
+    variables and parameters die at function exit. *)
+
+module Set : Stdlib.Set.S with type elt = string
+
+type result = {
+  live_in : Set.t array;  (** live variables at block entry, by block id *)
+  live_out : Set.t array;  (** live variables at block exit, by block id *)
+}
+
+val solve : globals:string list -> Cfg.t -> result
+(** [globals] must list every global scalar of the program. *)
+
+val fold_instrs_rev :
+  globals:string list ->
+  Cfg.block ->
+  live_out:Set.t ->
+  f:('a -> int * Cfg.instr -> live_after:Set.t -> 'a) ->
+  'a ->
+  'a
+(** Fold over a block's instructions in reverse execution order,
+    supplying the live-after set at each instruction — the primitive
+    dead-store elimination builds on.  [live_out] must be the solved
+    live-out of the block (the terminator's uses are added first). *)

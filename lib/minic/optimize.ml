@@ -1,51 +1,10 @@
-let mask32 = 0xFFFFFFFF
-let to_signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
-let bool01 b = if b then 1 else 0
+let mask32 = Sem.mask32
 
 (* Pure evaluation of an operator over literals; [None] when folding
    must not happen (division by zero stays a runtime event). *)
-let fold_binop op a b =
-  let a = a land mask32 and b = b land mask32 in
-  match op with
-  | Ast.Add -> Some ((a + b) land mask32)
-  | Ast.Sub -> Some ((a - b) land mask32)
-  | Ast.Mul -> Some (a * b land mask32)
-  | Ast.Div ->
-      if b = 0 then None else Some (to_signed a / to_signed b land mask32)
-  | Ast.Mod ->
-      if b = 0 then None
-      else
-        let q = to_signed a / to_signed b in
-        Some ((to_signed a - (q * to_signed b)) land mask32)
-  | Ast.And -> Some (a land b)
-  | Ast.Or -> Some (a lor b)
-  | Ast.Xor -> Some (a lxor b)
-  | Ast.Shl -> Some ((a lsl (b land 31)) land mask32)
-  | Ast.Shr -> Some (a lsr (b land 31))
-  | Ast.Lt -> Some (bool01 (to_signed a < to_signed b))
-  | Ast.Le -> Some (bool01 (to_signed a <= to_signed b))
-  | Ast.Gt -> Some (bool01 (to_signed a > to_signed b))
-  | Ast.Ge -> Some (bool01 (to_signed a >= to_signed b))
-  | Ast.Eq -> Some (bool01 (a = b))
-  | Ast.Ne -> Some (bool01 (a <> b))
-
-let fold_unop op a =
-  let a = a land mask32 in
-  match op with
-  | Ast.Neg -> (0 - a) land mask32
-  | Ast.Not -> bool01 (a = 0)
-  | Ast.Bitnot -> a lxor mask32
-
-let invert_cmp = function
-  | Ast.Lt -> Some Ast.Ge
-  | Ast.Ge -> Some Ast.Lt
-  | Ast.Le -> Some Ast.Gt
-  | Ast.Gt -> Some Ast.Le
-  | Ast.Eq -> Some Ast.Ne
-  | Ast.Ne -> Some Ast.Eq
-  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.And | Ast.Or
-  | Ast.Xor | Ast.Shl | Ast.Shr ->
-      None
+let fold_binop = Sem.binop
+let fold_unop = Sem.unop
+let invert_cmp = Sem.invert_cmp
 
 let is_pow2 v = v > 0 && v land (v - 1) = 0
 
@@ -119,4 +78,135 @@ and block stmts = List.concat_map stmt stmts
 
 let func (f : Ast.func) = { f with Ast.body = block f.Ast.body }
 
-let program (p : Ast.program) = { p with Ast.funcs = List.map func p.Ast.funcs }
+(* ---- Level 2: conditional constant propagation and dead-store
+   elimination driven by the {!Interval} and {!Liveness} analyses.
+
+   The rewrite walks the function body in the same pre-order as
+   {!Cfg.build} assigns sids, so each statement can look up its
+   analysis facts directly.  Safety rules:
+
+   - a subexpression is replaced by its constant only when its
+     interval is a singleton, it contains no call, and it provably
+     cannot trap ([Interval.cannot_trap]) — so a trapping or effectful
+     computation is never deleted;
+   - a store is dropped only when the target is dead after it and the
+     right-hand side is call-free and trap-free;
+   - a statement whose program point is unreachable (no interval
+     fact) never executes and is dropped;
+   - an [if]/[while] with a provably constant, trap-free, call-free
+     condition selects its branch / disappears. *)
+
+let live_after_table ~globals g live =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun blk ->
+      Liveness.fold_instrs_rev ~globals blk
+        ~live_out:live.Liveness.live_out.(blk.Cfg.id)
+        ~f:(fun () (sid, _) ~live_after -> Hashtbl.replace tbl sid live_after)
+        ())
+    g.Cfg.blocks;
+  tbl
+
+let rec ccp_expr ctx m e =
+  let const_here =
+    match e with
+    | Ast.Int _ -> None (* already a literal *)
+    | _ -> (
+        match Interval.to_const (Interval.eval ctx m e) with
+        | Some v
+          when (not (Cfg.expr_has_call e)) && Interval.cannot_trap ctx m e ->
+            Some v
+        | _ -> None)
+  in
+  match const_here with
+  | Some v -> Ast.Int v
+  | None -> (
+      match e with
+      | Ast.Int _ | Ast.Var _ -> e
+      | Ast.Idx (a, ix) -> Ast.Idx (a, ccp_expr ctx m ix)
+      | Ast.Un (op, e1) -> Ast.Un (op, ccp_expr ctx m e1)
+      | Ast.Bin (op, a, b) -> Ast.Bin (op, ccp_expr ctx m a, ccp_expr ctx m b)
+      | Ast.Call (f, args) -> Ast.Call (f, List.map (ccp_expr ctx m) args))
+
+let dataflow_round ctx (f : Ast.func) =
+  let g = Cfg.build f in
+  let pts = Interval.points ctx g in
+  let globals = ctx.Interval.globals in
+  let live = Liveness.solve ~globals g in
+  let live_after = live_after_table ~globals g live in
+  let counter = ref 0 in
+  (* Children are walked even when the result is discarded: the sid
+     counter must advance through every original statement. *)
+  let rec walk_stmt s =
+    let sid = !counter in
+    incr counter;
+    let pt = Hashtbl.find_opt pts sid in
+    match s with
+    | Ast.Set (x, e) -> (
+        match pt with
+        | None -> []
+        | Some m ->
+            let dead =
+              (match Hashtbl.find_opt live_after sid with
+              | Some la -> not (Liveness.Set.mem x la)
+              | None -> false)
+              && (not (Cfg.expr_has_call e))
+              && Interval.cannot_trap ctx m e
+            in
+            if dead then [] else [ Ast.Set (x, ccp_expr ctx m e) ])
+    | Ast.Set_idx (a, ix, e) -> (
+        match pt with
+        | None -> []
+        | Some m -> [ Ast.Set_idx (a, ccp_expr ctx m ix, ccp_expr ctx m e) ])
+    | Ast.Do e -> (
+        (* [e] is a call (Check), so [ccp_expr] only folds arguments. *)
+        match pt with
+        | None -> []
+        | Some m -> [ Ast.Do (ccp_expr ctx m e) ])
+    | Ast.Ret e -> (
+        match pt with None -> [] | Some m -> [ Ast.Ret (ccp_expr ctx m e) ])
+    | Ast.If (c, th, el) -> (
+        let th' = walk th in
+        let el' = walk el in
+        match pt with
+        | None -> []
+        | Some m -> (
+            let safe =
+              (not (Cfg.expr_has_call c)) && Interval.cannot_trap ctx m c
+            in
+            match Interval.to_const (Interval.eval ctx m c) with
+            | Some 0 when safe -> el'
+            | Some _ when safe -> th'
+            | _ -> [ Ast.If (ccp_expr ctx m c, th', el') ]))
+    | Ast.While (c, body) -> (
+        let body' = walk body in
+        match pt with
+        | None -> []
+        | Some m -> (
+            let safe =
+              (not (Cfg.expr_has_call c)) && Interval.cannot_trap ctx m c
+            in
+            match Interval.to_const (Interval.eval ctx m c) with
+            | Some 0 when safe -> []
+            | _ -> [ Ast.While (ccp_expr ctx m c, body') ]))
+  and walk stmts = List.concat_map walk_stmt stmts in
+  { f with Ast.body = walk f.Ast.body }
+
+let func_level2 ctx f =
+  (* Each dataflow round can expose more local folds and vice versa;
+     in practice this converges in one or two rounds, three is a
+     hard cap. *)
+  let rec go round f =
+    let f' = func (dataflow_round ctx f) in
+    if f' = f || round >= 2 then f' else go (round + 1) f'
+  in
+  go 0 f
+
+let program ?(level = 1) (p : Ast.program) =
+  if level <= 0 then p
+  else
+    let p1 = { p with Ast.funcs = List.map func p.Ast.funcs } in
+    if level = 1 then p1
+    else
+      let ctx = Interval.ctx_of_program p1 in
+      { p1 with Ast.funcs = List.map (func_level2 ctx) p1.Ast.funcs }

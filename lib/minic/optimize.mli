@@ -28,4 +28,19 @@ val expr : Ast.expr -> Ast.expr
 val stmt : Ast.stmt -> Ast.stmt list
 (** A statement can optimize to several (or zero) statements. *)
 
-val program : Ast.program -> Ast.program
+val program : ?level:int -> Ast.program -> Ast.program
+(** [level] selects how much work to do:
+
+    - [0] — identity;
+    - [1] (default) — the local rewrites above;
+    - [2] — additionally, per-function conditional constant
+      propagation and dead-store elimination driven by the {!Interval}
+      and {!Liveness} dataflow analyses: provably-constant trap-free
+      subexpressions become literals, stores to provably-dead
+      variables and unreachable statements disappear, and branches
+      with provably-constant conditions are resolved.  Iterated with
+      the local rewrites to a fixpoint (at most three rounds).
+
+    Every level preserves the {!Interp}-observable semantics exactly,
+    including runtime traps; the test suite checks this on random
+    structured programs. *)

@@ -1,0 +1,78 @@
+let uninit_sid = -1
+
+module Set = Stdlib.Set.Make (struct
+  type t = string * int
+
+  let compare = compare
+end)
+
+module D = Dataflow.Make (struct
+  type t = Set.t
+
+  let equal = Set.equal
+  let join = Set.union
+  let widen _old next = next
+end)
+
+type result = { reach_in : Set.t array; reach_out : Set.t array }
+
+let transfer blk facts =
+  Array.fold_left
+    (fun facts (sid, i) ->
+      match i with
+      | Cfg.Assign (x, _) ->
+          Set.add (x, sid) (Set.filter (fun (y, _) -> y <> x) facts)
+      | Cfg.Store _ | Cfg.Eval _ -> facts)
+    facts blk.Cfg.instrs
+
+let solve g =
+  let init =
+    Set.of_list
+      (List.map (fun x -> (x, uninit_sid)) g.Cfg.func.Ast.locals)
+  in
+  let r =
+    D.solve ~direction:Dataflow.Forward ~init ~bottom:Set.empty ~transfer g
+  in
+  { reach_in = r.D.input; reach_out = r.D.output }
+
+let uninitialized_uses g =
+  let locals =
+    List.fold_left
+      (fun s x -> Liveness.Set.add x s)
+      Liveness.Set.empty g.Cfg.func.Ast.locals
+  in
+  let r = solve g in
+  let reachable = Cfg.reachable g in
+  let found = Hashtbl.create 8 in
+  let note facts sid x =
+    if
+      Liveness.Set.mem x locals
+      && Set.mem (x, uninit_sid) facts
+      && not (Hashtbl.mem found x)
+    then Hashtbl.add found x sid
+  in
+  (* No global scalars in [uses]: a call cannot read our locals. *)
+  let uses e = Cfg.expr_uses ~globals:[] e in
+  Array.iter
+    (fun blk ->
+      if reachable.(blk.Cfg.id) then begin
+        let facts = ref r.reach_in.(blk.Cfg.id) in
+        Array.iter
+          (fun (sid, i) ->
+            List.iter (note !facts sid)
+              (Cfg.instr_uses ~globals:[] i);
+            match i with
+            | Cfg.Assign (x, _) ->
+                facts :=
+                  Set.add (x, sid) (Set.filter (fun (y, _) -> y <> x) !facts)
+            | Cfg.Store _ | Cfg.Eval _ -> ())
+          blk.Cfg.instrs;
+        match blk.Cfg.term with
+        | Cfg.Branch (c, _, _) ->
+            List.iter (note !facts blk.Cfg.term_sid) (uses c)
+        | Cfg.Return e -> List.iter (note !facts blk.Cfg.term_sid) (uses e)
+        | Cfg.Jump _ | Cfg.Exit -> ()
+      end)
+    g.Cfg.blocks;
+  Hashtbl.fold (fun x sid acc -> (x, sid) :: acc) found []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)

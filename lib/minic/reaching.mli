@@ -1,0 +1,30 @@
+(** Reaching definitions over the {!Dataflow} solver, specialized to
+    what the front-end needs: may-uninitialized uses of locals.
+
+    A definition site is the sid of an [Assign]; every local variable
+    additionally receives the pseudo-definition {!uninit_sid} at
+    function entry (parameters are defined by the caller, globals by
+    their initializers).  A use of a local reached by its
+    pseudo-definition may read the variable before any assignment —
+    the reference interpreter zero-initializes locals, but compiled
+    code inherits whatever the register window holds, so such reads
+    are a portability hazard. *)
+
+val uninit_sid : int
+(** The pseudo-definition sid representing "uninitialized at entry". *)
+
+module Set : Stdlib.Set.S with type elt = string * int
+(** Elements are [(variable, definition sid)]. *)
+
+type result = {
+  reach_in : Set.t array;  (** definitions reaching block entry *)
+  reach_out : Set.t array;
+}
+
+val solve : Cfg.t -> result
+
+val uninitialized_uses : Cfg.t -> (string * int) list
+(** [(variable, use sid)] for every use of a local that the
+    entry pseudo-definition may reach, deduplicated per variable
+    (first use in sid order), sorted by sid.  Uses in terminators
+    report the terminator's sid. *)

@@ -1,0 +1,64 @@
+let mask32 = 0xFFFFFFFF
+let to_signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+let of_signed v = v land mask32
+let bool01 b = if b then 1 else 0
+
+let binop op a b =
+  let a = a land mask32 and b = b land mask32 in
+  match op with
+  | Ast.Add -> Some ((a + b) land mask32)
+  | Ast.Sub -> Some ((a - b) land mask32)
+  | Ast.Mul -> Some (a * b land mask32)
+  | Ast.Div ->
+      if b = 0 then None else Some (to_signed a / to_signed b land mask32)
+  | Ast.Mod ->
+      if b = 0 then None
+      else
+        let q = to_signed a / to_signed b in
+        Some ((to_signed a - (q * to_signed b)) land mask32)
+  | Ast.And -> Some (a land b)
+  | Ast.Or -> Some (a lor b)
+  | Ast.Xor -> Some (a lxor b)
+  | Ast.Shl -> Some ((a lsl (b land 31)) land mask32)
+  | Ast.Shr -> Some (a lsr (b land 31))
+  | Ast.Lt -> Some (bool01 (to_signed a < to_signed b))
+  | Ast.Le -> Some (bool01 (to_signed a <= to_signed b))
+  | Ast.Gt -> Some (bool01 (to_signed a > to_signed b))
+  | Ast.Ge -> Some (bool01 (to_signed a >= to_signed b))
+  | Ast.Eq -> Some (bool01 (a = b))
+  | Ast.Ne -> Some (bool01 (a <> b))
+
+let unop op a =
+  let a = a land mask32 in
+  match op with
+  | Ast.Neg -> (0 - a) land mask32
+  | Ast.Not -> bool01 (a = 0)
+  | Ast.Bitnot -> a lxor mask32
+
+let invert_cmp = function
+  | Ast.Lt -> Some Ast.Ge
+  | Ast.Ge -> Some Ast.Lt
+  | Ast.Le -> Some Ast.Gt
+  | Ast.Gt -> Some Ast.Le
+  | Ast.Eq -> Some Ast.Ne
+  | Ast.Ne -> Some Ast.Eq
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.And | Ast.Or
+  | Ast.Xor | Ast.Shl | Ast.Shr ->
+      None
+
+let swap_cmp = function
+  | Ast.Lt -> Some Ast.Gt
+  | Ast.Gt -> Some Ast.Lt
+  | Ast.Le -> Some Ast.Ge
+  | Ast.Ge -> Some Ast.Le
+  | Ast.Eq -> Some Ast.Eq
+  | Ast.Ne -> Some Ast.Ne
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.And | Ast.Or
+  | Ast.Xor | Ast.Shl | Ast.Shr ->
+      None
+
+let is_cmp = function
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> true
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.And | Ast.Or
+  | Ast.Xor | Ast.Shl | Ast.Shr ->
+      false

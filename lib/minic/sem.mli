@@ -1,0 +1,29 @@
+(** The single source of truth for minic's 32-bit scalar semantics.
+
+    Values are stored as their unsigned 32-bit representation
+    (0..0xFFFFFFFF); comparisons, division, modulo and array indexing
+    interpret them as signed two's-complement.  {!Interp},
+    {!Optimize} and {!Interval} all evaluate operators through this
+    module, so constant folding and abstract interpretation cannot
+    drift from the reference interpreter. *)
+
+val mask32 : int
+val to_signed : int -> int
+(** Signed value of an unsigned 32-bit representation. *)
+
+val of_signed : int -> int
+
+val binop : Ast.binop -> int -> int -> int option
+(** [binop op a b] over unsigned representations; [None] exactly when
+    the operation traps at runtime (division or modulo by zero). *)
+
+val unop : Ast.unop -> int -> int
+
+val invert_cmp : Ast.binop -> Ast.binop option
+(** The comparison computing the logical negation, if [op] is a
+    comparison. *)
+
+val swap_cmp : Ast.binop -> Ast.binop option
+(** The comparison with operands exchanged: [a op b = b (swap op) a]. *)
+
+val is_cmp : Ast.binop -> bool

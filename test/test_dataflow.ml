@@ -1,0 +1,625 @@
+(* Tests for the dataflow framework: CFG construction, the generic
+   worklist solver on a hand-built graph, and the three concrete
+   analyses (liveness, reaching definitions, intervals). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+module Ast = Minic.Ast
+module Cfg = Minic.Cfg
+module Dataflow = Minic.Dataflow
+module Liveness = Minic.Liveness
+module Reaching = Minic.Reaching
+module Interval = Minic.Interval
+
+let func ?(name = "main") ?(params = []) ?(locals = []) body =
+  { Ast.name; params; locals; body }
+
+(* --- CFG construction --- *)
+
+let test_cfg_linear () =
+  let open Ast in
+  let g =
+    Cfg.build
+      (func ~locals:[ "a" ]
+         [ Set ("a", i 1); Do (Call ("f", [])); Ret (v "a") ])
+  in
+  check_int "one block" 1 (Array.length g.Cfg.blocks);
+  check_int "three sids" 3 g.Cfg.nsids;
+  let b = g.Cfg.blocks.(g.Cfg.entry) in
+  check_int "two instructions" 2 (Array.length b.Cfg.instrs);
+  (match b.Cfg.instrs.(0) with
+  | 0, Cfg.Assign ("a", _) -> ()
+  | _ -> Alcotest.fail "first instruction should be [0] a = 1");
+  (match b.Cfg.instrs.(1) with
+  | 1, Cfg.Eval (Call ("f", [])) -> ()
+  | _ -> Alcotest.fail "second instruction should be [1] f()");
+  match b.Cfg.term with
+  | Cfg.Return _ -> check_int "return sid" 2 b.Cfg.term_sid
+  | _ -> Alcotest.fail "terminator should be a return"
+
+let test_cfg_if () =
+  let g =
+    let open Ast in
+    Cfg.build
+      (func ~params:[ "p" ] ~locals:[ "x" ]
+         [
+           If (v "p" < i 1, [ Set ("x", i 1) ], [ Set ("x", i 2) ]);
+           Ret (v "x");
+         ])
+  in
+  (* entry, then, else, join *)
+  check_int "four blocks" 4 (Array.length g.Cfg.blocks);
+  let entry = g.Cfg.blocks.(g.Cfg.entry) in
+  let bt, be =
+    match entry.Cfg.term with
+    | Cfg.Branch (_, t, e) ->
+        check_bool "distinct branch targets" true (t <> e);
+        Alcotest.(check (list int)) "successors" [ t; e ]
+          (Cfg.successors entry);
+        (t, e)
+    | _ -> Alcotest.fail "entry should end in a branch"
+  in
+  let preds = Cfg.predecessors g in
+  let join =
+    match g.Cfg.blocks.(bt).Cfg.term with
+    | Cfg.Jump j -> j
+    | _ -> Alcotest.fail "then-arm should jump to the join"
+  in
+  Alcotest.(check (list int)) "join predecessors" [ bt; be ] preds.(join);
+  (match g.Cfg.blocks.(join).Cfg.term with
+  | Cfg.Return _ -> ()
+  | _ -> Alcotest.fail "join should return");
+  let rpo = Cfg.reverse_postorder g in
+  check_int "rpo starts at the entry" g.Cfg.entry rpo.(0);
+  check_int "rpo covers every block" 4 (Array.length rpo);
+  check_bool "everything reachable" true
+    (Array.for_all (fun r -> r) (Cfg.reachable g))
+
+let test_cfg_while () =
+  let g =
+    let open Ast in
+    Cfg.build
+      (func ~params:[ "n" ] ~locals:[ "k" ]
+         [
+           Set ("k", i 0);
+           While (v "k" < v "n", [ Set ("k", v "k" + i 1) ]);
+           Ret (v "k");
+         ])
+  in
+  (* entry, header, body, after *)
+  check_int "four blocks" 4 (Array.length g.Cfg.blocks);
+  let header =
+    match g.Cfg.blocks.(g.Cfg.entry).Cfg.term with
+    | Cfg.Jump h -> h
+    | _ -> Alcotest.fail "entry should jump to the loop header"
+  in
+  let body, after =
+    match g.Cfg.blocks.(header).Cfg.term with
+    | Cfg.Branch (_, b, a) -> (b, a)
+    | _ -> Alcotest.fail "header should branch"
+  in
+  (* back edge: the body jumps to the header *)
+  (match g.Cfg.blocks.(body).Cfg.term with
+  | Cfg.Jump h -> check_int "back edge target" header h
+  | _ -> Alcotest.fail "body should jump back");
+  let preds = Cfg.predecessors g in
+  check_int "header has two predecessors" 2 (List.length preds.(header));
+  (* reverse postorder visits the header before the body *)
+  let rpo = Array.to_list (Cfg.reverse_postorder g) in
+  let pos id =
+    let rec go k = function
+      | [] -> Alcotest.fail "block missing from rpo"
+      | x :: _ when x = id -> k
+      | _ :: tl -> go (k + 1) tl
+    in
+    go 0 rpo
+  in
+  check_bool "header before body in rpo" true (pos header < pos body);
+  check_bool "header before exit block in rpo" true (pos header < pos after)
+
+let test_cfg_dead_after_return () =
+  let open Ast in
+  let g =
+    Cfg.build (func ~locals:[ "x" ] [ Ret (i 0); Set ("x", i 1) ])
+  in
+  let r = Cfg.reachable g in
+  let dead = ref [] in
+  Array.iteri (fun id ok -> if not ok then dead := id :: !dead) r;
+  (match !dead with
+  | [ id ] ->
+      let blk = g.Cfg.blocks.(id) in
+      check_int "dead block holds the dead store" 1
+        (Array.length blk.Cfg.instrs);
+      let preds = Cfg.predecessors g in
+      Alcotest.(check (list int)) "no predecessors" [] preds.(id)
+  | _ -> Alcotest.fail "expected exactly one unreachable block");
+  check_int "rpo still visits every block"
+    (Array.length g.Cfg.blocks)
+    (Array.length (Cfg.reverse_postorder g))
+
+let test_cfg_stmt_of_sid () =
+  let g =
+    let open Ast in
+    Cfg.build
+      (func ~locals:[ "a" ]
+         [
+           Set ("a", i 0);
+           (* sid 0 *)
+           If
+             ( v "a" < i 1,
+               (* sid 1 *)
+               [ Set ("a", i 1) ],
+               (* sid 2 *)
+               [ While (v "a" < i 3, (* sid 3 *) [ Set ("a", v "a" + i 1) ]) ]
+               (* sid 4 *) );
+           Ret (v "a") (* sid 5 *);
+         ])
+  in
+  check_int "six sids" 6 g.Cfg.nsids;
+  let expect sid name pred =
+    match Cfg.stmt_of_sid g sid with
+    | Some s -> check_bool name true (pred s)
+    | None -> Alcotest.failf "%s: sid %d not found" name sid
+  in
+  expect 0 "sid 0 is a = 0" (function
+    | Ast.Set ("a", Ast.Int 0) -> true
+    | _ -> false);
+  expect 1 "sid 1 is the if" (function Ast.If _ -> true | _ -> false);
+  expect 2 "sid 2 is a = 1" (function
+    | Ast.Set ("a", Ast.Int 1) -> true
+    | _ -> false);
+  expect 3 "sid 3 is the while" (function Ast.While _ -> true | _ -> false);
+  expect 4 "sid 4 is the increment" (function
+    | Ast.Set ("a", Ast.Bin (Ast.Add, _, _)) -> true
+    | _ -> false);
+  expect 5 "sid 5 is the return" (function Ast.Ret _ -> true | _ -> false);
+  check_bool "sid past the end resolves to nothing" true
+    (Cfg.stmt_of_sid g 6 = None);
+  (* every sid the lowering assigned maps back to a statement *)
+  Array.iter
+    (fun blk ->
+      Array.iter
+        (fun (sid, _) ->
+          check_bool "instruction sid resolves" true
+            (Cfg.stmt_of_sid g sid <> None))
+        blk.Cfg.instrs;
+      if blk.Cfg.term_sid >= 0 then
+        check_bool "terminator sid resolves" true
+          (Cfg.stmt_of_sid g blk.Cfg.term_sid <> None))
+    g.Cfg.blocks
+
+(* --- Generic solver on a hand-built CFG --- *)
+
+(* A path-set domain: which block ids can lie on a path to this
+   point.  Finite (subsets of the block set), so widening is just the
+   new fact. *)
+module Iset = Set.Make (Int)
+
+module Path = Dataflow.Make (struct
+  type t = Iset.t
+
+  let equal = Iset.equal
+  let join = Iset.union
+  let widen _ next = next
+end)
+
+(* A diamond built directly from the record type, bypassing [build]:
+   B0 -> B1/B2 -> B3. *)
+let diamond =
+  let blk id term = { Cfg.id; instrs = [||]; term; term_sid = -1 } in
+  {
+    Cfg.func = { Ast.name = "synthetic"; params = []; locals = []; body = [] };
+    blocks =
+      [|
+        blk 0 (Cfg.Branch (Ast.Var "p", 1, 2));
+        blk 1 (Cfg.Jump 3);
+        blk 2 (Cfg.Jump 3);
+        blk 3 Cfg.Exit;
+      |];
+    entry = 0;
+    nsids = 0;
+  }
+
+let test_solver_forward_join () =
+  let r =
+    Path.solve ~direction:Dataflow.Forward ~init:Iset.empty ~bottom:Iset.empty
+      ~transfer:(fun blk s -> Iset.add blk.Cfg.id s)
+      diamond
+  in
+  Alcotest.(check (list int)) "join block sees both arms" [ 0; 1; 2 ]
+    (Iset.elements r.Path.input.(3));
+  Alcotest.(check (list int)) "exit output" [ 0; 1; 2; 3 ]
+    (Iset.elements r.Path.output.(3));
+  Alcotest.(check (list int)) "then arm" [ 0; 1 ]
+    (Iset.elements r.Path.output.(1));
+  Alcotest.(check (list int)) "else arm" [ 0; 2 ]
+    (Iset.elements r.Path.output.(2))
+
+let test_solver_edge_hook () =
+  (* Kill the edge into B2: its input stays bottom. *)
+  let r =
+    Path.solve ~direction:Dataflow.Forward ~init:(Iset.singleton 100)
+      ~bottom:Iset.empty
+      ~edge:(fun _blk succ fact -> if succ = 2 then Iset.empty else fact)
+      ~transfer:(fun blk s -> Iset.add blk.Cfg.id s)
+      diamond
+  in
+  Alcotest.(check (list int)) "boundary fact reaches the then arm"
+    [ 0; 100 ]
+    (Iset.elements r.Path.input.(1));
+  Alcotest.(check (list int)) "killed edge leaves B2 at bottom" []
+    (Iset.elements r.Path.input.(2))
+
+let test_solver_backward () =
+  (* Backward over the same diamond: which block ids lie on a path to
+     an exit.  B0's out-fact joins both arms. *)
+  let r =
+    Path.solve ~direction:Dataflow.Backward ~init:Iset.empty
+      ~bottom:Iset.empty
+      ~transfer:(fun blk s -> Iset.add blk.Cfg.id s)
+      diamond
+  in
+  Alcotest.(check (list int)) "entry out-fact joins both arms" [ 1; 2; 3 ]
+    (Iset.elements r.Path.input.(0));
+  Alcotest.(check (list int)) "entry in-fact" [ 0; 1; 2; 3 ]
+    (Iset.elements r.Path.output.(0))
+
+(* --- Liveness --- *)
+
+let live_after_table ~globals g live =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun blk ->
+      ignore
+        (Liveness.fold_instrs_rev ~globals blk
+           ~live_out:live.Liveness.live_out.(blk.Cfg.id)
+           ~f:(fun () (sid, _) ~live_after ->
+             Hashtbl.replace tbl sid live_after)
+           ()))
+    g.Cfg.blocks;
+  tbl
+
+let test_liveness_loop () =
+  let open Ast in
+  let g =
+    Cfg.build
+      (func ~params:[ "n" ] ~locals:[ "s"; "k"; "dead" ]
+         [
+           Set ("s", i 0);
+           (* 0 *)
+           Set ("k", i 0);
+           (* 1 *)
+           While
+             ( v "k" < v "n",
+               (* 2 *)
+               [
+                 Set ("s", v "s" + v "k");
+                 (* 3 *)
+                 Set ("k", v "k" + i 1);
+                 (* 4 *)
+                 Set ("dead", i 7) (* 5 *);
+               ] );
+           Ret (v "s") (* 6 *);
+         ])
+  in
+  let live = Liveness.solve ~globals:[] g in
+  let tbl = live_after_table ~globals:[] g live in
+  let after sid x = Liveness.Set.mem x (Hashtbl.find tbl sid) in
+  check_bool "s live across the loop" true (after 0 "s");
+  check_bool "k live across the loop" true (after 1 "k");
+  check_bool "k still live after the increment" true (after 4 "k");
+  check_bool "dead is dead after its store" false (after 5 "dead");
+  check_bool "s live after the accumulation" true (after 3 "s")
+
+let test_liveness_globals_at_exit () =
+  let open Ast in
+  (* A store to a global scalar is observable by the caller, so it is
+     never dead; the same store to a local is. *)
+  let g =
+    Cfg.build (func [ Set ("gg", i 5); Ret (i 0) ])
+  in
+  let as_global = live_after_table ~globals:[ "gg" ] g
+      (Liveness.solve ~globals:[ "gg" ] g)
+  and as_local = live_after_table ~globals:[] g
+      (Liveness.solve ~globals:[] g)
+  in
+  check_bool "global store live at exit" true
+    (Liveness.Set.mem "gg" (Hashtbl.find as_global 0));
+  check_bool "local store dead at exit" false
+    (Liveness.Set.mem "gg" (Hashtbl.find as_local 0))
+
+let test_liveness_call_reads_globals () =
+  let open Ast in
+  let g =
+    Cfg.build
+      (func ~locals:[ "x" ]
+         [ Set ("gg", i 1); (* 0 *) Do (Call ("f", [])); (* 1 *) Ret (i 0) ])
+  in
+  let tbl =
+    live_after_table ~globals:[ "gg" ] g (Liveness.solve ~globals:[ "gg" ] g)
+  in
+  (* the call may read gg, so the store at sid 0 is live *)
+  check_bool "call keeps the global store live" true
+    (Liveness.Set.mem "gg" (Hashtbl.find tbl 0))
+
+(* --- Reaching definitions / use-before-init --- *)
+
+let test_reaching_uninit_on_one_path () =
+  let open Ast in
+  let g =
+    Cfg.build
+      (func ~params:[ "p" ] ~locals:[ "x"; "y" ]
+         [
+           If (v "p" < i 1, [ Set ("x", i 1) ], []);
+           (* 0, 1 *)
+           Set ("y", v "x");
+           (* 2: x uninitialized when p >= 1 *)
+           Ret (v "y") (* 3 *);
+         ])
+  in
+  Alcotest.(check (list (pair string int)))
+    "x flagged at its first use"
+    [ ("x", 2) ]
+    (Reaching.uninitialized_uses g)
+
+let test_reaching_initialized_on_all_paths () =
+  let open Ast in
+  let g =
+    Cfg.build
+      (func ~params:[ "p" ] ~locals:[ "x" ]
+         [
+           If (v "p" < i 1, [ Set ("x", i 1) ], [ Set ("x", i 2) ]);
+           Ret (v "x");
+         ])
+  in
+  Alcotest.(check (list (pair string int)))
+    "both arms define x" [] (Reaching.uninitialized_uses g);
+  (* parameters are defined by the caller *)
+  let g2 = Cfg.build (func ~params:[ "p" ] [ Ret (v "p") ]) in
+  Alcotest.(check (list (pair string int)))
+    "parameters are initialized" [] (Reaching.uninitialized_uses g2)
+
+let test_reaching_loop_carried () =
+  let open Ast in
+  (* k is read by its own increment before any store on the path that
+     enters the loop straight away. *)
+  let g =
+    Cfg.build
+      (func ~params:[ "p" ] ~locals:[ "k" ]
+         [ While (v "p" < i 1, [ Set ("k", v "k" + i 1) ]); Ret (i 0) ])
+  in
+  Alcotest.(check (list (pair string int)))
+    "loop-carried uninitialized read"
+    [ ("k", 1) ]
+    (Reaching.uninitialized_uses g)
+
+let test_reaching_ignores_unreachable () =
+  let open Ast in
+  let g =
+    Cfg.build
+      (func ~locals:[ "x" ] [ Ret (i 0); Set ("x", v "x" + i 1) ])
+  in
+  Alcotest.(check (list (pair string int)))
+    "uses after return are not reported" []
+    (Reaching.uninitialized_uses g)
+
+(* --- Interval analysis --- *)
+
+let no_ctx = Interval.ctx_of_program { Ast.globals = []; funcs = [] }
+let is_top r = Stdlib.( = ) r Interval.top
+let ev ?(ctx = no_ctx) m e = Interval.eval ctx m e
+let bind x itv m = Interval.Smap.add x itv m
+let empty = Interval.Smap.empty
+
+let test_interval_eval_folds_constants () =
+  let open Ast in
+  let c e = Interval.to_const (ev empty e) in
+  Alcotest.(check (option int)) "2 + 3" (Some 5) (c (i 2 + i 3));
+  Alcotest.(check (option int)) "7 / 2" (Some 3) (c (i 7 / i 2));
+  Alcotest.(check (option int))
+    "0 - 1 wraps to the unsigned representation" (Some 0xFFFFFFFF)
+    (c (i 0 - i 1));
+  Alcotest.(check (option int)) "comparison decides" (Some 0) (c (i 3 > i 4));
+  check_bool "unknown variable is top" true (is_top (ev empty (v "x")));
+  check_bool "a call is top" true (is_top (ev empty (Call ("f", []))))
+
+let test_interval_mul_bounds () =
+  let open Ast in
+  let m = bind "x" { Interval.lo = 0; hi = 10 } (bind "y" { Interval.lo = -3; hi = 3 } empty) in
+  let r = ev m (v "x" * v "y") in
+  check_int "product lo" (-30) r.Interval.lo;
+  check_int "product hi" 30 r.Interval.hi;
+  (* 65536 * 65536 overflows 32 bits: the bound must saturate *)
+  let m2 = bind "x" { Interval.lo = 0; hi = 65536 } empty in
+  check_bool "overflowing product saturates to top" true
+    (is_top (ev m2 (v "x" * v "x")))
+
+let test_interval_div_corners () =
+  let open Ast in
+  (* divisor straddling zero gives no information *)
+  let m = bind "y" { Interval.lo = -1; hi = 1 } empty in
+  check_bool "divisor may be zero" true (is_top (ev m (i 100 / v "y")));
+  (* nonzero divisor: plain corner evaluation *)
+  let m2 =
+    bind "x" { Interval.lo = Interval.min32; hi = Interval.min32 }
+      (bind "y" { Interval.lo = 1; hi = 2 } empty)
+  in
+  let r = ev m2 (v "x" / v "y") in
+  check_int "most negative quotient" Interval.min32 r.Interval.lo;
+  (* min32 / -1 wraps back to min32: the result must cover the wrap *)
+  let m3 =
+    bind "x" { Interval.lo = Interval.min32; hi = Stdlib.( + ) Interval.min32 1 }
+      (bind "y" { Interval.lo = -1; hi = -1 } empty)
+  in
+  let r3 = ev m3 (v "x" / v "y") in
+  check_bool "wrap covered" true (Interval.mem Interval.min32 r3);
+  check_bool "ordinary quotient covered" true (Interval.mem Interval.max32 r3)
+
+let test_interval_byte_loads () =
+  let open Ast in
+  let ctx =
+    Interval.ctx_of_program
+      {
+        Ast.globals = [ Array ("b", Byte, 4); Array ("w", Word, 4) ];
+        funcs = [];
+      }
+  in
+  let r = ev ~ctx empty (idx "b" (i 0)) in
+  check_int "byte load lo" 0 r.Interval.lo;
+  check_int "byte load hi" 255 r.Interval.hi;
+  check_bool "word load is top" true (is_top (ev ~ctx empty (idx "w" (i 0))))
+
+let test_interval_cannot_trap () =
+  let open Ast in
+  let ctx =
+    Interval.ctx_of_program
+      { Ast.globals = [ Array ("arr", Word, 16) ]; funcs = [] }
+  in
+  let ct e = Interval.cannot_trap ctx empty e in
+  check_bool "masked index fits" true (ct (idx "arr" (v "k" &&& i 15)));
+  check_bool "wider mask may overrun" false (ct (idx "arr" (v "k" &&& i 31)));
+  check_bool "constant division" true (ct (i 4 / i 2));
+  check_bool "unknown divisor may trap" false (ct (v "x" / v "y"));
+  check_bool "calls may trap" false (ct (Call ("f", [])))
+
+let points_of f =
+  let p = { Ast.globals = []; funcs = [ f ] } in
+  let ctx = Interval.ctx_of_program p in
+  (ctx, Interval.points ctx (Cfg.build f))
+
+let test_interval_branch_refinement () =
+  let open Ast in
+  let f =
+    func ~params:[ "p" ] ~locals:[ "x" ]
+      [
+        If (v "p" < i 10, [ Set ("x", v "p") ], [ Set ("x", i 0) ]);
+        (* 0,1,2 *)
+        Ret (v "x") (* 3 *);
+      ]
+  in
+  let ctx, pts = points_of f in
+  let pi = Interval.eval ctx (Hashtbl.find pts 1) (v "p") in
+  check_int "p narrowed below 10 in the then arm" 9 pi.Interval.hi;
+  let pe = Interval.eval ctx (Hashtbl.find pts 2) (v "p") in
+  check_int "p at least 10 in the else arm" 10 pe.Interval.lo;
+  let xi = Interval.eval ctx (Hashtbl.find pts 3) (v "x") in
+  check_int "x join keeps the refined bound" 9 xi.Interval.hi
+
+let test_interval_loop_widening () =
+  let open Ast in
+  let f =
+    func ~locals:[ "k" ]
+      [
+        Set ("k", i 0);
+        (* 0 *)
+        While (v "k" < i 100, (* 1 *) [ Set ("k", v "k" + i 1) ]);
+        (* 2 *)
+        Ret (v "k") (* 3 *);
+      ]
+  in
+  let ctx, pts = points_of f in
+  (* the loop runs 100 > widen_after times: widening must still leave
+     the refined facts intact *)
+  let kb = Interval.eval ctx (Hashtbl.find pts 2) (v "k") in
+  check_int "k lower bound in the body" 0 kb.Interval.lo;
+  check_int "k upper bound in the body" 99 kb.Interval.hi;
+  let ka = Interval.eval ctx (Hashtbl.find pts 3) (v "k") in
+  check_int "k at least 100 after the loop" 100 ka.Interval.lo
+
+let test_interval_unreachable_point () =
+  let open Ast in
+  let f =
+    func ~locals:[ "x" ]
+      [
+        Set ("x", i 0);
+        (* 0 *)
+        If (i 3 > i 4, (* 1 *) [ Set ("x", i 1) ] (* 2 *), []);
+        Ret (v "x") (* 3 *);
+      ]
+  in
+  let ctx, pts = points_of f in
+  check_bool "dead then-arm has no program point" false (Hashtbl.mem pts 2);
+  Alcotest.(check (option int))
+    "x constant at the return" (Some 0)
+    (Interval.to_const (Interval.eval ctx (Hashtbl.find pts 3) (v "x")))
+
+let test_interval_call_clobbers_globals () =
+  let open Ast in
+  let f =
+    func ~locals:[ "x" ]
+      [
+        Set ("gg", i 5);
+        (* 0 *)
+        Do (Call ("f", []));
+        (* 1: may rewrite gg *)
+        Set ("x", v "gg");
+        (* 2 *)
+        Ret (v "x") (* 3 *);
+      ]
+  in
+  let p = { Ast.globals = [ Scalar ("gg", 0) ]; funcs = [ f ] } in
+  let ctx = Interval.ctx_of_program p in
+  let pts = Interval.points ctx (Cfg.build f) in
+  Alcotest.(check (option int))
+    "gg known before the call" (Some 5)
+    (Interval.to_const (Interval.eval ctx (Hashtbl.find pts 1) (v "gg")));
+  check_bool "gg clobbered after the call" true
+    (is_top (Interval.eval ctx (Hashtbl.find pts 2) (v "gg")))
+
+let () =
+  Alcotest.run "dataflow"
+    [
+      ( "cfg",
+        [
+          Alcotest.test_case "linear" `Quick test_cfg_linear;
+          Alcotest.test_case "if diamond" `Quick test_cfg_if;
+          Alcotest.test_case "while loop" `Quick test_cfg_while;
+          Alcotest.test_case "dead code after return" `Quick
+            test_cfg_dead_after_return;
+          Alcotest.test_case "stmt_of_sid" `Quick test_cfg_stmt_of_sid;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "forward join" `Quick test_solver_forward_join;
+          Alcotest.test_case "edge hook" `Quick test_solver_edge_hook;
+          Alcotest.test_case "backward" `Quick test_solver_backward;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "loop" `Quick test_liveness_loop;
+          Alcotest.test_case "globals live at exit" `Quick
+            test_liveness_globals_at_exit;
+          Alcotest.test_case "call reads globals" `Quick
+            test_liveness_call_reads_globals;
+        ] );
+      ( "reaching",
+        [
+          Alcotest.test_case "uninit on one path" `Quick
+            test_reaching_uninit_on_one_path;
+          Alcotest.test_case "initialized on all paths" `Quick
+            test_reaching_initialized_on_all_paths;
+          Alcotest.test_case "loop-carried" `Quick test_reaching_loop_carried;
+          Alcotest.test_case "ignores unreachable" `Quick
+            test_reaching_ignores_unreachable;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "constant folding" `Quick
+            test_interval_eval_folds_constants;
+          Alcotest.test_case "multiplication bounds" `Quick
+            test_interval_mul_bounds;
+          Alcotest.test_case "division corners" `Quick
+            test_interval_div_corners;
+          Alcotest.test_case "byte loads" `Quick test_interval_byte_loads;
+          Alcotest.test_case "cannot_trap" `Quick test_interval_cannot_trap;
+          Alcotest.test_case "branch refinement" `Quick
+            test_interval_branch_refinement;
+          Alcotest.test_case "loop widening" `Quick
+            test_interval_loop_widening;
+          Alcotest.test_case "unreachable point" `Quick
+            test_interval_unreachable_point;
+          Alcotest.test_case "call clobbers globals" `Quick
+            test_interval_call_clobbers_globals;
+        ] );
+    ]

@@ -46,6 +46,69 @@ let test_paper_method_build_count () =
   (* base + 52 probes + 2 replacement references + 1 verification *)
   check_int "56 builds" 56 r.Dse.Heuristic.builds
 
+let test_static_features () =
+  let ft = Apps.Features.of_app Apps.Registry.arith in
+  let prog = Lazy.force Apps.Registry.arith.Apps.Registry.program in
+  check_int "code bytes are 4 per instruction"
+    (4 * Array.length prog.Isa.Program.code)
+    ft.Apps.Features.code_bytes;
+  check_int "arith code fits one 1KB way" 1 (Apps.Features.code_resident_kb ft);
+  check_bool "arith multiplies" false (Apps.Features.mul_free ft);
+  check_bool "arith divides" false (Apps.Features.div_free ft);
+  Alcotest.(check (option int))
+    "call depth 0: main only" (Some 0) ft.Apps.Features.call_depth;
+  Alcotest.(check (option int))
+    "one 96-byte frame" (Some 96) ft.Apps.Features.stack_bytes;
+  check_bool "instruction mix sums to the total" true
+    (let m = ft.Apps.Features.mix in
+     m.Apps.Features.total
+     = m.Apps.Features.alu + m.Apps.Features.mul + m.Apps.Features.div
+       + m.Apps.Features.load + m.Apps.Features.store + m.Apps.Features.branch
+       + m.Apps.Features.call + m.Apps.Features.other);
+  (* blastn calls helpers: its nesting is deeper *)
+  let bft = Apps.Features.of_app Apps.Registry.blastn in
+  check_bool "blastn call depth positive" true
+    (match bft.Apps.Features.call_depth with Some d -> d > 0 | None -> false)
+
+let test_features_recursion_unbounded () =
+  let open Minic.Ast in
+  let f name body = { name; params = []; locals = []; body } in
+  let src =
+    {
+      globals = [];
+      funcs =
+        [ f "loop" [ Do (Call ("loop", [])); Ret (i 0) ];
+          f "main" [ Do (Call ("loop", [])); Ret (i 0) ] ];
+    }
+  in
+  let ft = Apps.Features.of_program src (Minic.Codegen.compile src) in
+  Alcotest.(check (option int))
+    "recursive call graph has no depth bound" None ft.Apps.Features.call_depth;
+  Alcotest.(check (option int))
+    "and no stack bound" None ft.Apps.Features.stack_bytes
+
+let test_static_pruning_preserves_trajectory () =
+  let weights = Dse.Cost.runtime_weights in
+  let app = Apps.Registry.arith in
+  let plain = Dse.Heuristic.coordinate_descent ~weights app in
+  let pruned =
+    Dse.Heuristic.coordinate_descent
+      ~features:(Apps.Features.of_app app)
+      ~weights app
+  in
+  check_bool "same final configuration" true
+    (Arch.Config.equal plain.Dse.Heuristic.config pruned.Dse.Heuristic.config);
+  Alcotest.(check (float 1e-9))
+    "same objective" plain.Dse.Heuristic.objective
+    pruned.Dse.Heuristic.objective;
+  check_bool "some candidates pruned" true (pruned.Dse.Heuristic.pruned > 0);
+  check_bool "strictly fewer builds" true
+    (pruned.Dse.Heuristic.builds < plain.Dse.Heuristic.builds);
+  (* every pruned candidate is exactly one the plain run evaluated *)
+  check_int "builds + pruned add up"
+    plain.Dse.Heuristic.builds
+    (pruned.Dse.Heuristic.builds + pruned.Dse.Heuristic.pruned)
+
 (* --- Convex recast --- *)
 
 let test_convex_study_runs () =
@@ -312,6 +375,11 @@ let () =
           Alcotest.test_case "random search deterministic" `Quick test_random_search_deterministic;
           Alcotest.test_case "coordinate descent" `Slow test_coordinate_descent_improves;
           Alcotest.test_case "paper build count" `Slow test_paper_method_build_count;
+          Alcotest.test_case "static features" `Quick test_static_features;
+          Alcotest.test_case "recursion unbounded" `Quick
+            test_features_recursion_unbounded;
+          Alcotest.test_case "static pruning" `Slow
+            test_static_pruning_preserves_trajectory;
         ] );
       ( "convex",
         [ Alcotest.test_case "study runs" `Quick test_convex_study_runs ] );

@@ -1,0 +1,101 @@
+(* Golden tests for the linter over the corpus in test/lint/: each
+   buggy source produces exactly the expected findings, the clean one
+   produces none, and neither do the registered applications (the
+   zero-false-positive contract). *)
+
+let check_bool = Alcotest.(check bool)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load name =
+  let src = read_file (Filename.concat "lint" name) in
+  match Minic.Parser.parse src with
+  | Error msg -> Alcotest.failf "%s: parse error: %s" name msg
+  | Ok p -> (
+      match Minic.Check.check p with
+      | Error msgs ->
+          Alcotest.failf "%s: check error: %s" name (String.concat "; " msgs)
+      | Ok () -> p)
+
+let findings name = Minic.Lint.program (load name)
+
+let rendered name =
+  List.map
+    (fun f -> Format.asprintf "%a" Minic.Lint.pp_finding f)
+    (findings name)
+
+let golden name expected =
+  Alcotest.(check (list string)) name expected (rendered name)
+
+let test_divzero () =
+  golden "divzero.mc"
+    [ "error: main:1: division by zero: z is always 0 in (10 / z)" ]
+
+let test_oob () =
+  golden "oob.mc"
+    [ "error: main:4: index 8 = 8 is always out of bounds for table (length 8)" ]
+
+let test_uninit () =
+  golden "uninit.mc"
+    [ "warning: main:0: local y may be used before initialization" ]
+
+let test_unreachable () =
+  golden "unreachable.mc"
+    [
+      "warning: main:2: condition (k > 0) is always false";
+      "warning: main:3: unreachable code: s = 99;";
+    ]
+
+let test_deadstore () =
+  golden "deadstore.mc" [ "note: main:1: value assigned to b is never used" ]
+
+let test_clean () = golden "clean.mc" []
+
+let test_fails () =
+  let open Minic.Lint in
+  (* errors always fail, warnings only under -Werror, notes never *)
+  check_bool "divzero fails" true (fails ~werror:false (findings "divzero.mc"));
+  check_bool "uninit passes by default" false
+    (fails ~werror:false (findings "uninit.mc"));
+  check_bool "uninit fails under werror" true
+    (fails ~werror:true (findings "uninit.mc"));
+  check_bool "deadstore never fails" false
+    (fails ~werror:true (findings "deadstore.mc"))
+
+let test_registry_clean () =
+  List.iter
+    (fun app ->
+      match Minic.Lint.program app.Apps.Registry.source with
+      | [] -> ()
+      | fs ->
+          Alcotest.failf "%s: unexpected findings:@.%s" app.Apps.Registry.name
+            (String.concat "\n"
+               (List.map
+                  (fun f -> Format.asprintf "%a" Minic.Lint.pp_finding f)
+                  fs)))
+    (Apps.Registry.all @ Apps.Extra.all)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "division by zero" `Quick test_divzero;
+          Alcotest.test_case "out of bounds" `Quick test_oob;
+          Alcotest.test_case "use before init" `Quick test_uninit;
+          Alcotest.test_case "unreachable code" `Quick test_unreachable;
+          Alcotest.test_case "dead store" `Quick test_deadstore;
+          Alcotest.test_case "clean program" `Quick test_clean;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "severity gating" `Quick test_fails;
+          Alcotest.test_case "no false positives on the apps" `Quick
+            test_registry_clean;
+        ] );
+    ]

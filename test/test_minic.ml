@@ -75,6 +75,33 @@ let test_check_depth_limit () =
   check_bool "depth 8 ok" true (Result.is_ok (Minic.Check.check (mk 8)));
   expect_errors (mk 12)
 
+let test_check_store_value_depth () =
+  (* An array store holds its index in a temporary while the value is
+     evaluated, so the value's depth budget is one less than a bare
+     expression's. *)
+  let rec deep n =
+    if n = 0 then Minic.Ast.Var "x"
+    else Minic.Ast.Bin (Minic.Ast.Add, Minic.Ast.Var "x", deep (n - 1))
+  in
+  let mk n =
+    main_of
+      ~globals:[ Minic.Ast.Array ("a", Minic.Ast.Word, 4) ]
+      ~locals:[ "x" ]
+      [
+        Minic.Ast.Set ("x", Minic.Ast.Int 1);
+        Minic.Ast.Set_idx ("a", Minic.Ast.Int 0, deep n);
+        Minic.Ast.Ret (Minic.Ast.Int 0);
+      ]
+  in
+  check_bool "store value of depth 9 ok" true
+    (Result.is_ok (Minic.Check.check (mk 8)));
+  (* one level deeper is fine as a bare expression but not as a store
+     value *)
+  check_bool "depth 10 ok as a bare expression" true
+    (Result.is_ok
+       (Minic.Check.check (main_of ~locals:[ "x" ] [ Minic.Ast.Ret (deep 9) ])));
+  expect_errors (mk 9)
+
 (* --- Interpreter semantics --- *)
 
 let ret e = main_of [ Minic.Ast.Ret e ]
@@ -629,6 +656,123 @@ let opt_diff_qtest =
               Minic.Interp.run ~fuel:10_000_000 q = expected
               && simulate q = expected))
 
+(* --- Level-2 (dataflow) optimization --- *)
+
+let main_body p =
+  let f =
+    List.find (fun f -> String.equal f.Minic.Ast.name "main") p.Minic.Ast.funcs
+  in
+  f.Minic.Ast.body
+
+let rec count_stmts ss =
+  List.fold_left
+    (fun n s ->
+      n + 1
+      +
+      match s with
+      | Minic.Ast.If (_, th, el) -> count_stmts th + count_stmts el
+      | Minic.Ast.While (_, body) -> count_stmts body
+      | _ -> 0)
+    0 ss
+
+let test_opt2_dce_and_branch_folding () =
+  let p =
+    let open Minic.Ast in
+    main_of ~locals:[ "a"; "b" ]
+      [
+        Set ("a", i 5);
+        Set ("b", v "a" + i 1);
+        (* dead: b is never read *)
+        If (v "a" < i 3, [ Set ("a", i 100) ], [ Set ("a", v "a" + i 1) ]);
+        Ret (v "a");
+      ]
+  in
+  let q = Minic.Optimize.program ~level:2 p in
+  check_int "semantics preserved" (interp p) (interp q);
+  check_int "simulator agrees" (interp p) (simulate q);
+  check_bool "statements removed" true
+    (count_stmts (main_body q) < count_stmts (main_body p));
+  check_bool "constant branch folded away" true
+    (not
+       (List.exists
+          (function Minic.Ast.If _ -> true | _ -> false)
+          (main_body q)))
+
+let test_opt2_unreachable_loop_removed () =
+  let p =
+    let open Minic.Ast in
+    main_of ~locals:[ "k"; "s" ]
+      [
+        Set ("s", i 7);
+        Set ("k", i 1);
+        While (v "k" < i 0, [ Set ("s", v "s" + i 1) ]);
+        (* never runs *)
+        Ret (v "s");
+      ]
+  in
+  let q = Minic.Optimize.program ~level:2 p in
+  check_int "semantics preserved" (interp p) (interp q);
+  check_bool "dead loop removed" true
+    (not
+       (List.exists
+          (function Minic.Ast.While _ -> true | _ -> false)
+          (main_body q)))
+
+let test_opt2_keeps_trapping_store () =
+  (* x is dead, but its right-hand side may divide by zero: removing
+     the store would turn a trapping program into a returning one. *)
+  let p =
+    let open Minic.Ast in
+    main_of
+      ~globals:[ Array_init ("arr", Word, [| 0 |]) ]
+      ~locals:[ "b"; "x" ]
+      [
+        Set ("b", idx "arr" (i 0));
+        Set ("x", i 7 / v "b");
+        Ret (i 1);
+      ]
+  in
+  let q = Minic.Optimize.program ~level:2 p in
+  let traps p =
+    match Minic.Interp.run p with
+    | exception Minic.Interp.Runtime_error _ -> true
+    | _ -> false
+  in
+  check_bool "original traps" true (traps p);
+  check_bool "optimized still traps" true (traps q)
+
+let opt2_idempotent_qtest =
+  QCheck.Test.make ~count:100 ~name:"level-2 optimizer is idempotent"
+    (QCheck.make ~print:(fun p -> Minic.Pretty.to_string p) gen_structured_program)
+    (fun p ->
+      let q = Minic.Optimize.program ~level:2 p in
+      Minic.Optimize.program ~level:2 q = q)
+
+let opt2_diff_qtest =
+  QCheck.Test.make ~count:250
+    ~name:"level-2 optimizer preserves semantics on random structured programs"
+    (QCheck.make ~print:(fun p -> Minic.Pretty.to_string p) gen_structured_program)
+    (fun p ->
+      match Minic.Check.check p with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () -> (
+          match Minic.Interp.run ~fuel:10_000_000 p with
+          | exception Minic.Interp.Runtime_error _ -> QCheck.assume_fail ()
+          | expected ->
+              let q = Minic.Optimize.program ~level:2 p in
+              Minic.Interp.run ~fuel:10_000_000 q = expected
+              && simulate q = expected))
+
+let test_opt2_preserves_benchmarks () =
+  List.iter
+    (fun app ->
+      let src = app.Apps.Registry.source in
+      check_int
+        (app.Apps.Registry.name ^ " level-2 semantics")
+        (Minic.Interp.run src)
+        (Minic.Interp.run (Minic.Optimize.program ~level:2 src)))
+    (Apps.Registry.all @ Apps.Extra.all)
+
 (* Compiled code must be identical in *result* across configurations. *)
 let test_config_invariance () =
   let open Minic.Ast in
@@ -675,6 +819,8 @@ let () =
           Alcotest.test_case "too many locals" `Quick test_check_too_many_locals;
           Alcotest.test_case "array as scalar" `Quick test_check_array_as_scalar;
           Alcotest.test_case "depth limit" `Quick test_check_depth_limit;
+          Alcotest.test_case "store value depth" `Quick
+            test_check_store_value_depth;
         ] );
       ( "interp",
         [
@@ -689,6 +835,14 @@ let () =
           Alcotest.test_case "statements" `Quick test_opt_statements;
           Alcotest.test_case "benchmarks preserved" `Quick test_opt_preserves_benchmarks;
           Alcotest.test_case "reduces cycles" `Quick test_opt_reduces_cycles;
+          Alcotest.test_case "level-2 DCE and branch folding" `Quick
+            test_opt2_dce_and_branch_folding;
+          Alcotest.test_case "level-2 dead loop" `Quick
+            test_opt2_unreachable_loop_removed;
+          Alcotest.test_case "level-2 keeps trapping store" `Quick
+            test_opt2_keeps_trapping_store;
+          Alcotest.test_case "level-2 benchmarks preserved" `Quick
+            test_opt2_preserves_benchmarks;
         ] );
       ( "differential",
         [
@@ -707,6 +861,8 @@ let () =
           QCheck_alcotest.to_alcotest structured_diff_qtest;
           QCheck_alcotest.to_alcotest opt_diff_qtest;
           QCheck_alcotest.to_alcotest opt_idempotent_qtest;
+          QCheck_alcotest.to_alcotest opt2_diff_qtest;
+          QCheck_alcotest.to_alcotest opt2_idempotent_qtest;
           Alcotest.test_case "random conditions" `Quick test_diff_random_exprs_as_conditions;
           Alcotest.test_case "config invariance" `Quick test_config_invariance;
         ] );
