@@ -1,7 +1,13 @@
 (* Benchmark harness: regenerates every table/figure of the paper's
    evaluation (fig1..fig7), plus bechamel micro-benchmarks of the
    system's building blocks (perf).  Run with no arguments for
-   everything except perf. *)
+   everything except perf.
+
+   Each experiment additionally emits a machine-readable
+   BENCH_<target>.json next to its ASCII output: wall-clock, simulated
+   cycles, solver nodes, build counts (deltas over the run) plus the
+   full metrics-registry snapshot.  --trace-out/--metrics-out export
+   the usual Chrome trace / metrics dump for the whole invocation. *)
 
 let ppf = Format.std_formatter
 
@@ -137,20 +143,91 @@ let experiments =
     ("baselines", baselines); ("sched", sched);
   ]
 
+(* Machine-readable per-target output: wall clock plus the deltas of
+   the interesting registry counters over the target's execution, and
+   the full end-of-target snapshot. *)
+let bench_json name ~wall_ns ~(before : Obs.Metrics.snapshot)
+    ~(after : Obs.Metrics.snapshot) =
+  let delta key = Obs.Metrics.counter_value after key - Obs.Metrics.counter_value before key in
+  Obs.Json.Obj
+    [
+      ("target", Obs.Json.String name);
+      ("wall_clock_s", Obs.Json.Float (Int64.to_float wall_ns /. 1e9));
+      ("sim_cycles", Obs.Json.Int (delta "sim.cycles"));
+      ("sim_runs", Obs.Json.Int (delta "sim.runs"));
+      ("solver_nodes", Obs.Json.Int (delta "binlp.nodes"));
+      ("solver_incumbents", Obs.Json.Int (delta "binlp.incumbents"));
+      ("builds", Obs.Json.Int (delta "dse.builds"));
+      ("heuristic_builds", Obs.Json.Int (delta "heuristic.builds"));
+      ("metrics", Obs.Metrics.to_json after);
+    ]
+
+let write_bench name json =
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Obs.Json.to_string json));
+  Format.eprintf "wrote %s@." path
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let trace_out = ref None and metrics_out = ref None in
+  let verbosity = ref 0 in
+  let names = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--trace-out" :: path :: rest ->
+        trace_out := Some path;
+        parse rest
+    | "--metrics-out" :: path :: rest ->
+        metrics_out := Some path;
+        parse rest
+    | "-v" :: rest ->
+        incr verbosity;
+        parse rest
+    | "-vv" :: rest ->
+        verbosity := !verbosity + 2;
+        parse rest
+    | ("--trace-out" | "--metrics-out") :: [] ->
+        Format.eprintf "missing FILE argument@.";
+        exit 2
+    | name :: rest ->
+        names := name :: !names;
+        parse rest
+  in
+  parse args;
+  let names = List.rev !names in
+  Obs.Log.setup ~verbosity:!verbosity ();
+  if !trace_out <> None then Obs.Trace.set_enabled true;
   let run name =
     match List.assoc_opt name experiments with
     | Some f ->
-        Format.printf "@.";
-        f ();
-        Format.printf "@."
+        let before = Obs.Metrics.snapshot () in
+        let t0 = Obs.Clock.now_ns () in
+        Obs.Span.with_ ~cat:"bench" ("bench." ^ name) (fun () ->
+            Format.printf "@.";
+            f ();
+            Format.printf "@.");
+        let wall_ns = Int64.sub (Obs.Clock.now_ns ()) t0 in
+        let after = Obs.Metrics.snapshot () in
+        write_bench name (bench_json name ~wall_ns ~before ~after)
     | None when name = "perf" -> perf ()
     | None ->
         Format.eprintf "unknown experiment %S; known: %s, perf@." name
           (String.concat ", " (List.map fst experiments));
         exit 2
   in
-  match args with
+  (match names with
   | [] -> List.iter (fun (n, _) -> run n) experiments
-  | names -> List.iter run names
+  | names -> List.iter run names);
+  (match !trace_out with
+  | None -> ()
+  | Some path ->
+      Obs.Export.write_trace path;
+      Format.eprintf "wrote Chrome trace to %s@." path);
+  match !metrics_out with
+  | None -> ()
+  | Some path ->
+      Obs.Export.write_metrics path;
+      Format.eprintf "wrote metrics snapshot to %s@." path

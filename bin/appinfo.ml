@@ -8,6 +8,8 @@
      appinfo --static             static features only (no simulation)
      appinfo --lint [--Werror]    lint every selected app's source     *)
 
+open Cmdliner
+
 let pr fmt = Format.printf fmt
 
 let dcache_kb kb =
@@ -16,26 +18,6 @@ let dcache_kb kb =
 
 let with_iu f =
   { Arch.Config.base with Arch.Config.iu = f Arch.Config.base.Arch.Config.iu }
-
-let usage () =
-  Printf.eprintf
-    "usage: appinfo [--static] [--lint [--Werror]] [APP...]\n";
-  exit 2
-
-let parse_args () =
-  let lint = ref false and werror = ref false and static = ref false in
-  let names = ref [] in
-  List.iter
-    (fun arg ->
-      match arg with
-      | "--lint" -> lint := true
-      | "--Werror" -> werror := true
-      | "--static" -> static := true
-      | "--help" | "-h" -> usage ()
-      | _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
-      | name -> names := name :: !names)
-    (List.tl (Array.to_list Sys.argv));
-  (!lint, !werror, !static, List.rev !names)
 
 let selected_apps names =
   let known = Apps.Registry.all @ Apps.Extra.all in
@@ -49,8 +31,10 @@ let selected_apps names =
           with
           | Some a -> a
           | None ->
-              Printf.eprintf "unknown app %S (known: %s)\n" name
-                (String.concat ", " (List.map (fun a -> a.Apps.Registry.name) known));
+              Logs.err (fun m ->
+                  m "unknown app %S (known: %s)" name
+                    (String.concat ", "
+                       (List.map (fun a -> a.Apps.Registry.name) known)));
               exit 2)
         names
 
@@ -115,8 +99,8 @@ let dynamic_report app =
   show "no fast jump" (with_iu (fun u -> { u with Arch.Config.fast_jump = false }));
   show "no divider" (with_iu (fun u -> { u with Arch.Config.divider = Arch.Config.Div_none }))
 
-let () =
-  let lint, werror, static, names = parse_args () in
+let run lint werror static names obs =
+  Obs_cli.with_reporting obs "appinfo" @@ fun () ->
   let apps = selected_apps names in
   if lint then lint_apps ~werror apps
   else
@@ -132,3 +116,33 @@ let () =
         if not static then dynamic_report app;
         pr "@.")
       apps
+
+let lint_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Lint every selected application's source and exit 4 on \
+           error-level findings, like $(b,mcc --lint).")
+
+let werror_arg =
+  Arg.(
+    value & flag
+    & info [ "Werror" ] ~doc:"With $(b,--lint): treat warnings as errors.")
+
+let static_arg =
+  Arg.(
+    value & flag
+    & info [ "static" ] ~doc:"Static features only (skip the simulations).")
+
+let names_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"APP" ~doc:"Applications to report on (default: the paper's four).")
+
+let cmd =
+  let doc = "per-application static features and execution statistics" in
+  Cmd.v
+    (Cmd.info "appinfo" ~version:"1.0.0" ~doc)
+    Term.(
+      const run $ lint_arg $ werror_arg $ static_arg $ names_arg $ Obs_cli.term)
+
+let () = exit (Cmd.eval cmd)

@@ -31,12 +31,12 @@ let parse_and_check path =
   let src = read_file path in
   match Minic.Parser.parse src with
   | Error msg ->
-      Printf.eprintf "%s: %s\n" path msg;
+      Logs.err (fun m -> m "%s: %s" path msg);
       exit exit_parse
   | Ok ast -> (
       match Minic.Check.check ast with
       | Error es ->
-          List.iter (fun e -> Printf.eprintf "%s: %s\n" path e) es;
+          List.iter (fun e -> Logs.err (fun m -> m "%s: %s" path e)) es;
           exit exit_check
       | Ok () -> ast)
 
@@ -47,7 +47,8 @@ let load ~level path =
 
 let lint ~werror path =
   if Filename.check_suffix path ".img" then begin
-    Printf.eprintf "%s: --lint needs minic source, not a binary image\n" path;
+    Logs.err (fun m ->
+        m "%s: --lint needs minic source, not a binary image" path);
     exit exit_parse
   end;
   let ast = parse_and_check path in
@@ -66,7 +67,8 @@ let lint ~werror path =
   if Minic.Lint.fails ~werror findings then exit exit_lint
 
 let run source output disasm run stats optimize level do_lint werror trace
-    config =
+    config obs =
+  Obs_cli.with_reporting obs "mcc" @@ fun () ->
   let config =
     match config with
     | None -> Arch.Config.base
@@ -74,7 +76,7 @@ let run source output disasm run stats optimize level do_lint werror trace
         match Arch.Codec.of_string s with
         | Ok c -> c
         | Error m ->
-            Printf.eprintf "--config: %s\n" m;
+            Logs.err (fun m' -> m' "--config: %s" m);
             exit 1)
   in
   if do_lint then lint ~werror source
@@ -103,15 +105,19 @@ let run source output disasm run stats optimize level do_lint werror trace
         let cpu = Sim.Cpu.create config prog ~mem_size:(1 lsl 20) in
         Sim.Trace.pp Format.std_formatter (Sim.Trace.run ~limit:n cpu));
     if run then begin
-      let cpu = Sim.Cpu.create config prog ~mem_size:(1 lsl 20) in
-      (try Sim.Cpu.run cpu
-       with Sim.Cpu.Error msg ->
-         Printf.eprintf "simulation error: %s\n" msg;
-         exit 1);
-      let p = Sim.Cpu.profile cpu in
-      Format.printf "result: %#x (%d cycles, %d instructions)@."
-        (Sim.Cpu.result cpu) p.Sim.Profiler.cycles p.Sim.Profiler.instructions;
-      if stats then Format.printf "%a@." Sim.Profiler.pp p
+      (* Machine.run (rather than driving Cpu directly) so the execution
+         shows up as a sim span and flushes its profile into the metrics
+         registry for --metrics-out. *)
+      match Sim.Machine.run ~mem_size:(1 lsl 20) config prog with
+      | exception Sim.Cpu.Error msg ->
+          Logs.err (fun m -> m "simulation error: %s" msg);
+          exit 1
+      | r ->
+          let p = r.Sim.Machine.profile in
+          Format.printf "result: %#x (%d cycles, %d instructions)@."
+            r.Sim.Machine.checksum p.Sim.Profiler.cycles
+            p.Sim.Profiler.instructions;
+          if stats then Format.printf "%a@." Sim.Profiler.pp p
     end
   end
 
@@ -172,6 +178,6 @@ let cmd =
     Term.(
       const run $ source_arg $ output_arg $ disasm_arg $ run_arg $ stats_arg
       $ optimize_arg $ level_arg $ lint_arg $ werror_arg $ trace_arg
-      $ config_arg)
+      $ config_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval cmd)

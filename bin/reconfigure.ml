@@ -52,9 +52,11 @@ let noise_arg =
   in
   Arg.(value & opt (some float) None & info [ "noise" ] ~doc)
 
-let verbose_arg =
+(* [-v]/[-vv] now belong to the shared logging term (Obs_cli); the
+   model dump kept its own explicit flag. *)
+let print_model_arg =
   let doc = "Print the full one-at-a-time cost model." in
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+  Arg.(value & flag & info [ "print-model" ] ~doc)
 
 let report_arg =
   let doc = "Print the synthesis utilization report (component tree) of the recommended configuration." in
@@ -75,15 +77,24 @@ let print_model (m : Dse.Measure.model) =
         d.Dse.Cost.rho d.Dse.Cost.lambda d.Dse.Cost.beta)
     m.Dse.Measure.rows
 
-let run app w1 w2 dims exhaustive noise verbose report =
+let run app w1 w2 dims exhaustive noise print_model_flag report obs =
+  Obs_cli.with_reporting obs "reconfigure" @@ fun () ->
   let weights = { Dse.Cost.w1; w2 } in
   let dims =
     match dims with `All -> None | `Dcache -> Some Arch.Param.dcache_size_dims
   in
   Format.fprintf ppf "Application: %s — %s@." app.Apps.Registry.name
     app.Apps.Registry.description;
+  Logs.info (fun m ->
+      m "optimizing %s with w1=%g w2=%g (%s dimensions)"
+        app.Apps.Registry.name w1 w2
+        (match dims with None -> "all" | Some _ -> "dcache"));
   let model = Dse.Measure.build ?noise ?dims app in
-  if verbose then print_model model;
+  Logs.info (fun m ->
+      m "model built: %d one-at-a-time rows, base %.3fs"
+        (List.length model.Dse.Measure.rows)
+        model.Dse.Measure.base.Dse.Cost.seconds);
+  if print_model_flag then print_model model;
   let outcome = Dse.Optimizer.run_with_model ~weights model in
   Format.fprintf ppf "@.Recommended configuration:@.%a@." Arch.Config.pp
     outcome.Dse.Optimizer.config;
@@ -129,6 +140,6 @@ let cmd =
     (Cmd.info "reconfigure" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ app_arg $ w1_arg $ w2_arg $ dims_arg $ exhaustive_arg
-      $ noise_arg $ verbose_arg $ report_arg)
+      $ noise_arg $ print_model_arg $ report_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval cmd)

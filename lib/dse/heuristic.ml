@@ -6,6 +6,14 @@ type result = {
   pruned : int;
 }
 
+let m_builds =
+  Obs.Metrics.Counter.v "heuristic.builds"
+    ~help:"configurations built by heuristic searches"
+
+let m_pruned =
+  Obs.Metrics.Counter.v "heuristic.pruned"
+    ~help:"candidates skipped via static-feature arguments"
+
 let pick rng xs = List.nth xs (Sim.Rng.int rng (List.length xs))
 
 let random_cache rng =
@@ -52,6 +60,13 @@ let evaluate ~weights ~base app config =
 
 let random_search ?(seed = 0x5EA7C4) ~builds ~weights app =
   if builds < 1 then invalid_arg "Heuristic.random_search: builds must be >= 1";
+  Obs.Span.with_ ~cat:"dse" "heuristic.random_search"
+    ~attrs:
+      [
+        ("app", Obs.Json.String app.Apps.Registry.name);
+        ("builds", Obs.Json.Int builds);
+      ]
+  @@ fun () ->
   let rng = Sim.Rng.create ~seed in
   let base = Measure.measure app Arch.Config.base in
   let best = ref (Arch.Config.base, base, 0.0) in
@@ -60,6 +75,7 @@ let random_search ?(seed = 0x5EA7C4) ~builds ~weights app =
     let config = random_config rng in
     if Synth.Estimate.feasible config then begin
       incr spent;
+      Obs.Metrics.Counter.incr m_builds;
       let cost, objective = evaluate ~weights ~base app config in
       let _, _, best_obj = !best in
       if objective < best_obj then best := (config, cost, objective)
@@ -157,11 +173,15 @@ let prunable ft current candidate =
   && rcan.Synth.Resource.brams >= rcur.Synth.Resource.brams
 
 let coordinate_descent ?(max_sweeps = 5) ?features ~weights app =
+  Obs.Span.with_span ~cat:"dse" "heuristic.coordinate_descent"
+    ~attrs:[ ("app", Obs.Json.String app.Apps.Registry.name) ]
+  @@ fun span ->
   let base = Measure.measure app Arch.Config.base in
   let builds = ref 0 in
   let pruned = ref 0 in
   let eval config =
     incr builds;
+    Obs.Metrics.Counter.incr m_builds;
     evaluate ~weights ~base app config
   in
   let current = ref Arch.Config.base in
@@ -181,7 +201,9 @@ let coordinate_descent ?(max_sweeps = 5) ?features ~weights app =
               && Synth.Estimate.feasible candidate
             then begin
               match features with
-              | Some ft when prunable ft !current candidate -> incr pruned
+              | Some ft when prunable ft !current candidate ->
+                  incr pruned;
+                  Obs.Metrics.Counter.incr m_pruned
               | _ ->
                   let _, objective = eval candidate in
                   if objective < !current_obj -. 1e-9 then begin
@@ -194,6 +216,8 @@ let coordinate_descent ?(max_sweeps = 5) ?features ~weights app =
       Arch.Param.groups
   done;
   let cost = Measure.measure app !current in
+  Obs.Span.add_attr span "builds" (Obs.Json.Int !builds);
+  Obs.Span.add_attr span "pruned" (Obs.Json.Int !pruned);
   {
     config = !current;
     cost;
@@ -203,6 +227,9 @@ let coordinate_descent ?(max_sweeps = 5) ?features ~weights app =
   }
 
 let paper_method ~weights app =
+  Obs.Span.with_ ~cat:"dse" "heuristic.paper_method"
+    ~attrs:[ ("app", Obs.Json.String app.Apps.Registry.name) ]
+  @@ fun () ->
   let model = Measure.build app in
   let o = Optimizer.run_with_model ~weights model in
   let repl_references = 2 (* the 2-way icache/dcache reference builds *) in

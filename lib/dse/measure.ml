@@ -18,7 +18,12 @@ let lut_noise ~amplitude config =
   let u = float_of_int (h land 0xFFFF) /. 65535.0 in
   amplitude *. ((2.0 *. u) -. 1.0) *. float_of_int Synth.Device.luts /. 100.0
 
+let m_builds =
+  Obs.Metrics.Counter.v "dse.builds"
+    ~help:"configurations synthesized and executed"
+
 let measure ?noise app config =
+  Obs.Metrics.Counter.incr m_builds;
   let resources = Synth.Estimate.config config in
   let resources =
     match noise with
@@ -49,6 +54,9 @@ let reference_config (var : Arch.Param.var) =
   | _ -> Arch.Config.base
 
 let build ?noise ?dims ?jobs app =
+  Obs.Span.with_span ~cat:"dse" "measure.build"
+    ~attrs:[ ("app", Obs.Json.String app.Apps.Registry.name) ]
+  @@ fun span ->
   (* Force the compiled program before any domain fan-out: Lazy is not
      domain-safe. *)
   ignore (Lazy.force app.Apps.Registry.program);
@@ -59,7 +67,11 @@ let build ?noise ?dims ?jobs app =
   let vars =
     List.filter (fun v -> List.mem v.Arch.Param.group selected_groups) Arch.Param.all
   in
+  Obs.Span.add_attr span "perturbations" (Obs.Json.Int (List.length vars));
   let measure_var var =
+    Obs.Span.with_span ~cat:"dse" "measure.perturbation"
+      ~attrs:[ ("label", Obs.Json.String var.Arch.Param.label) ]
+    @@ fun vspan ->
     let reference = reference_config var in
     let config = var.Arch.Param.apply reference in
     let cost = measure ?noise app config in
@@ -67,6 +79,13 @@ let build ?noise ?dims ?jobs app =
       if Arch.Config.equal reference Arch.Config.base then base
       else measure ?noise app reference
     in
+    Obs.Span.add_attr vspan "sim_cycles"
+      (Obs.Json.Int
+         (int_of_float (cost.Cost.seconds *. Sim.Machine.clock_hz)));
+    Obs.Span.add_attr vspan "luts"
+      (Obs.Json.Int cost.Cost.resources.Synth.Resource.luts);
+    Obs.Span.add_attr vspan "brams"
+      (Obs.Json.Int cost.Cost.resources.Synth.Resource.brams);
     (* Marginal deltas relative to the reference, expressed against the
        base runtime as the paper's percentages are. *)
     let d = Cost.deltas ~base:ref_cost cost in

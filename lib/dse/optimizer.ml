@@ -43,11 +43,24 @@ let predict ?variant model selected =
       Synth.Resource.bram_percent base.Cost.resources +. alt.Cost.beta;
   }
 
+(* The pipeline's four phases — measure, formulate, solve, verify — as
+   spans, so a trace shows at a glance where a reconfiguration run
+   spends its time ([Measure.build] opens the measure phase itself). *)
 let run_with_model ?variant ~weights model =
-  let problem = Formulate.make ?variant weights model in
-  match Optim.Binlp.solve problem with
+  let app = model.Measure.app.Apps.Registry.name in
+  let attrs = [ ("app", Obs.Json.String app) ] in
+  let problem =
+    Obs.Span.with_ ~cat:"dse" "phase.formulate" ~attrs (fun () ->
+        Formulate.make ?variant weights model)
+  in
+  let solved =
+    Obs.Span.with_ ~cat:"dse" "phase.solve" ~attrs (fun () ->
+        Optim.Binlp.solve problem)
+  in
+  match solved with
   | None -> failwith "Optimizer: BINLP infeasible"
   | Some solution ->
+      Obs.Span.with_ ~cat:"dse" "phase.verify" ~attrs @@ fun () ->
       let selected = Formulate.vars_of_solution model solution in
       let config = Arch.Param.apply_all Arch.Config.base selected in
       (match Arch.Config.validate config with
@@ -65,7 +78,12 @@ let run_with_model ?variant ~weights model =
       }
 
 let run ?noise ?dims ?variant ~weights app =
-  run_with_model ?variant ~weights (Measure.build ?noise ?dims app)
+  let model =
+    Obs.Span.with_ ~cat:"dse" "phase.measure"
+      ~attrs:[ ("app", Obs.Json.String app.Apps.Registry.name) ]
+      (fun () -> Measure.build ?noise ?dims app)
+  in
+  run_with_model ?variant ~weights model
 
 let pp_selected ppf vars =
   Fmt.(list ~sep:comma string)

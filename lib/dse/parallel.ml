@@ -4,7 +4,11 @@ let map ?jobs f xs =
     min n (match jobs with Some j -> j | None -> Domain.recommended_domain_count ())
   in
   if jobs <= 1 then List.map f xs
-  else begin
+  else
+    Obs.Span.with_ ~cat:"dse" "parallel.map"
+      ~attrs:[ ("jobs", Obs.Json.Int jobs); ("items", Obs.Json.Int n) ]
+    @@ fun () ->
+    begin
     let input = Array.of_list xs in
     let output = Array.make n None in
     let failure = Atomic.make None in

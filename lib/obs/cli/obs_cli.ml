@@ -1,0 +1,56 @@
+open Cmdliner
+
+type t = {
+  verbosity : int;
+  trace_out : string option;
+  metrics_out : string option;
+}
+
+let verbosity_arg =
+  let doc =
+    "Increase log verbosity: $(b,-v) for informational messages, $(b,-vv) \
+     for debug."
+  in
+  Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Record spans of the pipeline's phases and write a Chrome trace-event \
+     JSON file to $(docv) (open in Perfetto or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~doc ~docv:"FILE")
+
+let metrics_out_arg =
+  let doc =
+    "Write a JSON snapshot of the metrics registry (simulator event \
+     counters, solver node counts, build counts) to $(docv) on exit."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~doc ~docv:"FILE")
+
+let term =
+  let make v trace_out metrics_out =
+    { verbosity = List.length v; trace_out; metrics_out }
+  in
+  Term.(const make $ verbosity_arg $ trace_out_arg $ metrics_out_arg)
+
+let install t =
+  Obs.Log.setup ~verbosity:t.verbosity ();
+  if t.trace_out <> None then Obs.Trace.set_enabled true
+
+let finish t =
+  (match t.trace_out with
+  | None -> ()
+  | Some path ->
+      Obs.Export.write_trace path;
+      Logs.info (fun m -> m "wrote Chrome trace to %s" path));
+  match t.metrics_out with
+  | None -> ()
+  | Some path ->
+      Obs.Export.write_metrics path;
+      Logs.info (fun m -> m "wrote metrics snapshot to %s" path)
+
+let with_reporting t root f =
+  install t;
+  Fun.protect
+    ~finally:(fun () -> finish t)
+    (fun () -> Obs.Span.with_ ~cat:"cli" root f)

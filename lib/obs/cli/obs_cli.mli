@@ -1,0 +1,24 @@
+(** The cmdliner term shared by [reconfigure], [mcc], and [appinfo]:
+    [-v]/[-vv] verbosity for [Logs], [--trace-out FILE] for the Chrome
+    trace-event export, [--metrics-out FILE] for the metrics dump. *)
+
+type t = {
+  verbosity : int;
+  trace_out : string option;
+  metrics_out : string option;
+}
+
+val term : t Cmdliner.Term.t
+
+val install : t -> unit
+(** Set up the [Logs] reporter/level and enable span recording when a
+    trace file was requested. *)
+
+val finish : t -> unit
+(** Write the requested export files (logs where they went at info
+    level). *)
+
+val with_reporting : t -> string -> (unit -> 'a) -> 'a
+(** [install], run the thunk under a root span named after the tool,
+    then [finish] (also on exceptions, so a failing run still leaves a
+    loadable trace). *)

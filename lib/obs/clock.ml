@@ -1,0 +1,7 @@
+let now_ns () = Monotonic_clock.now ()
+
+let start = now_ns ()
+
+let since_start_ns () = Int64.sub (now_ns ()) start
+
+let ns_to_us ns = Int64.to_float ns /. 1000.0

@@ -1,0 +1,12 @@
+(** Monotonic wall-clock time (CLOCK_MONOTONIC via a noalloc C stub),
+    the same source bechamel benchmarks against. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds from an arbitrary fixed origin; never goes backwards. *)
+
+val since_start_ns : unit -> int64
+(** Nanoseconds since this process loaded the library (>= 0); all trace
+    timestamps are expressed on this axis. *)
+
+val ns_to_us : int64 -> float
+(** Microseconds with nanosecond precision, Chrome trace's time unit. *)

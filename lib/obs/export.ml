@@ -1,0 +1,56 @@
+let pid = 1
+
+let event_json (e : Trace.event) =
+  let common_head =
+    [
+      ("name", Json.String e.Trace.name);
+      ("cat", Json.String e.Trace.cat);
+    ]
+  in
+  let common_tail =
+    [
+      ("pid", Json.Int pid);
+      ("tid", Json.Int e.Trace.tid);
+      ("args", Json.Obj e.Trace.args);
+    ]
+  in
+  match e.Trace.ph with
+  | Trace.Complete ->
+      Json.Obj
+        (common_head
+        @ [
+            ("ph", Json.String "X");
+            ("ts", Json.Float (Clock.ns_to_us e.Trace.ts_ns));
+            ("dur", Json.Float (Clock.ns_to_us e.Trace.dur_ns));
+          ]
+        @ common_tail)
+  | Trace.Instant ->
+      Json.Obj
+        (common_head
+        @ [
+            ("ph", Json.String "i");
+            ("ts", Json.Float (Clock.ns_to_us e.Trace.ts_ns));
+            ("s", Json.String "t");
+          ]
+        @ common_tail)
+
+let trace_json () =
+  Json.Obj
+    [
+      ("displayTimeUnit", Json.String "ms");
+      ("traceEvents", Json.List (List.map event_json (Trace.events ())));
+    ]
+
+let trace_to_string () = Json.to_string (trace_json ())
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let write_trace path = write_file path (trace_to_string ())
+
+let metrics_json () = Metrics.to_json (Metrics.snapshot ())
+
+let write_metrics path = write_file path (Json.to_string (metrics_json ()))

@@ -1,0 +1,22 @@
+(** Exporters: Chrome trace-event JSON (load in Perfetto / chrome://tracing)
+    and a metrics dump.
+
+    Trace-event objects keep a fixed field order —
+    [name, cat, ph, ts, dur, pid, tid, args] for complete ('X') events,
+    [name, cat, ph, ts, s, pid, tid, args] for instants — with [ts]/[dur]
+    in microseconds on the process-relative monotonic axis, so the format
+    is golden-testable byte-for-byte modulo timestamps. *)
+
+val trace_json : unit -> Json.t
+(** [{"displayTimeUnit": "ms", "traceEvents": [...]}] over the merged,
+    ts-sorted buffers of every domain. *)
+
+val trace_to_string : unit -> string
+
+val write_trace : string -> unit
+(** Write {!trace_to_string} to a file. *)
+
+val metrics_json : unit -> Json.t
+(** Snapshot of the metrics registry, keyed by metric name. *)
+
+val write_metrics : string -> unit

@@ -1,0 +1,30 @@
+(** Minimal JSON values: enough to serialize traces and metrics with a
+    {e stable} field order (assoc-list order is emission order) and to
+    re-parse exported files in tests.  No external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering; object fields appear in assoc-list order.
+    Non-finite floats are rendered as [null] (JSON has no inf/nan). *)
+
+val pp : Format.formatter -> t -> unit
+
+val parse : string -> (t, string) result
+(** Strict-enough recursive-descent parser for round-tripping our own
+    exports (and any well-formed JSON document). *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] looks up field [k]; [None] otherwise. *)
+
+val to_int : t -> int option
+(** [Int n] or integral [Float]. *)
+
+val to_float : t -> float option

@@ -1,0 +1,10 @@
+let src = Logs.Src.create "obs" ~doc:"observability layer"
+
+let level_of_verbosity = function
+  | n when n <= 0 -> Some Logs.Warning
+  | 1 -> Some Logs.Info
+  | _ -> Some Logs.Debug
+
+let setup ?(verbosity = 0) () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (level_of_verbosity verbosity)

@@ -1,0 +1,10 @@
+(** [Logs] verbosity wiring shared by the CLIs: 0 = warnings (default),
+    1 = [-v] info, 2+ = [-vv] debug. *)
+
+val level_of_verbosity : int -> Logs.level option
+
+val setup : ?verbosity:int -> unit -> unit
+(** Install a [Fmt]-based reporter on stderr and set the level. *)
+
+val src : Logs.src
+(** The library's own log source ("obs"). *)

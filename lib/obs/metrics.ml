@@ -1,0 +1,174 @@
+let nbuckets = 64
+let bucket_offset = 32 (* bucket i has upper bound 2^(i - bucket_offset) *)
+
+type hist = { counts : int Atomic.t array; sum_bits : int64 Atomic.t }
+
+type handle =
+  | C of int Atomic.t
+  | G of float Atomic.t
+  | H of hist
+
+let registry : (string, string * handle) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+
+let register ~kind ~help name make check =
+  Mutex.lock lock;
+  let r =
+    match Hashtbl.find_opt registry name with
+    | Some (_, h) -> (
+        match check h with
+        | Some v -> Ok v
+        | None -> Error (name ^ " already registered with another type"))
+    | None ->
+        let v = make () in
+        Hashtbl.replace registry name (help, v);
+        Ok (match check v with Some x -> x | None -> assert false)
+  in
+  Mutex.unlock lock;
+  match r with
+  | Ok v -> v
+  | Error m -> invalid_arg (Printf.sprintf "Obs.Metrics.%s.v: %s" kind m)
+
+module Counter = struct
+  type t = int Atomic.t
+
+  let v ?(help = "") name =
+    register ~kind:"Counter" ~help name
+      (fun () -> C (Atomic.make 0))
+      (function C c -> Some c | _ -> None)
+
+  let incr ?(by = 1) t = ignore (Atomic.fetch_and_add t by)
+  let value t = Atomic.get t
+end
+
+module Gauge = struct
+  type t = float Atomic.t
+
+  let v ?(help = "") name =
+    register ~kind:"Gauge" ~help name
+      (fun () -> G (Atomic.make 0.0))
+      (function G g -> Some g | _ -> None)
+
+  let set t x = Atomic.set t x
+  let value t = Atomic.get t
+end
+
+module Histogram = struct
+  type t = hist
+
+  let v ?(help = "") name =
+    register ~kind:"Histogram" ~help name
+      (fun () ->
+        H
+          {
+            counts = Array.init nbuckets (fun _ -> Atomic.make 0);
+            sum_bits = Atomic.make (Int64.bits_of_float 0.0);
+          })
+      (function H h -> Some h | _ -> None)
+
+  let bucket_index x =
+    if x <= 0.0 then 0
+    else
+      let k = int_of_float (Float.ceil (Float.log2 x)) in
+      max 1 (min (nbuckets - 1) (k + bucket_offset))
+
+  let rec atomic_add_float cell x =
+    let old = Atomic.get cell in
+    let updated = Int64.bits_of_float (Int64.float_of_bits old +. x) in
+    if not (Atomic.compare_and_set cell old updated) then atomic_add_float cell x
+
+  let observe t x =
+    ignore (Atomic.fetch_and_add t.counts.(bucket_index x) 1);
+    atomic_add_float t.sum_bits x
+
+  let count t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.counts
+  let sum t = Int64.float_of_bits (Atomic.get t.sum_bits)
+end
+
+type metric =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { count : int; sum : float; buckets : (float * int) list }
+
+type snapshot = (string * (string * metric)) list
+
+let bucket_le i = Float.pow 2.0 (float_of_int (i - bucket_offset))
+
+let read = function
+  | C c -> Counter (Atomic.get c)
+  | G g -> Gauge (Atomic.get g)
+  | H h ->
+      let buckets = ref [] in
+      for i = nbuckets - 1 downto 0 do
+        let c = Atomic.get h.counts.(i) in
+        if c > 0 then buckets := (bucket_le i, c) :: !buckets
+      done;
+      Histogram
+        { count = Histogram.count h; sum = Histogram.sum h; buckets = !buckets }
+
+let snapshot () =
+  Mutex.lock lock;
+  let rows =
+    Hashtbl.fold (fun name (help, h) acc -> (name, (help, read h)) :: acc)
+      registry []
+  in
+  Mutex.unlock lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) rows
+
+let to_json snap =
+  Json.Obj
+    (List.map
+       (fun (name, (help, m)) ->
+         let fields =
+           match m with
+           | Counter n -> [ ("type", Json.String "counter"); ("value", Json.Int n) ]
+           | Gauge x -> [ ("type", Json.String "gauge"); ("value", Json.Float x) ]
+           | Histogram { count; sum; buckets } ->
+               [
+                 ("type", Json.String "histogram");
+                 ("count", Json.Int count);
+                 ("sum", Json.Float sum);
+                 ( "buckets",
+                   Json.List
+                     (List.map
+                        (fun (le, c) ->
+                          Json.Obj [ ("le", Json.Float le); ("count", Json.Int c) ])
+                        buckets) );
+               ]
+         in
+         let fields =
+           if help = "" then fields else fields @ [ ("help", Json.String help) ]
+         in
+         (name, Json.Obj fields))
+       snap)
+
+let pp ppf snap =
+  Format.fprintf ppf "@[<v>%-36s %-10s %s@," "metric" "type" "value";
+  List.iter
+    (fun (name, (_, m)) ->
+      match m with
+      | Counter n -> Format.fprintf ppf "%-36s %-10s %d@," name "counter" n
+      | Gauge x -> Format.fprintf ppf "%-36s %-10s %g@," name "gauge" x
+      | Histogram { count; sum; _ } ->
+          Format.fprintf ppf "%-36s %-10s count=%d sum=%g@," name "histogram"
+            count sum)
+    snap;
+  Format.fprintf ppf "@]"
+
+let find snap name = Option.map snd (List.assoc_opt name snap)
+
+let counter_value snap name =
+  match find snap name with Some (Counter n) -> n | _ -> 0
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.iter
+    (fun _ (_, h) ->
+      match h with
+      | C c -> Atomic.set c 0
+      | G g -> Atomic.set g 0.0
+      | H h ->
+          Array.iter (fun c -> Atomic.set c 0) h.counts;
+          Atomic.set h.sum_bits (Int64.bits_of_float 0.0))
+    registry;
+  Mutex.unlock lock

@@ -1,0 +1,69 @@
+(** Process-wide metrics registry: named counters, gauges, and
+    histograms with fixed log2-scale buckets.
+
+    Handles are cheap atomic cells, safe to bump from any domain;
+    registration (idempotent by name) takes a lock, so create handles
+    once at module level or outside hot loops.  Unlike spans, metrics
+    are always on — an [Atomic.fetch_and_add] per event is far below
+    the noise floor of the simulator and solver they observe. *)
+
+module Counter : sig
+  type t
+
+  val v : ?help:string -> string -> t
+  (** Register (or re-find) the counter [name].
+      @raise Invalid_argument if [name] exists with another type. *)
+
+  val incr : ?by:int -> t -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val v : ?help:string -> string -> t
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val v : ?help:string -> string -> t
+  (** Buckets are powers of two: observation [x] lands in the bucket
+      whose upper bound is the smallest [2^k >= x] (clamped to
+      [2^-31 .. 2^31]). *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+end
+
+type metric =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      count : int;
+      sum : float;
+      buckets : (float * int) list;  (** non-empty buckets, (le, count) *)
+    }
+
+type snapshot = (string * (string * metric)) list
+(** [(name, (help, metric))], sorted by name. *)
+
+val snapshot : unit -> snapshot
+
+val to_json : snapshot -> Json.t
+(** Object keyed by metric name, fields in stable order. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Human-readable table. *)
+
+val find : snapshot -> string -> metric option
+
+val counter_value : snapshot -> string -> int
+(** Convenience: the counter's value, or 0 if absent. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (handles stay valid); for tests and
+    per-target bench deltas. *)

@@ -1,0 +1,41 @@
+type handle = { mutable extra : (string * Json.t) list }
+
+let disabled_handle = { extra = [] }
+
+let add_attr h k v = if h != disabled_handle then h.extra <- (k, v) :: h.extra
+
+let finish ~cat ~attrs ~name ~t0 h =
+  let t1 = Clock.since_start_ns () in
+  Trace.record
+    {
+      Trace.name;
+      cat;
+      ph = Trace.Complete;
+      ts_ns = t0;
+      dur_ns = Int64.sub t1 t0;
+      tid = (Domain.self () :> int);
+      args = attrs @ List.rev h.extra;
+    }
+
+let with_span ?(cat = "app") ?(attrs = []) name f =
+  if not (Trace.enabled ()) then f disabled_handle
+  else begin
+    let h = { extra = [] } in
+    let t0 = Clock.since_start_ns () in
+    Fun.protect ~finally:(fun () -> finish ~cat ~attrs ~name ~t0 h) (fun () -> f h)
+  end
+
+let with_ ?cat ?attrs name f = with_span ?cat ?attrs name (fun _ -> f ())
+
+let event ?(cat = "app") ?(attrs = []) name =
+  if Trace.enabled () then
+    Trace.record
+      {
+        Trace.name;
+        cat;
+        ph = Trace.Instant;
+        ts_ns = Clock.since_start_ns ();
+        dur_ns = 0L;
+        tid = (Domain.self () :> int);
+        args = attrs;
+      }

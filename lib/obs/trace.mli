@@ -1,0 +1,33 @@
+(** Trace-event collection with per-domain buffers.
+
+    Recording is off by default; {!Span.with_} degenerates to a plain
+    call when disabled, so instrumentation left in hot paths costs one
+    atomic load.  Each domain appends to its own buffer (created on
+    first use through [Domain.DLS]), so {!Dse.Parallel} workers trace
+    without locks on the record path; buffers are registered in a
+    global list the exporter merges after the domains have joined. *)
+
+type phase = Complete | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts_ns : int64;  (** start time, monotonic, relative to process start *)
+  dur_ns : int64;  (** 0 for instant events *)
+  tid : int;  (** recording domain's id *)
+  args : (string * Json.t) list;
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val record : event -> unit
+(** Unconditionally append to the current domain's buffer (callers
+    check {!enabled}). *)
+
+val events : unit -> event list
+(** Merge every domain's buffer, sorted by [ts_ns] (stable). *)
+
+val clear : unit -> unit
+(** Drop all buffered events (for tests). *)

@@ -107,7 +107,31 @@ type factor = {
 
 type tracked = TLin of factor | TProd of factor * factor
 
+(* Search statistics land in the metrics registry (one flush per solve,
+   so the per-node cost of accounting is a plain [incr]); incumbent
+   improvements additionally become instant trace events so a Perfetto
+   timeline shows when the search last made progress. *)
+let m_solves = Obs.Metrics.Counter.v "binlp.solves" ~help:"solver invocations"
+
+let m_nodes =
+  Obs.Metrics.Counter.v "binlp.nodes" ~help:"branch-and-bound nodes explored"
+
+let m_pruned_bound =
+  Obs.Metrics.Counter.v "binlp.pruned_bound"
+    ~help:"subtrees cut by the objective bound"
+
+let m_pruned_validity =
+  Obs.Metrics.Counter.v "binlp.pruned_validity"
+    ~help:"subtrees cut by constraint interval propagation"
+
+let m_incumbents =
+  Obs.Metrics.Counter.v "binlp.incumbents" ~help:"incumbent improvements"
+
 let solve ?(node_limit = 20_000_000) p =
+  Obs.Span.with_span ~cat:"optim" "binlp.solve" @@ fun span ->
+  let pruned_bound = ref 0 in
+  let pruned_validity = ref 0 in
+  let incumbents = ref 0 in
   let groups = effective_groups p in
   let ngroups = List.length groups in
   let garr = Array.of_list groups in
@@ -193,12 +217,19 @@ let solve ?(node_limit = 20_000_000) p =
   let rec dfs depth obj =
     incr nodes;
     if !nodes > node_limit then raise Node_limit;
-    if obj +. suffix_obj.(depth) >= !best_obj -. 1e-12 then ()
-    else if not (feasible_possible depth) then ()
+    if obj +. suffix_obj.(depth) >= !best_obj -. 1e-12 then incr pruned_bound
+    else if not (feasible_possible depth) then incr pruned_validity
     else if depth = ngroups then begin
       if List.for_all (check_constr x) p.constraints then begin
         best_obj := obj;
-        best := Some { x = Array.copy x; objective = obj }
+        best := Some { x = Array.copy x; objective = obj };
+        incr incumbents;
+        Obs.Span.event ~cat:"optim" "binlp.incumbent"
+          ~attrs:
+            [
+              ("objective", Obs.Json.Float obj);
+              ("node", Obs.Json.Int !nodes);
+            ]
       end
     end
     else begin
@@ -218,7 +249,21 @@ let solve ?(node_limit = 20_000_000) p =
       List.iter try_member rest
     end
   in
-  dfs 0 0.0;
+  let flush () =
+    Obs.Metrics.Counter.incr m_solves;
+    Obs.Metrics.Counter.incr ~by:!nodes m_nodes;
+    Obs.Metrics.Counter.incr ~by:!pruned_bound m_pruned_bound;
+    Obs.Metrics.Counter.incr ~by:!pruned_validity m_pruned_validity;
+    Obs.Metrics.Counter.incr ~by:!incumbents m_incumbents;
+    Obs.Span.add_attr span "nodes" (Obs.Json.Int !nodes);
+    Obs.Span.add_attr span "pruned_bound" (Obs.Json.Int !pruned_bound);
+    Obs.Span.add_attr span "pruned_validity" (Obs.Json.Int !pruned_validity);
+    Obs.Span.add_attr span "incumbents" (Obs.Json.Int !incumbents);
+    match !best with
+    | Some s -> Obs.Span.add_attr span "objective" (Obs.Json.Float s.objective)
+    | None -> ()
+  in
+  Fun.protect ~finally:flush (fun () -> dfs 0 0.0);
   !best
 
 let brute_force p =

@@ -8,36 +8,70 @@ type result = {
 let clock_hz = 25_000_000.0
 let default_mem_size = 1 lsl 20
 
+(* Registry counters mirroring the Liquid-platform statistics module:
+   every simulated epoch flushes its profile here, so a metrics dump
+   shows where simulated cycles went across a whole DSE run. *)
+let m_runs = Obs.Metrics.Counter.v "sim.runs" ~help:"simulated executions"
+
+let m_counter name =
+  Obs.Metrics.Counter.v ("sim." ^ name) ~help:("profiler " ^ name)
+
+let flush_profile p =
+  Obs.Metrics.Counter.incr m_runs;
+  List.iter
+    (fun (name, v) -> Obs.Metrics.Counter.incr ~by:v (m_counter name))
+    (Profiler.to_assoc p)
+
 let run_once ?(mem_size = default_mem_size) config prog =
   let cpu = Cpu.create config prog ~mem_size in
   Cpu.run cpu;
   cpu
 
+let cycles_attr (p : Profiler.t) =
+  [
+    ("cycles", Obs.Json.Int p.Profiler.cycles);
+    ("instructions", Obs.Json.Int p.Profiler.instructions);
+  ]
+
 let run ?(mem_size = default_mem_size) ?(reps = 1) config prog =
   let cpu = Cpu.create config prog ~mem_size in
-  Cpu.run cpu;
-  let cold = Profiler.copy (Cpu.profile cpu) in
+  let cold =
+    Obs.Span.with_span ~cat:"sim" "sim.cold_epoch" (fun sp ->
+        Cpu.run cpu;
+        let cold = Profiler.copy (Cpu.profile cpu) in
+        List.iter (fun (k, v) -> Obs.Span.add_attr sp k v) (cycles_attr cold);
+        cold)
+  in
   let cold_sum = Cpu.result cpu in
-  if reps = 1 then
+  if reps = 1 then begin
+    flush_profile cold;
     {
       profile = cold;
       cold_cycles = cold.Profiler.cycles;
       warm_cycles = cold.Profiler.cycles;
       checksum = cold_sum;
     }
+  end
   else begin
-    Cpu.reset_profile cpu;
-    Cpu.reinit cpu;
-    Cpu.run cpu;
-    let warm = Profiler.copy (Cpu.profile cpu) in
+    let warm =
+      Obs.Span.with_span ~cat:"sim" "sim.warm_epoch" (fun sp ->
+          Cpu.reset_profile cpu;
+          Cpu.reinit cpu;
+          Cpu.run cpu;
+          let warm = Profiler.copy (Cpu.profile cpu) in
+          List.iter (fun (k, v) -> Obs.Span.add_attr sp k v) (cycles_attr warm);
+          warm)
+    in
     let warm_sum = Cpu.result cpu in
     if warm_sum <> cold_sum then
       failwith
         (Printf.sprintf
            "Machine.run: non-deterministic application (cold checksum %d, warm %d)"
            cold_sum warm_sum);
+    let profile = Profiler.scale_add cold ~warm ~reps in
+    flush_profile profile;
     {
-      profile = Profiler.scale_add cold ~warm ~reps;
+      profile;
       cold_cycles = cold.Profiler.cycles;
       warm_cycles = warm.Profiler.cycles;
       checksum = cold_sum;

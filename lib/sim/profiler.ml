@@ -79,6 +79,49 @@ let scale_add cold ~warm ~reps =
   if reps < 1 then invalid_arg "Profiler.scale_add: reps must be >= 1";
   map2 (fun c w -> c + ((reps - 1) * w)) cold warm
 
+let to_assoc t =
+  [
+    ("cycles", t.cycles);
+    ("instructions", t.instructions);
+    ("icache_misses", t.icache_misses);
+    ("dcache_reads", t.dcache_reads);
+    ("dcache_read_misses", t.dcache_read_misses);
+    ("dcache_writes", t.dcache_writes);
+    ("dcache_write_misses", t.dcache_write_misses);
+    ("branches", t.branches);
+    ("taken_branches", t.taken_branches);
+    ("mults", t.mults);
+    ("divs", t.divs);
+    ("window_overflows", t.window_overflows);
+    ("window_underflows", t.window_underflows);
+    ("load_interlocks", t.load_interlocks);
+    ("icc_hold_stalls", t.icc_hold_stalls);
+  ]
+
+let to_json t =
+  Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) (to_assoc t))
+
+(* Structural sanity of a profile.  Hits are derived (hits = accesses -
+   misses), so "hits + misses = accesses" holds exactly when misses do
+   not exceed accesses; stalls and retirements cannot outnumber elapsed
+   cycles. *)
+let invariants t =
+  [
+    ("counters non-negative", List.for_all (fun (_, v) -> v >= 0) (to_assoc t));
+    ("dcache read misses <= reads", t.dcache_read_misses <= t.dcache_reads);
+    ("dcache write misses <= writes", t.dcache_write_misses <= t.dcache_writes);
+    ("icache misses <= instructions", t.icache_misses <= t.instructions);
+    ("instructions <= cycles", t.instructions <= t.cycles);
+    ("taken branches <= branches", t.taken_branches <= t.branches);
+    ( "stall classes fit in cycles",
+      t.load_interlocks + t.icc_hold_stalls <= t.cycles );
+  ]
+
+let check t =
+  match List.filter (fun (_, ok) -> not ok) (invariants t) with
+  | [] -> Ok ()
+  | broken -> Error (String.concat "; " (List.map fst broken))
+
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>cycles              %d@,\

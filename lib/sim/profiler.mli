@@ -34,4 +34,17 @@ val scale_add : t -> warm:t -> reps:int -> t
 (** [scale_add cold ~warm ~reps] models [reps] executions: one cold run
     plus [reps - 1] repetitions of the warm (steady-state) run. *)
 
+val to_assoc : t -> (string * int) list
+(** Every counter as a [(name, value)] row, in declaration order. *)
+
+val to_json : t -> Obs.Json.t
+
+val invariants : t -> (string * bool) list
+(** Named structural invariants of a profile (misses bounded by
+    accesses, [instructions <= cycles], stalls fit in cycles, ...);
+    each paired with whether it holds. *)
+
+val check : t -> (unit, string) result
+(** [Error] lists the violated {!invariants}. *)
+
 val pp : t Fmt.t

@@ -1,0 +1,39 @@
+(* Validate exporter output: each argument must parse as JSON; a file
+   containing a trace must carry a non-empty traceEvents list whose
+   events all have non-negative timestamps.  Exit 0 iff every file
+   passes — the @obs smoke alias runs this over a real reconfigure
+   invocation with both exporters enabled. *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_trace path json =
+  match Obs.Json.member "traceEvents" json with
+  | None -> ()
+  | Some (Obs.Json.List []) -> fail "%s: traceEvents is empty" path
+  | Some (Obs.Json.List evs) ->
+      List.iter
+        (fun ev ->
+          match Option.bind (Obs.Json.member "ts" ev) Obs.Json.to_float with
+          | Some ts when ts >= 0.0 -> ()
+          | Some ts -> fail "%s: negative timestamp %f" path ts
+          | None -> fail "%s: event without numeric ts" path)
+        evs
+  | Some _ -> fail "%s: traceEvents is not a list" path
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then fail "usage: check_json FILE...";
+  List.iter
+    (fun path ->
+      match Obs.Json.parse (read_file path) with
+      | Error m -> fail "%s: invalid JSON: %s" path m
+      | Ok json ->
+          check_trace path json;
+          Printf.printf "%s: ok\n" path)
+    files

@@ -1,0 +1,323 @@
+(* Observability layer: JSON round-trips, the metrics registry under
+   domain contention, the Chrome trace-event export format (golden
+   structure: stable field order, non-negative monotonic timestamps,
+   properly nested complete events), and the simulator profiler's
+   structural invariants. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Json --- *)
+
+let sample =
+  Obs.Json.(
+    Obj
+      [
+        ("name", String "solve \"quoted\"\n");
+        ("count", Int 42);
+        ("ratio", Float 0.125);
+        ("flag", Bool true);
+        ("nothing", Null);
+        ("xs", List [ Int 1; Int 2; Int 3 ]);
+        ("nested", Obj [ ("k", String "v") ]);
+      ])
+
+let test_json_roundtrip () =
+  match Obs.Json.parse (Obs.Json.to_string sample) with
+  | Error m -> Alcotest.failf "parse failed: %s" m
+  | Ok v ->
+      Alcotest.(check string)
+        "round-trip" (Obs.Json.to_string sample) (Obs.Json.to_string v)
+
+let test_json_field_order_preserved () =
+  (* The parser keeps object field order, which is what lets the golden
+     trace test below assert the exporter's field order. *)
+  match Obs.Json.parse {|{"b":1,"a":2,"c":3}|} with
+  | Ok (Obs.Json.Obj fields) ->
+      Alcotest.(check (list string)) "order" [ "b"; "a"; "c" ]
+        (List.map fst fields)
+  | Ok _ | Error _ -> Alcotest.fail "expected object"
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ "{"; "[1,]"; "tru"; "\"unterminated"; "{\"a\" 1}"; "1 2" ]
+
+let test_json_escapes () =
+  let v = Obs.Json.String "tab\there \"q\" back\\slash" in
+  match Obs.Json.parse (Obs.Json.to_string v) with
+  | Ok v' -> Alcotest.(check string) "escapes" (Obs.Json.to_string v) (Obs.Json.to_string v')
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+(* --- Metrics --- *)
+
+let test_counter_across_domains () =
+  let c = Obs.Metrics.Counter.v "test.contended" in
+  let before = Obs.Metrics.Counter.value c in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              Obs.Metrics.Counter.incr c
+            done))
+  in
+  List.iter Domain.join domains;
+  check_int "no lost increments" (before + 40_000) (Obs.Metrics.Counter.value c)
+
+let test_gauge_and_histogram () =
+  let g = Obs.Metrics.Gauge.v "test.gauge" in
+  Obs.Metrics.Gauge.set g 2.5;
+  Alcotest.(check (float 1e-9)) "gauge" 2.5 (Obs.Metrics.Gauge.value g);
+  let h = Obs.Metrics.Histogram.v "test.hist" in
+  let observations = [ 0.0; 0.001; 0.5; 1.0; 3.0; 1024.0; 1e9 ] in
+  List.iter (Obs.Metrics.Histogram.observe h) observations;
+  check_int "count" (List.length observations) (Obs.Metrics.Histogram.count h);
+  Alcotest.(check (float 1e-3))
+    "sum"
+    (List.fold_left ( +. ) 0.0 observations)
+    (Obs.Metrics.Histogram.sum h);
+  match Obs.Metrics.find (Obs.Metrics.snapshot ()) "test.hist" with
+  | Some (Obs.Metrics.Histogram { count; buckets; _ }) ->
+      check_int "snapshot count" (List.length observations) count;
+      check_int "buckets partition the observations" count
+        (List.fold_left (fun acc (_, c) -> acc + c) 0 buckets);
+      check_bool "bucket bounds ascend" true
+        (let les = List.map fst buckets in
+         List.sort compare les = les)
+  | _ -> Alcotest.fail "histogram missing from snapshot"
+
+let test_type_clash_rejected () =
+  ignore (Obs.Metrics.Counter.v "test.clash");
+  check_bool "re-register same type ok" true
+    (ignore (Obs.Metrics.Counter.v "test.clash");
+     true);
+  match Obs.Metrics.Gauge.v "test.clash" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_metrics_json_parses () =
+  let json = Obs.Json.to_string (Obs.Metrics.to_json (Obs.Metrics.snapshot ())) in
+  match Obs.Json.parse json with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "metrics dump does not parse: %s" m
+
+(* --- Chrome trace export (golden format) --- *)
+
+let with_tracing f =
+  Obs.Trace.clear ();
+  Obs.Trace.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Trace.set_enabled false) f
+
+let record_sample_spans () =
+  Obs.Span.with_ ~cat:"test" "root" (fun () ->
+      Obs.Span.with_ ~cat:"test" "child"
+        ~attrs:[ ("k", Obs.Json.String "v") ]
+        (fun () -> Obs.Span.event ~cat:"test" "instant");
+      Obs.Span.with_ ~cat:"test" "sibling" (fun () -> ()))
+
+let exported_events () =
+  match Obs.Json.parse (Obs.Export.trace_to_string ()) with
+  | Error m -> Alcotest.failf "trace does not parse: %s" m
+  | Ok json -> (
+      check_bool "displayTimeUnit present" true
+        (Obs.Json.member "displayTimeUnit" json = Some (Obs.Json.String "ms"));
+      match Obs.Json.member "traceEvents" json with
+      | Some (Obs.Json.List evs) -> evs
+      | _ -> Alcotest.fail "traceEvents missing")
+
+let fields_of ev =
+  match ev with
+  | Obs.Json.Obj fields -> fields
+  | _ -> Alcotest.fail "event is not an object"
+
+let num field ev =
+  match Obs.Json.member field ev with
+  | Some v -> (
+      match Obs.Json.to_float v with
+      | Some f -> f
+      | None -> Alcotest.failf "field %s is not a number" field)
+  | None -> Alcotest.failf "field %s missing" field
+
+let test_trace_golden_format () =
+  with_tracing (fun () ->
+      record_sample_spans ();
+      let evs = exported_events () in
+      check_int "event count" 4 (List.length evs);
+      List.iter
+        (fun ev ->
+          let keys = List.map fst (fields_of ev) in
+          match Obs.Json.member "ph" ev with
+          | Some (Obs.Json.String "X") ->
+              Alcotest.(check (list string))
+                "complete-event field order"
+                [ "name"; "cat"; "ph"; "ts"; "dur"; "pid"; "tid"; "args" ]
+                keys;
+              check_bool "ts >= 0" true (num "ts" ev >= 0.0);
+              check_bool "dur >= 0" true (num "dur" ev >= 0.0)
+          | Some (Obs.Json.String "i") ->
+              Alcotest.(check (list string))
+                "instant-event field order"
+                [ "name"; "cat"; "ph"; "ts"; "s"; "pid"; "tid"; "args" ]
+                keys;
+              check_bool "ts >= 0" true (num "ts" ev >= 0.0)
+          | _ -> Alcotest.fail "unexpected phase (only X and i are emitted)")
+        evs;
+      let ts = List.map (num "ts") evs in
+      check_bool "timestamps monotonic" true (List.sort compare ts = ts))
+
+let test_trace_nesting () =
+  with_tracing (fun () ->
+      record_sample_spans ();
+      let evs = exported_events () in
+      let find name =
+        List.find
+          (fun ev -> Obs.Json.member "name" ev = Some (Obs.Json.String name))
+          evs
+      in
+      let interval name =
+        let ev = find name in
+        let ts = num "ts" ev in
+        (ts, ts +. num "dur" ev)
+      in
+      let r0, r1 = interval "root" in
+      let c0, c1 = interval "child" in
+      let s0, s1 = interval "sibling" in
+      check_bool "child inside root" true (r0 <= c0 && c1 <= r1);
+      check_bool "sibling inside root" true (r0 <= s0 && s1 <= r1);
+      check_bool "child and sibling disjoint" true (c1 <= s0 || s1 <= c0);
+      let i = num "ts" (find "instant") in
+      check_bool "instant inside child" true (c0 <= i && i <= c1))
+
+let test_trace_disabled_records_nothing () =
+  Obs.Trace.clear ();
+  Obs.Trace.set_enabled false;
+  Obs.Span.with_ "invisible" (fun () -> ());
+  Obs.Span.event "invisible-too";
+  check_int "no events" 0 (List.length (Obs.Trace.events ()))
+
+let test_trace_across_domains () =
+  with_tracing (fun () ->
+      let results =
+        Dse.Parallel.map ~jobs:4
+          (fun i ->
+            Obs.Span.with_ ~cat:"test" "worker-span" (fun () -> i * 2))
+          [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+      in
+      check_bool "map result intact" true
+        (results = [ 2; 4; 6; 8; 10; 12; 14; 16 ]);
+      let spans =
+        List.filter
+          (fun (e : Obs.Trace.event) -> e.Obs.Trace.name = "worker-span")
+          (Obs.Trace.events ())
+      in
+      (* parallel.map itself adds one span on the caller's domain *)
+      check_int "every worker span captured" 8 (List.length spans);
+      check_bool "workers recorded under their own domain ids" true
+        (List.length
+           (List.sort_uniq compare
+              (List.map (fun (e : Obs.Trace.event) -> e.Obs.Trace.tid) spans))
+        > 1))
+
+(* --- Profiler invariants --- *)
+
+let test_profiler_invariants () =
+  let r = Apps.Registry.run Apps.Registry.arith in
+  (match Sim.Profiler.check r.Sim.Machine.profile with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariants violated: %s" m);
+  let assoc = Sim.Profiler.to_assoc r.Sim.Machine.profile in
+  check_int "all 15 counters exported" 15 (List.length assoc);
+  check_int "cycles row matches" r.Sim.Machine.profile.Sim.Profiler.cycles
+    (List.assoc "cycles" assoc)
+
+let test_profiler_invariants_all_apps () =
+  List.iter
+    (fun app ->
+      let r = Apps.Registry.run app in
+      match Sim.Profiler.check r.Sim.Machine.profile with
+      | Ok () -> ()
+      | Error m ->
+          Alcotest.failf "%s: invariants violated: %s" app.Apps.Registry.name m)
+    [ Apps.Registry.arith; Apps.Registry.frag ]
+
+let test_profiler_json () =
+  let r = Apps.Registry.run Apps.Registry.arith in
+  match
+    Obs.Json.parse (Obs.Json.to_string (Sim.Profiler.to_json r.Sim.Machine.profile))
+  with
+  | Ok (Obs.Json.Obj fields) -> check_int "profile fields" 15 (List.length fields)
+  | Ok _ -> Alcotest.fail "expected object"
+  | Error m -> Alcotest.failf "profile json does not parse: %s" m
+
+let test_check_catches_violation () =
+  let p = Sim.Profiler.create () in
+  p.Sim.Profiler.cycles <- 10;
+  p.Sim.Profiler.instructions <- 20;
+  match Sim.Profiler.check p with
+  | Ok () -> Alcotest.fail "expected instructions <= cycles violation"
+  | Error m ->
+      check_bool "names the broken invariant" true
+        (String.length m > 0
+        && Str.string_match (Str.regexp ".*instructions <= cycles.*") m 0)
+
+(* --- Machine run feeds the registry --- *)
+
+let test_machine_flushes_registry () =
+  let before =
+    Obs.Metrics.counter_value (Obs.Metrics.snapshot ()) "sim.cycles"
+  in
+  let r = Apps.Registry.run Apps.Registry.arith in
+  let after =
+    Obs.Metrics.counter_value (Obs.Metrics.snapshot ()) "sim.cycles"
+  in
+  check_int "cycle delta equals the run's profile"
+    r.Sim.Machine.profile.Sim.Profiler.cycles (after - before)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "field order preserved" `Quick
+            test_json_field_order_preserved;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter across domains" `Quick
+            test_counter_across_domains;
+          Alcotest.test_case "gauge and histogram" `Quick
+            test_gauge_and_histogram;
+          Alcotest.test_case "type clash rejected" `Quick
+            test_type_clash_rejected;
+          Alcotest.test_case "metrics json parses" `Quick
+            test_metrics_json_parses;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "golden chrome format" `Quick
+            test_trace_golden_format;
+          Alcotest.test_case "span nesting" `Quick test_trace_nesting;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_trace_disabled_records_nothing;
+          Alcotest.test_case "spans across domains" `Quick
+            test_trace_across_domains;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "invariants on arith" `Quick
+            test_profiler_invariants;
+          Alcotest.test_case "invariants on more apps" `Slow
+            test_profiler_invariants_all_apps;
+          Alcotest.test_case "profile json" `Quick test_profiler_json;
+          Alcotest.test_case "check catches violation" `Quick
+            test_check_catches_violation;
+          Alcotest.test_case "machine flushes registry" `Quick
+            test_machine_flushes_registry;
+        ] );
+    ]
