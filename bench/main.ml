@@ -158,6 +158,9 @@ let bench_json name ~wall_ns ~(before : Obs.Metrics.snapshot)
       ("solver_nodes", Obs.Json.Int (delta "binlp.nodes"));
       ("solver_incumbents", Obs.Json.Int (delta "binlp.incumbents"));
       ("builds", Obs.Json.Int (delta "dse.builds"));
+      ("engine_hits", Obs.Json.Int (delta "dse.engine.hits"));
+      ("engine_misses", Obs.Json.Int (delta "dse.engine.misses"));
+      ("engine_inflight_dedup", Obs.Json.Int (delta "dse.engine.inflight_dedup"));
       ("heuristic_builds", Obs.Json.Int (delta "heuristic.builds"));
       ("metrics", Obs.Metrics.to_json after);
     ]

@@ -62,6 +62,11 @@ let to_string (t : Config.t) =
       "inf=" ^ bool_to_string t.infer_mult_div;
     ]
 
+(* Content address of the canonical encoding: because [to_string]
+   always emits every field, structurally equal configurations digest
+   identically regardless of how they were constructed. *)
+let digest t = Digest.string (to_string t)
+
 let apply_field (t : Config.t) key value =
   let ( let* ) = Result.bind in
   let int_field v f =

@@ -12,6 +12,12 @@
 
 val to_string : Config.t -> string
 
+val digest : Config.t -> string
+(** [Digest.string (to_string t)]: a content address of the canonical
+    encoding.  Structurally equal configurations digest identically
+    ({!to_string} emits every field), which is what makes it usable as
+    the evaluation engine's cache key. *)
+
 val of_string : string -> (Config.t, string) result
 (** Decodes and validates. *)
 

@@ -4,10 +4,13 @@ type noise_point = {
   objective_regret : float;
 }
 
-(* True (noise-free) objective of an already-built configuration. *)
+(* True (noise-free) objective of an already-built configuration.
+   Noise-free evaluations live under their own cache key, so they are
+   never contaminated by the perturbed measurements of the study. *)
 let true_objective weights app config =
-  let base = Measure.measure app Arch.Config.base in
-  let cost = Measure.measure app config in
+  let engine = Engine.default () in
+  let base = Engine.eval engine app Arch.Config.base in
+  let cost = Engine.eval engine app config in
   Cost.objective weights (Cost.deltas ~base cost)
 
 let noise_study ?(amplitudes = [ 0.0; 0.002; 0.005; 0.01 ]) ~weights app =

@@ -19,7 +19,9 @@ let run ~weights model =
       let recast_config =
         Arch.Param.apply_all Arch.Config.base recast_selected
       in
-      let recast_actual = Measure.measure model.Measure.app recast_config in
+      let recast_actual =
+        Engine.eval (Engine.default ()) model.Measure.app recast_config
+      in
       {
         exact;
         recast_selected;

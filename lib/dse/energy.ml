@@ -6,11 +6,12 @@ type measurement = {
 }
 
 (* Static power: leakage plus clock-tree load of the occupied fabric. *)
-let static_milliwatts config =
-  let r = Synth.Estimate.config config in
+let static_milliwatts_of (r : Synth.Resource.t) =
   20.0
   +. (0.002 *. float_of_int r.Synth.Resource.luts)
   +. (0.05 *. float_of_int r.Synth.Resource.brams)
+
+let static_milliwatts config = static_milliwatts_of (Synth.Estimate.config config)
 
 let log2f n = log (float_of_int n) /. log 2.0
 
@@ -47,20 +48,16 @@ let dynamic_nanojoules_per_event (config : Arch.Config.t) (p : Sim.Profiler.t) =
   +. (div_nj config.iu.divider *. f p.Sim.Profiler.divs)
   +. (0.3 *. f p.Sim.Profiler.taken_branches)
 
+(* One memoized engine evaluation yields runtime, resources and the
+   execution profile: the energy model charges its per-event costs
+   without a second simulation or resource elaboration. *)
 let measure app config =
-  let result = Apps.Registry.run ~config app in
-  let seconds = Sim.Machine.seconds result in
-  let dynamic_mj =
-    dynamic_nanojoules_per_event config result.Sim.Machine.profile /. 1e6
-  in
-  let static_mw = static_milliwatts config in
+  let cost, profile = Engine.eval_profiled (Engine.default ()) app config in
+  let seconds = cost.Cost.seconds in
+  let dynamic_mj = dynamic_nanojoules_per_event config profile /. 1e6 in
+  let static_mw = static_milliwatts_of cost.Cost.resources in
   let millijoules = (static_mw *. seconds) +. dynamic_mj in
-  {
-    seconds;
-    millijoules;
-    average_milliwatts = millijoules /. seconds;
-    cost = { Cost.seconds; resources = Synth.Estimate.config config };
-  }
+  { seconds; millijoules; average_milliwatts = millijoules /. seconds; cost }
 
 type weights = { w1 : float; w2 : float; w3 : float }
 

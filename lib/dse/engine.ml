@@ -1,0 +1,268 @@
+let m_builds =
+  Obs.Metrics.Counter.v "dse.builds"
+    ~help:"configurations synthesized and executed"
+
+let m_hits =
+  Obs.Metrics.Counter.v "dse.engine.hits"
+    ~help:"evaluations served from the engine's memo cache"
+
+let m_misses =
+  Obs.Metrics.Counter.v "dse.engine.misses"
+    ~help:"evaluations computed by the engine (cache misses)"
+
+let m_dedup =
+  Obs.Metrics.Counter.v "dse.engine.inflight_dedup"
+    ~help:"evaluations collapsed onto an identical in-flight or batched request"
+
+(* Content-addressed cache key: the codec's canonical encoding always
+   emits every field, so structurally equal configurations digest
+   identically.  Distinct noise amplitudes are distinct keys — their
+   measurements differ, and ablation studies must not observe each
+   other's perturbed results. *)
+type key = { app : string; digest : string; noise : float option }
+
+let key_of ?noise (app : Apps.Registry.t) config =
+  { app = app.Apps.Registry.name; digest = Arch.Codec.digest config; noise }
+
+type value = { cost : Cost.t; profile : Sim.Profiler.t; fits : bool }
+
+(* [Unfit] holds the (noised) resource estimate of a configuration that
+   exceeds the device: a feasibility query needs no simulation, but a
+   later forced {!eval} upgrades the entry to [Full] by simulating with
+   the saved resources. *)
+type entry = Pending | Unfit of Synth.Resource.t | Full of value
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t; (* signaled whenever an entry leaves [Pending] *)
+  table : (key, entry) Hashtbl.t;
+  pool : Pool.t option;
+      (* [None] = the shared pool, resolved lazily at first batch and
+         only on machines with real parallelism: on a single-core host
+         a second domain is pure overhead (stop-the-world coordination
+         against the mutator), so batches run inline there. *)
+}
+
+let create ?pool () =
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    table = Hashtbl.create 256;
+    pool;
+  }
+
+let clear t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.table;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+(* Deterministic synthesis "measurement noise": a hash of the
+   configuration drives a uniform error in [-1, 1] x amplitude. *)
+let lut_noise ~amplitude config =
+  let h = Hashtbl.hash (config : Arch.Config.t) in
+  let u = float_of_int (h land 0xFFFF) /. 65535.0 in
+  amplitude *. ((2.0 *. u) -. 1.0) *. float_of_int Synth.Device.luts /. 100.0
+
+(* Elaborate resources once: feasibility is judged on the un-noised
+   estimate (as [Synth.Estimate.feasible] does), the returned cost
+   carries the noised one. *)
+let noised_resources ?noise config =
+  let resources = Synth.Estimate.config config in
+  let fits = Synth.Resource.fits resources in
+  let resources =
+    match noise with
+    | None -> resources
+    | Some amplitude ->
+        {
+          resources with
+          Synth.Resource.luts =
+            resources.Synth.Resource.luts
+            + int_of_float (lut_noise ~amplitude:(amplitude *. 100.0) config);
+        }
+  in
+  (resources, fits)
+
+let simulate app config =
+  Obs.Metrics.Counter.incr m_builds;
+  let result = Apps.Registry.run ~config app in
+  (Sim.Machine.seconds result, result.Sim.Machine.profile)
+
+(* The per-key state machine.  [Pending] is only ever installed by a
+   thread about to compute in place, so a waiter always waits on an
+   actively running computation — never on a queued task — which keeps
+   pool workers deadlock-free when they block here.  A failed compute
+   removes its entry and wakes waiters before re-raising, so nobody
+   waits on a corpse. *)
+let obtain t ~feasible_only ?noise app config =
+  let key = key_of ?noise app config in
+  let counted = ref false in
+  let hit r =
+    if not !counted then Obs.Metrics.Counter.incr m_hits;
+    r
+  in
+  let compute prior =
+    Obs.Metrics.Counter.incr m_misses;
+    match
+      Obs.Span.with_ ~cat:"dse" "engine.build"
+        ~attrs:[ ("app", Obs.Json.String key.app) ]
+      @@ fun () ->
+      let resources, fits =
+        match prior with
+        | Some r -> (r, false) (* a cached [Unfit]: skip re-elaboration *)
+        | None -> noised_resources ?noise config
+      in
+      if feasible_only && not fits then Unfit resources
+      else
+        let seconds, profile = simulate app config in
+        Full { cost = { Cost.seconds; resources }; profile; fits }
+    with
+    | entry ->
+        Mutex.lock t.mutex;
+        Hashtbl.replace t.table key entry;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mutex;
+        entry
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Mutex.lock t.mutex;
+        Hashtbl.remove t.table key;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mutex;
+        Printexc.raise_with_backtrace e bt
+  in
+  Mutex.lock t.mutex;
+  let rec loop () =
+    match Hashtbl.find_opt t.table key with
+    | Some (Full _ as e) ->
+        Mutex.unlock t.mutex;
+        hit e
+    | Some (Unfit _ as e) when feasible_only ->
+        Mutex.unlock t.mutex;
+        hit e
+    | Some (Unfit r) ->
+        (* A forced build of a known-unfit configuration. *)
+        Hashtbl.replace t.table key Pending;
+        Mutex.unlock t.mutex;
+        compute (Some r)
+    | Some Pending ->
+        if not !counted then begin
+          counted := true;
+          Obs.Metrics.Counter.incr m_dedup
+        end;
+        Condition.wait t.cond t.mutex;
+        loop ()
+    | None ->
+        Hashtbl.replace t.table key Pending;
+        Mutex.unlock t.mutex;
+        compute None
+  in
+  loop ()
+
+let eval ?noise t app config =
+  match obtain t ~feasible_only:false ?noise app config with
+  | Full v -> v.cost
+  | Unfit _ | Pending -> assert false
+
+let eval_profiled ?noise t app config =
+  match obtain t ~feasible_only:false ?noise app config with
+  | Full v -> (v.cost, v.profile)
+  | Unfit _ | Pending -> assert false
+
+let eval_feasible ?noise t app config =
+  if not (Arch.Config.is_valid config) then None
+  else
+    match obtain t ~feasible_only:true ?noise app config with
+    | Full v -> if v.fits then Some v.cost else None
+    | Unfit _ -> None
+    | Pending -> assert false
+
+(* Force lazily compiled programs before any pool fan-out: [Lazy] is
+   not domain-safe. *)
+let force_programs apps =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (app : Apps.Registry.t) ->
+      if not (Hashtbl.mem seen app.Apps.Registry.name) then begin
+        Hashtbl.add seen app.Apps.Registry.name ();
+        ignore (Lazy.force app.Apps.Registry.program)
+      end)
+    apps
+
+(* Collapse a keyed batch to its distinct requests (first occurrence
+   order), counting the collapsed repeats, evaluate the distinct ones
+   on the pool, and fan the results back out in input order. *)
+let batch ~span_name t keyed evaluate =
+  let seen = Hashtbl.create 64 in
+  let uniques =
+    List.filter
+      (fun (k, _) ->
+        if Hashtbl.mem seen k then begin
+          Obs.Metrics.Counter.incr m_dedup;
+          false
+        end
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      keyed
+  in
+  Obs.Span.with_ ~cat:"dse" span_name
+    ~attrs:
+      [
+        ("items", Obs.Json.Int (List.length keyed));
+        ("unique", Obs.Json.Int (List.length uniques));
+      ]
+  @@ fun () ->
+  let eval_one (_, req) = evaluate req in
+  let results =
+    match t.pool with
+    | Some pool -> Pool.map pool eval_one uniques
+    | None when Domain.recommended_domain_count () > 1 ->
+        Pool.map (Pool.default ()) eval_one uniques
+    | None -> List.map eval_one uniques
+  in
+  let by_key = Hashtbl.create 64 in
+  List.iter2 (fun (k, _) r -> Hashtbl.replace by_key k r) uniques results;
+  List.map (fun (k, _) -> Hashtbl.find by_key k) keyed
+
+let eval_all ?noise t pairs =
+  match pairs with
+  | [] -> []
+  | [ (app, config) ] -> [ eval ?noise t app config ]
+  | _ ->
+      force_programs (List.map fst pairs);
+      let keyed =
+        List.map (fun (app, config) -> (key_of ?noise app config, (app, config)))
+          pairs
+      in
+      batch ~span_name:"engine.eval_all" t keyed (fun (app, config) ->
+          eval ?noise t app config)
+
+let eval_all_feasible ?noise t app configs =
+  match configs with
+  | [] -> []
+  | [ config ] -> [ eval_feasible ?noise t app config ]
+  | _ ->
+      ignore (Lazy.force app.Apps.Registry.program);
+      let keyed =
+        List.map (fun config -> (key_of ?noise app config, config)) configs
+      in
+      batch ~span_name:"engine.eval_all" t keyed (fun config ->
+          eval_feasible ?noise t app config)
+
+let default_mutex = Mutex.create ()
+let default_engine = ref None
+
+let default () =
+  Mutex.lock default_mutex;
+  let e =
+    match !default_engine with
+    | Some e -> e
+    | None ->
+        let e = create () in
+        default_engine := Some e;
+        e
+  in
+  Mutex.unlock default_mutex;
+  e

@@ -3,13 +3,12 @@ type point = {
   cost : Cost.t option;
 }
 
+(* One batched engine call: resources are elaborated once per point
+   (feasibility and cost share the estimate), infeasible points never
+   reach the simulator, and the feasible ones fan out on the pool. *)
 let sweep app configs =
-  List.map
-    (fun config ->
-      if Synth.Estimate.feasible config then
-        { config; cost = Some (Measure.measure app config) }
-      else { config; cost = None })
-    configs
+  Engine.eval_all_feasible (Engine.default ()) app configs
+  |> List.map2 (fun config cost -> { config; cost }) configs
 
 let dcache_sweep app = sweep app (Arch.Space.dcache_geometry ())
 

@@ -17,6 +17,8 @@ val dcache_sweep : Apps.Registry.t -> point list
     paper's Figure 2 row order (ways-major). *)
 
 val sweep : Apps.Registry.t -> Arch.Config.t list -> point list
+(** One batched, memoized {!Engine.eval_all_feasible} call: deduped
+    points, parallel evaluation, one resource elaboration per point. *)
 
 val best_runtime : point list -> point
 (** Feasible point with minimal runtime; ties broken by fewer BRAM

@@ -55,7 +55,7 @@ let random_config rng =
   }
 
 let evaluate ~weights ~base app config =
-  let cost = Measure.measure app config in
+  let cost = Engine.eval (Engine.default ()) app config in
   (cost, Cost.objective weights (Cost.deltas ~base cost))
 
 let random_search ?(seed = 0x5EA7C4) ~builds ~weights app =
@@ -68,18 +68,22 @@ let random_search ?(seed = 0x5EA7C4) ~builds ~weights app =
       ]
   @@ fun () ->
   let rng = Sim.Rng.create ~seed in
-  let base = Measure.measure app Arch.Config.base in
+  let engine = Engine.default () in
+  let base = Engine.eval engine app Arch.Config.base in
   let best = ref (Arch.Config.base, base, 0.0) in
   let spent = ref 0 in
   while !spent < builds do
     let config = random_config rng in
-    if Synth.Estimate.feasible config then begin
-      incr spent;
-      Obs.Metrics.Counter.incr m_builds;
-      let cost, objective = evaluate ~weights ~base app config in
-      let _, _, best_obj = !best in
-      if objective < best_obj then best := (config, cost, objective)
-    end
+    (* [eval_feasible] elaborates resources once for both the
+       feasibility check and the cost; infeasible draws are free. *)
+    match Engine.eval_feasible engine app config with
+    | None -> ()
+    | Some cost ->
+        incr spent;
+        Obs.Metrics.Counter.incr m_builds;
+        let objective = Cost.objective weights (Cost.deltas ~base cost) in
+        let _, _, best_obj = !best in
+        if objective < best_obj then best := (config, cost, objective)
   done;
   let config, cost, objective = !best in
   { config; cost; objective; builds; pruned = 0 }
@@ -176,7 +180,8 @@ let coordinate_descent ?(max_sweeps = 5) ?features ~weights app =
   Obs.Span.with_span ~cat:"dse" "heuristic.coordinate_descent"
     ~attrs:[ ("app", Obs.Json.String app.Apps.Registry.name) ]
   @@ fun span ->
-  let base = Measure.measure app Arch.Config.base in
+  let engine = Engine.default () in
+  let base = Engine.eval engine app Arch.Config.base in
   let builds = ref 0 in
   let pruned = ref 0 in
   let eval config =
@@ -215,7 +220,7 @@ let coordinate_descent ?(max_sweeps = 5) ?features ~weights app =
           (group_options g))
       Arch.Param.groups
   done;
-  let cost = Measure.measure app !current in
+  let cost = Engine.eval engine app !current in
   Obs.Span.add_attr span "builds" (Obs.Json.Int !builds);
   Obs.Span.add_attr span "pruned" (Obs.Json.Int !pruned);
   {

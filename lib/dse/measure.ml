@@ -9,35 +9,18 @@ type model = {
   app : Apps.Registry.t;
   base : Cost.t;
   rows : row list;
+  by_index : (int, row) Hashtbl.t;
 }
 
-(* Deterministic synthesis "measurement noise": a hash of the
-   configuration drives a uniform error in [-1, 1] x amplitude. *)
-let lut_noise ~amplitude config =
-  let h = Hashtbl.hash (config : Arch.Config.t) in
-  let u = float_of_int (h land 0xFFFF) /. 65535.0 in
-  amplitude *. ((2.0 *. u) -. 1.0) *. float_of_int Synth.Device.luts /. 100.0
+let index_rows rows =
+  let h = Hashtbl.create (max 16 (List.length rows)) in
+  List.iter (fun r -> Hashtbl.replace h r.var.Arch.Param.index r) rows;
+  h
 
-let m_builds =
-  Obs.Metrics.Counter.v "dse.builds"
-    ~help:"configurations synthesized and executed"
+let model_of app ~base rows = { app; base; rows; by_index = index_rows rows }
+let with_rows m rows = { m with rows; by_index = index_rows rows }
 
-let measure ?noise app config =
-  Obs.Metrics.Counter.incr m_builds;
-  let resources = Synth.Estimate.config config in
-  let resources =
-    match noise with
-    | None -> resources
-    | Some amplitude ->
-        {
-          resources with
-          Synth.Resource.luts =
-            resources.Synth.Resource.luts
-            + int_of_float (lut_noise ~amplitude:(amplitude *. 100.0) config);
-        }
-  in
-  let seconds = Apps.Registry.seconds ~config app in
-  { Cost.seconds; resources }
+let measure ?noise app config = Engine.eval ?noise (Engine.default ()) app config
 
 (* Reference configuration against which a variable's marginal cost is
    taken: base, except for replacement policies (see interface). *)
@@ -99,11 +82,9 @@ let build ?noise ?dims ?jobs app =
       deltas = { d with Cost.rho };
     }
   in
-  { app; base; rows = Parallel.map ?jobs measure_var vars }
+  model_of app ~base (Parallel.map ?jobs measure_var vars)
 
 let row model index =
-  match
-    List.find_opt (fun r -> r.var.Arch.Param.index = index) model.rows
-  with
+  match Hashtbl.find_opt model.by_index index with
   | Some r -> r
   | None -> raise Not_found

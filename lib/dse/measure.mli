@@ -4,7 +4,9 @@
     For each of the 52 decision variables, build the configuration
     that differs from base in just that parameter, "synthesize" it
     (resource model) and execute the application on it (simulator),
-    recording the percentage deltas.
+    recording the percentage deltas.  All evaluations go through the
+    shared {!Engine}, so repeated builds (and overlaps with sweeps or
+    other experiments) are cache hits.
 
     Replacement-policy perturbations (LRR/LRU) are structurally invalid
     on the 1-way base cache; their marginal cost is measured at 2-way
@@ -30,11 +32,21 @@ type model = {
   app : Apps.Registry.t;
   base : Cost.t;
   rows : row list;  (** exactly the variables of the selected groups *)
+  by_index : (int, row) Hashtbl.t;
+      (** derived: rows by paper variable index.  Never update [rows]
+          with a record-update expression — use {!with_rows}, which
+          rebuilds the index. *)
 }
 
+val model_of : Apps.Registry.t -> base:Cost.t -> row list -> model
+(** Build a model, deriving the index table from the rows. *)
+
+val with_rows : model -> row list -> model
+(** [model] with the given rows and a freshly derived index table. *)
+
 val measure : ?noise:float -> Apps.Registry.t -> Arch.Config.t -> Cost.t
-(** Synthesize and run one configuration.
-    @raise Invalid_argument if structurally invalid. *)
+(** Synthesize and run one configuration — [Engine.eval] on the shared
+    engine. @raise Invalid_argument if structurally invalid. *)
 
 val build :
   ?noise:float ->
@@ -45,7 +57,7 @@ val build :
 (** [dims] restricts the model to the given parameter groups (the
     Section 5 study uses dcache ways and way size); default all 18
     groups, i.e. all 52 variables.  [jobs] fans the per-variable
-    measurements out over OCaml domains ({!Parallel.map}); the result
+    measurements out over the domain pool ({!Parallel.map}); the result
     is identical to the sequential build. *)
 
 val reference_config : Arch.Param.var -> Arch.Config.t

@@ -37,11 +37,16 @@ let combine (models : (Measure.model * float) list) =
             { r with Measure.deltas = { r.Measure.deltas with Cost.rho = rho } })
           first.Measure.rows
       in
-      { first with Measure.rows = rows }
+      Measure.with_rows first rows
 
+(* Through the engine (not a bare [Apps.Registry.seconds]) so every
+   verification simulation is memoized and counted in [dse.builds] —
+   the base point is always a cache hit (measured during model
+   building). *)
 let runtime_change app config =
-  let base = Apps.Registry.seconds app in
-  let tuned = Apps.Registry.seconds ~config app in
+  let engine = Engine.default () in
+  let base = (Engine.eval engine app Arch.Config.base).Cost.seconds in
+  let tuned = (Engine.eval engine app config).Cost.seconds in
   100.0 *. (tuned -. base) /. base
 
 let optimize ?dims ~weights workload =

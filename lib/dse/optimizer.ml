@@ -66,7 +66,9 @@ let run_with_model ?variant ~weights model =
       (match Arch.Config.validate config with
       | Ok () -> ()
       | Error m -> failwith ("Optimizer: decoded configuration invalid: " ^ m));
-      let actual = Measure.measure model.Measure.app config in
+      (* Verify-by-build is noise-free even when the model was noisy:
+         the recommendation is judged against reality. *)
+      let actual = Engine.eval (Engine.default ()) model.Measure.app config in
       {
         model;
         weights;

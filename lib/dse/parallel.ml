@@ -1,31 +1,11 @@
 let map ?jobs f xs =
   let n = List.length xs in
   let jobs =
-    min n (match jobs with Some j -> j | None -> Domain.recommended_domain_count ())
+    min n
+      (match jobs with Some j -> j | None -> Domain.recommended_domain_count ())
   in
   if jobs <= 1 then List.map f xs
   else
     Obs.Span.with_ ~cat:"dse" "parallel.map"
       ~attrs:[ ("jobs", Obs.Json.Int jobs); ("items", Obs.Json.Int n) ]
-    @@ fun () ->
-    begin
-    let input = Array.of_list xs in
-    let output = Array.make n None in
-    let failure = Atomic.make None in
-    let worker j () =
-      let k = ref j in
-      while !k < n && Atomic.get failure = None do
-        (match f input.(!k) with
-        | y -> output.(!k) <- Some y
-        | exception e -> ignore (Atomic.compare_and_set failure None (Some e)));
-        k := !k + jobs
-      done
-    in
-    let domains = List.init jobs (fun j -> Domain.spawn (worker j)) in
-    List.iter Domain.join domains;
-    (match Atomic.get failure with Some e -> raise e | None -> ());
-    Array.to_list
-      (Array.map
-         (function Some y -> y | None -> assert false)
-         output)
-  end
+    @@ fun () -> Pool.map (Pool.default ()) f xs

@@ -1,12 +1,12 @@
-(** Order-preserving parallel map over OCaml 5 domains.
-
-    Model building dominates the pipeline's cost (52 independent
-    simulator runs per application); the measurements share no mutable
-    state, so they fan out across domains.  Callers must make sure any
-    lazily compiled program is forced before mapping (OCaml's [Lazy]
-    is not domain-safe). *)
+(** Order-preserving parallel map — a thin compatibility shim over the
+    persistent {!Pool} (it used to spawn a fresh set of domains per
+    call).  Callers must make sure any lazily compiled program is
+    forced before mapping (OCaml's [Lazy] is not domain-safe). *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [jobs] defaults to {!Domain.recommended_domain_count}, capped by
-    the list length; [jobs <= 1] degrades to [List.map].  A worker
-    exception is re-raised in the caller after all domains join. *)
+(** [jobs <= 1] (or a singleton/empty list) degrades to [List.map];
+    otherwise the work runs on {!Pool.default} — [jobs] no longer
+    bounds parallelism, it only selects the serial path, keeping the
+    historical contract that the result is identical either way.  A
+    worker exception is re-raised in the caller with its original
+    backtrace. *)

@@ -1,0 +1,55 @@
+(** Persistent domain pool with work-stealing scheduling.
+
+    {!Parallel.map} used to spawn (and join) a fresh set of domains on
+    every call; model building, exhaustive sweeps and the evaluation
+    engine all fan out repeatedly, so domain start-up cost and the
+    risk of oversubscription grew with every new client.  This pool
+    spawns its worker domains once and keeps them parked on a
+    condition variable between batches.
+
+    Scheduling is work-stealing: each worker owns a deque, submitted
+    tasks are distributed round-robin, a worker pops its own newest
+    task (LIFO) and steals the oldest (FIFO) from a sibling when its
+    deque runs dry.  The submitting caller also executes tasks while
+    it waits, which (a) adds one unit of parallelism and (b) makes
+    nested batches — a task that itself submits a batch — deadlock
+    free.
+
+    Worker exceptions are re-raised in the submitter with their
+    original backtraces ({!Printexc.raise_with_backtrace}).
+
+    Observability: every batch opens a [pool.batch] span (items and
+    worker count as attributes), executed tasks bump the
+    [dse.pool.tasks] counter, and [dse.pool.workers] gauges the pool
+    size. *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** Spawn a pool of [workers] domains (default
+    [Domain.recommended_domain_count () - 1], at least 1).
+    @raise Invalid_argument if [workers < 1]. *)
+
+val default : unit -> t
+(** The shared process-wide pool, created on first use and joined via
+    [at_exit].  All library clients ({!Parallel.map}, {!Engine}) use
+    this instance. *)
+
+val size : t -> int
+(** Worker-domain count.  The submitting caller also runs tasks, so
+    effective parallelism is [size t + 1]. *)
+
+val run_batch : t -> (unit -> unit) list -> unit
+(** Execute every task to completion.  If any task raised, the first
+    exception (in completion order) is re-raised with its backtrace
+    after the batch drains; remaining tasks of the batch are skipped
+    (not started) once a failure is recorded. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map on the pool.  Singleton and empty
+    lists run inline. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers (idempotent).  Only needed for pools
+    created explicitly in tests; {!default} shuts itself down at
+    process exit. *)

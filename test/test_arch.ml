@@ -219,6 +219,22 @@ let test_codec_errors () =
   expect_error "mul=m64x64";
   expect_error "noequals"
 
+let test_codec_digest () =
+  (* Content addressing: equal configurations digest identically
+     however they were constructed, distinct ones distinctly. *)
+  let rebuilt =
+    Arch.Codec.of_string_exn (Arch.Codec.to_string Arch.Config.base)
+  in
+  Alcotest.(check string)
+    "same config, same digest"
+    (Arch.Codec.digest Arch.Config.base)
+    (Arch.Codec.digest rebuilt);
+  let points = Arch.Space.dcache_geometry () in
+  Alcotest.(check int)
+    "all dcache geometry points digest distinctly"
+    (List.length points)
+    (List.length (List.sort_uniq compare (List.map Arch.Codec.digest points)))
+
 let () =
   Alcotest.run "arch"
     [
@@ -247,6 +263,7 @@ let () =
           Alcotest.test_case "perturbation roundtrips" `Quick test_codec_all_perturbations_roundtrip;
           Alcotest.test_case "delta decode" `Quick test_codec_delta;
           Alcotest.test_case "errors" `Quick test_codec_errors;
+          Alcotest.test_case "digest" `Quick test_codec_digest;
         ] );
       ( "space",
         [

@@ -1,0 +1,255 @@
+(* The shared evaluation engine: memoization bit-identity, batch
+   evaluation vs the serial reference, in-flight/batch deduplication
+   accounting, and the persistent work-stealing pool. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let config_of_seed seed = Dse.Heuristic.random_config (Sim.Rng.create ~seed)
+
+let delta before after name =
+  Obs.Metrics.counter_value after name - Obs.Metrics.counter_value before name
+
+(* --- Memoization --- *)
+
+(* A warm evaluation must be bit-identical to its own cold run and to a
+   cold run on an independent engine — with and without the
+   deterministic measurement noise. *)
+let memo_bit_identical_qtest =
+  QCheck.Test.make ~count:20 ~name:"memoized eval bit-identical to cold run"
+    QCheck.(make Gen.int)
+    (fun seed ->
+      let config = config_of_seed seed in
+      let app = Apps.Registry.arith in
+      List.for_all
+        (fun noise ->
+          let e1 = Dse.Engine.create () in
+          let cold = Dse.Engine.eval ?noise e1 app config in
+          let warm = Dse.Engine.eval ?noise e1 app config in
+          let e2 = Dse.Engine.create () in
+          let cold2 = Dse.Engine.eval ?noise e2 app config in
+          compare cold warm = 0 && compare cold cold2 = 0)
+        [ None; Some 0.005 ])
+
+let test_memo_counts () =
+  let app = Apps.Registry.arith in
+  let config = config_of_seed 42 in
+  let e = Dse.Engine.create () in
+  let before = Obs.Metrics.snapshot () in
+  let c1 = Dse.Engine.eval e app config in
+  let mid = Obs.Metrics.snapshot () in
+  let c2 = Dse.Engine.eval e app config in
+  let after = Obs.Metrics.snapshot () in
+  check_bool "identical cost" true (compare c1 c2 = 0);
+  check_int "first eval misses" 1 (delta before mid "dse.engine.misses");
+  check_int "first eval builds" 1 (delta before mid "dse.builds");
+  check_int "second eval hits" 1 (delta mid after "dse.engine.hits");
+  check_int "second eval builds nothing" 0 (delta mid after "dse.builds")
+
+let test_noise_amplitudes_distinct_keys () =
+  (* Differing amplitudes must not observe each other's measurements:
+     noise-free LUTs differ from noised LUTs for this config. *)
+  let app = Apps.Registry.arith in
+  let e = Dse.Engine.create () in
+  (* Find a seed whose config actually gets a non-zero perturbation. *)
+  let rec find seed =
+    if seed > 200 then Alcotest.fail "no noised config found"
+    else
+      let config = config_of_seed seed in
+      let plain = Dse.Engine.eval e app config in
+      let noised = Dse.Engine.eval ~noise:0.01 e app config in
+      if
+        plain.Dse.Cost.resources.Synth.Resource.luts
+        <> noised.Dse.Cost.resources.Synth.Resource.luts
+      then (plain, noised)
+      else find (seed + 1)
+  in
+  let plain, noised = find 0 in
+  check_bool "seconds agree (noise is resource-only)" true
+    (plain.Dse.Cost.seconds = noised.Dse.Cost.seconds);
+  check_bool "luts differ across amplitudes" true
+    (plain.Dse.Cost.resources.Synth.Resource.luts
+    <> noised.Dse.Cost.resources.Synth.Resource.luts)
+
+(* --- Feasibility path --- *)
+
+let test_eval_feasible_matches_reference () =
+  let app = Apps.Registry.arith in
+  let e = Dse.Engine.create () in
+  List.iter
+    (fun config ->
+      let got = Dse.Engine.eval_feasible e app config in
+      if Synth.Estimate.feasible config then (
+        let reference = Dse.Engine.eval (Dse.Engine.create ()) app config in
+        match got with
+        | Some c -> check_bool "feasible cost matches eval" true (compare c reference = 0)
+        | None -> Alcotest.fail "feasible config reported infeasible")
+      else check_bool "infeasible is None" true (got = None))
+    (Arch.Space.dcache_geometry ())
+
+let test_unfit_upgrade () =
+  (* A cached over-capacity entry must upgrade to a full (simulated)
+     entry when forcibly evaluated, without re-elaborating. *)
+  let app = Apps.Registry.arith in
+  let unfit =
+    match
+      List.find_opt
+        (fun c -> Arch.Config.is_valid c && not (Synth.Estimate.feasible c))
+        (Arch.Space.dcache_geometry ())
+    with
+    | Some c -> c
+    | None -> Alcotest.fail "dcache geometry has no over-capacity point"
+  in
+  let e = Dse.Engine.create () in
+  let before = Obs.Metrics.snapshot () in
+  check_bool "feasible query is None" true
+    (Dse.Engine.eval_feasible e app unfit = None);
+  let mid = Obs.Metrics.snapshot () in
+  check_int "no simulation for the unfit query" 0 (delta before mid "dse.builds");
+  check_int "resource-only compute is a miss" 1
+    (delta before mid "dse.engine.misses");
+  let cost = Dse.Engine.eval e app unfit in
+  let after = Obs.Metrics.snapshot () in
+  check_int "forced eval simulates once" 1 (delta mid after "dse.builds");
+  check_bool "over-capacity resources preserved" true
+    (not (Synth.Resource.fits cost.Dse.Cost.resources));
+  check_bool "now cached as infeasible-but-built" true
+    (Dse.Engine.eval_feasible e app unfit = None);
+  let last = Obs.Metrics.snapshot () in
+  check_int "and that query was a hit" 1 (delta after last "dse.engine.hits")
+
+(* --- Batch evaluation --- *)
+
+let test_eval_all_matches_serial () =
+  let app = Apps.Registry.arith in
+  let configs = List.init 12 config_of_seed in
+  let pairs = List.map (fun c -> (app, c)) (configs @ List.rev configs) in
+  let pool = Dse.Pool.create ~workers:4 () in
+  Fun.protect
+    ~finally:(fun () -> Dse.Pool.shutdown pool)
+    (fun () ->
+      let pooled = Dse.Engine.create ~pool () in
+      let batch = Dse.Engine.eval_all pooled pairs in
+      let serial_engine = Dse.Engine.create () in
+      let serial =
+        List.map (fun (a, c) -> Dse.Engine.eval serial_engine a c) pairs
+      in
+      check_int "lengths agree" (List.length serial) (List.length batch);
+      List.iteri
+        (fun i (b, s) ->
+          check_bool (Printf.sprintf "batch item %d bit-identical" i) true
+            (compare b s = 0))
+        (List.combine batch serial))
+
+let test_eval_all_dedups_batch () =
+  let app = Apps.Registry.arith in
+  let config = config_of_seed 7 in
+  let e = Dse.Engine.create () in
+  let before = Obs.Metrics.snapshot () in
+  let costs = Dse.Engine.eval_all e (List.init 5 (fun _ -> (app, config))) in
+  let after = Obs.Metrics.snapshot () in
+  check_int "five results" 5 (List.length costs);
+  check_bool "all identical" true
+    (List.for_all (fun c -> compare c (List.hd costs) = 0) costs);
+  check_int "one build" 1 (delta before after "dse.builds");
+  check_int "four deduplicated" 4
+    (delta before after "dse.engine.inflight_dedup")
+
+(* --- The fig2 sweep accounting (ISSUE: exactly the deduplicated
+   number of builds) --- *)
+
+let test_fig2_sweep_build_count () =
+  let app = Apps.Registry.blastn in
+  let engine = Dse.Engine.default () in
+  Dse.Engine.clear engine;
+  let before = Obs.Metrics.snapshot () in
+  let points = Dse.Exhaustive.dcache_sweep app in
+  let mid = Obs.Metrics.snapshot () in
+  let feasible =
+    List.length (List.filter (fun p -> p.Dse.Exhaustive.cost <> None) points)
+  in
+  check_int "28 geometry points" 28 (List.length points);
+  check_int "19 feasible points" 19 feasible;
+  check_int "builds = feasible points exactly" feasible
+    (delta before mid "dse.builds");
+  check_int "every point computed once" 28 (delta before mid "dse.engine.misses");
+  (* The same sweep again is pure cache. *)
+  let again = Dse.Exhaustive.dcache_sweep app in
+  let after = Obs.Metrics.snapshot () in
+  check_bool "identical points" true (compare points again = 0);
+  check_int "no new builds" 0 (delta mid after "dse.builds");
+  check_int "28 hits" 28 (delta mid after "dse.engine.hits")
+
+(* --- Pool --- *)
+
+let test_pool_map_order () =
+  let pool = Dse.Pool.create ~workers:3 () in
+  Fun.protect
+    ~finally:(fun () -> Dse.Pool.shutdown pool)
+    (fun () ->
+      let xs = List.init 100 Fun.id in
+      check_bool "order preserved" true
+        (Dse.Pool.map pool (fun x -> x * x) xs = List.map (fun x -> x * x) xs))
+
+let test_pool_exception_propagates () =
+  let pool = Dse.Pool.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Dse.Pool.shutdown pool)
+    (fun () ->
+      match
+        Dse.Pool.map pool
+          (fun i -> if i = 13 then failwith "boom" else i)
+          (List.init 40 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure m -> check_bool "original exception" true (m = "boom"))
+
+let test_pool_nested_batches () =
+  (* A task that itself submits a batch to the same pool must not
+     deadlock: the submitter helps drain the queue. *)
+  let pool = Dse.Pool.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Dse.Pool.shutdown pool)
+    (fun () ->
+      let rows =
+        Dse.Pool.map pool
+          (fun i ->
+            List.fold_left ( + ) 0
+              (Dse.Pool.map pool (fun j -> (10 * i) + j) [ 1; 2; 3; 4; 5 ]))
+          [ 0; 1; 2; 3 ]
+      in
+      check_bool "nested results" true
+        (rows = List.map (fun i -> (50 * i) + 15) [ 0; 1; 2; 3 ]))
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "memo",
+        [
+          QCheck_alcotest.to_alcotest memo_bit_identical_qtest;
+          Alcotest.test_case "hit/miss/build counts" `Quick test_memo_counts;
+          Alcotest.test_case "noise keys distinct" `Quick
+            test_noise_amplitudes_distinct_keys;
+        ] );
+      ( "feasible",
+        [
+          Alcotest.test_case "matches reference" `Quick
+            test_eval_feasible_matches_reference;
+          Alcotest.test_case "unfit upgrade" `Quick test_unfit_upgrade;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "eval_all = serial (4 domains)" `Quick
+            test_eval_all_matches_serial;
+          Alcotest.test_case "in-batch dedup" `Quick test_eval_all_dedups_batch;
+          Alcotest.test_case "fig2 sweep build count" `Quick
+            test_fig2_sweep_build_count;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map order" `Quick test_pool_map_order;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "nested batches" `Quick test_pool_nested_batches;
+        ] );
+    ]

@@ -199,11 +199,21 @@ let test_trace_disabled_records_nothing () =
   check_int "no events" 0 (List.length (Obs.Trace.events ()))
 
 let test_trace_across_domains () =
+  (* Each task spins a couple of milliseconds: the pool's submitting
+     caller also executes tasks, and instant tasks could all drain on
+     one domain before the workers wake, voiding the multi-tid
+     assertion below. *)
+  let spin () =
+    let rec go n acc = if n = 0 then acc else go (n - 1) (acc + 1) in
+    ignore (Sys.opaque_identity (go 2_000_000 0))
+  in
   with_tracing (fun () ->
       let results =
         Dse.Parallel.map ~jobs:4
           (fun i ->
-            Obs.Span.with_ ~cat:"test" "worker-span" (fun () -> i * 2))
+            Obs.Span.with_ ~cat:"test" "worker-span" (fun () ->
+                spin ();
+                i * 2))
           [ 1; 2; 3; 4; 5; 6; 7; 8 ]
       in
       check_bool "map result intact" true
