@@ -112,21 +112,36 @@ let apply_field (t : Config.t) key value =
 
 let of_string s =
   let ( let* ) = Result.bind in
+  let fields = String.split_on_char ',' (String.trim s) in
+  (* A single trailing comma ("mul=m32x32,") is tolerated; any other
+     empty field — leading, doubled, or repeated trailing commas — is
+     a malformed input, not silently dropped. *)
   let fields =
-    String.split_on_char ',' (String.trim s)
-    |> List.filter (fun f -> f <> "")
+    match List.rev fields with
+    | "" :: (_ :: _ as rest) -> List.rev rest
+    | _ -> fields
   in
-  let* config =
+  let* config, _ =
     List.fold_left
       (fun acc field ->
-        let* t = acc in
-        match String.index_opt field '=' with
-        | None -> Error (Printf.sprintf "malformed field %S (want key=value)" field)
-        | Some i ->
-            let key = String.sub field 0 i in
-            let value = String.sub field (i + 1) (String.length field - i - 1) in
-            apply_field t key value)
-      (Ok Config.base) fields
+        let* t, seen = acc in
+        if field = "" then
+          Error "empty field (stray ',' in configuration string)"
+        else
+          match String.index_opt field '=' with
+          | None ->
+              Error (Printf.sprintf "malformed field %S (want key=value)" field)
+          | Some i ->
+              let key = String.sub field 0 i in
+              let value =
+                String.sub field (i + 1) (String.length field - i - 1)
+              in
+              if List.mem key seen then
+                Error (Printf.sprintf "duplicate field %S" key)
+              else
+                let* t = apply_field t key value in
+                Ok (t, key :: seen))
+      (Ok (Config.base, [])) fields
   in
   let* () = Config.validate config in
   Ok config

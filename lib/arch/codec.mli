@@ -19,7 +19,10 @@ val digest : Config.t -> string
     the evaluation engine's cache key. *)
 
 val of_string : string -> (Config.t, string) result
-(** Decodes and validates. *)
+(** Decodes and validates.  Each key may appear at most once
+    (duplicates are rejected rather than silently last-wins), and
+    empty fields (stray commas) are rejected — except that one
+    trailing comma is tolerated. *)
 
 val of_string_exn : string -> Config.t
 (** @raise Invalid_argument on malformed or invalid encodings. *)

@@ -58,11 +58,14 @@ let clear t =
   Mutex.unlock t.mutex
 
 (* Deterministic synthesis "measurement noise": a hash of the
-   configuration drives a uniform error in [-1, 1] x amplitude. *)
+   configuration drives a uniform error in [-1, 1] x amplitude, where
+   [amplitude] is a fraction of the device's LUTs (0.005 = ±0.5 %) —
+   the same unit [noise] is documented in throughout the interface.
+   The error is therefore at most [amplitude * Device.luts] LUTs. *)
 let lut_noise ~amplitude config =
   let h = Hashtbl.hash (config : Arch.Config.t) in
   let u = float_of_int (h land 0xFFFF) /. 65535.0 in
-  amplitude *. ((2.0 *. u) -. 1.0) *. float_of_int Synth.Device.luts /. 100.0
+  amplitude *. ((2.0 *. u) -. 1.0) *. float_of_int Synth.Device.luts
 
 (* Elaborate resources once: feasibility is judged on the un-noised
    estimate (as [Synth.Estimate.feasible] does), the returned cost
@@ -78,7 +81,7 @@ let noised_resources ?noise config =
           resources with
           Synth.Resource.luts =
             resources.Synth.Resource.luts
-            + int_of_float (lut_noise ~amplitude:(amplitude *. 100.0) config);
+            + int_of_float (lut_noise ~amplitude config);
         }
   in
   (resources, fits)

@@ -8,13 +8,17 @@ let xy ?(width = 56) ?(height = 16) ?(x_label = "x") ?(y_label = "y") ppf points
     let x0, x1 = pad (List.fold_left min infinity xs) (List.fold_left max neg_infinity xs) in
     let y0, y1 = pad (List.fold_left min infinity ys) (List.fold_left max neg_infinity ys) in
     let grid = Array.make_matrix height width ' ' in
+    (* Round to the nearest cell: truncation would bias every point
+       down and left by up to a full cell. *)
     List.iter
       (fun (x, y) ->
         let cx =
-          int_of_float ((x -. x0) /. (x1 -. x0) *. float_of_int (width - 1))
+          int_of_float
+            (Float.round ((x -. x0) /. (x1 -. x0) *. float_of_int (width - 1)))
         in
         let cy =
-          int_of_float ((y -. y0) /. (y1 -. y0) *. float_of_int (height - 1))
+          int_of_float
+            (Float.round ((y -. y0) /. (y1 -. y0) *. float_of_int (height - 1)))
         in
         grid.(height - 1 - cy).(cx) <- '*')
       points;
@@ -29,7 +33,11 @@ let xy ?(width = 56) ?(height = 16) ?(x_label = "x") ?(y_label = "y") ppf points
         Format.fprintf ppf "%s%s@." edge (String.init width (Array.get row)))
       grid;
     Format.fprintf ppf "%10s +%s@." "" (String.make width '-');
-    Format.fprintf ppf "%10s  %-10.2f%*s%.2f  (%s)@." "" x0
-      (width - 20 |> max 1)
-      "" x1 x_label
+    (* Right-align the x1 label with the axis edge (the fixed
+       [width - 20] padding drifted with the label's width and
+       collapsed entirely below width 20). *)
+    let x1s = Printf.sprintf "%.2f" x1 in
+    Format.fprintf ppf "%10s  %-10.2f%*s%s  (%s)@." "" x0
+      (max 1 (width - 10 - String.length x1s))
+      "" x1s x_label
   end

@@ -1,0 +1,47 @@
+(** Random-input generators for the differential fuzzer.
+
+    Everything here is built on {!QCheck2.Gen}, so shrinking comes for
+    free: QCheck2 shrinks by re-running the generator on smaller
+    random choices, which means every shrunk candidate still satisfies
+    the generators' safety invariants.
+
+    The minic program generator is {e safe by construction} on every
+    path, not merely on the executed one: array indices are masked to
+    the array bounds, division and modulo only ever see a non-zero
+    literal divisor, loops are counter loops whose counter nothing
+    else writes, and every local is initialized before use.  A
+    generated program therefore always terminates and never traps, so
+    an oracle can treat any interpreter trap, any simulator
+    divergence, and any "definite trap" / "possibly uninitialized"
+    lint finding as a genuine bug. *)
+
+(** Statement-mix profiles for minic program generation. *)
+type profile = Straightline | Branching | Looping | Callish | Mixed
+
+val all_profiles : profile list
+val profile_name : profile -> string
+
+val program_of_profile : profile -> Minic.Ast.program QCheck2.Gen.t
+
+val program : Minic.Ast.program QCheck2.Gen.t
+(** Profile-weighted mix of {!program_of_profile}. *)
+
+val print_program : Minic.Ast.program -> string
+
+val config : Arch.Config.t QCheck2.Gen.t
+(** Uniform draw over the structural configuration space; always
+    passes {!Arch.Config.validate}. *)
+
+val print_config : Arch.Config.t -> string
+
+val binlp_problem : Optim.Binlp.problem QCheck2.Gen.t
+(** Small instances (at most 6 variables, 2 SOS1 groups, 3
+    constraints, product terms included) with half-integer
+    coefficients, sized for brute-force cross-checking. *)
+
+val print_binlp : Optim.Binlp.problem -> string
+
+val json : Obs.Json.t QCheck2.Gen.t
+(** Finite floats only (JSON cannot round-trip inf/nan). *)
+
+val print_json : Obs.Json.t -> string

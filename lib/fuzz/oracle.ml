@@ -1,0 +1,313 @@
+module T2 = QCheck2.Test
+module R = QCheck2.TestResult
+
+type outcome =
+  | Pass of { trials : int }
+  | Fail of { counterexample : string; shrink_steps : int; messages : string list }
+  | Crash of { counterexample : string; message : string }
+
+type t =
+  | T : {
+      name : string;
+      doc : string;
+      gen : 'a QCheck2.Gen.t;
+      print : 'a -> string;
+      prop : 'a -> bool;
+    }
+      -> t
+
+let name (T o) = o.name
+let doc (T o) = o.doc
+
+let run ?(count = 200) ~seed (T o) =
+  let cell = T2.make_cell ~name:o.name ~count ~print:o.print o.gen o.prop in
+  let rand = Random.State.make [| seed |] in
+  match R.get_state (T2.check_cell ~rand cell) with
+  | R.Success -> Pass { trials = count }
+  | R.Failed { instances = [] } ->
+      Fail { counterexample = "<none>"; shrink_steps = 0; messages = [] }
+  | R.Failed { instances = c :: _ } ->
+      Fail
+        {
+          counterexample = o.print c.instance;
+          shrink_steps = c.shrink_steps;
+          messages = c.msg_l;
+        }
+  | R.Failed_other { msg } ->
+      Fail { counterexample = "<none>"; shrink_steps = 0; messages = [ msg ] }
+  | R.Error { instance; exn; backtrace = _ } ->
+      Crash
+        {
+          counterexample = o.print instance.instance;
+          message = Printexc.to_string exn;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Shared plumbing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Far beyond what a generated program can consume (loops iterate at
+   most 8x8 times over a handful of statements), so exhaustion means a
+   termination bug, not an undersized budget. *)
+let fuel = 2_000_000
+
+let checked p =
+  match Minic.Check.check p with
+  | Ok () -> ()
+  | Error errs ->
+      T2.fail_reportf "generator emitted an invalid program:@ %s"
+        (String.concat "; " errs)
+
+let interp p =
+  match Minic.Interp.run ~fuel p with
+  | v -> Ok v
+  | exception Minic.Interp.Runtime_error m -> Error m
+
+let interp_clean p =
+  match interp p with
+  | Ok v -> v
+  | Error m ->
+      T2.fail_reportf "interpreter trapped on a safe-by-construction program: %s"
+        m
+
+let simulate config prog =
+  let cpu = Sim.Cpu.create config prog ~mem_size:(1 lsl 20) in
+  Sim.Cpu.run ~max_insns:20_000_000 cpu;
+  if not (Sim.Cpu.halted cpu) then
+    T2.fail_reportf "simulator did not halt within 20M instructions";
+  Sim.Cpu.result cpu
+
+(* ------------------------------------------------------------------ *)
+(* Oracles                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let interp_vs_sim =
+  T
+    {
+      name = "interp-vs-sim";
+      doc =
+        "compiled execution on a random valid configuration matches the \
+         reference interpreter";
+      gen = QCheck2.Gen.pair Gen.program Gen.config;
+      print =
+        (fun (p, c) ->
+          Printf.sprintf "// config: %s\n%s" (Gen.print_config c)
+            (Gen.print_program p));
+      prop =
+        (fun (p, config) ->
+          checked p;
+          (match Arch.Config.validate config with
+          | Ok () -> ()
+          | Error m -> T2.fail_reportf "generator emitted invalid config: %s" m);
+          let expected = interp_clean p in
+          let got = simulate config (Minic.Codegen.compile p) in
+          if got <> expected then
+            T2.fail_reportf "interp=%d sim=%d under %s" expected got
+              (Gen.print_config config)
+          else true);
+    }
+
+let optimize_preserves =
+  T
+    {
+      name = "optimize-preserves";
+      doc =
+        "--O1/--O2 rewriting preserves interpreter semantics and compiled \
+         results";
+      gen = QCheck2.Gen.pair Gen.program (QCheck2.Gen.oneofl [ 1; 2 ]);
+      print =
+        (fun (p, level) ->
+          Printf.sprintf "// level: %d\n%s" level (Gen.print_program p));
+      prop =
+        (fun (p, level) ->
+          checked p;
+          let expected = interp_clean p in
+          let q = Minic.Optimize.program ~level p in
+          (match Minic.Check.check q with
+          | Ok () -> ()
+          | Error errs ->
+              T2.fail_reportf "optimized program fails Check: %s"
+                (String.concat "; " errs));
+          (match interp q with
+          | Ok v when v = expected -> ()
+          | Ok v ->
+              T2.fail_reportf "O%d changed the result: %d -> %d" level expected
+                v
+          | Error m -> T2.fail_reportf "O%d introduced a trap: %s" level m);
+          let got = simulate Arch.Config.base (Minic.Codegen.compile q) in
+          if got <> expected then
+            T2.fail_reportf "compiled O%d result %d differs from interp %d"
+              level got expected
+          else true);
+    }
+
+let uninit_warning (f : Minic.Lint.finding) =
+  f.severity = Minic.Lint.Warning
+  && (let msg = f.message in
+      let needle = "before initialization" in
+      let n = String.length needle and m = String.length msg in
+      let rec scan i = i + n <= m && (String.sub msg i n = needle || scan (i + 1)) in
+      scan 0)
+
+let lint_sound =
+  T
+    {
+      name = "lint-sound";
+      doc =
+        "no definite-trap error or uninitialized-use warning on a program \
+         that is safe on every path";
+      gen = Gen.program;
+      print = Gen.print_program;
+      prop =
+        (fun p ->
+          checked p;
+          ignore (interp_clean p);
+          let findings = Minic.Lint.program p in
+          match
+            List.find_opt
+              (fun (f : Minic.Lint.finding) ->
+                f.severity = Minic.Lint.Error || uninit_warning f)
+              findings
+          with
+          | Some f ->
+              T2.fail_reportf "unsound finding: %a" Minic.Lint.pp_finding f
+          | None -> true);
+    }
+
+let codec_roundtrip =
+  T
+    {
+      name = "codec-roundtrip";
+      doc =
+        "Arch.Codec print/parse/digest round-trips; duplicates and stray \
+         commas are rejected";
+      gen = Gen.config;
+      print = Gen.print_config;
+      prop =
+        (fun c ->
+          (match Arch.Config.validate c with
+          | Ok () -> ()
+          | Error m -> T2.fail_reportf "generator emitted invalid config: %s" m);
+          let s = Arch.Codec.to_string c in
+          (match Arch.Codec.of_string s with
+          | Error m -> T2.fail_reportf "of_string rejected %S: %s" s m
+          | Ok c' ->
+              if not (Arch.Config.equal c c') then
+                T2.fail_reportf "round-trip changed the config: %S -> %S" s
+                  (Arch.Codec.to_string c');
+              if Arch.Codec.digest c <> Arch.Codec.digest c' then
+                T2.fail_reportf "digest differs across a round-trip of %S" s);
+          (match Arch.Codec.of_string (s ^ ",") with
+          | Ok c' when Arch.Config.equal c c' -> ()
+          | Ok _ -> T2.fail_reportf "trailing comma changed the config: %S" s
+          | Error m ->
+              T2.fail_reportf "single trailing comma rejected on %S: %s" s m);
+          (match Arch.Codec.of_string (s ^ ",,") with
+          | Error _ -> ()
+          | Ok _ -> T2.fail_reportf "double trailing comma accepted on %S" s);
+          let first_field = String.sub s 0 (String.index s ',') in
+          (match Arch.Codec.of_string (s ^ "," ^ first_field) with
+          | Error _ -> ()
+          | Ok _ ->
+              T2.fail_reportf "duplicate field %S accepted on %S" first_field s);
+          true);
+    }
+
+let binlp_exact =
+  T
+    {
+      name = "binlp-exact";
+      doc =
+        "branch-and-bound solve agrees with brute-force enumeration on small \
+         SOS1 instances";
+      gen = Gen.binlp_problem;
+      print = Gen.print_binlp;
+      prop =
+        (fun p ->
+          let brute = Optim.Binlp.brute_force p in
+          let solved = Optim.Binlp.solve ~node_limit:2_000_000 p in
+          match (brute, solved) with
+          | None, None -> true
+          | Some b, None ->
+              T2.fail_reportf
+                "solver reported infeasible but brute force found objective %g"
+                b.objective
+          | None, Some s ->
+              T2.fail_reportf
+                "solver found objective %g but brute force says infeasible \
+                 (point feasible: %b)"
+                s.objective
+                (Optim.Binlp.check p s.x)
+          | Some b, Some s ->
+              if not (Optim.Binlp.check p s.x) then
+                T2.fail_reportf "solver returned an infeasible point";
+              if Float.abs (s.objective -. b.objective) > 1e-6 then
+                T2.fail_reportf "objectives differ: solve=%g brute=%g"
+                  s.objective b.objective
+              else true);
+    }
+
+let rec json_equal (a : Obs.Json.t) (b : Obs.Json.t) =
+  match (a, b) with
+  | Obs.Json.Float x, Obs.Json.Float y ->
+      Int64.bits_of_float x = Int64.bits_of_float y
+  | Obs.Json.List xs, Obs.Json.List ys ->
+      List.length xs = List.length ys && List.for_all2 json_equal xs ys
+  | Obs.Json.Obj xs, Obs.Json.Obj ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_equal v1 v2)
+           xs ys
+  | _ -> a = b
+
+let json_roundtrip =
+  T
+    {
+      name = "json-roundtrip";
+      doc = "Obs.Json print/parse round-trips bit-exactly (finite floats)";
+      gen = Gen.json;
+      print = Gen.print_json;
+      prop =
+        (fun v ->
+          let s = Obs.Json.to_string v in
+          match Obs.Json.parse s with
+          | Error m -> T2.fail_reportf "parse failed on %S: %s" s m
+          | Ok v' ->
+              if not (json_equal v v') then
+                T2.fail_reportf "round-trip changed the value: %S -> %S" s
+                  (Obs.Json.to_string v')
+              else true);
+    }
+
+let pretty_parse =
+  T
+    {
+      name = "pretty-parse";
+      doc = "Minic.Pretty output parses back to a structurally equal program";
+      gen = Gen.program;
+      print = Gen.print_program;
+      prop =
+        (fun p ->
+          checked p;
+          let src = Minic.Pretty.to_string p in
+          match Minic.Parser.parse src with
+          | Error m -> T2.fail_reportf "parse failed: %s" m
+          | Ok p' ->
+              if p' <> p then
+                T2.fail_reportf "round-trip changed the program:@ %s"
+                  (Minic.Pretty.to_string p')
+              else true);
+    }
+
+let all =
+  [
+    interp_vs_sim;
+    optimize_preserves;
+    lint_sound;
+    codec_roundtrip;
+    binlp_exact;
+    json_roundtrip;
+    pretty_parse;
+  ]
+
+let find n = List.find_opt (fun o -> name o = n) all

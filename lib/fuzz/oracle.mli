@@ -1,0 +1,65 @@
+(** Differential oracles: properties that cross-check two independent
+    implementations of the same semantics, run over {!Gen}'s random
+    inputs.
+
+    Each oracle packages a generator, a printer, and a property behind
+    an existential, so the runner can treat them uniformly.  A run is
+    fully determined by [(oracle, seed, count)] — {!run} draws from
+    [Random.State.make [| seed |]] and nothing else — which is what
+    makes corpus replay exact. *)
+
+type outcome =
+  | Pass of { trials : int }
+  | Fail of {
+      counterexample : string;  (** printed, fully shrunk *)
+      shrink_steps : int;
+      messages : string list;  (** [Test.fail_reportf] diagnostics *)
+    }
+  | Crash of { counterexample : string; message : string }
+      (** The property raised instead of returning false. *)
+
+type t =
+  | T : {
+      name : string;
+      doc : string;
+      gen : 'a QCheck2.Gen.t;
+      print : 'a -> string;
+      prop : 'a -> bool;
+    }
+      -> t
+
+val name : t -> string
+val doc : t -> string
+
+val run : ?count:int -> seed:int -> t -> outcome
+(** Check [count] (default 200) random instances, shrinking any
+    failure to a local minimum.  Deterministic in [(seed, count)]. *)
+
+val interp_vs_sim : t
+(** Random program x random valid configuration: {!Minic.Interp}
+    against {!Sim.Cpu} executing {!Minic.Codegen} output. *)
+
+val optimize_preserves : t
+(** [--O1]/[--O2] program against the unoptimized interpretation, both
+    interpreted and compiled. *)
+
+val lint_sound : t
+(** No definite-trap error and no uninitialized-use warning on
+    programs that are safe on every path by construction. *)
+
+val codec_roundtrip : t
+(** {!Arch.Codec} print/parse/digest identity, plus rejection of
+    duplicate keys and stray commas. *)
+
+val binlp_exact : t
+(** {!Optim.Binlp.solve} against {!Optim.Binlp.brute_force} on small
+    SOS1 instances, product-form constraints included. *)
+
+val json_roundtrip : t
+(** {!Obs.Json} print/parse identity, bit-exact on finite floats. *)
+
+val pretty_parse : t
+(** {!Minic.Pretty} output re-parses to a structurally equal program. *)
+
+val all : t list
+val find : string -> t option

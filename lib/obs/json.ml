@@ -23,10 +23,19 @@ let escape buf s =
     s;
   Buffer.add_char buf '"'
 
+(* Shortest representation that parses back to the same float: 15
+   significant digits suffice for most values, 17 always do. *)
+let shortest_roundtrip f =
+  let s = Printf.sprintf "%.15g" f in
+  if float_of_string s = f then s
+  else
+    let s = Printf.sprintf "%.16g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
 let float_to_buf buf f =
   if Float.is_integer f && Float.abs f < 1e15 then
     Buffer.add_string buf (Printf.sprintf "%.1f" f)
-  else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+  else Buffer.add_string buf (shortest_roundtrip f)
 
 let rec to_buf buf = function
   | Null -> Buffer.add_string buf "null"

@@ -219,6 +219,28 @@ let test_codec_errors () =
   expect_error "mul=m64x64";
   expect_error "noequals"
 
+let test_codec_rejects_duplicates_and_empties () =
+  let expect_error s =
+    match Arch.Codec.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected decode error for %S" s
+  in
+  (* Duplicate keys must not silently last-win. *)
+  expect_error "ld=1,ld=2";
+  expect_error "mul=m16x16,win=8,mul=m32x32";
+  (* Empty fields (stray commas) must not be silently dropped. *)
+  expect_error "ic=1x4x8xrnd,,,";
+  expect_error ",dc=1x4x8xrnd";
+  expect_error "fr=1,,fw=1";
+  (* A single trailing comma stays tolerated. *)
+  (match Arch.Codec.of_string "dc=1x32x4xrnd,mul=m32x32," with
+  | Ok c -> Alcotest.(check int) "trailing comma ok" 32 c.Arch.Config.dcache.Arch.Config.way_kb
+  | Error m -> Alcotest.failf "trailing comma rejected: %s" m);
+  match Arch.Codec.of_string (Arch.Codec.to_string Arch.Config.base ^ ",") with
+  | Ok c -> Alcotest.(check bool) "full encoding + trailing comma" true
+              (Arch.Config.equal c Arch.Config.base)
+  | Error m -> Alcotest.failf "trailing comma rejected: %s" m
+
 let test_codec_digest () =
   (* Content addressing: equal configurations digest identically
      however they were constructed, distinct ones distinctly. *)
@@ -263,6 +285,8 @@ let () =
           Alcotest.test_case "perturbation roundtrips" `Quick test_codec_all_perturbations_roundtrip;
           Alcotest.test_case "delta decode" `Quick test_codec_delta;
           Alcotest.test_case "errors" `Quick test_codec_errors;
+          Alcotest.test_case "duplicates and empties" `Quick
+            test_codec_rejects_duplicates_and_empties;
           Alcotest.test_case "digest" `Quick test_codec_digest;
         ] );
       ( "space",

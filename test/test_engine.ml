@@ -71,6 +71,39 @@ let test_noise_amplitudes_distinct_keys () =
     (plain.Dse.Cost.resources.Synth.Resource.luts
     <> noised.Dse.Cost.resources.Synth.Resource.luts)
 
+let test_noise_magnitude_pinned () =
+  (* Regression for the unit of [noise]: a fraction of the device
+     (0.005 = ±0.5 % of its LUTs), as documented in engine.mli and
+     measure.mli.  The old code converted fraction → percent at the
+     call site and percent → fraction inside [lut_noise]; the two
+     conversions cancelled, so this pins the (unchanged) magnitude
+     against the documented formula — any future one-sided edit that
+     skews the unit by 100x fails here. *)
+  let app = Apps.Registry.arith in
+  let amplitude = 0.01 in
+  let bound =
+    int_of_float (amplitude *. float_of_int Synth.Device.luts) + 1
+  in
+  let expected_delta config =
+    let h = Hashtbl.hash (config : Arch.Config.t) in
+    let u = float_of_int (h land 0xFFFF) /. 65535.0 in
+    int_of_float (amplitude *. ((2.0 *. u) -. 1.0) *. float_of_int Synth.Device.luts)
+  in
+  for seed = 0 to 20 do
+    let config = config_of_seed seed in
+    let e = Dse.Engine.create () in
+    let plain = Dse.Engine.eval e app config in
+    let noised = Dse.Engine.eval ~noise:amplitude e app config in
+    let delta =
+      noised.Dse.Cost.resources.Synth.Resource.luts
+      - plain.Dse.Cost.resources.Synth.Resource.luts
+    in
+    check_int "noise delta matches documented fraction-of-device formula"
+      (expected_delta config) delta;
+    check_bool "noise delta within amplitude * device LUTs" true
+      (abs delta <= bound)
+  done
+
 (* --- Feasibility path --- *)
 
 let test_eval_feasible_matches_reference () =
@@ -230,6 +263,8 @@ let () =
           Alcotest.test_case "hit/miss/build counts" `Quick test_memo_counts;
           Alcotest.test_case "noise keys distinct" `Quick
             test_noise_amplitudes_distinct_keys;
+          Alcotest.test_case "noise magnitude pinned" `Quick
+            test_noise_magnitude_pinned;
         ] );
       ( "feasible",
         [

@@ -244,6 +244,41 @@ let test_plot_renders () =
        true
      with Not_found -> false)
 
+let test_plot_golden () =
+  (* Pins nearest-cell rounding (the midpoint lands in column 12 of 24,
+     not the truncated 11) and the x-axis labels: x1 right-aligned with
+     the axis edge instead of the old fixed [width - 20] padding. *)
+  let out =
+    Fmt.str "%a"
+      (fun ppf pts -> Dse.Plot.xy ~width:24 ~height:3 ppf pts)
+      [ (0.0, 10.0); (0.5, 20.0); (1.0, 10.0) ]
+  in
+  let expected =
+    "y\n\
+    \     20.00 |            *           \n\
+    \           |                        \n\
+    \     10.00 |*                      *\n\
+    \           +------------------------\n\
+    \            0.00                1.00  (x)\n"
+  in
+  Alcotest.(check string) "golden plot" expected out;
+  (* Narrow plots (width < 20) keep a positive pad between the labels. *)
+  let narrow =
+    Fmt.str "%a"
+      (fun ppf pts -> Dse.Plot.xy ~width:12 ~height:3 ppf pts)
+      [ (0.0, 1.0); (1.0, 2.0) ]
+  in
+  let last_line =
+    match List.rev (String.split_on_char '\n' (String.trim narrow)) with
+    | l :: _ -> l
+    | [] -> ""
+  in
+  check_bool "narrow plot labels present" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "1.00") last_line 0);
+       true
+     with Not_found -> false)
+
 let test_plot_degenerate () =
   let render pts =
     Fmt.str "%a" (fun ppf -> Dse.Plot.xy ppf) pts
@@ -405,6 +440,7 @@ let () =
         [
           Alcotest.test_case "renders" `Quick test_plot_renders;
           Alcotest.test_case "degenerate" `Quick test_plot_degenerate;
+          Alcotest.test_case "golden" `Quick test_plot_golden;
         ] );
       ( "parallel",
         [

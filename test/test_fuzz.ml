@@ -1,0 +1,202 @@
+(* Fuzz subsystem smoke tests: every oracle under fixed seeds and a
+   small budget, generator well-formedness, and the corpus format.
+   The CLI-level smoke run (and corpus replay) lives in the
+   @fuzz-smoke alias; these tests pin the library behavior. *)
+
+let check = Alcotest.(check bool)
+
+(* --- generators ------------------------------------------------- *)
+
+let gen_values gen ~seed ~n =
+  let rand = Random.State.make [| seed |] in
+  List.init n (fun _ -> QCheck2.Gen.generate1 ~rand gen)
+
+let test_generated_programs_well_formed () =
+  List.iter
+    (fun profile ->
+      let programs =
+        gen_values (Fuzz.Gen.program_of_profile profile) ~seed:7 ~n:25
+      in
+      List.iter
+        (fun p ->
+          (match Minic.Check.check p with
+          | Ok () -> ()
+          | Error errs ->
+              Alcotest.failf "%s: generated program fails Check: %s"
+                (Fuzz.Gen.profile_name profile)
+                (String.concat "; " errs));
+          match Minic.Interp.run ~fuel:2_000_000 p with
+          | (_ : int) -> ()
+          | exception Minic.Interp.Runtime_error m ->
+              Alcotest.failf "%s: generated program traps: %s\n%s"
+                (Fuzz.Gen.profile_name profile)
+                m (Fuzz.Gen.print_program p))
+        programs)
+    Fuzz.Gen.all_profiles
+
+let test_generated_configs_valid () =
+  List.iter
+    (fun c -> check "config valid" true (Arch.Config.is_valid c))
+    (gen_values Fuzz.Gen.config ~seed:11 ~n:200)
+
+let test_profiles_differ () =
+  (* The profiles must actually skew the statement mix: straightline
+     programs never loop, looping programs (eventually) do. *)
+  let has_while p =
+    let rec stmt = function
+      | Minic.Ast.While _ -> true
+      | Minic.Ast.If (_, a, b) -> List.exists stmt a || List.exists stmt b
+      | _ -> false
+    in
+    List.exists
+      (fun (f : Minic.Ast.func) -> List.exists stmt f.body)
+      p.Minic.Ast.funcs
+  in
+  let straight =
+    gen_values (Fuzz.Gen.program_of_profile Fuzz.Gen.Straightline) ~seed:3 ~n:20
+  in
+  check "straightline never loops" false (List.exists has_while straight);
+  let looping =
+    gen_values (Fuzz.Gen.program_of_profile Fuzz.Gen.Looping) ~seed:3 ~n:20
+  in
+  check "looping profile loops" true (List.exists has_while looping)
+
+(* --- oracles ---------------------------------------------------- *)
+
+let test_oracles_pass () =
+  List.iter
+    (fun oracle ->
+      List.iter
+        (fun seed ->
+          match Fuzz.Oracle.run ~seed ~count:40 oracle with
+          | Fuzz.Oracle.Pass _ -> ()
+          | Fuzz.Oracle.Fail { counterexample; messages; _ } ->
+              Alcotest.failf "oracle %s failed (seed %d): %s\n%s"
+                (Fuzz.Oracle.name oracle)
+                seed
+                (String.concat "; " messages)
+                counterexample
+          | Fuzz.Oracle.Crash { counterexample; message } ->
+              Alcotest.failf "oracle %s crashed (seed %d): %s\n%s"
+                (Fuzz.Oracle.name oracle)
+                seed message counterexample)
+        [ 1; 42; 9001 ])
+    Fuzz.Oracle.all
+
+let test_oracle_catches_failure () =
+  (* The harness must surface failures, not just successes: an oracle
+     whose property always fail_reportf's produces a Fail outcome
+     carrying the printed counterexample and the message. *)
+  let oracle =
+    Fuzz.Oracle.T
+      {
+        name = "always-fails";
+        doc = "";
+        gen = QCheck2.Gen.int_range 0 100;
+        print = string_of_int;
+        prop = (fun _ -> QCheck2.Test.fail_reportf "synthetic failure");
+      }
+  in
+  match Fuzz.Oracle.run ~seed:1 ~count:5 oracle with
+  | Fuzz.Oracle.Fail { messages; _ } ->
+      check "message captured" true
+        (List.exists
+           (fun m ->
+             String.length m >= 9 && String.sub m 0 9 = "synthetic")
+           messages)
+  | _ -> Alcotest.fail "failing property did not produce Fail"
+
+let test_run_deterministic () =
+  let outcome_repr o =
+    match (o : Fuzz.Oracle.outcome) with
+    | Pass { trials } -> Printf.sprintf "pass:%d" trials
+    | Fail { counterexample; messages; _ } ->
+        Printf.sprintf "fail:%s:%s" counterexample (String.concat "," messages)
+    | Crash { counterexample; message } ->
+        Printf.sprintf "crash:%s:%s" counterexample message
+  in
+  List.iter
+    (fun oracle ->
+      let a = Fuzz.Oracle.run ~seed:123 ~count:25 oracle in
+      let b = Fuzz.Oracle.run ~seed:123 ~count:25 oracle in
+      Alcotest.(check string)
+        (Fuzz.Oracle.name oracle)
+        (outcome_repr a) (outcome_repr b))
+    Fuzz.Oracle.all
+
+(* --- corpus ----------------------------------------------------- *)
+
+let test_corpus_roundtrip () =
+  let entry =
+    {
+      Fuzz.Corpus.oracle = "interp-vs-sim";
+      seed = 98765;
+      count = 321;
+      status = Fuzz.Corpus.Known_issue "dcache model under review";
+      counterexample = "// config: ...\nint main() { return 0; }\n";
+    }
+  in
+  match Fuzz.Corpus.of_string (Fuzz.Corpus.to_string entry) with
+  | Error m -> Alcotest.failf "corpus round-trip failed: %s" m
+  | Ok e ->
+      Alcotest.(check string) "oracle" entry.oracle e.oracle;
+      Alcotest.(check int) "seed" entry.seed e.seed;
+      Alcotest.(check int) "count" entry.count e.count;
+      check "status" true (e.status = entry.status);
+      Alcotest.(check string)
+        "counterexample" (String.trim entry.counterexample)
+        (String.trim e.counterexample)
+
+let test_corpus_rejects_malformed () =
+  let cases =
+    [
+      "seed: 1\ncount: 2\nstatus: open\n---\nx";  (* missing oracle *)
+      "oracle: o\nseed: x\ncount: 2\nstatus: open\n---\n";  (* bad seed *)
+      "oracle: o\nseed: 1\ncount: 2\nstatus: open\nno separator";
+      "oracle: o\nseed: 1\ncount: 2\nstatus: maybe\n---\n";  (* bad status *)
+    ]
+  in
+  List.iter
+    (fun text ->
+      match Fuzz.Corpus.of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "malformed entry accepted: %S" text)
+    cases
+
+let test_derive_seed_stable () =
+  (* Derived seeds are per-oracle and non-negative; same inputs, same
+     stream. *)
+  let s1 = Fuzz.Runner.derive_seed 42 "interp-vs-sim" in
+  let s2 = Fuzz.Runner.derive_seed 42 "interp-vs-sim" in
+  Alcotest.(check int) "stable" s1 s2;
+  check "non-negative" true (s1 >= 0);
+  check "oracle-dependent" true
+    (Fuzz.Runner.derive_seed 42 "json-roundtrip" <> s1
+    || Fuzz.Runner.derive_seed 42 "binlp-exact" <> s1)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "programs well-formed" `Quick
+            test_generated_programs_well_formed;
+          Alcotest.test_case "configs valid" `Quick test_generated_configs_valid;
+          Alcotest.test_case "profiles differ" `Quick test_profiles_differ;
+        ] );
+      ( "oracles",
+        [
+          Alcotest.test_case "all pass at small budget" `Quick test_oracles_pass;
+          Alcotest.test_case "failure is reported" `Quick
+            test_oracle_catches_failure;
+          Alcotest.test_case "deterministic" `Quick test_run_deterministic;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "round-trip" `Quick test_corpus_roundtrip;
+          Alcotest.test_case "rejects malformed" `Quick
+            test_corpus_rejects_malformed;
+          Alcotest.test_case "derived seeds stable" `Quick
+            test_derive_seed_stable;
+        ] );
+    ]

@@ -46,6 +46,39 @@ let test_json_rejects_garbage () =
       | Error _ -> ())
     [ "{"; "[1,]"; "tru"; "\"unterminated"; "{\"a\" 1}"; "1 2" ]
 
+let test_json_float_precision () =
+  (* Floats must round-trip exactly: the old %.12g emission dropped
+     precision on re-parsed metrics/trace values (0.1 +. 0.2 came back
+     as 0.3).  Values with short decimal forms keep them. *)
+  let roundtrip f =
+    match Obs.Json.parse (Obs.Json.to_string (Obs.Json.Float f)) with
+    | Ok (Obs.Json.Float f') -> f'
+    | Ok _ -> Alcotest.failf "%h did not parse back as a float" f
+    | Error m -> Alcotest.failf "%h: parse failed: %s" f m
+  in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%h round-trips" f)
+        true
+        (Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float (roundtrip f))))
+    [
+      0.1 +. 0.2;
+      1.0 /. 3.0;
+      Float.pi;
+      1.000000000001234;
+      2.5e-12;
+      1.7976931348623157e308;
+      5e-324;
+      -4.9406564584124654e-324;
+      123456789.123456789;
+    ];
+  (* The integral fast path survives. *)
+  Alcotest.(check string) "integral float" "42.0"
+    (Obs.Json.to_string (Obs.Json.Float 42.0));
+  Alcotest.(check string) "short decimal stays short" "0.5"
+    (Obs.Json.to_string (Obs.Json.Float 0.5))
+
 let test_json_escapes () =
   let v = Obs.Json.String "tab\there \"q\" back\\slash" in
   match Obs.Json.parse (Obs.Json.to_string v) with
@@ -296,6 +329,7 @@ let () =
             test_json_field_order_preserved;
           Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
           Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "float precision" `Quick test_json_float_precision;
         ] );
       ( "metrics",
         [
