@@ -99,23 +99,87 @@ let dynamic_report app =
   show "no fast jump" (with_iu (fun u -> { u with Arch.Config.fast_jump = false }));
   show "no divider" (with_iu (fun u -> { u with Arch.Config.divider = Arch.Config.Div_none }))
 
-let run lint werror static names obs =
+(* One-at-a-time report for a non-LEON2 target: the same base line, then
+   every parameter-space variable applied to the target's base config.
+   (The LEON2 report above keeps its historical hand-picked sweep.) *)
+let target_dynamic_report (module T : Dse.Target.S) app =
+  let base_r = T.run_app app in
+  let p = base_r.Sim.Machine.profile in
+  pr "  base: cold=%d warm=%d checksum=%#x seconds=%.2f (paper %.2f)@."
+    base_r.Sim.Machine.cold_cycles base_r.Sim.Machine.warm_cycles
+    base_r.Sim.Machine.checksum
+    (Sim.Machine.seconds base_r)
+    app.Apps.Registry.paper_base_seconds;
+  pr "  warm profile: %a@." Sim.Profiler.pp p;
+  List.iter
+    (fun (v : T.var) ->
+      let config = v.T.apply T.base in
+      if T.is_valid config && not (T.equal config T.base) then begin
+        let r = T.run_app ~config app in
+        let d =
+          100.0
+          *. (Sim.Machine.seconds r -. Sim.Machine.seconds base_r)
+          /. Sim.Machine.seconds base_r
+        in
+        pr "  %-18s %10.3f s  (%+.2f%%)@." v.T.label (Sim.Machine.seconds r) d
+      end)
+    T.vars
+
+let list_targets () =
+  List.iter
+    (fun (module T : Dse.Target.S) ->
+      pr "%-12s %s@." T.name T.description)
+    Dse.Targets.all
+
+let run list_targets_flag target lint werror static names obs =
   Obs_cli.with_reporting obs "appinfo" @@ fun () ->
-  let apps = selected_apps names in
-  if lint then lint_apps ~werror apps
-  else
-    List.iter
-      (fun app ->
-        let prog = Lazy.force app.Apps.Registry.program in
-        pr "=== %s (%d insns, %d B data, reps %d) ===@."
-          app.Apps.Registry.name
-          (Array.length prog.Isa.Program.code)
-          (Bytes.length prog.Isa.Program.data)
-          app.Apps.Registry.reps;
-        static_report app;
-        if not static then dynamic_report app;
-        pr "@.")
-      apps
+  if list_targets_flag then list_targets ()
+  else begin
+    let (module T : Dse.Target.S) = target in
+    let apps = selected_apps names in
+    if lint then lint_apps ~werror apps
+    else
+      List.iter
+        (fun app ->
+          let prog = Lazy.force app.Apps.Registry.program in
+          pr "=== %s (%d insns, %d B data, reps %d) ===@."
+            app.Apps.Registry.name
+            (Array.length prog.Isa.Program.code)
+            (Bytes.length prog.Isa.Program.data)
+            app.Apps.Registry.reps;
+          static_report app;
+          if not static then
+            if T.name = "leon2" then dynamic_report app
+            else target_dynamic_report (module T) app;
+          pr "@.")
+        apps
+  end
+
+let target_conv =
+  let parse s =
+    match Dse.Targets.find (String.lowercase_ascii s) with
+    | Some t -> Ok t
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown target %S (known: %s)" s
+               (String.concat ", " Dse.Targets.names)))
+  in
+  let print ppf (module T : Dse.Target.S) = Format.fprintf ppf "%s" T.name in
+  Arg.conv (parse, print)
+
+let target_arg =
+  let doc = "Soft-core target for the dynamic report (see --list-targets)." in
+  Arg.(
+    value
+    & opt target_conv (module Dse.Target_leon2 : Dse.Target.S)
+    & info [ "target" ] ~doc ~docv:"TARGET")
+
+let list_targets_arg =
+  Arg.(
+    value & flag
+    & info [ "list-targets" ]
+        ~doc:"List the registered soft-core targets and exit.")
 
 let lint_arg =
   Arg.(
@@ -143,6 +207,7 @@ let cmd =
   Cmd.v
     (Cmd.info "appinfo" ~version:"1.0.0" ~doc)
     Term.(
-      const run $ lint_arg $ werror_arg $ static_arg $ names_arg $ Obs_cli.term)
+      const run $ list_targets_arg $ target_arg $ lint_arg $ werror_arg
+      $ static_arg $ names_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval cmd)

@@ -66,14 +66,15 @@ let lint ~werror path =
     (if errors = 1 then "" else "s");
   if Minic.Lint.fails ~werror findings then exit exit_lint
 
-let run source output disasm run stats optimize level do_lint werror trace
-    config obs =
+let run target source output disasm run stats optimize level do_lint werror
+    trace config obs =
   Obs_cli.with_reporting obs "mcc" @@ fun () ->
+  let (module T : Dse.Target.S) = target in
   let config =
     match config with
-    | None -> Arch.Config.base
+    | None -> T.base
     | Some s -> (
-        match Arch.Codec.of_string s with
+        match T.of_string s with
         | Ok c -> c
         | Error m ->
             Logs.err (fun m' -> m' "--config: %s" m);
@@ -102,13 +103,21 @@ let run source output disasm run stats optimize level do_lint werror trace
     (match trace with
     | None -> ()
     | Some n ->
-        let cpu = Sim.Cpu.create config prog ~mem_size:(1 lsl 20) in
-        Sim.Trace.pp Format.std_formatter (Sim.Trace.run ~limit:n cpu));
+        (* The instruction tracer drives the LEON2 Cpu model directly;
+           recover the LEON2-typed configuration through the codec. *)
+        (match Arch.Codec.of_string (T.to_string config) with
+        | Ok c when T.name = "leon2" ->
+            let cpu = Sim.Cpu.create c prog ~mem_size:(1 lsl 20) in
+            Sim.Trace.pp Format.std_formatter (Sim.Trace.run ~limit:n cpu)
+        | _ ->
+            Logs.err (fun m ->
+                m "--trace is only available for the leon2 target");
+            exit 1));
     if run then begin
-      (* Machine.run (rather than driving Cpu directly) so the execution
-         shows up as a sim span and flushes its profile into the metrics
-         registry for --metrics-out. *)
-      match Sim.Machine.run ~mem_size:(1 lsl 20) config prog with
+      (* run_program (backed by Machine.run rather than driving Cpu
+         directly) so the execution shows up as a sim span and flushes
+         its profile into the metrics registry for --metrics-out. *)
+      match T.run_program ~mem_size:(1 lsl 20) config prog with
       | exception Sim.Cpu.Error msg ->
           Logs.err (fun m -> m "simulation error: %s" msg);
           exit 1
@@ -159,8 +168,28 @@ let werror_arg =
     & info [ "Werror" ]
         ~doc:"With $(b,--lint): treat warnings as errors (notes stay notes).")
 
-let trace_arg = Arg.(value & opt (some int) None & info [ "trace" ] ~docv:"N" ~doc:"Trace the first $(docv) executed instructions with cycle deltas.")
+let trace_arg = Arg.(value & opt (some int) None & info [ "trace" ] ~docv:"N" ~doc:"Trace the first $(docv) executed instructions with cycle deltas (leon2 target only).")
 let config_arg = Arg.(value & opt (some string) None & info [ "c"; "config" ] ~docv:"CFG" ~doc:"Microarchitecture configuration string (see reconfigure's output), e.g. dc=1x32x4xrnd,mul=m32x32.")
+
+let target_conv =
+  let parse s =
+    match Dse.Targets.find (String.lowercase_ascii s) with
+    | Some t -> Ok t
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown target %S (known: %s)" s
+               (String.concat ", " Dse.Targets.names)))
+  in
+  let print ppf (module T : Dse.Target.S) = Format.fprintf ppf "%s" T.name in
+  Arg.conv (parse, print)
+
+let target_arg =
+  let doc = "Soft-core target for $(b,--run)/$(b,--config) (leon2, microblaze)." in
+  Arg.(
+    value
+    & opt target_conv (module Dse.Target_leon2 : Dse.Target.S)
+    & info [ "target" ] ~doc ~docv:"TARGET")
 
 let exits =
   Cmd.Exit.info 1 ~doc:"on configuration or simulation errors."
@@ -176,8 +205,8 @@ let cmd =
   Cmd.v
     (Cmd.info "mcc" ~version:"1.0.0" ~doc ~exits)
     Term.(
-      const run $ source_arg $ output_arg $ disasm_arg $ run_arg $ stats_arg
-      $ optimize_arg $ level_arg $ lint_arg $ werror_arg $ trace_arg
-      $ config_arg $ Obs_cli.term)
+      const run $ target_arg $ source_arg $ output_arg $ disasm_arg $ run_arg
+      $ stats_arg $ optimize_arg $ level_arg $ lint_arg $ werror_arg
+      $ trace_arg $ config_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval cmd)

@@ -59,64 +59,93 @@ let print_model_arg =
   Arg.(value & flag & info [ "print-model" ] ~doc)
 
 let report_arg =
-  let doc = "Print the synthesis utilization report (component tree) of the recommended configuration." in
+  let doc = "Print the synthesis utilization report (component tree) of the recommended configuration (leon2 target only)." in
   Arg.(value & flag & info [ "report" ] ~doc)
+
+let target_conv =
+  let parse s =
+    match Dse.Targets.find (String.lowercase_ascii s) with
+    | Some t -> Ok t
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown target %S (known: %s)" s
+               (String.concat ", " Dse.Targets.names)))
+  in
+  let print ppf (module T : Dse.Target.S) = Format.fprintf ppf "%s" T.name in
+  Arg.conv (parse, print)
+
+let target_arg =
+  let doc = "Soft-core target to reconfigure (leon2, microblaze)." in
+  Arg.(
+    value
+    & opt target_conv (module Dse.Target_leon2 : Dse.Target.S)
+    & info [ "target" ] ~doc ~docv:"TARGET")
 
 let ppf = Format.std_formatter
 
-let print_model (m : Dse.Measure.model) =
-  Format.fprintf ppf "One-at-a-time cost model (base %a):@." Dse.Cost.pp
-    m.Dse.Measure.base;
-  Format.fprintf ppf "  %4s %-20s %9s %8s %8s@." "x_i" "perturbation" "rho%"
-    "lambda%" "beta%";
-  List.iter
-    (fun (r : Dse.Measure.row) ->
-      let d = r.Dse.Measure.deltas in
-      Format.fprintf ppf "  %4d %-20s %+9.3f %+8.3f %+8.3f@."
-        r.Dse.Measure.var.Arch.Param.index r.Dse.Measure.var.Arch.Param.label
-        d.Dse.Cost.rho d.Dse.Cost.lambda d.Dse.Cost.beta)
-    m.Dse.Measure.rows
-
-let run app w1 w2 dims exhaustive noise print_model_flag report obs =
+(* The whole pipeline is generic in the target: instantiating the
+   functorized stack on the chosen backend gives the same code path
+   (and the same output format) for every soft core. *)
+let run target app w1 w2 dims exhaustive noise print_model_flag report obs =
   Obs_cli.with_reporting obs "reconfigure" @@ fun () ->
-  let weights = { Dse.Cost.w1; w2 } in
-  let dims =
-    match dims with `All -> None | `Dcache -> Some Arch.Param.dcache_size_dims
+  let (module T : Dse.Target.S) = target in
+  let module S = Dse.Stack.Make (T) in
+  let print_model (m : S.Measure.model) =
+    Format.fprintf ppf "One-at-a-time cost model (base %a):@." Dse.Cost.pp
+      m.S.Measure.base;
+    Format.fprintf ppf "  %4s %-20s %9s %8s %8s@." "x_i" "perturbation" "rho%"
+      "lambda%" "beta%";
+    List.iter
+      (fun (r : S.Measure.row) ->
+        let d = r.S.Measure.deltas in
+        Format.fprintf ppf "  %4d %-20s %+9.3f %+8.3f %+8.3f@."
+          r.S.Measure.var.T.index r.S.Measure.var.T.label d.Dse.Cost.rho
+          d.Dse.Cost.lambda d.Dse.Cost.beta)
+      m.S.Measure.rows
   in
+  let weights = { Dse.Cost.w1; w2 } in
+  let dims = match dims with `All -> None | `Dcache -> Some T.quick_dims in
   Format.fprintf ppf "Application: %s — %s@." app.Apps.Registry.name
     app.Apps.Registry.description;
   Logs.info (fun m ->
-      m "optimizing %s with w1=%g w2=%g (%s dimensions)"
-        app.Apps.Registry.name w1 w2
+      m "optimizing %s for %s with w1=%g w2=%g (%s dimensions)"
+        app.Apps.Registry.name T.name w1 w2
         (match dims with None -> "all" | Some _ -> "dcache"));
-  let model = Dse.Measure.build ?noise ?dims app in
+  let model = S.Measure.build ?noise ?dims app in
   Logs.info (fun m ->
       m "model built: %d one-at-a-time rows, base %.3fs"
-        (List.length model.Dse.Measure.rows)
-        model.Dse.Measure.base.Dse.Cost.seconds);
+        (List.length model.S.Measure.rows)
+        model.S.Measure.base.Dse.Cost.seconds);
   if print_model_flag then print_model model;
-  let outcome = Dse.Optimizer.run_with_model ~weights model in
-  Format.fprintf ppf "@.Recommended configuration:@.%a@." Arch.Config.pp
-    outcome.Dse.Optimizer.config;
-  Format.fprintf ppf "(encoded: %s)@."
-    (Arch.Codec.to_string outcome.Dse.Optimizer.config);
-  Dse.Report.print_outcome_summary ppf outcome;
+  let outcome = S.Optimizer.run_with_model ~weights model in
+  Format.fprintf ppf "@.Recommended configuration:@.%a@." T.pp
+    outcome.S.Optimizer.config;
+  Format.fprintf ppf "(encoded: %s)@." (T.to_string outcome.S.Optimizer.config);
+  S.Optimizer.print_outcome_summary ppf outcome;
   if report then begin
-    Format.fprintf ppf "@.Utilization report:@.";
-    Synth.Netlist.pp ppf (Synth.Netlist.elaborate outcome.Dse.Optimizer.config)
+    (* The utilization report elaborates a LEON2 netlist; recover the
+       LEON2-typed configuration through the canonical codec. *)
+    match Arch.Codec.of_string (T.to_string outcome.S.Optimizer.config) with
+    | Ok c when T.name = "leon2" ->
+        Format.fprintf ppf "@.Utilization report:@.";
+        Synth.Netlist.pp ppf (Synth.Netlist.elaborate c)
+    | _ ->
+        Format.fprintf ppf
+          "@.(--report is only available for the leon2 target)@."
   end;
   if exhaustive then begin
     Format.fprintf ppf "@.Exhaustive dcache baseline:@.";
-    let points = Dse.Exhaustive.dcache_sweep app in
-    match Dse.Exhaustive.best_runtime points with
+    let points = S.Exhaustive.geometry_sweep app in
+    match S.Exhaustive.best_runtime points with
     | best -> (
-        match best.Dse.Exhaustive.cost with
+        match best.S.Exhaustive.cost with
         | Some c ->
-            let d = best.Dse.Exhaustive.config.Arch.Config.dcache in
             Format.fprintf ppf
-              "  best runtime: %dx%dKB at %.3fs (optimizer: %.3fs)@."
-              d.Arch.Config.ways d.Arch.Config.way_kb c.Dse.Cost.seconds
-              outcome.Dse.Optimizer.actual.Dse.Cost.seconds
+              "  best runtime: %s at %.3fs (optimizer: %.3fs)@."
+              (T.describe_sweep_point best.S.Exhaustive.config)
+              c.Dse.Cost.seconds
+              outcome.S.Optimizer.actual.Dse.Cost.seconds
         | None -> ())
     | exception Not_found ->
         Format.fprintf ppf "  no feasible dcache point@."
@@ -129,17 +158,19 @@ let cmd =
     [
       `S Manpage.s_description;
       `P
-        "Builds a one-at-a-time cost model of the LEON2 microarchitecture \
-         for the chosen application (simulated execution + analytic FPGA \
-         synthesis), formulates the paper's constrained binary integer \
-         nonlinear program, solves it exactly, and reports the recommended \
-         configuration together with its actually-measured cost.";
+        "Builds a one-at-a-time cost model of the chosen soft-core target \
+         (LEON2 by default, see --target) for the chosen application \
+         (simulated execution + analytic FPGA synthesis), formulates the \
+         paper's constrained binary integer nonlinear program, solves it \
+         exactly, and reports the recommended configuration together with \
+         its actually-measured cost.";
     ]
   in
   Cmd.v
     (Cmd.info "reconfigure" ~version:"1.0.0" ~doc ~man)
     Term.(
-      const run $ app_arg $ w1_arg $ w2_arg $ dims_arg $ exhaustive_arg
-      $ noise_arg $ print_model_arg $ report_arg $ Obs_cli.term)
+      const run $ target_arg $ app_arg $ w1_arg $ w2_arg $ dims_arg
+      $ exhaustive_arg $ noise_arg $ print_model_arg $ report_arg
+      $ Obs_cli.term)
 
 let () = exit (Cmd.eval cmd)

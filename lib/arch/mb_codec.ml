@@ -1,0 +1,127 @@
+(* Canonical string encoding for MicroBlaze-like configurations,
+   mirroring the LEON2 {!Codec} conventions: [to_string] always emits
+   every field in a fixed order, so the digest is a content address;
+   [of_string] starts from {!Mb_config.base}, rejects duplicate or
+   empty fields, tolerates exactly one trailing comma, and validates
+   the final configuration. *)
+
+let replacement_of_string = function
+  | "rnd" -> Ok Config.Random
+  | "lru" | "LRU" -> Ok Config.Lru
+  | "lrr" | "LRR" -> Error "LRR replacement is not available on this core"
+  | s -> Error (Printf.sprintf "unknown replacement %S" s)
+
+let multiplier_of_string = function
+  | "none" -> Ok Mb_config.Mb_mul_none
+  | "mul32" -> Ok Mb_config.Mb_mul32
+  | "mul64" -> Ok Mb_config.Mb_mul64
+  | s -> Error (Printf.sprintf "unknown multiplier %S" s)
+
+let icache_to_string (c : Mb_config.icache) =
+  Printf.sprintf "%dx%d" c.way_kb c.line_words
+
+let icache_of_string s =
+  match String.split_on_char 'x' s with
+  | [ kb; line ] -> (
+      match (int_of_string_opt kb, int_of_string_opt line) with
+      | Some way_kb, Some line_words -> Ok { Mb_config.way_kb; line_words }
+      | _ -> Error (Printf.sprintf "malformed icache %S" s))
+  | _ -> Error (Printf.sprintf "malformed icache %S (want KBxLINE)" s)
+
+let dcache_to_string (c : Config.cache) =
+  Printf.sprintf "%dx%dx%dx%s" c.ways c.way_kb c.line_words
+    (Config.replacement_to_string c.replacement)
+
+let dcache_of_string s =
+  match String.split_on_char 'x' s with
+  | [ ways; kb; line; repl ] -> (
+      match
+        ( int_of_string_opt ways,
+          int_of_string_opt kb,
+          int_of_string_opt line,
+          replacement_of_string repl )
+      with
+      | Some ways, Some way_kb, Some line_words, Ok replacement ->
+          Ok { Config.ways; way_kb; line_words; replacement }
+      | _, _, _, Error e -> Error e
+      | _ -> Error (Printf.sprintf "malformed cache %S" s))
+  | _ -> Error (Printf.sprintf "malformed cache %S (want WxKBxLINExREPL)" s)
+
+let bool_to_string b = if b then "1" else "0"
+
+let bool_of_string = function
+  | "1" | "true" | "on" -> Ok true
+  | "0" | "false" | "off" -> Ok false
+  | s -> Error (Printf.sprintf "expected boolean, got %S" s)
+
+let to_string (t : Mb_config.t) =
+  String.concat ","
+    [
+      "ic=" ^ icache_to_string t.icache;
+      "dc=" ^ dcache_to_string t.dcache;
+      "bs=" ^ bool_to_string t.barrel_shifter;
+      "mul=" ^ Mb_config.multiplier_to_string t.multiplier;
+      "div=" ^ bool_to_string t.divider;
+    ]
+
+let digest t = Digest.string (to_string t)
+
+let apply_field (t : Mb_config.t) key value =
+  let ( let* ) = Result.bind in
+  match key with
+  | "ic" ->
+      let* c = icache_of_string value in
+      Ok { t with Mb_config.icache = c }
+  | "dc" ->
+      let* c = dcache_of_string value in
+      Ok { t with Mb_config.dcache = c }
+  | "bs" ->
+      let* b = bool_of_string value in
+      Ok { t with Mb_config.barrel_shifter = b }
+  | "mul" ->
+      let* m = multiplier_of_string value in
+      Ok { t with Mb_config.multiplier = m }
+  | "div" ->
+      let* b = bool_of_string value in
+      Ok { t with Mb_config.divider = b }
+  | _ -> Error (Printf.sprintf "unknown field %S" key)
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  let fields = String.split_on_char ',' (String.trim s) in
+  (* One trailing comma is tolerated, as in the LEON2 codec; any other
+     empty field is malformed input. *)
+  let fields =
+    match List.rev fields with
+    | "" :: (_ :: _ as rest) -> List.rev rest
+    | _ -> fields
+  in
+  let* config, _ =
+    List.fold_left
+      (fun acc field ->
+        let* t, seen = acc in
+        if field = "" then
+          Error "empty field (stray ',' in configuration string)"
+        else
+          match String.index_opt field '=' with
+          | None ->
+              Error (Printf.sprintf "malformed field %S (want key=value)" field)
+          | Some i ->
+              let key = String.sub field 0 i in
+              let value =
+                String.sub field (i + 1) (String.length field - i - 1)
+              in
+              if List.mem key seen then
+                Error (Printf.sprintf "duplicate field %S" key)
+              else
+                let* t = apply_field t key value in
+                Ok (t, key :: seen))
+      (Ok (Mb_config.base, [])) fields
+  in
+  let* () = Mb_config.validate config in
+  Ok config
+
+let of_string_exn s =
+  match of_string s with
+  | Ok c -> c
+  | Error m -> invalid_arg ("Mb_codec.of_string_exn: " ^ m)

@@ -1,0 +1,17 @@
+(** Canonical string encoding of MicroBlaze-like configurations.
+
+    Format: [ic=KBxLINE,dc=WxKBxLINExREPL,bs=0|1,mul=none|mul32|mul64,div=0|1].
+    [to_string] always emits every field in a fixed order, making
+    {!digest} a content address of the configuration. *)
+
+val to_string : Mb_config.t -> string
+val digest : Mb_config.t -> Digest.t
+
+val of_string : string -> (Mb_config.t, string) result
+(** Parses a comma-separated [key=value] list applied on top of
+    {!Mb_config.base}.  Unknown keys, duplicate keys, empty fields and
+    invalid final configurations are rejected; exactly one trailing
+    comma is tolerated. *)
+
+val of_string_exn : string -> Mb_config.t
+(** @raise Invalid_argument on parse or validation failure. *)

@@ -1,0 +1,78 @@
+(* A MicroBlaze-like soft core: the second registered DSE target.
+
+   The trade space is deliberately different from LEON2's:
+   - the instruction cache is direct-mapped only (size and line length
+     are the only knobs), as on the real MicroBlaze;
+   - the data cache offers 1/2/4 ways with random or LRU replacement
+     (no LRR option at all — the validity-coupling analogue is "LRU
+     needs at least 2 ways");
+   - there are no register windows, no condition-code hold and no
+     SPARC-style fast jump/decode options;
+   - instead the core has a barrel-shifter option (without it shifts
+     iterate), a three-level multiplier choice and an optional hardware
+     divider (without it division falls back to the slow iterative
+     path). *)
+
+type multiplier = Mb_mul_none | Mb_mul32 | Mb_mul64
+
+type icache = { way_kb : int; line_words : int }
+(** Direct-mapped: a single way, so only size and line length vary. *)
+
+type t = {
+  icache : icache;
+  dcache : Config.cache;  (** ways limited to 1/2/4, replacement to rnd/LRU *)
+  barrel_shifter : bool;
+  multiplier : multiplier;
+  divider : bool;
+}
+
+let base =
+  {
+    icache = { way_kb = 2; line_words = 4 };
+    dcache =
+      { Config.ways = 1; way_kb = 2; line_words = 4; replacement = Config.Random };
+    barrel_shifter = false;
+    multiplier = Mb_mul32;
+    divider = false;
+  }
+
+let valid_way_kbs = [ 1; 2; 4; 8; 16; 32 ]
+let valid_dcache_ways = [ 1; 2; 4 ]
+let valid_line_words = [ 4; 8 ]
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if not (List.mem t.icache.way_kb valid_way_kbs) then
+    err "icache: size %d KB not in {1,2,4,8,16,32}" t.icache.way_kb
+  else if not (List.mem t.icache.line_words valid_line_words) then
+    err "icache: line size %d words not in {4,8}" t.icache.line_words
+  else if not (List.mem t.dcache.Config.ways valid_dcache_ways) then
+    err "dcache: ways %d not in {1,2,4}" t.dcache.Config.ways
+  else if not (List.mem t.dcache.Config.way_kb valid_way_kbs) then
+    err "dcache: way size %d KB not in {1,2,4,8,16,32}" t.dcache.Config.way_kb
+  else if not (List.mem t.dcache.Config.line_words valid_line_words) then
+    err "dcache: line size %d words not in {4,8}" t.dcache.Config.line_words
+  else
+    match t.dcache.Config.replacement with
+    | Config.Lrr -> err "dcache: LRR replacement is not available on this core"
+    | Config.Lru when t.dcache.Config.ways < 2 ->
+        err "dcache: LRU replacement requires multi-way associativity"
+    | Config.Random | Config.Lru -> Ok ()
+
+let is_valid t = Result.is_ok (validate t)
+let equal (a : t) (b : t) = a = b
+
+let multiplier_to_string = function
+  | Mb_mul_none -> "none"
+  | Mb_mul32 -> "mul32"
+  | Mb_mul64 -> "mul64"
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>icache %dKB/line%d (direct-mapped)@,\
+     dcache %a@,\
+     barrel=%b mul=%s div=%b@]"
+    t.icache.way_kb t.icache.line_words Config.pp_cache t.dcache
+    t.barrel_shifter
+    (multiplier_to_string t.multiplier)
+    t.divider

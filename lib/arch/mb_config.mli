@@ -1,0 +1,45 @@
+(** MicroBlaze-like soft-core configurations — the second DSE target.
+
+    A deliberately different trade space from LEON2's ({!Config}):
+    direct-mapped-only instruction cache, a 1/2/4-way data cache with
+    random or LRU replacement (no LRR), no register windows, and in
+    their place a barrel-shifter option, a three-level multiplier
+    choice and an optional hardware divider. *)
+
+type multiplier =
+  | Mb_mul_none  (** software multiplication routine *)
+  | Mb_mul32     (** 32x32 -> 32 multiplier (default) *)
+  | Mb_mul64     (** 64-bit-product multiplier, single cycle *)
+
+type icache = {
+  way_kb : int;      (** 1,2,4,8,16,32 *)
+  line_words : int;  (** 4 or 8 32-bit words per line *)
+}
+(** Direct-mapped: one way, so only size and line length vary. *)
+
+type t = {
+  icache : icache;
+  dcache : Config.cache;
+      (** ways limited to 1/2/4; replacement to random/LRU *)
+  barrel_shifter : bool;  (** without it, shifts iterate *)
+  multiplier : multiplier;
+  divider : bool;         (** without it, division is slow/iterative *)
+}
+
+val base : t
+(** Out-of-the-box core: 2 KB direct-mapped caches with 4-word lines,
+    no barrel shifter, 32-bit multiplier, no divider. *)
+
+val valid_way_kbs : int list
+val valid_dcache_ways : int list
+val valid_line_words : int list
+
+val validate : t -> (unit, string) result
+(** Structural rules: parameter ranges, no LRR at all, LRU only with
+    multi-way associativity (the coupling-law analogue of LEON2's
+    replacement rules). *)
+
+val is_valid : t -> bool
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val multiplier_to_string : multiplier -> string

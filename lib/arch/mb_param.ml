@@ -1,0 +1,107 @@
+type group =
+  | Icache_way_kb
+  | Icache_line
+  | Dcache_ways
+  | Dcache_way_kb
+  | Dcache_line
+  | Dcache_repl
+  | Barrel_shifter
+  | Multiplier
+  | Divider
+
+type var = {
+  index : int;
+  group : group;
+  label : string;
+  apply : Mb_config.t -> Mb_config.t;
+}
+
+let set_icache c f = { c with Mb_config.icache = f c.Mb_config.icache }
+let set_dcache c f = { c with Mb_config.dcache = f c.Mb_config.dcache }
+
+let icache_kb n c = set_icache c (fun i -> { i with Mb_config.way_kb = n })
+
+let icache_line n c =
+  set_icache c (fun i -> { i with Mb_config.line_words = n })
+
+let dcache_ways n c = set_dcache c (fun d -> { d with Config.ways = n })
+let dcache_kb n c = set_dcache c (fun d -> { d with Config.way_kb = n })
+let dcache_line n c = set_dcache c (fun d -> { d with Config.line_words = n })
+let dcache_repl r c = set_dcache c (fun d -> { d with Config.replacement = r })
+
+(* One-at-a-time perturbations of {!Mb_config.base}, numbered x1..x17;
+   see the interface documentation for the full map.  32 KB cache ways
+   are representable ({!Mb_config.valid_way_kbs}) but deliberately
+   excluded from the decision space: this core targets a smaller
+   device, and the paper's method only needs the perturbations it is
+   willing to select. *)
+let specs : (group * string * (Mb_config.t -> Mb_config.t)) list =
+  [
+    (Icache_way_kb, "icachesz1", icache_kb 1);
+    (Icache_way_kb, "icachesz4", icache_kb 4);
+    (Icache_way_kb, "icachesz8", icache_kb 8);
+    (Icache_way_kb, "icachesz16", icache_kb 16);
+    (Icache_line, "icachelinesz8", icache_line 8);
+    (Dcache_ways, "dcachesets2", dcache_ways 2);
+    (Dcache_ways, "dcachesets4", dcache_ways 4);
+    (Dcache_way_kb, "dcachesz1", dcache_kb 1);
+    (Dcache_way_kb, "dcachesz4", dcache_kb 4);
+    (Dcache_way_kb, "dcachesz8", dcache_kb 8);
+    (Dcache_way_kb, "dcachesz16", dcache_kb 16);
+    (Dcache_line, "dcachelinesz8", dcache_line 8);
+    (Dcache_repl, "dcacheLRU", dcache_repl Config.Lru);
+    ( Barrel_shifter,
+      "barrelshifter",
+      fun c -> { c with Mb_config.barrel_shifter = true } );
+    ( Multiplier,
+      "mulnone",
+      fun c -> { c with Mb_config.multiplier = Mb_config.Mb_mul_none } );
+    ( Multiplier,
+      "mul64",
+      fun c -> { c with Mb_config.multiplier = Mb_config.Mb_mul64 } );
+    (Divider, "divider", fun c -> { c with Mb_config.divider = true });
+  ]
+
+let all =
+  List.mapi
+    (fun i (group, label, apply) -> { index = i + 1; group; label; apply })
+    specs
+
+let count = List.length all
+let table = Array.of_list all
+
+let var i =
+  if i < 1 || i > count then
+    invalid_arg (Printf.sprintf "Mb_param.var: index %d not in 1..%d" i count)
+  else table.(i - 1)
+
+let groups =
+  [
+    Icache_way_kb;
+    Icache_line;
+    Dcache_ways;
+    Dcache_way_kb;
+    Dcache_line;
+    Dcache_repl;
+    Barrel_shifter;
+    Multiplier;
+    Divider;
+  ]
+
+let group_members g = List.filter (fun v -> v.group = g) all
+
+let group_to_string = function
+  | Icache_way_kb -> "icache size"
+  | Icache_line -> "icache line size"
+  | Dcache_ways -> "dcache ways"
+  | Dcache_way_kb -> "dcache way size"
+  | Dcache_line -> "dcache line size"
+  | Dcache_repl -> "dcache replacement"
+  | Barrel_shifter -> "barrel shifter"
+  | Multiplier -> "multiplier"
+  | Divider -> "divider"
+
+let apply_all config vars =
+  List.fold_left (fun c v -> v.apply c) config vars
+
+let dcache_size_dims = [ Dcache_ways; Dcache_way_kb ]

@@ -1,0 +1,51 @@
+(** Binary decision variables of the MicroBlaze-like target.
+
+    Same construction as the LEON2 {!Param} space: each variable [x_i]
+    is one single-parameter perturbation of {!Mb_config.base}, and a
+    solution is a set of perturbations applied simultaneously (at most
+    one per group).
+
+    Numbering:
+    - x1..x4    icache size 1,4,8,16 KB
+    - x5        icache line size 8 words
+    - x6,x7     dcache ways 2,4
+    - x8..x11   dcache way size 1,4,8,16 KB
+    - x12       dcache line size 8 words
+    - x13       dcache replacement LRU (needs x6 or x7)
+    - x14       barrel shifter enabled
+    - x15,x16   multiplier none, mul64
+    - x17       hardware divider enabled *)
+
+type group =
+  | Icache_way_kb
+  | Icache_line
+  | Dcache_ways
+  | Dcache_way_kb
+  | Dcache_line
+  | Dcache_repl
+  | Barrel_shifter
+  | Multiplier
+  | Divider
+
+type var = {
+  index : int;  (** 1..17 *)
+  group : group;
+  label : string;
+  apply : Mb_config.t -> Mb_config.t;
+}
+
+val count : int
+(** 17. *)
+
+val all : var list
+val var : int -> var
+(** @raise Invalid_argument if the index is out of 1..[count]. *)
+
+val groups : group list
+val group_members : group -> var list
+val group_to_string : group -> string
+val apply_all : Mb_config.t -> var list -> Mb_config.t
+
+val dcache_size_dims : group list
+(** Dcache geometry groups, the quick-study subspace analogue of
+    {!Param.dcache_size_dims}. *)

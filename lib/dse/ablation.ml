@@ -1,131 +1,1 @@
-type noise_point = {
-  amplitude : float;
-  outcome : Optimizer.outcome;
-  objective_regret : float;
-}
-
-(* True (noise-free) objective of an already-built configuration.
-   Noise-free evaluations live under their own cache key, so they are
-   never contaminated by the perturbed measurements of the study. *)
-let true_objective weights app config =
-  let engine = Engine.default () in
-  let base = Engine.eval engine app Arch.Config.base in
-  let cost = Engine.eval engine app config in
-  Cost.objective weights (Cost.deltas ~base cost)
-
-let noise_study ?(amplitudes = [ 0.0; 0.002; 0.005; 0.01 ]) ~weights app =
-  let reference =
-    let o = Optimizer.run ~weights app in
-    true_objective weights app o.Optimizer.config
-  in
-  List.map
-    (fun amplitude ->
-      let outcome =
-        if amplitude = 0.0 then Optimizer.run ~weights app
-        else Optimizer.run ~noise:amplitude ~weights app
-      in
-      let obj = true_objective weights app outcome.Optimizer.config in
-      { amplitude; outcome; objective_regret = obj -. reference })
-    amplitudes
-
-type variant_point = {
-  variant : Formulate.variant;
-  outcome : Optimizer.outcome;
-  bram_prediction_error : float;
-}
-
-let variant_study ~weights model =
-  let variants =
-    [
-      { Formulate.lut_nonlinear = false; bram_linear = false };
-      { Formulate.lut_nonlinear = true; bram_linear = false };
-      { Formulate.lut_nonlinear = false; bram_linear = true };
-      { Formulate.lut_nonlinear = true; bram_linear = true };
-    ]
-  in
-  List.map
-    (fun variant ->
-      let outcome = Optimizer.run_with_model ~variant ~weights model in
-      let actual =
-        Synth.Resource.bram_percent
-          outcome.Optimizer.actual.Cost.resources
-      in
-      {
-        variant;
-        outcome;
-        bram_prediction_error =
-          outcome.Optimizer.predicted.Optimizer.bram_percent -. actual;
-      })
-    variants
-
-type independence_point = {
-  app : Apps.Registry.t;
-  predicted_gain : float;
-  actual_gain : float;
-}
-
-let independence_study ~weights =
-  List.map
-    (fun app ->
-      let o = Optimizer.run ~weights app in
-      let base = o.Optimizer.model.Measure.base.Cost.seconds in
-      {
-        app;
-        predicted_gain =
-          100.0 *. (o.Optimizer.predicted.Optimizer.seconds -. base) /. base;
-        actual_gain =
-          100.0 *. (o.Optimizer.actual.Cost.seconds -. base) /. base;
-      })
-    Apps.Registry.all
-
-let pf = Format.fprintf
-
-let print_noise ppf points =
-  pf ppf "Ablation: synthesis measurement noise (LUT measurements)@.";
-  pf ppf "  %9s %9s  %s@." "amplitude" "regret" "selected parameters";
-  List.iter
-    (fun (p : noise_point) ->
-      let params =
-        Report.changed_params p.outcome.Optimizer.config
-        |> List.map (fun (k, v) -> k ^ "=" ^ v)
-        |> String.concat ", "
-      in
-      pf ppf "  %8.1f%% %+9.3f  %s@." (100.0 *. p.amplitude) p.objective_regret
-        params)
-    points;
-  pf ppf
-    "  (regret: true weighted objective relative to the noise-free pick; \
-     the paper's 'registers=28..31 (sub-optimal)' rows are this effect)@."
-
-let print_variants ppf points =
-  pf ppf "Ablation: constraint linearity (paper Section 4/6)@.";
-  pf ppf "  %-12s %-12s %12s %10s %10s@." "LUT model" "BRAM model"
-    "runtime(s)" "BRAM%" "pred.err";
-  List.iter
-    (fun (p : variant_point) ->
-      pf ppf "  %-12s %-12s %12.3f %9.1f%% %+9.2f%s@."
-        (if p.variant.Formulate.lut_nonlinear then "nonlinear" else "linear")
-        (if p.variant.Formulate.bram_linear then "linear" else "nonlinear")
-        p.outcome.Optimizer.actual.Cost.seconds
-        (Synth.Resource.bram_percent p.outcome.Optimizer.actual.Cost.resources)
-        p.bram_prediction_error
-        (if Synth.Resource.fits p.outcome.Optimizer.actual.Cost.resources then ""
-         else "  DOES NOT FIT THE DEVICE"))
-    points;
-  pf ppf
-    "  (the linear BRAM model misses the ways x size interaction, \
-     under-predicts — the paper's BRAM%%-lin rows — and here selects a \
-     configuration the device cannot hold)@."
-
-let print_independence ppf points =
-  pf ppf "Ablation: the parameter-independence assumption@.";
-  pf ppf "  %-8s %12s %12s %12s@." "app" "predicted" "actual" "error";
-  List.iter
-    (fun p ->
-      pf ppf "  %-8s %+11.2f%% %+11.2f%% %+11.2f%%@." p.app.Apps.Registry.name
-        p.predicted_gain p.actual_gain
-        (p.predicted_gain -. p.actual_gain))
-    points;
-  pf ppf
-    "  (negative error = the optimizer over-promises, the paper's DRR \
-     case: overlapping cache gains add up linearly in the model)@."
+include Leon2.S.Ablation

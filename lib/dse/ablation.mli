@@ -13,7 +13,7 @@
       the prediction error (predicted vs actually-built runtime) of the
       selected configuration per application. *)
 
-type noise_point = {
+type noise_point = Leon2.S.Ablation.noise_point = {
   amplitude : float;                (** LUT noise, fraction of device *)
   outcome : Optimizer.outcome;
   objective_regret : float;
@@ -25,7 +25,7 @@ val noise_study :
   ?amplitudes:float list -> weights:Cost.weights -> Apps.Registry.t -> noise_point list
 (** Default amplitudes: 0, 0.002, 0.005, 0.01. *)
 
-type variant_point = {
+type variant_point = Leon2.S.Ablation.variant_point = {
   variant : Formulate.variant;
   outcome : Optimizer.outcome;
   bram_prediction_error : float;
@@ -35,7 +35,7 @@ type variant_point = {
 val variant_study : weights:Cost.weights -> Measure.model -> variant_point list
 (** The four lut-linearity x bram-linearity combinations on one model. *)
 
-type independence_point = {
+type independence_point = Leon2.S.Ablation.independence_point = {
   app : Apps.Registry.t;
   predicted_gain : float;  (** percent runtime change predicted *)
   actual_gain : float;     (** percent runtime change measured *)

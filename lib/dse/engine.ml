@@ -16,13 +16,25 @@ let m_dedup =
 
 (* Content-addressed cache key: the codec's canonical encoding always
    emits every field, so structurally equal configurations digest
-   identically.  Distinct noise amplitudes are distinct keys — their
+   identically.  The target name is part of the key — two targets may
+   share an encoding (or even a digest) without their measurements ever
+   colliding.  Distinct noise amplitudes are distinct keys — their
    measurements differ, and ablation studies must not observe each
    other's perturbed results. *)
-type key = { app : string; digest : string; noise : float option }
+type key = {
+  target : string;
+  app : string;
+  digest : string;
+  noise : float option;
+}
 
-let key_of ?noise (app : Apps.Registry.t) config =
-  { app = app.Apps.Registry.name; digest = Arch.Codec.digest config; noise }
+let key_of ?noise (probe : _ Target.probe) (app : Apps.Registry.t) config =
+  {
+    target = probe.Target.target;
+    app = app.Apps.Registry.name;
+    digest = probe.Target.digest config;
+    noise;
+  }
 
 type value = { cost : Cost.t; profile : Sim.Profiler.t; fits : bool }
 
@@ -59,20 +71,25 @@ let clear t =
 
 (* Deterministic synthesis "measurement noise": a hash of the
    configuration drives a uniform error in [-1, 1] x amplitude, where
-   [amplitude] is a fraction of the device's LUTs (0.005 = ±0.5 %) —
-   the same unit [noise] is documented in throughout the interface.
-   The error is therefore at most [amplitude * Device.luts] LUTs. *)
-let lut_noise ~amplitude config =
-  let h = Hashtbl.hash (config : Arch.Config.t) in
+   [amplitude] is a fraction of the target device's LUTs (0.005 =
+   ±0.5 %) — the same unit [noise] is documented in throughout the
+   interface.  The error is therefore at most
+   [amplitude * device_luts] LUTs.  [Hashtbl.hash] is polymorphic, so
+   the same formula serves every target's configuration type. *)
+let lut_noise ~amplitude ~device_luts config =
+  let h = Hashtbl.hash config in
   let u = float_of_int (h land 0xFFFF) /. 65535.0 in
-  amplitude *. ((2.0 *. u) -. 1.0) *. float_of_int Synth.Device.luts
+  amplitude *. ((2.0 *. u) -. 1.0) *. float_of_int device_luts
 
 (* Elaborate resources once: feasibility is judged on the un-noised
-   estimate (as [Synth.Estimate.feasible] does), the returned cost
-   carries the noised one. *)
-let noised_resources ?noise config =
-  let resources = Synth.Estimate.config config in
-  let fits = Synth.Resource.fits resources in
+   estimate against the probe's device, the returned cost carries the
+   noised one. *)
+let noised_resources ?noise (probe : _ Target.probe) config =
+  let resources = probe.Target.resources config in
+  let fits =
+    resources.Synth.Resource.luts <= probe.Target.device_luts
+    && resources.Synth.Resource.brams <= probe.Target.device_brams
+  in
   let resources =
     match noise with
     | None -> resources
@@ -81,15 +98,16 @@ let noised_resources ?noise config =
           resources with
           Synth.Resource.luts =
             resources.Synth.Resource.luts
-            + int_of_float (lut_noise ~amplitude config);
+            + int_of_float
+                (lut_noise ~amplitude ~device_luts:probe.Target.device_luts
+                   config);
         }
   in
   (resources, fits)
 
-let simulate app config =
+let simulate (probe : _ Target.probe) app config =
   Obs.Metrics.Counter.incr m_builds;
-  let result = Apps.Registry.run ~config app in
-  (Sim.Machine.seconds result, result.Sim.Machine.profile)
+  probe.Target.simulate app config
 
 (* The per-key state machine.  [Pending] is only ever installed by a
    thread about to compute in place, so a waiter always waits on an
@@ -97,8 +115,8 @@ let simulate app config =
    pool workers deadlock-free when they block here.  A failed compute
    removes its entry and wakes waiters before re-raising, so nobody
    waits on a corpse. *)
-let obtain t ~feasible_only ?noise app config =
-  let key = key_of ?noise app config in
+let obtain t ~feasible_only ?noise probe app config =
+  let key = key_of ?noise probe app config in
   let counted = ref false in
   let hit r =
     if not !counted then Obs.Metrics.Counter.incr m_hits;
@@ -113,11 +131,11 @@ let obtain t ~feasible_only ?noise app config =
       let resources, fits =
         match prior with
         | Some r -> (r, false) (* a cached [Unfit]: skip re-elaboration *)
-        | None -> noised_resources ?noise config
+        | None -> noised_resources ?noise probe config
       in
       if feasible_only && not fits then Unfit resources
       else
-        let seconds, profile = simulate app config in
+        let seconds, profile = simulate probe app config in
         Full { cost = { Cost.seconds; resources }; profile; fits }
     with
     | entry ->
@@ -162,20 +180,20 @@ let obtain t ~feasible_only ?noise app config =
   in
   loop ()
 
-let eval ?noise t app config =
-  match obtain t ~feasible_only:false ?noise app config with
+let eval_on ?noise t probe app config =
+  match obtain t ~feasible_only:false ?noise probe app config with
   | Full v -> v.cost
   | Unfit _ | Pending -> assert false
 
-let eval_profiled ?noise t app config =
-  match obtain t ~feasible_only:false ?noise app config with
+let eval_profiled_on ?noise t probe app config =
+  match obtain t ~feasible_only:false ?noise probe app config with
   | Full v -> (v.cost, v.profile)
   | Unfit _ | Pending -> assert false
 
-let eval_feasible ?noise t app config =
-  if not (Arch.Config.is_valid config) then None
+let eval_feasible_on ?noise t (probe : _ Target.probe) app config =
+  if not (probe.Target.is_valid config) then None
   else
-    match obtain t ~feasible_only:true ?noise app config with
+    match obtain t ~feasible_only:true ?noise probe app config with
     | Full v -> if v.fits then Some v.cost else None
     | Unfit _ -> None
     | Pending -> assert false
@@ -229,30 +247,47 @@ let batch ~span_name t keyed evaluate =
   List.iter2 (fun (k, _) r -> Hashtbl.replace by_key k r) uniques results;
   List.map (fun (k, _) -> Hashtbl.find by_key k) keyed
 
-let eval_all ?noise t pairs =
+let eval_all_on ?noise t probe pairs =
   match pairs with
   | [] -> []
-  | [ (app, config) ] -> [ eval ?noise t app config ]
+  | [ (app, config) ] -> [ eval_on ?noise t probe app config ]
   | _ ->
       force_programs (List.map fst pairs);
       let keyed =
-        List.map (fun (app, config) -> (key_of ?noise app config, (app, config)))
+        List.map
+          (fun (app, config) -> (key_of ?noise probe app config, (app, config)))
           pairs
       in
       batch ~span_name:"engine.eval_all" t keyed (fun (app, config) ->
-          eval ?noise t app config)
+          eval_on ?noise t probe app config)
 
-let eval_all_feasible ?noise t app configs =
+let eval_all_feasible_on ?noise t probe app configs =
   match configs with
   | [] -> []
-  | [ config ] -> [ eval_feasible ?noise t app config ]
+  | [ config ] -> [ eval_feasible_on ?noise t probe app config ]
   | _ ->
       ignore (Lazy.force app.Apps.Registry.program);
       let keyed =
-        List.map (fun config -> (key_of ?noise app config, config)) configs
+        List.map (fun config -> (key_of ?noise probe app config, config)) configs
       in
       batch ~span_name:"engine.eval_all" t keyed (fun config ->
-          eval_feasible ?noise t app config)
+          eval_feasible_on ?noise t probe app config)
+
+(* The historical LEON2-typed entry points, now thin wrappers over the
+   probe-parametric API. *)
+
+let eval ?noise t app config = eval_on ?noise t Target_leon2.probe app config
+
+let eval_profiled ?noise t app config =
+  eval_profiled_on ?noise t Target_leon2.probe app config
+
+let eval_feasible ?noise t app config =
+  eval_feasible_on ?noise t Target_leon2.probe app config
+
+let eval_all ?noise t pairs = eval_all_on ?noise t Target_leon2.probe pairs
+
+let eval_all_feasible ?noise t app configs =
+  eval_all_feasible_on ?noise t Target_leon2.probe app configs
 
 let default_mutex = Mutex.create ()
 let default_engine = ref None

@@ -12,14 +12,21 @@
     redundancy into cache hits.
 
     {b Memoization.}  Results are stored in a content-addressed memo
-    cache keyed by [(application name, digest of the canonical
-    {!Arch.Codec} encoding, noise amplitude)].  Evaluation is
+    cache keyed by [(target name, application name, digest of the
+    target codec's canonical encoding, noise amplitude)].  Evaluation
+    is
     deterministic — the simulator is cycle-accurate and the synthesis
     model analytic, with {e deterministic} per-configuration
     measurement noise — so a memoized result is bit-identical to a
     recomputation.  Distinct noise amplitudes occupy distinct keys,
     which is what makes noise-ablation studies safe: they never
     observe each other's (differently perturbed) measurements.
+    Including the target name keeps two targets that happen to share a
+    configuration encoding from ever colliding in the cache.
+
+    {b Targets.}  The [_on] family evaluates any backend through its
+    {!Target.probe}; the unsuffixed functions are the LEON2-typed
+    entry points, equivalent to passing [Target_leon2.probe].
 
     {b Deduplication.}  Concurrent requests for an in-flight key wait
     for the winner's result instead of recomputing, and the batch APIs
@@ -52,6 +59,36 @@ val create : ?pool:Pool.t -> unit -> t
 val clear : t -> unit
 (** Drop every cached result (counters are unaffected).  For tests
     that need a cold engine. *)
+
+val eval_on :
+  ?noise:float -> t -> 'c Target.probe -> Apps.Registry.t -> 'c -> Cost.t
+(** Synthesize and run one configuration of an arbitrary target,
+    memoized under the probe's target name.
+    @raise Invalid_argument on structurally invalid configurations. *)
+
+val eval_profiled_on :
+  ?noise:float ->
+  t ->
+  'c Target.probe ->
+  Apps.Registry.t ->
+  'c ->
+  Cost.t * Sim.Profiler.t
+
+val eval_feasible_on :
+  ?noise:float -> t -> 'c Target.probe -> Apps.Registry.t -> 'c -> Cost.t option
+(** [None] when the configuration is invalid per the probe or exceeds
+    the probe's device budget. *)
+
+val eval_all_on :
+  ?noise:float -> t -> 'c Target.probe -> (Apps.Registry.t * 'c) list -> Cost.t list
+
+val eval_all_feasible_on :
+  ?noise:float ->
+  t ->
+  'c Target.probe ->
+  Apps.Registry.t ->
+  'c list ->
+  Cost.t option list
 
 val eval : ?noise:float -> t -> Apps.Registry.t -> Arch.Config.t -> Cost.t
 (** Synthesize and run one configuration, memoized.  [noise] is the

@@ -1,36 +1,3 @@
-type point = {
-  config : Arch.Config.t;
-  cost : Cost.t option;
-}
+include Leon2.S.Exhaustive
 
-(* One batched engine call: resources are elaborated once per point
-   (feasibility and cost share the estimate), infeasible points never
-   reach the simulator, and the feasible ones fan out on the pool. *)
-let sweep app configs =
-  Engine.eval_all_feasible (Engine.default ()) app configs
-  |> List.map2 (fun config cost -> { config; cost }) configs
-
-let dcache_sweep app = sweep app (Arch.Space.dcache_geometry ())
-
-let feasible_points points =
-  List.filter_map
-    (fun p -> match p.cost with Some c -> Some (p, c) | None -> None)
-    points
-
-let argmin key points =
-  match feasible_points points with
-  | [] -> raise Not_found
-  | first :: rest ->
-      let better a b = if key (snd a) <= key (snd b) then a else b in
-      fst (List.fold_left better first rest)
-
-let best_runtime points =
-  argmin
-    (fun (c : Cost.t) ->
-      ( c.Cost.seconds,
-        c.Cost.resources.Synth.Resource.brams,
-        c.Cost.resources.Synth.Resource.luts ))
-    points
-
-let best_weighted weights ~base points =
-  argmin (fun c -> (Cost.objective weights (Cost.deltas ~base c), 0, 0)) points
+let dcache_sweep = geometry_sweep

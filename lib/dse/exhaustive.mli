@@ -7,7 +7,7 @@
     (ways x way-size) geometry points and compare the optimizer's pick
     against the true optimum. *)
 
-type point = {
+type point = Leon2.S.Exhaustive.point = {
   config : Arch.Config.t;
   cost : Cost.t option;  (** [None] when the FPGA cannot fit it *)
 }

@@ -1,180 +1,8 @@
-type variant = {
+type variant = Stack.variant = {
   lut_nonlinear : bool;
   bram_linear : bool;
 }
 
-let paper_variant = { lut_nonlinear = false; bram_linear = false }
+let paper_variant = Stack.paper_variant
 
-(* Solver variable j <-> model row j. *)
-let index_table model =
-  let tbl = Hashtbl.create 64 in
-  List.iteri
-    (fun j (r : Measure.row) -> Hashtbl.add tbl r.Measure.var.Arch.Param.index j)
-    model.Measure.rows;
-  tbl
-
-let solver_var tbl paper_index = Hashtbl.find_opt tbl paper_index
-
-(* The paper's ways terms: x1,x2,x3 carry multipliers 1,2,3 on top of
-   the implicit single base way. *)
-let ways_factor tbl indices =
-  let coeffs =
-    List.filteri (fun _ _ -> true) indices
-    |> List.mapi (fun k i -> (i, float_of_int (k + 1)))
-    |> List.filter_map (fun (i, m) ->
-           match solver_var tbl i with Some j -> Some (j, m) | None -> None)
-  in
-  { Optim.Binlp.coeffs; const = 1.0 }
-
-let lin_of tbl model get indices =
-  let coeffs =
-    List.filter_map
-      (fun i ->
-        match solver_var tbl i with
-        | Some j ->
-            let r = List.nth model.Measure.rows j in
-            Some (j, get r.Measure.deltas)
-        | None -> None)
-      indices
-  in
-  { Optim.Binlp.coeffs; const = 0.0 }
-
-let range a b = List.init (b - a + 1) (fun k -> a + k)
-
-(* Resource expression (in percentage points of the device) for one
-   metric, as constraint terms.  Nonlinear: per-cache products of the
-   ways factor and the per-way size deltas, plus everything else
-   linear; the paper's Section 4 FPGA resource constraints. *)
-let resource_terms tbl model get ~nonlinear =
-  if not nonlinear then [ Optim.Binlp.Lin (lin_of tbl model get (range 1 52)) ]
-  else
-    [
-      Optim.Binlp.Prod (ways_factor tbl [ 1; 2; 3 ], lin_of tbl model get (range 4 8));
-      Optim.Binlp.Prod
-        (ways_factor tbl [ 12; 13; 14 ], lin_of tbl model get (range 15 19));
-      Optim.Binlp.Lin
-        (lin_of tbl model get (range 1 3 @ range 9 14 @ range 20 52));
-    ]
-
-let coupling tbl antecedent consequents =
-  (* antecedent <= sum of consequents, i.e. x_a - sum x_c <= 0. *)
-  match solver_var tbl antecedent with
-  | None -> None
-  | Some ja ->
-      let cons = List.filter_map (solver_var tbl) consequents in
-      if cons = [] then
-        (* No way to satisfy the coupling: forbid the antecedent. *)
-        Some
-          (Optim.Binlp.linear
-             { Optim.Binlp.coeffs = [ (ja, 1.0) ]; const = 0.0 }
-             Optim.Binlp.Le 0.0)
-      else
-        Some
-          (Optim.Binlp.linear
-             {
-               Optim.Binlp.coeffs = (ja, 1.0) :: List.map (fun j -> (j, -1.0)) cons;
-               const = 0.0;
-             }
-             Optim.Binlp.Le 0.0)
-
-let make_custom ~objective ?(variant = paper_variant) model =
-  let tbl = index_table model in
-  let rows = Array.of_list model.Measure.rows in
-  let nvars = Array.length rows in
-  let objective = Array.map objective rows in
-  let groups =
-    List.filter_map
-      (fun g ->
-        let members =
-          List.filter_map
-            (fun v -> solver_var tbl v.Arch.Param.index)
-            (Arch.Param.group_members g)
-        in
-        if List.length members >= 2 then Some members else None)
-      Arch.Param.groups
-  in
-  let couplings =
-    List.filter_map
-      (fun c -> c)
-      [
-        coupling tbl 10 [ 1 ];             (* icache LRR needs 2 ways *)
-        coupling tbl 11 [ 1; 2; 3 ];       (* icache LRU needs multiway *)
-        coupling tbl 21 [ 12 ];            (* dcache LRR *)
-        coupling tbl 22 [ 12; 13; 14 ];    (* dcache LRU *)
-      ]
-  in
-  let lut_terms =
-    resource_terms tbl model
-      (fun d -> d.Cost.lambda)
-      ~nonlinear:variant.lut_nonlinear
-  in
-  let bram_terms =
-    resource_terms tbl model
-      (fun d -> d.Cost.beta)
-      ~nonlinear:(not variant.bram_linear)
-  in
-  let resource_constraints =
-    [
-      { Optim.Binlp.terms = lut_terms; rel = Optim.Binlp.Le;
-        bound = Cost.headroom_luts model.Measure.base };
-      { Optim.Binlp.terms = bram_terms; rel = Optim.Binlp.Le;
-        bound = Cost.headroom_brams model.Measure.base };
-    ]
-  in
-  {
-    Optim.Binlp.nvars;
-    objective;
-    groups;
-    constraints = couplings @ resource_constraints;
-  }
-
-let make ?variant (weights : Cost.weights) model =
-  make_custom
-    ~objective:(fun (r : Measure.row) -> Cost.objective weights r.Measure.deltas)
-    ?variant model
-
-let vars_of_solution model (s : Optim.Binlp.solution) =
-  List.filteri (fun j _ -> s.Optim.Binlp.x.(j)) model.Measure.rows
-  |> List.map (fun (r : Measure.row) -> r.Measure.var)
-  |> List.sort (fun a b -> compare a.Arch.Param.index b.Arch.Param.index)
-
-let predicted_deltas ?(variant = paper_variant) model vars =
-  let tbl = index_table model in
-  let nvars = List.length model.Measure.rows in
-  let x = Array.make nvars false in
-  List.iter
-    (fun (v : Arch.Param.var) ->
-      match solver_var tbl v.Arch.Param.index with
-      | Some j -> x.(j) <- true
-      | None -> invalid_arg "Formulate.predicted_deltas: variable not in model")
-    vars;
-  let eval terms =
-    List.fold_left
-      (fun acc t ->
-        acc
-        +.
-        match t with
-        | Optim.Binlp.Lin l -> Optim.Binlp.eval_lin l x
-        | Optim.Binlp.Prod (l1, l2) ->
-            Optim.Binlp.eval_lin l1 x *. Optim.Binlp.eval_lin l2 x)
-      0.0 terms
-  in
-  let rho =
-    List.fold_left
-      (fun acc (r : Measure.row) ->
-        if x.(Hashtbl.find tbl r.Measure.var.Arch.Param.index) then
-          acc +. r.Measure.deltas.Cost.rho
-        else acc)
-      0.0 model.Measure.rows
-  in
-  let lambda =
-    eval
-      (resource_terms tbl model (fun d -> d.Cost.lambda)
-         ~nonlinear:variant.lut_nonlinear)
-  in
-  let beta =
-    eval
-      (resource_terms tbl model (fun d -> d.Cost.beta)
-         ~nonlinear:(not variant.bram_linear))
-  in
-  { Cost.rho; lambda; beta }
+include Leon2.S.Formulate

@@ -16,7 +16,7 @@
       constraint nonlinear; [variant] lets you swap either, which is
       how the paper's "LUTs%%-nonlin" and "BRAM%%-lin" rows arise. *)
 
-type variant = {
+type variant = Stack.variant = {
   lut_nonlinear : bool;  (** default false, as in the paper *)
   bram_linear : bool;    (** default false, as in the paper *)
 }

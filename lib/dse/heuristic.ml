@@ -1,265 +1,3 @@
-type result = {
-  config : Arch.Config.t;
-  cost : Cost.t;
-  objective : float;
-  builds : int;
-  pruned : int;
-}
+include Leon2.S.Heuristic
 
-let m_builds =
-  Obs.Metrics.Counter.v "heuristic.builds"
-    ~help:"configurations built by heuristic searches"
-
-let m_pruned =
-  Obs.Metrics.Counter.v "heuristic.pruned"
-    ~help:"candidates skipped via static-feature arguments"
-
-let pick rng xs = List.nth xs (Sim.Rng.int rng (List.length xs))
-
-let random_cache rng =
-  let ways = pick rng Arch.Config.valid_ways in
-  let way_kb = pick rng [ 1; 2; 4; 8; 16; 32 ] in
-  let line_words = pick rng Arch.Config.valid_line_words in
-  let replacement =
-    match ways with
-    | 1 -> Arch.Config.Random
-    | 2 -> pick rng [ Arch.Config.Random; Arch.Config.Lrr; Arch.Config.Lru ]
-    | _ -> pick rng [ Arch.Config.Random; Arch.Config.Lru ]
-  in
-  { Arch.Config.ways; way_kb; line_words; replacement }
-
-let random_config rng =
-  let bool () = Sim.Rng.int rng 2 = 1 in
-  {
-    Arch.Config.icache = random_cache rng;
-    dcache = random_cache rng;
-    dcache_fast_read = bool ();
-    dcache_fast_write = bool ();
-    iu =
-      {
-        Arch.Config.fast_jump = bool ();
-        icc_hold = bool ();
-        fast_decode = bool ();
-        load_delay = 1 + Sim.Rng.int rng 2;
-        reg_windows = pick rng Arch.Config.valid_reg_windows;
-        divider = pick rng [ Arch.Config.Div_radix2; Arch.Config.Div_none ];
-        multiplier =
-          pick rng
-            [
-              Arch.Config.Mul_none; Arch.Config.Mul_iterative;
-              Arch.Config.Mul_16x16; Arch.Config.Mul_16x16_pipe;
-              Arch.Config.Mul_32x8; Arch.Config.Mul_32x16; Arch.Config.Mul_32x32;
-            ];
-      };
-    infer_mult_div = bool ();
-  }
-
-let evaluate ~weights ~base app config =
-  let cost = Engine.eval (Engine.default ()) app config in
-  (cost, Cost.objective weights (Cost.deltas ~base cost))
-
-let random_search ?(seed = 0x5EA7C4) ~builds ~weights app =
-  if builds < 1 then invalid_arg "Heuristic.random_search: builds must be >= 1";
-  Obs.Span.with_ ~cat:"dse" "heuristic.random_search"
-    ~attrs:
-      [
-        ("app", Obs.Json.String app.Apps.Registry.name);
-        ("builds", Obs.Json.Int builds);
-      ]
-  @@ fun () ->
-  let rng = Sim.Rng.create ~seed in
-  let engine = Engine.default () in
-  let base = Engine.eval engine app Arch.Config.base in
-  let best = ref (Arch.Config.base, base, 0.0) in
-  let spent = ref 0 in
-  while !spent < builds do
-    let config = random_config rng in
-    (* [eval_feasible] elaborates resources once for both the
-       feasibility check and the cost; infeasible draws are free. *)
-    match Engine.eval_feasible engine app config with
-    | None -> ()
-    | Some cost ->
-        incr spent;
-        Obs.Metrics.Counter.incr m_builds;
-        let objective = Cost.objective weights (Cost.deltas ~base cost) in
-        let _, _, best_obj = !best in
-        if objective < best_obj then best := (config, cost, objective)
-  done;
-  let config, cost, objective = !best in
-  { config; cost; objective; builds; pruned = 0 }
-
-(* All alternative values for one parameter group, as configuration
-   transformers relative to the current configuration. *)
-let group_options (g : Arch.Param.group) =
-  let members = Arch.Param.group_members g in
-  (* Include "revert to base" for this group by applying the base
-     field: approximate by reapplying base values through a synthetic
-     transformer. *)
-  let to_base (c : Arch.Config.t) =
-    let b = Arch.Config.base in
-    match g with
-    | Arch.Param.Icache_ways ->
-        { c with icache = { c.icache with ways = b.icache.ways } }
-    | Arch.Param.Icache_way_kb ->
-        { c with icache = { c.icache with way_kb = b.icache.way_kb } }
-    | Arch.Param.Icache_line ->
-        { c with icache = { c.icache with line_words = b.icache.line_words } }
-    | Arch.Param.Icache_repl ->
-        { c with icache = { c.icache with replacement = b.icache.replacement } }
-    | Arch.Param.Dcache_ways ->
-        { c with dcache = { c.dcache with ways = b.dcache.ways } }
-    | Arch.Param.Dcache_way_kb ->
-        { c with dcache = { c.dcache with way_kb = b.dcache.way_kb } }
-    | Arch.Param.Dcache_line ->
-        { c with dcache = { c.dcache with line_words = b.dcache.line_words } }
-    | Arch.Param.Dcache_repl ->
-        { c with dcache = { c.dcache with replacement = b.dcache.replacement } }
-    | Arch.Param.Fast_read -> { c with dcache_fast_read = b.dcache_fast_read }
-    | Arch.Param.Fast_write -> { c with dcache_fast_write = b.dcache_fast_write }
-    | Arch.Param.Fast_jump ->
-        { c with iu = { c.iu with fast_jump = b.iu.fast_jump } }
-    | Arch.Param.Icc_hold -> { c with iu = { c.iu with icc_hold = b.iu.icc_hold } }
-    | Arch.Param.Fast_decode ->
-        { c with iu = { c.iu with fast_decode = b.iu.fast_decode } }
-    | Arch.Param.Load_delay ->
-        { c with iu = { c.iu with load_delay = b.iu.load_delay } }
-    | Arch.Param.Reg_windows ->
-        { c with iu = { c.iu with reg_windows = b.iu.reg_windows } }
-    | Arch.Param.Divider -> { c with iu = { c.iu with divider = b.iu.divider } }
-    | Arch.Param.Multiplier ->
-        { c with iu = { c.iu with multiplier = b.iu.multiplier } }
-    | Arch.Param.Infer_mult_div -> { c with infer_mult_div = b.infer_mult_div }
-  in
-  to_base :: List.map (fun v -> v.Arch.Param.apply) members
-
-(* Is [candidate] provably runtime-identical to [current] by a static
-   argument over the application's features?  Three such arguments:
-
-   - the whole code segment fits a single icache way of both
-     configurations (contiguous code, so no conflicts either): with
-     identical line size the cold-miss sequence is identical and there
-     are no capacity or conflict misses to remove, so any icache
-     geometry/replacement change between the two is invisible;
-   - the binary contains no multiply instruction, so the multiplier
-     variant is invisible;
-   - likewise for the divider. *)
-let statically_equivalent ft (current : Arch.Config.t)
-    (candidate : Arch.Config.t) =
-  let icache_only =
-    Arch.Config.equal { candidate with icache = current.icache } current
-  in
-  let resident (c : Arch.Config.t) =
-    c.icache.way_kb >= Apps.Features.code_resident_kb ft
-  in
-  (icache_only
-  && candidate.icache.line_words = current.icache.line_words
-  && resident candidate && resident current)
-  || Arch.Config.equal
-       { candidate with iu = { candidate.iu with multiplier = current.iu.multiplier } }
-       current
-     && Apps.Features.mul_free ft
-  || Arch.Config.equal
-       { candidate with iu = { candidate.iu with divider = current.iu.divider } }
-       current
-     && Apps.Features.div_free ft
-
-(* Skipping is trajectory-preserving: a pruned candidate has the exact
-   runtime of the incumbent and no better LUT or BRAM count, so with
-   the (non-negative) weighted objective it can never win the strict
-   improvement test.  Both configurations are feasible here, so
-   [Estimate.config] is total. *)
-let prunable ft current candidate =
-  statically_equivalent ft current candidate
-  &&
-  let rcan = Synth.Estimate.config candidate
-  and rcur = Synth.Estimate.config current in
-  rcan.Synth.Resource.luts >= rcur.Synth.Resource.luts
-  && rcan.Synth.Resource.brams >= rcur.Synth.Resource.brams
-
-let coordinate_descent ?(max_sweeps = 5) ?features ~weights app =
-  Obs.Span.with_span ~cat:"dse" "heuristic.coordinate_descent"
-    ~attrs:[ ("app", Obs.Json.String app.Apps.Registry.name) ]
-  @@ fun span ->
-  let engine = Engine.default () in
-  let base = Engine.eval engine app Arch.Config.base in
-  let builds = ref 0 in
-  let pruned = ref 0 in
-  let eval config =
-    incr builds;
-    Obs.Metrics.Counter.incr m_builds;
-    evaluate ~weights ~base app config
-  in
-  let current = ref Arch.Config.base in
-  let current_obj = ref 0.0 in
-  let improved = ref true in
-  let sweeps = ref 0 in
-  while !improved && !sweeps < max_sweeps do
-    improved := false;
-    incr sweeps;
-    List.iter
-      (fun g ->
-        List.iter
-          (fun apply ->
-            let candidate = apply !current in
-            if
-              (not (Arch.Config.equal candidate !current))
-              && Synth.Estimate.feasible candidate
-            then begin
-              match features with
-              | Some ft when prunable ft !current candidate ->
-                  incr pruned;
-                  Obs.Metrics.Counter.incr m_pruned
-              | _ ->
-                  let _, objective = eval candidate in
-                  if objective < !current_obj -. 1e-9 then begin
-                    current := candidate;
-                    current_obj := objective;
-                    improved := true
-                  end
-            end)
-          (group_options g))
-      Arch.Param.groups
-  done;
-  let cost = Engine.eval engine app !current in
-  Obs.Span.add_attr span "builds" (Obs.Json.Int !builds);
-  Obs.Span.add_attr span "pruned" (Obs.Json.Int !pruned);
-  {
-    config = !current;
-    cost;
-    objective = !current_obj;
-    builds = !builds;
-    pruned = !pruned;
-  }
-
-let paper_method ~weights app =
-  Obs.Span.with_ ~cat:"dse" "heuristic.paper_method"
-    ~attrs:[ ("app", Obs.Json.String app.Apps.Registry.name) ]
-  @@ fun () ->
-  let model = Measure.build app in
-  let o = Optimizer.run_with_model ~weights model in
-  let repl_references = 2 (* the 2-way icache/dcache reference builds *) in
-  {
-    config = o.Optimizer.config;
-    cost = o.Optimizer.actual;
-    objective =
-      Cost.objective weights
-        (Cost.deltas ~base:model.Measure.base o.Optimizer.actual);
-    builds = 1 + List.length model.Measure.rows + repl_references + 1;
-    pruned = 0;
-  }
-
-let print_comparison ppf app_name results =
-  Format.fprintf ppf "  %s:@." app_name;
-  Format.fprintf ppf "    %-22s %8s %8s %12s %10s@." "method" "builds"
-    "pruned" "objective" "runtime(s)";
-  List.iteri
-    (fun k r ->
-      let name =
-        match k with
-        | 0 -> "paper (model+BINLP)"
-        | 1 -> "coordinate descent"
-        | _ -> Printf.sprintf "random search"
-      in
-      Format.fprintf ppf "    %-22s %8d %8d %12.2f %10.3f@." name r.builds
-        r.pruned r.objective r.cost.Cost.seconds)
-    results
+let random_config = Target_leon2.random_config

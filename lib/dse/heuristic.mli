@@ -15,7 +15,7 @@
     Both optimize the same weighted objective the paper's BINLP does,
     and reject configurations that do not fit the device. *)
 
-type result = {
+type result = Leon2.S.Heuristic.result = {
   config : Arch.Config.t;
   cost : Cost.t;
   objective : float;     (** weighted objective vs the base *)

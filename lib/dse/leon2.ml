@@ -1,0 +1,11 @@
+(* The functorized stack instantiated for the paper's own platform.
+   The library's historical LEON2-typed modules ({!Measure},
+   {!Formulate}, {!Optimizer}, {!Exhaustive}, {!Heuristic}, {!Ablation},
+   {!Multiapp}) are re-exports of [S]'s submodules — one code path
+   serves every target.
+
+   No interface file on purpose: the module equalities (e.g.
+   [Measure.row = Leon2.S.Measure.row]) must stay visible for the
+   re-exporting interfaces to state them. *)
+
+module S = Stack.Make (Target_leon2)

@@ -1,90 +1,1 @@
-type row = {
-  var : Arch.Param.var;
-  config : Arch.Config.t;
-  cost : Cost.t;
-  deltas : Cost.deltas;
-}
-
-type model = {
-  app : Apps.Registry.t;
-  base : Cost.t;
-  rows : row list;
-  by_index : (int, row) Hashtbl.t;
-}
-
-let index_rows rows =
-  let h = Hashtbl.create (max 16 (List.length rows)) in
-  List.iter (fun r -> Hashtbl.replace h r.var.Arch.Param.index r) rows;
-  h
-
-let model_of app ~base rows = { app; base; rows; by_index = index_rows rows }
-let with_rows m rows = { m with rows; by_index = index_rows rows }
-
-let measure ?noise app config = Engine.eval ?noise (Engine.default ()) app config
-
-(* Reference configuration against which a variable's marginal cost is
-   taken: base, except for replacement policies (see interface). *)
-let reference_config (var : Arch.Param.var) =
-  let two_way_icache c =
-    { c with Arch.Config.icache = { c.Arch.Config.icache with ways = 2 } }
-  in
-  let two_way_dcache c =
-    { c with Arch.Config.dcache = { c.Arch.Config.dcache with ways = 2 } }
-  in
-  match var.group with
-  | Arch.Param.Icache_repl -> two_way_icache Arch.Config.base
-  | Arch.Param.Dcache_repl -> two_way_dcache Arch.Config.base
-  | _ -> Arch.Config.base
-
-let build ?noise ?dims ?jobs app =
-  Obs.Span.with_span ~cat:"dse" "measure.build"
-    ~attrs:[ ("app", Obs.Json.String app.Apps.Registry.name) ]
-  @@ fun span ->
-  (* Force the compiled program before any domain fan-out: Lazy is not
-     domain-safe. *)
-  ignore (Lazy.force app.Apps.Registry.program);
-  let base = measure ?noise app Arch.Config.base in
-  let selected_groups =
-    match dims with None -> Arch.Param.groups | Some ds -> ds
-  in
-  let vars =
-    List.filter (fun v -> List.mem v.Arch.Param.group selected_groups) Arch.Param.all
-  in
-  Obs.Span.add_attr span "perturbations" (Obs.Json.Int (List.length vars));
-  let measure_var var =
-    Obs.Span.with_span ~cat:"dse" "measure.perturbation"
-      ~attrs:[ ("label", Obs.Json.String var.Arch.Param.label) ]
-    @@ fun vspan ->
-    let reference = reference_config var in
-    let config = var.Arch.Param.apply reference in
-    let cost = measure ?noise app config in
-    let ref_cost =
-      if Arch.Config.equal reference Arch.Config.base then base
-      else measure ?noise app reference
-    in
-    Obs.Span.add_attr vspan "sim_cycles"
-      (Obs.Json.Int
-         (int_of_float (cost.Cost.seconds *. Sim.Machine.clock_hz)));
-    Obs.Span.add_attr vspan "luts"
-      (Obs.Json.Int cost.Cost.resources.Synth.Resource.luts);
-    Obs.Span.add_attr vspan "brams"
-      (Obs.Json.Int cost.Cost.resources.Synth.Resource.brams);
-    (* Marginal deltas relative to the reference, expressed against the
-       base runtime as the paper's percentages are. *)
-    let d = Cost.deltas ~base:ref_cost cost in
-    let rho =
-      100.0 *. (cost.Cost.seconds -. ref_cost.Cost.seconds) /. base.Cost.seconds
-    in
-    {
-      var;
-      config = var.Arch.Param.apply Arch.Config.base;
-      cost;
-      deltas = { d with Cost.rho };
-    }
-  in
-  model_of app ~base (Parallel.map ?jobs measure_var vars)
-
-let row model index =
-  match Hashtbl.find_opt model.by_index index with
-  | Some r -> r
-  | None -> raise Not_found
+include Leon2.S.Measure

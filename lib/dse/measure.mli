@@ -21,14 +21,14 @@
     for larger caches, and its resource optimizer picks extra register
     windows flagged "sub-optimal").  Default: no noise. *)
 
-type row = {
+type row = Leon2.S.Measure.row = {
   var : Arch.Param.var;
   config : Arch.Config.t;
   cost : Cost.t;
   deltas : Cost.deltas;
 }
 
-type model = {
+type model = Leon2.S.Measure.model = {
   app : Apps.Registry.t;
   base : Cost.t;
   rows : row list;  (** exactly the variables of the selected groups *)

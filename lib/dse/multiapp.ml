@@ -1,88 +1,1 @@
-type workload = (Apps.Registry.t * float) list
-
-type outcome = {
-  workload : workload;
-  selected : Arch.Param.var list;
-  config : Arch.Config.t;
-  mix_gain_percent : float;
-  per_app : (Apps.Registry.t * float) list;
-}
-
-let normalize workload =
-  if workload = [] then invalid_arg "Multiapp.optimize: empty workload";
-  List.iter
-    (fun (_, s) ->
-      if s <= 0.0 then invalid_arg "Multiapp.optimize: shares must be positive")
-    workload;
-  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 workload in
-  List.map (fun (app, s) -> (app, s /. total)) workload
-
-(* Combine per-application models into one: runtime deltas are weighted
-   by share, resource deltas taken from the first model (they depend on
-   the configuration only). *)
-let combine (models : (Measure.model * float) list) =
-  match models with
-  | [] -> invalid_arg "Multiapp.combine: no models"
-  | (first, _) :: _ ->
-      let rows =
-        List.map
-          (fun (r : Measure.row) ->
-            let rho =
-              List.fold_left
-                (fun acc ((m : Measure.model), share) ->
-                  let mr = Measure.row m r.Measure.var.Arch.Param.index in
-                  acc +. (share *. mr.Measure.deltas.Cost.rho))
-                0.0 models
-            in
-            { r with Measure.deltas = { r.Measure.deltas with Cost.rho = rho } })
-          first.Measure.rows
-      in
-      Measure.with_rows first rows
-
-(* Through the engine (not a bare [Apps.Registry.seconds]) so every
-   verification simulation is memoized and counted in [dse.builds] —
-   the base point is always a cache hit (measured during model
-   building). *)
-let runtime_change app config =
-  let engine = Engine.default () in
-  let base = (Engine.eval engine app Arch.Config.base).Cost.seconds in
-  let tuned = (Engine.eval engine app config).Cost.seconds in
-  100.0 *. (tuned -. base) /. base
-
-let optimize ?dims ~weights workload =
-  let workload = normalize workload in
-  let models =
-    List.map (fun (app, share) -> (Measure.build ?dims app, share)) workload
-  in
-  let model = combine models in
-  let problem = Formulate.make weights model in
-  match Optim.Binlp.solve problem with
-  | None -> failwith "Multiapp.optimize: infeasible"
-  | Some solution ->
-      let selected = Formulate.vars_of_solution model solution in
-      let config = Arch.Param.apply_all Arch.Config.base selected in
-      let per_app =
-        List.map (fun (app, _) -> (app, runtime_change app config)) workload
-      in
-      let mix_gain_percent =
-        List.fold_left2
-          (fun acc (_, share) (_, change) -> acc +. (share *. change))
-          0.0 workload per_app
-      in
-      { workload; selected; config; mix_gain_percent; per_app }
-
-let print ppf o =
-  Format.fprintf ppf "  workload: %s@."
-    (String.concat " + "
-       (List.map
-          (fun (app, s) ->
-            Printf.sprintf "%.0f%% %s" (100.0 *. s) app.Apps.Registry.name)
-          o.workload));
-  Format.fprintf ppf "  reconfigured: %s@."
-    (String.concat ", "
-       (List.map (fun (k, v) -> k ^ "=" ^ v) (Report.changed_params o.config)));
-  List.iter
-    (fun (app, change) ->
-      Format.fprintf ppf "    %-8s %+7.2f%%@." app.Apps.Registry.name change)
-    o.per_app;
-  Format.fprintf ppf "  mix: %+7.2f%%@." o.mix_gain_percent
+include Leon2.S.Multiapp

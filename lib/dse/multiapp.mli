@@ -13,7 +13,7 @@ type workload = (Apps.Registry.t * float) list
 (** Applications with their execution-time shares (normalized
     internally; shares must be positive). *)
 
-type outcome = {
+type outcome = Leon2.S.Multiapp.outcome = {
   workload : workload;
   selected : Arch.Param.var list;
   config : Arch.Config.t;

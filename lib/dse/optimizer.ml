@@ -1,93 +1,1 @@
-type prediction = {
-  seconds : float;
-  lut_percent : float;
-  lut_percent_alt : float;
-  bram_percent : float;
-  bram_percent_alt : float;
-}
-
-type outcome = {
-  model : Measure.model;
-  weights : Cost.weights;
-  solution : Optim.Binlp.solution;
-  selected : Arch.Param.var list;
-  config : Arch.Config.t;
-  predicted : prediction;
-  actual : Cost.t;
-}
-
-let predict ?variant model selected =
-  let variant =
-    match variant with None -> Formulate.paper_variant | Some v -> v
-  in
-  let d = Formulate.predicted_deltas ~variant model selected in
-  let alt =
-    Formulate.predicted_deltas
-      ~variant:
-        {
-          Formulate.lut_nonlinear = not variant.Formulate.lut_nonlinear;
-          bram_linear = not variant.Formulate.bram_linear;
-        }
-      model selected
-  in
-  let base = model.Measure.base in
-  {
-    seconds = base.Cost.seconds *. (1.0 +. (d.Cost.rho /. 100.0));
-    lut_percent =
-      Synth.Resource.lut_percent base.Cost.resources +. d.Cost.lambda;
-    lut_percent_alt =
-      Synth.Resource.lut_percent base.Cost.resources +. alt.Cost.lambda;
-    bram_percent =
-      Synth.Resource.bram_percent base.Cost.resources +. d.Cost.beta;
-    bram_percent_alt =
-      Synth.Resource.bram_percent base.Cost.resources +. alt.Cost.beta;
-  }
-
-(* The pipeline's four phases — measure, formulate, solve, verify — as
-   spans, so a trace shows at a glance where a reconfiguration run
-   spends its time ([Measure.build] opens the measure phase itself). *)
-let run_with_model ?variant ~weights model =
-  let app = model.Measure.app.Apps.Registry.name in
-  let attrs = [ ("app", Obs.Json.String app) ] in
-  let problem =
-    Obs.Span.with_ ~cat:"dse" "phase.formulate" ~attrs (fun () ->
-        Formulate.make ?variant weights model)
-  in
-  let solved =
-    Obs.Span.with_ ~cat:"dse" "phase.solve" ~attrs (fun () ->
-        Optim.Binlp.solve problem)
-  in
-  match solved with
-  | None -> failwith "Optimizer: BINLP infeasible"
-  | Some solution ->
-      Obs.Span.with_ ~cat:"dse" "phase.verify" ~attrs @@ fun () ->
-      let selected = Formulate.vars_of_solution model solution in
-      let config = Arch.Param.apply_all Arch.Config.base selected in
-      (match Arch.Config.validate config with
-      | Ok () -> ()
-      | Error m -> failwith ("Optimizer: decoded configuration invalid: " ^ m));
-      (* Verify-by-build is noise-free even when the model was noisy:
-         the recommendation is judged against reality. *)
-      let actual = Engine.eval (Engine.default ()) model.Measure.app config in
-      {
-        model;
-        weights;
-        solution;
-        selected;
-        config;
-        predicted = predict ?variant model selected;
-        actual;
-      }
-
-let run ?noise ?dims ?variant ~weights app =
-  let model =
-    Obs.Span.with_ ~cat:"dse" "phase.measure"
-      ~attrs:[ ("app", Obs.Json.String app.Apps.Registry.name) ]
-      (fun () -> Measure.build ?noise ?dims app)
-  in
-  run_with_model ?variant ~weights model
-
-let pp_selected ppf vars =
-  Fmt.(list ~sep:comma string)
-    ppf
-    (List.map (fun (v : Arch.Param.var) -> v.Arch.Param.label) vars)
+include Leon2.S.Optimizer

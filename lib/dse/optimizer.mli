@@ -9,7 +9,7 @@
        so predictions can be compared against reality (the paper's
        "Actual synthesis" rows). *)
 
-type prediction = {
+type prediction = Leon2.S.Optimizer.prediction = {
   seconds : float;
   lut_percent : float;
   lut_percent_alt : float;   (** the swapped (nonlinear) LUT model *)
@@ -17,7 +17,7 @@ type prediction = {
   bram_percent_alt : float;  (** the swapped (linear) BRAM model *)
 }
 
-type outcome = {
+type outcome = Leon2.S.Optimizer.outcome = {
   model : Measure.model;
   weights : Cost.weights;
   solution : Optim.Binlp.solution;

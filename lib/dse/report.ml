@@ -172,80 +172,9 @@ let print_fig4 ppf rows =
 
 (* --- Figures 5 and 7 --- *)
 
-let changed_params (config : Arch.Config.t) =
-  let b = Arch.Config.base in
-  let add acc name f v = if f then (name, v) :: acc else acc in
-  let cache_diff which (c : Arch.Config.cache) (bc : Arch.Config.cache) acc =
-    let acc =
-      add acc (which ^ "sets") (c.ways <> bc.ways) (string_of_int c.ways)
-    in
-    let acc =
-      add acc (which ^ "setsz") (c.way_kb <> bc.way_kb) (string_of_int c.way_kb)
-    in
-    let acc =
-      add acc (which ^ "linesz")
-        (c.line_words <> bc.line_words)
-        (string_of_int c.line_words)
-    in
-    add acc (which ^ "replace")
-      (c.replacement <> bc.replacement)
-      (Arch.Config.replacement_to_string c.replacement)
-  in
-  []
-  |> cache_diff "icach" config.icache b.icache
-  |> cache_diff "dcach" config.dcache b.dcache
-  |> (fun acc ->
-       add acc "fastread" (config.dcache_fast_read <> b.dcache_fast_read)
-         (if config.dcache_fast_read then "on" else "off"))
-  |> (fun acc ->
-       add acc "fastwrite" (config.dcache_fast_write <> b.dcache_fast_write)
-         (if config.dcache_fast_write then "on" else "off"))
-  |> (fun acc ->
-       add acc "fastjump" (config.iu.fast_jump <> b.iu.fast_jump)
-         (if config.iu.fast_jump then "on" else "off"))
-  |> (fun acc ->
-       add acc "icchold" (config.iu.icc_hold <> b.iu.icc_hold)
-         (if config.iu.icc_hold then "on" else "off"))
-  |> (fun acc ->
-       add acc "fastdecode" (config.iu.fast_decode <> b.iu.fast_decode)
-         (if config.iu.fast_decode then "on" else "off"))
-  |> (fun acc ->
-       add acc "loaddelay" (config.iu.load_delay <> b.iu.load_delay)
-         (string_of_int config.iu.load_delay))
-  |> (fun acc ->
-       add acc "registers" (config.iu.reg_windows <> b.iu.reg_windows)
-         (string_of_int config.iu.reg_windows))
-  |> (fun acc ->
-       add acc "divider" (config.iu.divider <> b.iu.divider)
-         (Arch.Config.divider_to_string config.iu.divider))
-  |> (fun acc ->
-       add acc "multiplier" (config.iu.multiplier <> b.iu.multiplier)
-         (Arch.Config.multiplier_to_string config.iu.multiplier))
-  |> (fun acc ->
-       add acc "infermuldiv" (config.infer_mult_div <> b.infer_mult_div)
-         (string_of_bool config.infer_mult_div))
-  |> List.rev
+let changed_params = Target_leon2.changed_params
 
-let print_outcome_summary ppf (o : Optimizer.outcome) =
-  let name = o.Optimizer.model.Measure.app.Apps.Registry.name in
-  pf ppf "  %s:@." name;
-  pf ppf "    reconfigured: %s@."
-    (String.concat ", "
-       (List.map (fun (k, v) -> k ^ "=" ^ v) (changed_params o.Optimizer.config)));
-  let base = o.Optimizer.model.Measure.base in
-  let p = o.Optimizer.predicted in
-  pf ppf "    base runtime %.3fs@." base.Cost.seconds;
-  pf ppf
-    "    predicted: %.3fs, LUTs %.1f%% (nonlin %.1f%%), BRAM %.1f%% (lin %.1f%%)@."
-    p.Optimizer.seconds p.Optimizer.lut_percent p.Optimizer.lut_percent_alt
-    p.Optimizer.bram_percent p.Optimizer.bram_percent_alt;
-  let a = o.Optimizer.actual in
-  pf ppf "    actual build: %.3fs, LUTs %d%%, BRAM %d%%@." a.Cost.seconds
-    (Synth.Resource.lut_percent_int a.Cost.resources)
-    (Synth.Resource.bram_percent_int a.Cost.resources);
-  pf ppf "    runtime change: %+.2f%% (predicted %+.2f%%)@."
-    (100.0 *. (a.Cost.seconds -. base.Cost.seconds) /. base.Cost.seconds)
-    (100.0 *. (p.Optimizer.seconds -. base.Cost.seconds) /. base.Cost.seconds)
+let print_outcome_summary = Leon2.S.Optimizer.print_outcome_summary
 
 let print_paper_summary ppf (s : Paper.opt_summary) =
   pf ppf "  paper %s: %s@." s.Paper.app

@@ -1,0 +1,866 @@
+(* The paper's pipeline, functorized over a {!Target.S} backend.
+
+   [Make (T)] instantiates the whole measure → formulate → solve →
+   verify stack for one soft core: the LEON2-typed modules of this
+   library ({!Measure}, {!Formulate}, {!Optimizer}, {!Exhaustive},
+   {!Heuristic}, {!Ablation}, {!Multiapp}) are [Make (Target_leon2)]
+   re-exported (see [leon2.ml]), and additional backends such as the
+   MicroBlaze-like core run the very same code paths.
+
+   All percentage normalizations (lambda/beta in points of the device,
+   resource headroom) are relative to the target's own device, so a
+   small-device backend gets binding resource constraints instead of
+   inheriting LEON2's headroom. *)
+
+type variant = {
+  lut_nonlinear : bool;
+  bram_linear : bool;
+}
+
+let paper_variant = { lut_nonlinear = false; bram_linear = false }
+
+let m_heuristic_builds =
+  Obs.Metrics.Counter.v "heuristic.builds"
+    ~help:"configurations built by heuristic searches"
+
+let m_heuristic_pruned =
+  Obs.Metrics.Counter.v "heuristic.pruned"
+    ~help:"candidates skipped via static-feature arguments"
+
+module Make (T : Target.S) = struct
+  (* Device-relative percentages: identical to {!Synth.Resource}'s for
+     the LEON2 instance (same device), target-specific otherwise. *)
+  let lut_percent (r : Synth.Resource.t) =
+    100.0 *. float_of_int r.Synth.Resource.luts /. float_of_int T.device_luts
+
+  let bram_percent (r : Synth.Resource.t) =
+    100.0 *. float_of_int r.Synth.Resource.brams /. float_of_int T.device_brams
+
+  let lut_percent_int (r : Synth.Resource.t) =
+    r.Synth.Resource.luts * 100 / T.device_luts
+
+  let bram_percent_int (r : Synth.Resource.t) =
+    r.Synth.Resource.brams * 100 / T.device_brams
+
+  let fits (r : Synth.Resource.t) =
+    r.Synth.Resource.luts <= T.device_luts
+    && r.Synth.Resource.brams <= T.device_brams
+
+  let deltas ~base (c : Cost.t) =
+    {
+      Cost.rho =
+        100.0 *. (c.Cost.seconds -. base.Cost.seconds) /. base.Cost.seconds;
+      lambda = lut_percent c.Cost.resources -. lut_percent base.Cost.resources;
+      beta = bram_percent c.Cost.resources -. bram_percent base.Cost.resources;
+    }
+
+  let headroom_luts (c : Cost.t) = 100.0 -. lut_percent c.Cost.resources
+  let headroom_brams (c : Cost.t) = 100.0 -. bram_percent c.Cost.resources
+
+  module Measure = struct
+    type row = {
+      var : T.var;
+      config : T.config;
+      cost : Cost.t;
+      deltas : Cost.deltas;
+    }
+
+    type model = {
+      app : Apps.Registry.t;
+      base : Cost.t;
+      rows : row list;
+      by_index : (int, row) Hashtbl.t;
+    }
+
+    let index_rows rows =
+      let h = Hashtbl.create (max 16 (List.length rows)) in
+      List.iter (fun r -> Hashtbl.replace h r.var.T.index r) rows;
+      h
+
+    let model_of app ~base rows = { app; base; rows; by_index = index_rows rows }
+    let with_rows m rows = { m with rows; by_index = index_rows rows }
+
+    let measure ?noise app config =
+      Engine.eval_on ?noise (Engine.default ()) T.probe app config
+
+    let reference_config = T.reference_config
+
+    let build ?noise ?dims ?jobs app =
+      Obs.Span.with_span ~cat:"dse" "measure.build"
+        ~attrs:[ ("app", Obs.Json.String app.Apps.Registry.name) ]
+      @@ fun span ->
+      (* Force the compiled program before any domain fan-out: Lazy is
+         not domain-safe. *)
+      ignore (Lazy.force app.Apps.Registry.program);
+      let base = measure ?noise app T.base in
+      let selected_groups =
+        match dims with None -> T.groups | Some ds -> ds
+      in
+      let vars =
+        List.filter (fun v -> List.mem v.T.group selected_groups) T.vars
+      in
+      Obs.Span.add_attr span "perturbations" (Obs.Json.Int (List.length vars));
+      let measure_var var =
+        Obs.Span.with_span ~cat:"dse" "measure.perturbation"
+          ~attrs:[ ("label", Obs.Json.String var.T.label) ]
+        @@ fun vspan ->
+        let reference = reference_config var in
+        let config = var.T.apply reference in
+        let cost = measure ?noise app config in
+        let ref_cost =
+          if T.equal reference T.base then base
+          else measure ?noise app reference
+        in
+        Obs.Span.add_attr vspan "sim_cycles"
+          (Obs.Json.Int
+             (int_of_float (cost.Cost.seconds *. Sim.Machine.clock_hz)));
+        Obs.Span.add_attr vspan "luts"
+          (Obs.Json.Int cost.Cost.resources.Synth.Resource.luts);
+        Obs.Span.add_attr vspan "brams"
+          (Obs.Json.Int cost.Cost.resources.Synth.Resource.brams);
+        (* Marginal deltas relative to the reference, expressed against
+           the base runtime as the paper's percentages are. *)
+        let d = deltas ~base:ref_cost cost in
+        let rho =
+          100.0 *. (cost.Cost.seconds -. ref_cost.Cost.seconds)
+          /. base.Cost.seconds
+        in
+        { var; config = var.T.apply T.base; cost; deltas = { d with Cost.rho } }
+      in
+      model_of app ~base (Parallel.map ?jobs measure_var vars)
+
+    let row model index =
+      match Hashtbl.find_opt model.by_index index with
+      | Some r -> r
+      | None -> raise Not_found
+  end
+
+  module Formulate = struct
+    (* Solver variable j <-> model row j. *)
+    let index_table (model : Measure.model) =
+      let tbl = Hashtbl.create 64 in
+      List.iteri
+        (fun j (r : Measure.row) -> Hashtbl.add tbl r.Measure.var.T.index j)
+        model.Measure.rows;
+      tbl
+
+    let solver_var tbl paper_index = Hashtbl.find_opt tbl paper_index
+
+    (* A cache's ways factor: the explicit multipliers of [T.products]
+       on top of the implicit single base way. *)
+    let product_factor tbl pairs =
+      let coeffs =
+        List.filter_map
+          (fun (i, m) ->
+            match solver_var tbl i with Some j -> Some (j, m) | None -> None)
+          pairs
+      in
+      { Optim.Binlp.coeffs; const = 1.0 }
+
+    let lin_of tbl (model : Measure.model) get indices =
+      let coeffs =
+        List.filter_map
+          (fun i ->
+            match solver_var tbl i with
+            | Some j ->
+                let r = List.nth model.Measure.rows j in
+                Some (j, get r.Measure.deltas)
+            | None -> None)
+          indices
+      in
+      { Optim.Binlp.coeffs; const = 0.0 }
+
+    let range a b = List.init (b - a + 1) (fun k -> a + k)
+
+    (* The indices outside every product's size list, ascending: their
+       deltas enter the resource expressions linearly. *)
+    let linear_indices =
+      let in_products = List.concat_map snd T.products in
+      List.filter (fun i -> not (List.mem i in_products)) (range 1 T.var_count)
+
+    (* Resource expression (in percentage points of the device) for one
+       metric, as constraint terms.  Nonlinear: per-cache products of
+       the ways factor and the per-way size deltas, plus everything
+       else linear; the paper's Section 4 FPGA resource constraints. *)
+    let resource_terms tbl model get ~nonlinear =
+      if not nonlinear then
+        [ Optim.Binlp.Lin (lin_of tbl model get (range 1 T.var_count)) ]
+      else
+        List.map
+          (fun (factor, sizes) ->
+            Optim.Binlp.Prod
+              (product_factor tbl factor, lin_of tbl model get sizes))
+          T.products
+        @ [ Optim.Binlp.Lin (lin_of tbl model get linear_indices) ]
+
+    let coupling tbl antecedent consequents =
+      (* antecedent <= sum of consequents, i.e. x_a - sum x_c <= 0. *)
+      match solver_var tbl antecedent with
+      | None -> None
+      | Some ja ->
+          let cons = List.filter_map (solver_var tbl) consequents in
+          if cons = [] then
+            (* No way to satisfy the coupling: forbid the antecedent. *)
+            Some
+              (Optim.Binlp.linear
+                 { Optim.Binlp.coeffs = [ (ja, 1.0) ]; const = 0.0 }
+                 Optim.Binlp.Le 0.0)
+          else
+            Some
+              (Optim.Binlp.linear
+                 {
+                   Optim.Binlp.coeffs =
+                     (ja, 1.0) :: List.map (fun j -> (j, -1.0)) cons;
+                   const = 0.0;
+                 }
+                 Optim.Binlp.Le 0.0)
+
+    let make_custom ~objective ?(variant = paper_variant) (model : Measure.model)
+        =
+      let tbl = index_table model in
+      let rows = Array.of_list model.Measure.rows in
+      let nvars = Array.length rows in
+      let objective = Array.map objective rows in
+      let groups =
+        List.filter_map
+          (fun g ->
+            let members =
+              List.filter_map
+                (fun v -> solver_var tbl v.T.index)
+                (T.group_members g)
+            in
+            if List.length members >= 2 then Some members else None)
+          T.groups
+      in
+      let couplings =
+        List.filter_map (fun (a, cs) -> coupling tbl a cs) T.couplings
+      in
+      let lut_terms =
+        resource_terms tbl model
+          (fun d -> d.Cost.lambda)
+          ~nonlinear:variant.lut_nonlinear
+      in
+      let bram_terms =
+        resource_terms tbl model
+          (fun d -> d.Cost.beta)
+          ~nonlinear:(not variant.bram_linear)
+      in
+      let resource_constraints =
+        [
+          { Optim.Binlp.terms = lut_terms; rel = Optim.Binlp.Le;
+            bound = headroom_luts model.Measure.base };
+          { Optim.Binlp.terms = bram_terms; rel = Optim.Binlp.Le;
+            bound = headroom_brams model.Measure.base };
+        ]
+      in
+      {
+        Optim.Binlp.nvars;
+        objective;
+        groups;
+        constraints = couplings @ resource_constraints;
+      }
+
+    let make ?variant (weights : Cost.weights) model =
+      make_custom
+        ~objective:(fun (r : Measure.row) ->
+          Cost.objective weights r.Measure.deltas)
+        ?variant model
+
+    let vars_of_solution (model : Measure.model) (s : Optim.Binlp.solution) =
+      List.filteri (fun j _ -> s.Optim.Binlp.x.(j)) model.Measure.rows
+      |> List.map (fun (r : Measure.row) -> r.Measure.var)
+      |> List.sort (fun (a : T.var) (b : T.var) -> compare a.T.index b.T.index)
+
+    let predicted_deltas ?(variant = paper_variant) (model : Measure.model) vars
+        =
+      let tbl = index_table model in
+      let nvars = List.length model.Measure.rows in
+      let x = Array.make nvars false in
+      List.iter
+        (fun (v : T.var) ->
+          match solver_var tbl v.T.index with
+          | Some j -> x.(j) <- true
+          | None ->
+              invalid_arg "Formulate.predicted_deltas: variable not in model")
+        vars;
+      let eval terms =
+        List.fold_left
+          (fun acc t ->
+            acc
+            +.
+            match t with
+            | Optim.Binlp.Lin l -> Optim.Binlp.eval_lin l x
+            | Optim.Binlp.Prod (l1, l2) ->
+                Optim.Binlp.eval_lin l1 x *. Optim.Binlp.eval_lin l2 x)
+          0.0 terms
+      in
+      let rho =
+        List.fold_left
+          (fun acc (r : Measure.row) ->
+            if x.(Hashtbl.find tbl r.Measure.var.T.index) then
+              acc +. r.Measure.deltas.Cost.rho
+            else acc)
+          0.0 model.Measure.rows
+      in
+      let lambda =
+        eval
+          (resource_terms tbl model
+             (fun d -> d.Cost.lambda)
+             ~nonlinear:variant.lut_nonlinear)
+      in
+      let beta =
+        eval
+          (resource_terms tbl model
+             (fun d -> d.Cost.beta)
+             ~nonlinear:(not variant.bram_linear))
+      in
+      { Cost.rho; lambda; beta }
+  end
+
+  module Optimizer = struct
+    type prediction = {
+      seconds : float;
+      lut_percent : float;
+      lut_percent_alt : float;
+      bram_percent : float;
+      bram_percent_alt : float;
+    }
+
+    type outcome = {
+      model : Measure.model;
+      weights : Cost.weights;
+      solution : Optim.Binlp.solution;
+      selected : T.var list;
+      config : T.config;
+      predicted : prediction;
+      actual : Cost.t;
+    }
+
+    let predict ?variant model selected =
+      let variant =
+        match variant with None -> paper_variant | Some v -> v
+      in
+      let d = Formulate.predicted_deltas ~variant model selected in
+      let alt =
+        Formulate.predicted_deltas
+          ~variant:
+            {
+              lut_nonlinear = not variant.lut_nonlinear;
+              bram_linear = not variant.bram_linear;
+            }
+          model selected
+      in
+      let base = model.Measure.base in
+      {
+        seconds = base.Cost.seconds *. (1.0 +. (d.Cost.rho /. 100.0));
+        lut_percent = lut_percent base.Cost.resources +. d.Cost.lambda;
+        lut_percent_alt = lut_percent base.Cost.resources +. alt.Cost.lambda;
+        bram_percent = bram_percent base.Cost.resources +. d.Cost.beta;
+        bram_percent_alt = bram_percent base.Cost.resources +. alt.Cost.beta;
+      }
+
+    (* The pipeline's four phases — measure, formulate, solve, verify —
+       as spans, so a trace shows at a glance where a reconfiguration
+       run spends its time ([Measure.build] opens the measure phase
+       itself). *)
+    let run_with_model ?variant ~weights (model : Measure.model) =
+      let app = model.Measure.app.Apps.Registry.name in
+      let attrs = [ ("app", Obs.Json.String app) ] in
+      let problem =
+        Obs.Span.with_ ~cat:"dse" "phase.formulate" ~attrs (fun () ->
+            Formulate.make ?variant weights model)
+      in
+      let solved =
+        Obs.Span.with_ ~cat:"dse" "phase.solve" ~attrs (fun () ->
+            Optim.Binlp.solve problem)
+      in
+      match solved with
+      | None -> failwith "Optimizer: BINLP infeasible"
+      | Some solution ->
+          Obs.Span.with_ ~cat:"dse" "phase.verify" ~attrs @@ fun () ->
+          let selected = Formulate.vars_of_solution model solution in
+          let config = T.apply_all T.base selected in
+          (match T.validate config with
+          | Ok () -> ()
+          | Error m ->
+              failwith ("Optimizer: decoded configuration invalid: " ^ m));
+          (* Verify-by-build is noise-free even when the model was
+             noisy: the recommendation is judged against reality. *)
+          let actual =
+            Engine.eval_on (Engine.default ()) T.probe model.Measure.app config
+          in
+          {
+            model;
+            weights;
+            solution;
+            selected;
+            config;
+            predicted = predict ?variant model selected;
+            actual;
+          }
+
+    let run ?noise ?dims ?variant ~weights app =
+      let model =
+        Obs.Span.with_ ~cat:"dse" "phase.measure"
+          ~attrs:[ ("app", Obs.Json.String app.Apps.Registry.name) ]
+          (fun () -> Measure.build ?noise ?dims app)
+      in
+      run_with_model ?variant ~weights model
+
+    let pp_selected ppf vars =
+      Fmt.(list ~sep:comma string)
+        ppf
+        (List.map (fun (v : T.var) -> v.T.label) vars)
+
+    let print_outcome_summary ppf (o : outcome) =
+      let pf = Format.fprintf in
+      let name = o.model.Measure.app.Apps.Registry.name in
+      pf ppf "  %s:@." name;
+      pf ppf "    reconfigured: %s@."
+        (String.concat ", "
+           (List.map (fun (k, v) -> k ^ "=" ^ v) (T.changed_params o.config)));
+      let base = o.model.Measure.base in
+      let p = o.predicted in
+      pf ppf "    base runtime %.3fs@." base.Cost.seconds;
+      pf ppf
+        "    predicted: %.3fs, LUTs %.1f%% (nonlin %.1f%%), BRAM %.1f%% (lin \
+         %.1f%%)@."
+        p.seconds p.lut_percent p.lut_percent_alt p.bram_percent
+        p.bram_percent_alt;
+      let a = o.actual in
+      pf ppf "    actual build: %.3fs, LUTs %d%%, BRAM %d%%@." a.Cost.seconds
+        (lut_percent_int a.Cost.resources)
+        (bram_percent_int a.Cost.resources);
+      pf ppf "    runtime change: %+.2f%% (predicted %+.2f%%)@."
+        (100.0 *. (a.Cost.seconds -. base.Cost.seconds) /. base.Cost.seconds)
+        (100.0 *. (p.seconds -. base.Cost.seconds) /. base.Cost.seconds)
+  end
+
+  module Exhaustive = struct
+    type point = {
+      config : T.config;
+      cost : Cost.t option;
+    }
+
+    (* One batched engine call: resources are elaborated once per point
+       (feasibility and cost share the estimate), infeasible points
+       never reach the simulator, and the feasible ones fan out on the
+       pool. *)
+    let sweep app configs =
+      Engine.eval_all_feasible_on (Engine.default ()) T.probe app configs
+      |> List.map2 (fun config cost -> { config; cost }) configs
+
+    let geometry_sweep app = sweep app T.sweep_configs
+
+    let feasible_points points =
+      List.filter_map
+        (fun p -> match p.cost with Some c -> Some (p, c) | None -> None)
+        points
+
+    let argmin key points =
+      match feasible_points points with
+      | [] -> raise Not_found
+      | first :: rest ->
+          let better a b = if key (snd a) <= key (snd b) then a else b in
+          fst (List.fold_left better first rest)
+
+    let best_runtime points =
+      argmin
+        (fun (c : Cost.t) ->
+          ( c.Cost.seconds,
+            c.Cost.resources.Synth.Resource.brams,
+            c.Cost.resources.Synth.Resource.luts ))
+        points
+
+    let best_weighted weights ~base points =
+      argmin
+        (fun c -> (Cost.objective weights (deltas ~base c), 0, 0))
+        points
+  end
+
+  module Heuristic = struct
+    type result = {
+      config : T.config;
+      cost : Cost.t;
+      objective : float;
+      builds : int;
+      pruned : int;
+    }
+
+    let evaluate ~weights ~base app config =
+      let cost = Engine.eval_on (Engine.default ()) T.probe app config in
+      (cost, Cost.objective weights (deltas ~base cost))
+
+    let random_search ?(seed = 0x5EA7C4) ~builds ~weights app =
+      if builds < 1 then
+        invalid_arg "Heuristic.random_search: builds must be >= 1";
+      Obs.Span.with_ ~cat:"dse" "heuristic.random_search"
+        ~attrs:
+          [
+            ("app", Obs.Json.String app.Apps.Registry.name);
+            ("builds", Obs.Json.Int builds);
+          ]
+      @@ fun () ->
+      let rng = Sim.Rng.create ~seed in
+      let engine = Engine.default () in
+      let base = Engine.eval_on engine T.probe app T.base in
+      let best = ref (T.base, base, 0.0) in
+      let spent = ref 0 in
+      while !spent < builds do
+        let config = T.random_config rng in
+        (* [eval_feasible_on] elaborates resources once for both the
+           feasibility check and the cost; infeasible draws are free. *)
+        match Engine.eval_feasible_on engine T.probe app config with
+        | None -> ()
+        | Some cost ->
+            incr spent;
+            Obs.Metrics.Counter.incr m_heuristic_builds;
+            let objective = Cost.objective weights (deltas ~base cost) in
+            let _, _, best_obj = !best in
+            if objective < best_obj then best := (config, cost, objective)
+      done;
+      let config, cost, objective = !best in
+      { config; cost; objective; builds; pruned = 0 }
+
+    (* Skipping is trajectory-preserving: a pruned candidate has the
+       exact runtime of the incumbent and no better LUT or BRAM count,
+       so with the (non-negative) weighted objective it can never win
+       the strict improvement test.  Both configurations are feasible
+       here, so [T.resources] is total. *)
+    let prunable ft current candidate =
+      T.statically_equivalent ft current candidate
+      &&
+      let rcan = T.resources candidate and rcur = T.resources current in
+      rcan.Synth.Resource.luts >= rcur.Synth.Resource.luts
+      && rcan.Synth.Resource.brams >= rcur.Synth.Resource.brams
+
+    let coordinate_descent ?(max_sweeps = 5) ?features ~weights app =
+      Obs.Span.with_span ~cat:"dse" "heuristic.coordinate_descent"
+        ~attrs:[ ("app", Obs.Json.String app.Apps.Registry.name) ]
+      @@ fun span ->
+      let engine = Engine.default () in
+      let base = Engine.eval_on engine T.probe app T.base in
+      let builds = ref 0 in
+      let pruned = ref 0 in
+      let eval config =
+        incr builds;
+        Obs.Metrics.Counter.incr m_heuristic_builds;
+        evaluate ~weights ~base app config
+      in
+      let current = ref T.base in
+      let current_obj = ref 0.0 in
+      let improved = ref true in
+      let sweeps = ref 0 in
+      while !improved && !sweeps < max_sweeps do
+        improved := false;
+        incr sweeps;
+        List.iter
+          (fun g ->
+            List.iter
+              (fun apply ->
+                let candidate = apply !current in
+                if (not (T.equal candidate !current)) && T.feasible candidate
+                then begin
+                  match features with
+                  | Some ft when prunable ft !current candidate ->
+                      incr pruned;
+                      Obs.Metrics.Counter.incr m_heuristic_pruned
+                  | _ ->
+                      let _, objective = eval candidate in
+                      if objective < !current_obj -. 1e-9 then begin
+                        current := candidate;
+                        current_obj := objective;
+                        improved := true
+                      end
+                end)
+              (T.group_options g))
+          T.groups
+      done;
+      let cost = Engine.eval_on engine T.probe app !current in
+      Obs.Span.add_attr span "builds" (Obs.Json.Int !builds);
+      Obs.Span.add_attr span "pruned" (Obs.Json.Int !pruned);
+      {
+        config = !current;
+        cost;
+        objective = !current_obj;
+        builds = !builds;
+        pruned = !pruned;
+      }
+
+    let paper_method ~weights app =
+      Obs.Span.with_ ~cat:"dse" "heuristic.paper_method"
+        ~attrs:[ ("app", Obs.Json.String app.Apps.Registry.name) ]
+      @@ fun () ->
+      let model = Measure.build app in
+      let o = Optimizer.run_with_model ~weights model in
+      (* Builds the pipeline actually spends: the base, one per row,
+         one per distinct non-base reference configuration (the 2-way
+         replacement references on LEON2), and the verification
+         build. *)
+      let repl_references =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun (r : Measure.row) ->
+               let reference = T.reference_config r.Measure.var in
+               if T.equal reference T.base then None
+               else Some (T.to_string reference))
+             model.Measure.rows)
+        |> List.length
+      in
+      {
+        config = o.Optimizer.config;
+        cost = o.Optimizer.actual;
+        objective =
+          Cost.objective weights
+            (deltas ~base:model.Measure.base o.Optimizer.actual);
+        builds = 1 + List.length model.Measure.rows + repl_references + 1;
+        pruned = 0;
+      }
+
+    let print_comparison ppf app_name results =
+      Format.fprintf ppf "  %s:@." app_name;
+      Format.fprintf ppf "    %-22s %8s %8s %12s %10s@." "method" "builds"
+        "pruned" "objective" "runtime(s)";
+      List.iteri
+        (fun k r ->
+          let name =
+            match k with
+            | 0 -> "paper (model+BINLP)"
+            | 1 -> "coordinate descent"
+            | _ -> Printf.sprintf "random search"
+          in
+          Format.fprintf ppf "    %-22s %8d %8d %12.2f %10.3f@." name r.builds
+            r.pruned r.objective r.cost.Cost.seconds)
+        results
+  end
+
+  module Ablation = struct
+    type noise_point = {
+      amplitude : float;
+      outcome : Optimizer.outcome;
+      objective_regret : float;
+    }
+
+    (* True (noise-free) objective of an already-built configuration.
+       Noise-free evaluations live under their own cache key, so they
+       are never contaminated by the perturbed measurements of the
+       study. *)
+    let true_objective weights app config =
+      let engine = Engine.default () in
+      let base = Engine.eval_on engine T.probe app T.base in
+      let cost = Engine.eval_on engine T.probe app config in
+      Cost.objective weights (deltas ~base cost)
+
+    let noise_study ?(amplitudes = [ 0.0; 0.002; 0.005; 0.01 ]) ~weights app =
+      let reference =
+        let o = Optimizer.run ~weights app in
+        true_objective weights app o.Optimizer.config
+      in
+      List.map
+        (fun amplitude ->
+          let outcome =
+            if amplitude = 0.0 then Optimizer.run ~weights app
+            else Optimizer.run ~noise:amplitude ~weights app
+          in
+          let obj = true_objective weights app outcome.Optimizer.config in
+          { amplitude; outcome; objective_regret = obj -. reference })
+        amplitudes
+
+    type variant_point = {
+      variant : variant;
+      outcome : Optimizer.outcome;
+      bram_prediction_error : float;
+    }
+
+    let variant_study ~weights model =
+      let variants =
+        [
+          { lut_nonlinear = false; bram_linear = false };
+          { lut_nonlinear = true; bram_linear = false };
+          { lut_nonlinear = false; bram_linear = true };
+          { lut_nonlinear = true; bram_linear = true };
+        ]
+      in
+      List.map
+        (fun variant ->
+          let outcome = Optimizer.run_with_model ~variant ~weights model in
+          let actual = bram_percent outcome.Optimizer.actual.Cost.resources in
+          {
+            variant;
+            outcome;
+            bram_prediction_error =
+              outcome.Optimizer.predicted.Optimizer.bram_percent -. actual;
+          })
+        variants
+
+    type independence_point = {
+      app : Apps.Registry.t;
+      predicted_gain : float;
+      actual_gain : float;
+    }
+
+    let independence_study ~weights =
+      List.map
+        (fun app ->
+          let o = Optimizer.run ~weights app in
+          let base = o.Optimizer.model.Measure.base.Cost.seconds in
+          {
+            app;
+            predicted_gain =
+              100.0 *. (o.Optimizer.predicted.Optimizer.seconds -. base)
+              /. base;
+            actual_gain =
+              100.0 *. (o.Optimizer.actual.Cost.seconds -. base) /. base;
+          })
+        Apps.Registry.all
+
+    let pf = Format.fprintf
+
+    let print_noise ppf points =
+      pf ppf "Ablation: synthesis measurement noise (LUT measurements)@.";
+      pf ppf "  %9s %9s  %s@." "amplitude" "regret" "selected parameters";
+      List.iter
+        (fun (p : noise_point) ->
+          let params =
+            T.changed_params p.outcome.Optimizer.config
+            |> List.map (fun (k, v) -> k ^ "=" ^ v)
+            |> String.concat ", "
+          in
+          pf ppf "  %8.1f%% %+9.3f  %s@." (100.0 *. p.amplitude)
+            p.objective_regret params)
+        points;
+      pf ppf
+        "  (regret: true weighted objective relative to the noise-free pick; \
+         the paper's 'registers=28..31 (sub-optimal)' rows are this effect)@."
+
+    let print_variants ppf points =
+      pf ppf "Ablation: constraint linearity (paper Section 4/6)@.";
+      pf ppf "  %-12s %-12s %12s %10s %10s@." "LUT model" "BRAM model"
+        "runtime(s)" "BRAM%" "pred.err";
+      List.iter
+        (fun (p : variant_point) ->
+          pf ppf "  %-12s %-12s %12.3f %9.1f%% %+9.2f%s@."
+            (if p.variant.lut_nonlinear then "nonlinear" else "linear")
+            (if p.variant.bram_linear then "linear" else "nonlinear")
+            p.outcome.Optimizer.actual.Cost.seconds
+            (bram_percent p.outcome.Optimizer.actual.Cost.resources)
+            p.bram_prediction_error
+            (if fits p.outcome.Optimizer.actual.Cost.resources then ""
+             else "  DOES NOT FIT THE DEVICE"))
+        points;
+      pf ppf
+        "  (the linear BRAM model misses the ways x size interaction, \
+         under-predicts — the paper's BRAM%%-lin rows — and here selects a \
+         configuration the device cannot hold)@."
+
+    let print_independence ppf points =
+      pf ppf "Ablation: the parameter-independence assumption@.";
+      pf ppf "  %-8s %12s %12s %12s@." "app" "predicted" "actual" "error";
+      List.iter
+        (fun p ->
+          pf ppf "  %-8s %+11.2f%% %+11.2f%% %+11.2f%%@."
+            p.app.Apps.Registry.name p.predicted_gain p.actual_gain
+            (p.predicted_gain -. p.actual_gain))
+        points;
+      pf ppf
+        "  (negative error = the optimizer over-promises, the paper's DRR \
+         case: overlapping cache gains add up linearly in the model)@."
+  end
+
+  module Multiapp = struct
+    type workload = (Apps.Registry.t * float) list
+
+    type outcome = {
+      workload : workload;
+      selected : T.var list;
+      config : T.config;
+      mix_gain_percent : float;
+      per_app : (Apps.Registry.t * float) list;
+    }
+
+    let normalize workload =
+      if workload = [] then invalid_arg "Multiapp.optimize: empty workload";
+      List.iter
+        (fun (_, s) ->
+          if s <= 0.0 then
+            invalid_arg "Multiapp.optimize: shares must be positive")
+        workload;
+      let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 workload in
+      List.map (fun (app, s) -> (app, s /. total)) workload
+
+    (* Combine per-application models into one: runtime deltas are
+       weighted by share, resource deltas taken from the first model
+       (they depend on the configuration only). *)
+    let combine (models : (Measure.model * float) list) =
+      match models with
+      | [] -> invalid_arg "Multiapp.combine: no models"
+      | (first, _) :: _ ->
+          let rows =
+            List.map
+              (fun (r : Measure.row) ->
+                let rho =
+                  List.fold_left
+                    (fun acc ((m : Measure.model), share) ->
+                      let mr = Measure.row m r.Measure.var.T.index in
+                      acc +. (share *. mr.Measure.deltas.Cost.rho))
+                    0.0 models
+                in
+                {
+                  r with
+                  Measure.deltas = { r.Measure.deltas with Cost.rho = rho };
+                })
+              first.Measure.rows
+          in
+          Measure.with_rows first rows
+
+    (* Through the engine (not a bare [Apps.Registry.seconds]) so every
+       verification simulation is memoized and counted in [dse.builds]
+       — the base point is always a cache hit (measured during model
+       building). *)
+    let runtime_change app config =
+      let engine = Engine.default () in
+      let base = (Engine.eval_on engine T.probe app T.base).Cost.seconds in
+      let tuned = (Engine.eval_on engine T.probe app config).Cost.seconds in
+      100.0 *. (tuned -. base) /. base
+
+    let optimize ?dims ~weights workload =
+      let workload = normalize workload in
+      let models =
+        List.map (fun (app, share) -> (Measure.build ?dims app, share)) workload
+      in
+      let model = combine models in
+      let problem = Formulate.make weights model in
+      match Optim.Binlp.solve problem with
+      | None -> failwith "Multiapp.optimize: infeasible"
+      | Some solution ->
+          let selected = Formulate.vars_of_solution model solution in
+          let config = T.apply_all T.base selected in
+          let per_app =
+            List.map (fun (app, _) -> (app, runtime_change app config)) workload
+          in
+          let mix_gain_percent =
+            List.fold_left2
+              (fun acc (_, share) (_, change) -> acc +. (share *. change))
+              0.0 workload per_app
+          in
+          { workload; selected; config; mix_gain_percent; per_app }
+
+    let print ppf o =
+      Format.fprintf ppf "  workload: %s@."
+        (String.concat " + "
+           (List.map
+              (fun (app, s) ->
+                Printf.sprintf "%.0f%% %s" (100.0 *. s)
+                  app.Apps.Registry.name)
+              o.workload));
+      Format.fprintf ppf "  reconfigured: %s@."
+        (String.concat ", "
+           (List.map (fun (k, v) -> k ^ "=" ^ v) (T.changed_params o.config)));
+      List.iter
+        (fun (app, change) ->
+          Format.fprintf ppf "    %-8s %+7.2f%%@." app.Apps.Registry.name
+            change)
+        o.per_app;
+      Format.fprintf ppf "  mix: %+7.2f%%@." o.mix_gain_percent
+  end
+end

@@ -1,0 +1,149 @@
+(* The first-class Target abstraction: everything the DSE stack needs
+   to know about one soft-core backend, bundled as a module.
+
+   Two views of the same backend:
+
+   - {!S} is the full interface the {!Stack} functor consumes —
+     parameter space, codec, validity couplings, resource model,
+     formulation structure and simulation; [Stack.Make (T)] instantiates
+     the paper's whole measure → formulate → solve → verify pipeline
+     for [T].
+   - {!probe} is the small first-class record the {!Engine} keys its
+     memo cache with: just enough to identify, validate, estimate and
+     simulate one configuration.  Keeping it a plain polymorphic record
+     (rather than a packed module) lets the engine stay monomorphic in
+     ['c] per call while serving every target from one cache. *)
+
+type 'c probe = {
+  target : string;
+      (** registry name; part of the engine's memo key, so two targets
+          sharing an encoding never collide *)
+  digest : 'c -> string;  (** content address of the canonical encoding *)
+  is_valid : 'c -> bool;
+  resources : 'c -> Synth.Resource.t;
+  device_luts : int;  (** the target device's capacity *)
+  device_brams : int;
+  simulate : Apps.Registry.t -> 'c -> float * Sim.Profiler.t;
+      (** cycle-accurate (seconds, profile) of one application run *)
+}
+
+module type S = sig
+  (** One soft-core backend, as consumed by [Stack.Make]. *)
+
+  type config
+  type group
+
+  type var = {
+    index : int;  (** 1-based, the paper's x_i subscript *)
+    group : group;
+    label : string;
+    apply : config -> config;
+  }
+
+  val name : string
+  (** Registry key, e.g. ["leon2"]; lowercase. *)
+
+  val description : string
+
+  (** {2 Configurations} *)
+
+  val base : config
+  (** The out-of-the-box configuration every delta is relative to. *)
+
+  val equal : config -> config -> bool
+  val validate : config -> (unit, string) result
+  val is_valid : config -> bool
+  val pp : config Fmt.t
+
+  val to_string : config -> string
+  (** Canonical encoding: always emits every field, so structurally
+      equal configurations encode (and digest) identically. *)
+
+  val of_string : string -> (config, string) result
+  val digest : config -> string
+
+  (** {2 Decision variables} *)
+
+  val vars : var list
+  (** All one-at-a-time perturbations, [index] running 1..[var_count]. *)
+
+  val var_count : int
+  val var : int -> var
+  (** @raise Invalid_argument when out of 1..[var_count]. *)
+
+  val groups : group list
+  val group_members : group -> var list
+  val group_to_string : group -> string
+  val apply_all : config -> var list -> config
+
+  val quick_dims : group list
+  (** A small, runtime-sensitive subspace for scaled-down studies and
+      smoke runs (the LEON2 instance uses the paper's Section 5 dcache
+      geometry dims). *)
+
+  val reference_config : var -> config
+  (** The configuration a variable's marginal cost is measured against:
+      [base] for most variables; coupled variables (e.g. replacement
+      policies that need associativity) use the cheapest configuration
+      on which they are structurally valid. *)
+
+  (** {2 Formulation structure} *)
+
+  val couplings : (int * int list) list
+  (** Validity couplings [(antecedent, consequents)]: selecting the
+      antecedent variable requires selecting at least one consequent
+      ([x_a <= sum x_c] in the BINLP). *)
+
+  val products : ((int * float) list * int list) list
+  (** Nonlinear resource terms, one per cache: a factor
+      [(1 + sum coeff_i x_i)] over the ways variables (with explicit
+      multipliers) times the linear combination of the way-size
+      variables' deltas.  Variables in no product's size list
+      contribute linearly. *)
+
+  (** {2 Resources and device} *)
+
+  val resources : config -> Synth.Resource.t
+  (** @raise Invalid_argument on invalid configurations. *)
+
+  val feasible : config -> bool
+  (** Valid and fits the target device. *)
+
+  val device_luts : int
+  val device_brams : int
+
+  (** {2 Heuristic-search hooks} *)
+
+  val random_config : Sim.Rng.t -> config
+  (** A uniformly random structurally-valid configuration. *)
+
+  val group_options : group -> (config -> config) list
+  (** All alternative values of one parameter group, as transformers of
+      the current configuration (including "revert to base"). *)
+
+  val statically_equivalent : Apps.Features.t -> config -> config -> bool
+  (** Is the candidate provably runtime-identical to the current
+      configuration by a static argument over the application's
+      features?  Used to prune coordinate-descent builds. *)
+
+  (** {2 Reporting} *)
+
+  val changed_params : config -> (string * string) list
+  (** Human-readable (parameter, value) pairs where a configuration
+      differs from [base]. *)
+
+  val sweep_configs : config list
+  (** The target's scaled-down exhaustive geometry sweep (the LEON2
+      instance: the paper's 28 dcache ways x way-size points). *)
+
+  val describe_sweep_point : config -> string
+  (** Short label of a sweep point, e.g. ["2x16KB"]. *)
+
+  (** {2 Simulation} *)
+
+  val run_app : ?config:config -> Apps.Registry.t -> Sim.Machine.result
+  val run_program : ?mem_size:int -> config -> Isa.Program.t -> Sim.Machine.result
+
+  val probe : config probe
+  (** This target's engine probe; [probe.target = name]. *)
+end

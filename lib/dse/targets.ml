@@ -1,0 +1,20 @@
+(* The target registry: every soft-core backend the DSE stack can
+   drive, by name.  CLIs resolve their [--target] flag here; the
+   [@targets] test alias iterates [all] so a new backend is picked up
+   by the cross-target pipeline checks the moment it is registered. *)
+
+let all : (module Target.S) list =
+  [ (module Target_leon2); (module Target_microblaze) ]
+
+let names = List.map (fun (module T : Target.S) -> T.name) all
+
+let find name =
+  List.find_opt (fun (module T : Target.S) -> T.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some t -> t
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Targets.find_exn: unknown target %S (known: %s)" name
+           (String.concat ", " names))

@@ -359,6 +359,37 @@ let config =
 
 let print_config = Arch.Codec.to_string
 
+let mb_replacement ways =
+  match ways with
+  | 1 -> G.return Arch.Config.Random
+  | _ -> G.oneofl [ Arch.Config.Random; Arch.Config.Lru ]
+
+let mb_config =
+  let* icache_kb = G.oneofl Arch.Mb_config.valid_way_kbs in
+  let* icache_line = G.oneofl Arch.Mb_config.valid_line_words in
+  let* ways = G.oneofl Arch.Mb_config.valid_dcache_ways in
+  let* way_kb = G.oneofl Arch.Mb_config.valid_way_kbs in
+  let* line_words = G.oneofl Arch.Mb_config.valid_line_words in
+  let* replacement = mb_replacement ways in
+  let* barrel_shifter = G.bool in
+  let* multiplier =
+    G.oneofl
+      [ Arch.Mb_config.Mb_mul_none; Arch.Mb_config.Mb_mul32;
+        Arch.Mb_config.Mb_mul64 ]
+  in
+  let* divider = G.bool in
+  G.return
+    {
+      Arch.Mb_config.icache =
+        { Arch.Mb_config.way_kb = icache_kb; line_words = icache_line };
+      dcache = { Arch.Config.ways; way_kb; line_words; replacement };
+      barrel_shifter;
+      multiplier;
+      divider;
+    }
+
+let print_mb_config = Arch.Mb_codec.to_string
+
 (* ------------------------------------------------------------------ *)
 (* Small SOS1 binary programs for the exact solver                     *)
 (* ------------------------------------------------------------------ *)

@@ -34,6 +34,12 @@ val config : Arch.Config.t QCheck2.Gen.t
 
 val print_config : Arch.Config.t -> string
 
+val mb_config : Arch.Mb_config.t QCheck2.Gen.t
+(** Uniform draw over the MicroBlaze-like structural space; always
+    passes {!Arch.Mb_config.validate}. *)
+
+val print_mb_config : Arch.Mb_config.t -> string
+
 val binlp_problem : Optim.Binlp.problem QCheck2.Gen.t
 (** Small instances (at most 6 variables, 2 SOS1 groups, 3
     constraints, product terms included) with half-integer

@@ -213,6 +213,45 @@ let codec_roundtrip =
           true);
     }
 
+let mb_codec_roundtrip =
+  T
+    {
+      name = "mb-codec-roundtrip";
+      doc =
+        "Arch.Mb_codec print/parse/digest round-trips; duplicates and stray \
+         commas are rejected";
+      gen = Gen.mb_config;
+      print = Gen.print_mb_config;
+      prop =
+        (fun c ->
+          (match Arch.Mb_config.validate c with
+          | Ok () -> ()
+          | Error m -> T2.fail_reportf "generator emitted invalid config: %s" m);
+          let s = Arch.Mb_codec.to_string c in
+          (match Arch.Mb_codec.of_string s with
+          | Error m -> T2.fail_reportf "of_string rejected %S: %s" s m
+          | Ok c' ->
+              if not (Arch.Mb_config.equal c c') then
+                T2.fail_reportf "round-trip changed the config: %S -> %S" s
+                  (Arch.Mb_codec.to_string c');
+              if Arch.Mb_codec.digest c <> Arch.Mb_codec.digest c' then
+                T2.fail_reportf "digest differs across a round-trip of %S" s);
+          (match Arch.Mb_codec.of_string (s ^ ",") with
+          | Ok c' when Arch.Mb_config.equal c c' -> ()
+          | Ok _ -> T2.fail_reportf "trailing comma changed the config: %S" s
+          | Error m ->
+              T2.fail_reportf "single trailing comma rejected on %S: %s" s m);
+          (match Arch.Mb_codec.of_string (s ^ ",,") with
+          | Error _ -> ()
+          | Ok _ -> T2.fail_reportf "double trailing comma accepted on %S" s);
+          let first_field = String.sub s 0 (String.index s ',') in
+          (match Arch.Mb_codec.of_string (s ^ "," ^ first_field) with
+          | Error _ -> ()
+          | Ok _ ->
+              T2.fail_reportf "duplicate field %S accepted on %S" first_field s);
+          true);
+    }
+
 let binlp_exact =
   T
     {
@@ -305,6 +344,7 @@ let all =
     optimize_preserves;
     lint_sound;
     codec_roundtrip;
+    mb_codec_roundtrip;
     binlp_exact;
     json_roundtrip;
     pretty_parse;

@@ -51,6 +51,10 @@ val codec_roundtrip : t
 (** {!Arch.Codec} print/parse/digest identity, plus rejection of
     duplicate keys and stray commas. *)
 
+val mb_codec_roundtrip : t
+(** {!Arch.Mb_codec} print/parse/digest identity for the MicroBlaze
+    target, with the same duplicate/stray-comma rejections. *)
+
 val binlp_exact : t
 (** {!Optim.Binlp.solve} against {!Optim.Binlp.brute_force} on small
     SOS1 instances, product-form constraints included. *)

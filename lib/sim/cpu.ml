@@ -38,11 +38,12 @@ type t = {
   interlock : int;        (* load-delay interlock cycles *)
   mul_stall : int;
   div_stall : int;
+  shift_stall : int;      (* extra cycles per shift (no barrel shifter) *)
 }
 
 let trap_overhead = 6
 
-let create config prog ~mem_size =
+let create ?(shift_stall = 0) config prog ~mem_size =
   (match Arch.Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Cpu.create: " ^ msg));
@@ -85,6 +86,7 @@ let create config prog ~mem_size =
       interlock = iu.load_delay - 1;
       mul_stall = Funit.mul_latency iu.multiplier - 1;
       div_stall = Funit.div_latency iu.divider - 1;
+      shift_stall;
     }
   in
   Memory.load_image t.mem ~at:Isa.Program.data_base prog.Isa.Program.data;
@@ -249,6 +251,11 @@ let step t =
         let a = read_reg t rs1 and b = operand t op2 in
         let res = alu_result t op a b in
         if cc then set_icc_arith t op a b res;
+        (if t.shift_stall > 0 then
+           match op with
+           | Isa.Insn.Sll | Isa.Insn.Srl | Isa.Insn.Sra ->
+               t.acc_cycles <- t.acc_cycles + t.shift_stall
+           | _ -> ());
         write_reg t rd res
     | Isa.Insn.Sethi { rd; imm } -> write_reg t rd ((imm lsl 11) land mask32)
     | Isa.Insn.Mul { signed; cc; rd; rs1; op2 } ->

@@ -19,9 +19,12 @@ exception Error of string
 (** Raised on malformed execution: bad program counter, division by
     zero, memory faults, or exceeding the step budget. *)
 
-val create : Arch.Config.t -> Isa.Program.t -> mem_size:int -> t
+val create : ?shift_stall:int -> Arch.Config.t -> Isa.Program.t -> mem_size:int -> t
 (** Builds a machine, loads the program's data image and points the
-    stack pointer at the top of memory.
+    stack pointer at the top of memory.  [shift_stall] (default 0)
+    charges that many extra cycles on every shift instruction — cores
+    without a barrel shifter (e.g. the MicroBlaze-like target) iterate
+    shifts instead of resolving them in one cycle.
     @raise Invalid_argument if the configuration is invalid. *)
 
 val reinit : t -> unit

@@ -33,8 +33,8 @@ let cycles_attr (p : Profiler.t) =
     ("instructions", Obs.Json.Int p.Profiler.instructions);
   ]
 
-let run ?(mem_size = default_mem_size) ?(reps = 1) config prog =
-  let cpu = Cpu.create config prog ~mem_size in
+let run ?(mem_size = default_mem_size) ?(reps = 1) ?shift_stall config prog =
+  let cpu = Cpu.create ?shift_stall config prog ~mem_size in
   let cold =
     Obs.Span.with_span ~cat:"sim" "sim.cold_epoch" (fun sp ->
         Cpu.run cpu;

@@ -21,8 +21,15 @@ val clock_hz : float
     seconds scale (LEON2 on a VirtexE ran at 25 MHz). *)
 
 val run :
-  ?mem_size:int -> ?reps:int -> Arch.Config.t -> Isa.Program.t -> result
-(** @raise Cpu.Error on execution errors
+  ?mem_size:int ->
+  ?reps:int ->
+  ?shift_stall:int ->
+  Arch.Config.t ->
+  Isa.Program.t ->
+  result
+(** [shift_stall] is forwarded to {!Cpu.create} (default 0: barrel
+    shifter present, as on LEON2).
+    @raise Cpu.Error on execution errors
     @raise Failure if cold and warm checksums disagree. *)
 
 val seconds : result -> float

@@ -1,0 +1,31 @@
+(* Calibrated LUT/BRAM constants for the MicroBlaze-like core.
+
+   The core is far leaner than LEON2 — a 3-stage scalar pipeline with
+   no register windows — and targets a correspondingly smaller device
+   (a quarter of the LEON2 part), so area trade-offs stay meaningful:
+   the largest cache geometries in the decision space do not fit. *)
+
+let device_luts = 9_600
+let device_brams = 72
+
+let core_luts = 1850
+let barrel_shifter_luts = 260
+
+let multiplier_luts = function
+  | Arch.Mb_config.Mb_mul_none -> 0
+  | Arch.Mb_config.Mb_mul32 -> 340
+  | Arch.Mb_config.Mb_mul64 -> 640
+
+let divider_luts = 410
+let icache_ctrl_luts = 380
+let dcache_ctrl_luts = 450
+let cache_way_luts = 70
+let cache_kb_luts = 6
+let cache_line8_luts = 180
+let lru_luts = 110
+let core_brams = 4
+
+(* BRAM geometry is a property of the FPGA family, not the core: reuse
+   the LEON2 per-way data/tag block counts. *)
+let cache_way_data_brams = Costs.cache_way_data_brams
+let cache_way_tag_brams = Costs.cache_way_tag_brams

@@ -1,0 +1,20 @@
+(** Calibrated area constants for the MicroBlaze-like core and its
+    (smaller) target device.  Counterpart of {!Costs}. *)
+
+val device_luts : int
+val device_brams : int
+
+val core_luts : int
+val barrel_shifter_luts : int
+val multiplier_luts : Arch.Mb_config.multiplier -> int
+val divider_luts : int
+val icache_ctrl_luts : int
+val dcache_ctrl_luts : int
+val cache_way_luts : int
+val cache_kb_luts : int
+val cache_line8_luts : int
+val lru_luts : int
+val core_brams : int
+
+val cache_way_data_brams : way_kb:int -> int
+val cache_way_tag_brams : way_kb:int -> line_words:int -> int

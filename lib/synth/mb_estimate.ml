@@ -1,0 +1,57 @@
+(* Closed-form resource totals for the MicroBlaze-like core, built on
+   the Mb_costs constants the same way Estimate is built on Costs. *)
+
+let cache_way_brams ~way_kb ~line_words =
+  Mb_costs.cache_way_data_brams ~way_kb
+  + Mb_costs.cache_way_tag_brams ~way_kb ~line_words
+
+let icache (c : Arch.Mb_config.icache) =
+  let luts =
+    Mb_costs.icache_ctrl_luts + Mb_costs.cache_way_luts
+    + (Mb_costs.cache_kb_luts * c.way_kb)
+    + if c.line_words = 8 then Mb_costs.cache_line8_luts else 0
+  in
+  let brams =
+    cache_way_brams ~way_kb:c.way_kb ~line_words:c.line_words
+  in
+  { Resource.luts; brams }
+
+let dcache (c : Arch.Config.cache) =
+  let luts =
+    Mb_costs.dcache_ctrl_luts
+    + (Mb_costs.cache_way_luts * c.ways)
+    + (Mb_costs.cache_kb_luts * c.way_kb)
+    + (if c.line_words = 8 then Mb_costs.cache_line8_luts else 0)
+    + (match c.replacement with
+      | Arch.Config.Random -> 0
+      | Arch.Config.Lru -> Mb_costs.lru_luts
+      | Arch.Config.Lrr -> invalid_arg "Mb_estimate.dcache: LRR")
+  in
+  let brams =
+    c.ways * cache_way_brams ~way_kb:c.way_kb ~line_words:c.line_words
+  in
+  { Resource.luts; brams }
+
+let config (t : Arch.Mb_config.t) =
+  (match Arch.Mb_config.validate t with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Mb_estimate.config: " ^ m));
+  let core_luts =
+    Mb_costs.core_luts
+    + Mb_costs.multiplier_luts t.multiplier
+    + (if t.barrel_shifter then Mb_costs.barrel_shifter_luts else 0)
+    + if t.divider then Mb_costs.divider_luts else 0
+  in
+  Resource.sum
+    [
+      { Resource.luts = core_luts; brams = Mb_costs.core_brams };
+      icache t.icache;
+      dcache t.dcache;
+    ]
+
+let base = config Arch.Mb_config.base
+
+let fits (r : Resource.t) =
+  r.luts <= Mb_costs.device_luts && r.brams <= Mb_costs.device_brams
+
+let feasible t = Arch.Mb_config.is_valid t && fits (config t)

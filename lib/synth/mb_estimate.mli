@@ -1,0 +1,15 @@
+(** Closed-form resource estimates for MicroBlaze-like configurations,
+    the counterpart of {!Estimate}.  Feasibility is judged against the
+    smaller {!Mb_costs} device, not the LEON2 {!Device}. *)
+
+val config : Arch.Mb_config.t -> Resource.t
+(** @raise Invalid_argument on invalid configurations. *)
+
+val base : Resource.t
+
+val fits : Resource.t -> bool
+(** Within the MicroBlaze device budget
+    ({!Mb_costs.device_luts}/{!Mb_costs.device_brams}). *)
+
+val feasible : Arch.Mb_config.t -> bool
+(** Valid and fits the device. *)

@@ -1,0 +1,41 @@
+(* @targets alias: run a fig-2-style study — quick-dims one-at-a-time
+   model, BINLP solve, verification build, exhaustive geometry sweep —
+   on EVERY registered target at a tiny budget, all through the shared
+   functorized stack.  A backend that registers but cannot complete
+   the paper's pipeline fails here, not in a user's hands. *)
+
+let () =
+  let app = Apps.Registry.arith in
+  List.iter
+    (fun (module T : Dse.Target.S) ->
+      let module S = Dse.Stack.Make (T) in
+      let outcome =
+        S.Optimizer.run ~dims:T.quick_dims ~weights:Dse.Cost.runtime_weights
+          app
+      in
+      if not (T.is_valid outcome.S.Optimizer.config) then (
+        Printf.eprintf "%s: optimizer recommended an invalid configuration\n"
+          T.name;
+        exit 1);
+      if not (T.feasible outcome.S.Optimizer.config) then (
+        Printf.eprintf "%s: optimizer recommended an unfit configuration\n"
+          T.name;
+        exit 1);
+      let actual = outcome.S.Optimizer.actual.Dse.Cost.seconds in
+      if not (actual > 0.0) then (
+        Printf.eprintf "%s: non-positive measured runtime\n" T.name;
+        exit 1);
+      let points = S.Exhaustive.geometry_sweep app in
+      let feasible = S.Exhaustive.feasible_points points in
+      if feasible = [] then (
+        Printf.eprintf "%s: no feasible sweep geometry\n" T.name;
+        exit 1);
+      let best = S.Exhaustive.best_runtime points in
+      Printf.printf "%-12s %s -> %s, %.3fs (sweep best %s, %d/%d feasible)\n"
+        T.name app.Apps.Registry.name
+        (T.to_string outcome.S.Optimizer.config)
+        actual
+        (T.describe_sweep_point best.S.Exhaustive.config)
+        (List.length feasible) (List.length points))
+    Dse.Targets.all;
+  print_endline "targets smoke: ok"

@@ -1,0 +1,199 @@
+(* Target-abstraction laws, checked uniformly over every registered
+   backend, plus two regressions the refactor must hold: the engine's
+   memo cache keys on target identity (two targets sharing an encoding
+   never collide), and the MicroBlaze backend runs the full measure ->
+   formulate -> solve -> verify pipeline through the shared
+   functorized stack. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- generic laws, one instance per registered target --- *)
+
+let test_codec_roundtrip (module T : Dse.Target.S) () =
+  (* A representative slice of the space: the canonical base, the
+     exhaustive-sweep geometries, every one-at-a-time perturbation
+     that is valid on its own, and a seeded random sample. *)
+  let one_at_a_time = List.map (fun v -> v.T.apply T.base) T.vars in
+  let rng = Sim.Rng.create ~seed:0x7A46E7 in
+  let random = List.init 32 (fun _ -> T.random_config rng) in
+  let configs =
+    List.filter T.is_valid
+      ((T.base :: T.sweep_configs) @ one_at_a_time @ random)
+  in
+  check_bool "slice is non-trivial" true (List.length configs > 10);
+  List.iter
+    (fun c ->
+      let s = T.to_string c in
+      match T.of_string s with
+      | Error m -> Alcotest.failf "%s: of_string rejected %S: %s" T.name s m
+      | Ok c' ->
+          check_bool (Printf.sprintf "%s round-trip of %s" T.name s) true
+            (T.equal c c');
+          check_string
+            (Printf.sprintf "%s digest stable across round-trip of %s" T.name s)
+            (Digest.to_hex (T.digest c))
+            (Digest.to_hex (T.digest c')))
+    configs
+
+let test_couplings (module T : Dse.Target.S) () =
+  check_bool (T.name ^ " declares couplings") true (T.couplings <> []);
+  List.iter
+    (fun (antecedent, consequents) ->
+      let a = T.var antecedent in
+      check_bool
+        (Printf.sprintf "%s: x%d alone on base is invalid" T.name antecedent)
+        false
+        (T.is_valid (a.T.apply T.base));
+      let c = T.var (List.hd consequents) in
+      check_bool
+        (Printf.sprintf "%s: x%d with x%d is valid" T.name antecedent
+           c.T.index)
+        true
+        (T.is_valid (T.apply_all T.base [ c; a ])))
+    T.couplings
+
+let test_base_laws (module T : Dse.Target.S) () =
+  check_bool (T.name ^ " base is valid") true (T.is_valid T.base);
+  check_bool (T.name ^ " base fits the device") true (T.feasible T.base);
+  check_int
+    (T.name ^ " var covers 1..var_count")
+    T.var_count
+    (List.length T.vars);
+  List.iteri
+    (fun i v -> check_int (T.name ^ " vars are 1-based, ordered") (i + 1) v.T.index)
+    T.vars
+
+(* The content address of the canonical base encoding, pinned: a codec
+   or default change that silently shifts it would invalidate every
+   persisted engine key for the target. *)
+let test_digest_pinned () =
+  let pinned =
+    [
+      ("leon2", "f9126793df8d7adf95047e28d3299d46");
+      ("microblaze", "41fa7f045d0497e8b50fad6edb04f500");
+    ]
+  in
+  List.iter
+    (fun (module T : Dse.Target.S) ->
+      match List.assoc_opt T.name pinned with
+      | None -> Alcotest.failf "no pinned base digest for target %s" T.name
+      | Some hex ->
+          check_string
+            (T.name ^ " base digest")
+            hex
+            (Digest.to_hex (T.digest T.base)))
+    Dse.Targets.all
+
+(* --- registry --- *)
+
+let test_registry () =
+  check_bool "leon2 registered" true (Dse.Targets.find "leon2" <> None);
+  check_bool "microblaze registered" true
+    (Dse.Targets.find "microblaze" <> None);
+  check_bool "unknown target rejected" true (Dse.Targets.find "mips" = None);
+  let names = Dse.Targets.names in
+  check_int "names match registry" (List.length Dse.Targets.all)
+    (List.length names);
+  check_bool "names are distinct" true
+    (List.length (List.sort_uniq compare names) = List.length names)
+
+(* --- engine memo keys include target identity --- *)
+
+(* Two probes over the same configuration type and the same encoding,
+   differing only in the target name: the second must MISS (compute),
+   not reuse the first's entry, while a repeat under either name hits. *)
+let test_engine_target_collision () =
+  let engine = Dse.Engine.create () in
+  let app = Apps.Registry.arith in
+  let config = Arch.Config.base in
+  let counting name counter =
+    let p = Dse.Target_leon2.probe in
+    {
+      p with
+      Dse.Target.target = name;
+      simulate =
+        (fun app c ->
+          incr counter;
+          p.Dse.Target.simulate app c);
+    }
+  in
+  let na = ref 0 and nb = ref 0 in
+  let pa = counting "alpha" na and pb = counting "beta" nb in
+  let cost_a = Dse.Engine.eval_on engine pa app config in
+  let cost_b = Dse.Engine.eval_on engine pb app config in
+  check_int "alpha computed once" 1 !na;
+  check_int "beta computed despite identical digest" 1 !nb;
+  check_bool "same simulation, same cost" true (cost_a = cost_b);
+  ignore (Dse.Engine.eval_on engine pa app config);
+  ignore (Dse.Engine.eval_on engine pb app config);
+  check_int "alpha repeat is a hit" 1 !na;
+  check_int "beta repeat is a hit" 1 !nb
+
+(* --- the second backend runs the full shared pipeline --- *)
+
+module MB = Dse.Stack.Make (Dse.Target_microblaze)
+
+let test_microblaze_pipeline () =
+  let module T = Dse.Target_microblaze in
+  let model = MB.Measure.build ~dims:T.quick_dims Apps.Registry.arith in
+  check_bool "model has one row per quick-dim member" true
+    (List.length model.MB.Measure.rows > 0);
+  let o = MB.Optimizer.run_with_model ~weights:Dse.Cost.runtime_weights model in
+  check_bool "recommended configuration is valid" true
+    (T.is_valid o.MB.Optimizer.config);
+  check_bool "recommended configuration fits the device" true
+    (T.feasible o.MB.Optimizer.config);
+  check_bool "actually-measured runtime is positive" true
+    (o.MB.Optimizer.actual.Dse.Cost.seconds > 0.0);
+  check_bool "runtime objective never recommends a slowdown" true
+    (o.MB.Optimizer.actual.Dse.Cost.seconds
+    <= model.MB.Measure.base.Dse.Cost.seconds +. 1e-9)
+
+let test_microblaze_sweep () =
+  let points = MB.Exhaustive.geometry_sweep Apps.Registry.arith in
+  check_int "18 dcache geometries" 18 (List.length points);
+  let feasible = MB.Exhaustive.feasible_points points in
+  check_bool "some geometries fit the small device" true (feasible <> []);
+  check_bool "some geometries exceed the small device" true
+    (List.length feasible < List.length points);
+  let best = MB.Exhaustive.best_runtime points in
+  match best.MB.Exhaustive.cost with
+  | None -> Alcotest.fail "best point has no cost"
+  | Some c -> check_bool "best runtime positive" true (c.Dse.Cost.seconds > 0.0)
+
+(* --- suite --- *)
+
+let per_target (module T : Dse.Target.S) =
+  ( "laws:" ^ T.name,
+    [
+      Alcotest.test_case "codec round-trip + digest" `Quick
+        (test_codec_roundtrip (module T));
+      Alcotest.test_case "coupling rejection" `Quick
+        (test_couplings (module T));
+      Alcotest.test_case "base + parameter space" `Quick
+        (test_base_laws (module T));
+    ] )
+
+let () =
+  Alcotest.run "target"
+    (List.map per_target Dse.Targets.all
+    @ [
+        ( "registry",
+          [
+            Alcotest.test_case "lookup" `Quick test_registry;
+            Alcotest.test_case "pinned base digests" `Quick test_digest_pinned;
+          ] );
+        ( "engine",
+          [
+            Alcotest.test_case "memo keys include target" `Quick
+              test_engine_target_collision;
+          ] );
+        ( "microblaze",
+          [
+            Alcotest.test_case "full pipeline on shared stack" `Quick
+              test_microblaze_pipeline;
+            Alcotest.test_case "geometry sweep" `Quick test_microblaze_sweep;
+          ] );
+      ])
