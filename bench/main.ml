@@ -158,6 +158,8 @@ let bench_json name ~wall_ns ~(before : Obs.Metrics.snapshot)
       ("solver_nodes", Obs.Json.Int (delta "binlp.nodes"));
       ("solver_incumbents", Obs.Json.Int (delta "binlp.incumbents"));
       ("builds", Obs.Json.Int (delta "dse.builds"));
+      ("bounds_computed", Obs.Json.Int (delta "dse.bounds.computed"));
+      ("bounds_pruned", Obs.Json.Int (delta "dse.bounds.pruned"));
       ("engine_hits", Obs.Json.Int (delta "dse.engine.hits"));
       ("engine_misses", Obs.Json.Int (delta "dse.engine.misses"));
       ("engine_inflight_dedup", Obs.Json.Int (delta "dse.engine.inflight_dedup"));

@@ -59,6 +59,17 @@ let static_report app =
   let ft = Apps.Features.of_app app in
   pr "  static: @[<v>%a@]@." Apps.Features.pp ft
 
+(* Static [best, worst] runtime bounds on the selected target's base
+   configuration, with the worst/best tightness ratio. *)
+let bounds_report (module T : Dse.Target.S) app =
+  let lo, hi = Dse.Bounds.app_bounds (T.cycle_model T.base) app in
+  let tight =
+    match Dse.Bounds.tightness ~lo ~hi with
+    | Some r -> Printf.sprintf "x%.2f" r
+    | None -> "unbounded"
+  in
+  pr "  bounds (%s base): [%.3f s, %.3f s]  tightness %s@." T.name lo hi tight
+
 let dynamic_report app =
   let base_r = Apps.Registry.run app in
   let p = base_r.Sim.Machine.profile in
@@ -148,6 +159,7 @@ let run list_targets_flag target lint werror static names obs =
             (Bytes.length prog.Isa.Program.data)
             app.Apps.Registry.reps;
           static_report app;
+          bounds_report (module T) app;
           if not static then
             if T.name = "leon2" then dynamic_report app
             else target_dynamic_report (module T) app;

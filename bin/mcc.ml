@@ -10,6 +10,7 @@
      mcc prog.mc --O2 --run      ... plus dataflow CCP and DCE
      mcc prog.mc --lint          static diagnostics only
      mcc prog.mc --lint --Werror ... failing on warnings too
+     mcc prog.mc --bounds        static [best, worst] cycle bounds
      mcc prog.mc --run -c dc=1x32x4xrnd,mul=m32x32
                                  simulate on a tuned configuration     *)
 
@@ -20,6 +21,7 @@ open Cmdliner
 let exit_parse = 2
 let exit_check = 3
 let exit_lint = 4
+let exit_trace = 5
 
 let read_file path =
   let ic = open_in_bin path in
@@ -42,8 +44,10 @@ let parse_and_check path =
 
 let load ~level path =
   if Filename.check_suffix path ".img" then
-    Isa.Encode.decode_program (Bytes.of_string (read_file path))
-  else Minic.Codegen.compile ~level (parse_and_check path)
+    (Isa.Encode.decode_program (Bytes.of_string (read_file path)), None)
+  else
+    let ast = parse_and_check path in
+    (Minic.Codegen.compile ~level ast, Some ast)
 
 let lint ~werror path =
   if Filename.check_suffix path ".img" then begin
@@ -67,7 +71,7 @@ let lint ~werror path =
   if Minic.Lint.fails ~werror findings then exit exit_lint
 
 let run target source output disasm run stats optimize level do_lint werror
-    trace config obs =
+    bounds trace config obs =
   Obs_cli.with_reporting obs "mcc" @@ fun () ->
   let (module T : Dse.Target.S) = target in
   let config =
@@ -85,7 +89,7 @@ let run target source output disasm run stats optimize level do_lint werror
     let level =
       match level with Some l -> l | None -> if optimize then 1 else 0
     in
-    let prog = load ~level source in
+    let prog, ast = load ~level source in
     Format.printf "%s: %d instructions, %d bytes of data, %d symbols@." source
       (Array.length prog.Isa.Program.code)
       (Bytes.length prog.Isa.Program.data)
@@ -100,18 +104,49 @@ let run target source output disasm run stats optimize level do_lint werror
           (fun () -> output_bytes oc image);
         Format.printf "wrote %s (%d bytes)@." path (Bytes.length image));
     if disasm then Format.printf "%a@." Isa.Program.pp prog;
+    if bounds then begin
+      match ast with
+      | None ->
+          Logs.err (fun m ->
+              m "%s: --bounds needs minic source, not a binary image" source);
+          exit exit_parse
+      | Some ast ->
+          let s = Minic.Bounds.summary ~level ast in
+          let cm = T.cycle_model config in
+          let clo, chi = Dse.Bounds.cycles cm s in
+          let slo, shi = Dse.Bounds.seconds cm ~reps:1 s in
+          Format.printf "static bounds (%s, %s):@." T.name
+            (T.to_string config);
+          Format.printf "  cycles   [%.0f, %.0f]" clo chi;
+          (match Dse.Bounds.tightness ~lo:clo ~hi:chi with
+          | Some r -> Format.printf "  (x%.2f)@." r
+          | None -> Format.printf "  (unbounded)@.");
+          Format.printf "  runtime  [%.9fs, %.9fs]@." slo shi;
+          Format.printf "  loops    %d (%d bounded), call depth %s@."
+            s.Minic.Bounds.loops s.Minic.Bounds.bounded_loops
+            (match s.Minic.Bounds.call_depth with
+            | Some d -> string_of_int d
+            | None -> "recursive")
+    end;
     (match trace with
     | None -> ()
     | Some n ->
+        if T.name <> "leon2" then begin
+          Logs.err (fun m ->
+              m
+                "--trace drives the LEON2 cycle model directly and is not \
+                 available for target %s"
+                T.name);
+          exit exit_trace
+        end;
         (* The instruction tracer drives the LEON2 Cpu model directly;
            recover the LEON2-typed configuration through the codec. *)
         (match Arch.Codec.of_string (T.to_string config) with
-        | Ok c when T.name = "leon2" ->
+        | Ok c ->
             let cpu = Sim.Cpu.create c prog ~mem_size:(1 lsl 20) in
             Sim.Trace.pp Format.std_formatter (Sim.Trace.run ~limit:n cpu)
-        | _ ->
-            Logs.err (fun m ->
-                m "--trace is only available for the leon2 target");
+        | Error msg ->
+            Logs.err (fun m -> m "--trace: %s" msg);
             exit 1));
     if run then begin
       (* run_program (backed by Machine.run rather than driving Cpu
@@ -168,7 +203,16 @@ let werror_arg =
     & info [ "Werror" ]
         ~doc:"With $(b,--lint): treat warnings as errors (notes stay notes).")
 
-let trace_arg = Arg.(value & opt (some int) None & info [ "trace" ] ~docv:"N" ~doc:"Trace the first $(docv) executed instructions with cycle deltas (leon2 target only).")
+let bounds_arg =
+  Arg.(
+    value & flag
+    & info [ "bounds" ]
+        ~doc:
+          "Print sound static [best-case, worst-case] cycle and runtime \
+           bounds for the selected target and configuration, with the \
+           tightness ratio worst/best.  Needs minic source.")
+
+let trace_arg = Arg.(value & opt (some int) None & info [ "trace" ] ~docv:"N" ~doc:"Trace the first $(docv) executed instructions with cycle deltas (leon2 target only; exits 5 elsewhere).")
 let config_arg = Arg.(value & opt (some string) None & info [ "c"; "config" ] ~docv:"CFG" ~doc:"Microarchitecture configuration string (see reconfigure's output), e.g. dc=1x32x4xrnd,mul=m32x32.")
 
 let target_conv =
@@ -198,6 +242,8 @@ let exits =
   :: Cmd.Exit.info exit_lint
        ~doc:
          "on lint findings: any error, or any warning under $(b,--Werror)."
+  :: Cmd.Exit.info exit_trace
+       ~doc:"when $(b,--trace) is requested on a target other than leon2."
   :: Cmd.Exit.defaults
 
 let cmd =
@@ -207,6 +253,6 @@ let cmd =
     Term.(
       const run $ target_arg $ source_arg $ output_arg $ disasm_arg $ run_arg
       $ stats_arg $ optimize_arg $ level_arg $ lint_arg $ werror_arg
-      $ trace_arg $ config_arg $ Obs_cli.term)
+      $ bounds_arg $ trace_arg $ config_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval cmd)

@@ -17,6 +17,8 @@ type t = {
   byte_array_bytes : int;
   mix : mix;
   max_loop_depth : int;
+  loops : int;
+  bounded_loops : int;
   call_depth : int option;
   stack_bytes : int option;
 }
@@ -132,6 +134,7 @@ let of_program (src : Minic.Ast.program) (prog : Isa.Program.t) =
       (0, 0) src.Minic.Ast.globals
   in
   let call_depth = call_depth src in
+  let bsum = Minic.Bounds.summary src in
   {
     code_bytes = 4 * Array.length prog.Isa.Program.code;
     data_bytes = Bytes.length prog.Isa.Program.data;
@@ -142,6 +145,8 @@ let of_program (src : Minic.Ast.program) (prog : Isa.Program.t) =
       List.fold_left
         (fun d (f : Minic.Ast.func) -> max d (loop_depth_block f.Minic.Ast.body))
         0 src.Minic.Ast.funcs;
+    loops = bsum.Minic.Bounds.loops;
+    bounded_loops = bsum.Minic.Bounds.bounded_loops;
     call_depth;
     stack_bytes = Option.map (fun d -> 96 * (d + 1)) call_depth;
   }
@@ -163,10 +168,12 @@ let pp ppf t =
      mix: %d insns = %d alu, %d mul, %d div, %d load, %d store, %d branch, \
      %d call/ret, %d other@,\
      max loop depth: %d@,\
+     loops: %d (%d statically bounded)@,\
      %a@]"
     t.code_bytes (code_resident_kb t) t.data_bytes t.word_array_bytes
     t.byte_array_bytes t.mix.total t.mix.alu t.mix.mul t.mix.div t.mix.load
-    t.mix.store t.mix.branch t.mix.call t.mix.other t.max_loop_depth
+    t.mix.store t.mix.branch t.mix.call t.mix.other t.max_loop_depth t.loops
+    t.bounded_loops
     (fun ppf -> function
       | Some d ->
           Format.fprintf ppf "call depth: %d (stack bound %d B)" d

@@ -28,6 +28,13 @@ type t = {
   byte_array_bytes : int;  (** footprint of byte arrays *)
   mix : mix;
   max_loop_depth : int;  (** deepest loop nest in any function *)
+  loops : int;
+      (** static loop count after level-0 optimization (what
+          {!Minic.Bounds} analyses) *)
+  bounded_loops : int;
+      (** of those, loops with a finite worst-case trip bound — when
+          [bounded_loops = loops] the whole program has a finite
+          static worst-case cycle bound *)
   call_depth : int option;
       (** deepest call nesting from [main] ([main] itself = 0), or
           [None] when the call graph has a reachable cycle *)

@@ -1,0 +1,153 @@
+(* Pricing {!Minic.Bounds} instruction-mix intervals for one concrete
+   microarchitecture configuration.
+
+   The per-class prices below mirror {!Sim.Cpu}'s accounting exactly:
+
+   - every instruction costs 1 base cycle;
+   - deterministic stalls (shift without a barrel shifter, multiply,
+     divide, the ICC-hold interlock on a compare-and-branch, slow
+     decode on control transfers, slow jump on call/return, the +1 of
+     a taken branch) are identical in both bounds;
+   - a load hits (data [load_extra = 1]) in the best case and pays a
+     full line fill plus the maximal load-delay interlock in the worst;
+   - a store's write-through cost ([store_extra = 1]) does not depend
+     on hit/miss at all;
+   - instruction fetches are all hits in the best case and all misses
+     in the worst;
+   - window spills/fills never fire in the best case (and provably
+     never fire when the maximal call depth fits the window file), and
+     every save/restore traps in the worst. *)
+
+let m_computed =
+  Obs.Metrics.Counter.v "dse.bounds.computed"
+    ~help:"static cycle-bound computations"
+
+let m_pruned =
+  Obs.Metrics.Counter.v "dse.bounds.pruned"
+    ~help:"simulations skipped because a static lower bound exceeded the cutoff"
+
+let m_violations =
+  Obs.Metrics.Counter.v "dse.bounds.violations"
+    ~help:"simulated runtimes observed outside their static bounds"
+
+type cycle_model = {
+  iline_fill : int;
+  dline_fill : int;
+  interlock : int;
+  shift_stall : int;
+  mul_stall : int;
+  div_stall : int;
+  icc_stall : int;
+  decode_extra : int;
+  jump_extra : int;
+  nwin : int;
+}
+
+let of_arch_config ?(shift_stall = 0) (c : Arch.Config.t) =
+  let iu = c.Arch.Config.iu in
+  {
+    iline_fill =
+      Sim.Memory.line_fill_cycles
+        ~line_words:c.Arch.Config.icache.Arch.Config.line_words;
+    dline_fill =
+      Sim.Memory.line_fill_cycles
+        ~line_words:c.Arch.Config.dcache.Arch.Config.line_words;
+    interlock = iu.Arch.Config.load_delay - 1;
+    shift_stall;
+    mul_stall = Sim.Funit.mul_latency iu.Arch.Config.multiplier - 1;
+    div_stall = Sim.Funit.div_latency iu.Arch.Config.divider - 1;
+    icc_stall = (if iu.Arch.Config.icc_hold then 1 else 0);
+    decode_extra = (if iu.Arch.Config.fast_decode then 0 else 1);
+    jump_extra = (if iu.Arch.Config.fast_jump then 0 else 1);
+    nwin = iu.Arch.Config.reg_windows;
+  }
+
+(* The simulator's window-trap costs: [Cpu] charges a 6-cycle trap
+   overhead plus a 16-register burst (stores for a spill, loads for a
+   fill). *)
+let trap_overhead = 6
+let window_regs = 16
+
+let cycles cm (s : Minic.Bounds.program_summary) =
+  let m = s.Minic.Bounds.mix in
+  (* A save at call depth d runs with 1 + d resident windows and
+     spills iff 1 + d = nwin - 1; with the deepest chain at most
+     nwin - 3 the window file never overflows (and, spills being the
+     only way to empty it, never underflows either). *)
+  let spill_free =
+    match s.Minic.Bounds.call_depth with
+    | Some d -> d <= cm.nwin - 3
+    | None -> false
+  in
+  (* Spill: 16 stores at the unconditional write-through cost.  Fill:
+     16 loads, each a potential line miss. *)
+  let spill_hi = if spill_free then 0 else trap_overhead + (window_regs * 2) in
+  let fill_hi =
+    if spill_free then 0
+    else trap_overhead + (window_regs * (2 + cm.dline_fill))
+  in
+  let lo_acc = ref 0.0 and hi_acc = ref 0.0 in
+  let charge (c : Minic.Bounds.cnt) ~lo ~hi =
+    lo_acc := !lo_acc +. (float_of_int c.Minic.Bounds.lo *. float_of_int lo);
+    hi_acc :=
+      !hi_acc
+      +.
+      if c.Minic.Bounds.hi = Minic.Bounds.unbounded then
+        if hi = 0 then 0.0 else infinity
+      else float_of_int c.Minic.Bounds.hi *. float_of_int hi
+  in
+  let exact c cost = charge c ~lo:cost ~hi:cost in
+  exact m.Minic.Bounds.alu 1;
+  exact m.Minic.Bounds.shift (1 + cm.shift_stall);
+  exact m.Minic.Bounds.mul (1 + cm.mul_stall);
+  exact m.Minic.Bounds.div (1 + cm.div_stall);
+  charge m.Minic.Bounds.load ~lo:2 ~hi:(2 + cm.dline_fill + cm.interlock);
+  exact m.Minic.Bounds.store 2;
+  exact m.Minic.Bounds.cbr_cmp (1 + cm.icc_stall + cm.decode_extra);
+  exact m.Minic.Bounds.cbr_mat (1 + cm.decode_extra);
+  exact m.Minic.Bounds.taken 1;
+  exact m.Minic.Bounds.ba (2 + cm.decode_extra);
+  exact m.Minic.Bounds.call (2 + cm.decode_extra + cm.jump_extra);
+  exact m.Minic.Bounds.jmpl (2 + cm.decode_extra + cm.jump_extra);
+  charge m.Minic.Bounds.save ~lo:1 ~hi:(1 + spill_hi);
+  charge m.Minic.Bounds.restore ~lo:1 ~hi:(1 + fill_hi);
+  exact m.Minic.Bounds.halt 1;
+  (* Worst case: every fetch misses the instruction cache. *)
+  let ins = Minic.Bounds.insns m in
+  hi_acc :=
+    !hi_acc
+    +.
+    if ins.Minic.Bounds.hi = Minic.Bounds.unbounded then infinity
+    else float_of_int ins.Minic.Bounds.hi *. float_of_int cm.iline_fill;
+  (!lo_acc, !hi_acc)
+
+let seconds cm ~reps s =
+  let lo, hi = cycles cm s in
+  let r = float_of_int reps in
+  (r *. lo /. Sim.Machine.clock_hz, r *. hi /. Sim.Machine.clock_hz)
+
+(* Per-app summaries are deterministic, so a racy double computation is
+   harmless; the lock only protects the table itself. *)
+let memo : (string, Minic.Bounds.program_summary) Hashtbl.t = Hashtbl.create 8
+let memo_mutex = Mutex.create ()
+
+let summary_of_app (app : Apps.Registry.t) =
+  Mutex.lock memo_mutex;
+  let cached = Hashtbl.find_opt memo app.Apps.Registry.name in
+  Mutex.unlock memo_mutex;
+  match cached with
+  | Some s -> s
+  | None ->
+      (* Level 0: {!Apps.Registry} compiles with [Codegen.compile]'s
+         default (no optimization). *)
+      let s = Minic.Bounds.summary app.Apps.Registry.source in
+      Mutex.lock memo_mutex;
+      Hashtbl.replace memo app.Apps.Registry.name s;
+      Mutex.unlock memo_mutex;
+      s
+
+let app_bounds cm (app : Apps.Registry.t) =
+  seconds cm ~reps:app.Apps.Registry.reps (summary_of_app app)
+
+let tightness ~lo ~hi =
+  if lo > 0.0 && hi < infinity then Some (hi /. lo) else None

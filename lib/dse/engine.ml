@@ -198,6 +198,46 @@ let eval_feasible_on ?noise t (probe : _ Target.probe) app config =
     | Unfit _ -> None
     | Pending -> assert false
 
+type admission =
+  | Infeasible
+  | Pruned of float * float
+  | Evaluated of Cost.t
+
+(* Bounds admission: before paying for a simulation, compare the
+   configuration's static lower runtime bound against the caller's
+   cutoff — the runtime above which the candidate provably cannot
+   matter (e.g. cannot beat a search's incumbent).  The cutoff is a
+   function of the candidate's resources so callers can fold resource
+   terms of their objective into it; it receives exactly the resource
+   estimate a full evaluation would report.  Pruned configurations are
+   never simulated and never cached (a later unbounded evaluation
+   computes them normally). *)
+let eval_bounded_on ?noise ~cutoff t (probe : _ Target.probe) app config =
+  let admit () =
+    match eval_feasible_on ?noise t probe app config with
+    | None -> Infeasible
+    | Some cost -> Evaluated cost
+  in
+  if not (probe.Target.is_valid config) then Infeasible
+  else
+    match probe.Target.static_bounds with
+    | None -> admit ()
+    | Some bounds_of ->
+        let resources, fits = noised_resources ?noise probe config in
+        if not fits then Infeasible
+        else
+          let limit = cutoff resources in
+          if limit = infinity then admit ()
+          else begin
+            let lo, hi = bounds_of app config in
+            Obs.Metrics.Counter.incr Bounds.m_computed;
+            if lo > limit then begin
+              Obs.Metrics.Counter.incr Bounds.m_pruned;
+              Pruned (lo, hi)
+            end
+            else admit ()
+          end
+
 (* Force lazily compiled programs before any pool fan-out: [Lazy] is
    not domain-safe. *)
 let force_programs apps =

@@ -79,6 +79,36 @@ val eval_feasible_on :
 (** [None] when the configuration is invalid per the probe or exceeds
     the probe's device budget. *)
 
+type admission =
+  | Infeasible  (** structurally invalid or exceeds the device *)
+  | Pruned of float * float
+      (** skipped without simulating: the static {e lower} runtime
+          bound already exceeds the caller's cutoff; carries the
+          [(lo, hi)] static bounds in seconds *)
+  | Evaluated of Cost.t  (** admitted and fully evaluated *)
+
+val eval_bounded_on :
+  ?noise:float ->
+  cutoff:(Synth.Resource.t -> float) ->
+  t ->
+  'c Target.probe ->
+  Apps.Registry.t ->
+  'c ->
+  admission
+(** {!eval_feasible_on} with a static-bounds admission gate.  When the
+    probe carries a [static_bounds] model and
+    [cutoff resources < infinity], the configuration's sound static
+    runtime bounds are computed first ([dse.bounds.computed]); a
+    candidate whose {e best-case} runtime strictly exceeds the cutoff
+    is provably dominated and returned as {!Pruned} without touching
+    the simulator ([dse.bounds.pruned]).  [cutoff] receives the same
+    (noised) resource estimate a full evaluation would report, so
+    callers can fold the resource share of their objective into the
+    runtime cutoff.  Returning [infinity] disables pruning for that
+    candidate; probes without [static_bounds] always evaluate.
+    Pruning is exact, not heuristic: searches driven through this path
+    select byte-identical winners, just with fewer simulations. *)
+
 val eval_all_on :
   ?noise:float -> t -> 'c Target.probe -> (Apps.Registry.t * 'c) list -> Cost.t list
 

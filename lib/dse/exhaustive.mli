@@ -25,5 +25,15 @@ val best_runtime : point list -> point
     then fewer LUTs (the paper's "simple sort").
     @raise Not_found if no point is feasible. *)
 
+val best_runtime_search : Apps.Registry.t -> Arch.Config.t list -> point
+(** {!sweep} + {!best_runtime} through the engine's static-bounds
+    admission gate: the candidate with the smallest static worst case
+    is simulated first and its actual runtime prunes every candidate
+    whose static best case is already slower ([dse.bounds.pruned]).
+    Selects exactly the point a full sweep would — pruned candidates
+    are provably strictly slower than the incumbent — with fewer
+    simulations.
+    @raise Not_found if no candidate is feasible. *)
+
 val best_weighted : Cost.weights -> base:Cost.t -> point list -> point
 (** Feasible point minimizing the weighted objective. *)

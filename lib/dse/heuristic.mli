@@ -19,12 +19,22 @@ type result = Leon2.S.Heuristic.result = {
   config : Arch.Config.t;
   cost : Cost.t;
   objective : float;     (** weighted objective vs the base *)
-  builds : int;          (** configurations measured *)
-  pruned : int;          (** candidates skipped by static arguments *)
+  builds : int;          (** configurations actually simulated *)
+  pruned : int;
+      (** candidates skipped without a simulation — by a static
+          feature argument or by the engine's static-bounds admission
+          gate ({!Engine.eval_bounded_on}); both are
+          trajectory-preserving, so the returned configuration is the
+          one an unpruned run selects *)
 }
 
 val random_search :
   ?seed:int -> builds:int -> weights:Cost.weights -> Apps.Registry.t -> result
+(** Samples until [builds] feasible candidates have been spent.  A
+    feasible draw whose static {e best-case} runtime already loses to
+    the incumbent consumes budget without simulating, so
+    [result.builds + result.pruned = builds] and the winner matches an
+    unpruned run's draw for draw. *)
 
 val coordinate_descent :
   ?max_sweeps:int ->

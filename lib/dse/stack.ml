@@ -25,7 +25,7 @@ let m_heuristic_builds =
 
 let m_heuristic_pruned =
   Obs.Metrics.Counter.v "heuristic.pruned"
-    ~help:"candidates skipped via static-feature arguments"
+    ~help:"candidates skipped without simulating (static arguments)"
 
 module Make (T : Target.S) = struct
   (* Device-relative percentages: identical to {!Synth.Resource}'s for
@@ -389,6 +389,22 @@ module Make (T : Target.S) = struct
           let actual =
             Engine.eval_on (Engine.default ()) T.probe model.Measure.app config
           in
+          (* Sanitizer, never a prune: the verification build is part
+             of the reported outcome, so it always runs; the static
+             bounds only cross-check it.  A violation means the bounds
+             analysis or the simulator is wrong. *)
+          (match T.probe.Target.static_bounds with
+          | None -> ()
+          | Some bounds_of ->
+              let lo, hi = bounds_of model.Measure.app config in
+              Obs.Metrics.Counter.incr Bounds.m_computed;
+              if actual.Cost.seconds < lo || actual.Cost.seconds > hi then begin
+                Obs.Metrics.Counter.incr Bounds.m_violations;
+                Format.eprintf
+                  "verify(%s/%s): runtime %.9fs outside static bounds [%.9f, \
+                   %.9f]@."
+                  T.name app actual.Cost.seconds lo hi
+              end);
           {
             model;
             weights;
@@ -476,6 +492,52 @@ module Make (T : Target.S) = struct
       argmin
         (fun c -> (Cost.objective weights (deltas ~base c), 0, 0))
         points
+
+    (* [sweep] + [best_runtime] with the engine's bounds-admission
+       gate: the candidate with the smallest static worst case is
+       simulated first, and its actual runtime prunes every candidate
+       whose static best case is already slower.  Pruned points have
+       [seconds >= lo > incumbent.seconds >= min seconds], so they can
+       neither win nor tie the lexicographic argmin: the selected
+       point is byte-identical to a full sweep's, with fewer
+       simulations. *)
+    let best_runtime_search app configs =
+      match T.probe.Target.static_bounds with
+      | None -> best_runtime (sweep app configs)
+      | Some bounds_of -> (
+          let engine = Engine.default () in
+          ignore (Lazy.force app.Apps.Registry.program);
+          let cands = List.filter T.feasible configs in
+          match cands with
+          | [] -> raise Not_found
+          | first :: rest ->
+              let static_hi config = snd (bounds_of app config) in
+              let seed, _ =
+                List.fold_left
+                  (fun (bc, bh) c ->
+                    let h = static_hi c in
+                    if h < bh then (c, h) else (bc, bh))
+                  (first, static_hi first)
+                  rest
+              in
+              let incumbent = Engine.eval_on engine T.probe app seed in
+              let cutoff (_ : Synth.Resource.t) = incumbent.Cost.seconds in
+              let points =
+                List.map
+                  (fun config ->
+                    if T.equal config seed then
+                      { config; cost = Some incumbent }
+                    else
+                      match
+                        Engine.eval_bounded_on engine ~cutoff T.probe app
+                          config
+                      with
+                      | Engine.Evaluated cost -> { config; cost = Some cost }
+                      | Engine.Infeasible | Engine.Pruned _ ->
+                          { config; cost = None })
+                  cands
+              in
+              best_runtime points)
   end
 
   module Heuristic = struct
@@ -490,6 +552,26 @@ module Make (T : Target.S) = struct
     let evaluate ~weights ~base app config =
       let cost = Engine.eval_on (Engine.default ()) T.probe app config in
       (cost, Cost.objective weights (deltas ~base cost))
+
+    (* The runtime above which a feasible candidate with resource
+       estimate [r] provably cannot reach an objective strictly below
+       [obj]: from [w1 rho + w2 (lambda + beta) < obj] with
+       [rho = 100 (s - b) / b].  The epsilon makes the cutoff strictly
+       conservative under floating-point rounding (prune less, never
+       more).  With [w1 <= 0] runtime does not constrain the objective
+       at all, so no candidate can be pruned on runtime bounds. *)
+    let objective_cutoff ~weights ~(base : Cost.t) obj (r : Synth.Resource.t) =
+      if weights.Cost.w1 <= 0.0 then infinity
+      else
+        let lambda = lut_percent r -. lut_percent base.Cost.resources in
+        let beta = bram_percent r -. bram_percent base.Cost.resources in
+        let s =
+          base.Cost.seconds
+          *. (1.0
+             +. (obj -. (weights.Cost.w2 *. (lambda +. beta)))
+                /. (100.0 *. weights.Cost.w1))
+        in
+        s +. (1e-9 *. (Float.abs s +. 1.0))
 
     let random_search ?(seed = 0x5EA7C4) ~builds ~weights app =
       if builds < 1 then
@@ -506,13 +588,29 @@ module Make (T : Target.S) = struct
       let base = Engine.eval_on engine T.probe app T.base in
       let best = ref (T.base, base, 0.0) in
       let spent = ref 0 in
+      let pruned = ref 0 in
+      (* Admission cutoff against the current incumbent: tightens as
+         the search improves. *)
+      let cutoff r =
+        let _, _, best_obj = !best in
+        objective_cutoff ~weights ~base best_obj r
+      in
       while !spent < builds do
         let config = T.random_config rng in
-        (* [eval_feasible_on] elaborates resources once for both the
-           feasibility check and the cost; infeasible draws are free. *)
-        match Engine.eval_feasible_on engine T.probe app config with
-        | None -> ()
-        | Some cost ->
+        (* The engine elaborates resources once for the feasibility
+           check, the bounds cutoff and the cost; infeasible draws are
+           free. *)
+        match Engine.eval_bounded_on engine ~cutoff T.probe app config with
+        | Engine.Infeasible -> ()
+        | Engine.Pruned _ ->
+            (* A feasible draw that provably cannot beat the
+               incumbent: it consumes budget exactly as the losing
+               build it replaces would, so the draw sequence and the
+               winner are unchanged — only the simulation count
+               drops. *)
+            incr spent;
+            incr pruned
+        | Engine.Evaluated cost ->
             incr spent;
             Obs.Metrics.Counter.incr m_heuristic_builds;
             let objective = Cost.objective weights (deltas ~base cost) in
@@ -520,7 +618,7 @@ module Make (T : Target.S) = struct
             if objective < best_obj then best := (config, cost, objective)
       done;
       let config, cost, objective = !best in
-      { config; cost; objective; builds; pruned = 0 }
+      { config; cost; objective; builds = builds - !pruned; pruned = !pruned }
 
     (* Skipping is trajectory-preserving: a pruned candidate has the
        exact runtime of the incumbent and no better LUT or BRAM count,
@@ -542,11 +640,6 @@ module Make (T : Target.S) = struct
       let base = Engine.eval_on engine T.probe app T.base in
       let builds = ref 0 in
       let pruned = ref 0 in
-      let eval config =
-        incr builds;
-        Obs.Metrics.Counter.incr m_heuristic_builds;
-        evaluate ~weights ~base app config
-      in
       let current = ref T.base in
       let current_obj = ref 0.0 in
       let improved = ref true in
@@ -565,13 +658,34 @@ module Make (T : Target.S) = struct
                   | Some ft when prunable ft !current candidate ->
                       incr pruned;
                       Obs.Metrics.Counter.incr m_heuristic_pruned
-                  | _ ->
-                      let _, objective = eval candidate in
-                      if objective < !current_obj -. 1e-9 then begin
-                        current := candidate;
-                        current_obj := objective;
-                        improved := true
-                      end
+                  | _ -> (
+                      (* Bounds admission against the strict
+                         improvement threshold: a pruned candidate
+                         provably fails [objective < current - 1e-9],
+                         so the descent trajectory is unchanged. *)
+                      let cutoff =
+                        objective_cutoff ~weights ~base
+                          (!current_obj -. 1e-9)
+                      in
+                      match
+                        Engine.eval_bounded_on engine ~cutoff T.probe app
+                          candidate
+                      with
+                      | Engine.Infeasible -> ()
+                      | Engine.Pruned _ ->
+                          incr pruned;
+                          Obs.Metrics.Counter.incr m_heuristic_pruned
+                      | Engine.Evaluated cost ->
+                          incr builds;
+                          Obs.Metrics.Counter.incr m_heuristic_builds;
+                          let objective =
+                            Cost.objective weights (deltas ~base cost)
+                          in
+                          if objective < !current_obj -. 1e-9 then begin
+                            current := candidate;
+                            current_obj := objective;
+                            improved := true
+                          end)
                 end)
               (T.group_options g))
           T.groups

@@ -25,6 +25,12 @@ type 'c probe = {
   device_brams : int;
   simulate : Apps.Registry.t -> 'c -> float * Sim.Profiler.t;
       (** cycle-accurate (seconds, profile) of one application run *)
+  static_bounds : (Apps.Registry.t -> 'c -> float * float) option;
+      (** sound [best, worst] runtime bounds (seconds, full
+          reps-scaled run — the same unit [simulate] reports) computed
+          without simulating; [None] when the backend has no static
+          cost model.  The engine's bounds-admission path uses this to
+          skip provably dominated simulations. *)
 }
 
 module type S = sig
@@ -143,6 +149,10 @@ module type S = sig
 
   val run_app : ?config:config -> Apps.Registry.t -> Sim.Machine.result
   val run_program : ?mem_size:int -> config -> Isa.Program.t -> Sim.Machine.result
+
+  val cycle_model : config -> Bounds.cycle_model
+  (** The configuration's static cycle prices (see {!Bounds}): the
+      backbone of [probe.static_bounds] and of [mcc --bounds]. *)
 
   val probe : config probe
   (** This target's engine probe; [probe.target = name]. *)

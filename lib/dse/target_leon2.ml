@@ -250,6 +250,9 @@ let describe_sweep_point (c : Arch.Config.t) =
 let run_app = Apps.Registry.run
 let run_program ?mem_size config prog = Sim.Machine.run ?mem_size config prog
 
+(* LEON2 has a barrel shifter: shifts are single-cycle. *)
+let cycle_model config = Bounds.of_arch_config config
+
 let probe =
   {
     Target.target = name;
@@ -262,4 +265,6 @@ let probe =
       (fun app config ->
         let result = Apps.Registry.run ~config app in
         (Sim.Machine.seconds result, result.Sim.Machine.profile));
+    static_bounds =
+      Some (fun app config -> Bounds.app_bounds (cycle_model config) app);
   }

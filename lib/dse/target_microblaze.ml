@@ -265,6 +265,9 @@ let run_program ?mem_size config prog =
   Sim.Machine.run ?mem_size ~shift_stall:(shift_stall config) (lower config)
     prog
 
+let cycle_model config =
+  Bounds.of_arch_config ~shift_stall:(shift_stall config) (lower config)
+
 let probe =
   {
     Target.target = name;
@@ -277,4 +280,6 @@ let probe =
       (fun app config ->
         let result = run_app ~config app in
         (Sim.Machine.seconds result, result.Sim.Machine.profile));
+    static_bounds =
+      Some (fun app config -> Bounds.app_bounds (cycle_model config) app);
   }

@@ -338,6 +338,60 @@ let pretty_parse =
               else true);
     }
 
+(* Static-bounds sanitizer: the analysis ({!Minic.Bounds} priced by
+   {!Dse.Bounds}) and the cycle-accurate simulator cross-check each
+   other — an unsound bound or a mis-charged stall shows up as an
+   escape on either side.  Generated programs are trap-free by
+   construction ([interp_clean] re-asserts it), which is exactly the
+   regime the bounds describe. *)
+let bounds_oracle ~name ~core ~print_config ~cycle_model ~run_program gen_config
+    =
+  T
+    {
+      name;
+      doc =
+        Printf.sprintf
+          "simulated cycles lie within the static [best, worst] bounds \
+           (%s target)"
+          core;
+      gen = QCheck2.Gen.pair Gen.program gen_config;
+      print =
+        (fun (p, c) ->
+          Printf.sprintf "// config: %s\n%s" (print_config c)
+            (Gen.print_program p));
+      prop =
+        (fun (p, config) ->
+          checked p;
+          ignore (interp_clean p);
+          let lo, hi =
+            Dse.Bounds.cycles (cycle_model config) (Minic.Bounds.summary p)
+          in
+          let r : Sim.Machine.result = run_program config (Minic.Codegen.compile p) in
+          let cycles =
+            float_of_int r.Sim.Machine.profile.Sim.Profiler.cycles
+          in
+          if cycles < lo || cycles > hi then
+            T2.fail_reportf
+              "simulated %.0f cycles outside static bounds [%.0f, %.0f] \
+               under %s"
+              cycles lo hi (print_config config)
+          else true);
+    }
+
+let bounds_leon2 =
+  bounds_oracle ~name:"bounds-leon2" ~core:"LEON2"
+    ~print_config:Gen.print_config ~cycle_model:Dse.Target_leon2.cycle_model
+    ~run_program:(fun config prog -> Dse.Target_leon2.run_program config prog)
+    Gen.config
+
+let bounds_microblaze =
+  bounds_oracle ~name:"bounds-microblaze" ~core:"MicroBlaze"
+    ~print_config:Gen.print_mb_config
+    ~cycle_model:Dse.Target_microblaze.cycle_model
+    ~run_program:(fun config prog ->
+      Dse.Target_microblaze.run_program config prog)
+    Gen.mb_config
+
 let all =
   [
     interp_vs_sim;
@@ -348,6 +402,8 @@ let all =
     binlp_exact;
     json_roundtrip;
     pretty_parse;
+    bounds_leon2;
+    bounds_microblaze;
   ]
 
 let find n = List.find_opt (fun o -> name o = n) all

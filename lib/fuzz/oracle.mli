@@ -65,5 +65,15 @@ val json_roundtrip : t
 val pretty_parse : t
 (** {!Minic.Pretty} output re-parses to a structurally equal program. *)
 
+val bounds_leon2 : t
+(** Random program x random LEON2 configuration: simulated cycles lie
+    within the static [best, worst] bounds of
+    {!Minic.Bounds}/{!Dse.Bounds} — a sanitizer cross-checking the
+    analysis and the simulator against each other. *)
+
+val bounds_microblaze : t
+(** The same bounds sanitizer on the MicroBlaze-like backend (barrel
+    shifter and multiplier/divider options included). *)
+
 val all : t list
 val find : string -> t option

@@ -1,0 +1,767 @@
+(* Static instruction-mix bounds: a structural mirror of Codegen's
+   emission, weighted by loop trip-count intervals.
+
+   The statement walk reproduces exactly what Codegen emits for each
+   construct (including set32 materialization lengths, which depend on
+   the replayed data-segment layout) and tracks, per cost class, an
+   interval of dynamic execution counts.  Control flow joins by hull;
+   a may-return tristate keeps lower bounds sound in the presence of
+   early returns; loops scale their body by a trip-count interval
+   derived from the interval analysis plus induction-pattern
+   recognition on the loop condition. *)
+
+(* ------------------------------------------------------------------ *)
+(* Saturating count intervals.                                        *)
+
+type cnt = { lo : int; hi : int }
+
+let unbounded = max_int
+let cnt_const n = { lo = n; hi = n }
+let c0 = cnt_const 0
+
+let sat_add a b = if a = unbounded || b = unbounded then unbounded else a + b
+
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else if a = unbounded || b = unbounded then unbounded
+  else if a > unbounded / b then unbounded
+  else a * b
+
+let cadd a b = { lo = sat_add a.lo b.lo; hi = sat_add a.hi b.hi }
+let chull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+(* The count when the counted code may be skipped entirely. *)
+let cmaybe c = { lo = 0; hi = c.hi }
+
+(* Scale a per-iteration count by a trip-count interval. *)
+let cscale ~trips c = { lo = sat_mul trips.lo c.lo; hi = sat_mul trips.hi c.hi }
+
+let pp_cnt ppf c =
+  if c.hi = unbounded then Format.fprintf ppf "[%d,inf]" c.lo
+  else if c.lo = c.hi then Format.fprintf ppf "%d" c.lo
+  else Format.fprintf ppf "[%d,%d]" c.lo c.hi
+
+(* ------------------------------------------------------------------ *)
+(* Instruction mixes.                                                 *)
+
+type mix = {
+  alu : cnt;
+  shift : cnt;
+  mul : cnt;
+  div : cnt;
+  load : cnt;
+  store : cnt;
+  cbr_cmp : cnt;
+  cbr_mat : cnt;
+  taken : cnt;
+  ba : cnt;
+  call : cnt;
+  jmpl : cnt;
+  save : cnt;
+  restore : cnt;
+  halt : cnt;
+}
+
+let mix_map2 f a b =
+  {
+    alu = f a.alu b.alu;
+    shift = f a.shift b.shift;
+    mul = f a.mul b.mul;
+    div = f a.div b.div;
+    load = f a.load b.load;
+    store = f a.store b.store;
+    cbr_cmp = f a.cbr_cmp b.cbr_cmp;
+    cbr_mat = f a.cbr_mat b.cbr_mat;
+    taken = f a.taken b.taken;
+    ba = f a.ba b.ba;
+    call = f a.call b.call;
+    jmpl = f a.jmpl b.jmpl;
+    save = f a.save b.save;
+    restore = f a.restore b.restore;
+    halt = f a.halt b.halt;
+  }
+
+let mix_map f m = mix_map2 (fun c _ -> f c) m m
+let mix_zero = mix_map (fun _ -> c0) { alu = c0; shift = c0; mul = c0; div = c0; load = c0; store = c0; cbr_cmp = c0; cbr_mat = c0; taken = c0; ba = c0; call = c0; jmpl = c0; save = c0; restore = c0; halt = c0 }
+let mix_add = mix_map2 cadd
+let mix_hull = mix_map2 chull
+let mix_maybe = mix_map cmaybe
+let mix_scale ~trips = mix_map (cscale ~trips)
+let mix_top = mix_map (fun _ -> { lo = 0; hi = unbounded }) mix_zero
+
+let insns m =
+  List.fold_left cadd c0
+    [
+      m.alu; m.shift; m.mul; m.div; m.load; m.store; m.cbr_cmp; m.cbr_mat;
+      m.ba; m.call; m.jmpl; m.save; m.restore; m.halt;
+    ]
+
+let pp_mix ppf m =
+  let field name c =
+    if c <> c0 then Format.fprintf ppf "%s=%a@ " name pp_cnt c
+  in
+  Format.fprintf ppf "@[<hov>";
+  field "alu" m.alu;
+  field "shift" m.shift;
+  field "mul" m.mul;
+  field "div" m.div;
+  field "load" m.load;
+  field "store" m.store;
+  field "cbr_cmp" m.cbr_cmp;
+  field "cbr_mat" m.cbr_mat;
+  field "taken" m.taken;
+  field "ba" m.ba;
+  field "call" m.call;
+  field "jmpl" m.jmpl;
+  field "save" m.save;
+  field "restore" m.restore;
+  field "halt" m.halt;
+  Format.fprintf ppf "insns=%a@]" pp_cnt (insns m)
+
+(* Small builders. *)
+let malu n = { mix_zero with alu = cnt_const n }
+let mshift = { mix_zero with shift = cnt_const 1 }
+let mmul = { mix_zero with mul = cnt_const 1 }
+let mdiv = { mix_zero with div = cnt_const 1 }
+let mload = { mix_zero with load = cnt_const 1 }
+let mstore = { mix_zero with store = cnt_const 1 }
+
+(* Or-set-1; bcc; Or-set-0 (skipped when the branch is taken): the
+   exact Codegen.materialize_cc sequence, hulled over taken-ness. *)
+let m_materialize =
+  {
+    mix_zero with
+    alu = { lo = 1; hi = 2 };
+    cbr_mat = cnt_const 1;
+    taken = { lo = 0; hi = 1 };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* May-return tristate and sequencing.                                *)
+
+type ret = Never | Maybe | Always
+type summary = { smix : mix; ret : ret }
+
+let s_zero = { smix = mix_zero; ret = Never }
+let s_of_mix m = { smix = m; ret = Never }
+
+(* [s] then [rest]: [rest] runs only on the fall-through paths. *)
+let s_seq s rest =
+  match s.ret with
+  | Always -> s
+  | Never -> { smix = mix_add s.smix rest.smix; ret = rest.ret }
+  | Maybe ->
+      let ret =
+        match rest.ret with Always -> Always | Never | Maybe -> Maybe
+      in
+      { smix = mix_add s.smix (mix_maybe rest.smix); ret }
+
+let s_hull a b =
+  { smix = mix_hull a.smix b.smix;
+    ret = (if a.ret = b.ret then a.ret else Maybe) }
+
+(* ------------------------------------------------------------------ *)
+(* Codegen mirroring.                                                 *)
+
+let fits_simm13 v = v >= -4096 && v <= 4095
+
+(* Number of instructions Asm.set32 emits for [v]. *)
+let set32_len v =
+  if fits_simm13 v then 1
+  else if v land 0xFFFFFFFF land 0x7FF <> 0 then 2
+  else 1
+
+type genv = {
+  ictx : Interval.ctx;
+  addr_len : (string, int) Hashtbl.t;  (* set32 length of a global's address *)
+  elems : (string, Ast.elem) Hashtbl.t;  (* array element kinds *)
+  funcs : (string, Ast.func) Hashtbl.t;
+  mixes : (string, mix) Hashtbl.t;  (* memoized per-invocation mixes *)
+  depths : (string, int option) Hashtbl.t;
+  mutable in_progress : string list;
+}
+
+(* Replay Codegen.compile's data-segment layout so that global-address
+   set32 lengths are exact. *)
+let layout_globals g (p : Ast.program) =
+  let pos = ref 0 in
+  List.iter
+    (fun gl ->
+      pos := (!pos + 3) land lnot 3;
+      let addr = Isa.Program.data_base + !pos in
+      let name = Ast.global_name gl in
+      let size =
+        match gl with
+        | Ast.Scalar _ -> 4
+        | Ast.Array (_, Ast.Word, len) -> 4 * len
+        | Ast.Array (_, Ast.Byte, len) -> len
+        | Ast.Array_init (_, Ast.Word, vs) -> 4 * Array.length vs
+        | Ast.Array_init (_, Ast.Byte, vs) -> Array.length vs
+      in
+      (match gl with
+      | Ast.Scalar _ -> ()
+      | Ast.Array (_, e, _) | Ast.Array_init (_, e, _) ->
+          Hashtbl.replace g.elems name e);
+      Hashtbl.replace g.addr_len name (set32_len addr);
+      pos := !pos + size)
+    p.Ast.globals
+
+let addr_len g name =
+  match Hashtbl.find_opt g.addr_len name with Some n -> n | None -> 2
+
+let is_word_array g name =
+  match Hashtbl.find_opt g.elems name with
+  | Some Ast.Word -> true
+  | Some Ast.Byte | None -> false
+
+let is_cmp_op = function
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> true
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.And | Ast.Or
+  | Ast.Xor | Ast.Shl | Ast.Shr ->
+      false
+
+(* Mirror of Codegen.eval.  [regs] lists the current function's
+   parameters and locals (register-resident scalars); anything else is
+   a global.  Register-to-register moves are always emitted: source
+   and destination registers live in disjoint namespaces. *)
+let rec eval_mix g regs e =
+  match e with
+  | Ast.Int n -> malu (set32_len n)
+  | Ast.Var x ->
+      if List.mem x regs then malu 1
+      else mix_add (malu (addr_len g x)) mload
+  | Ast.Idx (a, e1) ->
+      let m = eval_mix g regs e1 in
+      let m = if is_word_array g a then mix_add m mshift else m in
+      mix_add m (mix_add (malu (addr_len g a)) mload)
+  | Ast.Un (op, e1) -> (
+      let m = eval_mix g regs e1 in
+      match op with
+      | Ast.Neg | Ast.Bitnot -> mix_add m (malu 1)
+      | Ast.Not -> mix_add m (mix_add (malu 1) m_materialize))
+  | Ast.Bin (op, a, b) ->
+      let m = eval_mix g regs a in
+      let m =
+        match b with
+        | Ast.Int n when fits_simm13 n -> m
+        | Ast.Int _ | Ast.Var _ | Ast.Idx _ | Ast.Bin _ | Ast.Un _
+        | Ast.Call _ ->
+            mix_add m (eval_mix g regs b)
+      in
+      mix_add m
+        (match op with
+        | Ast.Add | Ast.Sub | Ast.And | Ast.Or | Ast.Xor -> malu 1
+        | Ast.Shl | Ast.Shr -> mshift
+        | Ast.Mul -> mmul
+        | Ast.Div -> mdiv
+        | Ast.Mod -> mix_add mdiv (mix_add mmul (malu 1))
+        | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+            mix_add (malu 1) m_materialize)
+  | Ast.Call _ ->
+      (* Check rejects calls in expression position. *)
+      mix_top
+
+(* Mirror of Codegen.gen_branch_false: the branch-check cost only (the
+   taken-ness of the final bcc is accounted by the caller). *)
+let branch_false_mix g regs cond =
+  match cond with
+  | Ast.Bin (op, a, b) when is_cmp_op op ->
+      let m = eval_mix g regs a in
+      let m =
+        match b with
+        | Ast.Int n when fits_simm13 n -> m
+        | Ast.Int _ | Ast.Var _ | Ast.Idx _ | Ast.Bin _ | Ast.Un _
+        | Ast.Call _ ->
+            mix_add m (eval_mix g regs b)
+      in
+      mix_add m { mix_zero with alu = cnt_const 1; cbr_cmp = cnt_const 1 }
+  | Ast.Int _ | Ast.Var _ | Ast.Idx _ | Ast.Bin _ | Ast.Un _ ->
+      mix_add (eval_mix g regs cond)
+        { mix_zero with alu = cnt_const 1; cbr_cmp = cnt_const 1 }
+  | Ast.Call _ -> mix_top
+
+let store_mix g regs x =
+  if List.mem x regs then malu 1
+  else mix_add (malu (addr_len g x)) mstore
+
+(* ------------------------------------------------------------------ *)
+(* Trip-count analysis.                                               *)
+
+let trips_top = { lo = 0; hi = unbounded }
+
+(* Signed interpretation of an AST literal (Optimize normalizes
+   literals to their unsigned 32-bit representation). *)
+let signed32 v =
+  let v = v land 0xFFFFFFFF in
+  if v >= 0x80000000 then v - 0x100000000 else v
+
+let ceil_div_pos a k = if a <= 0 then 0 else (a + k - 1) / k
+
+(* Scalars assigned (via Set) anywhere in a statement list. *)
+let rec assigned_vars acc stmts =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Ast.Set (x, _) -> x :: acc
+      | Ast.Set_idx _ | Ast.Do _ | Ast.Ret _ -> acc
+      | Ast.If (_, th, el) -> assigned_vars (assigned_vars acc th) el
+      | Ast.While (_, body) -> assigned_vars acc body)
+    acc stmts
+
+let rec stmts_have_call stmts =
+  List.exists
+    (fun s ->
+      match s with
+      | Ast.Set (_, e) | Ast.Do e | Ast.Ret e -> Cfg.expr_has_call e
+      | Ast.Set_idx (_, e1, e2) -> Cfg.expr_has_call e1 || Cfg.expr_has_call e2
+      | Ast.If (c, th, el) ->
+          Cfg.expr_has_call c || stmts_have_call th || stmts_have_call el
+      | Ast.While (c, body) -> Cfg.expr_has_call c || stmts_have_call body)
+    stmts
+
+let rec expr_vars acc = function
+  | Ast.Int _ -> acc
+  | Ast.Var x -> x :: acc
+  | Ast.Idx (_, e) | Ast.Un (_, e) -> expr_vars acc e
+  | Ast.Bin (_, a, b) -> expr_vars (expr_vars acc a) b
+  | Ast.Call (_, args) -> List.fold_left expr_vars acc args
+
+let rec expr_has_idx = function
+  | Ast.Int _ | Ast.Var _ -> false
+  | Ast.Idx _ -> true
+  | Ast.Un (_, e) -> expr_has_idx e
+  | Ast.Bin (_, a, b) -> expr_has_idx a || expr_has_idx b
+  | Ast.Call (_, args) -> List.exists expr_has_idx args
+
+(* The single top-level [x = x +- k] step of the candidate induction
+   variable, or None. *)
+let induction_step x body =
+  let top_level_steps =
+    List.filter_map
+      (fun s ->
+        match s with
+        | Ast.Set (y, e) when y = x -> (
+            match e with
+            | Ast.Bin (Ast.Add, Ast.Var y', Ast.Int k) when y' = x ->
+                Some (Some (signed32 k))
+            | Ast.Bin (Ast.Add, Ast.Int k, Ast.Var y') when y' = x ->
+                Some (Some (signed32 k))
+            | Ast.Bin (Ast.Sub, Ast.Var y', Ast.Int k) when y' = x ->
+                Some (Some (-signed32 k))
+            | _ -> Some None (* an assignment, but not a step *))
+        | _ -> None)
+      body
+  in
+  let nested_assigns =
+    List.length (List.filter (( = ) x) (assigned_vars [] body))
+  in
+  match top_level_steps with
+  | [ Some k ] when nested_assigns = 1 -> Some k
+  | _ -> None
+
+let min32 = Interval.min32
+let max32 = Interval.max32
+
+(* Trips of [while (x cmp n)] with step [k], given entry intervals for
+   x and n.  The wrap guards reject cases where the counter update
+   could overflow 32-bit arithmetic mid-loop. *)
+let trips_formula op ~x0 ~n ~k =
+  let x0l = x0.Interval.lo and x0h = x0.Interval.hi in
+  let nl = n.Interval.lo and nh = n.Interval.hi in
+  match op with
+  | Ast.Lt when k > 0 ->
+      if nh > max32 - k then trips_top
+      else
+        { lo = ceil_div_pos (nl - x0h) k; hi = ceil_div_pos (nh - x0l) k }
+  | Ast.Le when k > 0 ->
+      if nh > max32 - k then trips_top
+      else
+        {
+          lo = ceil_div_pos (nl - x0h + 1) k;
+          hi = ceil_div_pos (nh - x0l + 1) k;
+        }
+  | Ast.Gt when k < 0 ->
+      let m = -k in
+      if nl < min32 + m then trips_top
+      else
+        { lo = ceil_div_pos (x0l - nh) m; hi = ceil_div_pos (x0h - nl) m }
+  | Ast.Ge when k < 0 ->
+      let m = -k in
+      if nl < min32 + m then trips_top
+      else
+        {
+          lo = ceil_div_pos (x0l - nh + 1) m;
+          hi = ceil_div_pos (x0h - nl + 1) m;
+        }
+  | _ -> trips_top
+
+let flip_cmp = function
+  | Ast.Lt -> Some Ast.Gt
+  | Ast.Le -> Some Ast.Ge
+  | Ast.Gt -> Some Ast.Lt
+  | Ast.Ge -> Some Ast.Le
+  | Ast.Eq -> Some Ast.Eq
+  | Ast.Ne -> Some Ast.Ne
+  | _ -> None
+
+(* Attempt the induction pattern for candidate variable [x] compared
+   against [e].  [regs] = the function's register-resident scalars. *)
+let induction_trips g regs env op x e body =
+  let bad = None in
+  match induction_step x body with
+  | None -> bad
+  | Some k ->
+      let has_calls = stmts_have_call body in
+      (* x itself must not be writable behind our back *)
+      if (not (List.mem x regs)) && has_calls then bad
+      else if expr_has_idx e || Cfg.expr_has_call e then bad
+      else
+        let evars = expr_vars [] e in
+        let assigned = assigned_vars [] body in
+        if List.exists (fun v -> List.mem v assigned) evars then bad
+        else if
+          has_calls && List.exists (fun v -> not (List.mem v regs)) evars
+        then bad
+        else
+          let x0 =
+            match Interval.Smap.find_opt x env with
+            | Some i -> i
+            | None -> Interval.top
+          in
+          let n = Interval.eval g.ictx env e in
+          let t = trips_formula op ~x0 ~n ~k in
+          if t.lo < 0 || t.hi < t.lo then bad else Some t
+
+let join_envs a b =
+  Interval.Smap.merge
+    (fun _ x y ->
+      match (x, y) with
+      | Some (i : Interval.itv), Some (j : Interval.itv) ->
+          Some { Interval.lo = min i.Interval.lo j.Interval.lo;
+                 hi = max i.Interval.hi j.Interval.hi }
+      | _ -> None)
+    a b
+
+(* Trip-count interval of the loop whose header branch carries [sid]. *)
+let loop_trips_at g regs cfg (res : Interval.result) preds sid cond body =
+  let header =
+    Array.to_seq cfg.Cfg.blocks
+    |> Seq.find (fun b ->
+           b.Cfg.term_sid = sid
+           && match b.Cfg.term with Cfg.Branch _ -> true | _ -> false)
+  in
+  match header with
+  | None -> trips_top
+  | Some header -> (
+      let body_id =
+        match header.Cfg.term with
+        | Cfg.Branch (_, t, _) -> t
+        | _ -> assert false
+      in
+      match res.Interval.env_in.(body_id) with
+      | Interval.Unreachable -> cnt_const 0
+      | Interval.Env _ -> (
+          (* Entry-side state: join of the forward predecessors'
+             out-states (back edges come from higher block ids). *)
+          let entry =
+            List.fold_left
+              (fun acc p ->
+                if p >= header.Cfg.id then acc
+                else
+                  match (acc, res.Interval.env_out.(p)) with
+                  | None, e -> Some e
+                  | Some Interval.Unreachable, e | Some e, Interval.Unreachable
+                    ->
+                      Some e
+                  | Some (Interval.Env a), Interval.Env b ->
+                      Some (Interval.Env (join_envs a b)))
+              None
+              preds.(header.Cfg.id)
+          in
+          match entry with
+          | None | Some Interval.Unreachable -> cnt_const 0
+          | Some (Interval.Env env) -> (
+              let attempt =
+                match cond with
+                | Ast.Bin (op, Ast.Var x, e) when is_cmp_op op ->
+                    induction_trips g regs env op x e body
+                | _ -> None
+              in
+              let attempt =
+                match attempt with
+                | Some _ -> attempt
+                | None -> (
+                    match cond with
+                    | Ast.Bin (op, e, Ast.Var x) when is_cmp_op op -> (
+                        match flip_cmp op with
+                        | Some op' -> induction_trips g regs env op' x e body
+                        | None -> None)
+                    | _ -> None)
+              in
+              match attempt with Some t -> t | None -> trips_top)))
+
+(* Trip intervals for every While in [f], keyed by pre-order sid. *)
+let trips_of_func g (f : Ast.func) =
+  let tbl = Hashtbl.create 8 in
+  let whiles = ref [] in
+  let counter = ref 0 in
+  let rec walk stmts =
+    List.iter
+      (fun s ->
+        let sid = !counter in
+        incr counter;
+        match s with
+        | Ast.While (c, body) ->
+            whiles := (sid, c, body) :: !whiles;
+            walk body
+        | Ast.If (_, th, el) ->
+            walk th;
+            walk el
+        | Ast.Set _ | Ast.Set_idx _ | Ast.Do _ | Ast.Ret _ -> ())
+      stmts
+  in
+  walk f.Ast.body;
+  (if !whiles <> [] then
+     let cfg = Cfg.build f in
+     let res = Interval.solve g.ictx cfg in
+     let preds = Cfg.predecessors cfg in
+     let regs = f.Ast.params @ f.Ast.locals in
+     List.iter
+       (fun (sid, cond, body) ->
+         Hashtbl.replace tbl sid
+           (loop_trips_at g regs cfg res preds sid cond body))
+       !whiles);
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* Statement and function summaries.                                  *)
+
+let m_ret_tail =
+  (* mov o0->i0; restore; jmpl *)
+  { mix_zero with
+    alu = cnt_const 1; restore = cnt_const 1; jmpl = cnt_const 1 }
+
+let add_ba s =
+  match s.ret with
+  | Always -> s
+  | Never -> { s with smix = mix_add s.smix { mix_zero with ba = cnt_const 1 } }
+  | Maybe ->
+      { s with smix = mix_add s.smix { mix_zero with ba = { lo = 0; hi = 1 } } }
+
+let rec func_mix g name : mix =
+  match Hashtbl.find_opt g.mixes name with
+  | Some m -> m
+  | None ->
+      if List.mem name g.in_progress then mix_top
+      else (
+        match Hashtbl.find_opt g.funcs name with
+        | None -> mix_top
+        | Some f ->
+            g.in_progress <- name :: g.in_progress;
+            let trips = trips_of_func g f in
+            let regs = f.Ast.params @ f.Ast.locals in
+            let counter = ref 0 in
+            let body = stmts_summary g trips regs counter f.Ast.body in
+            let full =
+              s_seq
+                (s_of_mix { mix_zero with save = cnt_const 1 })
+                (s_seq body (s_of_mix m_ret_tail))
+            in
+            g.in_progress <- List.tl g.in_progress;
+            Hashtbl.replace g.mixes name full.smix;
+            full.smix)
+
+and call_mix g regs f args =
+  let m =
+    List.fold_left (fun acc a -> mix_add acc (eval_mix g regs a)) mix_zero args
+  in
+  mix_add m (mix_add { mix_zero with call = cnt_const 1 } (func_mix g f))
+
+and stmts_summary g trips regs counter stmts =
+  (* Every statement is walked (to keep sid numbering aligned with the
+     CFG) even when the accumulated summary already always-returns. *)
+  List.fold_left
+    (fun acc s -> s_seq acc (stmt_summary g trips regs counter s))
+    s_zero stmts
+
+and stmt_summary g trips regs counter s =
+  let sid = !counter in
+  incr counter;
+  match s with
+  | Ast.Set (x, Ast.Call (f, args)) ->
+      s_of_mix (mix_add (call_mix g regs f args) (store_mix g regs x))
+  | Ast.Set (x, e) ->
+      s_of_mix (mix_add (eval_mix g regs e) (store_mix g regs x))
+  | Ast.Set_idx (a, ei, ev) ->
+      let m = mix_add (eval_mix g regs ei) (eval_mix g regs ev) in
+      let m = if is_word_array g a then mix_add m mshift else m in
+      s_of_mix (mix_add m (mix_add (malu (addr_len g a)) mstore))
+  | Ast.Do (Ast.Call (f, args)) -> s_of_mix (call_mix g regs f args)
+  | Ast.Do _ -> s_zero (* rejected by Check *)
+  | Ast.Ret e ->
+      let m =
+        match e with
+        | Ast.Call (f, args) -> call_mix g regs f args
+        | Ast.Int _ | Ast.Var _ | Ast.Idx _ | Ast.Bin _ | Ast.Un _ ->
+            eval_mix g regs e
+      in
+      { smix = mix_add m m_ret_tail; ret = Always }
+  | Ast.If (c, th, []) ->
+      let bf = branch_false_mix g regs c in
+      let th_s = stmts_summary g trips regs counter th in
+      let skip = s_of_mix { mix_zero with taken = cnt_const 1 } in
+      let both = s_hull th_s skip in
+      { both with smix = mix_add bf both.smix }
+  | Ast.If (c, th, el) ->
+      let bf = branch_false_mix g regs c in
+      let th_s = stmts_summary g trips regs counter th in
+      let el_s = stmts_summary g trips regs counter el in
+      let th_path = add_ba th_s in
+      let el_path =
+        { el_s with
+          smix = mix_add { mix_zero with taken = cnt_const 1 } el_s.smix }
+      in
+      let both = s_hull th_path el_path in
+      { both with smix = mix_add bf both.smix }
+  | Ast.While (c, body) -> (
+      let bf = branch_false_mix g regs c in
+      let body_s = stmts_summary g trips regs counter body in
+      let t =
+        match Hashtbl.find_opt trips sid with Some t -> t | None -> trips_top
+      in
+      let full_run =
+        (* n trips: n+1 checks, n bodies and back-branches, one final
+           taken exit branch. *)
+        let checks = cadd t (cnt_const 1) in
+        let per_iter =
+          mix_add body_s.smix { mix_zero with ba = cnt_const 1 }
+        in
+        mix_add
+          (mix_scale ~trips:checks bf)
+          (mix_add
+             (mix_scale ~trips:t per_iter)
+             { mix_zero with taken = cnt_const 1 })
+      in
+      match body_s.ret with
+      | Never -> { smix = full_run; ret = Never }
+      | Always ->
+          if t.lo >= 1 then
+            (* definitely entered; the single iteration returns *)
+            { smix = mix_add bf body_s.smix; ret = Always }
+          else
+            s_hull
+              (s_of_mix (mix_add bf { mix_zero with taken = cnt_const 1 }))
+              { smix = mix_add bf body_s.smix; ret = Always }
+      | Maybe ->
+          (* Lower bound: one check, plus one body execution when the
+             loop is definitely entered.  Upper bound: the full-run
+             formula — an early return only removes work (each entered
+             iteration's mix is inside body_s, and entries <= t.hi
+             because every completed iteration runs the top-level
+             counter step). *)
+          let low =
+            if t.lo >= 1 then mix_add bf body_s.smix else bf
+          in
+          {
+            smix = mix_map2 (fun l f -> { lo = l.lo; hi = f.hi }) low full_run;
+            ret = Maybe;
+          })
+
+(* Call-graph depth below [name]: 0 for leaves, None on recursion. *)
+let rec func_depth g name : int option =
+  match Hashtbl.find_opt g.depths name with
+  | Some d -> d
+  | None ->
+      if List.mem name g.in_progress then None
+      else (
+        match Hashtbl.find_opt g.funcs name with
+        | None -> None
+        | Some f ->
+            g.in_progress <- name :: g.in_progress;
+            let callees = ref [] in
+            let note e =
+              match e with Ast.Call (f, _) -> callees := f :: !callees | _ -> ()
+            in
+            let rec walk stmts =
+              List.iter
+                (fun s ->
+                  match s with
+                  | Ast.Set (_, e) | Ast.Do e | Ast.Ret e -> note e
+                  | Ast.Set_idx _ -> ()
+                  | Ast.If (_, th, el) ->
+                      walk th;
+                      walk el
+                  | Ast.While (_, body) -> walk body)
+                stmts
+            in
+            walk f.Ast.body;
+            let d =
+              List.fold_left
+                (fun acc callee ->
+                  match (acc, func_depth g callee) with
+                  | Some a, Some dc -> Some (max a (dc + 1))
+                  | _ -> None)
+                (Some 0) !callees
+            in
+            g.in_progress <- List.tl g.in_progress;
+            Hashtbl.replace g.depths name d;
+            d)
+
+(* ------------------------------------------------------------------ *)
+(* Program summaries.                                                 *)
+
+type program_summary = {
+  mix : mix;
+  call_depth : int option;
+  loops : int;
+  bounded_loops : int;
+}
+
+let genv_of_program p =
+  let g =
+    {
+      ictx = Interval.ctx_of_program p;
+      addr_len = Hashtbl.create 16;
+      elems = Hashtbl.create 16;
+      funcs = Hashtbl.create 16;
+      mixes = Hashtbl.create 16;
+      depths = Hashtbl.create 16;
+      in_progress = [];
+    }
+  in
+  layout_globals g p;
+  List.iter (fun f -> Hashtbl.replace g.funcs f.Ast.name f) p.Ast.funcs;
+  g
+
+let summary ?(level = 0) p =
+  let p = Optimize.program ~level p in
+  let g = genv_of_program p in
+  let main = func_mix g "main" in
+  let mix =
+    mix_add
+      { mix_zero with call = cnt_const 1 }
+      (mix_add main { mix_zero with halt = cnt_const 1 })
+  in
+  let call_depth = func_depth g "main" in
+  let loops = ref 0 and bounded = ref 0 in
+  List.iter
+    (fun f ->
+      let tbl = trips_of_func g f in
+      Hashtbl.iter
+        (fun _ t ->
+          incr loops;
+          if t.hi <> unbounded then incr bounded)
+        tbl)
+    p.Ast.funcs;
+  { mix; call_depth; loops = !loops; bounded_loops = !bounded }
+
+let loop_trips ?(level = 0) p =
+  let p = Optimize.program ~level p in
+  let g = genv_of_program p in
+  List.concat_map
+    (fun f ->
+      let tbl = trips_of_func g f in
+      Hashtbl.fold (fun sid t acc -> (sid, t) :: acc) tbl []
+      |> List.sort compare
+      |> List.map (fun (_, t) -> (f.Ast.name, t)))
+    p.Ast.funcs

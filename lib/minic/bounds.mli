@@ -1,0 +1,86 @@
+(** Static instruction-mix bounds.
+
+    For a checked program, derives sound per-class {e dynamic
+    instruction count} intervals for one complete run: a lower and an
+    upper bound on how many instructions of each cost class
+    (plain ALU, shift, multiply, load, taken branch, ...) any
+    execution can retire.  The walk mirrors {!Codegen}'s emission
+    exactly — same [set32] lengths, same compare-and-branch shapes,
+    same prologue/epilogue — so on straight-line code the counts are
+    exact; control flow joins by interval hull, and loops are scaled
+    by trip-count intervals derived from {!Interval} plus
+    induction-pattern recognition on the loop condition
+    ([x < N] with [x += k] and friends).  Loops the analysis cannot
+    bound get an infinite upper count ({!unbounded}).
+
+    The result is target-agnostic: {b counts}, not cycles.
+    [Dse.Bounds] prices each class for a concrete microarchitecture
+    configuration, giving sound [best-case, worst-case] cycle bounds.
+
+    Soundness caveat: bounds describe {e trap-free} runs.  A run that
+    traps (division by zero, bad memory access) stops early and may
+    retire fewer instructions than the lower bound. *)
+
+type cnt = { lo : int; hi : int }
+(** A saturating count interval; [hi = unbounded] means no upper
+    bound.  Invariant: [0 <= lo], [lo <= hi]. *)
+
+val unbounded : int
+(** [max_int], the saturated upper count. *)
+
+val cnt_const : int -> cnt
+
+val pp_cnt : Format.formatter -> cnt -> unit
+
+type mix = {
+  alu : cnt;  (** single-cycle ALU ops: add/sub/logic, sethi, cmp, mov *)
+  shift : cnt;  (** shift ALU ops (may stall without a barrel shifter) *)
+  mul : cnt;
+  div : cnt;
+  load : cnt;
+  store : cnt;
+  cbr_cmp : cnt;
+      (** conditional branches immediately preceded by their cmp
+          (these pay the icc-interlock stall when the target has one) *)
+  cbr_mat : cnt;
+      (** conditional branches inside a compare-materialization
+          sequence (never icc-stalled: the preceding mov clears it) *)
+  taken : cnt;
+      (** taken {e conditional} branches — a pseudo-class costing one
+          cycle each, not an instruction *)
+  ba : cnt;  (** unconditional branches (always taken) *)
+  call : cnt;
+  jmpl : cnt;  (** returns *)
+  save : cnt;
+  restore : cnt;
+  halt : cnt;
+}
+(** Per-class dynamic instruction count intervals. *)
+
+val mix_zero : mix
+val mix_add : mix -> mix -> mix
+
+val insns : mix -> cnt
+(** Total instructions retired ([taken] excluded — it is not an
+    instruction). *)
+
+val pp_mix : Format.formatter -> mix -> unit
+
+type program_summary = {
+  mix : mix;  (** whole-program bounds for one run (startup included) *)
+  call_depth : int option;
+      (** maximum call nesting below [main] ([main] = 0); [None] when
+          the call graph is recursive *)
+  loops : int;  (** static loop count, after optimization *)
+  bounded_loops : int;  (** loops with a finite worst-case trip bound *)
+}
+
+val summary : ?level:int -> Ast.program -> program_summary
+(** [summary ~level p] analyses [p] after [Optimize.program ~level]
+    (default level 0), mirroring [Codegen.compile]'s pipeline.  The
+    program must satisfy {!Check.check}. *)
+
+val loop_trips : ?level:int -> Ast.program -> (string * cnt) list
+(** Trip-count interval of every loop, paired with its enclosing
+    function's name, in pre-order.  Exposed for tests and
+    diagnostics. *)

@@ -72,27 +72,32 @@ let stmt_head = function
   | Ast.Ret e -> Format.asprintf "return %s;" (estr e)
 
 (* Report the first statement of every maximal unreachable region,
-   replaying the builder's pre-order sid walk. *)
+   replaying the builder's pre-order sid walk.  A region that starts
+   right after a [return] in the same block gets its own message: the
+   return makes everything below it dead, which is the common
+   copy-paste accident. *)
 let unreachable_findings (f : Ast.func) ~reachable_sid ~report =
   let counter = ref 0 in
   let rec walk ~suppress stmts =
     ignore
       (List.fold_left
-         (fun prev_dead s ->
+         (fun (prev_dead, after_ret) s ->
            let sid = !counter in
            incr counter;
            let dead = not (reachable_sid sid) in
            if dead && (not suppress) && not prev_dead then
              report sid
-               (Format.asprintf "unreachable code: %s" (stmt_head s));
+               (Format.asprintf "unreachable code%s: %s"
+                  (if after_ret then " after return" else "")
+                  (stmt_head s));
            (match s with
            | Ast.If (_, th, el) ->
                walk ~suppress:(suppress || dead) th;
                walk ~suppress:(suppress || dead) el
            | Ast.While (_, body) -> walk ~suppress:(suppress || dead) body
            | Ast.Set _ | Ast.Set_idx _ | Ast.Do _ | Ast.Ret _ -> ());
-           dead)
-         false stmts)
+           (dead, match s with Ast.Ret _ -> true | _ -> false))
+         (false, false) stmts)
   in
   walk ~suppress:false f.Ast.body
 
@@ -152,13 +157,25 @@ let func ctx (f : Ast.func) =
                     k Warning
                       (Format.asprintf "condition %s is always true" (estr c))
               | Some (Ast.While _) ->
-                  (* An intentional [while (1)] is idiomatic; only a
-                     never-entered loop is suspicious. *)
+                  (* An intentional literal [while (1)] is idiomatic
+                     and stays exempt; a {e computed} condition the
+                     interval analysis proves always true means the
+                     loop can only exit through a return — usually an
+                     inverted or off-by-one exit test. *)
                   if always_false then
                     k Warning
                       (Format.asprintf
                          "loop condition %s is always false; the body never \
                           runs"
+                         (estr c))
+                  else if
+                    always_true
+                    && match c with Ast.Int _ -> false | _ -> true
+                  then
+                    k Warning
+                      (Format.asprintf
+                         "loop condition %s is always true; the loop only \
+                          exits through return"
                          (estr c))
               | _ -> ()))
       | Cfg.Return e when blk.Cfg.term_sid >= 0 -> (

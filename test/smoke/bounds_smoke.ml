@@ -1,0 +1,32 @@
+(* @bounds-smoke: every registry application, on every registered
+   target, must simulate within its static [best, worst] runtime
+   bounds on the target's base configuration.  A violation means the
+   bounds analysis (Minic.Bounds / Dse.Bounds) and the simulator
+   disagree — the same invariant the fuzz bounds oracles check on
+   random programs, here pinned on the real workloads. *)
+
+let () =
+  let failures = ref 0 in
+  List.iter
+    (fun (module T : Dse.Target.S) ->
+      List.iter
+        (fun app ->
+          let lo, hi = Dse.Bounds.app_bounds (T.cycle_model T.base) app in
+          let s = Sim.Machine.seconds (T.run_app app) in
+          let ok = lo <= s && s <= hi in
+          if not ok then incr failures;
+          let tight =
+            match Dse.Bounds.tightness ~lo ~hi with
+            | Some r -> Printf.sprintf "x%.2f" r
+            | None -> "unbounded"
+          in
+          Printf.printf "%-12s %-8s %s  lo=%.6f sim=%.6f hi=%.6f  (%s)\n"
+            T.name app.Apps.Registry.name
+            (if ok then "ok" else "VIOLATION")
+            lo s hi tight)
+        Apps.Registry.all)
+    Dse.Targets.all;
+  if !failures > 0 then begin
+    Printf.printf "%d bound violation(s)\n" !failures;
+    exit 1
+  end

@@ -527,6 +527,106 @@ let test_interval_loop_widening () =
   let ka = Interval.eval ctx (Hashtbl.find pts 3) (v "k") in
   check_int "k at least 100 after the loop" 100 ka.Interval.lo
 
+let test_interval_widening_nested_loops () =
+  let open Ast in
+  (* Two nested counted loops: both headers widen (each runs past
+     widen_after), yet the branch refinements must keep every counter
+     interval exact inside the bodies. *)
+  let f =
+    func ~locals:[ "i"; "j"; "s" ]
+      [
+        Set ("s", i 0);
+        (* 0 *)
+        Set ("i", i 0);
+        (* 1 *)
+        While
+          ( v "i" < i 10,
+            (* 2 *)
+            [
+              Set ("j", i 0);
+              (* 3 *)
+              While
+                ( v "j" < i 8,
+                  (* 4 *)
+                  [ Set ("s", v "s" + i 1) (* 5 *); Set ("j", v "j" + i 1) (* 6 *) ] );
+              Set ("i", v "i" + i 1) (* 7 *);
+            ] );
+        Ret (v "s") (* 8 *);
+      ]
+  in
+  let ctx, pts = points_of f in
+  let at sid x = Interval.eval ctx (Hashtbl.find pts sid) (v x) in
+  let ji = at 5 "j" in
+  check_int "inner counter lo in inner body" 0 ji.Interval.lo;
+  check_int "inner counter hi in inner body" 7 ji.Interval.hi;
+  let ii = at 5 "i" in
+  check_int "outer counter lo in inner body" 0 ii.Interval.lo;
+  check_int "outer counter hi in inner body" 9 ii.Interval.hi;
+  let ia = at 8 "i" in
+  check_int "outer counter at least 10 after both loops" 10 ia.Interval.lo
+
+let test_interval_widening_decrement () =
+  let open Ast in
+  (* A decrementing counter makes the {e lower} bound the unstable
+     one: after widen_after refinements it jumps to min32, while the
+     guard keeps the body interval exact. *)
+  let f =
+    func ~locals:[ "k" ]
+      [
+        Set ("k", i 50);
+        (* 0 *)
+        While (v "k" > i 0, (* 1 *) [ Set ("k", v "k" - i 1) (* 2 *) ]);
+        Ret (v "k") (* 3 *);
+      ]
+  in
+  let ctx, pts = points_of f in
+  let kb = Interval.eval ctx (Hashtbl.find pts 2) (v "k") in
+  check_int "k stays positive in the body" 1 kb.Interval.lo;
+  check_int "k at most its start in the body" 50 kb.Interval.hi;
+  let ka = Interval.eval ctx (Hashtbl.find pts 3) (v "k") in
+  check_int "k at most 0 after the loop" 0 ka.Interval.hi;
+  check_int "widening took the lower bound to min32" Interval.min32
+    ka.Interval.lo
+
+let test_interval_widening_int_endpoints () =
+  let open Ast in
+  (* Climbing to max32 exactly: the widened upper bound coincides with
+     the 32-bit endpoint, the increment never overflows, and the exit
+     refinement pins the counter to the single value max32. *)
+  let f =
+    func ~locals:[ "k" ]
+      [
+        Set ("k", i (Stdlib.( - ) Interval.max32 20));
+        (* 0 *)
+        While (v "k" < i Interval.max32, (* 1 *) [ Set ("k", v "k" + i 1) (* 2 *) ]);
+        Ret (v "k") (* 3 *);
+      ]
+  in
+  let ctx, pts = points_of f in
+  let kb = Interval.eval ctx (Hashtbl.find pts 2) (v "k") in
+  check_int "body bound stops below max32" (Stdlib.( - ) Interval.max32 1)
+    kb.Interval.hi;
+  Alcotest.(check (option int))
+    "k is exactly max32 after the loop" (Some Interval.max32)
+    (Interval.to_const (Interval.eval ctx (Hashtbl.find pts 3) (v "k")));
+  (* An increment the guard does not cap wraps at max32, so the
+     widened fact must degrade soundly to top, not stop at max32. *)
+  let g =
+    func ~params:[ "n" ] ~locals:[ "k" ]
+      [
+        Set ("k", i 0);
+        (* 0 *)
+        While
+          ( v "n" > i 0,
+            (* 1 *)
+            [ Set ("k", v "k" + i 1) (* 2 *); Set ("n", v "n" - i 1) (* 3 *) ] );
+        Ret (v "k") (* 4 *);
+      ]
+  in
+  let ctx2, pts2 = points_of g in
+  check_bool "uncapped counter widens to top" true
+    (is_top (Interval.eval ctx2 (Hashtbl.find pts2 4) (v "k")))
+
 let test_interval_unreachable_point () =
   let open Ast in
   let f =
@@ -617,6 +717,12 @@ let () =
             test_interval_branch_refinement;
           Alcotest.test_case "loop widening" `Quick
             test_interval_loop_widening;
+          Alcotest.test_case "widening: nested loops" `Quick
+            test_interval_widening_nested_loops;
+          Alcotest.test_case "widening: decrementing counter" `Quick
+            test_interval_widening_decrement;
+          Alcotest.test_case "widening: int endpoints" `Quick
+            test_interval_widening_int_endpoints;
           Alcotest.test_case "unreachable point" `Quick
             test_interval_unreachable_point;
           Alcotest.test_case "call clobbers globals" `Quick

@@ -54,6 +54,18 @@ let test_unreachable () =
 let test_deadstore () =
   golden "deadstore.mc" [ "note: main:1: value assigned to b is never used" ]
 
+let test_after_ret () =
+  golden "after_ret.mc"
+    [ "warning: main:2: unreachable code after return: x = 99;" ]
+
+let test_const_loop () =
+  golden "const_loop.mc"
+    [
+      "warning: main:2: loop condition (k > 0) is always true; the loop \
+       only exits through return";
+      "warning: main:4: unreachable code: return s;";
+    ]
+
 let test_clean () = golden "clean.mc" []
 
 let test_fails () =
@@ -90,6 +102,8 @@ let () =
           Alcotest.test_case "use before init" `Quick test_uninit;
           Alcotest.test_case "unreachable code" `Quick test_unreachable;
           Alcotest.test_case "dead store" `Quick test_deadstore;
+          Alcotest.test_case "code after return" `Quick test_after_ret;
+          Alcotest.test_case "constant loop condition" `Quick test_const_loop;
           Alcotest.test_case "clean program" `Quick test_clean;
         ] );
       ( "policy",
