@@ -6,8 +6,15 @@
    Each experiment additionally emits a machine-readable
    BENCH_<target>.json next to its ASCII output: wall-clock, simulated
    cycles, solver nodes, build counts (deltas over the run) plus the
-   full metrics-registry snapshot.  --trace-out/--metrics-out export
-   the usual Chrome trace / metrics dump for the whole invocation. *)
+   full metrics-registry snapshot.  The shared observability term
+   (Obs_cli) provides --trace-out/--metrics-out/--profile-out exactly
+   as in the other CLIs.
+
+   History: unless --history none, every experiment appends one JSONL
+   entry (git rev, experiment, numeric metrics) to the history file,
+   and --check compares the fresh run against the median of the last
+   runs first — relative thresholds per metric family — exiting
+   nonzero if any experiment regressed. *)
 
 let ppf = Format.std_formatter
 
@@ -143,29 +150,78 @@ let experiments =
     ("baselines", baselines); ("sched", sched);
   ]
 
-(* Machine-readable per-target output: wall clock plus the deltas of
-   the interesting registry counters over the target's execution, and
-   the full end-of-target snapshot. *)
-let bench_json name ~wall_ns ~(before : Obs.Metrics.snapshot)
+(* The numeric per-experiment measurements: the deltas of the
+   interesting registry counters over the experiment's execution.
+   These drive both the BENCH_<name>.json fields and the history
+   entry, so the regression gate checks exactly what the JSON
+   reports. *)
+let measurements ~wall_ns ~(before : Obs.Metrics.snapshot)
     ~(after : Obs.Metrics.snapshot) =
-  let delta key = Obs.Metrics.counter_value after key - Obs.Metrics.counter_value before key in
+  let delta key =
+    Obs.Metrics.counter_value after key - Obs.Metrics.counter_value before key
+  in
+  [
+    ("wall_clock_s", Int64.to_float wall_ns /. 1e9);
+    ("sim_cycles", float_of_int (delta "sim.cycles"));
+    ("sim_runs", float_of_int (delta "sim.runs"));
+    ("solver_nodes", float_of_int (delta "binlp.nodes"));
+    ("solver_incumbents", float_of_int (delta "binlp.incumbents"));
+    ("builds", float_of_int (delta "dse.builds"));
+    ("bounds_computed", float_of_int (delta "dse.bounds.computed"));
+    ("bounds_pruned", float_of_int (delta "dse.bounds.pruned"));
+    ("engine_hits", float_of_int (delta "dse.engine.hits"));
+    ("engine_misses", float_of_int (delta "dse.engine.misses"));
+    ("engine_inflight_dedup", float_of_int (delta "dse.engine.inflight_dedup"));
+    ("heuristic_builds", float_of_int (delta "heuristic.builds"));
+  ]
+
+(* "wall_clock_s" is a float; every counter delta renders as an int so
+   the JSON stays shaped as before. *)
+let measurement_json (key, v) =
+  if key = "wall_clock_s" then (key, Obs.Json.Float v)
+  else (key, Obs.Json.Int (int_of_float v))
+
+(* Summary of the engine's build-duration histogram (whole process so
+   far): count, sum and log2-bucket p50/p99 upper estimates. *)
+let build_seconds_json (after : Obs.Metrics.snapshot) =
+  match Obs.Metrics.find after "dse.engine.build_seconds" with
+  | Some (Obs.Metrics.Histogram { count; sum; _ } as h) when count > 0 ->
+      let q p =
+        match Obs.Metrics.quantile p h with
+        | Some le -> Obs.Json.Float le
+        | None -> Obs.Json.Null
+      in
+      Obs.Json.Obj
+        [
+          ("count", Obs.Json.Int count);
+          ("sum", Obs.Json.Float sum);
+          ("p50", q 0.5);
+          ("p99", q 0.99);
+        ]
+  | _ -> Obs.Json.Null
+
+(* Profiler cost accounting for one experiment: samples taken and span
+   boundaries crossed during it, and the calibrated overhead estimate
+   as a percentage of the experiment's wall clock. *)
+let profiler_json ~wall_ns ~samples ~ops =
+  let overhead = Obs.Profile.overhead_ns ~ops ~samples in
   Obs.Json.Obj
     [
-      ("target", Obs.Json.String name);
-      ("wall_clock_s", Obs.Json.Float (Int64.to_float wall_ns /. 1e9));
-      ("sim_cycles", Obs.Json.Int (delta "sim.cycles"));
-      ("sim_runs", Obs.Json.Int (delta "sim.runs"));
-      ("solver_nodes", Obs.Json.Int (delta "binlp.nodes"));
-      ("solver_incumbents", Obs.Json.Int (delta "binlp.incumbents"));
-      ("builds", Obs.Json.Int (delta "dse.builds"));
-      ("bounds_computed", Obs.Json.Int (delta "dse.bounds.computed"));
-      ("bounds_pruned", Obs.Json.Int (delta "dse.bounds.pruned"));
-      ("engine_hits", Obs.Json.Int (delta "dse.engine.hits"));
-      ("engine_misses", Obs.Json.Int (delta "dse.engine.misses"));
-      ("engine_inflight_dedup", Obs.Json.Int (delta "dse.engine.inflight_dedup"));
-      ("heuristic_builds", Obs.Json.Int (delta "heuristic.builds"));
-      ("metrics", Obs.Metrics.to_json after);
+      ("samples", Obs.Json.Int samples);
+      ("span_ops", Obs.Json.Int ops);
+      ( "overhead_pct",
+        Obs.Json.Float
+          (if wall_ns > 0L then overhead /. Int64.to_float wall_ns *. 100.0
+           else 0.0) );
     ]
+
+let bench_json name ~ms ~profiler ~(after : Obs.Metrics.snapshot) =
+  Obs.Json.Obj
+    ([ ("target", Obs.Json.String name) ]
+    @ List.map measurement_json ms
+    @ [ ("build_seconds", build_seconds_json after) ]
+    @ (match profiler with None -> [] | Some j -> [ ("profiler", j) ])
+    @ [ ("metrics", Obs.Metrics.to_json after) ])
 
 let write_bench name json =
   let path = Printf.sprintf "BENCH_%s.json" name in
@@ -175,64 +231,136 @@ let write_bench name json =
     (fun () -> output_string oc (Obs.Json.to_string json));
   Format.eprintf "wrote %s@." path
 
-let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let trace_out = ref None and metrics_out = ref None in
-  let verbosity = ref 0 in
-  let names = ref [] in
-  let rec parse = function
-    | [] -> ()
-    | "--trace-out" :: path :: rest ->
-        trace_out := Some path;
-        parse rest
-    | "--metrics-out" :: path :: rest ->
-        metrics_out := Some path;
-        parse rest
-    | "-v" :: rest ->
-        incr verbosity;
-        parse rest
-    | "-vv" :: rest ->
-        verbosity := !verbosity + 2;
-        parse rest
-    | ("--trace-out" | "--metrics-out") :: [] ->
-        Format.eprintf "missing FILE argument@.";
-        exit 2
-    | name :: rest ->
-        names := name :: !names;
-        parse rest
+let git_rev () =
+  match Sys.getenv_opt "BENCH_GIT_REV" with
+  | Some r -> r
+  | None -> (
+      try
+        let ic =
+          Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+        in
+        let line = try input_line ic with End_of_file -> "" in
+        match Unix.close_process_in ic with
+        | Unix.WEXITED 0 when line <> "" -> line
+        | _ -> "unknown"
+      with _ -> "unknown")
+
+exception Bail of int
+
+let run_experiment ~history_path ~check ~rev ~profiling regressions name =
+  match List.assoc_opt name experiments with
+  | Some f ->
+      let before = Obs.Metrics.snapshot () in
+      let samples0 = Obs.Profile.total_samples () in
+      let ops0 = Obs.Profile.span_ops () in
+      let t0 = Obs.Clock.now_ns () in
+      Obs.Span.with_ ~cat:"bench" ("bench." ^ name) (fun () ->
+          Format.printf "@.";
+          f ();
+          Format.printf "@.");
+      let wall_ns = Int64.sub (Obs.Clock.now_ns ()) t0 in
+      let after = Obs.Metrics.snapshot () in
+      let ms = measurements ~wall_ns ~before ~after in
+      let profiler =
+        if profiling then
+          Some
+            (profiler_json ~wall_ns
+               ~samples:(Obs.Profile.total_samples () - samples0)
+               ~ops:(Obs.Profile.span_ops () - ops0))
+        else None
+      in
+      write_bench name (bench_json name ~ms ~profiler ~after);
+      (match history_path with
+      | None -> ()
+      | Some path ->
+          let entry =
+            {
+              Obs.History.rev = Lazy.force rev;
+              target = name;
+              time = Unix.gettimeofday ();
+              metrics = ms;
+            }
+          in
+          (if check then
+             match Obs.History.load path with
+             | Error m ->
+                 Format.eprintf "%s@." m;
+                 raise (Bail 2)
+             | Ok history ->
+                 let regs = Obs.History.check ~history entry in
+                 List.iter
+                   (fun r ->
+                     Format.eprintf "%s: REGRESSION %a@." name
+                       Obs.History.pp_regression r)
+                   regs;
+                 if regs <> [] then regressions := (name, regs) :: !regressions);
+          Obs.History.append path entry)
+  | None when name = "perf" -> perf ()
+  | None ->
+      Format.eprintf "unknown experiment %S; known: %s, perf@." name
+        (String.concat ", " (List.map fst experiments));
+      raise (Bail 2)
+
+let main names check history rev obs =
+  let body () =
+    Obs_cli.with_reporting obs "bench" @@ fun () ->
+    let history_path =
+      match history with "none" | "" -> None | path -> Some path
+    in
+    let rev =
+      lazy (match rev with Some r -> r | None -> git_rev ())
+    in
+    let profiling = obs.Obs_cli.profile_out <> None in
+    let regressions = ref [] in
+    let run = run_experiment ~history_path ~check ~rev ~profiling regressions in
+    (match names with
+    | [] -> List.iter (fun (n, _) -> run n) experiments
+    | names -> List.iter run names);
+    match !regressions with
+    | [] -> 0
+    | regs ->
+        Format.eprintf "bench --check: %d experiment(s) regressed@."
+          (List.length regs);
+        1
   in
-  parse args;
-  let names = List.rev !names in
-  Obs.Log.setup ~verbosity:!verbosity ();
-  if !trace_out <> None then Obs.Trace.set_enabled true;
-  let run name =
-    match List.assoc_opt name experiments with
-    | Some f ->
-        let before = Obs.Metrics.snapshot () in
-        let t0 = Obs.Clock.now_ns () in
-        Obs.Span.with_ ~cat:"bench" ("bench." ^ name) (fun () ->
-            Format.printf "@.";
-            f ();
-            Format.printf "@.");
-        let wall_ns = Int64.sub (Obs.Clock.now_ns ()) t0 in
-        let after = Obs.Metrics.snapshot () in
-        write_bench name (bench_json name ~wall_ns ~before ~after)
-    | None when name = "perf" -> perf ()
-    | None ->
-        Format.eprintf "unknown experiment %S; known: %s, perf@." name
-          (String.concat ", " (List.map fst experiments));
-        exit 2
+  match body () with code -> code | exception Bail code -> code
+
+let cmd =
+  let open Cmdliner in
+  let names_arg =
+    let doc =
+      "Experiments to run (default: all except perf).  Known: fig1..fig7, \
+       ablation, energy, convex, baselines, sched, perf."
+    in
+    Arg.(value & pos_all string [] & info [] ~doc ~docv:"EXPERIMENT")
   in
-  (match names with
-  | [] -> List.iter (fun (n, _) -> run n) experiments
-  | names -> List.iter run names);
-  (match !trace_out with
-  | None -> ()
-  | Some path ->
-      Obs.Export.write_trace path;
-      Format.eprintf "wrote Chrome trace to %s@." path);
-  match !metrics_out with
-  | None -> ()
-  | Some path ->
-      Obs.Export.write_metrics path;
-      Format.eprintf "wrote metrics snapshot to %s@." path
+  let check_arg =
+    let doc =
+      "Compare each experiment's fresh measurements against the median of \
+       its recent history entries and exit nonzero if any metric crosses \
+       its relative threshold."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let history_arg =
+    let doc =
+      "Append each experiment's measurements to this JSONL history file \
+       ($(b,none) to disable history entirely)."
+    in
+    Arg.(
+      value & opt string "BENCH_history.jsonl" & info [ "history" ] ~doc ~docv:"FILE")
+  in
+  let rev_arg =
+    let doc =
+      "Revision label for history entries (default: $(b,BENCH_GIT_REV) or \
+       $(b,git rev-parse --short HEAD))."
+    in
+    Arg.(value & opt (some string) None & info [ "rev" ] ~doc ~docv:"REV")
+  in
+  let doc = "regenerate the paper's evaluation and gate on bench history" in
+  Cmd.v
+    (Cmd.info "bench" ~doc)
+    Term.(
+      const main $ names_arg $ check_arg $ history_arg $ rev_arg $ Obs_cli.term)
+
+let () = exit (Cmdliner.Cmd.eval' cmd)

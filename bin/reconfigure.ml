@@ -82,15 +82,59 @@ let target_arg =
     & opt target_conv (module Dse.Target_leon2 : Dse.Target.S)
     & info [ "target" ] ~doc ~docv:"TARGET")
 
+let explain_arg =
+  let doc =
+    "Record the run's decision journal (per-candidate engine outcomes, \
+     solver incumbent timeline, bound tightness) and write the provenance \
+     report as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "explain" ] ~doc ~docv:"FILE")
+
+let explain_md_arg =
+  let doc = "Like $(b,--explain) but render the report as markdown." in
+  Arg.(value & opt (some string) None & info [ "explain-md" ] ~doc ~docv:"FILE")
+
 let ppf = Format.std_formatter
 
 (* The whole pipeline is generic in the target: instantiating the
    functorized stack on the chosen backend gives the same code path
    (and the same output format) for every soft core. *)
-let run target app w1 w2 dims exhaustive noise print_model_flag report obs =
+let run target app w1 w2 dims exhaustive noise print_model_flag report explain
+    explain_md obs =
   Obs_cli.with_reporting obs "reconfigure" @@ fun () ->
   let (module T : Dse.Target.S) = target in
   let module S = Dse.Stack.Make (T) in
+  let explaining = explain <> None || explain_md <> None in
+  if explaining then begin
+    Obs.Journal.set_enabled true;
+    Obs.Journal.record ~kind:"run.meta"
+      [
+        ("tool", Obs.Json.String "reconfigure");
+        ("target", Obs.Json.String T.name);
+        ("app", Obs.Json.String app.Apps.Registry.name);
+        ("w1", Obs.Json.Float w1);
+        ("w2", Obs.Json.Float w2);
+        ( "dims",
+          Obs.Json.String (match dims with `All -> "all" | `Dcache -> "dcache")
+        );
+      ]
+  end;
+  let write_explain () =
+    if explaining then begin
+      let report = Dse.Explain.of_journal () in
+      Option.iter
+        (fun path ->
+          Dse.Explain.write_json path report;
+          Logs.info (fun m -> m "wrote explain report to %s" path))
+        explain;
+      Option.iter
+        (fun path ->
+          Dse.Explain.write_markdown path report;
+          Logs.info (fun m -> m "wrote explain report (markdown) to %s" path))
+        explain_md
+    end
+  in
+  Fun.protect ~finally:write_explain @@ fun () ->
   let print_model (m : S.Measure.model) =
     Format.fprintf ppf "One-at-a-time cost model (base %a):@." Dse.Cost.pp
       m.S.Measure.base;
@@ -171,6 +215,6 @@ let cmd =
     Term.(
       const run $ target_arg $ app_arg $ w1_arg $ w2_arg $ dims_arg
       $ exhaustive_arg $ noise_arg $ print_model_arg $ report_arg
-      $ Obs_cli.term)
+      $ explain_arg $ explain_md_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval cmd)

@@ -14,6 +14,10 @@ let m_dedup =
   Obs.Metrics.Counter.v "dse.engine.inflight_dedup"
     ~help:"evaluations collapsed onto an identical in-flight or batched request"
 
+let h_build_seconds =
+  Obs.Metrics.Histogram.v "dse.engine.build_seconds"
+    ~help:"wall-clock duration of engine build+simulate computations"
+
 (* Content-addressed cache key: the codec's canonical encoding always
    emits every field, so structurally equal configurations digest
    identically.  The target name is part of the key — two targets may
@@ -107,7 +111,20 @@ let noised_resources ?noise (probe : _ Target.probe) config =
 
 let simulate (probe : _ Target.probe) app config =
   Obs.Metrics.Counter.incr m_builds;
-  probe.Target.simulate app config
+  let t0 = Obs.Clock.since_start_ns () in
+  let r = probe.Target.simulate app config in
+  let dt = Int64.sub (Obs.Clock.since_start_ns ()) t0 in
+  Obs.Metrics.Histogram.observe h_build_seconds (Int64.to_float dt *. 1e-9);
+  r
+
+(* Journal identification of one candidate: the application plus the
+   codec's canonical encoding (stable across runs, unlike digests,
+   and what a reader of an explain report wants to see). *)
+let journal_fields (probe : _ Target.probe) (app : Apps.Registry.t) config =
+  [
+    ("app", Obs.Json.String app.Apps.Registry.name);
+    ("config", Obs.Json.String (probe.Target.describe config));
+  ]
 
 (* The per-key state machine.  [Pending] is only ever installed by a
    thread about to compute in place, so a waiter always waits on an
@@ -118,8 +135,15 @@ let simulate (probe : _ Target.probe) app config =
 let obtain t ~feasible_only ?noise probe app config =
   let key = key_of ?noise probe app config in
   let counted = ref false in
+  let journal kind extra =
+    if Obs.Journal.enabled () then
+      Obs.Journal.record ~kind (journal_fields probe app config @ extra)
+  in
   let hit r =
-    if not !counted then Obs.Metrics.Counter.incr m_hits;
+    if not !counted then begin
+      Obs.Metrics.Counter.incr m_hits;
+      journal "engine.hit" []
+    end;
     r
   in
   let compute prior =
@@ -143,6 +167,10 @@ let obtain t ~feasible_only ?noise probe app config =
         Hashtbl.replace t.table key entry;
         Condition.broadcast t.cond;
         Mutex.unlock t.mutex;
+        (match entry with
+        | Full v -> journal "engine.build" [ ("fits", Obs.Json.Bool v.fits) ]
+        | Unfit _ -> journal "engine.unfit" []
+        | Pending -> ());
         entry
     | exception e ->
         let bt = Printexc.get_raw_backtrace () in
@@ -169,7 +197,8 @@ let obtain t ~feasible_only ?noise probe app config =
     | Some Pending ->
         if not !counted then begin
           counted := true;
-          Obs.Metrics.Counter.incr m_dedup
+          Obs.Metrics.Counter.incr m_dedup;
+          journal "engine.dedup" []
         end;
         Condition.wait t.cond t.mutex;
         loop ()
@@ -190,8 +219,17 @@ let eval_profiled_on ?noise t probe app config =
   | Full v -> (v.cost, v.profile)
   | Unfit _ | Pending -> assert false
 
+let journal_infeasible probe app config reason =
+  if Obs.Journal.enabled () then
+    Obs.Journal.record ~kind:"engine.infeasible"
+      (journal_fields probe app config
+      @ [ ("reason", Obs.Json.String reason) ])
+
 let eval_feasible_on ?noise t (probe : _ Target.probe) app config =
-  if not (probe.Target.is_valid config) then None
+  if not (probe.Target.is_valid config) then begin
+    journal_infeasible probe app config "invalid";
+    None
+  end
   else
     match obtain t ~feasible_only:true ?noise probe app config with
     | Full v -> if v.fits then Some v.cost else None
@@ -218,21 +256,46 @@ let eval_bounded_on ?noise ~cutoff t (probe : _ Target.probe) app config =
     | None -> Infeasible
     | Some cost -> Evaluated cost
   in
-  if not (probe.Target.is_valid config) then Infeasible
+  if not (probe.Target.is_valid config) then begin
+    journal_infeasible probe app config "invalid";
+    Infeasible
+  end
   else
     match probe.Target.static_bounds with
     | None -> admit ()
     | Some bounds_of ->
         let resources, fits = noised_resources ?noise probe config in
-        if not fits then Infeasible
+        if not fits then begin
+          journal_infeasible probe app config "unfit";
+          Infeasible
+        end
         else
           let limit = cutoff resources in
           if limit = infinity then admit ()
           else begin
             let lo, hi = bounds_of app config in
             Obs.Metrics.Counter.incr Bounds.m_computed;
+            if Obs.Journal.enabled () then
+              Obs.Journal.record ~kind:"bounds.computed"
+                (journal_fields probe app config
+                @ [
+                    ("lo", Obs.Json.Float lo);
+                    ("hi", Obs.Json.Float hi);
+                    ( "tightness",
+                      match Bounds.tightness ~lo ~hi with
+                      | Some r -> Obs.Json.Float r
+                      | None -> Obs.Json.Null );
+                  ]);
             if lo > limit then begin
               Obs.Metrics.Counter.incr Bounds.m_pruned;
+              if Obs.Journal.enabled () then
+                Obs.Journal.record ~kind:"engine.pruned"
+                  (journal_fields probe app config
+                  @ [
+                      ("lo", Obs.Json.Float lo);
+                      ("hi", Obs.Json.Float hi);
+                      ("cutoff", Obs.Json.Float limit);
+                    ]);
               Pruned (lo, hi)
             end
             else admit ()
@@ -251,15 +314,17 @@ let force_programs apps =
     apps
 
 (* Collapse a keyed batch to its distinct requests (first occurrence
-   order), counting the collapsed repeats, evaluate the distinct ones
-   on the pool, and fan the results back out in input order. *)
-let batch ~span_name t keyed evaluate =
+   order), counting (and journalling) the collapsed repeats, evaluate
+   the distinct ones on the pool, and fan the results back out in
+   input order. *)
+let batch ~span_name ~journal_dedup t keyed evaluate =
   let seen = Hashtbl.create 64 in
   let uniques =
     List.filter
-      (fun (k, _) ->
+      (fun (k, req) ->
         if Hashtbl.mem seen k then begin
           Obs.Metrics.Counter.incr m_dedup;
+          journal_dedup req;
           false
         end
         else begin
@@ -281,7 +346,11 @@ let batch ~span_name t keyed evaluate =
     | Some pool -> Pool.map pool eval_one uniques
     | None when Domain.recommended_domain_count () > 1 ->
         Pool.map (Pool.default ()) eval_one uniques
-    | None -> List.map eval_one uniques
+    | None ->
+        (* Single-core fallback: run on the caller, but still through
+           the pool's task accounting so [dse.pool.tasks] reflects the
+           work actually done (it used to stay 0 here). *)
+        List.map (fun x -> Pool.run_inline (fun () -> eval_one x)) uniques
   in
   let by_key = Hashtbl.create 64 in
   List.iter2 (fun (k, _) r -> Hashtbl.replace by_key k r) uniques results;
@@ -298,8 +367,12 @@ let eval_all_on ?noise t probe pairs =
           (fun (app, config) -> (key_of ?noise probe app config, (app, config)))
           pairs
       in
-      batch ~span_name:"engine.eval_all" t keyed (fun (app, config) ->
-          eval_on ?noise t probe app config)
+      batch ~span_name:"engine.eval_all" t keyed
+        ~journal_dedup:(fun (app, config) ->
+          if Obs.Journal.enabled () then
+            Obs.Journal.record ~kind:"engine.dedup"
+              (journal_fields probe app config))
+        (fun (app, config) -> eval_on ?noise t probe app config)
 
 let eval_all_feasible_on ?noise t probe app configs =
   match configs with
@@ -310,8 +383,12 @@ let eval_all_feasible_on ?noise t probe app configs =
       let keyed =
         List.map (fun config -> (key_of ?noise probe app config, config)) configs
       in
-      batch ~span_name:"engine.eval_all" t keyed (fun config ->
-          eval_feasible_on ?noise t probe app config)
+      batch ~span_name:"engine.eval_all" t keyed
+        ~journal_dedup:(fun config ->
+          if Obs.Journal.enabled () then
+            Obs.Journal.record ~kind:"engine.dedup"
+              (journal_fields probe app config))
+        (fun config -> eval_feasible_on ?noise t probe app config)
 
 (* The historical LEON2-typed entry points, now thin wrappers over the
    probe-parametric API. *)

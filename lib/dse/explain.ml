@@ -1,0 +1,386 @@
+(* Decision-provenance reports: aggregate the raw {!Obs.Journal}
+   stream of one pipeline run into a structured explanation — solver
+   incumbent timelines, per-candidate engine outcomes, and static-bound
+   tightness — rendered as JSON or markdown.
+
+   The report is deterministic for a deterministic run when rendered
+   with [~timings:false]: candidates are sorted by (app, config), the
+   incumbent timeline keeps journal order (monotone by construction),
+   and all wall-clock fields are omitted — so a pinned run golden-tests
+   byte-for-byte. *)
+
+type incumbent = {
+  ts_ns : int64;
+  node : int;
+  objective : float;
+  bound : float option; (* previous best; [None] for the first *)
+}
+
+type solve = {
+  nodes : int;
+  pruned_bound : int;
+  pruned_validity : int;
+  incumbent_count : int;
+  objective : float option;
+  timeline : incumbent list; (* oldest first *)
+}
+
+type outcome = Hit | Build | Unfit | Dedup | Pruned | Infeasible
+
+type candidate = {
+  app : string;
+  config : string;
+  hits : int;
+  builds : int;
+  unfit : int;
+  dedup : int;
+  pruned : int;
+  infeasible : int;
+}
+
+type accounting = {
+  a_hits : int;
+  a_builds : int;
+  a_unfit : int;
+  a_dedup : int;
+  a_pruned : int;
+  a_infeasible : int;
+}
+
+type tightness_stats = {
+  t_count : int;
+  t_min : float;
+  t_mean : float;
+  t_max : float;
+}
+
+type bounds_report = {
+  computed : int; (* bounds.computed + bounds.verify events *)
+  verified : int;
+  violations : int;
+  tightness : tightness_stats option;
+}
+
+type t = {
+  meta : (string * Obs.Json.t) list;
+  solves : solve list;
+  candidates : candidate list;
+  account : accounting;
+  bounds : bounds_report;
+}
+
+let considered a =
+  a.a_hits + a.a_builds + a.a_unfit + a.a_dedup + a.a_pruned + a.a_infeasible
+
+(* --- field access over journal events --- *)
+
+let str k fields =
+  match List.assoc_opt k fields with
+  | Some (Obs.Json.String s) -> Some s
+  | _ -> None
+
+let num k fields = Option.bind (List.assoc_opt k fields) Obs.Json.to_float
+let int_f k fields = Option.bind (List.assoc_opt k fields) Obs.Json.to_int
+
+let of_events events =
+  let meta = ref [] in
+  let solves = ref [] in
+  let open_timeline = ref [] in
+  let table : (string * string, candidate) Hashtbl.t = Hashtbl.create 64 in
+  let acc =
+    ref
+      {
+        a_hits = 0;
+        a_builds = 0;
+        a_unfit = 0;
+        a_dedup = 0;
+        a_pruned = 0;
+        a_infeasible = 0;
+      }
+  in
+  let computed = ref 0 in
+  let verified = ref 0 in
+  let violations = ref 0 in
+  let tightnesses = ref [] in
+  let candidate_event outcome fields =
+    match (str "app" fields, str "config" fields) with
+    | Some app, Some config ->
+        let key = (app, config) in
+        let c =
+          match Hashtbl.find_opt table key with
+          | Some c -> c
+          | None ->
+              {
+                app;
+                config;
+                hits = 0;
+                builds = 0;
+                unfit = 0;
+                dedup = 0;
+                pruned = 0;
+                infeasible = 0;
+              }
+        in
+        let a = !acc in
+        let c, a =
+          match outcome with
+          | Hit -> ({ c with hits = c.hits + 1 }, { a with a_hits = a.a_hits + 1 })
+          | Build ->
+              ({ c with builds = c.builds + 1 }, { a with a_builds = a.a_builds + 1 })
+          | Unfit ->
+              ({ c with unfit = c.unfit + 1 }, { a with a_unfit = a.a_unfit + 1 })
+          | Dedup ->
+              ({ c with dedup = c.dedup + 1 }, { a with a_dedup = a.a_dedup + 1 })
+          | Pruned ->
+              ({ c with pruned = c.pruned + 1 }, { a with a_pruned = a.a_pruned + 1 })
+          | Infeasible ->
+              ( { c with infeasible = c.infeasible + 1 },
+                { a with a_infeasible = a.a_infeasible + 1 } )
+        in
+        Hashtbl.replace table key c;
+        acc := a
+    | _ -> ()
+  in
+  let record_tightness fields =
+    computed := !computed + 1;
+    match num "tightness" fields with
+    | Some r -> tightnesses := r :: !tightnesses
+    | None -> ()
+  in
+  List.iter
+    (fun (e : Obs.Journal.event) ->
+      let f = e.Obs.Journal.fields in
+      match e.Obs.Journal.kind with
+      | "run.meta" -> if !meta = [] then meta := f
+      | "binlp.incumbent" ->
+          let inc =
+            {
+              ts_ns = e.Obs.Journal.ts_ns;
+              node = Option.value ~default:0 (int_f "node" f);
+              objective = Option.value ~default:0.0 (num "objective" f);
+              bound = num "bound" f;
+            }
+          in
+          open_timeline := inc :: !open_timeline
+      | "binlp.solve" ->
+          let s =
+            {
+              nodes = Option.value ~default:0 (int_f "nodes" f);
+              pruned_bound = Option.value ~default:0 (int_f "pruned_bound" f);
+              pruned_validity =
+                Option.value ~default:0 (int_f "pruned_validity" f);
+              incumbent_count = Option.value ~default:0 (int_f "incumbents" f);
+              objective = num "objective" f;
+              timeline = List.rev !open_timeline;
+            }
+          in
+          open_timeline := [];
+          solves := s :: !solves
+      | "engine.hit" -> candidate_event Hit f
+      | "engine.build" -> candidate_event Build f
+      | "engine.unfit" -> candidate_event Unfit f
+      | "engine.dedup" -> candidate_event Dedup f
+      | "engine.pruned" -> candidate_event Pruned f
+      | "engine.infeasible" -> candidate_event Infeasible f
+      | "bounds.computed" -> record_tightness f
+      | "bounds.verify" -> (
+          record_tightness f;
+          verified := !verified + 1;
+          match (num "actual" f, num "lo" f, num "hi" f) with
+          | Some actual, Some lo, Some hi when actual < lo || actual > hi ->
+              violations := !violations + 1
+          | _ -> ())
+      | _ -> ())
+    events;
+  let candidates =
+    Hashtbl.fold (fun _ c l -> c :: l) table []
+    |> List.sort (fun a b -> compare (a.app, a.config) (b.app, b.config))
+  in
+  let tightness =
+    match !tightnesses with
+    | [] -> None
+    | ts ->
+        let n = List.length ts in
+        Some
+          {
+            t_count = n;
+            t_min = List.fold_left min infinity ts;
+            t_mean = List.fold_left ( +. ) 0.0 ts /. float_of_int n;
+            t_max = List.fold_left max neg_infinity ts;
+          }
+  in
+  {
+    meta = !meta;
+    solves = List.rev !solves;
+    candidates;
+    account = !acc;
+    bounds =
+      {
+        computed = !computed;
+        verified = !verified;
+        violations = !violations;
+        tightness;
+      };
+  }
+
+let of_journal () = of_events (Obs.Journal.events ())
+
+(* --- rendering --- *)
+
+let opt_float = function
+  | Some x -> Obs.Json.Float x
+  | None -> Obs.Json.Null
+
+let incumbent_json ~timings i =
+  Obs.Json.Obj
+    ((if timings then [ ("t_us", Obs.Json.Float (Obs.Clock.ns_to_us i.ts_ns)) ]
+      else [])
+    @ [
+        ("node", Obs.Json.Int i.node);
+        ("objective", Obs.Json.Float i.objective);
+        ("bound", opt_float i.bound);
+      ])
+
+let solve_json ~timings s =
+  Obs.Json.Obj
+    [
+      ("nodes", Obs.Json.Int s.nodes);
+      ("pruned_bound", Obs.Json.Int s.pruned_bound);
+      ("pruned_validity", Obs.Json.Int s.pruned_validity);
+      ("incumbents", Obs.Json.Int s.incumbent_count);
+      ("objective", opt_float s.objective);
+      ("timeline", Obs.Json.List (List.map (incumbent_json ~timings) s.timeline));
+    ]
+
+let candidate_json c =
+  Obs.Json.Obj
+    [
+      ("app", Obs.Json.String c.app);
+      ("config", Obs.Json.String c.config);
+      ("hits", Obs.Json.Int c.hits);
+      ("builds", Obs.Json.Int c.builds);
+      ("unfit", Obs.Json.Int c.unfit);
+      ("dedup", Obs.Json.Int c.dedup);
+      ("pruned", Obs.Json.Int c.pruned);
+      ("infeasible", Obs.Json.Int c.infeasible);
+    ]
+
+let to_json ?(timings = true) t =
+  let a = t.account in
+  Obs.Json.Obj
+    [
+      ("meta", Obs.Json.Obj t.meta);
+      ("solves", Obs.Json.List (List.map (solve_json ~timings) t.solves));
+      ("candidates", Obs.Json.List (List.map candidate_json t.candidates));
+      ( "accounting",
+        Obs.Json.Obj
+          [
+            ("considered", Obs.Json.Int (considered a));
+            ("hits", Obs.Json.Int a.a_hits);
+            ("builds", Obs.Json.Int a.a_builds);
+            ("unfit", Obs.Json.Int a.a_unfit);
+            ("dedup", Obs.Json.Int a.a_dedup);
+            ("pruned", Obs.Json.Int a.a_pruned);
+            ("infeasible", Obs.Json.Int a.a_infeasible);
+          ] );
+      ( "bounds",
+        Obs.Json.Obj
+          ([
+             ("computed", Obs.Json.Int t.bounds.computed);
+             ("verified", Obs.Json.Int t.bounds.verified);
+             ("violations", Obs.Json.Int t.bounds.violations);
+           ]
+          @
+          match t.bounds.tightness with
+          | None -> []
+          | Some s ->
+              [
+                ( "tightness",
+                  Obs.Json.Obj
+                    [
+                      ("count", Obs.Json.Int s.t_count);
+                      ("min", Obs.Json.Float s.t_min);
+                      ("mean", Obs.Json.Float s.t_mean);
+                      ("max", Obs.Json.Float s.t_max);
+                    ] );
+              ]) );
+    ]
+
+let buf_addf b fmt = Printf.ksprintf (Buffer.add_string b) fmt
+
+let to_markdown ?(timings = true) t =
+  let b = Buffer.create 4096 in
+  buf_addf b "# Decision provenance\n";
+  if t.meta <> [] then begin
+    buf_addf b "\n## Run\n\n";
+    List.iter
+      (fun (k, v) -> buf_addf b "- %s: %s\n" k (Obs.Json.to_string v))
+      t.meta
+  end;
+  List.iteri
+    (fun i s ->
+      buf_addf b "\n## Solve %d\n\n" (i + 1);
+      buf_addf b
+        "nodes: %d, pruned (bound): %d, pruned (validity): %d, incumbents: %d"
+        s.nodes s.pruned_bound s.pruned_validity s.incumbent_count;
+      (match s.objective with
+      | Some o -> buf_addf b ", objective: %g\n" o
+      | None -> buf_addf b ", no feasible solution\n");
+      if s.timeline <> [] then begin
+        if timings then begin
+          buf_addf b "\n| node | objective | prev best | t (us) |\n";
+          buf_addf b "|---:|---:|---:|---:|\n";
+          List.iter
+            (fun i ->
+              buf_addf b "| %d | %g | %s | %.1f |\n" i.node i.objective
+                (match i.bound with Some x -> Printf.sprintf "%g" x | None -> "-")
+                (Obs.Clock.ns_to_us i.ts_ns))
+            s.timeline
+        end
+        else begin
+          buf_addf b "\n| node | objective | prev best |\n";
+          buf_addf b "|---:|---:|---:|\n";
+          List.iter
+            (fun i ->
+              buf_addf b "| %d | %g | %s |\n" i.node i.objective
+                (match i.bound with Some x -> Printf.sprintf "%g" x | None -> "-"))
+            s.timeline
+        end
+      end)
+    t.solves;
+  let a = t.account in
+  buf_addf b "\n## Candidates\n\n";
+  buf_addf b
+    "considered: %d (hits %d, builds %d, unfit %d, dedup %d, pruned %d, \
+     infeasible %d)\n"
+    (considered a) a.a_hits a.a_builds a.a_unfit a.a_dedup a.a_pruned
+    a.a_infeasible;
+  if t.candidates <> [] then begin
+    buf_addf b "\n| app | config | hits | builds | unfit | dedup | pruned | infeasible |\n";
+    buf_addf b "|---|---|---:|---:|---:|---:|---:|---:|\n";
+    List.iter
+      (fun c ->
+        buf_addf b "| %s | `%s` | %d | %d | %d | %d | %d | %d |\n" c.app
+          c.config c.hits c.builds c.unfit c.dedup c.pruned c.infeasible)
+      t.candidates
+  end;
+  buf_addf b "\n## Static bounds\n\n";
+  buf_addf b "computed: %d, verified: %d, violations: %d\n" t.bounds.computed
+    t.bounds.verified t.bounds.violations;
+  (match t.bounds.tightness with
+  | None -> ()
+  | Some s ->
+      buf_addf b "tightness (lo/hi): min %.4f, mean %.4f, max %.4f over %d\n"
+        s.t_min s.t_mean s.t_max s.t_count);
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let write_json ?timings path t =
+  write_file path (Obs.Json.to_string (to_json ?timings t) ^ "\n")
+
+let write_markdown ?timings path t = write_file path (to_markdown ?timings t)

@@ -98,9 +98,22 @@ let take t i =
   (match r with Some _ -> Atomic.decr t.pending | None -> ());
   r
 
-let run_task task =
+(* Every executed task — queued on a worker, run by the helping
+   submitter, or run inline on the caller (singleton batches, the
+   single-core fallback) — goes through [counted], so [dse.pool.tasks]
+   accounts for all evaluation work, not just what crossed a deque. *)
+let counted f =
   Obs.Metrics.Counter.incr m_tasks;
-  task ()
+  f ()
+
+let run_task (task : task) = counted task
+
+let run_inline f =
+  (* Inline execution means the calling domain is the whole "pool";
+     reflect that in the worker gauge rather than leaving it at 0. *)
+  if Obs.Metrics.Gauge.value g_workers = 0.0 then
+    Obs.Metrics.Gauge.set g_workers 1.0;
+  counted f
 
 let worker t i () =
   let rec loop () =
@@ -157,7 +170,7 @@ let enqueue t task =
 let run_batch t tasks =
   match tasks with
   | [] -> ()
-  | [ f ] -> f ()
+  | [ f ] -> counted f
   | _ ->
       let n = List.length tasks in
       Obs.Span.with_ ~cat:"dse" "pool.batch"
@@ -209,7 +222,7 @@ let run_batch t tasks =
 let map t f xs =
   match xs with
   | [] -> []
-  | [ x ] -> [ f x ]
+  | [ x ] -> [ counted (fun () -> f x) ]
   | _ ->
       let input = Array.of_list xs in
       let n = Array.length input in

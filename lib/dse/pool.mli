@@ -19,9 +19,10 @@
     original backtraces ({!Printexc.raise_with_backtrace}).
 
     Observability: every batch opens a [pool.batch] span (items and
-    worker count as attributes), executed tasks bump the
-    [dse.pool.tasks] counter, and [dse.pool.workers] gauges the pool
-    size. *)
+    worker count as attributes), every executed task — including
+    singleton batches and {!run_inline} fallbacks that never touch a
+    deque — bumps the [dse.pool.tasks] counter, and [dse.pool.workers]
+    gauges the pool size (1 when only inline execution happened). *)
 
 type t
 
@@ -47,7 +48,13 @@ val run_batch : t -> (unit -> unit) list -> unit
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map on the pool.  Singleton and empty
-    lists run inline. *)
+    lists run inline (still counted as pool tasks). *)
+
+val run_inline : (unit -> 'a) -> 'a
+(** Run a task on the calling domain, counted against
+    [dse.pool.tasks]; sets [dse.pool.workers] to 1 if no pool was ever
+    created.  Clients use this for their single-core fallback paths so
+    pool metrics stay truthful when no domains are spawned. *)
 
 val shutdown : t -> unit
 (** Stop and join the workers (idempotent).  Only needed for pools

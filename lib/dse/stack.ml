@@ -398,6 +398,19 @@ module Make (T : Target.S) = struct
           | Some bounds_of ->
               let lo, hi = bounds_of model.Measure.app config in
               Obs.Metrics.Counter.incr Bounds.m_computed;
+              if Obs.Journal.enabled () then
+                Obs.Journal.record ~kind:"bounds.verify"
+                  [
+                    ("app", Obs.Json.String app);
+                    ("config", Obs.Json.String (T.to_string config));
+                    ("lo", Obs.Json.Float lo);
+                    ("hi", Obs.Json.Float hi);
+                    ("actual", Obs.Json.Float actual.Cost.seconds);
+                    ( "tightness",
+                      match Bounds.tightness ~lo ~hi with
+                      | Some r -> Obs.Json.Float r
+                      | None -> Obs.Json.Null );
+                  ];
               if actual.Cost.seconds < lo || actual.Cost.seconds > hi then begin
                 Obs.Metrics.Counter.incr Bounds.m_violations;
                 Format.eprintf

@@ -19,6 +19,9 @@ type 'c probe = {
       (** registry name; part of the engine's memo key, so two targets
           sharing an encoding never collide *)
   digest : 'c -> string;  (** content address of the canonical encoding *)
+  describe : 'c -> string;
+      (** the canonical encoding itself (the codec's [to_string]);
+          provenance reports name candidates with it *)
   is_valid : 'c -> bool;
   resources : 'c -> Synth.Resource.t;
   device_luts : int;  (** the target device's capacity *)

@@ -272,6 +272,7 @@ let probe =
   {
     Target.target = name;
     digest;
+    describe = to_string;
     is_valid;
     resources;
     device_luts;

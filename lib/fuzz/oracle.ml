@@ -392,6 +392,77 @@ let bounds_microblaze =
       Dse.Target_microblaze.run_program config prog)
     Gen.mb_config
 
+(* The journal's per-domain buffers under real pool concurrency: every
+   recorded event must survive the merge (none lost, none duplicated),
+   carry well-formed serializable fields, and each domain's buffer must
+   be monotonically timestamped — the invariants the explain reports
+   and the trace mirror rely on. *)
+let journal_pool =
+  T
+    {
+      name = "journal-pool";
+      doc =
+        "journal events recorded from pool workers are complete, \
+         well-formed and per-domain monotone";
+      gen =
+        QCheck2.Gen.(list_size (int_range 0 12) (int_range 0 5));
+      print =
+        (fun counts ->
+          Printf.sprintf "[%s]"
+            (String.concat "; " (List.map string_of_int counts)));
+      prop =
+        (fun counts ->
+          Obs.Journal.set_enabled true;
+          Obs.Journal.clear ();
+          Fun.protect ~finally:(fun () ->
+              Obs.Journal.set_enabled false;
+              Obs.Journal.clear ())
+          @@ fun () ->
+          let task idx n =
+            for k = 0 to n - 1 do
+              Obs.Journal.record ~kind:"fuzz.tick"
+                [ ("idx", Obs.Json.Int idx); ("k", Obs.Json.Int k) ]
+            done;
+            n
+          in
+          let indexed = List.mapi (fun i n -> (i, n)) counts in
+          let returned =
+            Dse.Pool.map (Dse.Pool.default ()) (fun (i, n) -> task i n) indexed
+          in
+          if returned <> List.map snd indexed then
+            T2.fail_reportf "pool map reordered or lost results";
+          let events =
+            List.filter
+              (fun (e : Obs.Journal.event) -> e.Obs.Journal.kind = "fuzz.tick")
+              (Obs.Journal.events ())
+          in
+          let expected = List.fold_left ( + ) 0 counts in
+          if List.length events <> expected then
+            T2.fail_reportf "recorded %d events, expected %d"
+              (List.length events) expected;
+          List.iter
+            (fun (e : Obs.Journal.event) ->
+              if e.Obs.Journal.ts_ns < 0L then
+                T2.fail_reportf "negative timestamp";
+              if e.Obs.Journal.kind = "" then T2.fail_reportf "empty kind";
+              ignore (Obs.Json.to_string (Obs.Journal.to_json e)))
+            events;
+          List.iter
+            (fun (tid, evs) ->
+              let rec monotone = function
+                | (a : Obs.Journal.event) :: (b : Obs.Journal.event) :: rest ->
+                    if Int64.compare a.Obs.Journal.ts_ns b.Obs.Journal.ts_ns > 0
+                    then
+                      T2.fail_reportf
+                        "domain %d buffer not monotonically timestamped" tid;
+                    monotone (b :: rest)
+                | _ -> ()
+              in
+              monotone evs)
+            (Obs.Journal.events_by_domain ());
+          true);
+    }
+
 let all =
   [
     interp_vs_sim;
@@ -404,6 +475,7 @@ let all =
     pretty_parse;
     bounds_leon2;
     bounds_microblaze;
+    journal_pool;
   ]
 
 let find n = List.find_opt (fun o -> name o = n) all

@@ -75,5 +75,11 @@ val bounds_microblaze : t
 (** The same bounds sanitizer on the MicroBlaze-like backend (barrel
     shifter and multiplier/divider options included). *)
 
+val journal_pool : t
+(** {!Obs.Journal} under {!Dse.Pool} concurrency: events recorded from
+    worker domains are complete after the merge, well-formed
+    (serializable, non-empty kinds, non-negative timestamps), and each
+    domain's buffer is monotonically timestamped. *)
+
 val all : t list
 val find : string -> t option

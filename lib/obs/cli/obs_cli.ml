@@ -4,6 +4,7 @@ type t = {
   verbosity : int;
   trace_out : string option;
   metrics_out : string option;
+  profile_out : string option;
 }
 
 let verbosity_arg =
@@ -27,15 +28,25 @@ let metrics_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~doc ~docv:"FILE")
 
-let term =
-  let make v trace_out metrics_out =
-    { verbosity = List.length v; trace_out; metrics_out }
+let profile_out_arg =
+  let doc =
+    "Enable the sampling profiler and write a folded-stacks table (for \
+     flamegraph.pl or speedscope) to $(docv) on exit."
   in
-  Term.(const make $ verbosity_arg $ trace_out_arg $ metrics_out_arg)
+  Arg.(value & opt (some string) None & info [ "profile-out" ] ~doc ~docv:"FILE")
+
+let term =
+  let make v trace_out metrics_out profile_out =
+    { verbosity = List.length v; trace_out; metrics_out; profile_out }
+  in
+  Term.(
+    const make $ verbosity_arg $ trace_out_arg $ metrics_out_arg
+    $ profile_out_arg)
 
 let install t =
   Obs.Log.setup ~verbosity:t.verbosity ();
-  if t.trace_out <> None then Obs.Trace.set_enabled true
+  if t.trace_out <> None then Obs.Trace.set_enabled true;
+  if t.profile_out <> None then Obs.Profile.start ()
 
 let finish t =
   (match t.trace_out with
@@ -43,6 +54,14 @@ let finish t =
   | Some path ->
       Obs.Export.write_trace path;
       Logs.info (fun m -> m "wrote Chrome trace to %s" path));
+  (match t.profile_out with
+  | None -> ()
+  | Some path ->
+      Obs.Profile.stop ();
+      Obs.Export.write_profile path;
+      Logs.info (fun m ->
+          m "wrote folded-stacks profile (%d samples) to %s"
+            (Obs.Profile.total_samples ()) path));
   match t.metrics_out with
   | None -> ()
   | Some path ->

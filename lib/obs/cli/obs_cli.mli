@@ -1,11 +1,14 @@
-(** The cmdliner term shared by [reconfigure], [mcc], and [appinfo]:
-    [-v]/[-vv] verbosity for [Logs], [--trace-out FILE] for the Chrome
-    trace-event export, [--metrics-out FILE] for the metrics dump. *)
+(** The cmdliner term shared by [reconfigure], [mcc], [appinfo], and
+    [bench]: [-v]/[-vv] verbosity for [Logs], [--trace-out FILE] for
+    the Chrome trace-event export, [--metrics-out FILE] for the
+    metrics dump, [--profile-out FILE] for the sampling profiler's
+    folded-stacks table. *)
 
 type t = {
   verbosity : int;
   trace_out : string option;
   metrics_out : string option;
+  profile_out : string option;
 }
 
 val term : t Cmdliner.Term.t

@@ -33,6 +33,14 @@ let event_json (e : Trace.event) =
             ("s", Json.String "t");
           ]
         @ common_tail)
+  | Trace.Counter ->
+      Json.Obj
+        (common_head
+        @ [
+            ("ph", Json.String "C");
+            ("ts", Json.Float (Clock.ns_to_us e.Trace.ts_ns));
+          ]
+        @ common_tail)
 
 let trace_json () =
   Json.Obj
@@ -54,3 +62,5 @@ let write_trace path = write_file path (trace_to_string ())
 let metrics_json () = Metrics.to_json (Metrics.snapshot ())
 
 let write_metrics path = write_file path (Json.to_string (metrics_json ()))
+
+let write_profile path = write_file path (Profile.folded ())

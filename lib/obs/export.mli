@@ -3,7 +3,8 @@
 
     Trace-event objects keep a fixed field order —
     [name, cat, ph, ts, dur, pid, tid, args] for complete ('X') events,
-    [name, cat, ph, ts, s, pid, tid, args] for instants — with [ts]/[dur]
+    [name, cat, ph, ts, s, pid, tid, args] for instants,
+    [name, cat, ph, ts, pid, tid, args] for counters ('C') — with [ts]/[dur]
     in microseconds on the process-relative monotonic axis, so the format
     is golden-testable byte-for-byte modulo timestamps. *)
 
@@ -20,3 +21,7 @@ val metrics_json : unit -> Json.t
 (** Snapshot of the metrics registry, keyed by metric name. *)
 
 val write_metrics : string -> unit
+
+val write_profile : string -> unit
+(** Write the sampling profiler's folded-stacks table (see
+    {!Profile.folded}) — feed to flamegraph.pl or speedscope. *)

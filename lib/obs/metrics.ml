@@ -94,6 +94,19 @@ type snapshot = (string * (string * metric)) list
 
 let bucket_le i = Float.pow 2.0 (float_of_int (i - bucket_offset))
 
+let quantile q = function
+  | Histogram { count; buckets; _ } when count > 0 ->
+      let threshold = q *. float_of_int count in
+      let rec scan cum = function
+        | [] -> None
+        | [ (le, _) ] -> Some le
+        | (le, c) :: rest ->
+            let cum = cum +. float_of_int c in
+            if cum >= threshold then Some le else scan cum rest
+      in
+      scan 0.0 buckets
+  | _ -> None
+
 let read = function
   | C c -> Counter (Atomic.get c)
   | G g -> Gauge (Atomic.get g)
@@ -124,10 +137,17 @@ let to_json snap =
            | Counter n -> [ ("type", Json.String "counter"); ("value", Json.Int n) ]
            | Gauge x -> [ ("type", Json.String "gauge"); ("value", Json.Float x) ]
            | Histogram { count; sum; buckets } ->
+               let q p =
+                 match quantile p m with
+                 | Some le -> Json.Float le
+                 | None -> Json.Null
+               in
                [
                  ("type", Json.String "histogram");
                  ("count", Json.Int count);
                  ("sum", Json.Float sum);
+                 ("p50", q 0.5);
+                 ("p99", q 0.99);
                  ( "buckets",
                    Json.List
                      (List.map

@@ -59,6 +59,12 @@ val to_json : snapshot -> Json.t
 val pp : Format.formatter -> snapshot -> unit
 (** Human-readable table. *)
 
+val quantile : float -> metric -> float option
+(** [quantile q m] is the upper bound of the smallest bucket whose
+    cumulative count reaches [q] of the total — an upper estimate of
+    the q-quantile, within one power-of-two of the true value.  [None]
+    for non-histograms and empty histograms. *)
+
 val find : snapshot -> string -> metric option
 
 val counter_value : snapshot -> string -> int

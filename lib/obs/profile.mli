@@ -1,0 +1,56 @@
+(** Sampling profiler over the span stack.
+
+    {!start} spawns one sampler domain that wakes every [period]
+    seconds and charges a sample to every domain's current stack of
+    span labels (maintained by {!Span.with_span} while profiling is
+    enabled).  Mutator overhead is one [Atomic.set] per span boundary
+    and nothing per sample, so leaving it on for a whole pipeline run
+    costs well under a percent (see {!overhead_ns}); safe under
+    {!Dse.Pool} — every worker domain gets its own stack cell.
+
+    Output is a folded-stacks table ([a;b;c <count>] lines, the input
+    format of flamegraph.pl and speedscope) plus a top-N self-time
+    table for bench JSON. *)
+
+val start : ?period:float -> unit -> unit
+(** Enable profiling and spawn the sampler ([period] defaults to 1 ms).
+    Idempotent while running. *)
+
+val stop : unit -> unit
+(** Disable profiling and join the sampler.  Accumulated samples are
+    kept until {!reset}. *)
+
+val enabled : unit -> bool
+
+val push : string -> bool
+(** Push a span label on the calling domain's stack; returns [true] so
+    callers can remember to {!pop} exactly when they pushed.  Called
+    by {!Span.with_span}; not meant for direct use. *)
+
+val pop : unit -> unit
+(** Tolerates an empty stack (profiling toggled mid-span). *)
+
+val total_samples : unit -> int
+val span_ops : unit -> int
+(** Span boundaries observed while enabled. *)
+
+val rows : unit -> (string * int) list
+(** Folded stack -> sample count, sorted by stack. *)
+
+val folded : unit -> string
+(** The folded-stacks file contents (one ["stack count\n"] line per
+    distinct stack). *)
+
+val top : ?n:int -> unit -> (string * int) list
+(** Top-N span labels by self samples (each sample charged to the leaf
+    of its stack), descending. *)
+
+val overhead_ns : ops:int -> samples:int -> float
+(** Estimated profiler cost in nanoseconds for a run that crossed
+    [ops] span boundaries and took [samples] samples, from unit costs
+    calibrated once on this machine. *)
+
+val to_json : unit -> Json.t
+(** [{"samples": n, "span_ops": n, "top": [{label, samples, fraction}]}]. *)
+
+val reset : unit -> unit

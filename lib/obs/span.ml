@@ -18,11 +18,18 @@ let finish ~cat ~attrs ~name ~t0 h =
     }
 
 let with_span ?(cat = "app") ?(attrs = []) name f =
-  if not (Trace.enabled ()) then f disabled_handle
+  let tracing = Trace.enabled () in
+  let profiling = Profile.enabled () in
+  if not (tracing || profiling) then f disabled_handle
   else begin
-    let h = { extra = [] } in
+    let pushed = profiling && Profile.push name in
+    let h = if tracing then { extra = [] } else disabled_handle in
     let t0 = Clock.since_start_ns () in
-    Fun.protect ~finally:(fun () -> finish ~cat ~attrs ~name ~t0 h) (fun () -> f h)
+    Fun.protect
+      ~finally:(fun () ->
+        if pushed then Profile.pop ();
+        if tracing then finish ~cat ~attrs ~name ~t0 h)
+      (fun () -> f h)
   end
 
 let with_ ?cat ?attrs name f = with_span ?cat ?attrs name (fun _ -> f ())
@@ -38,4 +45,17 @@ let event ?(cat = "app") ?(attrs = []) name =
         dur_ns = 0L;
         tid = (Domain.self () :> int);
         args = attrs;
+      }
+
+let counter ?(cat = "app") name values =
+  if Trace.enabled () then
+    Trace.record
+      {
+        Trace.name;
+        cat;
+        ph = Trace.Counter;
+        ts_ns = Clock.since_start_ns ();
+        dur_ns = 0L;
+        tid = (Domain.self () :> int);
+        args = List.map (fun (k, v) -> (k, Json.Float v)) values;
       }

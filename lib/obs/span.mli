@@ -2,7 +2,9 @@
 
     [Span.with_ "solve" ~attrs f] times [f] against the monotonic clock
     and records a Chrome "complete" ('X') event when tracing is
-    enabled; when disabled it is [f ()] plus one atomic load.  Spans
+    enabled; when {!Profile} sampling is enabled it also maintains the
+    per-domain label stack the sampler reads; with both disabled it is
+    [f ()] plus two atomic loads.  Spans
     nest naturally: a child's [ts, ts+dur] interval lies inside its
     parent's because the parent's event is recorded after the child
     returns.  Recording happens on the current domain's buffer, so
@@ -31,3 +33,9 @@ val add_attr : handle -> string -> Json.t -> unit
 
 val event : ?cat:string -> ?attrs:(string * Json.t) list -> string -> unit
 (** Record an instant event (e.g. a solver incumbent update). *)
+
+val counter : ?cat:string -> string -> (string * float) list -> unit
+(** Record a Chrome counter-track sample ([ph = "C"]): each [(series,
+    value)] pair becomes one series of the named counter track, so
+    e.g. the solver's incumbent objective plots over time in
+    Perfetto. *)

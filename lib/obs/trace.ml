@@ -1,4 +1,4 @@
-type phase = Complete | Instant
+type phase = Complete | Instant | Counter
 
 type event = {
   name : string;

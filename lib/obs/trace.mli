@@ -7,14 +7,14 @@
     without locks on the record path; buffers are registered in a
     global list the exporter merges after the domains have joined. *)
 
-type phase = Complete | Instant
+type phase = Complete | Instant | Counter
 
 type event = {
   name : string;
   cat : string;
   ph : phase;
   ts_ns : int64;  (** start time, monotonic, relative to process start *)
-  dur_ns : int64;  (** 0 for instant events *)
+  dur_ns : int64;  (** 0 for instant and counter events *)
   tid : int;  (** recording domain's id *)
   args : (string * Json.t) list;
 }

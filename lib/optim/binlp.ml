@@ -221,6 +221,7 @@ let solve ?(node_limit = 20_000_000) p =
     else if not (feasible_possible depth) then incr pruned_validity
     else if depth = ngroups then begin
       if List.for_all (check_constr x) p.constraints then begin
+        let prev_best = !best_obj in
         best_obj := obj;
         best := Some { x = Array.copy x; objective = obj };
         incr incumbents;
@@ -229,6 +230,17 @@ let solve ?(node_limit = 20_000_000) p =
             [
               ("objective", Obs.Json.Float obj);
               ("node", Obs.Json.Int !nodes);
+            ];
+        Obs.Span.counter ~cat:"optim" "binlp.objective"
+          [ ("objective", obj) ];
+        if Obs.Journal.enabled () then
+          Obs.Journal.record ~kind:"binlp.incumbent"
+            [
+              ("node", Obs.Json.Int !nodes);
+              ("objective", Obs.Json.Float obj);
+              ( "bound",
+                if Float.is_finite prev_best then Obs.Json.Float prev_best
+                else Obs.Json.Null );
             ]
       end
     end
@@ -259,6 +271,18 @@ let solve ?(node_limit = 20_000_000) p =
     Obs.Span.add_attr span "pruned_bound" (Obs.Json.Int !pruned_bound);
     Obs.Span.add_attr span "pruned_validity" (Obs.Json.Int !pruned_validity);
     Obs.Span.add_attr span "incumbents" (Obs.Json.Int !incumbents);
+    if Obs.Journal.enabled () then
+      Obs.Journal.record ~kind:"binlp.solve"
+        [
+          ("nodes", Obs.Json.Int !nodes);
+          ("pruned_bound", Obs.Json.Int !pruned_bound);
+          ("pruned_validity", Obs.Json.Int !pruned_validity);
+          ("incumbents", Obs.Json.Int !incumbents);
+          ( "objective",
+            match !best with
+            | Some s -> Obs.Json.Float s.objective
+            | None -> Obs.Json.Null );
+        ];
     match !best with
     | Some s -> Obs.Span.add_attr span "objective" (Obs.Json.Float s.objective)
     | None -> ()

@@ -1,8 +1,11 @@
 (* Validate exporter output: each argument must parse as JSON; a file
    containing a trace must carry a non-empty traceEvents list whose
-   events all have non-negative timestamps.  Exit 0 iff every file
-   passes — the @obs smoke alias runs this over a real reconfigure
-   invocation with both exporters enabled. *)
+   events all have non-negative timestamps.  Files ending in [.folded]
+   are validated as folded-stacks profiles instead (lines of
+   ["frame;frame;... count"], positive counts, non-empty frames; an
+   empty profile is fine — a fast run may take no samples).  Exit 0
+   iff every file passes — the @obs smoke alias runs this over a real
+   reconfigure invocation with all exporters enabled. *)
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
 
@@ -26,14 +29,39 @@ let check_trace path json =
         evs
   | Some _ -> fail "%s: traceEvents is not a list" path
 
+let check_folded path contents =
+  List.iter
+    (fun line ->
+      if line <> "" then
+        match String.rindex_opt line ' ' with
+        | None -> fail "%s: folded line without a count: %S" path line
+        | Some i ->
+            let stack = String.sub line 0 i in
+            let count = String.sub line (i + 1) (String.length line - i - 1) in
+            (match int_of_string_opt count with
+            | Some c when c > 0 -> ()
+            | Some c -> fail "%s: non-positive sample count %d" path c
+            | None -> fail "%s: non-integer sample count %S" path count);
+            if stack = "" then fail "%s: empty stack" path;
+            List.iter
+              (fun frame ->
+                if frame = "" then fail "%s: empty frame in %S" path stack)
+              (String.split_on_char ';' stack))
+    (String.split_on_char '\n' contents)
+
 let () =
   let files = List.tl (Array.to_list Sys.argv) in
   if files = [] then fail "usage: check_json FILE...";
   List.iter
     (fun path ->
-      match Obs.Json.parse (read_file path) with
-      | Error m -> fail "%s: invalid JSON: %s" path m
-      | Ok json ->
-          check_trace path json;
-          Printf.printf "%s: ok\n" path)
+      if Filename.check_suffix path ".folded" then begin
+        check_folded path (read_file path);
+        Printf.printf "%s: ok\n" path
+      end
+      else
+        match Obs.Json.parse (read_file path) with
+        | Error m -> fail "%s: invalid JSON: %s" path m
+        | Ok json ->
+            check_trace path json;
+            Printf.printf "%s: ok\n" path)
     files

@@ -254,6 +254,34 @@ let test_pool_nested_batches () =
       check_bool "nested results" true
         (rows = List.map (fun i -> (50 * i) + 15) [ 0; 1; 2; 3 ]))
 
+let test_pool_metrics_nonzero () =
+  (* Regression: pool task/worker metrics used to stay 0 on runs whose
+     work never crossed a deque (singleton batches, the single-core
+     inline fallback), reporting an idle pool under a thousand builds. *)
+  let tasks () =
+    Obs.Metrics.counter_value (Obs.Metrics.snapshot ()) "dse.pool.tasks"
+  in
+  let pool = Dse.Pool.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Dse.Pool.shutdown pool)
+    (fun () ->
+      let before = tasks () in
+      let r = Dse.Pool.map pool (fun x -> x + 1) [ 1; 2; 3; 4; 5 ] in
+      check_bool "map result" true (r = [ 2; 3; 4; 5; 6 ]);
+      Alcotest.(check int) "five pooled tasks counted" (before + 5) (tasks ());
+      let before = tasks () in
+      check_bool "singleton map" true (Dse.Pool.map pool (fun x -> x * 2) [ 21 ] = [ 42 ]);
+      Alcotest.(check int) "inline singleton counted" (before + 1) (tasks ());
+      let before = tasks () in
+      Alcotest.(check int) "run_inline result" 7 (Dse.Pool.run_inline (fun () -> 7));
+      Alcotest.(check int) "run_inline counted" (before + 1) (tasks ());
+      match
+        Obs.Metrics.find (Obs.Metrics.snapshot ()) "dse.pool.workers"
+      with
+      | Some (Obs.Metrics.Gauge w) ->
+          check_bool "worker gauge nonzero" true (w >= 1.0)
+      | _ -> Alcotest.fail "worker gauge missing")
+
 let () =
   Alcotest.run "engine"
     [
@@ -286,5 +314,7 @@ let () =
           Alcotest.test_case "exceptions propagate" `Quick
             test_pool_exception_propagates;
           Alcotest.test_case "nested batches" `Quick test_pool_nested_batches;
+          Alcotest.test_case "task/worker metrics nonzero" `Quick
+            test_pool_metrics_nonzero;
         ] );
     ]

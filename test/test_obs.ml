@@ -306,6 +306,230 @@ let test_check_catches_violation () =
         (String.length m > 0
         && Str.string_match (Str.regexp ".*instructions <= cycles.*") m 0)
 
+(* --- Journal --- *)
+
+let test_journal_disabled_records_nothing () =
+  Obs.Journal.clear ();
+  Obs.Journal.set_enabled false;
+  Obs.Journal.record ~kind:"test.invisible" [];
+  check_int "no events" 0 (List.length (Obs.Journal.events ()))
+
+let with_journal f =
+  Obs.Journal.clear ();
+  Obs.Journal.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Journal.set_enabled false;
+      Obs.Journal.clear ())
+    f
+
+let test_journal_records_fields () =
+  with_journal (fun () ->
+      Obs.Journal.record ~kind:"test.first" [ ("n", Obs.Json.Int 1) ];
+      Obs.Journal.record ~kind:"test.second" [ ("s", Obs.Json.String "x") ];
+      match Obs.Journal.events () with
+      | [ a; b ] ->
+          Alcotest.(check string) "kind" "test.first" a.Obs.Journal.kind;
+          check_bool "field kept" true
+            (a.Obs.Journal.fields = [ ("n", Obs.Json.Int 1) ]);
+          check_bool "merged order monotone" true
+            (Int64.compare a.Obs.Journal.ts_ns b.Obs.Journal.ts_ns <= 0);
+          check_bool "to_json parses" true
+            (match
+               Obs.Json.parse (Obs.Json.to_string (Obs.Journal.to_json b))
+             with
+            | Ok _ -> true
+            | Error _ -> false)
+      | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs))
+
+let test_journal_mirrors_into_trace () =
+  with_journal (fun () ->
+      with_tracing (fun () ->
+          Obs.Journal.record ~kind:"test.mirrored" [ ("n", Obs.Json.Int 7) ];
+          let mirrored =
+            List.filter
+              (fun (e : Obs.Trace.event) ->
+                e.Obs.Trace.name = "test.mirrored"
+                && e.Obs.Trace.cat = "journal"
+                && e.Obs.Trace.ph = Obs.Trace.Instant)
+              (Obs.Trace.events ())
+          in
+          check_int "one instant mirror" 1 (List.length mirrored)))
+
+let test_journal_per_domain_monotone () =
+  with_journal (fun () ->
+      let results =
+        Dse.Pool.map (Dse.Pool.default ())
+          (fun i ->
+            Obs.Journal.record ~kind:"test.tick" [ ("i", Obs.Json.Int i) ];
+            i)
+          [ 1; 2; 3; 4; 5; 6 ]
+      in
+      check_bool "map intact" true (results = [ 1; 2; 3; 4; 5; 6 ]);
+      let ticks =
+        List.filter
+          (fun (e : Obs.Journal.event) -> e.Obs.Journal.kind = "test.tick")
+          (Obs.Journal.events ())
+      in
+      check_int "no event lost" 6 (List.length ticks);
+      List.iter
+        (fun (_, evs) ->
+          let ts = List.map (fun (e : Obs.Journal.event) -> e.Obs.Journal.ts_ns) evs in
+          check_bool "domain buffer monotone" true
+            (List.sort Int64.compare ts = ts))
+        (Obs.Journal.events_by_domain ()))
+
+(* --- Sampling profiler --- *)
+
+let spin_for seconds =
+  let t0 = Obs.Clock.since_start_ns () in
+  let budget = Int64.of_float (seconds *. 1e9) in
+  let rec go acc =
+    if Int64.sub (Obs.Clock.since_start_ns ()) t0 < budget then
+      go (Sys.opaque_identity (acc + 1))
+    else acc
+  in
+  ignore (go 0)
+
+let test_sampling_profiler_captures_spans () =
+  Obs.Profile.reset ();
+  Obs.Profile.start ~period:0.001 ();
+  Fun.protect ~finally:Obs.Profile.stop (fun () ->
+      Obs.Span.with_ ~cat:"test" "hot-outer" (fun () ->
+          Obs.Span.with_ ~cat:"test" "hot-inner" (fun () -> spin_for 0.15)));
+  Obs.Profile.stop ();
+  check_bool "samples taken" true (Obs.Profile.total_samples () > 0);
+  check_bool "span ops counted" true (Obs.Profile.span_ops () >= 2);
+  let folded = Obs.Profile.folded () in
+  check_bool "hot stack present" true
+    (let needle = "hot-outer;hot-inner" in
+     let n = String.length needle and m = String.length folded in
+     let rec scan i =
+       i + n <= m && (String.sub folded i n = needle || scan (i + 1))
+     in
+     scan 0);
+  List.iter
+    (fun line ->
+      if line <> "" then
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "folded line without count: %S" line
+        | Some i -> (
+            match int_of_string_opt (String.sub line (i + 1) (String.length line - i - 1)) with
+            | Some c when c > 0 -> ()
+            | _ -> Alcotest.failf "bad folded count: %S" line))
+    (String.split_on_char '\n' folded);
+  (match Obs.Json.parse (Obs.Json.to_string (Obs.Profile.to_json ())) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "profile json does not parse: %s" m);
+  let overhead =
+    Obs.Profile.overhead_ns ~ops:(Obs.Profile.span_ops ())
+      ~samples:(Obs.Profile.total_samples ())
+  in
+  check_bool "overhead finite and non-negative" true
+    (Float.is_finite overhead && overhead >= 0.0);
+  Obs.Profile.reset ();
+  check_int "reset clears samples" 0 (Obs.Profile.total_samples ())
+
+let test_profiler_disabled_costs_nothing () =
+  check_bool "disabled" true (not (Obs.Profile.enabled ()));
+  Obs.Span.with_ "unprofiled" (fun () -> ());
+  check_int "no samples while disabled" 0 (Obs.Profile.total_samples ())
+
+(* --- Histogram quantiles --- *)
+
+let test_histogram_quantiles () =
+  let h = Obs.Metrics.Histogram.v "test.quantiles" in
+  for _ = 1 to 50 do
+    Obs.Metrics.Histogram.observe h 1.0
+  done;
+  for _ = 1 to 50 do
+    Obs.Metrics.Histogram.observe h 100.0
+  done;
+  match Obs.Metrics.find (Obs.Metrics.snapshot ()) "test.quantiles" with
+  | Some (Obs.Metrics.Histogram _ as m) ->
+      Alcotest.(check (float 1e-9))
+        "p50" 1.0
+        (Option.get (Obs.Metrics.quantile 0.5 m));
+      Alcotest.(check (float 1e-9))
+        "p99" 128.0
+        (Option.get (Obs.Metrics.quantile 0.99 m));
+      check_bool "non-histogram is None" true
+        (Obs.Metrics.quantile 0.5 (Obs.Metrics.Counter 3) = None)
+  | _ -> Alcotest.fail "histogram missing from snapshot"
+
+(* --- Bench history --- *)
+
+let entry ?(rev = "r0") ?(target = "fig2") metrics =
+  { Obs.History.rev; target; time = 0.0; metrics }
+
+let base_metrics =
+  [ ("wall_clock_s", 1.0); ("builds", 100.0); ("bounds_pruned", 40.0) ]
+
+let with_temp_history f =
+  let path = Filename.temp_file "bench_history" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_history_roundtrip () =
+  with_temp_history (fun path ->
+      Obs.History.append path (entry base_metrics);
+      Obs.History.append path (entry ~rev:"r1" base_metrics);
+      match Obs.History.load path with
+      | Error m -> Alcotest.failf "load failed: %s" m
+      | Ok [ a; b ] ->
+          Alcotest.(check string) "rev" "r0" a.Obs.History.rev;
+          Alcotest.(check string) "rev" "r1" b.Obs.History.rev;
+          Alcotest.(check (float 1e-9))
+            "metric" 100.0
+            (List.assoc "builds" a.Obs.History.metrics)
+      | Ok es -> Alcotest.failf "expected 2 entries, got %d" (List.length es))
+
+let test_history_malformed_rejected () =
+  with_temp_history (fun path ->
+      let oc = open_out path in
+      output_string oc "{\"rev\":\"r0\"\n";
+      close_out oc;
+      match Obs.History.load path with
+      | Error m -> check_bool "error names the line" true (String.length m > 0)
+      | Ok _ -> Alcotest.fail "malformed history accepted")
+
+let test_history_clean_run_passes () =
+  let history = List.init 5 (fun _ -> entry base_metrics) in
+  check_int "no regressions" 0
+    (List.length (Obs.History.check ~history (entry base_metrics)))
+
+let test_history_detects_regressions () =
+  let history = List.init 5 (fun _ -> entry base_metrics) in
+  let regressed =
+    entry
+      [ ("wall_clock_s", 2.0); ("builds", 120.0); ("bounds_pruned", 10.0) ]
+  in
+  let regs = Obs.History.check ~history regressed in
+  let names = List.map (fun r -> r.Obs.History.metric) regs in
+  check_bool "wall clock flagged" true (List.mem "wall_clock_s" names);
+  check_bool "builds flagged" true (List.mem "builds" names);
+  check_bool "pruned floor flagged" true (List.mem "bounds_pruned" names);
+  (* Noise within threshold passes: +20% wall clock, +2% builds. *)
+  let noisy =
+    entry
+      [ ("wall_clock_s", 1.2); ("builds", 102.0); ("bounds_pruned", 40.0) ]
+  in
+  check_int "noise tolerated" 0
+    (List.length (Obs.History.check ~history noisy))
+
+let test_history_baseline_is_median () =
+  (* One bad historical sample must not poison the baseline. *)
+  let history =
+    List.map
+      (fun w -> entry [ ("wall_clock_s", w) ])
+      [ 1.0; 1.0; 50.0; 1.0; 1.0 ]
+  in
+  check_int "median absorbs the outlier" 0
+    (List.length (Obs.History.check ~history (entry [ ("wall_clock_s", 1.1) ])));
+  (* Different targets never share baselines. *)
+  let other = entry ~target:"fig4" [ ("wall_clock_s", 100.0) ] in
+  check_int "foreign target ignored" 0
+    (List.length (Obs.History.check ~history:[ other ] (entry [ ("wall_clock_s", 1.0) ])))
+
 (* --- Machine run feeds the registry --- *)
 
 let test_machine_flushes_registry () =
@@ -351,6 +575,37 @@ let () =
             test_trace_disabled_records_nothing;
           Alcotest.test_case "spans across domains" `Quick
             test_trace_across_domains;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_journal_disabled_records_nothing;
+          Alcotest.test_case "records fields" `Quick test_journal_records_fields;
+          Alcotest.test_case "mirrors into trace" `Quick
+            test_journal_mirrors_into_trace;
+          Alcotest.test_case "per-domain monotone under pool" `Quick
+            test_journal_per_domain_monotone;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "captures spans" `Quick
+            test_sampling_profiler_captures_spans;
+          Alcotest.test_case "disabled costs nothing" `Quick
+            test_profiler_disabled_costs_nothing;
+          Alcotest.test_case "histogram quantiles" `Quick
+            test_histogram_quantiles;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_history_roundtrip;
+          Alcotest.test_case "malformed rejected" `Quick
+            test_history_malformed_rejected;
+          Alcotest.test_case "clean run passes" `Quick
+            test_history_clean_run_passes;
+          Alcotest.test_case "detects regressions" `Quick
+            test_history_detects_regressions;
+          Alcotest.test_case "baseline is median" `Quick
+            test_history_baseline_is_median;
         ] );
       ( "profiler",
         [
