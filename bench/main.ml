@@ -160,8 +160,14 @@ let measurements ~wall_ns ~(before : Obs.Metrics.snapshot)
   let delta key =
     Obs.Metrics.counter_value after key - Obs.Metrics.counter_value before key
   in
+  let gauge key =
+    match Obs.Metrics.find after key with
+    | Some (Obs.Metrics.Gauge v) -> v
+    | _ -> 0.0
+  in
+  let wall_s = Int64.to_float wall_ns /. 1e9 in
   [
-    ("wall_clock_s", Int64.to_float wall_ns /. 1e9);
+    ("wall_clock_s", wall_s);
     ("sim_cycles", float_of_int (delta "sim.cycles"));
     ("sim_runs", float_of_int (delta "sim.runs"));
     ("solver_nodes", float_of_int (delta "binlp.nodes"));
@@ -173,12 +179,23 @@ let measurements ~wall_ns ~(before : Obs.Metrics.snapshot)
     ("engine_misses", float_of_int (delta "dse.engine.misses"));
     ("engine_inflight_dedup", float_of_int (delta "dse.engine.inflight_dedup"));
     ("heuristic_builds", float_of_int (delta "heuristic.builds"));
+    (* peak, not post-join: the gauge is a monotone high-water mark,
+       so the value survives pool shutdown (see {!Dse.Pool}) *)
+    ("pool_tasks", float_of_int (delta "dse.pool.tasks"));
+    ("pool_workers", gauge "dse.pool.workers");
+    ("decode_programs", float_of_int (delta "sim.decode.programs"));
+    ("decode_insns", float_of_int (delta "sim.decode.insns"));
+    ( "sim_cycles_per_second",
+      if wall_s > 0.0 then float_of_int (delta "sim.cycles") /. wall_s
+      else 0.0 );
   ]
 
-(* "wall_clock_s" is a float; every counter delta renders as an int so
-   the JSON stays shaped as before. *)
+(* "wall_clock_s" and the derived throughput are floats; every counter
+   delta renders as an int so the JSON stays shaped as before. *)
+let float_keys = [ "wall_clock_s"; "sim_cycles_per_second" ]
+
 let measurement_json (key, v) =
-  if key = "wall_clock_s" then (key, Obs.Json.Float v)
+  if List.mem key float_keys then (key, Obs.Json.Float v)
   else (key, Obs.Json.Int (int_of_float v))
 
 (* Summary of the engine's build-duration histogram (whole process so

@@ -1,17 +1,18 @@
 (* Pricing {!Minic.Bounds} instruction-mix intervals for one concrete
    microarchitecture configuration.
 
-   The per-class prices below mirror {!Sim.Cpu}'s accounting exactly:
+   Every per-class price comes from {!Sim.Cost_model} — the same table
+   {!Sim.Cpu} executes against — so the simulator and the static
+   bounds cannot drift apart:
 
-   - every instruction costs 1 base cycle;
-   - deterministic stalls (shift without a barrel shifter, multiply,
+   - every instruction costs its class's exact base price, with all
+     deterministic stalls (shift without a barrel shifter, multiply,
      divide, the ICC-hold interlock on a compare-and-branch, slow
      decode on control transfers, slow jump on call/return, the +1 of
-     a taken branch) are identical in both bounds;
-   - a load hits (data [load_extra = 1]) in the best case and pays a
-     full line fill plus the maximal load-delay interlock in the worst;
-   - a store's write-through cost ([store_extra = 1]) does not depend
-     on hit/miss at all;
+     a taken branch) identical in both bounds;
+   - a load hits in the best case and pays a full line fill plus the
+     maximal load-delay interlock in the worst;
+   - a store's write-through cost does not depend on hit/miss at all;
    - instruction fetches are all hits in the best case and all misses
      in the worst;
    - window spills/fills never fire in the best case (and provably
@@ -30,9 +31,11 @@ let m_violations =
   Obs.Metrics.Counter.v "dse.bounds.violations"
     ~help:"simulated runtimes observed outside their static bounds"
 
-type cycle_model = {
+type cycle_model = Sim.Cost_model.t = {
   iline_fill : int;
   dline_fill : int;
+  load_extra : int;
+  store_extra : int;
   interlock : int;
   shift_stall : int;
   mul_stall : int;
@@ -43,32 +46,9 @@ type cycle_model = {
   nwin : int;
 }
 
-let of_arch_config ?(shift_stall = 0) (c : Arch.Config.t) =
-  let iu = c.Arch.Config.iu in
-  {
-    iline_fill =
-      Sim.Memory.line_fill_cycles
-        ~line_words:c.Arch.Config.icache.Arch.Config.line_words;
-    dline_fill =
-      Sim.Memory.line_fill_cycles
-        ~line_words:c.Arch.Config.dcache.Arch.Config.line_words;
-    interlock = iu.Arch.Config.load_delay - 1;
-    shift_stall;
-    mul_stall = Sim.Funit.mul_latency iu.Arch.Config.multiplier - 1;
-    div_stall = Sim.Funit.div_latency iu.Arch.Config.divider - 1;
-    icc_stall = (if iu.Arch.Config.icc_hold then 1 else 0);
-    decode_extra = (if iu.Arch.Config.fast_decode then 0 else 1);
-    jump_extra = (if iu.Arch.Config.fast_jump then 0 else 1);
-    nwin = iu.Arch.Config.reg_windows;
-  }
+let of_arch_config = Sim.Cost_model.of_arch_config
 
-(* The simulator's window-trap costs: [Cpu] charges a 6-cycle trap
-   overhead plus a 16-register burst (stores for a spill, loads for a
-   fill). *)
-let trap_overhead = 6
-let window_regs = 16
-
-let cycles cm (s : Minic.Bounds.program_summary) =
+let cycles (cm : cycle_model) (s : Minic.Bounds.program_summary) =
   let m = s.Minic.Bounds.mix in
   (* A save at call depth d runs with 1 + d resident windows and
      spills iff 1 + d = nwin - 1; with the deepest chain at most
@@ -79,13 +59,8 @@ let cycles cm (s : Minic.Bounds.program_summary) =
     | Some d -> d <= cm.nwin - 3
     | None -> false
   in
-  (* Spill: 16 stores at the unconditional write-through cost.  Fill:
-     16 loads, each a potential line miss. *)
-  let spill_hi = if spill_free then 0 else trap_overhead + (window_regs * 2) in
-  let fill_hi =
-    if spill_free then 0
-    else trap_overhead + (window_regs * (2 + cm.dline_fill))
-  in
+  let spill_hi = if spill_free then 0 else Sim.Cost_model.spill_worst cm in
+  let fill_hi = if spill_free then 0 else Sim.Cost_model.fill_worst cm in
   let lo_acc = ref 0.0 and hi_acc = ref 0.0 in
   let charge (c : Minic.Bounds.cnt) ~lo ~hi =
     lo_acc := !lo_acc +. (float_of_int c.Minic.Bounds.lo *. float_of_int lo);
@@ -97,21 +72,25 @@ let cycles cm (s : Minic.Bounds.program_summary) =
       else float_of_int c.Minic.Bounds.hi *. float_of_int hi
   in
   let exact c cost = charge c ~lo:cost ~hi:cost in
-  exact m.Minic.Bounds.alu 1;
-  exact m.Minic.Bounds.shift (1 + cm.shift_stall);
-  exact m.Minic.Bounds.mul (1 + cm.mul_stall);
-  exact m.Minic.Bounds.div (1 + cm.div_stall);
-  charge m.Minic.Bounds.load ~lo:2 ~hi:(2 + cm.dline_fill + cm.interlock);
-  exact m.Minic.Bounds.store 2;
-  exact m.Minic.Bounds.cbr_cmp (1 + cm.icc_stall + cm.decode_extra);
-  exact m.Minic.Bounds.cbr_mat (1 + cm.decode_extra);
-  exact m.Minic.Bounds.taken 1;
-  exact m.Minic.Bounds.ba (2 + cm.decode_extra);
-  exact m.Minic.Bounds.call (2 + cm.decode_extra + cm.jump_extra);
-  exact m.Minic.Bounds.jmpl (2 + cm.decode_extra + cm.jump_extra);
-  charge m.Minic.Bounds.save ~lo:1 ~hi:(1 + spill_hi);
-  charge m.Minic.Bounds.restore ~lo:1 ~hi:(1 + fill_hi);
-  exact m.Minic.Bounds.halt 1;
+  exact m.Minic.Bounds.alu (Sim.Cost_model.alu_cycles cm);
+  exact m.Minic.Bounds.shift (Sim.Cost_model.shift_cycles cm);
+  exact m.Minic.Bounds.mul (Sim.Cost_model.mul_cycles cm);
+  exact m.Minic.Bounds.div (Sim.Cost_model.div_cycles cm);
+  charge m.Minic.Bounds.load
+    ~lo:(Sim.Cost_model.load_hit_cycles cm)
+    ~hi:(Sim.Cost_model.load_worst_cycles cm);
+  exact m.Minic.Bounds.store (Sim.Cost_model.store_cycles cm);
+  exact m.Minic.Bounds.cbr_cmp (Sim.Cost_model.cbr_cmp_cycles cm);
+  exact m.Minic.Bounds.cbr_mat (Sim.Cost_model.branch_cycles cm);
+  exact m.Minic.Bounds.taken (Sim.Cost_model.taken_extra cm);
+  exact m.Minic.Bounds.ba (Sim.Cost_model.ba_cycles cm);
+  exact m.Minic.Bounds.call (Sim.Cost_model.jump_cycles cm);
+  exact m.Minic.Bounds.jmpl (Sim.Cost_model.jump_cycles cm);
+  charge m.Minic.Bounds.save ~lo:(Sim.Cost_model.save_cycles cm)
+    ~hi:(Sim.Cost_model.save_cycles cm + spill_hi);
+  charge m.Minic.Bounds.restore ~lo:(Sim.Cost_model.restore_cycles cm)
+    ~hi:(Sim.Cost_model.restore_cycles cm + fill_hi);
+  exact m.Minic.Bounds.halt (Sim.Cost_model.halt_cycles cm);
   (* Worst case: every fetch misses the instruction cache. *)
   let ins = Minic.Bounds.insns m in
   hi_acc :=

@@ -22,9 +22,11 @@
     programs are trap-free by construction; a run that divides by zero
     stops early and may undershoot the lower bound. *)
 
-type cycle_model = {
+type cycle_model = Sim.Cost_model.t = {
   iline_fill : int;  (** icache line-fill penalty, cycles *)
   dline_fill : int;  (** dcache line-fill penalty, cycles *)
+  load_extra : int;  (** dcache hit latency beyond 1 cycle *)
+  store_extra : int;  (** write-through cost beyond 1 cycle *)
   interlock : int;  (** load-delay interlock cycles ([load_delay - 1]) *)
   shift_stall : int;  (** extra cycles per shift (no barrel shifter) *)
   mul_stall : int;
@@ -34,12 +36,14 @@ type cycle_model = {
   jump_extra : int;  (** per call/return when fast jump is off *)
   nwin : int;  (** register windows *)
 }
-(** One configuration's per-class cycle prices — the same derived
-    quantities {!Sim.Cpu.create} computes from an {!Arch.Config.t}. *)
+(** The shared per-target cost table, {!Sim.Cost_model.t}: the exact
+    same record {!Sim.Cpu.create} pre-decodes and executes against.
+    Every class is priced with {!Sim.Cost_model}'s price functions, so
+    the simulator and the bounds cannot drift apart. *)
 
 val of_arch_config : ?shift_stall:int -> Arch.Config.t -> cycle_model
-(** [shift_stall] defaults to 0 (a barrel shifter), matching
-    {!Sim.Cpu.create}. *)
+(** [Sim.Cost_model.of_arch_config]: [shift_stall] defaults to 0 (a
+    barrel shifter), matching {!Sim.Cpu.create}. *)
 
 val cycles :
   cycle_model -> Minic.Bounds.program_summary -> float * float

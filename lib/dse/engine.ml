@@ -209,15 +209,26 @@ let obtain t ~feasible_only ?noise probe app config =
   in
   loop ()
 
-let eval_on ?noise t probe app config =
+(* [_uncounted] variants run the request without pool task accounting:
+   they are what {!batch} submits to the pool (whose [Pool.map] /
+   [Pool.run_inline] already count each unique request), while the
+   public single-evaluation entry points below wrap them in
+   {!Pool.run_inline} so sequential searches — coordinate descent,
+   the paper method, random search — show up in [dse.pool.tasks] too
+   instead of leaving it at 0. *)
+let eval_on_uncounted ?noise t probe app config =
   match obtain t ~feasible_only:false ?noise probe app config with
   | Full v -> v.cost
   | Unfit _ | Pending -> assert false
 
+let eval_on ?noise t probe app config =
+  Pool.run_inline (fun () -> eval_on_uncounted ?noise t probe app config)
+
 let eval_profiled_on ?noise t probe app config =
-  match obtain t ~feasible_only:false ?noise probe app config with
-  | Full v -> (v.cost, v.profile)
-  | Unfit _ | Pending -> assert false
+  Pool.run_inline (fun () ->
+      match obtain t ~feasible_only:false ?noise probe app config with
+      | Full v -> (v.cost, v.profile)
+      | Unfit _ | Pending -> assert false)
 
 let journal_infeasible probe app config reason =
   if Obs.Journal.enabled () then
@@ -225,7 +236,7 @@ let journal_infeasible probe app config reason =
       (journal_fields probe app config
       @ [ ("reason", Obs.Json.String reason) ])
 
-let eval_feasible_on ?noise t (probe : _ Target.probe) app config =
+let eval_feasible_on_uncounted ?noise t (probe : _ Target.probe) app config =
   if not (probe.Target.is_valid config) then begin
     journal_infeasible probe app config "invalid";
     None
@@ -235,6 +246,10 @@ let eval_feasible_on ?noise t (probe : _ Target.probe) app config =
     | Full v -> if v.fits then Some v.cost else None
     | Unfit _ -> None
     | Pending -> assert false
+
+let eval_feasible_on ?noise t probe app config =
+  Pool.run_inline (fun () ->
+      eval_feasible_on_uncounted ?noise t probe app config)
 
 type admission =
   | Infeasible
@@ -372,7 +387,7 @@ let eval_all_on ?noise t probe pairs =
           if Obs.Journal.enabled () then
             Obs.Journal.record ~kind:"engine.dedup"
               (journal_fields probe app config))
-        (fun (app, config) -> eval_on ?noise t probe app config)
+        (fun (app, config) -> eval_on_uncounted ?noise t probe app config)
 
 let eval_all_feasible_on ?noise t probe app configs =
   match configs with
@@ -388,7 +403,7 @@ let eval_all_feasible_on ?noise t probe app configs =
           if Obs.Journal.enabled () then
             Obs.Journal.record ~kind:"engine.dedup"
               (journal_fields probe app config))
-        (fun config -> eval_feasible_on ?noise t probe app config)
+        (fun config -> eval_feasible_on_uncounted ?noise t probe app config)
 
 (* The historical LEON2-typed entry points, now thin wrappers over the
    probe-parametric API. *)

@@ -71,7 +71,15 @@ let m_tasks =
 
 let g_workers =
   Obs.Metrics.Gauge.v "dse.pool.workers"
-    ~help:"worker domains in the evaluation domain pool"
+    ~help:"peak worker domains in the evaluation domain pool"
+
+(* Peak high-water mark, never lowered: exporters (bench JSON, the
+   history gate) snapshot metrics after searches finish, which may be
+   after every pool was shut down and joined — the interesting value
+   is how wide the pool ever was, not its post-join width. *)
+let note_workers w =
+  if w > Obs.Metrics.Gauge.value g_workers then
+    Obs.Metrics.Gauge.set g_workers w
 
 let size t = Array.length t.deques
 
@@ -111,8 +119,7 @@ let run_task (task : task) = counted task
 let run_inline f =
   (* Inline execution means the calling domain is the whole "pool";
      reflect that in the worker gauge rather than leaving it at 0. *)
-  if Obs.Metrics.Gauge.value g_workers = 0.0 then
-    Obs.Metrics.Gauge.set g_workers 1.0;
+  note_workers 1.0;
   counted f
 
 let worker t i () =
@@ -150,7 +157,7 @@ let create ?workers () =
       domains = [];
     }
   in
-  Obs.Metrics.Gauge.set g_workers (float_of_int workers);
+  note_workers (float_of_int workers);
   t.domains <- List.init workers (fun i -> Domain.spawn (worker t i));
   t
 

@@ -154,8 +154,10 @@ module type S = sig
   val run_program : ?mem_size:int -> config -> Isa.Program.t -> Sim.Machine.result
 
   val cycle_model : config -> Bounds.cycle_model
-  (** The configuration's static cycle prices (see {!Bounds}): the
-      backbone of [probe.static_bounds] and of [mcc --bounds]. *)
+  (** The configuration's per-class cycle prices — the same shared
+      {!Sim.Cost_model} record the simulator's execute handlers charge
+      from, re-exported here as the backbone of [probe.static_bounds],
+      of {!Bounds} pricing, and of [mcc --bounds]. *)
 
   val probe : config probe
   (** This target's engine probe; [probe.target = name]. *)

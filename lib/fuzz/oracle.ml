@@ -392,6 +392,174 @@ let bounds_microblaze =
       Dse.Target_microblaze.run_program config prog)
     Gen.mb_config
 
+(* ------------------------------------------------------------------ *)
+(* Cost-table oracle                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Accounting identity for the shared per-class cost table: a
+   microprogram with [n + 8] instances of one instruction class must
+   cost exactly [8 * price(class)] more cycles than the same program
+   with [n] instances, once the genuinely configuration-geometry
+   dependent dynamics — icache/dcache line fills from the longer code
+   footprint, window traps on tiny register files — are corrected for
+   with the profiler's own counter deltas.  Deterministic stalls (ICC
+   hold, the load-delay interlock, taken redirects, shift/mul/div
+   latencies) are NOT corrected: they are part of the class price
+   under test, so a table that misprices them fails the identity. *)
+
+let cost_classes :
+    (string * (Sim.Cost_model.t -> int) * (Isa.Asm.t -> unit)) list =
+  let o0 = Isa.Reg.o 0 in
+  let o1 = Isa.Reg.o 1 in
+  let o2 = Isa.Reg.o 2 in
+  let o3 = Isa.Reg.o 3 in
+  let g0 = Isa.Reg.g0 in
+  let emit i a = Isa.Asm.emit a i in
+  [
+    ( "alu",
+      Sim.Cost_model.alu_cycles,
+      emit (Isa.Insn.Alu { op = Isa.Insn.Add; cc = false; rd = o2; rs1 = o0; op2 = Isa.Insn.Imm 7 }) );
+    ( "shift",
+      Sim.Cost_model.shift_cycles,
+      emit (Isa.Insn.Alu { op = Isa.Insn.Sll; cc = false; rd = o2; rs1 = o0; op2 = Isa.Insn.Imm 3 }) );
+    ( "mul",
+      Sim.Cost_model.mul_cycles,
+      emit (Isa.Insn.Mul { signed = false; cc = false; rd = o2; rs1 = o0; op2 = Isa.Insn.Imm 3 }) );
+    ( "div",
+      Sim.Cost_model.div_cycles,
+      emit (Isa.Insn.Div { signed = false; rd = o2; rs1 = o0; op2 = Isa.Insn.Imm 3 }) );
+    ("sethi", (fun _ -> 1), emit (Isa.Insn.Sethi { rd = o2; imm = 0x1234 }));
+    ("nop", (fun _ -> 1), emit Isa.Insn.Nop);
+    ( "load",
+      Sim.Cost_model.load_hit_cycles,
+      emit (Isa.Insn.Load { width = Isa.Insn.Word; signed = false; rd = o2; rs1 = o1; op2 = Isa.Insn.Imm 0 }) );
+    ( "store",
+      Sim.Cost_model.store_cycles,
+      emit (Isa.Insn.Store { width = Isa.Insn.Word; rs = o0; rs1 = o1; op2 = Isa.Insn.Imm 0 }) );
+    ( "branch-untaken",
+      Sim.Cost_model.branch_cycles,
+      (* no instruction in the program sets the condition codes, so Eq
+         (initial z = 0) never takes and never waits on the hold *)
+      fun a ->
+        Isa.Asm.emit a
+          (Isa.Insn.Branch { cond = Isa.Insn.Eq; target = Isa.Asm.here a + 1 })
+    );
+    ( "branch-always",
+      Sim.Cost_model.ba_cycles,
+      fun a ->
+        Isa.Asm.emit a
+          (Isa.Insn.Branch { cond = Isa.Insn.Always; target = Isa.Asm.here a + 1 }) );
+    ( "call",
+      Sim.Cost_model.jump_cycles,
+      fun a -> Isa.Asm.emit a (Isa.Insn.Call { target = Isa.Asm.here a + 1 }) );
+    ( "jmpl",
+      Sim.Cost_model.jump_cycles,
+      fun a ->
+        Isa.Asm.emit a
+          (Isa.Insn.Jmpl { rd = g0; rs1 = g0; op2 = Isa.Insn.Imm (Isa.Asm.here a + 1) }) );
+    ( "cmp-branch",
+      (fun cm ->
+        Sim.Cost_model.alu_cycles cm + Sim.Cost_model.cbr_cmp_cycles cm),
+      (* subcc %g0,%g0 sets z, bne consumes it untaken — one ICC-hold
+         stall per pair exactly when the table says icc_stall = 1 *)
+      fun a ->
+        Isa.Asm.emit a
+          (Isa.Insn.Alu { op = Isa.Insn.Sub; cc = true; rd = g0; rs1 = g0; op2 = Isa.Insn.Reg g0 });
+        Isa.Asm.emit a
+          (Isa.Insn.Branch { cond = Isa.Insn.Ne; target = Isa.Asm.here a + 1 })
+    );
+    ( "load-interlock",
+      (fun cm ->
+        Sim.Cost_model.load_hit_cycles cm
+        + cm.Sim.Cost_model.interlock
+        + Sim.Cost_model.alu_cycles cm),
+      fun a ->
+        Isa.Asm.emit a
+          (Isa.Insn.Load { width = Isa.Insn.Word; signed = false; rd = o2; rs1 = o1; op2 = Isa.Insn.Imm 0 });
+        Isa.Asm.emit a
+          (Isa.Insn.Alu { op = Isa.Insn.Add; cc = false; rd = o3; rs1 = o2; op2 = Isa.Insn.Imm 0 }) );
+    ( "save-restore",
+      (fun cm ->
+        Sim.Cost_model.save_cycles cm + Sim.Cost_model.restore_cycles cm),
+      fun a ->
+        Isa.Asm.emit a
+          (Isa.Insn.Save { rd = Isa.Reg.sp; rs1 = Isa.Reg.sp; op2 = Isa.Insn.Imm (-96) });
+        Isa.Asm.emit a
+          (Isa.Insn.Restore { rd = g0; rs1 = g0; op2 = Isa.Insn.Imm 0 }) );
+  ]
+
+let cost_program ~instances body =
+  let a = Isa.Asm.create () in
+  let buf = Isa.Asm.data_zero a ~name:"buf" 64 in
+  Isa.Asm.set32 a buf (Isa.Reg.o 1);
+  Isa.Asm.set32 a 12345 (Isa.Reg.o 0);
+  for _ = 1 to instances do
+    body a
+  done;
+  Isa.Asm.emit a Isa.Insn.Halt;
+  Isa.Asm.finish a ~entry:0
+
+let cost_table_oracle ~name ~core ~print_config ~cycle_model ~run_program
+    gen_config =
+  T
+    {
+      name;
+      doc =
+        Printf.sprintf
+          "the shared cost table prices every instruction class exactly as \
+           the simulator charges it (%s target)"
+          core;
+      gen = gen_config;
+      print = print_config;
+      prop =
+        (fun config ->
+          let cm : Sim.Cost_model.t = cycle_model config in
+          let profile_of n body =
+            let r : Sim.Machine.result = run_program config (cost_program ~instances:n body) in
+            r.Sim.Machine.profile
+          in
+          List.iter
+            (fun (cls, price, body) ->
+              let p1 = profile_of 11 body in
+              let p2 = profile_of 19 body in
+              let d f = f p2 - f p1 in
+              let dynamic =
+                (d (fun p -> p.Sim.Profiler.icache_misses)
+                * cm.Sim.Cost_model.iline_fill)
+                + d (fun p -> p.Sim.Profiler.dcache_read_misses)
+                  * cm.Sim.Cost_model.dline_fill
+                + d (fun p -> p.Sim.Profiler.window_overflows)
+                  * (Sim.Cost_model.trap_overhead
+                    + (Sim.Cost_model.window_regs * Sim.Cost_model.store_cycles cm))
+                + d (fun p -> p.Sim.Profiler.window_underflows)
+                  * (Sim.Cost_model.trap_overhead
+                    + (Sim.Cost_model.window_regs * Sim.Cost_model.load_hit_cycles cm))
+              in
+              let observed = d (fun p -> p.Sim.Profiler.cycles) - dynamic in
+              let expected = 8 * price cm in
+              if observed <> expected then
+                T2.fail_reportf
+                  "class %s: observed %d cycles per 8 instances, table \
+                   prices %d under %s"
+                  cls observed expected (print_config config))
+            cost_classes;
+          true);
+    }
+
+let cpu_cost_table_leon2 =
+  cost_table_oracle ~name:"cpu-cost-table-leon2" ~core:"LEON2"
+    ~print_config:Gen.print_config ~cycle_model:Dse.Target_leon2.cycle_model
+    ~run_program:(fun config prog -> Dse.Target_leon2.run_program config prog)
+    Gen.config
+
+let cpu_cost_table_microblaze =
+  cost_table_oracle ~name:"cpu-cost-table-microblaze" ~core:"MicroBlaze"
+    ~print_config:Gen.print_mb_config
+    ~cycle_model:Dse.Target_microblaze.cycle_model
+    ~run_program:(fun config prog ->
+      Dse.Target_microblaze.run_program config prog)
+    Gen.mb_config
+
 (* The journal's per-domain buffers under real pool concurrency: every
    recorded event must survive the merge (none lost, none duplicated),
    carry well-formed serializable fields, and each domain's buffer must
@@ -475,6 +643,8 @@ let all =
     pretty_parse;
     bounds_leon2;
     bounds_microblaze;
+    cpu_cost_table_leon2;
+    cpu_cost_table_microblaze;
     journal_pool;
   ]
 

@@ -95,6 +95,9 @@ let default_rules =
     { metric = "builds"; max_ratio = Some 1.05; min_ratio = None };
     { metric = "bounds_pruned"; max_ratio = None; min_ratio = Some 0.95 };
     { metric = "engine_hits"; max_ratio = None; min_ratio = Some 0.95 };
+    (* simulator throughput: identical work (sim_cycles is pinned
+       above) must not get much slower to execute *)
+    { metric = "sim_cycles_per_second"; max_ratio = None; min_ratio = Some 0.67 };
   ]
 
 type regression = {

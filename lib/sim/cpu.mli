@@ -10,6 +10,12 @@
     (a clock-frequency effect) and leave CPI unchanged, which is why
     the paper's optimizer never selects them.
 
+    Execution is decode-once, execute-many: {!create} pre-decodes the
+    program ({!Decode}) and compiles every static instruction into a
+    direct-threaded execute handler, with each deterministic stall
+    pre-priced from the shared {!Cost_model} table — the same table
+    [Dse.Bounds] prices the static cycle bounds from.
+
     Registers hold 32-bit values represented as OCaml ints in
     [0, 0xFFFFFFFF]. *)
 

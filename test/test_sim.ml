@@ -126,6 +126,62 @@ let test_lru_capacity_property () =
         (Sim.Cache.stats c).Sim.Cache.read_misses
   done
 
+let test_single_set_fully_assoc () =
+  (* way_kb 1 with 256-word (1 KB) lines collapses to a single set:
+     the cache is fully associative and every address contends for the
+     same [ways] lines. *)
+  let c = mk_cache ~ways:2 ~way_kb:1 ~line_words:256 ~repl:Arch.Config.Lru () in
+  check_int "single set" 1 (Sim.Cache.sets c);
+  ignore (Sim.Cache.read c 0);      (* A *)
+  ignore (Sim.Cache.read c 1024);   (* B: different line, same set *)
+  check_bool "both lines co-resident" true (Sim.Cache.read c 0);
+  ignore (Sim.Cache.read c 2048);   (* C evicts LRU = B *)
+  check_bool "A survives" true (Sim.Cache.read c 0);
+  check_bool "B was evicted" false (Sim.Cache.read c 1024)
+
+let test_single_set_lru_is_stackdist () =
+  (* A single-set LRU cache of W ways is exactly the fully-associative
+     LRU model that stack-distance analysis computes. *)
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:200 ~name:"single-set LRU = stack distance"
+       QCheck.(pair (int_range 1 4) (list (int_bound 0x3FFF)))
+       (fun (ways, addrs) ->
+         let c = mk_cache ~ways ~way_kb:1 ~line_words:256 ~repl:Arch.Config.Lru () in
+         List.iter (fun a -> ignore (Sim.Cache.read c a)) addrs;
+         let trace = Array.of_list addrs in
+         let sd = Sim.Stackdist.analyze ~line_bytes:1024 trace in
+         (Sim.Cache.stats c).Sim.Cache.read_misses
+         = Sim.Stackdist.misses sd ~lines:ways))
+
+let test_direct_mapped_policy_irrelevant () =
+  (* With one way the victim is forced, so every replacement policy
+     must produce an identical miss stream. *)
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:100 ~name:"direct-mapped ignores policy"
+       QCheck.(list (int_bound 0xFFFF))
+       (fun addrs ->
+         let misses repl =
+           let c = mk_cache ~ways:1 ~repl () in
+           List.iter (fun a -> ignore (Sim.Cache.read c a)) addrs;
+           (Sim.Cache.stats c).Sim.Cache.read_misses
+         in
+         let lru = misses Arch.Config.Lru in
+         lru = misses Arch.Config.Lrr && lru = misses Arch.Config.Random))
+
+let test_associativity_vs_capacity () =
+  (* Same 2 KB capacity, different organization: lines 0 and 2048
+     conflict in a 2 KB direct-mapped cache (same set, different tag)
+     but co-reside in a 2-way 1 KB-per-way LRU cache. *)
+  let dm = mk_cache ~ways:1 ~way_kb:2 () in
+  ignore (Sim.Cache.read dm 0);
+  ignore (Sim.Cache.read dm 2048);
+  check_bool "direct-mapped conflict at same capacity" false
+    (Sim.Cache.read dm 0);
+  let assoc = mk_cache ~ways:2 ~way_kb:1 ~repl:Arch.Config.Lru () in
+  ignore (Sim.Cache.read assoc 0);
+  ignore (Sim.Cache.read assoc 2048);
+  check_bool "2-way holds both" true (Sim.Cache.read assoc 0)
+
 (* --- Stack-distance analysis --- *)
 
 let test_stackdist_hand_trace () =
@@ -623,6 +679,46 @@ let test_machine_scaling () =
     (r10.Sim.Machine.cold_cycles + (9 * r10.Sim.Machine.warm_cycles))
     r10.Sim.Machine.profile.Sim.Profiler.cycles
 
+let test_machine_single_rep_epoch () =
+  (* reps = 1 is a pure cold run: no warm epoch executes, and both
+     epoch fields report the cold measurement. *)
+  let a = Isa.Asm.create () in
+  factorial_program 6 a;
+  let p = Isa.Asm.finish a ~entry:0 in
+  let r = Sim.Machine.run ~reps:1 base p in
+  check_int "profile is the cold epoch" r.Sim.Machine.cold_cycles
+    r.Sim.Machine.profile.Sim.Profiler.cycles;
+  check_int "warm field mirrors cold" r.Sim.Machine.cold_cycles
+    r.Sim.Machine.warm_cycles
+
+let test_machine_epoch_independence () =
+  (* Epoch measurements are per-epoch, not per-run: cold and warm
+     cycles must not depend on how many warm repetitions are billed. *)
+  let a = Isa.Asm.create () in
+  factorial_program 8 a;
+  let p = Isa.Asm.finish a ~entry:0 in
+  let r2 = Sim.Machine.run ~reps:2 base p in
+  let r10 = Sim.Machine.run ~reps:10 base p in
+  check_int "cold epoch independent of reps" r2.Sim.Machine.cold_cycles
+    r10.Sim.Machine.cold_cycles;
+  check_int "warm epoch independent of reps" r2.Sim.Machine.warm_cycles
+    r10.Sim.Machine.warm_cycles
+
+let test_machine_warm_epoch_cache_state () =
+  (* The cold/warm boundary reinitialises the architectural state but
+     NOT the caches: nop+halt costs one 13-cycle line fill plus 2
+     cycles cold, and exactly 2 cycles warm. *)
+  let a = Isa.Asm.create () in
+  Isa.Asm.emit a Isa.Insn.Nop;
+  Isa.Asm.emit a Isa.Insn.Halt;
+  let p = Isa.Asm.finish a ~entry:0 in
+  let r = Sim.Machine.run ~reps:3 base p in
+  check_int "cold epoch pays the line fill" 15 r.Sim.Machine.cold_cycles;
+  check_int "warm epoch runs from a hot icache" 2 r.Sim.Machine.warm_cycles;
+  check_int "billed total" (15 + (2 * 2)) r.Sim.Machine.profile.Sim.Profiler.cycles;
+  check_int "instructions scale with reps" (3 * 2)
+    r.Sim.Machine.profile.Sim.Profiler.instructions
+
 let () =
   Alcotest.run "sim"
     [
@@ -643,6 +739,13 @@ let () =
           Alcotest.test_case "write no-allocate" `Quick test_write_no_allocate;
           Alcotest.test_case "stats sanity (qcheck)" `Quick test_fills_equal_misses_qcheck;
           Alcotest.test_case "capacity steady state" `Quick test_lru_capacity_property;
+          Alcotest.test_case "single-set fully assoc" `Quick test_single_set_fully_assoc;
+          Alcotest.test_case "single-set LRU = stackdist (qcheck)" `Quick
+            test_single_set_lru_is_stackdist;
+          Alcotest.test_case "direct-mapped ignores policy (qcheck)" `Quick
+            test_direct_mapped_policy_irrelevant;
+          Alcotest.test_case "associativity vs capacity" `Quick
+            test_associativity_vs_capacity;
         ] );
       ( "stackdist",
         [
@@ -690,5 +793,11 @@ let () =
           Alcotest.test_case "limit" `Quick test_trace_limit;
         ] );
       ( "machine",
-        [ Alcotest.test_case "rep scaling" `Quick test_machine_scaling ] );
+        [
+          Alcotest.test_case "rep scaling" `Quick test_machine_scaling;
+          Alcotest.test_case "single rep epoch" `Quick test_machine_single_rep_epoch;
+          Alcotest.test_case "epoch independence" `Quick test_machine_epoch_independence;
+          Alcotest.test_case "warm epoch cache state" `Quick
+            test_machine_warm_epoch_cache_state;
+        ] );
     ]
