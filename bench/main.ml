@@ -188,11 +188,15 @@ let measurements ~wall_ns ~(before : Obs.Metrics.snapshot)
     ( "sim_cycles_per_second",
       if wall_s > 0.0 then float_of_int (delta "sim.cycles") /. wall_s
       else 0.0 );
+    ( "binlp_nodes_per_second",
+      if wall_s > 0.0 then float_of_int (delta "binlp.nodes") /. wall_s
+      else 0.0 );
   ]
 
 (* "wall_clock_s" and the derived throughput are floats; every counter
    delta renders as an int so the JSON stays shaped as before. *)
-let float_keys = [ "wall_clock_s"; "sim_cycles_per_second" ]
+let float_keys =
+  [ "wall_clock_s"; "sim_cycles_per_second"; "binlp_nodes_per_second" ]
 
 let measurement_json (key, v) =
   if List.mem key float_keys then (key, Obs.Json.Float v)

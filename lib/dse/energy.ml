@@ -99,7 +99,10 @@ let optimize ~weights app =
     +. (weights.w3 *. Hashtbl.find eps r.Measure.var.Arch.Param.index)
   in
   let problem = Formulate.make_custom ~objective model in
-  match Optim.Binlp.solve problem with
+  let solved =
+    Optim.Binlp.solve ~runner:(Pool.solver_runner (Pool.default ())) problem
+  in
+  match solved.Optim.Binlp.best with
   | None -> failwith "Energy.optimize: infeasible"
   | Some solution ->
       let selected = Formulate.vars_of_solution model solution in

@@ -118,7 +118,10 @@ module Make (D : DOMAIN) = struct
     let problem =
       { Optim.Binlp.nvars; objective; groups; constraints = budget_constraints }
     in
-    match Optim.Binlp.solve problem with
+    let solved =
+      Optim.Binlp.solve ~runner:(Pool.solver_runner (Pool.default ())) problem
+    in
+    match solved.Optim.Binlp.best with
     | None -> failwith (D.name ^ ": no feasible selection")
     | Some solution ->
         let chosen =

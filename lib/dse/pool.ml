@@ -83,6 +83,19 @@ let note_workers w =
 
 let size t = Array.length t.deques
 
+(* Worker identity, set once per worker domain.  A nested [run_batch]
+   submitted from inside a pool task (e.g. the parallel BINLP solver
+   called by an Engine evaluation) helps with the submitting worker's
+   own deque LIFO-first instead of only stealing, exactly like the
+   worker loop itself. *)
+let dls_worker : (t * int) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let self_index t =
+  match Domain.DLS.get dls_worker with
+  | Some (p, i) when p == t -> i
+  | _ -> -1
+
 (* Take one task: worker [i] pops its own deque's back, then steals
    from siblings' fronts; [i = -1] (the submitting caller) only
    steals.  Decrements [pending] exactly when a task is obtained. *)
@@ -123,6 +136,7 @@ let run_inline f =
   counted f
 
 let worker t i () =
+  Domain.DLS.set dls_worker (Some (t, i));
   let rec loop () =
     match take t i with
     | Some task ->
@@ -205,13 +219,16 @@ let run_batch t tasks =
       Mutex.lock t.mutex;
       Condition.broadcast t.cond;
       Mutex.unlock t.mutex;
-      (* The submitter helps: steal and run queued tasks (of this batch
-         or a concurrent one) until this batch completes.  It parks on
-         [bc] only when nothing is queued anywhere, i.e. the rest of
-         the batch is already executing on workers. *)
+      (* The submitter helps: run queued tasks (of this batch or a
+         concurrent one) until this batch completes — popping its own
+         deque first when the submitter is itself a worker of this
+         pool (nested batch), stealing otherwise.  It parks on [bc]
+         only when nothing is queued anywhere, i.e. the rest of the
+         batch is already executing on workers. *)
+      let self = self_index t in
       let rec help () =
         if Atomic.get remaining > 0 then begin
-          (match take t (-1) with
+          (match take t self with
           | Some task -> run_task task
           | None ->
               Mutex.lock bm;
@@ -237,6 +254,18 @@ let map t f xs =
       run_batch t (List.init n (fun i () -> output.(i) <- Some (f input.(i))));
       Array.to_list
         (Array.map (function Some y -> y | None -> assert false) output)
+
+(* Adapt a pool to the solver's injected execution backend ([optim]
+   cannot depend on [dse], so Binlp takes this record instead of a
+   pool).  [workers = size t]: on a single-core host the default pool
+   has one worker, so the solver takes its inline path and node
+   accounting stays exactly sequential; with >= 2 workers it splits
+   the frontier and the batch runs here with the submitter helping. *)
+let solver_runner t =
+  {
+    Optim.Binlp.workers = size t;
+    run_batch = (fun tasks -> run_batch t tasks);
+  }
 
 let default_mutex = Mutex.create ()
 let default_pool = ref None

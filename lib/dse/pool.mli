@@ -12,8 +12,11 @@
     task (LIFO) and steals the oldest (FIFO) from a sibling when its
     deque runs dry.  The submitting caller also executes tasks while
     it waits, which (a) adds one unit of parallelism and (b) makes
-    nested batches — a task that itself submits a batch — deadlock
-    free.
+    nested batches — a task that itself submits a batch, e.g. the
+    parallel BINLP solver invoked from inside an Engine evaluation —
+    deadlock free.  A nested submitter is recognized via domain-local
+    storage and helps from its own deque LIFO-first, like the worker
+    loop, instead of only stealing.
 
     Worker exceptions are re-raised in the submitter with their
     original backtraces ({!Printexc.raise_with_backtrace}).
@@ -49,6 +52,13 @@ val run_batch : t -> (unit -> unit) list -> unit
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map on the pool.  Singleton and empty
     lists run inline (still counted as pool tasks). *)
+
+val solver_runner : t -> Optim.Binlp.runner
+(** Adapt the pool to {!Optim.Binlp.solve}'s injected execution
+    backend ([optim] sits below [dse] and cannot name the pool
+    directly).  [workers] is {!size}, so a one-worker pool — the
+    default on a single-core host — makes the solver take its inline
+    sequential path. *)
 
 val run_inline : (unit -> 'a) -> 'a
 (** Run a task on the calling domain, counted against

@@ -372,9 +372,13 @@ module Make (T : Target.S) = struct
       in
       let solved =
         Obs.Span.with_ ~cat:"dse" "phase.solve" ~attrs (fun () ->
-            Optim.Binlp.solve problem)
+            Optim.Binlp.solve
+              ~runner:(Pool.solver_runner (Pool.default ()))
+              problem)
       in
-      match solved with
+      (* Node_limit_reached still carries the incumbent; a feasible
+         incumbent is usable even if optimality was not proven. *)
+      match solved.Optim.Binlp.best with
       | None -> failwith "Optimizer: BINLP infeasible"
       | Some solution ->
           Obs.Span.with_ ~cat:"dse" "phase.verify" ~attrs @@ fun () ->
@@ -957,7 +961,10 @@ module Make (T : Target.S) = struct
       in
       let model = combine models in
       let problem = Formulate.make weights model in
-      match Optim.Binlp.solve problem with
+      let solved =
+        Optim.Binlp.solve ~runner:(Pool.solver_runner (Pool.default ())) problem
+      in
+      match solved.Optim.Binlp.best with
       | None -> failwith "Multiapp.optimize: infeasible"
       | Some solution ->
           let selected = Formulate.vars_of_solution model solution in

@@ -265,7 +265,9 @@ let binlp_exact =
         (fun p ->
           let brute = Optim.Binlp.brute_force p in
           let solved = Optim.Binlp.solve ~node_limit:2_000_000 p in
-          match (brute, solved) with
+          if solved.Optim.Binlp.status <> Optim.Binlp.Optimal then
+            T2.fail_reportf "solver hit the node limit on a small instance";
+          match (brute, solved.Optim.Binlp.best) with
           | None, None -> true
           | Some b, None ->
               T2.fail_reportf
@@ -282,8 +284,79 @@ let binlp_exact =
                 T2.fail_reportf "solver returned an infeasible point";
               if Float.abs (s.objective -. b.objective) > 1e-6 then
                 T2.fail_reportf "objectives differ: solve=%g brute=%g"
-                  s.objective b.objective
+                  s.objective b.objective;
+              (* The pinned tie-break (bit-exact minimal objective,
+                 then lexicographically-smallest assignment; both
+                 sides recompute objectives in index order, and the
+                 generator emits exact dyadic coefficients) makes the
+                 winning assignment itself comparable, not just its
+                 objective. *)
+              if s.x <> b.x then
+                T2.fail_reportf
+                  "tie-break diverged: solve and brute force picked \
+                   different optimal assignments (obj %g)"
+                  s.objective
               else true);
+    }
+
+(* Explicit multi-worker pools, created lazily so the domains only
+   spawn when this oracle actually runs, and joined at exit.  The host
+   may have a single core — the point is scheduling interleaving, not
+   speed. *)
+let par_pools =
+  lazy
+    (let mk w =
+       let p = Dse.Pool.create ~workers:w () in
+       at_exit (fun () -> Dse.Pool.shutdown p);
+       p
+     in
+     (mk 2, mk 4))
+
+let binlp_par =
+  T
+    {
+      name = "binlp-par";
+      doc =
+        "parallel solve (2 and 4 workers) is bit-identical to the sequential \
+         solve: same status, same winner";
+      gen = Gen.binlp_problem;
+      print = Gen.print_binlp;
+      prop =
+        (fun p ->
+          let seq = Optim.Binlp.solve ~node_limit:2_000_000 p in
+          let pool2, pool4 = Lazy.force par_pools in
+          List.iter
+            (fun (label, pool) ->
+              let par =
+                Optim.Binlp.solve ~node_limit:2_000_000
+                  ~runner:(Dse.Pool.solver_runner pool)
+                  p
+              in
+              if par.Optim.Binlp.status <> seq.Optim.Binlp.status then
+                T2.fail_reportf "%s: status differs from sequential" label;
+              match (seq.Optim.Binlp.best, par.Optim.Binlp.best) with
+              | None, None -> ()
+              | Some s, Some q
+                when Int64.bits_of_float s.Optim.Binlp.objective
+                     = Int64.bits_of_float q.Optim.Binlp.objective
+                     && s.Optim.Binlp.x = q.Optim.Binlp.x ->
+                  ()
+              | Some s, Some q ->
+                  T2.fail_reportf
+                    "%s: winner differs: seq obj=%g par obj=%g (same \
+                     assignment: %b)"
+                    label s.Optim.Binlp.objective q.Optim.Binlp.objective
+                    (s.Optim.Binlp.x = q.Optim.Binlp.x)
+              | Some _, None ->
+                  T2.fail_reportf "%s: parallel solve reported infeasible"
+                    label
+              | None, Some _ ->
+                  T2.fail_reportf
+                    "%s: parallel solve found a point on an infeasible \
+                     instance"
+                    label)
+            [ ("2-workers", pool2); ("4-workers", pool4) ];
+          true);
     }
 
 let rec json_equal (a : Obs.Json.t) (b : Obs.Json.t) =
@@ -639,6 +712,7 @@ let all =
     codec_roundtrip;
     mb_codec_roundtrip;
     binlp_exact;
+    binlp_par;
     json_roundtrip;
     pretty_parse;
     bounds_leon2;

@@ -98,6 +98,9 @@ let default_rules =
     (* simulator throughput: identical work (sim_cycles is pinned
        above) must not get much slower to execute *)
     { metric = "sim_cycles_per_second"; max_ratio = None; min_ratio = Some 0.67 };
+    (* solver throughput: same floor as the simulator — solver_nodes
+       is pinned above, so nodes/s drift means the B&B loop slowed *)
+    { metric = "binlp_nodes_per_second"; max_ratio = None; min_ratio = Some 0.67 };
   ]
 
 type regression = {

@@ -18,7 +18,13 @@ type problem = {
 
 type solution = { x : bool array; objective : float }
 
-exception Node_limit
+type status = Optimal | Node_limit_reached
+
+type outcome = { best : solution option; status : status; nodes : int }
+
+type runner = { workers : int; run_batch : (unit -> unit) list -> unit }
+
+let inline_runner = { workers = 1; run_batch = List.iter (fun f -> f ()) }
 
 let eval_lin l x =
   List.fold_left
@@ -95,6 +101,30 @@ let interval_min_product (l1, u1) (l2, u2) =
 let interval_max_product (l1, u1) (l2, u2) =
   max (max (l1 *. l2) (l1 *. u2)) (max (u1 *. l2) (u1 *. u2))
 
+(* The pinned tie-break: first differing index decides, an unselected
+   variable beats a selected one.  Together with the canonical leaf
+   objective this gives solve, brute_force and every worker count the
+   same winner on equally-optimal problems. *)
+let lex_lt a b =
+  let n = Array.length a in
+  let rec go i =
+    if i >= n then false else if a.(i) = b.(i) then go (i + 1) else not a.(i)
+  in
+  go 0
+
+(* The incumbent objective is always recomputed from the assignment in
+   index order — the same summation brute_force uses — so equal optima
+   compare bit-exactly regardless of the float-addition order the DFS
+   happened to accumulate along its path. *)
+let canonical_objective objective x =
+  let obj = ref 0.0 in
+  Array.iteri (fun j b -> if b then obj := !obj +. objective.(j)) x;
+  !obj
+
+let better_solution a b =
+  a.objective < b.objective
+  || (a.objective = b.objective && lex_lt a.x b.x)
+
 (* One linear factor tracked during search: its current partial value
    and, per depth, the min/max contribution still achievable from the
    remaining groups. *)
@@ -107,8 +137,23 @@ type factor = {
 
 type tracked = TLin of factor | TProd of factor * factor
 
+(* Per-task search state.  Every subtree task owns a private copy of
+   the assignment and the tracked constraint factors (they are mutated
+   in place along the DFS), plus local statistics that are folded into
+   the shared totals when the task finishes. *)
+type state = {
+  x : bool array;
+  tracked : (constr * tracked list) array;
+  factors : factor array;
+  mutable snodes : int;
+  mutable sflushed : int; (* nodes already reported to the shared total *)
+  mutable spruned_bound : int;
+  mutable spruned_validity : int;
+  mutable sincumbents : int;
+}
+
 (* Search statistics land in the metrics registry (one flush per solve,
-   so the per-node cost of accounting is a plain [incr]); incumbent
+   so the per-node cost of accounting is a plain increment); incumbent
    improvements additionally become instant trace events so a Perfetto
    timeline shows when the search last made progress. *)
 let m_solves = Obs.Metrics.Counter.v "binlp.solves" ~help:"solver invocations"
@@ -127,24 +172,44 @@ let m_pruned_validity =
 let m_incumbents =
   Obs.Metrics.Counter.v "binlp.incumbents" ~help:"incumbent improvements"
 
-let solve ?(node_limit = 20_000_000) p =
+let m_tasks =
+  Obs.Metrics.Counter.v "binlp.tasks" ~help:"subtree tasks explored"
+
+exception Cancelled
+
+let solve ?(node_limit = 20_000_000) ?(runner = inline_runner) p =
   Obs.Span.with_span ~cat:"optim" "binlp.solve" @@ fun span ->
-  let pruned_bound = ref 0 in
-  let pruned_validity = ref 0 in
-  let incumbents = ref 0 in
   let groups = effective_groups p in
   let ngroups = List.length groups in
   let garr = Array.of_list groups in
   (* Order groups by their best (most negative) objective option so the
-     DFS reaches good incumbents early. *)
+     DFS reaches good incumbents early; ties broken by smallest member
+     index so the order — and hence the frontier split — is fully
+     deterministic. *)
   let gmin_obj g = List.fold_left (fun acc j -> min acc p.objective.(j)) 0.0 g in
-  Array.sort (fun a b -> compare (gmin_obj a) (gmin_obj b)) garr;
+  let gkey g = (gmin_obj g, List.fold_left min max_int g) in
+  Array.sort (fun a b -> compare (gkey a) (gkey b)) garr;
   let groups = Array.to_list garr in
   let gmin = Array.map gmin_obj garr in
   let suffix_obj = Array.make (ngroups + 1) 0.0 in
   for i = ngroups - 1 downto 0 do
     suffix_obj.(i) <- suffix_obj.(i + 1) +. gmin.(i)
   done;
+  (* Branch order inside a group — improving options cheapest-first,
+     then "none", then the rest — computed once per solve instead of
+     sorting (and allocating) at every node of the hot DFS loop. *)
+  let opt_cmp a b =
+    let c = compare p.objective.(a) p.objective.(b) in
+    if c <> 0 then c else compare a b
+  in
+  let part sel =
+    Array.map
+      (fun g ->
+        Array.of_list (List.sort opt_cmp (List.filter sel g)))
+      garr
+  in
+  let neg_opts = part (fun j -> p.objective.(j) < 0.0) in
+  let rest_opts = part (fun j -> p.objective.(j) >= 0.0) in
   let make_factor l =
     let mins = Array.make ngroups 0.0 and maxs = Array.make ngroups 0.0 in
     List.iteri
@@ -161,28 +226,40 @@ let solve ?(node_limit = 20_000_000) p =
     done;
     { lin = l; value = l.const; smin; smax }
   in
-  let tracked =
-    Array.of_list
-      (List.map
-         (fun c ->
-           ( c,
-             List.map
-               (function
-                 | Lin l -> TLin (make_factor l)
-                 | Prod (l1, l2) -> TProd (make_factor l1, make_factor l2))
-               c.terms ))
-         p.constraints)
+  let make_state () =
+    let tracked =
+      Array.of_list
+        (List.map
+           (fun c ->
+             ( c,
+               List.map
+                 (function
+                   | Lin l -> TLin (make_factor l)
+                   | Prod (l1, l2) -> TProd (make_factor l1, make_factor l2))
+                 c.terms ))
+           p.constraints)
+    in
+    let factors =
+      Array.of_list
+        (List.concat_map
+           (fun (_, ts) ->
+             List.concat_map
+               (function TLin f -> [ f ] | TProd (f1, f2) -> [ f1; f2 ])
+               ts)
+           (Array.to_list tracked))
+    in
+    {
+      x = Array.make p.nvars false;
+      tracked;
+      factors;
+      snodes = 0;
+      sflushed = 0;
+      spruned_bound = 0;
+      spruned_validity = 0;
+      sincumbents = 0;
+    }
   in
-  let factors =
-    Array.of_list
-      (List.concat_map
-         (fun (_, ts) ->
-           List.concat_map
-             (function TLin f -> [ f ] | TProd (f1, f2) -> [ f1; f2 ])
-             ts)
-         (Array.to_list tracked))
-  in
-  let feasible_possible depth =
+  let feasible_possible st depth =
     Array.for_all
       (fun (c, ts) ->
         let lo = ref 0.0 and hi = ref 0.0 in
@@ -201,94 +278,224 @@ let solve ?(node_limit = 20_000_000) p =
         match c.rel with
         | Le -> !lo <= c.bound +. 1e-9
         | Ge -> !hi >= c.bound -. 1e-9)
-      tracked
+      st.tracked
   in
-  let apply_choice j sign =
+  let apply_choice st j sign =
     Array.iter
       (fun f ->
         let c = lin_coeff f.lin j in
         if c <> 0.0 then f.value <- f.value +. (sign *. c))
-      factors
+      st.factors
   in
-  let x = Array.make p.nvars false in
-  let best = ref None in
-  let best_obj = ref infinity in
-  let nodes = ref 0 in
-  let rec dfs depth obj =
-    incr nodes;
-    if !nodes > node_limit then raise Node_limit;
-    if obj +. suffix_obj.(depth) >= !best_obj -. 1e-12 then incr pruned_bound
-    else if not (feasible_possible depth) then incr pruned_validity
+  (* Shared solver state: the atomic incumbent (CAS below), a cached
+     copy of its objective for the per-node bound read, the cooperative
+     cancellation flag, and the node/prune totals the tasks fold into. *)
+  let incumbent : solution option Atomic.t = Atomic.make None in
+  let best_obj = Atomic.make infinity in
+  let cancelled = Atomic.make false in
+  let limit_hit = Atomic.make false in
+  let total_nodes = Atomic.make 0 in
+  let total_pruned_bound = Atomic.make 0 in
+  let total_pruned_validity = Atomic.make 0 in
+  let total_incumbents = Atomic.make 0 in
+  let parallel = runner.workers >= 2 && ngroups >= 2 in
+  (* Node accounting is chunked under parallel execution (the limit is
+     then approximate by at most workers * chunk nodes).  The inline
+     path has exactly one task, so its node count IS the total: the
+     limit check stays exact without touching an atomic in the hot
+     loop. *)
+  let chunk = 128 in
+  let note_node st =
+    st.snodes <- st.snodes + 1;
+    if parallel then begin
+      if st.snodes - st.sflushed = chunk then begin
+        st.sflushed <- st.snodes;
+        if Atomic.fetch_and_add total_nodes chunk + chunk > node_limit then begin
+          Atomic.set limit_hit true;
+          Atomic.set cancelled true
+        end
+      end;
+      if Atomic.get cancelled then raise Cancelled
+    end
+    else if st.snodes > node_limit then begin
+      Atomic.set limit_hit true;
+      raise Cancelled
+    end
+  in
+  let offer st =
+    let obj = canonical_objective p.objective st.x in
+    let cand = { x = Array.copy st.x; objective = obj } in
+    let rec attempt () =
+      let cur = Atomic.get incumbent in
+      let improves =
+        match cur with None -> true | Some b -> better_solution cand b
+      in
+      if improves then
+        if Atomic.compare_and_set incumbent cur (Some cand) then begin
+          (* A racing reader may briefly see the previous (never
+             smaller) objective: that only weakens pruning, it cannot
+             cut an optimum. *)
+          Atomic.set best_obj obj;
+          st.sincumbents <- st.sincumbents + 1;
+          Obs.Span.event ~cat:"optim" "binlp.incumbent"
+            ~attrs:
+              [
+                ("objective", Obs.Json.Float obj);
+                ("node", Obs.Json.Int st.snodes);
+              ];
+          Obs.Span.counter ~cat:"optim" "binlp.objective"
+            [ ("objective", obj) ];
+          if Obs.Journal.enabled () then
+            Obs.Journal.record ~kind:"binlp.incumbent"
+              [
+                ("node", Obs.Json.Int st.snodes);
+                ("objective", Obs.Json.Float obj);
+                ( "bound",
+                  match cur with
+                  | Some b when Float.is_finite b.objective ->
+                      Obs.Json.Float b.objective
+                  | Some _ | None -> Obs.Json.Null );
+              ]
+        end
+        else attempt ()
+    in
+    attempt ()
+  in
+  let rec dfs st depth obj =
+    note_node st;
+    (* Strictly-worse prune only: a subtree whose bound ties the
+       incumbent may still hold an equal-objective, lexicographically
+       smaller assignment, and the tie-break must find it. *)
+    if obj +. suffix_obj.(depth) > Atomic.get best_obj +. 1e-12 then
+      st.spruned_bound <- st.spruned_bound + 1
+    else if not (feasible_possible st depth) then
+      st.spruned_validity <- st.spruned_validity + 1
     else if depth = ngroups then begin
-      if List.for_all (check_constr x) p.constraints then begin
-        let prev_best = !best_obj in
-        best_obj := obj;
-        best := Some { x = Array.copy x; objective = obj };
-        incr incumbents;
-        Obs.Span.event ~cat:"optim" "binlp.incumbent"
-          ~attrs:
-            [
-              ("objective", Obs.Json.Float obj);
-              ("node", Obs.Json.Int !nodes);
-            ];
-        Obs.Span.counter ~cat:"optim" "binlp.objective"
-          [ ("objective", obj) ];
-        if Obs.Journal.enabled () then
-          Obs.Journal.record ~kind:"binlp.incumbent"
-            [
-              ("node", Obs.Json.Int !nodes);
-              ("objective", Obs.Json.Float obj);
-              ( "bound",
-                if Float.is_finite prev_best then Obs.Json.Float prev_best
-                else Obs.Json.Null );
-            ]
-      end
+      if List.for_all (check_constr st.x) p.constraints then offer st
     end
     else begin
-      let options =
-        List.sort (fun a b -> compare p.objective.(a) p.objective.(b)) garr.(depth)
-      in
       let try_member j =
-        x.(j) <- true;
-        apply_choice j 1.0;
-        dfs (depth + 1) (obj +. p.objective.(j));
-        apply_choice j (-1.0);
-        x.(j) <- false
+        st.x.(j) <- true;
+        apply_choice st j 1.0;
+        dfs st (depth + 1) (obj +. p.objective.(j));
+        apply_choice st j (-1.0);
+        st.x.(j) <- false
       in
-      let negative, rest = List.partition (fun j -> p.objective.(j) < 0.0) options in
-      List.iter try_member negative;
-      dfs (depth + 1) obj;
-      List.iter try_member rest
+      Array.iter try_member neg_opts.(depth);
+      dfs st (depth + 1) obj;
+      Array.iter try_member rest_opts.(depth)
     end
   in
+  (* Frontier split: peel off the shallowest prefix of groups whose
+     option cross-product yields enough independent subtree tasks to
+     feed the workers (capped at depth 3).  Each task replays its
+     prefix into a private state and explores the remaining groups,
+     pruning against the shared incumbent — so late tasks inherit the
+     cuts of whichever task improved it first. *)
+  let frontier_depth =
+    if not parallel then 0
+    else begin
+      let d = ref 0 and t = ref 1 in
+      while !d < ngroups - 1 && !d < 3 && !t < 8 * runner.workers do
+        t :=
+          !t
+          * (Array.length neg_opts.(!d) + Array.length rest_opts.(!d) + 1);
+        incr d
+      done;
+      !d
+    end
+  in
+  let prefixes =
+    if frontier_depth = 0 then [ [] ]
+    else begin
+      (* -1 encodes "no option of this group"; canonical branch order
+         (improving, none, rest) so task 0 is the sequential DFS's
+         first dive. *)
+      let acc = ref [] in
+      let rec enum d prefix =
+        if d = frontier_depth then acc := List.rev prefix :: !acc
+        else begin
+          Array.iter (fun j -> enum (d + 1) (j :: prefix)) neg_opts.(d);
+          enum (d + 1) (-1 :: prefix);
+          Array.iter (fun j -> enum (d + 1) (j :: prefix)) rest_opts.(d)
+        end
+      in
+      enum 0 [];
+      List.rev !acc
+    end
+  in
+  let commit st =
+    ignore (Atomic.fetch_and_add total_nodes (st.snodes - st.sflushed));
+    ignore (Atomic.fetch_and_add total_pruned_bound st.spruned_bound);
+    ignore (Atomic.fetch_and_add total_pruned_validity st.spruned_validity);
+    ignore (Atomic.fetch_and_add total_incumbents st.sincumbents)
+  in
+  let run_prefix prefix () =
+    let st = make_state () in
+    let obj =
+      List.fold_left
+        (fun acc j ->
+          if j < 0 then acc
+          else begin
+            st.x.(j) <- true;
+            apply_choice st j 1.0;
+            acc +. p.objective.(j)
+          end)
+        0.0 prefix
+    in
+    (try dfs st frontier_depth obj with Cancelled -> ());
+    commit st
+  in
+  let status () =
+    if Atomic.get limit_hit then Node_limit_reached else Optimal
+  in
   let flush () =
+    let nodes = Atomic.get total_nodes in
+    let pruned_bound = Atomic.get total_pruned_bound in
+    let pruned_validity = Atomic.get total_pruned_validity in
+    let incumbents = Atomic.get total_incumbents in
     Obs.Metrics.Counter.incr m_solves;
-    Obs.Metrics.Counter.incr ~by:!nodes m_nodes;
-    Obs.Metrics.Counter.incr ~by:!pruned_bound m_pruned_bound;
-    Obs.Metrics.Counter.incr ~by:!pruned_validity m_pruned_validity;
-    Obs.Metrics.Counter.incr ~by:!incumbents m_incumbents;
-    Obs.Span.add_attr span "nodes" (Obs.Json.Int !nodes);
-    Obs.Span.add_attr span "pruned_bound" (Obs.Json.Int !pruned_bound);
-    Obs.Span.add_attr span "pruned_validity" (Obs.Json.Int !pruned_validity);
-    Obs.Span.add_attr span "incumbents" (Obs.Json.Int !incumbents);
+    Obs.Metrics.Counter.incr ~by:nodes m_nodes;
+    Obs.Metrics.Counter.incr ~by:pruned_bound m_pruned_bound;
+    Obs.Metrics.Counter.incr ~by:pruned_validity m_pruned_validity;
+    Obs.Metrics.Counter.incr ~by:incumbents m_incumbents;
+    Obs.Metrics.Counter.incr ~by:(List.length prefixes) m_tasks;
+    Obs.Span.add_attr span "nodes" (Obs.Json.Int nodes);
+    Obs.Span.add_attr span "pruned_bound" (Obs.Json.Int pruned_bound);
+    Obs.Span.add_attr span "pruned_validity" (Obs.Json.Int pruned_validity);
+    Obs.Span.add_attr span "incumbents" (Obs.Json.Int incumbents);
+    Obs.Span.add_attr span "workers" (Obs.Json.Int runner.workers);
+    Obs.Span.add_attr span "tasks" (Obs.Json.Int (List.length prefixes));
     if Obs.Journal.enabled () then
       Obs.Journal.record ~kind:"binlp.solve"
         [
-          ("nodes", Obs.Json.Int !nodes);
-          ("pruned_bound", Obs.Json.Int !pruned_bound);
-          ("pruned_validity", Obs.Json.Int !pruned_validity);
-          ("incumbents", Obs.Json.Int !incumbents);
+          ("nodes", Obs.Json.Int nodes);
+          ("pruned_bound", Obs.Json.Int pruned_bound);
+          ("pruned_validity", Obs.Json.Int pruned_validity);
+          ("incumbents", Obs.Json.Int incumbents);
           ( "objective",
-            match !best with
+            match Atomic.get incumbent with
             | Some s -> Obs.Json.Float s.objective
             | None -> Obs.Json.Null );
+          ("workers", Obs.Json.Int runner.workers);
+          ("tasks", Obs.Json.Int (List.length prefixes));
+          ( "status",
+            Obs.Json.String
+              (match status () with
+              | Optimal -> "optimal"
+              | Node_limit_reached -> "node_limit_reached") );
         ];
-    match !best with
+    match Atomic.get incumbent with
     | Some s -> Obs.Span.add_attr span "objective" (Obs.Json.Float s.objective)
     | None -> ()
   in
-  Fun.protect ~finally:flush (fun () -> dfs 0 0.0);
-  !best
+  Fun.protect ~finally:flush (fun () ->
+      runner.run_batch (List.map run_prefix prefixes));
+  {
+    best = Atomic.get incumbent;
+    status = status ();
+    nodes = Atomic.get total_nodes;
+  }
 
 let brute_force p =
   let groups = effective_groups p in
@@ -298,11 +505,12 @@ let brute_force p =
     match gs with
     | [] ->
         if List.for_all (check_constr x) p.constraints then begin
-          let obj = ref 0.0 in
-          Array.iteri (fun j b -> if b then obj := !obj +. p.objective.(j)) x;
+          let cand =
+            { x = Array.copy x; objective = canonical_objective p.objective x }
+          in
           match !best with
-          | Some { objective; _ } when objective <= !obj -> ()
-          | Some _ | None -> best := Some { x = Array.copy x; objective = !obj }
+          | Some b when not (better_solution cand b) -> ()
+          | Some _ | None -> best := Some cand
         end
     | g :: rest ->
         go rest;

@@ -16,7 +16,34 @@
     The search enumerates one option per group (including "none"),
     pruning with an admissible objective bound and per-constraint
     interval bounds; leaves are checked exactly, so the returned
-    solution is a true optimum. *)
+    solution is a true optimum.
+
+    {2 Tie-break rule}
+
+    Equally-optimal assignments are ordered by the {e pinned
+    tie-break}: the winner is the lexicographically-smallest
+    assignment — comparing [x.(0), x.(1), ...] with [false < true] —
+    among those with the (bit-exactly) minimal objective, where every
+    candidate's objective is recomputed in variable-index order at the
+    leaf.  {!solve}, {!brute_force} and the parallel search all apply
+    the same rule, so the winner is independent of exploration order
+    and worker count, and differential tests may compare assignments,
+    not just objectives.
+
+    {2 Parallel search}
+
+    [solve ~runner] splits the group tree at a shallow frontier
+    (depth <= 3) into independent subtree tasks and executes them on
+    [runner] (in practice [Dse.Pool.solver_runner], a work-stealing
+    domain pool).  All tasks share one atomic incumbent: a feasible
+    leaf is installed by compare-and-swap under the tie-break order
+    above, and every node reads the incumbent objective for bound
+    pruning, so late tasks inherit the cuts of early ones.  With
+    [runner.workers <= 1] (a single-core host, or no runner) the solve
+    runs inline on the calling domain as a single task — the exact
+    sequential algorithm.  The returned winner is deterministic and
+    identical for every worker count; node/prune {e counts} are
+    scheduling-dependent under real parallelism. *)
 
 type rel = Le | Ge
 
@@ -39,18 +66,47 @@ type problem = {
 
 type solution = { x : bool array; objective : float }
 
-exception Node_limit
+type status =
+  | Optimal  (** the search ran to completion; [best] is a true optimum *)
+  | Node_limit_reached
+      (** the node budget ran out; [best] is the incumbent found so
+          far (graceful degradation), or [None] if no feasible point
+          was reached in budget *)
 
-val solve : ?node_limit:int -> problem -> solution option
-(** Minimize; [None] if no assignment satisfies the constraints.
-    @raise Node_limit if the search exceeds [node_limit] nodes
-    (default 20 million — far beyond the paper's 52-variable model)
+type outcome = {
+  best : solution option;  (** [None] iff no feasible point was found *)
+  status : status;
+  nodes : int;  (** branch-and-bound nodes explored (all tasks) *)
+}
+
+type runner = {
+  workers : int;
+      (** parallelism to split the search for; [<= 1] solves inline *)
+  run_batch : (unit -> unit) list -> unit;
+      (** execute every task to completion (the calling domain may
+          participate); tasks never raise *)
+}
+(** Execution backend for the parallel search, injected so [optim]
+    stays independent of the domain-pool layer.
+    [Dse.Pool.solver_runner] adapts a {!Dse.Pool.t}. *)
+
+val inline_runner : runner
+(** The default: a single task on the calling domain. *)
+
+val solve : ?node_limit:int -> ?runner:runner -> problem -> outcome
+(** Minimize.  [outcome.best = None] means no assignment satisfies the
+    constraints.  When the search exceeds [node_limit] nodes (default
+    20 million — far beyond the paper's 52-variable model) it stops
+    cooperatively — under parallel execution the limit is approximate
+    by at most [workers * 128] nodes — and returns the incumbent with
+    [Node_limit_reached] instead of discarding it.
     @raise Invalid_argument on malformed input (overlapping groups,
     indices out of range). *)
 
 val brute_force : problem -> solution option
 (** Reference implementation enumerating every SOS1-respecting
-    assignment; for testing on small instances. *)
+    assignment, applying the same tie-break rule as {!solve}; for
+    testing on small instances. *)
 
 val eval_lin : lin -> bool array -> float
 val eval_constr_lhs : constr -> bool array -> float

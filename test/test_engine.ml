@@ -254,6 +254,43 @@ let test_pool_nested_batches () =
       check_bool "nested results" true
         (rows = List.map (fun i -> (50 * i) + 15) [ 0; 1; 2; 3 ]))
 
+let test_pool_nested_solver () =
+  (* Deadlock regression for the parallel BINLP solver running inside
+     a pool batch (an Engine evaluation that solves a subproblem): the
+     worker's nested run_batch must help from its own deque instead of
+     parking while its subtree tasks sit unstolen. *)
+  let pool = Dse.Pool.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Dse.Pool.shutdown pool)
+    (fun () ->
+      let problem i =
+        {
+          Optim.Binlp.nvars = 6;
+          objective =
+            Array.init 6 (fun j -> float_of_int (((i + j) mod 5) - 3));
+          groups = [ [ 0; 1; 2 ]; [ 3; 4 ] ];
+          constraints = [];
+        }
+      in
+      let solved =
+        Dse.Pool.map pool
+          (fun i ->
+            let p = problem i in
+            let o =
+              Optim.Binlp.solve ~runner:(Dse.Pool.solver_runner pool) p
+            in
+            (i, o.Optim.Binlp.best))
+          [ 0; 1; 2; 3; 4; 5 ]
+      in
+      List.iter
+        (fun (i, best) ->
+          match (best, Optim.Binlp.brute_force (problem i)) with
+          | Some s, Some b ->
+              check_bool "nested solve matches brute force" true
+                (s.Optim.Binlp.x = b.Optim.Binlp.x)
+          | _ -> Alcotest.fail "nested solve missing a solution")
+        solved)
+
 let test_pool_metrics_nonzero () =
   (* Regression: pool task/worker metrics used to stay 0 on runs whose
      work never crossed a deque (singleton batches, the single-core
@@ -314,6 +351,8 @@ let () =
           Alcotest.test_case "exceptions propagate" `Quick
             test_pool_exception_propagates;
           Alcotest.test_case "nested batches" `Quick test_pool_nested_batches;
+          Alcotest.test_case "nested solver batch" `Quick
+            test_pool_nested_solver;
           Alcotest.test_case "task/worker metrics nonzero" `Quick
             test_pool_metrics_nonzero;
         ] );

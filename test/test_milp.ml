@@ -135,7 +135,7 @@ let milp_vs_binlp_qtest =
     (QCheck.make gen_linear_binlp)
     (fun p ->
       let a = Optim.Milp.solve (to_milp p) in
-      let b = Optim.Binlp.solve p in
+      let b = (Optim.Binlp.solve p).Optim.Binlp.best in
       match (a, b) with
       | None, None -> true
       | Some sa, Some sb -> Float.abs (sa.objective -. sb.objective) < 1e-6
@@ -162,7 +162,7 @@ let product_problem =
 let test_mccormick_relaxation_bound () =
   (* The linearization relaxes the feasible set, so its optimum cannot
      be worse (higher) than the true optimum. *)
-  let exact = Optim.Binlp.solve product_problem in
+  let exact = (Optim.Binlp.solve product_problem).Optim.Binlp.best in
   let relaxed = Optim.Mccormick.solve product_problem in
   match (exact, relaxed) with
   | Some e, Some r ->
@@ -184,7 +184,7 @@ let test_mccormick_exact_when_linear () =
         ];
     }
   in
-  match (Optim.Binlp.solve p, Optim.Mccormick.solve p) with
+  match ((Optim.Binlp.solve p).Optim.Binlp.best, Optim.Mccormick.solve p) with
   | Some a, Some b -> check_float "identical on linear problems" a.objective b.objective
   | _ -> Alcotest.fail "both must solve"
 
@@ -215,7 +215,7 @@ let mccormick_bound_qtest =
     ~name:"McCormick optimum bounds the exact optimum from below"
     (QCheck.make gen_product_problem)
     (fun p ->
-      match (Optim.Binlp.solve p, Optim.Mccormick.solve p) with
+      match ((Optim.Binlp.solve p).Optim.Binlp.best, Optim.Mccormick.solve p) with
       | None, None -> true
       | None, Some _ -> true (* relaxation may be feasible when truth is not *)
       | Some _, None -> false (* ...but never the other way around *)

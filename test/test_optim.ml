@@ -133,10 +133,14 @@ let test_simplex_solution_feasible_qcheck () =
 let blp ?(groups = []) nvars objective constraints =
   { Optim.Binlp.nvars; objective; groups; constraints }
 
+(* Most tests only care about the winning point; the outcome record's
+   status/nodes fields get their own tests below. *)
+let solve ?node_limit p = (Optim.Binlp.solve ?node_limit p).Optim.Binlp.best
+
 let test_binlp_unconstrained () =
   (* Free binaries: pick exactly the negative-cost ones. *)
   let p = blp 4 [| -2.0; 3.0; -1.0; 0.0 |] [] in
-  match Optim.Binlp.solve p with
+  match solve p with
   | None -> Alcotest.fail "expected solution"
   | Some s ->
       check_float "objective" (-3.0) s.objective;
@@ -147,7 +151,7 @@ let test_binlp_unconstrained () =
 let test_binlp_sos1 () =
   (* One group with two attractive options: only one may be chosen. *)
   let p = blp ~groups:[ [ 0; 1 ] ] 2 [| -5.0; -4.0 |] [] in
-  match Optim.Binlp.solve p with
+  match solve p with
   | None -> Alcotest.fail "expected solution"
   | Some s ->
       check_float "objective" (-5.0) s.objective;
@@ -161,7 +165,7 @@ let test_binlp_linear_constraint () =
     blp 3 [| -6.0; -5.0; -4.0 |]
       [ Optim.Binlp.linear (lin [ (0, 5.0); (1, 4.0); (2, 3.0) ] 0.0) Optim.Binlp.Le 8.0 ]
   in
-  match Optim.Binlp.solve p with
+  match solve p with
   | None -> Alcotest.fail "expected solution"
   | Some s ->
       (* best: x1 + x2 (weight 7, value 9) vs x0 + x2 (8, 10): latter. *)
@@ -174,7 +178,7 @@ let test_binlp_implication () =
     blp 2 [| -10.0; 4.0 |]
       [ Optim.Binlp.linear (lin [ (0, 1.0); (1, -1.0) ] 0.0) Optim.Binlp.Le 0.0 ]
   in
-  match Optim.Binlp.solve p with
+  match solve p with
   | None -> Alcotest.fail "expected solution"
   | Some s ->
       check_float "objective" (-6.0) s.objective;
@@ -194,7 +198,7 @@ let test_binlp_product_constraint () =
           Optim.Binlp.Le 4.0;
       ]
   in
-  (match Optim.Binlp.solve p with
+  (match solve p with
   | None -> Alcotest.fail "expected solution"
   | Some s ->
       (* candidates: x0+x1 -> product 4 ok, obj -5; x0+x2 -> 6 infeasible;
@@ -202,7 +206,7 @@ let test_binlp_product_constraint () =
          x0 alone -3; x1+x2 without x0: (1)(5)=5 > 4 no. So -5. *)
       check_float "objective" (-5.0) s.objective);
   (* And brute force agrees. *)
-  match (Optim.Binlp.solve p, Optim.Binlp.brute_force p) with
+  match (solve p, Optim.Binlp.brute_force p) with
   | Some a, Some b -> check_float "matches brute force" b.objective a.objective
   | _ -> Alcotest.fail "both should solve"
 
@@ -212,7 +216,7 @@ let test_binlp_infeasible () =
     blp 2 [| 0.0; 0.0 |]
       [ Optim.Binlp.linear (lin [ (0, 1.0); (1, 1.0) ] 0.0) Optim.Binlp.Ge 3.0 ]
   in
-  check_bool "infeasible" true (Optim.Binlp.solve p = None)
+  check_bool "infeasible" true (solve p = None)
 
 let test_binlp_forced_positive_cost () =
   (* A Ge constraint can force paying a positive cost. *)
@@ -221,13 +225,13 @@ let test_binlp_forced_positive_cost () =
     blp 2 [| 5.0; 7.0 |]
       [ Optim.Binlp.linear (lin [ (0, 1.0); (1, 1.0) ] 0.0) Optim.Binlp.Ge 1.0 ]
   in
-  match Optim.Binlp.solve p with
+  match solve p with
   | None -> Alcotest.fail "expected solution"
   | Some s -> check_float "cheapest forced var" 5.0 s.objective
 
 let test_binlp_overlapping_groups_rejected () =
   let p = blp ~groups:[ [ 0; 1 ]; [ 1 ] ] 2 [| 0.0; 0.0 |] [] in
-  match Optim.Binlp.solve p with
+  match solve p with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument"
 
@@ -275,12 +279,16 @@ let test_binlp_vs_brute_force () =
   QCheck.Test.check_exn
     (QCheck.Test.make ~count:300 ~name:"B&B = brute force" (QCheck.make gen_problem)
        (fun p ->
-         let a = Optim.Binlp.solve p in
+         let a = solve p in
          let b = Optim.Binlp.brute_force p in
          match (a, b) with
          | None, None -> true
          | Some sa, Some sb ->
+             (* Exact assignment equality: the generator emits integer
+                coefficients and both sides pin the same tie-break, so
+                even the winning point must be identical. *)
              Float.abs (sa.objective -. sb.objective) < 1e-9
+             && sa.x = sb.x
              && Optim.Binlp.check p sa.x
          | Some _, None | None, Some _ -> false))
 
@@ -319,11 +327,74 @@ let test_binlp_52var_scale () =
         ];
     }
   in
-  match Optim.Binlp.solve p with
+  match solve p with
   | None -> Alcotest.fail "expected solution"
   | Some s ->
       check_bool "feasible" true (Optim.Binlp.check p s.x);
       check_bool "negative objective" true (s.objective < 0.0)
+
+let test_binlp_tiebreak_lex () =
+  (* Two equally-good options: the pinned tie-break picks the
+     lexicographically-smallest assignment (false < true at the first
+     differing index) in both the B&B and the brute-force reference. *)
+  let p = blp ~groups:[ [ 0; 1 ] ] 2 [| -1.0; -1.0 |] [] in
+  let expect label = function
+    | None -> Alcotest.fail (label ^ ": expected solution")
+    | Some (s : Optim.Binlp.solution) ->
+        check_float (label ^ " objective") (-1.0) s.objective;
+        check_bool (label ^ " x0") false s.x.(0);
+        check_bool (label ^ " x1") true s.x.(1)
+  in
+  expect "solve" (solve p);
+  expect "brute" (Optim.Binlp.brute_force p)
+
+let test_binlp_node_limit_incumbent () =
+  (* 16 negative free binaries: the first dive reaches the all-selected
+     (optimal) leaf within ~17 nodes, while the full search needs ~33;
+     a 20-node budget must keep that incumbent and report the
+     truncation instead of discarding the work. *)
+  let p = blp 16 (Array.make 16 (-1.0)) [] in
+  let o = Optim.Binlp.solve ~node_limit:20 p in
+  (match o.Optim.Binlp.status with
+  | Optim.Binlp.Node_limit_reached -> ()
+  | Optim.Binlp.Optimal ->
+      Alcotest.failf "expected node-limit status (nodes=%d)" o.Optim.Binlp.nodes);
+  match o.Optim.Binlp.best with
+  | None -> Alcotest.fail "expected a preserved incumbent"
+  | Some s ->
+      check_bool "feasible" true (Optim.Binlp.check p s.x);
+      check_float "incumbent objective" (-16.0) s.objective
+
+let test_binlp_parallel_identity () =
+  (* The frontier-split search with a shared atomic incumbent must be
+     bit-identical to the inline solve for every worker count: same
+     status, same objective bits, same assignment. *)
+  let pool2 = Dse.Pool.create ~workers:2 () in
+  let pool4 = Dse.Pool.create ~workers:4 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Dse.Pool.shutdown pool2;
+      Dse.Pool.shutdown pool4)
+    (fun () ->
+      QCheck.Test.check_exn
+        (QCheck.Test.make ~count:120 ~name:"parallel = sequential"
+           (QCheck.make gen_problem) (fun p ->
+             let seq = Optim.Binlp.solve p in
+             List.for_all
+               (fun pool ->
+                 let par =
+                   Optim.Binlp.solve ~runner:(Dse.Pool.solver_runner pool) p
+                 in
+                 par.Optim.Binlp.status = seq.Optim.Binlp.status
+                 &&
+                 match (seq.Optim.Binlp.best, par.Optim.Binlp.best) with
+                 | None, None -> true
+                 | Some a, Some b ->
+                     Int64.bits_of_float a.Optim.Binlp.objective
+                     = Int64.bits_of_float b.Optim.Binlp.objective
+                     && a.Optim.Binlp.x = b.Optim.Binlp.x
+                 | Some _, None | None, Some _ -> false)
+               [ pool2; pool4 ])))
 
 let () =
   Alcotest.run "optim"
@@ -351,5 +422,10 @@ let () =
           Alcotest.test_case "overlap rejected" `Quick test_binlp_overlapping_groups_rejected;
           Alcotest.test_case "vs brute force (qcheck)" `Quick test_binlp_vs_brute_force;
           Alcotest.test_case "52-variable scale" `Quick test_binlp_52var_scale;
+          Alcotest.test_case "lex tie-break" `Quick test_binlp_tiebreak_lex;
+          Alcotest.test_case "node limit keeps incumbent" `Quick
+            test_binlp_node_limit_incumbent;
+          Alcotest.test_case "parallel identity (qcheck)" `Quick
+            test_binlp_parallel_identity;
         ] );
     ]
