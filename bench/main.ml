@@ -142,12 +142,35 @@ let sched () =
   Dse.Sched_tuning.print_outcome ppf
     (Dse.Sched_tuning.Tuner.optimize ~weights:[| 1.0; 100.0 |])
 
+(* Static-vs-scheduled figure (ROADMAP item 2): phase-aware
+   reconfiguration head to head with the static optimum on every
+   target, over apps with distinct phase structure.  Single-phase apps
+   collapse to the static pick by construction; the bi-modal [phases]
+   kernel is the showcase where the schedule wins net of switches. *)
+let phases_fig () =
+  Format.printf
+    "Static vs phase-scheduled reconfiguration (w1=100, w2=1, schedule \
+     dimensions):@.";
+  List.iter
+    (fun (module T : Dse.Target.S) ->
+      let module S = Dse.Stack.Make (T) in
+      Format.printf "%s:@." T.name;
+      List.iter
+        (fun app ->
+          let o = S.Schedule.run ~weights:Dse.Cost.runtime_weights app in
+          S.Schedule.print ppf o)
+        [
+          Apps.Registry.blastn; Apps.Registry.drr; Apps.Registry.frag;
+          Apps.Extra.phases;
+        ])
+    Dse.Targets.all
+
 let experiments =
   [
     ("fig1", fig1); ("fig2", fig2); ("fig3", fig3); ("fig4", fig4);
     ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
     ("ablation", ablation); ("energy", energy); ("convex", convex);
-    ("baselines", baselines); ("sched", sched);
+    ("baselines", baselines); ("sched", sched); ("phases", phases_fig);
   ]
 
 (* The numeric per-experiment measurements: the deltas of the
@@ -185,6 +208,10 @@ let measurements ~wall_ns ~(before : Obs.Metrics.snapshot)
     ("pool_workers", gauge "dse.pool.workers");
     ("decode_programs", float_of_int (delta "sim.decode.programs"));
     ("decode_insns", float_of_int (delta "sim.decode.insns"));
+    ("phases_detected", float_of_int (delta "dse.schedule.phases"));
+    ("schedule_solver_nodes", float_of_int (delta "dse.schedule.nodes"));
+    (* last verified scheduled-vs-static gain; a gauge, not a delta *)
+    ("schedule_gain_pct", gauge "dse.schedule.gain_pct");
     ( "sim_cycles_per_second",
       if wall_s > 0.0 then float_of_int (delta "sim.cycles") /. wall_s
       else 0.0 );
@@ -196,7 +223,10 @@ let measurements ~wall_ns ~(before : Obs.Metrics.snapshot)
 (* "wall_clock_s" and the derived throughput are floats; every counter
    delta renders as an int so the JSON stays shaped as before. *)
 let float_keys =
-  [ "wall_clock_s"; "sim_cycles_per_second"; "binlp_nodes_per_second" ]
+  [
+    "wall_clock_s"; "sim_cycles_per_second"; "binlp_nodes_per_second";
+    "schedule_gain_pct";
+  ]
 
 let measurement_json (key, v) =
   if List.mem key float_keys then (key, Obs.Json.Float v)
@@ -351,7 +381,7 @@ let cmd =
   let names_arg =
     let doc =
       "Experiments to run (default: all except perf).  Known: fig1..fig7, \
-       ablation, energy, convex, baselines, sched, perf."
+       ablation, energy, convex, baselines, sched, phases, perf."
     in
     Arg.(value & pos_all string [] & info [] ~doc ~docv:"EXPERIMENT")
   in

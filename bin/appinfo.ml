@@ -70,6 +70,13 @@ let bounds_report (module T : Dse.Target.S) app =
   in
   pr "  bounds (%s base): [%.3f s, %.3f s]  tightness %s@." T.name lo hi tight
 
+(* Program-phase summary on the selected target's base configuration:
+   one cold detection run, reported as count, boundaries, dominant
+   class and per-phase CPI (see Sim.Phase). *)
+let phase_report (module T : Dse.Target.S) app =
+  let ph = T.detect_phases app in
+  pr "  phases (%s base): %a@." T.name Sim.Phase.pp ph
+
 let dynamic_report app =
   let base_r = Apps.Registry.run app in
   let p = base_r.Sim.Machine.profile in
@@ -160,9 +167,11 @@ let run list_targets_flag target lint werror static names obs =
             app.Apps.Registry.reps;
           static_report app;
           bounds_report (module T) app;
-          if not static then
+          if not static then begin
+            phase_report (module T) app;
             if T.name = "leon2" then dynamic_report app
-            else target_dynamic_report (module T) app;
+            else target_dynamic_report (module T) app
+          end;
           pr "@.")
         apps
   end

@@ -8,22 +8,32 @@
 
 open Cmdliner
 
+(* The paper's four benchmarks plus the extra kernels (rtr, dct,
+   qsort, phases) — the latter matter for schedule runs, where the
+   bi-modal [phases] kernel is the showcase. *)
+let known_apps = Apps.Registry.all @ Apps.Extra.all
+
 let app_conv =
   let parse s =
-    match Apps.Registry.find s with
-    | app -> Ok app
-    | exception Not_found ->
+    match
+      List.find_opt (fun a -> a.Apps.Registry.name = s) known_apps
+    with
+    | Some app -> Ok app
+    | None ->
         Error
           (`Msg
             (Printf.sprintf "unknown application %S (known: %s)" s
                (String.concat ", "
-                  (List.map (fun a -> a.Apps.Registry.name) Apps.Registry.all))))
+                  (List.map (fun a -> a.Apps.Registry.name) known_apps))))
   in
   let print ppf app = Format.fprintf ppf "%s" app.Apps.Registry.name in
   Arg.conv (parse, print)
 
 let app_arg =
-  let doc = "Application to optimize for (blastn, drr, frag, arith)." in
+  let doc =
+    "Application to optimize for (blastn, drr, frag, arith; extras: rtr, \
+     dct, qsort, phases)."
+  in
   Arg.(required & opt (some app_conv) None & info [ "a"; "app" ] ~doc ~docv:"APP")
 
 let w1_arg =
@@ -44,6 +54,15 @@ let dims_arg =
 let exhaustive_arg =
   let doc = "Also run the exhaustive dcache-geometry baseline and compare." in
   Arg.(value & flag & info [ "exhaustive" ] ~doc)
+
+let schedule_arg =
+  let doc =
+    "Phase-aware reconfiguration: detect the application's program phases, \
+     solve for a schedule of configurations (one per phase, switched at \
+     runtime at a per-group reconfiguration cost) and compare the verified \
+     schedule against the verified static pick."
+  in
+  Arg.(value & flag & info [ "schedule" ] ~doc)
 
 let noise_arg =
   let doc =
@@ -99,8 +118,8 @@ let ppf = Format.std_formatter
 (* The whole pipeline is generic in the target: instantiating the
    functorized stack on the chosen backend gives the same code path
    (and the same output format) for every soft core. *)
-let run target app w1 w2 dims exhaustive noise print_model_flag report explain
-    explain_md obs =
+let run target app w1 w2 dims exhaustive schedule noise print_model_flag report
+    explain explain_md obs =
   Obs_cli.with_reporting obs "reconfigure" @@ fun () ->
   let (module T : Dse.Target.S) = target in
   let module S = Dse.Stack.Make (T) in
@@ -117,6 +136,7 @@ let run target app w1 w2 dims exhaustive noise print_model_flag report explain
         ( "dims",
           Obs.Json.String (match dims with `All -> "all" | `Dcache -> "dcache")
         );
+        ("mode", Obs.Json.String (if schedule then "schedule" else "static"));
       ]
   end;
   let write_explain () =
@@ -152,6 +172,20 @@ let run target app w1 w2 dims exhaustive noise print_model_flag report explain
   let dims = match dims with `All -> None | `Dcache -> Some T.quick_dims in
   Format.fprintf ppf "Application: %s — %s@." app.Apps.Registry.name
     app.Apps.Registry.description;
+  if schedule then begin
+    (* Phase-aware pipeline: detection, per-phase model, schedule
+       solve, phased verification — all inside [S.Schedule.run].
+       Without an explicit --dims restriction it solves on the
+       target's [schedule_dims] subspace. *)
+    Logs.info (fun m ->
+        m "phase-aware schedule for %s on %s with w1=%g w2=%g"
+          app.Apps.Registry.name T.name w1 w2);
+    let outcome = S.Schedule.run ?noise ?dims ~weights app in
+    Format.fprintf ppf "@.Phase-aware schedule:@.";
+    S.Schedule.print ppf outcome;
+    Format.pp_print_flush ppf ()
+  end
+  else begin
   Logs.info (fun m ->
       m "optimizing %s for %s with w1=%g w2=%g (%s dimensions)"
         app.Apps.Registry.name T.name w1 w2
@@ -195,6 +229,7 @@ let run target app w1 w2 dims exhaustive noise print_model_flag report explain
         Format.fprintf ppf "  no feasible dcache point@."
   end;
   Format.pp_print_flush ppf ()
+  end
 
 let cmd =
   let doc = "automatic application-specific microarchitecture reconfiguration" in
@@ -214,7 +249,7 @@ let cmd =
     (Cmd.info "reconfigure" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ target_arg $ app_arg $ w1_arg $ w2_arg $ dims_arg
-      $ exhaustive_arg $ noise_arg $ print_model_arg $ report_arg
-      $ explain_arg $ explain_md_arg $ Obs_cli.term)
+      $ exhaustive_arg $ schedule_arg $ noise_arg $ print_model_arg
+      $ report_arg $ explain_arg $ explain_md_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval cmd)

@@ -209,6 +209,81 @@ int main() {
 }
 |}
 
+(* Deliberately bi-modal kernel for phase-scheduled reconfiguration: a
+   sequential streaming pass (long cache lines amortize refills) is
+   followed by a full-cycle pointer chase over 64 KB (nearly every hop
+   misses, and a long line only lengthens the useless refill).  The
+   two phases prefer opposite dcache line sizes, so a schedule that
+   switches at the boundary beats every static pick once the per-phase
+   gain clears the reconfiguration cost. *)
+let phases_source =
+  {|
+int perm[16384];
+int next[16384];
+
+int init() {
+  int k, seed, j, t;
+  k = 0;
+  while (k < 16384) {
+    perm[k] = k;
+    k = k + 1;
+  }
+  /* one round of random transpositions, then successor linking: the
+     chase below walks a single 16384-element cycle */
+  seed = 0x5EED;
+  k = 0;
+  while (k < 16384) {
+    seed = ((seed * 1103515245) + 12345) & 0x7FFFFFFF;
+    j = (seed >> 11) & 16383;
+    t = perm[k];
+    perm[k] = perm[j];
+    perm[j] = t;
+    k = k + 1;
+  }
+  k = 0;
+  while (k < 16383) {
+    next[perm[k]] = perm[k + 1];
+    k = k + 1;
+  }
+  next[perm[16383]] = perm[0];
+  return 0;
+}
+
+int stream_phase(int passes) {
+  int k, p, acc;
+  acc = 0;
+  p = 0;
+  while (p < passes) {
+    k = 0;
+    while (k < 16384) {
+      acc = (acc + next[k]) & 0xFFFFFF;
+      k = k + 1;
+    }
+    p = p + 1;
+  }
+  return acc;
+}
+
+int chase_phase(int hops) {
+  int k, p;
+  p = 0;
+  k = 0;
+  while (k < hops) {
+    p = next[p];
+    k = k + 1;
+  }
+  return p;
+}
+
+int main() {
+  int a, b;
+  init();
+  a = stream_phase(2);
+  b = chase_phase(16384);
+  return (a + (b << 4)) & 0x7FFFFFFF;
+}
+|}
+
 let rtr =
   parse_app ~name:"rtr"
     ~description:"two-level trie IP route lookup (CommBench-style, extra)"
@@ -224,4 +299,11 @@ let qsort =
     ~description:"recursive quicksort of 1K words (extra; window-trap heavy)"
     ~reps:1500 qsort_source
 
-let all = [ rtr; dct; qsort ]
+let phases =
+  parse_app ~name:"phases"
+    ~description:
+      "bi-modal streaming-then-pointer-chase kernel (extra; phase-schedule \
+       showcase)"
+    ~reps:4 phases_source
+
+let all = [ rtr; dct; qsort; phases ]

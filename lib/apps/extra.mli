@@ -10,9 +10,14 @@
     - [dct]: integer 8x8 block DCT over an image strip;
       multiplication-dominated with a small working set;
     - [qsort]: recursive quicksort, tens of frames deep — the only
-      kernel whose runtime depends on the register-window count. *)
+      kernel whose runtime depends on the register-window count;
+    - [phases]: deliberately bi-modal — a sequential streaming pass
+      followed by a 64 KB pointer chase.  The two phases prefer
+      opposite dcache line sizes, which is exactly the workload shape
+      phase-scheduled reconfiguration exists for. *)
 
 val rtr : Registry.t
 val dct : Registry.t
 val qsort : Registry.t
+val phases : Registry.t
 val all : Registry.t list

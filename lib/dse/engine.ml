@@ -30,6 +30,11 @@ type key = {
   app : string;
   digest : string;
   noise : float option;
+  phase : string option;
+      (* segmentation digest for per-phase measurements: a segmented
+         evaluation of the same configuration is a distinct result
+         (it carries per-phase profiles), so it occupies a distinct
+         key; [None] for whole-run evaluations *)
 }
 
 let key_of ?noise (probe : _ Target.probe) (app : Apps.Registry.t) config =
@@ -38,9 +43,17 @@ let key_of ?noise (probe : _ Target.probe) (app : Apps.Registry.t) config =
     app = app.Apps.Registry.name;
     digest = probe.Target.digest config;
     noise;
+    phase = None;
   }
 
-type value = { cost : Cost.t; profile : Sim.Profiler.t; fits : bool }
+type value = {
+  cost : Cost.t;
+  profile : Sim.Profiler.t;
+  fits : bool;
+  segments : Sim.Profiler.t list;
+      (* per-phase profile deltas for segmented evaluations; [] for
+         whole-run ones *)
+}
 
 (* [Unfit] holds the (noised) resource estimate of a configuration that
    exceeds the device: a feasibility query needs no simulation, but a
@@ -117,6 +130,16 @@ let simulate (probe : _ Target.probe) app config =
   Obs.Metrics.Histogram.observe h_build_seconds (Int64.to_float dt *. 1e-9);
   r
 
+(* Segmented counterpart: same accounting, caller-supplied simulation
+   returning (seconds, whole-run profile, per-phase profiles). *)
+let simulate_segmented f app config =
+  Obs.Metrics.Counter.incr m_builds;
+  let t0 = Obs.Clock.since_start_ns () in
+  let r = f app config in
+  let dt = Int64.sub (Obs.Clock.since_start_ns ()) t0 in
+  Obs.Metrics.Histogram.observe h_build_seconds (Int64.to_float dt *. 1e-9);
+  r
+
 (* Journal identification of one candidate: the application plus the
    codec's canonical encoding (stable across runs, unlike digests,
    and what a reader of an explain report wants to see). *)
@@ -132,8 +155,13 @@ let journal_fields (probe : _ Target.probe) (app : Apps.Registry.t) config =
    pool workers deadlock-free when they block here.  A failed compute
    removes its entry and wakes waiters before re-raising, so nobody
    waits on a corpse. *)
-let obtain t ~feasible_only ?noise probe app config =
-  let key = key_of ?noise probe app config in
+let obtain t ~feasible_only ?segmented ?noise probe app config =
+  let key =
+    {
+      (key_of ?noise probe app config) with
+      phase = Option.map fst segmented;
+    }
+  in
   let counted = ref false in
   let journal kind extra =
     if Obs.Journal.enabled () then
@@ -158,9 +186,17 @@ let obtain t ~feasible_only ?noise probe app config =
         | None -> noised_resources ?noise probe config
       in
       if feasible_only && not fits then Unfit resources
-      else
-        let seconds, profile = simulate probe app config in
-        Full { cost = { Cost.seconds; resources }; profile; fits }
+      else begin
+        match segmented with
+        | None ->
+            let seconds, profile = simulate probe app config in
+            Full { cost = { Cost.seconds; resources }; profile; fits;
+                   segments = [] }
+        | Some (_, f) ->
+            let seconds, profile, segments = simulate_segmented f app config in
+            Full { cost = { Cost.seconds; resources }; profile; fits;
+                   segments }
+      end
     with
     | entry ->
         Mutex.lock t.mutex;
@@ -229,6 +265,18 @@ let eval_profiled_on ?noise t probe app config =
       match obtain t ~feasible_only:false ?noise probe app config with
       | Full v -> (v.cost, v.profile)
       | Unfit _ | Pending -> assert false)
+
+let eval_segments_on_uncounted ?noise t probe ~phase ~segmented app config =
+  match
+    obtain t ~feasible_only:false ~segmented:(phase, segmented) ?noise probe
+      app config
+  with
+  | Full v -> (v.cost, v.segments)
+  | Unfit _ | Pending -> assert false
+
+let eval_segments_on ?noise t probe ~phase ~segmented app config =
+  Pool.run_inline (fun () ->
+      eval_segments_on_uncounted ?noise t probe ~phase ~segmented app config)
 
 let journal_infeasible probe app config reason =
   if Obs.Journal.enabled () then
@@ -404,6 +452,29 @@ let eval_all_feasible_on ?noise t probe app configs =
             Obs.Journal.record ~kind:"engine.dedup"
               (journal_fields probe app config))
         (fun config -> eval_feasible_on_uncounted ?noise t probe app config)
+
+let eval_all_segments_on ?noise t probe ~phase ~segmented app configs =
+  match configs with
+  | [] -> []
+  | [ config ] ->
+      [ eval_segments_on ?noise t probe ~phase ~segmented app config ]
+  | _ ->
+      ignore (Lazy.force app.Apps.Registry.program);
+      let keyed =
+        List.map
+          (fun config ->
+            ( { (key_of ?noise probe app config) with phase = Some phase },
+              config ))
+          configs
+      in
+      batch ~span_name:"engine.eval_all" t keyed
+        ~journal_dedup:(fun config ->
+          if Obs.Journal.enabled () then
+            Obs.Journal.record ~kind:"engine.dedup"
+              (journal_fields probe app config))
+        (fun config ->
+          eval_segments_on_uncounted ?noise t probe ~phase ~segmented app
+            config)
 
 (* The historical LEON2-typed entry points, now thin wrappers over the
    probe-parametric API. *)

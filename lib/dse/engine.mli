@@ -79,6 +79,36 @@ val eval_feasible_on :
 (** [None] when the configuration is invalid per the probe or exceeds
     the probe's device budget. *)
 
+val eval_segments_on :
+  ?noise:float ->
+  t ->
+  'c Target.probe ->
+  phase:string ->
+  segmented:(Apps.Registry.t -> 'c -> float * Sim.Profiler.t * Sim.Profiler.t list) ->
+  Apps.Registry.t ->
+  'c ->
+  Cost.t * Sim.Profiler.t list
+(** Per-phase measurement: like {!eval_on}, but the simulation is the
+    caller-supplied [segmented] function returning [(seconds,
+    whole-run profile, per-phase profiles)], and the memo key is
+    extended with [phase] — the segmentation digest (see
+    {!Sim.Phase.digest}) — so the same configuration's whole-run and
+    per-phase measurements coexist in the cache, and two different
+    segmentations never collide.  [segmented] must be deterministic
+    for the [(phase, configuration)] pair. *)
+
+val eval_all_segments_on :
+  ?noise:float ->
+  t ->
+  'c Target.probe ->
+  phase:string ->
+  segmented:(Apps.Registry.t -> 'c -> float * Sim.Profiler.t * Sim.Profiler.t list) ->
+  Apps.Registry.t ->
+  'c list ->
+  (Cost.t * Sim.Profiler.t list) list
+(** Batch {!eval_segments_on} for one application, in input order,
+    with the same deduplication and pooling as {!eval_all}. *)
+
 type admission =
   | Infeasible  (** structurally invalid or exceeds the device *)
   | Pruned of float * float

@@ -61,12 +61,36 @@ type bounds_report = {
   tightness : tightness_stats option;
 }
 
+type schedule_phase = {
+  p_index : int;
+  p_start : int;
+  p_end : int;
+  p_dominant : string;
+}
+
+type schedule_switch = {
+  w_at : int;
+  w_cycles : int;
+  w_to : string;
+}
+
+type schedule_report = {
+  s_phases : schedule_phase list;
+  s_selects : (int * string) list;
+  s_switches : schedule_switch list;
+  s_static_seconds : float option;
+  s_scheduled_seconds : float option;
+  s_switch_cycles : int option;
+  s_gain_pct : float option;
+}
+
 type t = {
   meta : (string * Obs.Json.t) list;
   solves : solve list;
   candidates : candidate list;
   account : accounting;
   bounds : bounds_report;
+  schedule : schedule_report option;
 }
 
 let considered a =
@@ -102,6 +126,10 @@ let of_events events =
   let verified = ref 0 in
   let violations = ref 0 in
   let tightnesses = ref [] in
+  let sched_phases = ref [] in
+  let sched_selects = ref [] in
+  let sched_switches = ref [] in
+  let sched_verify = ref None in
   let candidate_event outcome fields =
     match (str "app" fields, str "config" fields) with
     | Some app, Some config ->
@@ -182,6 +210,35 @@ let of_events events =
       | "engine.dedup" -> candidate_event Dedup f
       | "engine.pruned" -> candidate_event Pruned f
       | "engine.infeasible" -> candidate_event Infeasible f
+      | "schedule.phase" ->
+          sched_phases :=
+            {
+              p_index = Option.value ~default:0 (int_f "index" f);
+              p_start = Option.value ~default:0 (int_f "start" f);
+              p_end = Option.value ~default:0 (int_f "end" f);
+              p_dominant = Option.value ~default:"" (str "dominant" f);
+            }
+            :: !sched_phases
+      | "schedule.select" ->
+          sched_selects :=
+            ( Option.value ~default:0 (int_f "phase" f),
+              Option.value ~default:"" (str "params" f) )
+            :: !sched_selects
+      | "schedule.switch" ->
+          sched_switches :=
+            {
+              w_at = Option.value ~default:0 (int_f "at" f);
+              w_cycles = Option.value ~default:0 (int_f "cycles" f);
+              w_to = Option.value ~default:"" (str "to" f);
+            }
+            :: !sched_switches
+      | "schedule.verify" ->
+          sched_verify :=
+            Some
+              ( num "static_seconds" f,
+                num "scheduled_seconds" f,
+                int_f "switch_cycles" f,
+                num "gain_pct" f )
       | "bounds.computed" -> record_tightness f
       | "bounds.verify" -> (
           record_tightness f;
@@ -209,6 +266,28 @@ let of_events events =
             t_max = List.fold_left max neg_infinity ts;
           }
   in
+  let schedule =
+    if
+      !sched_phases = [] && !sched_selects = [] && !sched_switches = []
+      && !sched_verify = None
+    then None
+    else
+      let vs, vd, vc, vg =
+        match !sched_verify with
+        | Some (s, d, c, g) -> (s, d, c, g)
+        | None -> (None, None, None, None)
+      in
+      Some
+        {
+          s_phases = List.rev !sched_phases;
+          s_selects = List.rev !sched_selects;
+          s_switches = List.rev !sched_switches;
+          s_static_seconds = vs;
+          s_scheduled_seconds = vd;
+          s_switch_cycles = vc;
+          s_gain_pct = vg;
+        }
+  in
   {
     meta = !meta;
     solves = List.rev !solves;
@@ -221,6 +300,7 @@ let of_events events =
         violations = !violations;
         tightness;
       };
+    schedule;
   }
 
 let of_journal () = of_events (Obs.Journal.events ())
@@ -265,11 +345,55 @@ let candidate_json c =
       ("infeasible", Obs.Json.Int c.infeasible);
     ]
 
+let opt_int = function Some x -> Obs.Json.Int x | None -> Obs.Json.Null
+
+let schedule_json s =
+  Obs.Json.Obj
+    [
+      ( "phases",
+        Obs.Json.List
+          (List.map
+             (fun p ->
+               Obs.Json.Obj
+                 [
+                   ("index", Obs.Json.Int p.p_index);
+                   ("start", Obs.Json.Int p.p_start);
+                   ("end", Obs.Json.Int p.p_end);
+                   ("dominant", Obs.Json.String p.p_dominant);
+                 ])
+             s.s_phases) );
+      ( "selects",
+        Obs.Json.List
+          (List.map
+             (fun (phase, params) ->
+               Obs.Json.Obj
+                 [
+                   ("phase", Obs.Json.Int phase);
+                   ("params", Obs.Json.String params);
+                 ])
+             s.s_selects) );
+      ( "switches",
+        Obs.Json.List
+          (List.map
+             (fun w ->
+               Obs.Json.Obj
+                 [
+                   ("at", Obs.Json.Int w.w_at);
+                   ("cycles", Obs.Json.Int w.w_cycles);
+                   ("to", Obs.Json.String w.w_to);
+                 ])
+             s.s_switches) );
+      ("static_seconds", opt_float s.s_static_seconds);
+      ("scheduled_seconds", opt_float s.s_scheduled_seconds);
+      ("switch_cycles", opt_int s.s_switch_cycles);
+      ("gain_pct", opt_float s.s_gain_pct);
+    ]
+
 let to_json ?(timings = true) t =
   let a = t.account in
   Obs.Json.Obj
-    [
-      ("meta", Obs.Json.Obj t.meta);
+    ([
+       ("meta", Obs.Json.Obj t.meta);
       ("solves", Obs.Json.List (List.map (solve_json ~timings) t.solves));
       ("candidates", Obs.Json.List (List.map candidate_json t.candidates));
       ( "accounting",
@@ -305,6 +429,10 @@ let to_json ?(timings = true) t =
                     ] );
               ]) );
     ]
+    @
+    match t.schedule with
+    | None -> []
+    | Some s -> [ ("schedule", schedule_json s) ])
 
 let buf_addf b fmt = Printf.ksprintf (Buffer.add_string b) fmt
 
@@ -372,6 +500,42 @@ let to_markdown ?(timings = true) t =
   | Some s ->
       buf_addf b "tightness (lo/hi): min %.4f, mean %.4f, max %.4f over %d\n"
         s.t_min s.t_mean s.t_max s.t_count);
+  (match t.schedule with
+  | None -> ()
+  | Some s ->
+      buf_addf b "\n## Schedule\n";
+      if s.s_phases <> [] then begin
+        buf_addf b "\n| phase | insns | dominant | selected |\n";
+        buf_addf b "|---:|---|---|---|\n";
+        List.iter
+          (fun p ->
+            buf_addf b "| %d | [%d, %d) | %s | `%s` |\n" p.p_index p.p_start
+              p.p_end p.p_dominant
+              (match List.assoc_opt p.p_index s.s_selects with
+              | Some params -> params
+              | None -> "-"))
+          s.s_phases
+      end;
+      if s.s_switches <> [] then begin
+        buf_addf b "\n| switch at insn | cycles | to |\n";
+        buf_addf b "|---:|---:|---|\n";
+        List.iter
+          (fun w -> buf_addf b "| %d | %d | `%s` |\n" w.w_at w.w_cycles w.w_to)
+          s.s_switches
+      end;
+      match (s.s_static_seconds, s.s_scheduled_seconds) with
+      | Some st, Some sc ->
+          buf_addf b
+            "\nstatic %.6f s vs scheduled %.6f s (switches: %s cycles), gain \
+             %s%%\n"
+            st sc
+            (match s.s_switch_cycles with
+            | Some c -> string_of_int c
+            | None -> "-")
+            (match s.s_gain_pct with
+            | Some g -> Printf.sprintf "%.3f" g
+            | None -> "-")
+      | _ -> ());
   Buffer.contents b
 
 let write_file path contents =

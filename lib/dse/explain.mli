@@ -65,12 +65,41 @@ type bounds_report = {
   tightness : tightness_stats option;  (** [None] when no ratios exist *)
 }
 
+type schedule_phase = {
+  p_index : int;
+  p_start : int;  (** first retired instruction *)
+  p_end : int;  (** one past the last retired instruction *)
+  p_dominant : string;  (** coarse behavioral class *)
+}
+
+type schedule_switch = {
+  w_at : int;  (** retired-instruction boundary of the switch *)
+  w_cycles : int;  (** reconfiguration cycles charged *)
+  w_to : string;  (** parameters of the installed configuration *)
+}
+
+type schedule_report = {
+  s_phases : schedule_phase list;  (** journal order = phase order *)
+  s_selects : (int * string) list;  (** (phase, selected parameters) *)
+  s_switches : schedule_switch list;
+  s_static_seconds : float option;
+  s_scheduled_seconds : float option;
+  s_switch_cycles : int option;
+  s_gain_pct : float option;
+}
+(** Aggregated [schedule.*] events of a phase-aware run: detected
+    phases, the per-phase selections, every reconfiguration switch,
+    and the verified static-vs-scheduled comparison. *)
+
 type t = {
   meta : (string * Obs.Json.t) list;  (** the run's [run.meta] event *)
   solves : solve list;
   candidates : candidate list;  (** sorted by (app, config) *)
   account : accounting;
   bounds : bounds_report;
+  schedule : schedule_report option;
+      (** [None] when the run recorded no [schedule.*] events, so
+          static-run reports are unchanged *)
 }
 
 val considered : accounting -> int

@@ -27,6 +27,18 @@ let m_heuristic_pruned =
   Obs.Metrics.Counter.v "heuristic.pruned"
     ~help:"candidates skipped without simulating (static arguments)"
 
+let m_schedule_phases =
+  Obs.Metrics.Counter.v "dse.schedule.phases"
+    ~help:"program phases detected across schedule solves"
+
+let m_schedule_nodes =
+  Obs.Metrics.Counter.v "dse.schedule.nodes"
+    ~help:"branch-and-bound nodes explored by schedule solves"
+
+let m_schedule_gain =
+  Obs.Metrics.Gauge.v "dse.schedule.gain_pct"
+    ~help:"last scheduled-vs-static runtime gain (percent, net of switches)"
+
 module Make (T : Target.S) = struct
   (* Device-relative percentages: identical to {!Synth.Resource}'s for
      the LEON2 instance (same device), target-specific otherwise. *)
@@ -265,6 +277,289 @@ module Make (T : Target.S) = struct
         ~objective:(fun (r : Measure.row) ->
           Cost.objective weights r.Measure.deltas)
         ?variant model
+
+    (* {2 Schedule formulation}
+
+       Phase-scheduled selection: every runtime-reconfigurable model
+       row gets one solver variable {e per phase}; rows of the groups
+       in [T.static_groups] keep a single variable shared by all
+       phases.  Objective: per-phase runtime deltas (from the
+       per-phase models) plus the resource deltas averaged over the
+       phases, so a row selected in every phase contributes exactly
+       its static objective; pairwise product terms charge
+       [T.group_switch_cycles] whenever adjacent phases — and the
+       wrap-around repetition boundary — disagree on a group's value.
+       With one phase the formulation degenerates to {!make}
+       exactly. *)
+
+    type schedule = {
+      problem : Optim.Binlp.problem;
+      switch_terms : Optim.Binlp.term list;
+          (* pass as [Optim.Binlp.solve]'s [objective_terms] *)
+      phases : int;
+      slots : (int * Measure.row) list array;
+          (* per phase: (solver variable, row); static rows repeat
+             their shared variable in every phase *)
+    }
+
+    let schedule_vars_of_solution sched (s : Optim.Binlp.solution) =
+      Array.map
+        (fun slots ->
+          List.filter_map
+            (fun (j, (r : Measure.row)) ->
+              if s.Optim.Binlp.x.(j) then Some r.Measure.var else None)
+            slots
+          |> List.sort (fun (a : T.var) (b : T.var) ->
+                 compare a.T.index b.T.index))
+        sched.slots
+
+    let make_schedule ?(variant = paper_variant) ~reps
+        ~(weights : Cost.weights) (models : Measure.model list) =
+      match models with
+      | [] -> invalid_arg "Formulate.make_schedule: no phase models"
+      | [ model ] ->
+          {
+            problem = make ~variant weights model;
+            switch_terms = [];
+            phases = 1;
+            slots = [| List.mapi (fun j r -> (j, r)) model.Measure.rows |];
+          }
+      | first :: _ ->
+          let marr = Array.of_list models in
+          let nphases = Array.length marr in
+          Array.iter
+            (fun (m : Measure.model) ->
+              if List.length m.Measure.rows <> List.length first.Measure.rows
+              then
+                invalid_arg
+                  "Formulate.make_schedule: phase models disagree on rows")
+            marr;
+          let is_static (r : Measure.row) =
+            List.mem r.Measure.var.T.group T.static_groups
+          in
+          let recon, static =
+            List.partition (fun r -> not (is_static r)) first.Measure.rows
+          in
+          let n_recon = List.length recon in
+          let nvars = (nphases * n_recon) + List.length static in
+          (* paper index -> solver slot, as a function of the phase
+             (constant for static rows). *)
+          let slot_fns : (int, int -> int) Hashtbl.t = Hashtbl.create 64 in
+          List.iteri
+            (fun pos (r : Measure.row) ->
+              Hashtbl.replace slot_fns r.Measure.var.T.index (fun p ->
+                  (p * n_recon) + pos))
+            recon;
+          List.iteri
+            (fun pos (r : Measure.row) ->
+              Hashtbl.replace slot_fns r.Measure.var.T.index (fun _ ->
+                  (nphases * n_recon) + pos))
+            static;
+          let slot p i =
+            Option.map (fun f -> f p) (Hashtbl.find_opt slot_fns i)
+          in
+          (* Phase-p view of the paper-index -> solver-variable table,
+             so [coupling] and [product_factor] apply unchanged. *)
+          let tbls =
+            Array.init nphases (fun p ->
+                let h = Hashtbl.create 64 in
+                List.iter
+                  (fun (r : Measure.row) ->
+                    let i = r.Measure.var.T.index in
+                    match slot p i with
+                    | Some j -> Hashtbl.replace h i j
+                    | None -> ())
+                  first.Measure.rows;
+                h)
+          in
+          let rho_p p (r : Measure.row) =
+            (Measure.row marr.(p) r.Measure.var.T.index).Measure.deltas
+              .Cost.rho
+          in
+          let fp = float_of_int nphases in
+          let objective = Array.make nvars 0.0 in
+          List.iteri
+            (fun pos (r : Measure.row) ->
+              let d = r.Measure.deltas in
+              for p = 0 to nphases - 1 do
+                objective.((p * n_recon) + pos) <-
+                  (weights.Cost.w1 *. rho_p p r)
+                  +. (weights.Cost.w2 *. (d.Cost.lambda +. d.Cost.beta) /. fp)
+              done)
+            recon;
+          List.iteri
+            (fun pos (r : Measure.row) ->
+              let d = r.Measure.deltas in
+              let rho = ref 0.0 in
+              for p = 0 to nphases - 1 do
+                rho := !rho +. rho_p p r
+              done;
+              objective.((nphases * n_recon) + pos) <-
+                (weights.Cost.w1 *. !rho)
+                +. (weights.Cost.w2 *. (d.Cost.lambda +. d.Cost.beta)))
+            static;
+          let groups =
+            List.concat_map
+              (fun g ->
+                let members p =
+                  List.filter_map
+                    (fun (v : T.var) -> slot p v.T.index)
+                    (T.group_members g)
+                in
+                let m0 = members 0 in
+                if List.length m0 < 2 then []
+                else if List.mem g T.static_groups then [ m0 ]
+                else List.init nphases members)
+              T.groups
+          in
+          let phase_independent i =
+            match Hashtbl.find_opt first.Measure.by_index i with
+            | Some r -> is_static r
+            | None -> true
+          in
+          let couplings =
+            List.concat_map
+              (fun (a, cs) ->
+                let ps =
+                  if List.for_all phase_independent (a :: cs) then [ 0 ]
+                  else List.init nphases Fun.id
+                in
+                List.filter_map (fun p -> coupling tbls.(p) a cs) ps)
+              T.couplings
+          in
+          let lin_of_p p get indices =
+            let coeffs =
+              List.filter_map
+                (fun i ->
+                  match Hashtbl.find_opt first.Measure.by_index i with
+                  | None -> None
+                  | Some (r : Measure.row) ->
+                      Option.map
+                        (fun j -> (j, get r.Measure.deltas))
+                        (slot p i))
+                indices
+            in
+            { Optim.Binlp.coeffs; const = 0.0 }
+          in
+          let resource_terms_p p get ~nonlinear =
+            if not nonlinear then
+              [ Optim.Binlp.Lin (lin_of_p p get (range 1 T.var_count)) ]
+            else
+              List.map
+                (fun (factor, sizes) ->
+                  Optim.Binlp.Prod
+                    (product_factor tbls.(p) factor, lin_of_p p get sizes))
+                T.products
+              @ [ Optim.Binlp.Lin (lin_of_p p get linear_indices) ]
+          in
+          let resource_constraints =
+            List.concat
+              (List.init nphases (fun p ->
+                   [
+                     {
+                       Optim.Binlp.terms =
+                         resource_terms_p p
+                           (fun d -> d.Cost.lambda)
+                           ~nonlinear:variant.lut_nonlinear;
+                       rel = Optim.Binlp.Le;
+                       bound = headroom_luts first.Measure.base;
+                     };
+                     {
+                       Optim.Binlp.terms =
+                         resource_terms_p p
+                           (fun d -> d.Cost.beta)
+                           ~nonlinear:(not variant.bram_linear);
+                       rel = Optim.Binlp.Le;
+                       bound = headroom_brams first.Measure.base;
+                     };
+                   ]))
+          in
+          (* Interior boundaries are crossed once per repetition; the
+             wrap-around switch back to phase 0 happens between
+             repetitions, i.e. [reps - 1] times. *)
+          let pairs =
+            List.init (nphases - 1) (fun p -> (p, p + 1, reps))
+            @ (if reps > 1 then [ (nphases - 1, 0, reps - 1) ] else [])
+          in
+          let base_seconds = first.Measure.base.Cost.seconds in
+          let switch_terms =
+            List.concat_map
+              (fun (p, q, mult) ->
+                List.concat_map
+                  (fun g ->
+                    let kappa = T.group_switch_cycles g in
+                    if kappa = 0 || List.mem g T.static_groups then []
+                    else
+                      let members =
+                        List.filter_map
+                          (fun (v : T.var) ->
+                            match (slot p v.T.index, slot q v.T.index) with
+                            | Some jp, Some jq -> Some (jp, jq)
+                            | _ -> None)
+                          (T.group_members g)
+                      in
+                      if members = [] then []
+                      else
+                        (* coef * (1 - [phases p and q agree on g]): a
+                           constant charge cancelled by the agreement
+                           products — same member selected on both
+                           sides, or none on both.  Different members
+                           still cost [coef] once: one slice
+                           reprogram. *)
+                        let coef =
+                          weights.Cost.w1 *. 100.
+                          *. (float_of_int mult *. float_of_int kappa
+                             /. Sim.Machine.clock_hz)
+                          /. base_seconds
+                        in
+                        Optim.Binlp.Lin { coeffs = []; const = coef }
+                        :: Optim.Binlp.Prod
+                             ( {
+                                 Optim.Binlp.coeffs =
+                                   List.map (fun (jp, _) -> (jp, coef))
+                                     members;
+                                 const = -.coef;
+                               },
+                               {
+                                 Optim.Binlp.coeffs =
+                                   List.map (fun (_, jq) -> (jq, -1.0))
+                                     members;
+                                 const = 1.0;
+                               } )
+                        :: List.map
+                             (fun (jp, jq) ->
+                               Optim.Binlp.Prod
+                                 ( {
+                                     Optim.Binlp.coeffs = [ (jp, -.coef) ];
+                                     const = 0.0;
+                                   },
+                                   {
+                                     Optim.Binlp.coeffs = [ (jq, 1.0) ];
+                                     const = 0.0;
+                                   } ))
+                             members)
+                  T.groups)
+              pairs
+          in
+          let slots =
+            Array.init nphases (fun p ->
+                List.mapi (fun pos r -> ((p * n_recon) + pos, r)) recon
+                @ List.mapi
+                    (fun pos r -> ((nphases * n_recon) + pos, r))
+                    static)
+          in
+          {
+            problem =
+              {
+                Optim.Binlp.nvars;
+                objective;
+                groups;
+                constraints = couplings @ resource_constraints;
+              };
+            switch_terms;
+            phases = nphases;
+            slots;
+          }
 
     let vars_of_solution (model : Measure.model) (s : Optim.Binlp.solution) =
       List.filteri (fun j _ -> s.Optim.Binlp.x.(j)) model.Measure.rows
@@ -996,5 +1291,307 @@ module Make (T : Target.S) = struct
             change)
         o.per_app;
       Format.fprintf ppf "  mix: %+7.2f%%@." o.mix_gain_percent
+  end
+
+  module Schedule = struct
+    (* Phase-aware reconfiguration: detect phases of one application,
+       measure the one-at-a-time model per phase (through the engine,
+       keyed by the segmentation digest), solve one BINLP with
+       per-phase variable copies and pairwise switch costs, and verify
+       the winning schedule against the verified static pick.  Every
+       step is deterministic, so the outcome is identical for any
+       worker count. *)
+
+    type plan =
+      | Static of T.config
+      | Phased of (int * T.config) list  (** [(start_insn, config)] *)
+
+    type outcome = {
+      app : Apps.Registry.t;
+      phases : Sim.Phase.t;
+      static : Optimizer.outcome;
+      plan : plan;
+      static_seconds : float;
+      scheduled_seconds : float;
+      switch_cycles : int;
+          (* total reconfiguration cycles inside [scheduled_seconds] *)
+      gain_percent : float;  (* static vs scheduled, net of switches *)
+      solve_nodes : int;
+    }
+
+    let params_of config =
+      match T.changed_params config with
+      | [] -> "base"
+      | ps -> String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) ps)
+
+    let record_phases app (phases : Sim.Phase.t) =
+      if Obs.Journal.enabled () then
+        List.iteri
+          (fun k (p : Sim.Phase.phase) ->
+            Obs.Journal.record ~kind:"schedule.phase"
+              [
+                ("target", Obs.Json.String T.name);
+                ("app", Obs.Json.String app.Apps.Registry.name);
+                ("index", Obs.Json.Int k);
+                ("start", Obs.Json.Int p.Sim.Phase.start_insn);
+                ("end", Obs.Json.Int p.Sim.Phase.end_insn);
+                ( "dominant",
+                  Obs.Json.String (Sim.Phase.dominant p.Sim.Phase.profile) );
+              ])
+          phases.Sim.Phase.phases
+
+    let record_select app k config =
+      if Obs.Journal.enabled () then
+        Obs.Journal.record ~kind:"schedule.select"
+          [
+            ("target", Obs.Json.String T.name);
+            ("app", Obs.Json.String app.Apps.Registry.name);
+            ("phase", Obs.Json.Int k);
+            ("config", Obs.Json.String (T.to_string config));
+            ("params", Obs.Json.String (params_of config));
+          ]
+
+    let record_switch app ~at ~cycles config =
+      if Obs.Journal.enabled () then
+        Obs.Journal.record ~kind:"schedule.switch"
+          [
+            ("target", Obs.Json.String T.name);
+            ("app", Obs.Json.String app.Apps.Registry.name);
+            ("at", Obs.Json.Int at);
+            ("cycles", Obs.Json.Int cycles);
+            ("to", Obs.Json.String (params_of config));
+          ]
+
+    let record_verify app ~static_seconds ~scheduled_seconds ~switch_cycles
+        ~gain =
+      if Obs.Journal.enabled () then
+        Obs.Journal.record ~kind:"schedule.verify"
+          [
+            ("target", Obs.Json.String T.name);
+            ("app", Obs.Json.String app.Apps.Registry.name);
+            ("static_seconds", Obs.Json.Float static_seconds);
+            ("scheduled_seconds", Obs.Json.Float scheduled_seconds);
+            ("switch_cycles", Obs.Json.Int switch_cycles);
+            ("gain_pct", Obs.Json.Float gain);
+          ]
+
+    let run ?noise ?options ?dims ~weights app =
+      Obs.Span.with_span ~cat:"dse" "schedule.run"
+        ~attrs:[ ("app", Obs.Json.String app.Apps.Registry.name) ]
+      @@ fun span ->
+      let dims = match dims with None -> T.schedule_dims | Some d -> d in
+      let phases =
+        Obs.Span.with_ ~cat:"dse" "schedule.detect"
+          ~attrs:[ ("app", Obs.Json.String app.Apps.Registry.name) ]
+          (fun () -> T.detect_phases ?options app)
+      in
+      let nphases = Sim.Phase.count phases in
+      Obs.Span.add_attr span "phases" (Obs.Json.Int nphases);
+      Obs.Metrics.Counter.incr ~by:nphases m_schedule_phases;
+      record_phases app phases;
+      let static = Optimizer.run ?noise ~dims ~weights app in
+      let static_seconds = static.Optimizer.actual.Cost.seconds in
+      (* A one-phase application, or a schedule that selects the same
+         configuration everywhere, degenerates to a static pick (no
+         switches happen, so no switch cost is paid). *)
+      let static_outcome ~nodes config =
+        let scheduled_seconds =
+          if T.equal config static.Optimizer.config then static_seconds
+          else
+            (Engine.eval_on (Engine.default ()) T.probe app config)
+              .Cost.seconds
+        in
+        record_select app 0 config;
+        let gain =
+          100.0 *. (static_seconds -. scheduled_seconds) /. static_seconds
+        in
+        Obs.Metrics.Gauge.set m_schedule_gain gain;
+        record_verify app ~static_seconds ~scheduled_seconds ~switch_cycles:0
+          ~gain;
+        {
+          app;
+          phases;
+          static;
+          plan = Static config;
+          static_seconds;
+          scheduled_seconds;
+          switch_cycles = 0;
+          gain_percent = gain;
+          solve_nodes = nodes;
+        }
+      in
+      if nphases = 1 then static_outcome ~nodes:0 static.Optimizer.config
+      else begin
+        let boundaries = Sim.Phase.boundaries phases in
+        let digest = Sim.Phase.digest phases in
+        let segmented app config =
+          let ph = T.run_app_segmented ~config ~boundaries app in
+          ( Sim.Machine.seconds ph.Sim.Machine.result,
+            ph.Sim.Machine.result.Sim.Machine.profile,
+            ph.Sim.Machine.phase_profiles )
+        in
+        (* Re-measure every model row per phase: same configurations
+           as [Measure.build] (measured point and its reference), but
+           through the segmented path so the cache keys carry the
+           segmentation digest. *)
+        let model = static.Optimizer.model in
+        let rows = model.Measure.rows in
+        let configs =
+          T.base
+          :: List.concat_map
+               (fun (r : Measure.row) ->
+                 let reference = Measure.reference_config r.Measure.var in
+                 [ r.Measure.var.T.apply reference; reference ])
+               rows
+        in
+        let results =
+          Obs.Span.with_ ~cat:"dse" "schedule.measure"
+            ~attrs:[ ("app", Obs.Json.String app.Apps.Registry.name) ]
+            (fun () ->
+              Engine.eval_all_segments_on ?noise (Engine.default ()) T.probe
+                ~phase:digest ~segmented app configs)
+        in
+        let sec_tbl = Hashtbl.create 64 in
+        List.iter2
+          (fun c (_, profs) ->
+            Hashtbl.replace sec_tbl
+              (T.probe.Target.digest c)
+              (Array.of_list
+                 (List.map
+                    (fun (pr : Sim.Profiler.t) ->
+                      float_of_int pr.Sim.Profiler.cycles
+                      /. Sim.Machine.clock_hz)
+                    profs)))
+          configs results;
+        let sec p c = (Hashtbl.find sec_tbl (T.probe.Target.digest c)).(p) in
+        let base_total = model.Measure.base.Cost.seconds in
+        (* Per-phase marginal runtime deltas, normalized by the whole
+           base runtime (so summing a row's rho over the phases gives
+           back its static rho). *)
+        let models =
+          List.init nphases (fun p ->
+              Measure.with_rows model
+                (List.map
+                   (fun (r : Measure.row) ->
+                     let reference = Measure.reference_config r.Measure.var in
+                     let measured = r.Measure.var.T.apply reference in
+                     let rho =
+                       100.0
+                       *. (sec p measured -. sec p reference)
+                       /. base_total
+                     in
+                     {
+                       r with
+                       Measure.deltas = { r.Measure.deltas with Cost.rho };
+                     })
+                   rows))
+        in
+        let sched =
+          Obs.Span.with_ ~cat:"dse" "schedule.formulate"
+            ~attrs:[ ("app", Obs.Json.String app.Apps.Registry.name) ]
+            (fun () ->
+              Formulate.make_schedule ~reps:app.Apps.Registry.reps ~weights
+                models)
+        in
+        let solved =
+          Obs.Span.with_ ~cat:"dse" "schedule.solve"
+            ~attrs:[ ("app", Obs.Json.String app.Apps.Registry.name) ]
+            (fun () ->
+              Optim.Binlp.solve
+                ~runner:(Pool.solver_runner (Pool.default ()))
+                ~objective_terms:sched.Formulate.switch_terms
+                sched.Formulate.problem)
+        in
+        Obs.Metrics.Counter.incr ~by:solved.Optim.Binlp.nodes m_schedule_nodes;
+        match solved.Optim.Binlp.best with
+        | None -> failwith "Schedule: scheduled BINLP infeasible"
+        | Some solution ->
+            let per_phase =
+              Formulate.schedule_vars_of_solution sched solution
+            in
+            let configs = Array.map (T.apply_all T.base) per_phase in
+            Array.iter
+              (fun c ->
+                match T.validate c with
+                | Ok () -> ()
+                | Error m ->
+                    failwith ("Schedule: decoded configuration invalid: " ^ m))
+              configs;
+            if Array.for_all (fun c -> T.equal c configs.(0)) configs then
+              static_outcome ~nodes:solved.Optim.Binlp.nodes configs.(0)
+            else begin
+              let schedule =
+                List.map2
+                  (fun s c -> (s, c))
+                  (0 :: boundaries) (Array.to_list configs)
+              in
+              Array.iteri (fun k c -> record_select app k c) configs;
+              (if Obs.Journal.enabled () then
+                 match schedule with
+                 | [] -> ()
+                 | (_, first) :: rest ->
+                     let rec switches prev = function
+                       | [] -> prev
+                       | (at, c) :: tl ->
+                           record_switch app ~at
+                             ~cycles:(T.switch_cycles prev c) c;
+                           switches c tl
+                     in
+                     let last = switches first rest in
+                     record_switch app ~at:phases.Sim.Phase.total_insns
+                       ~cycles:(T.switch_cycles last first) first);
+              let ph =
+                Obs.Span.with_ ~cat:"dse" "schedule.verify"
+                  ~attrs:[ ("app", Obs.Json.String app.Apps.Registry.name) ]
+                  (fun () -> T.run_app_phased ~schedule app)
+              in
+              let scheduled_seconds =
+                Sim.Machine.seconds ph.Sim.Machine.result
+              in
+              let gain =
+                100.0
+                *. (static_seconds -. scheduled_seconds)
+                /. static_seconds
+              in
+              Obs.Metrics.Gauge.set m_schedule_gain gain;
+              record_verify app ~static_seconds ~scheduled_seconds
+                ~switch_cycles:ph.Sim.Machine.switch_cycles ~gain;
+              {
+                app;
+                phases;
+                static;
+                plan = Phased schedule;
+                static_seconds;
+                scheduled_seconds;
+                switch_cycles = ph.Sim.Machine.switch_cycles;
+                gain_percent = gain;
+                solve_nodes = solved.Optim.Binlp.nodes;
+              }
+            end
+      end
+
+    let print ppf (o : outcome) =
+      let pf = Format.fprintf in
+      pf ppf "  %s:@." o.app.Apps.Registry.name;
+      pf ppf "    phases: %d@." (Sim.Phase.count o.phases);
+      List.iteri
+        (fun k (p : Sim.Phase.phase) ->
+          pf ppf "      #%d [%d, %d) %s@." k p.Sim.Phase.start_insn
+            p.Sim.Phase.end_insn
+            (Sim.Phase.dominant p.Sim.Phase.profile))
+        o.phases.Sim.Phase.phases;
+      (match o.plan with
+      | Static config -> pf ppf "    schedule: static (%s)@." (params_of config)
+      | Phased schedule ->
+          pf ppf "    schedule:@.";
+          List.iter
+            (fun (at, c) -> pf ppf "      @%-9d %s@." at (params_of c))
+            schedule);
+      pf ppf "    static:    %.6fs (%s)@." o.static_seconds
+        (params_of o.static.Optimizer.config);
+      pf ppf "    scheduled: %.6fs (switch overhead %d cycles)@."
+        o.scheduled_seconds o.switch_cycles;
+      pf ppf "    gain: %+.2f%% (solver nodes %d)@." o.gain_percent
+        o.solve_nodes
   end
 end

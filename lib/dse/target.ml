@@ -148,10 +148,67 @@ module type S = sig
   val describe_sweep_point : config -> string
   (** Short label of a sweep point, e.g. ["2x16KB"]. *)
 
+  (** {2 Runtime reconfiguration}
+
+      The switch-cost model for phase-scheduled execution, in
+      Al-Wattar-style region framing: every runtime-tunable parameter
+      group lives in a named floor-plan region, and switching the
+      value of a group reprograms that group's slice of its region —
+      a fixed cycle price per changed group.  Groups outside every
+      region are static: they hold live architectural state (or
+      structural logic) and cannot change at runtime, so a schedule
+      shares one decision across all phases for them. *)
+
+  val reconfig_regions : (string * group list) list
+  (** Disjoint named floor-plan regions covering the runtime-tunable
+      groups. *)
+
+  val group_switch_cycles : group -> int
+  (** Cycles to reprogram one group's slice of its region; [0] for
+      static groups. *)
+
+  val switch_cycles : config -> config -> int
+  (** Total reconfiguration cycles between two configurations: the sum
+      of [group_switch_cycles] over the groups whose projections
+      differ.  [switch_cycles c c = 0]. *)
+
+  val keep_caches_on_switch : bool
+  (** Reconfiguration policy: [true] when partial reconfiguration
+      leaves an untouched region's block RAM (cache contents) intact
+      across a switch; [false] when a switch flushes the caches. *)
+
+  val static_groups : group list
+  (** Groups that cannot be switched at runtime (e.g. the LEON2
+      register-window file, which holds live architectural state). *)
+
+  val schedule_dims : group list
+  (** The default decision dims for schedule solves: a runtime-switch-
+      sensitive subspace small enough that per-phase copies of its
+      variables keep the scheduled BINLP tractable. *)
+
   (** {2 Simulation} *)
 
   val run_app : ?config:config -> Apps.Registry.t -> Sim.Machine.result
   val run_program : ?mem_size:int -> config -> Isa.Program.t -> Sim.Machine.result
+
+  val detect_phases :
+    ?options:Sim.Phase.options -> Apps.Registry.t -> Sim.Phase.t
+  (** Segment one cold execution of the application on [base] into
+      program phases (see {!Sim.Phase}); deterministic. *)
+
+  val run_app_segmented :
+    ?config:config -> boundaries:int list -> Apps.Registry.t -> Sim.Machine.phased
+  (** Like {!run_app} (bit-identical totals) but additionally carves
+      the profile at the given retired-instruction boundaries — the
+      per-phase measurement primitive. *)
+
+  val run_app_phased :
+    schedule:(int * config) list -> Apps.Registry.t -> Sim.Machine.phased
+  (** Execute the application under a reconfiguration schedule
+      [(start_insn, config)] (first entry must start at 0), paying
+      {!switch_cycles} at each boundary, once per repetition, plus the
+      wrap-around switch back to the first configuration at each
+      repetition boundary; caches follow [keep_caches_on_switch]. *)
 
   val cycle_model : config -> Bounds.cycle_model
   (** The configuration's per-class cycle prices — the same shared

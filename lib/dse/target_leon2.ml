@@ -247,8 +247,120 @@ let sweep_configs = Arch.Space.dcache_geometry ()
 let describe_sweep_point (c : Arch.Config.t) =
   Printf.sprintf "%dx%dKB" c.Arch.Config.dcache.ways c.Arch.Config.dcache.way_kb
 
+(* Runtime reconfiguration model, in Al-Wattar-style region framing:
+   the tunable parameter groups live in three floor-planned regions
+   (icache, dcache, integer unit); switching one group's value
+   reprograms that group's slice of its region at a fixed cycle price.
+   The cache regions are larger bitstreams (block RAM + tag logic)
+   than the IU's mux-dominated slices.  The register-window file holds
+   live architectural state, so it is static — a schedule shares one
+   window-count decision across all phases.  LEON2 models partial
+   reconfiguration: a region (and its block RAM contents, i.e. cache
+   state) not touched by a switch stays intact. *)
+let reconfig_regions =
+  [
+    ( "icache",
+      [
+        Arch.Param.Icache_ways; Arch.Param.Icache_way_kb;
+        Arch.Param.Icache_line; Arch.Param.Icache_repl;
+      ] );
+    ( "dcache",
+      [
+        Arch.Param.Dcache_ways; Arch.Param.Dcache_way_kb;
+        Arch.Param.Dcache_line; Arch.Param.Dcache_repl;
+        Arch.Param.Fast_read; Arch.Param.Fast_write;
+      ] );
+    ( "iu",
+      [
+        Arch.Param.Fast_jump; Arch.Param.Icc_hold; Arch.Param.Fast_decode;
+        Arch.Param.Load_delay; Arch.Param.Divider; Arch.Param.Multiplier;
+        Arch.Param.Infer_mult_div;
+      ] );
+  ]
+
+let static_groups = [ Arch.Param.Reg_windows ]
+
+let group_switch_cycles (g : group) =
+  let cache = 6_000 and iu = 2_500 in
+  match g with
+  | Arch.Param.Icache_ways | Arch.Param.Icache_way_kb | Arch.Param.Icache_line
+  | Arch.Param.Icache_repl | Arch.Param.Dcache_ways | Arch.Param.Dcache_way_kb
+  | Arch.Param.Dcache_line | Arch.Param.Dcache_repl | Arch.Param.Fast_read
+  | Arch.Param.Fast_write ->
+      cache
+  | Arch.Param.Fast_jump | Arch.Param.Icc_hold | Arch.Param.Fast_decode
+  | Arch.Param.Load_delay | Arch.Param.Divider | Arch.Param.Multiplier
+  | Arch.Param.Infer_mult_div ->
+      iu
+  | Arch.Param.Reg_windows -> 0
+
+let group_changed (a : Arch.Config.t) (b : Arch.Config.t) (g : group) =
+  match g with
+  | Arch.Param.Icache_ways -> a.icache.ways <> b.icache.ways
+  | Arch.Param.Icache_way_kb -> a.icache.way_kb <> b.icache.way_kb
+  | Arch.Param.Icache_line -> a.icache.line_words <> b.icache.line_words
+  | Arch.Param.Icache_repl -> a.icache.replacement <> b.icache.replacement
+  | Arch.Param.Dcache_ways -> a.dcache.ways <> b.dcache.ways
+  | Arch.Param.Dcache_way_kb -> a.dcache.way_kb <> b.dcache.way_kb
+  | Arch.Param.Dcache_line -> a.dcache.line_words <> b.dcache.line_words
+  | Arch.Param.Dcache_repl -> a.dcache.replacement <> b.dcache.replacement
+  | Arch.Param.Fast_read -> a.dcache_fast_read <> b.dcache_fast_read
+  | Arch.Param.Fast_write -> a.dcache_fast_write <> b.dcache_fast_write
+  | Arch.Param.Fast_jump -> a.iu.fast_jump <> b.iu.fast_jump
+  | Arch.Param.Icc_hold -> a.iu.icc_hold <> b.iu.icc_hold
+  | Arch.Param.Fast_decode -> a.iu.fast_decode <> b.iu.fast_decode
+  | Arch.Param.Load_delay -> a.iu.load_delay <> b.iu.load_delay
+  | Arch.Param.Reg_windows -> a.iu.reg_windows <> b.iu.reg_windows
+  | Arch.Param.Divider -> a.iu.divider <> b.iu.divider
+  | Arch.Param.Multiplier -> a.iu.multiplier <> b.iu.multiplier
+  | Arch.Param.Infer_mult_div -> a.infer_mult_div <> b.infer_mult_div
+
+let switch_cycles a b =
+  List.fold_left
+    (fun acc g -> if group_changed a b g then acc + group_switch_cycles g else acc)
+    0 Arch.Param.groups
+
+let keep_caches_on_switch = true
+
+let schedule_dims =
+  [
+    Arch.Param.Icache_way_kb; Arch.Param.Icache_line; Arch.Param.Dcache_way_kb;
+    Arch.Param.Dcache_line;
+  ]
+
 let run_app = Apps.Registry.run
 let run_program ?mem_size config prog = Sim.Machine.run ?mem_size config prog
+
+let detect_phases ?options (app : Apps.Registry.t) =
+  Sim.Phase.detect ?options base (Lazy.force app.Apps.Registry.program)
+
+let run_app_segmented ?(config = base) ~boundaries (app : Apps.Registry.t) =
+  Sim.Machine.run_segmented ~reps:app.Apps.Registry.reps ~boundaries config
+    (Lazy.force app.Apps.Registry.program)
+
+let run_app_phased ~schedule (app : Apps.Registry.t) =
+  match schedule with
+  | [] -> invalid_arg "Target_leon2.run_app_phased: empty schedule"
+  | (s0, first) :: rest ->
+      if s0 <> 0 then
+        invalid_arg "Target_leon2.run_app_phased: schedule must start at 0";
+      let rec switches prev = function
+        | [] -> []
+        | (at, c) :: tl ->
+            {
+              Sim.Machine.at_insn = at;
+              config = c;
+              shift_stall = 0;
+              cycles = switch_cycles prev c;
+            }
+            :: switches c tl
+      in
+      let last = List.fold_left (fun _ (_, c) -> c) first rest in
+      Sim.Machine.run_phased ~reps:app.Apps.Registry.reps
+        ~keep_caches:keep_caches_on_switch
+        ~wrap_cycles:(switch_cycles last first)
+        ~switches:(switches first rest) first
+        (Lazy.force app.Apps.Registry.program)
 
 (* LEON2 has a barrel shifter: shifts are single-cycle. *)
 let cycle_model config = Bounds.of_arch_config config

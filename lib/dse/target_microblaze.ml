@@ -256,10 +256,104 @@ let lower (c : Arch.Mb_config.t) : Arch.Config.t =
    modeled as a flat per-shift stall. *)
 let shift_stall (c : Arch.Mb_config.t) = if c.Arch.Mb_config.barrel_shifter then 0 else 8
 
+(* Runtime reconfiguration model.  The same region framing as LEON2,
+   but the much smaller device reconfigures whole functional blocks:
+   slices are cheaper (less logic per group), and a switch does NOT
+   preserve cache contents — reprogramming this device's block RAM
+   columns flushes them, so every switch restarts the caches cold.
+   That asymmetry (LEON2 keeps untouched regions warm, MicroBlaze
+   flushes) is exactly the policy knob [keep_caches_on_switch]
+   exposes.  No group is architecturally static on this core. *)
+let reconfig_regions =
+  [
+    ("icache", [ Arch.Mb_param.Icache_way_kb; Arch.Mb_param.Icache_line ]);
+    ( "dcache",
+      [
+        Arch.Mb_param.Dcache_ways; Arch.Mb_param.Dcache_way_kb;
+        Arch.Mb_param.Dcache_line; Arch.Mb_param.Dcache_repl;
+      ] );
+    ( "alu",
+      [
+        Arch.Mb_param.Barrel_shifter; Arch.Mb_param.Multiplier;
+        Arch.Mb_param.Divider;
+      ] );
+  ]
+
+let static_groups = []
+
+let group_switch_cycles (g : group) =
+  match g with
+  | Arch.Mb_param.Icache_way_kb | Arch.Mb_param.Icache_line
+  | Arch.Mb_param.Dcache_ways | Arch.Mb_param.Dcache_way_kb
+  | Arch.Mb_param.Dcache_line | Arch.Mb_param.Dcache_repl ->
+      4_000
+  | Arch.Mb_param.Barrel_shifter | Arch.Mb_param.Multiplier
+  | Arch.Mb_param.Divider ->
+      2_000
+
+let group_changed (a : Arch.Mb_config.t) (b : Arch.Mb_config.t) (g : group) =
+  match g with
+  | Arch.Mb_param.Icache_way_kb -> a.icache.way_kb <> b.icache.way_kb
+  | Arch.Mb_param.Icache_line -> a.icache.line_words <> b.icache.line_words
+  | Arch.Mb_param.Dcache_ways -> a.dcache.ways <> b.dcache.ways
+  | Arch.Mb_param.Dcache_way_kb -> a.dcache.way_kb <> b.dcache.way_kb
+  | Arch.Mb_param.Dcache_line -> a.dcache.line_words <> b.dcache.line_words
+  | Arch.Mb_param.Dcache_repl -> a.dcache.replacement <> b.dcache.replacement
+  | Arch.Mb_param.Barrel_shifter -> a.barrel_shifter <> b.barrel_shifter
+  | Arch.Mb_param.Multiplier -> a.multiplier <> b.multiplier
+  | Arch.Mb_param.Divider -> a.divider <> b.divider
+
+let switch_cycles a b =
+  List.fold_left
+    (fun acc g -> if group_changed a b g then acc + group_switch_cycles g else acc)
+    0 Arch.Mb_param.groups
+
+let keep_caches_on_switch = false
+
+let schedule_dims =
+  [
+    Arch.Mb_param.Icache_way_kb; Arch.Mb_param.Icache_line;
+    Arch.Mb_param.Dcache_way_kb; Arch.Mb_param.Dcache_line;
+  ]
+
 let run_app ?(config = base) (app : Apps.Registry.t) =
   Sim.Machine.run ~reps:app.Apps.Registry.reps
     ~shift_stall:(shift_stall config) (lower config)
     (Lazy.force app.Apps.Registry.program)
+
+let detect_phases ?options (app : Apps.Registry.t) =
+  Sim.Phase.detect ?options ~shift_stall:(shift_stall base) (lower base)
+    (Lazy.force app.Apps.Registry.program)
+
+let run_app_segmented ?(config = base) ~boundaries (app : Apps.Registry.t) =
+  Sim.Machine.run_segmented ~reps:app.Apps.Registry.reps
+    ~shift_stall:(shift_stall config) ~boundaries (lower config)
+    (Lazy.force app.Apps.Registry.program)
+
+let run_app_phased ~schedule (app : Apps.Registry.t) =
+  match schedule with
+  | [] -> invalid_arg "Target_microblaze.run_app_phased: empty schedule"
+  | (s0, first) :: rest ->
+      if s0 <> 0 then
+        invalid_arg "Target_microblaze.run_app_phased: schedule must start at 0";
+      let rec switches prev = function
+        | [] -> []
+        | (at, c) :: tl ->
+            {
+              Sim.Machine.at_insn = at;
+              config = lower c;
+              shift_stall = shift_stall c;
+              cycles = switch_cycles prev c;
+            }
+            :: switches c tl
+      in
+      let last = List.fold_left (fun _ (_, c) -> c) first rest in
+      Sim.Machine.run_phased ~reps:app.Apps.Registry.reps
+        ~shift_stall:(shift_stall first)
+        ~keep_caches:keep_caches_on_switch
+        ~wrap_cycles:(switch_cycles last first)
+        ~switches:(switches first rest) (lower first)
+        (Lazy.force app.Apps.Registry.program)
 
 let run_program ?mem_size config prog =
   Sim.Machine.run ?mem_size ~shift_stall:(shift_stall config) (lower config)

@@ -704,6 +704,170 @@ let journal_pool =
           true);
     }
 
+(* Phase-schedule dominance: with the switch cost forced to zero (the
+   schedule problem solved without its switch terms), the scheduled
+   optimum can always replicate any static selection uniformly across
+   phases, so its objective is <= the static optimum's on the
+   phase-summed model.  Exercises the slot layout, per-phase SOS1
+   groups and per-phase resource constraints of
+   [Formulate.make_schedule] against [Formulate.make] over the real
+   LEON2 variable space with synthetic per-phase runtime deltas. *)
+module SL = Dse.Stack.Make (Dse.Target_leon2)
+
+let schedule_dominance =
+  let module L = Dse.Target_leon2 in
+  let synth_base =
+    {
+      Dse.Cost.seconds = 1.0;
+      resources =
+        { Synth.Resource.luts = L.device_luts / 2; brams = L.device_brams / 2 };
+    }
+  in
+  let gen =
+    let open QCheck2.Gen in
+    let* nphases = int_range 2 3 in
+    let* reps = int_range 1 3 in
+    let* nrows = int_range 2 (min 6 (List.length L.vars)) in
+    let+ rows =
+      list_repeat nrows
+        (triple
+           (list_repeat nphases (float_range (-20.) 20.))
+           (float_range (-3.) 3.) (float_range (-3.) 3.))
+    in
+    (nphases, reps, rows)
+  in
+  let print (nphases, reps, rows) =
+    Printf.sprintf "phases=%d reps=%d\n%s" nphases reps
+      (String.concat "\n"
+         (List.mapi
+            (fun i (rhos, lam, bet) ->
+              Printf.sprintf "  row %d: rho=[%s] lambda=%.3f beta=%.3f" i
+                (String.concat "; " (List.map (Printf.sprintf "%.3f") rhos))
+                lam bet)
+            rows))
+  in
+  T
+    {
+      name = "schedule-dominance";
+      doc =
+        "with zero switch cost the scheduled optimum is never worse than the \
+         static optimum on the phase-summed model";
+      gen;
+      print;
+      prop =
+        (fun (nphases, reps, rows) ->
+          let vars = List.filteri (fun i _ -> i < List.length rows) L.vars in
+          let weights = Dse.Cost.runtime_weights in
+          let row_of v rho lam bet =
+            {
+              SL.Measure.var = v;
+              config = v.L.apply L.base;
+              cost = synth_base;
+              deltas = { Dse.Cost.rho; lambda = lam; beta = bet };
+            }
+          in
+          let app = Apps.Registry.blastn in
+          let phase_model p =
+            SL.Measure.model_of app ~base:synth_base
+              (List.map2
+                 (fun v (rhos, lam, bet) -> row_of v (List.nth rhos p) lam bet)
+                 vars rows)
+          in
+          let models = List.init nphases phase_model in
+          let summed =
+            SL.Measure.model_of app ~base:synth_base
+              (List.map2
+                 (fun v (rhos, lam, bet) ->
+                   row_of v (List.fold_left ( +. ) 0.0 rhos) lam bet)
+                 vars rows)
+          in
+          let sched = SL.Formulate.make_schedule ~reps ~weights models in
+          let static_prob = SL.Formulate.make weights summed in
+          let s = Optim.Binlp.solve ~node_limit:2_000_000 static_prob in
+          let d =
+            Optim.Binlp.solve ~node_limit:2_000_000
+              sched.SL.Formulate.problem
+          in
+          match (s.Optim.Binlp.best, d.Optim.Binlp.best) with
+          | None, None -> true
+          | None, Some _ ->
+              (* The empty selection is always schedule-feasible when it
+                 is static-feasible and vice versa: both sides must
+                 agree on feasibility. *)
+              T2.fail_reportf
+                "schedule found a point on a static-infeasible instance"
+          | Some _, None ->
+              T2.fail_reportf
+                "schedule problem infeasible while static is feasible"
+          | Some st, Some sc ->
+              if
+                sc.Optim.Binlp.objective
+                > st.Optim.Binlp.objective +. 1e-6
+              then
+                T2.fail_reportf "scheduled optimum %.9f > static optimum %.9f"
+                  sc.Optim.Binlp.objective st.Optim.Binlp.objective
+              else true);
+    }
+
+(* Change-point detection must be a pure function of (options, config,
+   program): repeated detections — including detections executed on
+   pool worker domains of different counts — agree bit-for-bit on the
+   segmentation, and the segmentation is a partition of the retired
+   instruction stream. *)
+let phase_determinism =
+  T
+    {
+      name = "phase-determinism";
+      doc =
+        "windowed change-point detection is deterministic across repeated \
+         runs and pool worker counts, and partitions the instruction stream";
+      gen = Gen.program;
+      print = Gen.print_program;
+      prop =
+        (fun p ->
+          checked p;
+          let prog = Minic.Codegen.compile p in
+          let options =
+            {
+              Sim.Phase.default_options with
+              Sim.Phase.window = 256;
+              min_windows = 2;
+              max_phases = 6;
+            }
+          in
+          let detect () =
+            Sim.Phase.detect ~options Arch.Config.base prog
+          in
+          let reference = detect () in
+          let want = Sim.Phase.digest reference in
+          if Sim.Phase.digest (detect ()) <> want then
+            T2.fail_reportf "repeated detection disagrees";
+          let pool2, pool4 = Lazy.force par_pools in
+          List.iter
+            (fun (label, pool) ->
+              List.iter
+                (fun d ->
+                  if Sim.Phase.digest d <> want then
+                    T2.fail_reportf "detection under %s pool disagrees" label)
+                (Dse.Pool.map pool (fun () -> detect ()) [ (); () ]))
+            [ ("2-worker", pool2); ("4-worker", pool4) ];
+          let total = reference.Sim.Phase.total_insns in
+          let rec partitions pos = function
+            | [] -> T2.fail_reportf "no phases"
+            | [ (last : Sim.Phase.phase) ] ->
+                last.Sim.Phase.start_insn = pos
+                && last.Sim.Phase.end_insn = total
+                || T2.fail_reportf "last phase does not close the partition"
+            | (ph : Sim.Phase.phase) :: rest ->
+                (ph.Sim.Phase.start_insn = pos
+                 && ph.Sim.Phase.end_insn > ph.Sim.Phase.start_insn
+                || T2.fail_reportf "phase [%d, %d) does not continue at %d"
+                     ph.Sim.Phase.start_insn ph.Sim.Phase.end_insn pos)
+                && partitions ph.Sim.Phase.end_insn rest
+          in
+          partitions 0 reference.Sim.Phase.phases);
+    }
+
 let all =
   [
     interp_vs_sim;
@@ -720,6 +884,8 @@ let all =
     cpu_cost_table_leon2;
     cpu_cost_table_microblaze;
     journal_pool;
+    schedule_dominance;
+    phase_determinism;
   ]
 
 let find n = List.find_opt (fun o -> name o = n) all

@@ -91,5 +91,17 @@ val journal_pool : t
     (serializable, non-empty kinds, non-negative timestamps), and each
     domain's buffer is monotonically timestamped. *)
 
+val schedule_dominance : t
+(** With the switch cost forced to zero (the schedule problem solved
+    without its switch terms), the scheduled optimum on synthetic
+    multi-phase models is never worse than the static optimum of the
+    phase-summed model — uniform replication of the static winner is
+    always schedule-feasible. *)
+
+val phase_determinism : t
+(** {!Sim.Phase.detect} is bit-deterministic across repeated runs and
+    {!Dse.Pool} worker counts, and its phases partition the retired
+    instruction stream. *)
+
 val all : t list
 val find : string -> t option

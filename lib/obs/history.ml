@@ -101,6 +101,12 @@ let default_rules =
     (* solver throughput: same floor as the simulator — solver_nodes
        is pinned above, so nodes/s drift means the B&B loop slowed *)
     { metric = "binlp_nodes_per_second"; max_ratio = None; min_ratio = Some 0.67 };
+    (* phase-schedule pipeline: detection and the schedule solve are
+       deterministic for a fixed seed, so drift in either direction is
+       a behavior change; the verified gain must not erode *)
+    { metric = "phases_detected"; max_ratio = Some 1.05; min_ratio = Some 0.95 };
+    { metric = "schedule_solver_nodes"; max_ratio = Some 1.05; min_ratio = None };
+    { metric = "schedule_gain_pct"; max_ratio = None; min_ratio = Some 0.90 };
   ]
 
 type regression = {

@@ -144,6 +144,7 @@ type tracked = TLin of factor | TProd of factor * factor
 type state = {
   x : bool array;
   tracked : (constr * tracked list) array;
+  oterms : tracked list;  (* extra objective terms, also in [factors] *)
   factors : factor array;
   mutable snodes : int;
   mutable sflushed : int; (* nodes already reported to the shared total *)
@@ -177,8 +178,36 @@ let m_tasks =
 
 exception Cancelled
 
-let solve ?(node_limit = 20_000_000) ?(runner = inline_runner) p =
+let validate_terms p terms =
+  let check_lin l =
+    List.iter
+      (fun (j, _) ->
+        if j < 0 || j >= p.nvars then
+          invalid_arg "Binlp: objective term index out of range")
+      l.coeffs
+  in
+  List.iter
+    (function
+      | Lin l -> check_lin l
+      | Prod (l1, l2) ->
+          check_lin l1;
+          check_lin l2)
+    terms
+
+(* The canonical leaf objective: the separable part summed in index
+   order plus the extra terms in declaration order — the same
+   summation everywhere, so equal optima compare bit-exactly. *)
+let leaf_objective objective objective_terms x =
+  match objective_terms with
+  | [] -> canonical_objective objective x
+  | ts ->
+      canonical_objective objective x
+      +. List.fold_left (fun acc t -> acc +. eval_term x t) 0.0 ts
+
+let solve ?(node_limit = 20_000_000) ?(runner = inline_runner)
+    ?(objective_terms = []) p =
   Obs.Span.with_span ~cat:"optim" "binlp.solve" @@ fun span ->
+  validate_terms p objective_terms;
   let groups = effective_groups p in
   let ngroups = List.length groups in
   let garr = Array.of_list groups in
@@ -227,30 +256,29 @@ let solve ?(node_limit = 20_000_000) ?(runner = inline_runner) p =
     { lin = l; value = l.const; smin; smax }
   in
   let make_state () =
+    let mk_tracked = function
+      | Lin l -> TLin (make_factor l)
+      | Prod (l1, l2) -> TProd (make_factor l1, make_factor l2)
+    in
     let tracked =
       Array.of_list
-        (List.map
-           (fun c ->
-             ( c,
-               List.map
-                 (function
-                   | Lin l -> TLin (make_factor l)
-                   | Prod (l1, l2) -> TProd (make_factor l1, make_factor l2))
-                 c.terms ))
-           p.constraints)
+        (List.map (fun c -> (c, List.map mk_tracked c.terms)) p.constraints)
+    in
+    let oterms = List.map mk_tracked objective_terms in
+    let factors_of =
+      List.concat_map (function
+        | TLin f -> [ f ]
+        | TProd (f1, f2) -> [ f1; f2 ])
     in
     let factors =
       Array.of_list
-        (List.concat_map
-           (fun (_, ts) ->
-             List.concat_map
-               (function TLin f -> [ f ] | TProd (f1, f2) -> [ f1; f2 ])
-               ts)
-           (Array.to_list tracked))
+        (List.concat_map (fun (_, ts) -> factors_of ts) (Array.to_list tracked)
+        @ factors_of oterms)
     in
     {
       x = Array.make p.nvars false;
       tracked;
+      oterms;
       factors;
       snodes = 0;
       sflushed = 0;
@@ -322,8 +350,26 @@ let solve ?(node_limit = 20_000_000) ?(runner = inline_runner) p =
       raise Cancelled
     end
   in
+  (* Lower bound on the extra objective terms over all completions of
+     the groups at [depth..] — same interval arithmetic as constraint
+     propagation, so the prune stays admissible. *)
+  let oterm_lb st depth =
+    List.fold_left
+      (fun acc t ->
+        match t with
+        | TLin f -> acc +. f.value +. f.smin.(depth)
+        | TProd (f1, f2) ->
+            let i1 =
+              (f1.value +. f1.smin.(depth), f1.value +. f1.smax.(depth))
+            in
+            let i2 =
+              (f2.value +. f2.smin.(depth), f2.value +. f2.smax.(depth))
+            in
+            acc +. interval_min_product i1 i2)
+      0.0 st.oterms
+  in
   let offer st =
-    let obj = canonical_objective p.objective st.x in
+    let obj = leaf_objective p.objective objective_terms st.x in
     let cand = { x = Array.copy st.x; objective = obj } in
     let rec attempt () =
       let cur = Atomic.get incumbent in
@@ -366,7 +412,12 @@ let solve ?(node_limit = 20_000_000) ?(runner = inline_runner) p =
     (* Strictly-worse prune only: a subtree whose bound ties the
        incumbent may still hold an equal-objective, lexicographically
        smaller assignment, and the tie-break must find it. *)
-    if obj +. suffix_obj.(depth) > Atomic.get best_obj +. 1e-12 then
+    let lb =
+      match st.oterms with
+      | [] -> obj +. suffix_obj.(depth)
+      | _ -> obj +. suffix_obj.(depth) +. oterm_lb st depth
+    in
+    if lb > Atomic.get best_obj +. 1e-12 then
       st.spruned_bound <- st.spruned_bound + 1
     else if not (feasible_possible st depth) then
       st.spruned_validity <- st.spruned_validity + 1
@@ -497,7 +548,8 @@ let solve ?(node_limit = 20_000_000) ?(runner = inline_runner) p =
     nodes = Atomic.get total_nodes;
   }
 
-let brute_force p =
+let brute_force ?(objective_terms = []) p =
+  validate_terms p objective_terms;
   let groups = effective_groups p in
   let x = Array.make p.nvars false in
   let best = ref None in
@@ -506,7 +558,10 @@ let brute_force p =
     | [] ->
         if List.for_all (check_constr x) p.constraints then begin
           let cand =
-            { x = Array.copy x; objective = canonical_objective p.objective x }
+            {
+              x = Array.copy x;
+              objective = leaf_objective p.objective objective_terms x;
+            }
           in
           match !best with
           | Some b when not (better_solution cand b) -> ()

@@ -93,20 +93,36 @@ type runner = {
 val inline_runner : runner
 (** The default: a single task on the calling domain. *)
 
-val solve : ?node_limit:int -> ?runner:runner -> problem -> outcome
+val solve :
+  ?node_limit:int ->
+  ?runner:runner ->
+  ?objective_terms:term list ->
+  problem ->
+  outcome
 (** Minimize.  [outcome.best = None] means no assignment satisfies the
     constraints.  When the search exceeds [node_limit] nodes (default
     20 million — far beyond the paper's 52-variable model) it stops
     cooperatively — under parallel execution the limit is approximate
     by at most [workers * 128] nodes — and returns the incumbent with
     [Node_limit_reached] instead of discarding it.
+
+    [objective_terms] (default empty) adds non-separable terms to the
+    minimized objective: the objective becomes
+    [objective . x + sum_t eval t x], with each term linear or a
+    product of two linear forms — the shape the schedule formulation's
+    pairwise switch costs need.  Terms are bounded during search by
+    the same interval arithmetic as product constraints, so pruning
+    stays admissible; with an empty list the search (including node
+    counts and the tie-break) is bit-identical to the plain linear
+    solve.  The reported [solution.objective] includes the terms.
     @raise Invalid_argument on malformed input (overlapping groups,
     indices out of range). *)
 
-val brute_force : problem -> solution option
+val brute_force : ?objective_terms:term list -> problem -> solution option
 (** Reference implementation enumerating every SOS1-respecting
-    assignment, applying the same tie-break rule as {!solve}; for
-    testing on small instances. *)
+    assignment, applying the same tie-break rule (and the same
+    [objective_terms] semantics) as {!solve}; for testing on small
+    instances. *)
 
 val eval_lin : lin -> bool array -> float
 val eval_constr_lhs : constr -> bool array -> float

@@ -36,9 +36,9 @@ let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 let mask32 = 0xFFFFFFFF
 
 type t = {
-  config : Arch.Config.t;
+  mutable config : Arch.Config.t;
   prog : Isa.Program.t;
-  cm : Cost_model.t;
+  mutable cm : Cost_model.t;
   regs : int array;
   nwin : int;
   wsize : int;  (* nwin * 16: windowed registers in the file *)
@@ -55,13 +55,13 @@ type t = {
      resident and most-recently-used in its set; -1 when unknown *)
   mutable ilast : int;
   mutable dlast : int;
-  ishift : int;  (* log2 icache line bytes *)
-  dshift : int;  (* log2 dcache line bytes *)
+  mutable ishift : int;  (* log2 icache line bytes *)
+  mutable dshift : int;  (* log2 dcache line bytes *)
   mem : Memory.t;
-  icache : Cache.t;
-  dcache : Cache.t;
-  istats : Cache.stats;
-  dstats : Cache.stats;
+  mutable icache : Cache.t;
+  mutable dcache : Cache.t;
+  mutable istats : Cache.stats;
+  mutable dstats : Cache.stats;
   prof : Profiler.t;
   mutable on_read : int -> unit;
   mutable handlers : (unit -> unit) array;
@@ -518,6 +518,45 @@ let reinit t =
   t.regs.(Isa.Reg.physical ~nwindows:t.nwin ~cwp:0 Isa.Reg.sp) <-
     Memory.size t.mem - 128
 
+(* Runtime reconfiguration: swap the microarchitecture under a live
+   execution.  Architectural state (registers, memory, pc, windows,
+   condition codes) is untouched — only the cost model, the caches and
+   the pre-compiled handlers change.  A cache whose geometry is
+   unchanged may keep its contents ([keep_caches], modelling partial
+   reconfiguration that leaves that region's block RAM intact);
+   otherwise it restarts cold with its standard deterministic seed.
+   The register-window file is structural (it holds live architectural
+   state), so its size cannot change at runtime. *)
+let reconfigure ?(shift_stall = 0) ?(keep_caches = false) t config =
+  (match Arch.Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Cpu.reconfigure: " ^ msg));
+  if
+    config.Arch.Config.iu.Arch.Config.reg_windows
+    <> t.config.Arch.Config.iu.Arch.Config.reg_windows
+  then invalid_arg "Cpu.reconfigure: register-window count is not runtime-reconfigurable";
+  let keep old_cfg new_cfg old_cache seed =
+    if keep_caches && old_cfg = new_cfg then old_cache
+    else Cache.of_config new_cfg ~rng:(Rng.create ~seed)
+  in
+  let icache =
+    keep t.config.Arch.Config.icache config.Arch.Config.icache t.icache 0x1CE
+  in
+  let dcache =
+    keep t.config.Arch.Config.dcache config.Arch.Config.dcache t.dcache 0xDCE
+  in
+  t.config <- config;
+  t.cm <- Cost_model.of_arch_config ~shift_stall config;
+  t.icache <- icache;
+  t.dcache <- dcache;
+  t.istats <- Cache.stats icache;
+  t.dstats <- Cache.stats dcache;
+  t.ishift <- log2 (Cache.line_bytes icache);
+  t.dshift <- log2 (Cache.line_bytes dcache);
+  t.ilast <- -1;
+  t.dlast <- -1;
+  t.handlers <- Array.mapi (compile t) (Decode.of_program t.cm t.prog)
+
 let step t =
   if t.halted then false
   else begin
@@ -535,6 +574,14 @@ let run ?(max_insns = 200_000_000) t =
   while !continue do
     if !budget <= 0 then error "instruction budget exhausted";
     decr budget;
+    continue := step t
+  done
+
+(* Run until the profiler has retired [insns] instructions in total
+   (each step retires exactly one), or the program halts first. *)
+let run_until t ~insns =
+  let continue = ref (not t.halted) in
+  while !continue && t.prof.Profiler.instructions < insns do
     continue := step t
   done
 

@@ -38,11 +38,28 @@ val reinit : t -> unit
     reload the data image, but keep cache contents warm.  Used to model
     repeated executions of the same application. *)
 
+val reconfigure :
+  ?shift_stall:int -> ?keep_caches:bool -> t -> Arch.Config.t -> unit
+(** Swap the microarchitecture under a live execution: rebuild the cost
+    model and re-compile the handlers for [config], leaving all
+    architectural state (registers, memory, pc, window state, condition
+    codes) untouched.  A cache whose geometry is unchanged keeps its
+    contents when [keep_caches] is set (default false) — modelling
+    partial reconfiguration that leaves that region's block RAM intact;
+    any other cache restarts cold with its standard deterministic seed.
+    @raise Invalid_argument if [config] is invalid or changes the
+    register-window count, which holds live architectural state. *)
+
 val step : t -> bool
 (** Execute one instruction; [false] once halted. *)
 
 val run : ?max_insns:int -> t -> unit
 (** Run to [Halt].  @raise Error if the budget (default 2e8) runs out. *)
+
+val run_until : t -> insns:int -> unit
+(** Run until the profiler's total retired-instruction count reaches
+    [insns] (each step retires exactly one instruction), or the program
+    halts, whichever comes first. *)
 
 val profile : t -> Profiler.t
 val reset_profile : t -> unit

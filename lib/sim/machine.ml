@@ -80,6 +80,173 @@ let run ?(mem_size = default_mem_size) ?(reps = 1) ?shift_stall config prog =
 
 let seconds r = float_of_int r.profile.Profiler.cycles /. clock_hz
 
+(* ------------------------------------------------------------------ *)
+(* Phased execution: run the same program while switching the
+   microarchitecture at pre-computed retired-instruction boundaries,
+   charging a per-switch reconfiguration cost.  The epoch structure
+   mirrors [run]: one cold execution, one warm execution scaled by
+   [reps - 1].  Each warm repetition additionally pays [wrap_cycles]
+   to reconfigure from the last phase's configuration back to the
+   first one at the repetition boundary. *)
+
+type switch = {
+  at_insn : int;  (** retired-instruction boundary (per execution) *)
+  config : Arch.Config.t;
+  shift_stall : int;
+  cycles : int;  (** reconfiguration cost charged at this switch *)
+}
+
+type phased = {
+  result : result;
+  phase_profiles : Profiler.t list;
+      (** one per phase, scaled to [reps] executions; sums to
+          [result.profile] *)
+  switch_cycles : int;  (** total reconfiguration cycles in [result] *)
+}
+
+let check_switches switches =
+  ignore
+    (List.fold_left
+       (fun prev sw ->
+         if sw.at_insn <= prev then
+           invalid_arg
+             "Machine.run_phased: switch boundaries must be strictly increasing";
+         sw.at_insn)
+       0 switches)
+
+(* One full execution with mid-run switches.  [config]/[stall] track
+   the installed microarchitecture across epochs; switches that change
+   nothing are skipped entirely — no reconfigure and no charge — which
+   makes a degenerate 1-configuration schedule bit-identical to [run].
+   Returns cumulative profiler snapshots at each boundary plus halt,
+   and the switch cycles charged. *)
+let phased_epoch cpu ~switches ~keep_caches ~config ~stall =
+  let prof = Cpu.profile cpu in
+  let snaps = ref [] in
+  let charged = ref 0 in
+  List.iter
+    (fun sw ->
+      Cpu.run_until cpu ~insns:sw.at_insn;
+      snaps := Profiler.copy prof :: !snaps;
+      if sw.config <> !config || sw.shift_stall <> !stall then begin
+        if sw.cycles > 0 then begin
+          prof.Profiler.cycles <- prof.Profiler.cycles + sw.cycles;
+          charged := !charged + sw.cycles
+        end;
+        Cpu.reconfigure ~shift_stall:sw.shift_stall ~keep_caches cpu sw.config;
+        config := sw.config;
+        stall := sw.shift_stall
+      end)
+    switches;
+  Cpu.run cpu;
+  snaps := Profiler.copy prof :: !snaps;
+  (List.rev !snaps, !charged)
+
+(* Per-phase deltas from cumulative snapshots. *)
+let snap_deltas snaps =
+  let rec go prev = function
+    | [] -> []
+    | s :: tl -> Profiler.sub s prev :: go s tl
+  in
+  go (Profiler.create ()) snaps
+
+let last_exn = function
+  | [] -> invalid_arg "Machine: empty snapshot list"
+  | l -> List.nth l (List.length l - 1)
+
+let run_phased ?(mem_size = default_mem_size) ?(reps = 1) ?(shift_stall = 0)
+    ?(keep_caches = false) ?(wrap_cycles = 0) ~switches config prog =
+  check_switches switches;
+  let cpu = Cpu.create ~shift_stall config prog ~mem_size in
+  let cur_config = ref config in
+  let cur_stall = ref shift_stall in
+  let cold_snaps, cold_charged =
+    Obs.Span.with_span ~cat:"sim" "sim.cold_epoch" (fun sp ->
+        let snaps, charged =
+          phased_epoch cpu ~switches ~keep_caches ~config:cur_config
+            ~stall:cur_stall
+        in
+        List.iter
+          (fun (k, v) -> Obs.Span.add_attr sp k v)
+          (cycles_attr (last_exn snaps));
+        (snaps, charged))
+  in
+  let cold = last_exn cold_snaps in
+  let cold_sum = Cpu.result cpu in
+  if reps = 1 then begin
+    flush_profile cold;
+    {
+      result =
+        {
+          profile = cold;
+          cold_cycles = cold.Profiler.cycles;
+          warm_cycles = cold.Profiler.cycles;
+          checksum = cold_sum;
+        };
+      phase_profiles = snap_deltas cold_snaps;
+      switch_cycles = cold_charged;
+    }
+  end
+  else begin
+    let warm_snaps, warm_charged =
+      Obs.Span.with_span ~cat:"sim" "sim.warm_epoch" (fun sp ->
+          Cpu.reset_profile cpu;
+          (* the repetition boundary reconfigures back to the first
+             phase's configuration; the wrap charge lands in the first
+             phase of the warm profile, so [scale_add] counts it once
+             per repetition *)
+          let prof = Cpu.profile cpu in
+          if wrap_cycles > 0 then
+            prof.Profiler.cycles <- prof.Profiler.cycles + wrap_cycles;
+          if !cur_config <> config || !cur_stall <> shift_stall then begin
+            Cpu.reconfigure ~shift_stall ~keep_caches cpu config;
+            cur_config := config;
+            cur_stall := shift_stall
+          end;
+          Cpu.reinit cpu;
+          let snaps, charged =
+            phased_epoch cpu ~switches ~keep_caches ~config:cur_config
+              ~stall:cur_stall
+          in
+          List.iter
+            (fun (k, v) -> Obs.Span.add_attr sp k v)
+            (cycles_attr (last_exn snaps));
+          (snaps, charged))
+    in
+    let warm = last_exn warm_snaps in
+    let warm_sum = Cpu.result cpu in
+    if warm_sum <> cold_sum then
+      failwith
+        (Printf.sprintf
+           "Machine.run_phased: non-deterministic application (cold checksum \
+            %d, warm %d)"
+           cold_sum warm_sum);
+    let profile = Profiler.scale_add cold ~warm ~reps in
+    flush_profile profile;
+    {
+      result =
+        {
+          profile;
+          cold_cycles = cold.Profiler.cycles;
+          warm_cycles = warm.Profiler.cycles;
+          checksum = cold_sum;
+        };
+      phase_profiles =
+        List.map2
+          (fun c w -> Profiler.scale_add c ~warm:w ~reps)
+          (snap_deltas cold_snaps) (snap_deltas warm_snaps);
+      switch_cycles = cold_charged + ((reps - 1) * (wrap_cycles + warm_charged));
+    }
+  end
+
+let run_segmented ?mem_size ?reps ?(shift_stall = 0) ~boundaries config prog =
+  let switches =
+    List.map
+      (fun b -> { at_insn = b; config; shift_stall; cycles = 0 })
+      boundaries
+  in
+  run_phased ?mem_size ?reps ~shift_stall ~switches config prog
+
 let trace_reads ?(mem_size = default_mem_size) config prog =
   let cpu = Cpu.create config prog ~mem_size in
   let buf = Buffer.create (1 lsl 16) in

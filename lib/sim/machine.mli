@@ -35,6 +35,66 @@ val run :
 val seconds : result -> float
 (** Scaled runtime in seconds at {!clock_hz}. *)
 
+(** {2 Phased execution}
+
+    Runtime reconfiguration: the same program runs while the
+    microarchitecture is switched at pre-computed retired-instruction
+    boundaries, paying a per-switch cycle cost.  Epoch structure
+    mirrors {!run} — one cold execution plus one warm execution scaled
+    by [reps - 1]; each warm repetition additionally pays
+    [wrap_cycles] to reconfigure from the last phase's configuration
+    back to the first at the repetition boundary. *)
+
+type switch = {
+  at_insn : int;  (** retired-instruction boundary (per execution) *)
+  config : Arch.Config.t;  (** configuration installed at the boundary *)
+  shift_stall : int;  (** forwarded to {!Cpu.reconfigure} *)
+  cycles : int;  (** reconfiguration cost charged at this switch *)
+}
+
+type phased = {
+  result : result;
+  phase_profiles : Profiler.t list;
+      (** one per phase, scaled to [reps] executions; sums to
+          [result.profile] component-wise *)
+  switch_cycles : int;
+      (** total reconfiguration cycles included in [result.profile] *)
+}
+
+val run_phased :
+  ?mem_size:int ->
+  ?reps:int ->
+  ?shift_stall:int ->
+  ?keep_caches:bool ->
+  ?wrap_cycles:int ->
+  switches:switch list ->
+  Arch.Config.t ->
+  Isa.Program.t ->
+  phased
+(** [run_phased ~switches first prog] starts each execution on [first]
+    (with [shift_stall], default 0) and applies each switch in order.
+    A switch to the already-installed configuration is skipped, so a
+    schedule with one distinct configuration is bit-identical to
+    {!run}.  [keep_caches] is the target's reconfiguration policy: when
+    set, a cache whose geometry a switch leaves unchanged keeps its
+    contents (see {!Cpu.reconfigure}).
+    @raise Invalid_argument if boundaries are not strictly increasing
+    or a switch changes the register-window count.
+    @raise Failure if cold and warm checksums disagree. *)
+
+val run_segmented :
+  ?mem_size:int ->
+  ?reps:int ->
+  ?shift_stall:int ->
+  boundaries:int list ->
+  Arch.Config.t ->
+  Isa.Program.t ->
+  phased
+(** Like {!run} on a single configuration, but additionally snapshots
+    the profile at each retired-instruction boundary: [result] is
+    bit-identical to {!run} and [phase_profiles] carves it into
+    per-phase deltas.  Used for per-phase measurement. *)
+
 val run_once : ?mem_size:int -> Arch.Config.t -> Isa.Program.t -> Cpu.t
 (** Single cold execution, returning the machine for inspection. *)
 

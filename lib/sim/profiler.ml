@@ -74,6 +74,7 @@ let map2 f a b =
   }
 
 let add = map2 ( + )
+let sub = map2 ( - )
 
 let scale_add cold ~warm ~reps =
   if reps < 1 then invalid_arg "Profiler.scale_add: reps must be >= 1";

@@ -30,6 +30,10 @@ val copy : t -> t
 val add : t -> t -> t
 (** Component-wise sum (for combining epochs). *)
 
+val sub : t -> t -> t
+(** Component-wise difference: [sub after before] is the delta
+    accumulated between two snapshots of the same execution. *)
+
 val scale_add : t -> warm:t -> reps:int -> t
 (** [scale_add cold ~warm ~reps] models [reps] executions: one cold run
     plus [reps - 1] repetitions of the warm (steady-state) run. *)

@@ -1,0 +1,77 @@
+(* @phase-smoke alias: the whole phase-aware pipeline — detect, per-
+   phase measurement, schedule solve, phased verification — on every
+   registered target, using the deliberately bi-modal [phases] kernel.
+   Checks, per target: at least two phases are detected, every
+   per-phase configuration is valid and fits the device, the 1-phase
+   degenerate path agrees bit-exactly with the static optimizer, and
+   the schedule's verified runtime does not lose to the verified
+   static pick (the dominance the formulation is built around). *)
+
+let () =
+  let app = Apps.Extra.phases in
+  List.iter
+    (fun (module T : Dse.Target.S) ->
+      let module S = Dse.Stack.Make (T) in
+      let weights = Dse.Cost.runtime_weights in
+      let o = S.Schedule.run ~weights app in
+      let n = Sim.Phase.count o.S.Schedule.phases in
+      if n < 2 then (
+        Printf.eprintf "%s: expected >= 2 phases on %s, detected %d\n" T.name
+          app.Apps.Registry.name n;
+        exit 1);
+      (match o.S.Schedule.plan with
+      | S.Schedule.Static c ->
+          if not (T.feasible c) then (
+            Printf.eprintf "%s: static plan does not fit the device\n" T.name;
+            exit 1)
+      | S.Schedule.Phased schedule ->
+          List.iter
+            (fun (_, c) ->
+              if not (T.feasible c) then (
+                Printf.eprintf "%s: phase configuration does not fit\n" T.name;
+                exit 1))
+            schedule);
+      if o.S.Schedule.scheduled_seconds > o.S.Schedule.static_seconds *. (1.0 +. 1e-9)
+      then (
+        Printf.eprintf "%s: schedule (%.9fs) lost to static (%.9fs)\n" T.name
+          o.S.Schedule.scheduled_seconds o.S.Schedule.static_seconds;
+        exit 1);
+      Printf.printf
+        "%-12s %s: %d phases, static %.6fs -> scheduled %.6fs (%+.2f%%, %d \
+         switch cycles, %d nodes)\n"
+        T.name app.Apps.Registry.name n o.S.Schedule.static_seconds
+        o.S.Schedule.scheduled_seconds o.S.Schedule.gain_percent
+        o.S.Schedule.switch_cycles o.S.Schedule.solve_nodes;
+      (* The one-phase degenerate path must reproduce the static
+         optimizer exactly: force a segmentation with no interior
+         boundaries by raising the window past the whole run. *)
+      let coarse =
+        {
+          Sim.Phase.default_options with
+          Sim.Phase.window = max 1 o.S.Schedule.phases.Sim.Phase.total_insns;
+        }
+      in
+      let one = S.Schedule.run ~options:coarse ~weights app in
+      if Sim.Phase.count one.S.Schedule.phases <> 1 then (
+        Printf.eprintf "%s: coarse segmentation still found %d phases\n" T.name
+          (Sim.Phase.count one.S.Schedule.phases);
+        exit 1);
+      let static_config =
+        match one.S.Schedule.plan with
+        | S.Schedule.Static c -> c
+        | S.Schedule.Phased _ ->
+            Printf.eprintf "%s: one-phase run produced a phased plan\n" T.name;
+            exit 1
+      in
+      let reference =
+        S.Optimizer.run ~dims:T.schedule_dims ~weights app
+      in
+      if not (T.equal static_config reference.S.Optimizer.config) then (
+        Printf.eprintf "%s: one-phase schedule disagrees with the static \
+                        optimizer (%s vs %s)\n"
+          T.name
+          (T.to_string static_config)
+          (T.to_string reference.S.Optimizer.config);
+        exit 1))
+    Dse.Targets.all;
+  print_endline "phase smoke: ok"
